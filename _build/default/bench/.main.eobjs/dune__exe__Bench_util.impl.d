@@ -1,0 +1,1 @@
+bench/bench_util.ml: Core Event_base Int64 List Monotonic_clock Printf String

@@ -1,0 +1,1 @@
+bench/compare.ml: Array Automaton Bench_util Core Domain Event_base Event_type Expr Expr_gen Ident Inst_tree_detector List Pretty Printf Prng Relevance Time Tree_detector Ts Window

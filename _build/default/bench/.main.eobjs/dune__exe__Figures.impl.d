@@ -1,0 +1,1 @@
+bench/figures.ml: Bench_util Core Derive Event_base Event_type Expr Expr_parse Fmt Ident List Occurrence Pretty Printf Simplify Time Ts Window

@@ -1,0 +1,1 @@
+bench/main.ml: Array Compare Figures List Micro Perf Printf String Sys

@@ -1,0 +1,1 @@
+bench/perf.ml: Array Bench_util Chimera_rules Core Domain Engine Event_base Expr Expr_gen Fmt List Memo Pretty Printf Prng Rule Rule_table Scenario Time Trigger_support Ts Window

@@ -1,0 +1,50 @@
+(* Timing helpers and shared workload builders for the experiment
+   harness.  Wall-clock tables use the monotonic clock; the [micro] module
+   additionally runs Bechamel for statistically analyzed micro-timings. *)
+
+open Core
+
+let now_ns () = Int64.to_float (Monotonic_clock.now ())
+
+(* Times [f] repeated until [min_time_ns] elapsed (at least [min_runs]),
+   returning ns per run. *)
+let time_ns ?(min_time_ns = 5e7) ?(min_runs = 3) f =
+  (* Warm-up run (also forces any lazy initialization). *)
+  ignore (f ());
+  let start = now_ns () in
+  let rec loop runs =
+    ignore (f ());
+    let elapsed = now_ns () -. start in
+    if elapsed < min_time_ns || runs < min_runs then loop (runs + 1)
+    else elapsed /. float_of_int runs
+  in
+  loop 1
+
+(* Times one execution of [f] (for setups too slow to repeat). *)
+let time_once_ns f =
+  let start = now_ns () in
+  let result = f () in
+  (now_ns () -. start, result)
+
+let print_header title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let print_note note = Printf.printf "%s\n" note
+
+(* Replays a (type, oid-index) stream into a fresh event base. *)
+let replay_stream stream =
+  let eb = Event_base.create () in
+  List.iter
+    (fun (etype, oid) -> ignore (Event_base.record eb ~etype ~oid))
+    stream;
+  eb
+
+(* Fixed seeds: every table in EXPERIMENTS.md is reproducible. *)
+let seed_of_experiment = function
+  | "e1" -> 101
+  | "e2" -> 202
+  | "e3" -> 303
+  | "e4" -> 404
+  | "e5" -> 505
+  | "e6" -> 606
+  | _ -> 7

@@ -1,0 +1,196 @@
+(* The chimera CLI: run rule scripts, evaluate event expressions against
+   inline streams, inspect V(E) analyses, or start a small REPL.
+
+     chimera run script.ch          execute a script file
+     chimera eval "A < B" "A B"     ts timeline of an expression
+     chimera analyze "A + -B"       static V(E) analysis
+     chimera repl                   interactive statements *)
+
+open Core
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ------------------------------------------------------------- run *)
+
+let run_script trace path =
+  if trace then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Debug)
+  end;
+  let interp = Interp.create () in
+  match Interp.run_string interp (read_file path) with
+  | Ok () ->
+      print_string (Interp.output interp);
+      let stats = Engine.statistics (Interp.engine interp) in
+      Printf.printf
+        "-- %d line(s), %d event(s), %d consideration(s), %d execution(s)\n"
+        stats.Engine.lines stats.Engine.events stats.Engine.considerations
+        stats.Engine.executions;
+      Printf.printf "-- %s\n"
+        (Fmt.str "%a" Event_stats.pp
+           (Event_stats.of_event_base (Engine.event_base (Interp.engine interp))));
+      `Ok ()
+  | Error msg ->
+      print_string (Interp.output interp);
+      `Error (false, msg)
+
+let run_cmd =
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"SCRIPT" ~doc:"Script file to execute.")
+  in
+  let trace =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Log trigger/consideration decisions.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a Chimera rule script")
+    Term.(ret (const run_script $ trace $ path))
+
+(* ------------------------------------------------------------ eval *)
+
+let parse_stream s =
+  let items =
+    List.filter (fun x -> x <> "") (String.split_on_char ' ' (String.trim s))
+  in
+  List.map
+    (fun item ->
+      match String.split_on_char '@' item with
+      | [ name ] -> (name, 1)
+      | [ name; obj ] -> (name, int_of_string obj)
+      | _ -> invalid_arg ("cannot parse stream item " ^ item))
+    items
+
+let eval_expression expr_src stream_src =
+  match Expr_parse.parse expr_src with
+  | Error msg -> `Error (false, msg)
+  | Ok expr ->
+      let eb = Event_base.create () in
+      let report label =
+        let at = Event_base.probe_now eb in
+        let env = Ts.env eb ~window:(Window.all ~upto:at) in
+        let v = Ts.ts env ~at expr in
+        Printf.printf "%-24s ts=%-6d %s\n" label v
+          (if v > 0 then Printf.sprintf "ACTIVE since t%d" v else "inactive")
+      in
+      report "(start)";
+      List.iter
+        (fun (name, obj) ->
+          let etype =
+            match Event_type.of_string name with
+            | Ok t -> t
+            | Error _ -> Event_type.external_ ~name ~class_name:""
+          in
+          ignore (Event_base.record eb ~etype ~oid:(Ident.Oid.of_int obj));
+          report (Printf.sprintf "%s@o%d" name obj))
+        (parse_stream stream_src);
+      `Ok ()
+
+let eval_cmd =
+  let expr =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPR" ~doc:"Event expression.")
+  in
+  let stream =
+    Arg.(value & pos 1 string "" & info [] ~docv:"STREAM" ~doc:"Whitespace-separated name[@obj] occurrences.")
+  in
+  Cmd.v
+    (Cmd.info "eval" ~doc:"Evaluate an event expression over a stream")
+    Term.(ret (const eval_expression $ expr $ stream))
+
+(* --------------------------------------------------------- analyze *)
+
+let analyze_expression expr_src =
+  match Expr_parse.parse expr_src with
+  | Error msg -> `Error (false, msg)
+  | Ok expr ->
+      Printf.printf "expression:      %s\n" (Expr.to_string expr);
+      Printf.printf "size/depth:      %d/%d\n" (Expr.size expr) (Expr.depth expr);
+      Printf.printf "regular:         %b\n" (Expr.is_regular expr);
+      (let n = Normal_form.nnf expr in
+       if not (Expr.equal n expr) then
+         Printf.printf "negation NF:     %s\n" (Expr.to_string n));
+      Printf.printf "\n%s\n" (Fmt.str "%a" Derive.pp_trace (Derive.derive expr));
+      Printf.printf "V(E) = %s\n" (Simplify.to_string (Simplify.v_of_expr expr));
+      let relevance = Relevance.of_expr expr in
+      Printf.printf "always relevant: %b\n" (Relevance.always_relevant relevance);
+      `Ok ()
+
+let analyze_cmd =
+  let expr =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPR" ~doc:"Event expression.")
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Static V(E) analysis of an event expression")
+    Term.(ret (const analyze_expression $ expr))
+
+(* ----------------------------------------------------------- graph *)
+
+let graph_script path =
+  match Lang_parser.parse (read_file path) with
+  | Error msg -> `Error (false, msg)
+  | Ok script ->
+      let specs =
+        List.filter_map
+          (function Lang_ast.Define_trigger spec -> Some spec | _ -> None)
+          script
+      in
+      if specs = [] then `Error (false, "script defines no triggers")
+      else begin
+        Printf.printf "triggering graph (%d rules):\n" (List.length specs);
+        print_string
+          (Fmt.str "%a" Analysis.pp_graph (Analysis.triggering_graph specs));
+        (match Analysis.potential_cycles specs with
+        | [] -> print_endline "termination: PROVED (acyclic triggering graph)"
+        | cycles ->
+            print_endline "termination: NOT PROVED - potential cycles:";
+            List.iter
+              (fun cycle ->
+                Printf.printf "  {%s}\n" (String.concat ", " cycle))
+              cycles);
+        `Ok ()
+      end
+
+let graph_cmd =
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"SCRIPT" ~doc:"Script file to analyze.")
+  in
+  Cmd.v
+    (Cmd.info "graph" ~doc:"Triggering graph and termination check of a script's rules")
+    Term.(ret (const graph_script $ path))
+
+(* ------------------------------------------------------------ repl *)
+
+let repl () =
+  let interp = Interp.create () in
+  print_endline "Chimera composite-events REPL; ';'-terminated statements, ctrl-d to quit.";
+  let buffer = Buffer.create 128 in
+  (try
+     while true do
+       print_string (if Buffer.length buffer = 0 then "chimera> " else "   ...> ");
+       let line = read_line () in
+       Buffer.add_string buffer line;
+       Buffer.add_char buffer '\n';
+       if String.contains line ';' then begin
+         let src = Buffer.contents buffer in
+         Buffer.clear buffer;
+         (match Interp.run_string interp src with
+         | Ok () -> ()
+         | Error msg -> Printf.printf "error: %s\n" msg);
+         print_string (Interp.output interp);
+         Interp.clear_output interp
+       end
+     done
+   with End_of_file -> print_newline ());
+  `Ok ()
+
+let repl_cmd =
+  Cmd.v (Cmd.info "repl" ~doc:"Interactive session") Term.(ret (const repl $ const ()))
+
+let main_cmd =
+  let doc = "Composite events in Chimera (EDBT 1996) - reproduction CLI" in
+  Cmd.group (Cmd.info "chimera" ~doc) [ run_cmd; eval_cmd; analyze_cmd; graph_cmd; repl_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/calculus_explorer.ml: Core Derive Event_base Event_type Expr Expr_parse Fmt Ident List Occurrence Pretty Printf Relevance Simplify String Sys Time Ts Window

@@ -1,0 +1,1 @@
+examples/calculus_explorer.mli:

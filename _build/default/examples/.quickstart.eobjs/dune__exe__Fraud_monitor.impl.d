@@ -1,0 +1,1 @@
+examples/fraud_monitor.ml: Core Engine Interp List Object_store Printf

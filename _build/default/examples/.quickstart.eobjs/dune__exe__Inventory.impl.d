@@ -1,0 +1,1 @@
+examples/inventory.ml: Action Condition Core Domain Engine Expr Expr_parse Fmt List Object_store Operation Printf Prng Rule Rule_table Scenario Trigger_support Value

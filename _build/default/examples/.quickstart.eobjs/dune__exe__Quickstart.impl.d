@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Engine Interp Printf Trigger_support

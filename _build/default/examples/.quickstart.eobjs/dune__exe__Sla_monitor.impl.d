@@ -1,0 +1,1 @@
+examples/sla_monitor.ml: Action Analysis Condition Core Derived Engine Event_type Expr Expr_parse Fmt List Object_store Operation Printf Query Rule Schema Value

@@ -1,0 +1,109 @@
+(* Inventory management on the paper's stock/show/order domain, driven
+   through the programmatic API: composite events with instance-oriented
+   precedence (reorder on create-then-drop), cascading rules, and the
+   engine statistics after a burst of synthetic traffic.
+
+     dune exec examples/inventory.exe *)
+
+open Core
+
+let ok = function
+  | Ok x -> x
+  | Error e -> failwith (Fmt.str "%a" Engine.pp_error e)
+
+(* A third rule on top of the standard scenario: when a stock order is
+   created and later its delivered quantity is modified (the paper's
+   create(stockOrder) < modify(stockOrder.delquantity) motif), restock the
+   referenced product. *)
+let fulfil_order =
+  {
+    Rule.name = "fulfilOrder";
+    target = None;
+    event =
+      Expr_parse.parse_exn
+        "create(stockOrder) <= modify(stockOrder.delquantity)";
+    condition =
+      [
+        Condition.Occurred
+          {
+            expr =
+              Expr_parse.parse_inst_exn
+                "create(stockOrder) <= modify(stockOrder.delquantity)";
+            var = "O";
+          };
+      ];
+    action = [ Action.A_delete { var = "O" } ];
+    coupling = Rule.Deferred;
+    consumption = Rule.Consuming;
+    priority = 1;
+  }
+
+let () =
+  let engine = Scenario.engine () in
+  let _ = Engine.define_exn engine fulfil_order in
+  Printf.printf "rules installed:\n";
+  Rule_table.iter
+    (fun rule ->
+      Printf.printf "  %-18s on %s\n" (Rule.name rule)
+        (Expr.to_string (Rule.spec rule).Rule.event))
+    (Engine.rules engine);
+
+  (* A hand-written episode first: create a product, drop its quantity
+     below the minimum, watch the reorder rule raise an order. *)
+  ok
+    (Engine.execute_line engine
+       [ Domain.new_stock ~quantity:50 ~maxquantity:100 ~minquantity:10 ]);
+  let product =
+    List.hd (Object_store.extent (Engine.store engine) ~class_name:"stock")
+  in
+  ok
+    (Engine.execute_line engine
+       [
+         Operation.Modify
+           { oid = product; attribute = "quantity"; value = Value.Int 3 };
+       ]);
+  let orders = Object_store.extent (Engine.store engine) ~class_name:"stockOrder" in
+  Printf.printf "\nafter the quantity drop: %d stock order(s)\n" (List.length orders);
+  List.iter
+    (fun oid ->
+      Printf.printf "  %s\n"
+        (Fmt.str "%a" (Object_store.pp_object (Engine.store engine)) oid))
+    orders;
+
+  (* Mark the order delivered: the deferred fulfilOrder rule reacts to the
+     create <= modify sequence at commit and removes it. *)
+  (match orders with
+  | [ order ] ->
+      ok
+        (Engine.execute_line engine
+           [
+             Operation.Modify
+               { oid = order; attribute = "delquantity"; value = Value.Int 97 };
+           ]);
+      ok (Engine.commit engine);
+      let remaining =
+        Object_store.extent (Engine.store engine) ~class_name:"stockOrder"
+      in
+      Printf.printf "after delivery + commit: %d stock order(s) left\n"
+        (List.length remaining)
+  | _ -> failwith "expected exactly one stock order");
+
+  (* Then a synthetic burst, to show the engine coping with churn. *)
+  let prng = Prng.create ~seed:2026 in
+  Scenario.run_inventory_traffic prng engine ~lines:200 ~ops_per_line:5;
+  ok (Engine.commit engine);
+  let stats = Engine.statistics engine in
+  Printf.printf
+    "\nafter 200 synthetic lines (5 ops each):\n\
+    \  %d store operations, %d events recorded\n\
+    \  %d trigger checks, %d ts recomputations (%d skipped via V(E))\n\
+    \  %d rule considerations, %d executions\n"
+    stats.Engine.operations stats.Engine.events
+    stats.Engine.trigger_stats.Trigger_support.checks
+    stats.Engine.trigger_stats.Trigger_support.recomputations
+    stats.Engine.trigger_stats.Trigger_support.skipped
+    stats.Engine.considerations stats.Engine.executions;
+  Printf.printf "  live stock objects: %d, open orders: %d\n"
+    (List.length (Object_store.extent (Engine.store engine) ~class_name:"stock"))
+    (List.length
+       (Object_store.extent (Engine.store engine) ~class_name:"stockOrder"))

@@ -1,0 +1,24 @@
+-- Timer-driven auditing with a negated subcondition; run with:
+--   dune exec bin/chimera.exe -- run examples/scripts/audit.ch
+
+define timer daily every 2;
+
+define class account (owner: string, reviewed: boolean);
+define class review (account_owner: string);
+
+-- At each daily tick, file a review for accounts that have none yet.
+define immediate trigger fileReviews
+  events { daily(timer) }
+  condition account(A),
+            A.reviewed == false,
+            absent( review(R), R.account_owner == A.owner )
+  actions create review(account_owner = A.owner), modify(A.reviewed, true)
+  consuming priority 1
+end;
+
+create account(owner = "ada", reviewed = false);
+create account(owner = "bob", reviewed = false);
+begin end;          -- second line: the timer matures and reviews are filed
+show review;
+show account;
+commit;

@@ -1,0 +1,34 @@
+-- Inventory management, script form; run with:
+--   dune exec bin/chimera.exe -- run examples/scripts/inventory.ch
+
+define class stock (quantity: integer, maxquantity: integer, minquantity: integer);
+define class show (quantity: integer, stock_ref: oid);
+define class stockOrder (delquantity: integer, stock_ref: oid);
+
+define immediate trigger checkStockQty for stock
+  events { create(stock) }
+  condition stock(S), occurred({ create(stock) }, S), S.quantity > S.maxquantity
+  actions modify(S.quantity, S.maxquantity)
+  consuming priority 5
+end;
+
+define immediate trigger reorderOnLowStock
+  events { create(stock) <= modify(stock.quantity) }
+  condition stock(S), occurred({ create(stock) <= modify(stock.quantity) }, S),
+            S.quantity < S.minquantity
+  actions create stockOrder(delquantity = S.maxquantity - S.quantity, stock_ref = S)
+  consuming priority 4
+end;
+
+define deferred trigger fulfilOrder
+  events { create(stockOrder) <= modify(stockOrder.delquantity) }
+  condition occurred({ create(stockOrder) <= modify(stockOrder.delquantity) }, O)
+  actions delete O
+  consuming priority 1
+end;
+
+create stock(quantity = 50, maxquantity = 100, minquantity = 10) as P;
+modify P.quantity = 3;
+show stockOrder;
+commit;
+show stockOrder;

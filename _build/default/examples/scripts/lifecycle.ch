@@ -1,0 +1,18 @@
+-- Class migration events; run with:
+--   dune exec bin/chimera.exe -- run examples/scripts/lifecycle.ch
+
+define class item (name: string);
+define class archived extends item (reason: string);
+define class log (tag: string);
+
+define immediate trigger onArchive
+  events { specialize(archived) }
+  actions create log(tag = "archived")
+end;
+
+create item(name = "widget") as W;
+specialize W to archived;
+modify W.reason = "obsolete";
+show archived;
+show log;
+commit;

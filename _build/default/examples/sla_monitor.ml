@@ -1,0 +1,168 @@
+(* SLA monitoring: periodic clock events (the HiPAC-style extension)
+   composed with the calculus' negation — "the daily audit tick fired and
+   no acknowledgement happened this transaction" — plus an escalation
+   threshold rule.
+
+   Each business day is one transaction (Chimera events are
+   intra-transaction, so the deferred audit rule naturally scopes "quiet"
+   to the day); the audit timer matures once per day.
+
+     dune exec examples/sla_monitor.exe *)
+
+open Core
+
+let ok = function
+  | Ok x -> x
+  | Error e -> failwith (Fmt.str "%a" Engine.pp_error e)
+
+let schema () =
+  let s = Schema.create () in
+  let define name attributes =
+    match Schema.define s ~name ~attributes () with
+    | Ok _ -> ()
+    | Error e -> failwith (Fmt.str "%a" Schema.pp_error e)
+  in
+  define "ticket"
+    [
+      ("subject", Value.T_str);
+      ("acknowledged", Value.T_bool);
+      ("escalations", Value.T_int);
+    ];
+  define "page" [ ("ticket_ref", Value.T_oid) ];
+  s
+
+let lines_per_day = 4
+
+let () =
+  let engine = Engine.create (schema ()) in
+  let audit = Engine.define_timer engine ~name:"audit" ~period_lines:lines_per_day in
+
+  (* Rule 1 (deferred): at end of day, if the audit tick fired and nobody
+     acknowledged anything all day (the quiet-period combinator), escalate
+     every open unacknowledged ticket. *)
+  let escalate =
+    {
+      Rule.name = "escalateQuietTickets";
+      target = None;
+      event =
+        Derived.quiet_period ~tick:(Expr.prim audit)
+          ~quiet:
+            (Expr.prim
+               (Event_type.modify ~attribute:"acknowledged" ~class_name:"ticket" ()));
+      condition =
+        [
+          Condition.Range { var = "T"; class_name = "ticket" };
+          Condition.Compare
+            (Query.Cmp (Query.Eq, Query.Attr ("T", "acknowledged"),
+               Query.Const (Value.Bool false)));
+        ];
+      action =
+        [
+          Action.A_modify
+            {
+              var = "T";
+              attribute = "escalations";
+              value =
+                Query.Add
+                  ( Query.Term (Query.Attr ("T", "escalations")),
+                    Query.Term (Query.Const (Value.Int 1)) );
+            };
+        ];
+      coupling = Rule.Deferred;
+      consumption = Rule.Consuming;
+      priority = 5;
+    }
+  in
+
+  (* Rule 2 (immediate): an escalation crossing the threshold pages the
+     on-call, once (paging flips no state, so the condition bounds it by
+     checking the exact threshold). *)
+  let page_on_escalation =
+    {
+      Rule.name = "pageOnEscalation";
+      target = None;
+      event = Expr_parse.parse_exn "modify(ticket.escalations)";
+      condition =
+        [
+          Condition.Range { var = "T"; class_name = "ticket" };
+          Condition.Occurred
+            {
+              expr = Expr_parse.parse_inst_exn "modify(ticket.escalations)";
+              var = "T";
+            };
+          Condition.Compare
+            (Query.Cmp (Query.Eq, Query.Attr ("T", "escalations"),
+               Query.Const (Value.Int 2)));
+        ];
+      action =
+        [
+          Action.A_create
+            {
+              class_name = "page";
+              attrs = [ ("ticket_ref", Query.Term (Query.Var "T")) ];
+              bind = None;
+            };
+        ];
+      coupling = Rule.Immediate;
+      consumption = Rule.Consuming;
+      priority = 3;
+    }
+  in
+  let _ = Engine.define_exn engine escalate in
+  let _ = Engine.define_exn engine page_on_escalation in
+
+  (* Static safety check before running: the set cannot cascade forever
+     (escalations come only from the deferred rule; paging creates no
+     ticket events). *)
+  Printf.printf "termination analysis: %s\n\n"
+    (if Analysis.terminates [ escalate; page_on_escalation ] then "PROVED"
+     else "cycles possible (runtime budget applies)");
+
+  let new_ticket subject =
+    Operation.Create
+      {
+        class_name = "ticket";
+        attrs =
+          [
+            ("subject", Value.Str subject);
+            ("acknowledged", Value.Bool false);
+            ("escalations", Value.Int 0);
+          ];
+      }
+  in
+  let run_day ~label lines =
+    let lines = lines @ List.init (lines_per_day - List.length lines) (fun _ -> []) in
+    List.iter (fun ops -> ok (Engine.execute_line engine ops)) lines;
+    ok (Engine.commit engine);
+    Printf.printf "%s:\n" label;
+    let store = Engine.store engine in
+    List.iter
+      (fun oid ->
+        Printf.printf "  %s\n" (Fmt.str "%a" (Object_store.pp_object store) oid))
+      (Object_store.extent store ~class_name:"ticket")
+  in
+
+  (* Day 1: two tickets arrive and the first is acknowledged the same day,
+     so the audit finds activity and escalates nothing. *)
+  ok
+    (Engine.execute_line engine
+       [ new_ticket "disk full"; new_ticket "slow query" ]);
+  let store = Engine.store engine in
+  let t1 = List.hd (Object_store.extent store ~class_name:"ticket") in
+  run_day ~label:"day 1 (ack happened: quiet rule silent)"
+    [
+      [
+        Operation.Modify
+          { oid = t1; attribute = "acknowledged"; value = Value.Bool true };
+      ];
+    ];
+  (* Days 2 and 3: total silence; each day's audit escalates the open
+     ticket, and the second escalation pages the on-call. *)
+  run_day ~label:"day 2 (quiet: first escalation)" [ [] ];
+  run_day ~label:"day 3 (quiet: second escalation, page)" [ [] ];
+
+  let pages = Object_store.extent store ~class_name:"page" in
+  Printf.printf "\npages sent: %d\n" (List.length pages);
+  let stats = Engine.statistics engine in
+  Printf.printf "considerations: %d, executions: %d, events: %d\n"
+    stats.Engine.considerations stats.Engine.executions stats.Engine.events

@@ -1,0 +1,1 @@
+lib/baseline/automaton.ml: Array Chimera_calculus Chimera_event Event_type Expr Hashtbl List

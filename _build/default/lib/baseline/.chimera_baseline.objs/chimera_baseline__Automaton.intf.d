@@ -1,0 +1,1 @@
+lib/baseline/automaton.mli: Chimera_calculus Chimera_event Event_type Expr

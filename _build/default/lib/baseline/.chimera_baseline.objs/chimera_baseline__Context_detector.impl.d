@@ -1,0 +1,1 @@
+lib/baseline/context_detector.ml: Chimera_event Chimera_util Event_type Fmt List Time

@@ -1,0 +1,1 @@
+lib/baseline/context_detector.mli: Chimera_event Chimera_util Event_type Format Time

@@ -1,0 +1,1 @@
+lib/baseline/inst_tree_detector.ml: Chimera_calculus Chimera_util Expr Hashtbl Ident List Tree_detector

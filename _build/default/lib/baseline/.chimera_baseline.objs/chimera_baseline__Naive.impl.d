@@ -1,0 +1,1 @@
+lib/baseline/naive.ml: Array Chimera_calculus Chimera_event Event_base Expr List Ts Window

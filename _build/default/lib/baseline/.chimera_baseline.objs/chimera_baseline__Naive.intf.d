@@ -1,0 +1,1 @@
+lib/baseline/naive.mli: Chimera_calculus Chimera_event Chimera_util Event_base Event_type Expr Ident

@@ -1,0 +1,1 @@
+lib/baseline/tree_detector.ml: Chimera_calculus Chimera_event Chimera_util Event_type Expr List Time

@@ -1,0 +1,1 @@
+lib/baseline/tree_detector.mli: Chimera_calculus Chimera_event Chimera_util Event_type Expr Time

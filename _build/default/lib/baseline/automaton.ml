@@ -1,0 +1,142 @@
+(* Ode-style automaton detector (related work, Section 2).
+
+   Ode observes that negation-free composite events have regular-language
+   expressive power and detects them with finite automata.  We compile an
+   expression to a deterministic automaton whose states are bitmasks of
+   per-node activation flags; transitions are computed on demand and
+   memoized (lazy DFA construction), so steady-state detection is one
+   hash lookup per event.
+
+   Supported fragment: negation- and instance-free set expressions, up to
+   62 nodes.  Activation (the ts sign) matches the calculus exactly; the
+   automaton intentionally does not track activation timestamps — that is
+   the representational gap between automaton detection and Chimera's
+   timestamp calculus that the paper's Section 4 motivates. *)
+
+open Chimera_event
+open Chimera_calculus
+
+exception Unsupported of string
+
+type shape =
+  | A_prim of Event_type.t
+  | A_and of int * int
+  | A_or of int * int
+  | A_seq of int * int
+
+type t = {
+  (* Postorder: children precede parents; the root is last. *)
+  nodes : shape array;
+  (* Transition memo: (state, event-type id) -> state. *)
+  memo : (int * int, int) Hashtbl.t;
+  type_ids : int Event_type.Tbl.t;
+  mutable next_type_id : int;
+  mutable state : int;
+}
+
+let build expr =
+  let nodes = ref [] in
+  let count = ref 0 in
+  let push shape =
+    let id = !count in
+    incr count;
+    nodes := shape :: !nodes;
+    id
+  in
+  let rec go = function
+    | Expr.Prim p -> push (A_prim p)
+    | Expr.And (a, b) ->
+        let ia = go a in
+        let ib = go b in
+        push (A_and (ia, ib))
+    | Expr.Or (a, b) ->
+        let ia = go a in
+        let ib = go b in
+        push (A_or (ia, ib))
+    | Expr.Seq (a, b) ->
+        let ia = go a in
+        let ib = go b in
+        push (A_seq (ia, ib))
+    | Expr.Not _ -> raise (Unsupported "automaton: negation")
+    | Expr.Inst _ -> raise (Unsupported "automaton: instance operators")
+  in
+  let root = go expr in
+  let arr = Array.of_list (List.rev !nodes) in
+  assert (root = Array.length arr - 1);
+  arr
+
+let create expr =
+  let nodes = build expr in
+  if Array.length nodes > 62 then
+    raise (Unsupported "automaton: expression too large (> 62 nodes)");
+  {
+    nodes;
+    memo = Hashtbl.create 256;
+    type_ids = Event_type.Tbl.create 16;
+    next_type_id = 0;
+    state = 0;
+  }
+
+let type_id t etype =
+  match Event_type.Tbl.find_opt t.type_ids etype with
+  | Some id -> id
+  | None ->
+      let id = t.next_type_id in
+      t.next_type_id <- id + 1;
+      Event_type.Tbl.add t.type_ids etype id;
+      id
+
+let bit state i = (state lsr i) land 1 = 1
+
+(* One symbolic step: given the active bits before the event and the event
+   type, compute active bits after.  [refreshed] marks the nodes whose
+   activation instant is the arriving event's instant; a precedence node
+   activates when its second operand refreshes while its first operand is
+   active at that same instant (inclusive, as in ts(A, ts(B,t))). *)
+let step nodes state etype =
+  let n = Array.length nodes in
+  let active = Array.make n false in
+  let refreshed = Array.make n false in
+  for i = 0 to n - 1 do
+    let old = bit state i in
+    (match nodes.(i) with
+    | A_prim subscription ->
+        if Event_type.generalizes ~subscription ~occurrence:etype then begin
+          active.(i) <- true;
+          refreshed.(i) <- true
+        end
+        else active.(i) <- old
+    | A_and (a, b) ->
+        active.(i) <- active.(a) && active.(b);
+        refreshed.(i) <- active.(i) && (refreshed.(a) || refreshed.(b))
+    | A_or (a, b) ->
+        active.(i) <- active.(a) || active.(b);
+        refreshed.(i) <-
+          (active.(a) && refreshed.(a)) || (active.(b) && refreshed.(b))
+    | A_seq (a, b) ->
+        let newly = refreshed.(b) && active.(a) in
+        active.(i) <- old || newly;
+        refreshed.(i) <- newly);
+    ()
+  done;
+  let out = ref 0 in
+  for i = 0 to n - 1 do
+    if active.(i) then out := !out lor (1 lsl i)
+  done;
+  !out
+
+let on_event t ~etype =
+  let key = (t.state, type_id t etype) in
+  let next =
+    match Hashtbl.find_opt t.memo key with
+    | Some s -> s
+    | None ->
+        let s = step t.nodes t.state etype in
+        Hashtbl.add t.memo key s;
+        s
+  in
+  t.state <- next
+
+let active t = bit t.state (Array.length t.nodes - 1)
+let reset t = t.state <- 0
+let states_materialized t = Hashtbl.length t.memo

@@ -1,0 +1,27 @@
+(** Ode-style automaton detector (related work, Section 2): a lazily
+    compiled DFA whose states are bitmasks of per-node activation flags.
+    Steady-state detection is one memo-table lookup per event.
+
+    Supports the negation- and instance-free fragment (up to 62 nodes);
+    activation matches the calculus exactly, but no activation timestamps
+    are tracked — the representational gap Section 4 motivates. *)
+
+open Chimera_event
+open Chimera_calculus
+
+exception Unsupported of string
+
+type t
+
+val create : Expr.set -> t
+(** Raises {!Unsupported} on negation, instance operators, or more than 62
+    nodes. *)
+
+val on_event : t -> etype:Event_type.t -> unit
+val active : t -> bool
+
+val reset : t -> unit
+(** Back to the initial state (consumes the history). *)
+
+val states_materialized : t -> int
+(** Number of memoized transitions (lazy-DFA footprint). *)

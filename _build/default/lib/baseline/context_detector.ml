@@ -1,0 +1,80 @@
+(* Snoop's parameter contexts (related work, Section 2).
+
+   When a binary sequence A;B fires, WHICH occurrence of A pairs with the
+   terminating B is a policy choice Snoop exposes as contexts; Chimera's
+   calculus is "recent-like" (ts keeps the most recent activation) with
+   consumption handled by rule windows.  This detector implements all four
+   Snoop contexts for two-step sequences so the comparison benches and
+   tests can exercise the design space:
+
+   - Recent:     pair B with the most recent A; A stays available.
+   - Chronicle:  pair B with the oldest unconsumed A; that A is consumed.
+   - Continuous: pair B with every open A; all are consumed.
+   - Cumulative: like Continuous (for a two-step sequence the two
+                 coincide; they differ on longer compositions). *)
+
+open Chimera_util
+open Chimera_event
+
+type context = Recent | Chronicle | Continuous | Cumulative
+
+let context_name = function
+  | Recent -> "recent"
+  | Chronicle -> "chronicle"
+  | Continuous -> "continuous"
+  | Cumulative -> "cumulative"
+
+(* An emitted detection: the initiating A occurrence and the terminating
+   B occurrence (timestamps). *)
+type pairing = { initiator : Time.t; terminator : Time.t }
+
+let pp_pairing ppf p =
+  Fmt.pf ppf "(%a, %a)" Time.pp p.initiator Time.pp p.terminator
+
+type t = {
+  context : context;
+  a : Event_type.t;
+  b : Event_type.t;
+  (* Open initiator timestamps, oldest first. *)
+  mutable open_initiators : Time.t list;
+  mutable detections : pairing list;  (** newest first *)
+}
+
+let create context ~a ~b =
+  { context; a; b; open_initiators = []; detections = [] }
+
+let detections t = List.rev t.detections
+let detection_count t = List.length t.detections
+
+let on_event t ~etype ~timestamp =
+  if Event_type.generalizes ~subscription:t.a ~occurrence:etype then
+    t.open_initiators <- t.open_initiators @ [ timestamp ];
+  if Event_type.generalizes ~subscription:t.b ~occurrence:etype then begin
+    match t.context with
+    | Recent -> (
+        (* Most recent initiator; it remains available for later Bs. *)
+        match List.rev t.open_initiators with
+        | [] -> ()
+        | most_recent :: _ ->
+            t.detections <-
+              { initiator = most_recent; terminator = timestamp }
+              :: t.detections)
+    | Chronicle -> (
+        match t.open_initiators with
+        | [] -> ()
+        | oldest :: rest ->
+            t.open_initiators <- rest;
+            t.detections <-
+              { initiator = oldest; terminator = timestamp } :: t.detections)
+    | Continuous | Cumulative ->
+        List.iter
+          (fun initiator ->
+            t.detections <-
+              { initiator; terminator = timestamp } :: t.detections)
+          t.open_initiators;
+        t.open_initiators <- []
+  end
+
+let reset t =
+  t.open_initiators <- [];
+  t.detections <- []

@@ -1,0 +1,30 @@
+(** Snoop's parameter contexts for two-step sequences A;B (related work,
+    Section 2): which A occurrence pairs with a terminating B, and which
+    initiators are consumed.  Chimera's calculus behaves "recent-like";
+    this detector implements all four policies for comparison. *)
+
+open Chimera_util
+open Chimera_event
+
+type context =
+  | Recent  (** pair with the most recent A; A stays available *)
+  | Chronicle  (** pair with the oldest unconsumed A; it is consumed *)
+  | Continuous  (** pair with every open A; all consumed *)
+  | Cumulative  (** coincides with [Continuous] on two-step sequences *)
+
+val context_name : context -> string
+
+type pairing = { initiator : Time.t; terminator : Time.t }
+
+val pp_pairing : Format.formatter -> pairing -> unit
+
+type t
+
+val create : context -> a:Event_type.t -> b:Event_type.t -> t
+val on_event : t -> etype:Event_type.t -> timestamp:Time.t -> unit
+
+val detections : t -> pairing list
+(** In detection order. *)
+
+val detection_count : t -> int
+val reset : t -> unit

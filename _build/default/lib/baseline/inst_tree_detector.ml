@@ -1,0 +1,79 @@
+(* Instance-oriented incremental detection: one Snoop-style tree per
+   affected object.
+
+   For negation-free instance expressions, ots(E, t, o) coincides with
+   ts of the corresponding set expression evaluated over o's events only,
+   so the detector lazily instantiates a per-object {!Tree_detector} and
+   routes each occurrence to its object's tree.  The set-level (lifted)
+   activation is the exists-over-objects of the per-object states, with
+   the activation stamp being the most recent per-object stamp — matching
+   the calculus' max-lift (property-tested). *)
+
+open Chimera_util
+open Chimera_calculus
+
+exception Unsupported of string
+
+type t = {
+  set_equivalent : Expr.set;
+  trees : (int, Tree_detector.t) Hashtbl.t;
+  mutable order : int list;  (** objects in first-seen order *)
+}
+
+let rec set_of_inst = function
+  | Expr.I_prim p -> Expr.prim p
+  | Expr.I_not _ -> raise (Unsupported "instance tree detector: negation")
+  | Expr.I_and (a, b) -> Expr.conj (set_of_inst a) (set_of_inst b)
+  | Expr.I_or (a, b) -> Expr.disj (set_of_inst a) (set_of_inst b)
+  | Expr.I_seq (a, b) -> Expr.seq (set_of_inst a) (set_of_inst b)
+
+let create ie =
+  if Expr.inst_has_negation ie then
+    raise (Unsupported "instance tree detector: negation");
+  let set_equivalent = set_of_inst ie in
+  (* Validate eagerly so construction fails like the set detector does. *)
+  ignore (Tree_detector.create set_equivalent);
+  { set_equivalent; trees = Hashtbl.create 64; order = [] }
+
+let tree_for t oid =
+  let key = Ident.Oid.to_int oid in
+  match Hashtbl.find_opt t.trees key with
+  | Some tree -> tree
+  | None ->
+      let tree = Tree_detector.create t.set_equivalent in
+      Hashtbl.add t.trees key tree;
+      t.order <- key :: t.order;
+      tree
+
+let on_event t ~etype ~oid ~timestamp =
+  Tree_detector.on_event (tree_for t oid) ~etype ~timestamp
+
+let value_on t oid =
+  match Hashtbl.find_opt t.trees (Ident.Oid.to_int oid) with
+  | Some tree -> Tree_detector.value tree
+  | None -> 0
+
+let active_on t oid = value_on t oid > 0
+
+(* Exists-lift: the most recent per-object activation. *)
+let value t =
+  Hashtbl.fold
+    (fun _ tree acc -> max acc (Tree_detector.value tree))
+    t.trees 0
+
+let active t = value t > 0
+
+let active_objects t =
+  List.rev
+    (List.filter_map
+       (fun key ->
+         let tree = Hashtbl.find t.trees key in
+         if Tree_detector.active tree then Some (Ident.Oid.of_int key)
+         else None)
+       t.order)
+
+let reset t =
+  Hashtbl.reset t.trees;
+  t.order <- []
+
+let object_count t = Hashtbl.length t.trees

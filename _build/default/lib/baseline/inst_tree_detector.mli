@@ -1,0 +1,36 @@
+(** Instance-oriented incremental detection: one Snoop-style tree per
+    affected object, lazily instantiated; the lifted activation is the
+    exists-over-objects with the most recent per-object stamp (matches
+    the calculus' max-lift, property-tested).
+
+    Supported fragment: negation-free instance expressions. *)
+
+open Chimera_util
+open Chimera_event
+open Chimera_calculus
+
+exception Unsupported of string
+
+type t
+
+val create : Expr.inst -> t
+(** Raises {!Unsupported} on instance negation. *)
+
+val on_event : t -> etype:Event_type.t -> oid:Ident.Oid.t -> timestamp:Time.t -> unit
+
+val value_on : t -> Ident.Oid.t -> int
+(** Per-object activation stamp; [0] when inactive. *)
+
+val active_on : t -> Ident.Oid.t -> bool
+
+val value : t -> int
+(** Lifted (set-level) activation stamp; [0] when inactive. *)
+
+val active : t -> bool
+
+val active_objects : t -> Ident.Oid.t list
+(** Objects currently activating the expression, in first-seen order (the
+    incremental counterpart of the [occurred] formula). *)
+
+val reset : t -> unit
+val object_count : t -> int

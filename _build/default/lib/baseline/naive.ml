@@ -1,0 +1,35 @@
+(* The naive baseline: re-evaluate ts for every monitored expression after
+   every event, with no V(E) filtering and no incremental state.  This is
+   the strawman the static optimization of Section 5.1 is measured
+   against. *)
+
+open Chimera_event
+open Chimera_calculus
+
+type t = {
+  eb : Event_base.t;
+  exprs : Expr.set array;
+  mutable active : bool array;
+}
+
+let create exprs =
+  {
+    eb = Event_base.create ();
+    exprs = Array.of_list exprs;
+    active = Array.make (List.length exprs) false;
+  }
+
+let event_base t = t.eb
+
+(* Records the event and recomputes every expression at the new instant. *)
+let on_event t ~etype ~oid =
+  ignore (Event_base.record t.eb ~etype ~oid);
+  let at = Event_base.probe_now t.eb in
+  let window = Window.all ~upto:at in
+  let env = Ts.env t.eb ~window in
+  Array.iteri
+    (fun i expr -> t.active.(i) <- Ts.active env ~at expr)
+    t.exprs
+
+let active t i = t.active.(i)
+let count_active t = Array.fold_left (fun n a -> if a then n + 1 else n) 0 t.active

@@ -1,0 +1,16 @@
+(** The naive baseline: re-evaluate ts for every monitored expression
+    after every event, with no filtering and no incremental state — the
+    strawman Section 5.1's optimization is measured against.  Supports the
+    full operator set. *)
+
+open Chimera_util
+open Chimera_event
+open Chimera_calculus
+
+type t
+
+val create : Expr.set list -> t
+val event_base : t -> Event_base.t
+val on_event : t -> etype:Event_type.t -> oid:Ident.Oid.t -> unit
+val active : t -> int -> bool
+val count_active : t -> int

@@ -1,0 +1,143 @@
+(* Snoop-style incremental operator-tree detector (related work, Section 2
+   of the paper).
+
+   Each node of the expression tree carries its current activation
+   timestamp; an arriving event updates the matching primitive leaves and
+   propagates along their root paths.  This is the classic incremental
+   alternative to Chimera's recompute-from-indexes ts evaluation, used as a
+   baseline in the comparison benches.
+
+   Supported fragment: negation-free, set-oriented expressions (negation
+   makes node state time-dependent — its value is the current instant —
+   which a stored-state tree cannot cache; Snoop itself restricts negation
+   to bounded intervals for the same reason).  On this fragment the
+   detector computes exactly the calculus' ts value, which the test suite
+   checks by property. *)
+
+open Chimera_util
+open Chimera_event
+open Chimera_calculus
+
+type node = {
+  mutable value : int;  (** current ts; 0 = inactive (no occurrence yet) *)
+  shape : shape;
+  parent : node option ref;
+}
+
+and shape =
+  | N_prim of Event_type.t
+  | N_and of node * node
+  | N_or of node * node
+  | N_seq of node * node
+
+exception Unsupported of string
+
+type t = {
+  root : node;
+  (* Leaves grouped for the per-event update; matching uses
+     [Event_type.generalizes]. *)
+  leaves : (Event_type.t * node) list;
+}
+
+let rec build parent = function
+  | Expr.Prim p ->
+      let node = { value = 0; shape = N_prim p; parent } in
+      (node, [ (p, node) ])
+  | Expr.And (a, b) ->
+      let self = ref None in
+      let na, la = build self a and nb, lb = build self b in
+      let node = { value = 0; shape = N_and (na, nb); parent } in
+      self := Some node;
+      (node, la @ lb)
+  | Expr.Or (a, b) ->
+      let self = ref None in
+      let na, la = build self a and nb, lb = build self b in
+      let node = { value = 0; shape = N_or (na, nb); parent } in
+      self := Some node;
+      (node, la @ lb)
+  | Expr.Seq (a, b) ->
+      let self = ref None in
+      let na, la = build self a and nb, lb = build self b in
+      let node = { value = 0; shape = N_seq (na, nb); parent } in
+      self := Some node;
+      (node, la @ lb)
+  | Expr.Not _ -> raise (Unsupported "tree detector: negation")
+  | Expr.Inst _ -> raise (Unsupported "tree detector: instance operators")
+
+let create expr =
+  if not (Expr.is_regular expr) then
+    raise (Unsupported "tree detector: negation or instance operators");
+  let root_parent = ref None in
+  let root, leaves = build root_parent expr in
+  { root; leaves }
+
+(* Recomputes a node from its children after a child refresh.  [stamp] is
+   the arriving event's instant: any node whose activation is refreshed by
+   this event is stamped with it (it is the latest instant, hence the max). *)
+let refresh node ~stamp =
+  match node.shape with
+  | N_prim _ -> true (* leaves are stamped directly *)
+  | N_and (a, b) ->
+      if a.value > 0 && b.value > 0 then begin
+        node.value <- stamp;
+        true
+      end
+      else false
+  | N_or (a, b) ->
+      if a.value > 0 || b.value > 0 then begin
+        node.value <- stamp;
+        true
+      end
+      else false
+  | N_seq (a, b) ->
+      (* The second operand refreshed at [stamp]; the precedence activates
+         iff the first operand is active at that instant (which includes a
+         same-event activation, matching ts(A, ts(B,t)) with inclusive
+         bound). *)
+      if a.value > 0 && b.value > 0 then begin
+        node.value <- stamp;
+        true
+      end
+      else false
+
+(* Propagates a leaf refresh towards the root; stops as soon as a node is
+   not refreshed (its value cannot have changed: children values only grow
+   and activation stamps are monotone). *)
+let rec propagate node ~stamp =
+  match !(node.parent) with
+  | None -> ()
+  | Some parent ->
+      (* A refresh of [node] can only refresh [parent] through the operand
+         position [node] occupies; for N_seq only the second operand
+         position refreshes the activation. *)
+      let relevant =
+        match parent.shape with
+        | N_prim _ -> false
+        | N_and _ | N_or _ -> true
+        | N_seq (_, b) -> b == node
+      in
+      if relevant && refresh parent ~stamp then propagate parent ~stamp
+
+let on_event t ~etype ~timestamp =
+  let stamp = Time.to_int timestamp in
+  List.iter
+    (fun (subscription, leaf) ->
+      if Event_type.generalizes ~subscription ~occurrence:etype then begin
+        leaf.value <- stamp;
+        propagate leaf ~stamp
+      end)
+    t.leaves
+
+let value t = t.root.value
+let active t = t.root.value > 0
+
+let reset t =
+  let rec clear node =
+    node.value <- 0;
+    match node.shape with
+    | N_prim _ -> ()
+    | N_and (a, b) | N_or (a, b) | N_seq (a, b) ->
+        clear a;
+        clear b
+  in
+  clear t.root

@@ -1,0 +1,29 @@
+(** Snoop-style incremental operator-tree detector (related work,
+    Section 2 of the paper).
+
+    Supports the negation- and instance-free fragment, on which it
+    computes exactly the calculus' activation and activation timestamp
+    (property-tested in the suite). *)
+
+open Chimera_util
+open Chimera_event
+open Chimera_calculus
+
+exception Unsupported of string
+
+type t
+
+val create : Expr.set -> t
+(** Raises {!Unsupported} on negation or instance operators. *)
+
+val on_event : t -> etype:Event_type.t -> timestamp:Time.t -> unit
+(** Updates matching leaves and propagates along their root paths;
+    timestamps must be fed in increasing order. *)
+
+val value : t -> int
+(** Current root activation timestamp; [0] when inactive. *)
+
+val active : t -> bool
+
+val reset : t -> unit
+(** Clears all state (consumes the history). *)

@@ -1,0 +1,1 @@
+lib/calculus/derived.ml: Expr List

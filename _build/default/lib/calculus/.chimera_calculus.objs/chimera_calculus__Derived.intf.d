@@ -1,0 +1,1 @@
+lib/calculus/derived.mli: Chimera_event Event_type Expr

@@ -1,0 +1,1 @@
+lib/calculus/expr.ml: Chimera_event Event_type Fmt Stdlib

@@ -1,0 +1,1 @@
+lib/calculus/expr.mli: Chimera_event Event_type Format

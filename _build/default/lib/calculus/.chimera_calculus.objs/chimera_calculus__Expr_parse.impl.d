@@ -1,0 +1,1 @@
+lib/calculus/expr_parse.ml: Chimera_event Event_type Expr List Printf String

@@ -1,0 +1,1 @@
+lib/calculus/expr_parse.mli: Expr

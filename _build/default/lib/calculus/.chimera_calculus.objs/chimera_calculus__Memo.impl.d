@@ -1,0 +1,1 @@
+lib/calculus/memo.ml: Chimera_event Chimera_util Event_base Event_type Expr Hashtbl Ident List Time Vec Window

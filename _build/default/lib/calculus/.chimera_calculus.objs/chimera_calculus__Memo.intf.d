@@ -1,0 +1,1 @@
+lib/calculus/memo.mli: Chimera_event Chimera_util Event_base Expr Ident Time

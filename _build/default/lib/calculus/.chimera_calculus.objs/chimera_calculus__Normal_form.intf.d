@@ -1,0 +1,1 @@
+lib/calculus/normal_form.mli: Expr

@@ -1,0 +1,1 @@
+lib/calculus/ts.ml: Chimera_event Chimera_util Event_base Event_type Expr List Time Window

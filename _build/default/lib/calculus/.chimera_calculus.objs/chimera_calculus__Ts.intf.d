@@ -1,0 +1,1 @@
+lib/calculus/ts.mli: Chimera_event Chimera_util Event_base Expr Ident Time Window

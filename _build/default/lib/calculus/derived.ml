@@ -1,0 +1,73 @@
+(* Derived operators: related-work composite-event idioms expressed in the
+   paper's minimal operator set.
+
+   The paper's thesis is that four orthogonal operators (negation,
+   conjunction, disjunction, precedence) at two granularities suffice; the
+   conclusions claim the calculus subsumes the event languages of systems
+   supporting "individual or disjunctive events".  This module makes the
+   claim concrete: each combinator is a plain expression of the core
+   calculus, and the test suite checks the intended activation semantics.
+
+   Where a related-work operator is *not* expressible (counting operators
+   like Samos' Times(n, E), or interval-bounded negation with explicit
+   time spans), the combinator is absent and the boundary is documented
+   here; the Snoop-style parameter contexts live in the baseline library
+   as detectors instead. *)
+
+let any_of = Expr.disj_list
+let all_of = Expr.conj_list
+
+(* Ordered conjunction (Samos "sequence"): all events, in order. *)
+let sequence = function
+  | [] -> invalid_arg "Derived.sequence: empty"
+  | e :: rest -> List.fold_left Expr.seq e rest
+
+(* Ode's "relative": occurrences of [b] after [a] became active — exactly
+   the core precedence. *)
+let relative a b = Expr.seq a b
+
+(* [b] arrived with no [a] at all in the window (Reflex "not ... within
+   the monitored interval"). *)
+let without b ~absent = Expr.conj b (Expr.not_ absent)
+
+(* "[a] happened and the a-then-by pattern never completed": the negated
+   precedence.  Active iff [a] is active and the last occurrence of [by],
+   if any, had no earlier [a] (the precedence anchors on [by]'s latest
+   activation, so a fresh [a] after a completed pattern does not undo
+   it). *)
+let not_followed_by a ~by = Expr.conj a (Expr.not_ (Expr.seq a by))
+
+(* Milestone chain: [a] then [b] then [c] (left-associated precedence). *)
+let then_ a b = Expr.seq a b
+
+(* The Section 3.3 footnote: net-effect creation — created on the same
+   object with no deletion (instance conjunction with instance negation),
+   at the set level. *)
+let net_created ~create ~delete =
+  Expr.inst (Expr.i_conj (Expr.I_prim create) (Expr.I_not (Expr.I_prim delete)))
+
+(* Same-object lifecycle: created and later updated (the reorder motif). *)
+let created_then ~create ~update =
+  Expr.inst (Expr.i_seq (Expr.I_prim create) (Expr.I_prim update))
+
+(* Exclusive disjunction (Reflex "xor"): one of the two arose, not both. *)
+let one_of_not_both a b =
+  Expr.disj
+    (Expr.conj a (Expr.not_ b))
+    (Expr.conj b (Expr.not_ a))
+
+(* HiPAC-style guarded tick: the clock event fired while [condition_event]
+   never did (see Engine.define_timer for the clock source). *)
+let quiet_period ~tick ~quiet = Expr.conj tick (Expr.not_ quiet)
+
+(* Expressiveness boundaries, kept as documentation and enforced by the
+   test suite where meaningful:
+
+   - Times(n, E) (Samos): ts only retains the most recent activation
+     timestamp per node, so occurrence *counting* is not derivable; use an
+     external counter (or n distinct event types).
+   - A[E1, E2] interval operators (Snoop aperiodic/periodic): the calculus
+     has no time-span literals; bounded windows come from the rule's
+     consumption mode instead.
+   - Strict immediate succession ("B directly after A with nothing in
+     between"): the calculus deliberately abstracts from adjacency. *)

@@ -1,0 +1,40 @@
+(** Related-work composite-event idioms derived inside the paper's minimal
+    operator set (the conclusions' subsumption claim, made concrete).
+    Combinators return plain core-calculus expressions; expressiveness
+    boundaries (counting, interval bounds, strict adjacency) are
+    documented in the implementation. *)
+
+open Chimera_event
+
+val any_of : Expr.set list -> Expr.set
+(** Disjunction chain; raises [Invalid_argument] on []. *)
+
+val all_of : Expr.set list -> Expr.set
+(** Conjunction chain; raises [Invalid_argument] on []. *)
+
+val sequence : Expr.set list -> Expr.set
+(** Ordered conjunction (Samos "sequence"); raises on []. *)
+
+val relative : Expr.set -> Expr.set -> Expr.set
+(** Ode's relative operator: the core precedence. *)
+
+val without : Expr.set -> absent:Expr.set -> Expr.set
+(** [b] with no occurrence of [absent] in the window. *)
+
+val not_followed_by : Expr.set -> by:Expr.set -> Expr.set
+(** [a] holds and the a-then-[by] pattern never completed (the negated
+    precedence; anchored on [by]'s latest activation). *)
+
+val then_ : Expr.set -> Expr.set -> Expr.set
+
+val net_created : create:Event_type.t -> delete:Event_type.t -> Expr.set
+(** The Section 3.3 footnote: same-object creation without deletion. *)
+
+val created_then : create:Event_type.t -> update:Event_type.t -> Expr.set
+(** Same-object creation later followed by [update]. *)
+
+val one_of_not_both : Expr.set -> Expr.set -> Expr.set
+(** Exclusive disjunction (Reflex "xor"). *)
+
+val quiet_period : tick:Expr.set -> quiet:Expr.set -> Expr.set
+(** A clock tick while [quiet] never occurred. *)

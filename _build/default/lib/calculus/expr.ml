@@ -1,0 +1,227 @@
+(* Event expressions (Section 3).
+
+   Instance-oriented operators cannot be applied to set-oriented
+   subexpressions (Section 3.2), while an instance-oriented expression can
+   appear as an operand of a set-oriented operator.  Two mutually stratified
+   ADTs make the restriction unrepresentable. *)
+
+open Chimera_event
+
+type inst =
+  | I_prim of Event_type.t
+  | I_not of inst
+  | I_and of inst * inst
+  | I_or of inst * inst
+  | I_seq of inst * inst
+
+type set =
+  | Prim of Event_type.t
+  | Not of set
+  | And of set * set
+  | Or of set * set
+  | Seq of set * set
+  | Inst of inst
+
+(* Smart constructors; [inst] injects an instance expression at the set
+   level, collapsing the redundant [Inst (I_prim p)] to [Prim p] (the paper
+   notes primitives behave identically at both granularities). *)
+
+let prim p = Prim p
+let not_ e = Not e
+let conj a b = And (a, b)
+let disj a b = Or (a, b)
+let seq a b = Seq (a, b)
+let inst = function I_prim p -> Prim p | ie -> Inst ie
+let i_prim p = I_prim p
+let i_not e = I_not e
+let i_conj a b = I_and (a, b)
+let i_disj a b = I_or (a, b)
+let i_seq a b = I_seq (a, b)
+
+let rec conj_list = function
+  | [] -> invalid_arg "Expr.conj_list: empty"
+  | [ e ] -> e
+  | e :: rest -> And (e, conj_list rest)
+
+let rec disj_list = function
+  | [] -> invalid_arg "Expr.disj_list: empty"
+  | [ e ] -> e
+  | e :: rest -> Or (e, disj_list rest)
+
+let compare_inst = (Stdlib.compare : inst -> inst -> int)
+let equal_inst a b = compare_inst a b = 0
+let compare = (Stdlib.compare : set -> set -> int)
+let equal a b = compare a b = 0
+
+(* Structural measures. *)
+
+let rec inst_size = function
+  | I_prim _ -> 1
+  | I_not e -> 1 + inst_size e
+  | I_and (a, b) | I_or (a, b) | I_seq (a, b) -> 1 + inst_size a + inst_size b
+
+let rec size = function
+  | Prim _ -> 1
+  | Not e -> 1 + size e
+  | And (a, b) | Or (a, b) | Seq (a, b) -> 1 + size a + size b
+  | Inst ie -> 1 + inst_size ie
+
+let rec inst_depth = function
+  | I_prim _ -> 0
+  | I_not e -> 1 + inst_depth e
+  | I_and (a, b) | I_or (a, b) | I_seq (a, b) ->
+      1 + max (inst_depth a) (inst_depth b)
+
+let rec depth = function
+  | Prim _ -> 0
+  | Not e -> 1 + depth e
+  | And (a, b) | Or (a, b) | Seq (a, b) -> 1 + max (depth a) (depth b)
+  | Inst ie -> 1 + inst_depth ie
+
+let rec inst_primitives acc = function
+  | I_prim p -> Event_type.Set.add p acc
+  | I_not e -> inst_primitives acc e
+  | I_and (a, b) | I_or (a, b) | I_seq (a, b) ->
+      inst_primitives (inst_primitives acc a) b
+
+let rec set_primitives acc = function
+  | Prim p -> Event_type.Set.add p acc
+  | Not e -> set_primitives acc e
+  | And (a, b) | Or (a, b) | Seq (a, b) ->
+      set_primitives (set_primitives acc a) b
+  | Inst ie -> inst_primitives acc ie
+
+let primitives e = set_primitives Event_type.Set.empty e
+let primitives_inst e = inst_primitives Event_type.Set.empty e
+
+let rec inst_has_negation = function
+  | I_prim _ -> false
+  | I_not _ -> true
+  | I_and (a, b) | I_or (a, b) | I_seq (a, b) ->
+      inst_has_negation a || inst_has_negation b
+
+let rec has_negation = function
+  | Prim _ -> false
+  | Not _ -> true
+  | And (a, b) | Or (a, b) | Seq (a, b) -> has_negation a || has_negation b
+  | Inst ie -> inst_has_negation ie
+
+let rec has_instance = function
+  | Prim _ -> false
+  | Not e -> has_instance e
+  | And (a, b) | Or (a, b) | Seq (a, b) -> has_instance a || has_instance b
+  | Inst _ -> true
+
+(* Negation- and instance-free expressions are within the regular-language
+   fragment that Ode-style automata can detect. *)
+let is_regular e = not (has_negation e) && not (has_instance e)
+
+let rec map_primitives f = function
+  | Prim p -> Prim (f p)
+  | Not e -> Not (map_primitives f e)
+  | And (a, b) -> And (map_primitives f a, map_primitives f b)
+  | Or (a, b) -> Or (map_primitives f a, map_primitives f b)
+  | Seq (a, b) -> Seq (map_primitives f a, map_primitives f b)
+  | Inst ie -> Inst (map_primitives_inst f ie)
+
+and map_primitives_inst f = function
+  | I_prim p -> I_prim (f p)
+  | I_not e -> I_not (map_primitives_inst f e)
+  | I_and (a, b) -> I_and (map_primitives_inst f a, map_primitives_inst f b)
+  | I_or (a, b) -> I_or (map_primitives_inst f a, map_primitives_inst f b)
+  | I_seq (a, b) -> I_seq (map_primitives_inst f a, map_primitives_inst f b)
+
+(* Concrete syntax (Fig. 1): negation [-]/[-=], conjunction [+]/[+=],
+   precedence [<]/[<=], disjunction [,]/[,=].  Priorities decrease as
+   negation > {conjunction, precedence} > disjunction; instance-oriented
+   operators bind tighter than set-oriented ones. *)
+
+type operator =
+  | Negation
+  | Conjunction
+  | Precedence
+  | Disjunction
+
+type granularity = Set_oriented | Instance_oriented
+
+let operator_symbol op gran =
+  let base =
+    match op with
+    | Negation -> "-"
+    | Conjunction -> "+"
+    | Precedence -> "<"
+    | Disjunction -> ","
+  in
+  match gran with Set_oriented -> base | Instance_oriented -> base ^ "="
+
+let operator_priority = function
+  | Negation -> 3
+  | Conjunction | Precedence -> 2
+  | Disjunction -> 1
+
+let operator_dimension = function
+  | Negation | Conjunction | Disjunction -> "boolean"
+  | Precedence -> "temporal"
+
+(* Rows of Fig. 1, in the paper's decreasing-priority order. *)
+let operator_table =
+  [
+    (Negation, operator_symbol Negation Instance_oriented, operator_symbol Negation Set_oriented);
+    (Conjunction, operator_symbol Conjunction Instance_oriented, operator_symbol Conjunction Set_oriented);
+    (Precedence, operator_symbol Precedence Instance_oriented, operator_symbol Precedence Set_oriented);
+    (Disjunction, operator_symbol Disjunction Instance_oriented, operator_symbol Disjunction Set_oriented);
+  ]
+
+let operator_name = function
+  | Negation -> "Negation"
+  | Conjunction -> "Conjunction"
+  | Precedence -> "Precedence"
+  | Disjunction -> "Disjunction"
+
+(* Pretty-printing with minimal parentheses.  [ctx] is the priority of the
+   enclosing operator; a child with strictly lower priority gets parens.
+   Conjunction and precedence share a priority level, so mixing them always
+   parenthesizes to avoid relying on parse associativity. *)
+
+let rec pp_inst_prec ~ctx ppf e =
+  (* Binary operators are printed left-associatively: the left child may sit
+     at the operator's own priority without parentheses, the right child may
+     not. *)
+  let binary sym prio a b =
+    let wrap = ctx >= prio in
+    if wrap then Fmt.pf ppf "(";
+    Fmt.pf ppf "%a %s %a" (pp_inst_prec ~ctx:(prio - 1)) a sym
+      (pp_inst_prec ~ctx:prio) b;
+    if wrap then Fmt.pf ppf ")"
+  in
+  match e with
+  | I_prim p -> Event_type.pp ppf p
+  | I_not a -> Fmt.pf ppf "-=%a" (pp_inst_prec ~ctx:3) a
+  | I_and (a, b) -> binary "+=" 2 a b
+  | I_or (a, b) -> binary ",=" 1 a b
+  | I_seq (a, b) -> binary "<=" 2 a b
+
+let rec pp_set_prec ~ctx ppf e =
+  let binary sym prio a b =
+    let wrap = ctx >= prio in
+    if wrap then Fmt.pf ppf "(";
+    Fmt.pf ppf "%a %s %a" (pp_set_prec ~ctx:(prio - 1)) a sym
+      (pp_set_prec ~ctx:prio) b;
+    if wrap then Fmt.pf ppf ")"
+  in
+  match e with
+  | Prim p -> Event_type.pp ppf p
+  | Not a -> Fmt.pf ppf "-%a" (pp_set_prec ~ctx:3) a
+  | And (a, b) -> binary "+" 2 a b
+  | Or (a, b) -> binary "," 1 a b
+  | Seq (a, b) -> binary "<" 2 a b
+  | Inst ie ->
+      (* Instance subexpressions always parenthesized at the set level:
+         they bind tighter and the parens make the granularity switch
+         visible. *)
+      Fmt.pf ppf "(%a)" (pp_inst_prec ~ctx:0) ie
+
+let pp_inst ppf e = pp_inst_prec ~ctx:0 ppf e
+let pp ppf e = pp_set_prec ~ctx:0 ppf e
+let to_string e = Fmt.str "%a" pp e
+let inst_to_string e = Fmt.str "%a" pp_inst e

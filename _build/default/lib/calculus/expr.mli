@@ -1,0 +1,100 @@
+(** Event expressions (Section 3 of the paper).
+
+    The stratification of the two ADTs enforces the paper's composition
+    rule: instance-oriented operators never apply to set-oriented
+    subexpressions, while instance-oriented expressions may appear as
+    operands of set-oriented operators. *)
+
+open Chimera_event
+
+(** Instance-oriented expressions ([-=], [+=], [,=], [<=]). *)
+type inst =
+  | I_prim of Event_type.t
+  | I_not of inst
+  | I_and of inst * inst
+  | I_or of inst * inst
+  | I_seq of inst * inst
+
+(** Set-oriented expressions ([-], [+], [,], [<]), possibly embedding
+    instance-oriented subexpressions. *)
+type set =
+  | Prim of Event_type.t
+  | Not of set
+  | And of set * set
+  | Or of set * set
+  | Seq of set * set
+  | Inst of inst
+
+(** {1 Construction} *)
+
+val prim : Event_type.t -> set
+val not_ : set -> set
+val conj : set -> set -> set
+val disj : set -> set -> set
+val seq : set -> set -> set
+
+val inst : inst -> set
+(** Injects an instance expression at the set level; collapses
+    [Inst (I_prim p)] to [Prim p]. *)
+
+val i_prim : Event_type.t -> inst
+val i_not : inst -> inst
+val i_conj : inst -> inst -> inst
+val i_disj : inst -> inst -> inst
+val i_seq : inst -> inst -> inst
+
+val conj_list : set list -> set
+(** Right-nested conjunction; raises [Invalid_argument] on []. *)
+
+val disj_list : set list -> set
+
+(** {1 Comparison and measures} *)
+
+val compare : set -> set -> int
+val equal : set -> set -> bool
+val compare_inst : inst -> inst -> int
+val equal_inst : inst -> inst -> bool
+val size : set -> int
+val inst_size : inst -> int
+val depth : set -> int
+val inst_depth : inst -> int
+
+val primitives : set -> Event_type.Set.t
+val primitives_inst : inst -> Event_type.Set.t
+val has_negation : set -> bool
+val inst_has_negation : inst -> bool
+val has_instance : set -> bool
+
+val is_regular : set -> bool
+(** Negation- and instance-free: the fragment Ode-style automata detect. *)
+
+val map_primitives : (Event_type.t -> Event_type.t) -> set -> set
+val map_primitives_inst : (Event_type.t -> Event_type.t) -> inst -> inst
+
+(** {1 Operator metadata (Fig. 1 / Fig. 2)} *)
+
+type operator = Negation | Conjunction | Precedence | Disjunction
+type granularity = Set_oriented | Instance_oriented
+
+val operator_symbol : operator -> granularity -> string
+
+val operator_priority : operator -> int
+(** Decreasing: negation 3 > conjunction = precedence 2 > disjunction 1. *)
+
+val operator_dimension : operator -> string
+(** ["boolean"] or ["temporal"] (the dimensions of Fig. 2). *)
+
+val operator_table : (operator * string * string) list
+(** Rows of Fig. 1 in the paper's order:
+    (operator, instance symbol, set symbol). *)
+
+val operator_name : operator -> string
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> set -> unit
+(** Minimal-parentheses concrete syntax, re-parsable by {!Expr_parse}. *)
+
+val pp_inst : Format.formatter -> inst -> unit
+val to_string : set -> string
+val inst_to_string : inst -> string

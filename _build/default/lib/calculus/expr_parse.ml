@@ -1,0 +1,247 @@
+(* Parser for the concrete event-expression syntax of Fig. 1.
+
+     expr      := conj ( ',' conj )*                       set disjunction
+     conj      := unary ( ('+' | '<') unary )*             left-associative
+     unary     := '-' unary | iexpr
+     iexpr     := iconj ( ',=' iconj )*                    instance level
+     iconj     := iunary ( ('+=' | '<=') iunary )*
+     iunary    := '-=' iunary | atom
+     atom      := '(' expr ')' | event-type
+
+   An event type is an identifier immediately followed by a parenthesized
+   class (e.g. [modify(stock.quantity)]), or a bare identifier (external
+   event).  Applying an instance-oriented operator to a set-oriented
+   subexpression is a type error, reported with a position. *)
+
+open Chimera_event
+
+type token =
+  | T_prim of Event_type.t
+  | T_lparen
+  | T_rparen
+  | T_minus
+  | T_minus_eq
+  | T_plus
+  | T_plus_eq
+  | T_lt
+  | T_lt_eq
+  | T_comma
+  | T_comma_eq
+  | T_eof
+
+exception Parse_error of string * int
+
+let fail pos msg = raise (Parse_error (msg, pos))
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_'
+
+let tokenize s =
+  let n = String.length s in
+  let tokens = ref [] in
+  let emit pos tok = tokens := (tok, pos) :: !tokens in
+  let rec scan i =
+    if i >= n then emit i T_eof
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> scan (i + 1)
+      | '(' ->
+          emit i T_lparen;
+          scan (i + 1)
+      | ')' ->
+          emit i T_rparen;
+          scan (i + 1)
+      | '-' | '+' | '<' | ',' ->
+          let eq = i + 1 < n && s.[i + 1] = '=' in
+          let tok =
+            match (s.[i], eq) with
+            | '-', false -> T_minus
+            | '-', true -> T_minus_eq
+            | '+', false -> T_plus
+            | '+', true -> T_plus_eq
+            | '<', false -> T_lt
+            | '<', true -> T_lt_eq
+            | ',', false -> T_comma
+            | ',', true -> T_comma_eq
+            | _ -> assert false
+          in
+          emit i tok;
+          scan (if eq then i + 2 else i + 1)
+      | c when is_ident_char c ->
+          let j = ref i in
+          while !j < n && is_ident_char s.[!j] do
+            incr j
+          done;
+          (* An identifier immediately followed by '(' is an event-type
+             literal spanning up to the matching ')'. *)
+          if !j < n && s.[!j] = '(' then begin
+            let close = ref (!j + 1) in
+            while !close < n && s.[!close] <> ')' do
+              incr close
+            done;
+            if !close >= n then fail i "unterminated event type";
+            let text = String.sub s i (!close - i + 1) in
+            match Event_type.of_string text with
+            | Ok etype ->
+                emit i (T_prim etype);
+                scan (!close + 1)
+            | Error msg -> fail i msg
+          end
+          else begin
+            let text = String.sub s i (!j - i) in
+            match Event_type.of_string text with
+            | Ok etype ->
+                emit i (T_prim etype);
+                scan !j
+            | Error msg -> fail i msg
+          end
+      | c -> fail i (Printf.sprintf "unexpected character %C" c)
+  in
+  scan 0;
+  List.rev !tokens
+
+type state = { mutable toks : (token * int) list }
+
+let peek st = match st.toks with [] -> (T_eof, 0) | t :: _ -> t
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+(* A parsed subexpression that is still granularity-polymorphic: a
+   primitive (or a parenthesized instance expression) can flow to either
+   level. *)
+type poly = P_set of Expr.set | P_inst of Expr.inst
+
+let to_set = function P_set s -> s | P_inst i -> Expr.inst i
+
+let to_inst pos = function
+  | P_inst i -> i
+  | P_set (Expr.Prim p) -> Expr.I_prim p
+  | P_set (Expr.Inst i) -> i
+  | P_set _ ->
+      fail pos
+        "instance-oriented operator applied to a set-oriented subexpression"
+
+let rec parse_expr st =
+  let first = parse_conj st in
+  let rec loop acc =
+    match peek st with
+    | T_comma, _ ->
+        advance st;
+        let rhs = parse_conj st in
+        loop (Expr.disj acc (to_set rhs))
+    | _ -> acc
+  in
+  match peek st with
+  | T_comma, _ -> P_set (loop (to_set first))
+  | _ -> first
+
+and parse_conj st =
+  let first = parse_unary st in
+  let rec loop acc =
+    match peek st with
+    | T_plus, _ ->
+        advance st;
+        let rhs = parse_unary st in
+        loop (Expr.conj acc (to_set rhs))
+    | T_lt, _ ->
+        advance st;
+        let rhs = parse_unary st in
+        loop (Expr.seq acc (to_set rhs))
+    | _ -> acc
+  in
+  match peek st with
+  | (T_plus | T_lt), _ -> P_set (loop (to_set first))
+  | _ -> first
+
+and parse_unary st =
+  match peek st with
+  | T_minus, _ ->
+      advance st;
+      let inner = parse_unary st in
+      P_set (Expr.not_ (to_set inner))
+  | _ -> parse_iexpr st
+
+and parse_iexpr st =
+  let first = parse_iconj st in
+  let rec loop acc =
+    match peek st with
+    | T_comma_eq, pos ->
+        advance st;
+        let rhs = parse_iconj st in
+        loop (Expr.i_disj acc (to_inst pos rhs))
+    | _ -> acc
+  in
+  match peek st with
+  | T_comma_eq, pos -> P_inst (loop (to_inst pos first))
+  | _ -> first
+
+and parse_iconj st =
+  let first = parse_iunary st in
+  let rec loop acc =
+    match peek st with
+    | T_plus_eq, pos ->
+        advance st;
+        let rhs = parse_iunary st in
+        loop (Expr.i_conj acc (to_inst pos rhs))
+    | T_lt_eq, pos ->
+        advance st;
+        let rhs = parse_iunary st in
+        loop (Expr.i_seq acc (to_inst pos rhs))
+    | _ -> acc
+  in
+  match peek st with
+  | (T_plus_eq | T_lt_eq), pos -> P_inst (loop (to_inst pos first))
+  | _ -> first
+
+and parse_iunary st =
+  match peek st with
+  | T_minus_eq, pos ->
+      advance st;
+      let inner = parse_iunary st in
+      P_inst (Expr.i_not (to_inst pos inner))
+  | _ -> parse_atom st
+
+and parse_atom st =
+  match peek st with
+  | T_prim p, _ ->
+      advance st;
+      P_inst (Expr.I_prim p)
+  | T_lparen, _ ->
+      advance st;
+      let inner = parse_expr st in
+      (match peek st with
+      | T_rparen, _ -> advance st
+      | _, pos -> fail pos "expected ')'");
+      inner
+  | _, pos -> fail pos "expected an event type or '('"
+
+let parse s =
+  match tokenize s with
+  | exception Parse_error (msg, pos) ->
+      Error (Printf.sprintf "parse error at %d: %s" pos msg)
+  | toks -> (
+      let st = { toks } in
+      match parse_expr st with
+      | exception Parse_error (msg, pos) ->
+          Error (Printf.sprintf "parse error at %d: %s" pos msg)
+      | value -> (
+          match peek st with
+          | T_eof, _ -> Ok (to_set value)
+          | _, pos -> Error (Printf.sprintf "parse error at %d: trailing input" pos)))
+
+let parse_inst s =
+  match parse s with
+  | Error _ as e -> e
+  | Ok (Expr.Prim p) -> Ok (Expr.I_prim p)
+  | Ok (Expr.Inst i) -> Ok i
+  | Ok _ -> Error "expected an instance-oriented expression"
+
+let parse_exn s =
+  match parse s with Ok e -> e | Error msg -> invalid_arg msg
+
+let parse_inst_exn s =
+  match parse_inst s with Ok e -> e | Error msg -> invalid_arg msg

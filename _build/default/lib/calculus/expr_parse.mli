@@ -1,0 +1,18 @@
+(** Parser for the concrete event-expression syntax of Fig. 1
+    (negation [-]/[-=], conjunction [+]/[+=], precedence [<]/[<=],
+    disjunction [,]/[,=], event types like [modify(stock.quantity)]). *)
+
+val parse : string -> (Expr.set, string) result
+(** Parses a set-oriented expression (the general case); instance-oriented
+    subexpressions are recognized by their [=]-suffixed operators.
+    Applying an instance operator to a set subexpression is reported as an
+    error with a position. *)
+
+val parse_inst : string -> (Expr.inst, string) result
+(** Like {!parse} but requires the result to be instance-oriented, as the
+    [occurred]/[at] event formulas do (Section 3.3). *)
+
+val parse_exn : string -> Expr.set
+(** Raises [Invalid_argument] on error. *)
+
+val parse_inst_exn : string -> Expr.inst

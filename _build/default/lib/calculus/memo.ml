@@ -1,0 +1,227 @@
+(* Memoized ts evaluation over interned (hash-consed) expressions.
+
+   The recompute-from-indexes evaluation of Section 5 re-derives every
+   subexpression value on each probe.  Because the event base is
+   append-only, ts(E, at) over a window with a fixed lower bound never
+   changes once computed, so (node, instant) pairs can be cached across
+   probes — and across rules, since structurally equal subexpressions
+   intern to the same node.
+
+   Interning happens once per expression ({!intern}); evaluation then runs
+   over an int-indexed node graph with cheap (int * int) cache keys, never
+   re-hashing subtrees.  This is the ablation substrate behind bench E7. *)
+
+open Chimera_util
+open Chimera_event
+
+type node =
+  | N_prim of Event_type.t
+  | N_not of int
+  | N_and of int * int
+  | N_or of int * int
+  | N_seq of int * int
+  | N_inst of int  (** set-level lifting of the instance node *)
+  | N_iprim of Event_type.t
+  | N_inot of int
+  | N_iand of int * int
+  | N_ior of int * int
+  | N_iseq of int * int
+
+type handle = int
+
+module Pair_key = struct
+  type t = int * int
+
+  let equal (a1, b1) (a2, b2) = a1 = a2 && b1 = b2
+  let hash (a, b) = (a * 1_000_003) + b
+end
+
+module Triple_key = struct
+  type t = int * int * int
+
+  let equal (a1, b1, c1) (a2, b2, c2) = a1 = a2 && b1 = b2 && c1 = c2
+  let hash (a, b, c) = (((a * 1_000_003) + b) * 1_000_003) + c
+end
+
+module Pair_tbl = Hashtbl.Make (Pair_key)
+module Triple_tbl = Hashtbl.Make (Triple_key)
+
+type t = {
+  eb : Event_base.t;
+  mutable after : Time.t;
+      (** window lower bound; the value cache is valid for it only *)
+  nodes : node Vec.t;
+  set_ids : (Expr.set, int) Hashtbl.t;
+  inst_ids : (Expr.inst, int) Hashtbl.t;
+  node_ids : (node, int) Hashtbl.t;
+  set_cache : int Pair_tbl.t;  (** (node, at) -> value *)
+  inst_cache : int Triple_tbl.t;  (** (node, at, oid) -> value *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create eb ~after =
+  {
+    eb;
+    after;
+    nodes = Vec.create ~dummy:(N_prim (Event_type.external_ ~name:"_" ~class_name:""));
+    set_ids = Hashtbl.create 16;
+    inst_ids = Hashtbl.create 16;
+    node_ids = Hashtbl.create 16;
+    set_cache = Pair_tbl.create 64;
+    inst_cache = Triple_tbl.create 64;
+    hits = 0;
+    misses = 0;
+  }
+
+let hits t = t.hits
+let misses t = t.misses
+let event_base t = t.eb
+let node_count t = Vec.length t.nodes
+
+(* Structural interning: one deep traversal per distinct expression. *)
+let alloc t node =
+  match Hashtbl.find_opt t.node_ids node with
+  | Some id -> id
+  | None ->
+      let id = Vec.length t.nodes in
+      Vec.push t.nodes node;
+      Hashtbl.add t.node_ids node id;
+      id
+
+let rec intern_inst t ie =
+  match Hashtbl.find_opt t.inst_ids ie with
+  | Some id -> id
+  | None ->
+      let id =
+        match ie with
+        | Expr.I_prim p -> alloc t (N_iprim p)
+        | Expr.I_not e -> alloc t (N_inot (intern_inst t e))
+        | Expr.I_and (a, b) -> alloc t (N_iand (intern_inst t a, intern_inst t b))
+        | Expr.I_or (a, b) -> alloc t (N_ior (intern_inst t a, intern_inst t b))
+        | Expr.I_seq (a, b) -> alloc t (N_iseq (intern_inst t a, intern_inst t b))
+      in
+      Hashtbl.add t.inst_ids ie id;
+      id
+
+let rec intern t e =
+  match Hashtbl.find_opt t.set_ids e with
+  | Some id -> id
+  | None ->
+      let id =
+        match e with
+        | Expr.Prim p -> alloc t (N_prim p)
+        | Expr.Not e -> alloc t (N_not (intern t e))
+        | Expr.And (a, b) -> alloc t (N_and (intern t a, intern t b))
+        | Expr.Or (a, b) -> alloc t (N_or (intern t a, intern t b))
+        | Expr.Seq (a, b) -> alloc t (N_seq (intern t a, intern t b))
+        | Expr.Inst ie -> alloc t (N_inst (intern_inst t ie))
+      in
+      Hashtbl.add t.set_ids e id;
+      id
+
+let window t ~at = Window.make ~after:t.after ~upto:(Time.max t.after at)
+
+let prim_ts t ~at p =
+  match Event_base.last_of_type t.eb ~etype:p ~window:(window t ~at) ~at with
+  | Some stamp -> Time.to_int stamp
+  | None -> -Time.to_int at
+
+let prim_ots t ~at p oid =
+  match
+    Event_base.last_of_type_on t.eb ~etype:p ~oid ~window:(window t ~at) ~at
+  with
+  | Some stamp -> Time.to_int stamp
+  | None -> -Time.to_int at
+
+let rec eval_inst t ~at id oid =
+  let key = (id, Time.to_int at, Ident.Oid.to_int oid) in
+  match Triple_tbl.find_opt t.inst_cache key with
+  | Some v ->
+      t.hits <- t.hits + 1;
+      v
+  | None ->
+      t.misses <- t.misses + 1;
+      let v =
+        match Vec.get t.nodes id with
+        | N_iprim p -> prim_ots t ~at p oid
+        | N_inot e -> -eval_inst t ~at e oid
+        | N_iand (a, b) ->
+            let va = eval_inst t ~at a oid and vb = eval_inst t ~at b oid in
+            if va > 0 && vb > 0 then max va vb else min va vb
+        | N_ior (a, b) ->
+            let va = eval_inst t ~at a oid and vb = eval_inst t ~at b oid in
+            if va > 0 || vb > 0 then max va vb else min va vb
+        | N_iseq (a, b) ->
+            let vb = eval_inst t ~at b oid in
+            if vb > 0 && eval_inst t ~at:(Time.of_int vb) a oid > 0 then vb
+            else -Time.to_int at
+        | N_prim _ | N_not _ | N_and _ | N_or _ | N_seq _ | N_inst _ ->
+            invalid_arg "Memo: set node in instance position"
+      in
+      Triple_tbl.add t.inst_cache key v;
+      v
+
+let lift t ~at id =
+  let oids = Event_base.oids_in t.eb ~window:(window t ~at) ~at in
+  let is_negation =
+    match Vec.get t.nodes id with N_inot _ -> true | _ -> false
+  in
+  if is_negation then
+    match oids with
+    | [] -> Time.to_int at
+    | o :: os ->
+        List.fold_left
+          (fun acc oid -> min acc (eval_inst t ~at id oid))
+          (eval_inst t ~at id o) os
+  else
+    match oids with
+    | [] -> -Time.to_int at
+    | o :: os ->
+        List.fold_left
+          (fun acc oid -> max acc (eval_inst t ~at id oid))
+          (eval_inst t ~at id o) os
+
+let rec eval t ~at id =
+  let key = (id, Time.to_int at) in
+  match Pair_tbl.find_opt t.set_cache key with
+  | Some v ->
+      t.hits <- t.hits + 1;
+      v
+  | None ->
+      t.misses <- t.misses + 1;
+      let v =
+        match Vec.get t.nodes id with
+        | N_prim p -> prim_ts t ~at p
+        | N_not e -> -eval t ~at e
+        | N_and (a, b) ->
+            let va = eval t ~at a and vb = eval t ~at b in
+            if va > 0 && vb > 0 then max va vb else min va vb
+        | N_or (a, b) ->
+            let va = eval t ~at a and vb = eval t ~at b in
+            if va > 0 || vb > 0 then max va vb else min va vb
+        | N_seq (a, b) ->
+            let vb = eval t ~at b in
+            if vb > 0 && eval t ~at:(Time.of_int vb) a > 0 then vb
+            else -Time.to_int at
+        | N_inst ie -> lift t ~at ie
+        | N_iprim _ | N_inot _ | N_iand _ | N_ior _ | N_iseq _ ->
+            invalid_arg "Memo: instance node in set position"
+      in
+      Pair_tbl.add t.set_cache key v;
+      v
+
+let ts_handle t ~at handle = eval t ~at handle
+let ts t ~at e = eval t ~at (intern t e)
+let ots t ~at ie oid = eval_inst t ~at (intern_inst t ie) oid
+let active t ~at e = ts t ~at e > 0
+let active_handle t ~at handle = ts_handle t ~at handle > 0
+
+(* Moving the window's lower bound (a consuming consideration) invalidates
+   every cached value; interned node identities are kept. *)
+let restart t ~after =
+  Pair_tbl.reset t.set_cache;
+  Triple_tbl.reset t.inst_cache;
+  t.after <- after;
+  t.hits <- 0;
+  t.misses <- 0

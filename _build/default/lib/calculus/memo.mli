@@ -1,0 +1,45 @@
+(** Memoized ts evaluation over interned (hash-consed) expressions.
+
+    Because the event base is append-only, ts(E, at) over a window with a
+    fixed lower bound is immutable once computed: (node, instant) pairs
+    are cached across probes and shared across structurally equal
+    subexpressions of a whole rule set.  Intern once, evaluate through the
+    handle.  Ablation substrate for bench E7. *)
+
+open Chimera_util
+open Chimera_event
+
+type t
+
+type handle
+(** An interned expression; evaluation through a handle never re-hashes
+    the tree. *)
+
+val create : Event_base.t -> after:Time.t -> t
+(** A memo table bound to one window lower bound. *)
+
+val intern : t -> Expr.set -> handle
+val intern_inst : t -> Expr.inst -> handle
+
+val ts_handle : t -> at:Time.t -> handle -> int
+val active_handle : t -> at:Time.t -> handle -> bool
+
+val ts : t -> at:Time.t -> Expr.set -> int
+(** Interns (cached) then evaluates; same value as {!Ts.ts} under the
+    logical style (property-tested). *)
+
+val ots : t -> at:Time.t -> Expr.inst -> Ident.Oid.t -> int
+val active : t -> at:Time.t -> Expr.set -> bool
+
+val restart : t -> after:Time.t -> unit
+(** Moves the window's lower bound (a consuming consideration), dropping
+    every cached value; interned nodes are kept. *)
+
+val hits : t -> int
+val misses : t -> int
+
+val event_base : t -> Event_base.t
+(** The log this memo is bound to (cached values are per event base). *)
+
+val node_count : t -> int
+(** Distinct interned nodes (shows cross-rule sharing). *)

@@ -1,0 +1,91 @@
+(* Negation normal form for event expressions.
+
+   The De Morgan and double-negation laws hold for ts *values* (Section 4;
+   machine-verified in the law suite), so negations can be pushed through
+   conjunction and disjunction without changing any evaluation:
+
+     -(A + B) = -A , -B        -(A , B) = -A + -B        --E = E
+
+   Two constructs are barriers:
+
+   - Precedence has no dual (there is no law rewriting -(A < B)).
+   - The instance-to-set lifting inspects the OUTERMOST constructor of the
+     lifted expression — an [I_not] root min-lifts (for-all-objects), any
+     other root exists-lifts — so a rewrite that changes that root changes
+     the set-level meaning even though every per-object ots is preserved.
+     Consequently the boundary root is kept as-is; one useful dual does
+     hold and is exploited: the set-level negation of an exists-lift is
+     the min-lift of the per-object negation,
+
+       -(Inst ie) = Inst (I_not ie)        when ie's root is not I_not,
+
+     while the negation of a min-lift ("some object lacks ie") is not
+     expressible as a lift at all, and keeps a residual outer negation.
+
+   Result: negations appear only in front of primitives, precedences,
+   min-lift boundaries, and (residually) min-lifted instance expressions.
+   Value-preserving at every instant, by property test. *)
+
+let rec nnf_inst = function
+  | Expr.I_prim _ as e -> e
+  | Expr.I_and (a, b) -> Expr.I_and (nnf_inst a, nnf_inst b)
+  | Expr.I_or (a, b) -> Expr.I_or (nnf_inst a, nnf_inst b)
+  | Expr.I_seq (a, b) -> Expr.I_seq (nnf_inst a, nnf_inst b)
+  | Expr.I_not e -> negate_inst e
+
+and negate_inst = function
+  | Expr.I_not e -> nnf_inst e
+  | Expr.I_and (a, b) -> Expr.I_or (negate_inst a, negate_inst b)
+  | Expr.I_or (a, b) -> Expr.I_and (negate_inst a, negate_inst b)
+  | Expr.I_prim _ as e -> Expr.I_not e
+  | Expr.I_seq (a, b) -> Expr.I_not (Expr.I_seq (nnf_inst a, nnf_inst b))
+
+(* Normalization under a lifting boundary: the outermost constructor is
+   load-bearing and preserved; everything beneath it normalizes freely. *)
+let nnf_boundary = function
+  | Expr.I_not e -> Expr.I_not (nnf_inst e)
+  | (Expr.I_prim _ | Expr.I_and _ | Expr.I_or _ | Expr.I_seq _) as ie ->
+      nnf_inst ie
+
+let rec nnf = function
+  | Expr.Prim _ as e -> e
+  | Expr.And (a, b) -> Expr.And (nnf a, nnf b)
+  | Expr.Or (a, b) -> Expr.Or (nnf a, nnf b)
+  | Expr.Seq (a, b) -> Expr.Seq (nnf a, nnf b)
+  | Expr.Inst ie -> Expr.inst (nnf_boundary ie)
+  | Expr.Not e -> negate e
+
+and negate = function
+  | Expr.Not e -> nnf e
+  | Expr.And (a, b) -> Expr.Or (negate a, negate b)
+  | Expr.Or (a, b) -> Expr.And (negate a, negate b)
+  | Expr.Prim _ as e -> Expr.Not e
+  | Expr.Seq (a, b) -> Expr.Not (Expr.Seq (nnf a, nnf b))
+  | Expr.Inst (Expr.I_not _ as ie) ->
+      (* "Some object lacks ie": not expressible as a lift; residual
+         negation over the preserved min-lift. *)
+      Expr.Not (Expr.Inst (nnf_boundary ie))
+  | Expr.Inst ie -> Expr.Inst (Expr.I_not (nnf_inst ie))
+
+(* Checkers: where may a negation still stand after [nnf]? *)
+let rec inst_in_nnf = function
+  | Expr.I_prim _ -> true
+  | Expr.I_not (Expr.I_prim _) -> true
+  | Expr.I_not (Expr.I_seq (a, b)) -> inst_in_nnf a && inst_in_nnf b
+  | Expr.I_not _ -> false
+  | Expr.I_and (a, b) | Expr.I_or (a, b) | Expr.I_seq (a, b) ->
+      inst_in_nnf a && inst_in_nnf b
+
+let boundary_in_nnf = function
+  | Expr.I_not e -> inst_in_nnf e
+  | (Expr.I_prim _ | Expr.I_and _ | Expr.I_or _ | Expr.I_seq _) as ie ->
+      inst_in_nnf ie
+
+let rec in_nnf = function
+  | Expr.Prim _ -> true
+  | Expr.Not (Expr.Prim _) -> true
+  | Expr.Not (Expr.Seq (a, b)) -> in_nnf a && in_nnf b
+  | Expr.Not (Expr.Inst (Expr.I_not e)) -> inst_in_nnf e
+  | Expr.Not _ -> false
+  | Expr.And (a, b) | Expr.Or (a, b) | Expr.Seq (a, b) -> in_nnf a && in_nnf b
+  | Expr.Inst ie -> boundary_in_nnf ie

@@ -1,0 +1,17 @@
+(** Negation normal form: negations pushed through conjunction and
+    disjunction using the value-level laws of Section 4 (machine-verified
+    in the test suite).  Precedence and the instance-lifting boundary are
+    barriers — the lift inspects the outermost constructor of the lifted
+    expression, so that root is preserved; the one exploitable dual is
+    [-(Inst ie) = Inst (I_not ie)] for exists-lifted [ie].  Value
+    preserving: [ts (nnf e)] equals [ts e] at every instant, by
+    property. *)
+
+val nnf : Expr.set -> Expr.set
+val nnf_inst : Expr.inst -> Expr.inst
+
+val in_nnf : Expr.set -> bool
+(** Negations only in front of primitives, precedences, and (residually)
+    min-lifted instance expressions. *)
+
+val inst_in_nnf : Expr.inst -> bool

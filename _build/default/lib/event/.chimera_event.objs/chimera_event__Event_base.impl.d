@@ -1,0 +1,1 @@
+lib/event/event_base.ml: Chimera_util Event_type Fmt Hashtbl Ident Int List Occurrence Set Time Vec Window

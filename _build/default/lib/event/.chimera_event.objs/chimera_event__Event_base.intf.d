@@ -1,0 +1,1 @@
+lib/event/event_base.mli: Chimera_util Event_type Format Ident Occurrence Time Window

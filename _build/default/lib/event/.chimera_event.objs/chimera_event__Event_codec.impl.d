@@ -1,0 +1,1 @@
+lib/event/event_codec.ml: Buffer Chimera_util Event_base Event_type Fun Ident List Occurrence Printf Result String Time

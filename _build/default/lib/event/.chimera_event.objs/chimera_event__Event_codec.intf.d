@@ -1,0 +1,1 @@
+lib/event/event_codec.mli: Event_base

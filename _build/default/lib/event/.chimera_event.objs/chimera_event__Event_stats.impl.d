@@ -1,0 +1,1 @@
+lib/event/event_stats.ml: Chimera_util Event_base Event_type Fmt Ident Int List Map Occurrence Option Time Window

@@ -1,0 +1,1 @@
+lib/event/event_stats.mli: Chimera_util Event_base Event_type Format Ident Time Window

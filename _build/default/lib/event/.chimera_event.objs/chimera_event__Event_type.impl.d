@@ -1,0 +1,1 @@
+lib/event/event_type.ml: Fmt Hashtbl Map Option Printf Set Stdlib String

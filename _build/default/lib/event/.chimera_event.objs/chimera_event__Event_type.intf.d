@@ -1,0 +1,1 @@
+lib/event/event_type.mli: Format Hashtbl Map Set

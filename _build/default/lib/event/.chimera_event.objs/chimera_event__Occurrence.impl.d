@@ -1,0 +1,1 @@
+lib/event/occurrence.ml: Chimera_util Event_type Fmt Ident Time

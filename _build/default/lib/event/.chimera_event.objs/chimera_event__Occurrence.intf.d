@@ -1,0 +1,1 @@
+lib/event/occurrence.mli: Chimera_util Event_type Format Ident Time

@@ -1,0 +1,1 @@
+lib/event/window.ml: Chimera_util Fmt Time

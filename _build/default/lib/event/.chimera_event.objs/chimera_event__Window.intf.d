@@ -1,0 +1,1 @@
+lib/event/window.mli: Chimera_util Format Time

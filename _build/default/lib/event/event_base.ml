@@ -1,0 +1,227 @@
+(* The Event Base: the append-only log of event occurrences of a transaction
+   (Fig. 3), with the per-type index tree the implementation section
+   describes (Occurred Events structure: per-type occurrence lists keeping
+   the most recent timestamp at each leaf) and a per-(type, object) index for
+   the instance-oriented operators. *)
+
+open Chimera_util
+
+module Type_oid_key = struct
+  type t = Event_type.t * int
+
+  let equal (ta, oa) (tb, ob) = oa = ob && Event_type.equal ta tb
+  let hash (t, o) = (Event_type.hash t * 31) + o
+end
+
+module Type_oid_tbl = Hashtbl.Make (Type_oid_key)
+
+type t = {
+  clock : Time.Clock.clock;
+  eids : Ident.Eid.gen;
+  log : Occurrence.t Vec.t;
+  by_type : Occurrence.t Vec.t Event_type.Tbl.t;
+  by_type_oid : Time.t Vec.t Type_oid_tbl.t;
+  (* Per-object event instants (the "sparse data structure" of Section 5):
+     lets [oids_in] check each known object with a binary search instead of
+     scanning the window. *)
+  by_oid : (int, Time.t Vec.t) Hashtbl.t;
+  oid_registry : int Vec.t;  (** first-seen order *)
+}
+
+let dummy_occurrence =
+  Occurrence.make
+    ~eid:(Ident.Eid.of_int 0)
+    ~etype:(Event_type.create ~class_name:"_")
+    ~oid:(Ident.Oid.of_int 0) ~timestamp:Time.origin
+
+let create () =
+  {
+    clock = Time.Clock.create ();
+    eids = Ident.Eid.generator ();
+    log = Vec.create ~dummy:dummy_occurrence;
+    by_type = Event_type.Tbl.create 64;
+    by_type_oid = Type_oid_tbl.create 256;
+    by_oid = Hashtbl.create 256;
+    oid_registry = Vec.create ~dummy:0;
+  }
+
+let clock t = t.clock
+let size t = Vec.length t.log
+let now t = Time.Clock.now t.clock
+let probe_now t = Time.Clock.probe_now t.clock
+
+let type_index t etype =
+  match Event_type.Tbl.find_opt t.by_type etype with
+  | Some v -> v
+  | None ->
+      let v = Vec.create ~dummy:dummy_occurrence in
+      Event_type.Tbl.add t.by_type etype v;
+      v
+
+let type_oid_index t etype oid =
+  let key = (etype, Ident.Oid.to_int oid) in
+  match Type_oid_tbl.find_opt t.by_type_oid key with
+  | Some v -> v
+  | None ->
+      let v = Vec.create ~dummy:Time.origin in
+      Type_oid_tbl.add t.by_type_oid key v;
+      v
+
+(* Index an occurrence under its exact type and, for attribute-qualified
+   modify events, also under the unqualified modify on the same class so
+   that coarse subscriptions see it. *)
+let index_types occ =
+  let etype = Occurrence.etype occ in
+  match (Event_type.operation etype, Event_type.attribute etype) with
+  | Event_type.Modify, Some _ ->
+      [ etype; Event_type.modify ~class_name:(Event_type.class_name etype) () ]
+  | _ -> [ etype ]
+
+let oid_index t oid =
+  let key = Ident.Oid.to_int oid in
+  match Hashtbl.find_opt t.by_oid key with
+  | Some v -> v
+  | None ->
+      let v = Vec.create ~dummy:Time.origin in
+      Hashtbl.add t.by_oid key v;
+      Vec.push t.oid_registry key;
+      v
+
+let insert t occ =
+  Vec.push t.log occ;
+  Vec.push (oid_index t (Occurrence.oid occ)) (Occurrence.timestamp occ);
+  List.iter
+    (fun key ->
+      Vec.push (type_index t key) occ;
+      Vec.push
+        (type_oid_index t key (Occurrence.oid occ))
+        (Occurrence.timestamp occ))
+    (index_types occ)
+
+let record t ~etype ~oid =
+  let timestamp = Time.Clock.next_event_instant t.clock in
+  let occ =
+    Occurrence.make ~eid:(Ident.Eid.fresh t.eids) ~etype ~oid ~timestamp
+  in
+  insert t occ;
+  occ
+
+let record_at t ~etype ~oid ~timestamp =
+  if not (Time.( > ) timestamp (Time.Clock.now t.clock)) then
+    invalid_arg "Event_base.record_at: timestamps must be strictly increasing";
+  if not (Time.is_event_instant timestamp) then
+    invalid_arg "Event_base.record_at: not an event instant";
+  Time.Clock.advance_to t.clock timestamp;
+  let occ =
+    Occurrence.make ~eid:(Ident.Eid.fresh t.eids) ~etype ~oid ~timestamp
+  in
+  insert t occ;
+  occ
+
+let clipped_upper window ~at = Time.min at (Window.upto window)
+
+(* Timestamp of the most recent occurrence of [etype] inside [window],
+   observed at instant [at]; [None] when there is none.  This is the
+   positive branch of the paper's ts function for primitive event types. *)
+let last_of_type t ~etype ~window ~at =
+  match Event_type.Tbl.find_opt t.by_type etype with
+  | None -> None
+  | Some v -> (
+      let upper = clipped_upper window ~at in
+      let i = Vec.bisect_right v ~key:Occurrence.timestamp upper in
+      if i < 0 then None
+      else
+        let ts = Occurrence.timestamp (Vec.get v i) in
+        if Time.( > ) ts (Window.after window) then Some ts else None)
+
+(* Per-object variant: the positive branch of ots. *)
+let last_of_type_on t ~etype ~oid ~window ~at =
+  match Type_oid_tbl.find_opt t.by_type_oid (etype, Ident.Oid.to_int oid) with
+  | None -> None
+  | Some v -> (
+      let upper = clipped_upper window ~at in
+      let i = Vec.bisect_right v ~key:(fun x -> x) upper in
+      if i < 0 then None
+      else
+        let ts = Vec.get v i in
+        if Time.( > ) ts (Window.after window) then Some ts else None)
+
+let iter_in t ~window f =
+  let lo = Vec.bisect_after t.log ~key:Occurrence.timestamp (Window.after window) in
+  let n = Vec.length t.log in
+  let rec loop i =
+    if i < n then
+      let occ = Vec.get t.log i in
+      if Time.( <= ) (Occurrence.timestamp occ) (Window.upto window) then begin
+        f occ;
+        loop (i + 1)
+      end
+  in
+  loop lo
+
+let occurrences_in t ~window =
+  let acc = ref [] in
+  iter_in t ~window (fun occ -> acc := occ :: !acc);
+  List.rev !acc
+
+let timestamps_in t ~window =
+  List.map Occurrence.timestamp (occurrences_in t ~window)
+
+let is_empty_in t ~window =
+  match occurrences_in t ~window with [] -> true | _ :: _ -> false
+
+module Int_set = Set.Make (Int)
+
+(* Distinct objects affected by any occurrence in [window], observed at
+   [at]: the "oid in R" set that instance-to-set lifting ranges over. *)
+let oids_in t ~window ~at =
+  let upper = clipped_upper window ~at in
+  let after = Window.after window in
+  if Time.( <= ) upper after then []
+  else begin
+    (* Each known object is checked with one binary search: it belongs iff
+       it has an event instant in (after, upper]. *)
+    let acc = ref [] in
+    Vec.iter
+      (fun key ->
+        let stamps = Hashtbl.find t.by_oid key in
+        let i = Vec.bisect_right stamps ~key:(fun x -> x) upper in
+        if i >= 0 && Time.( > ) (Vec.get stamps i) after then
+          acc := key :: !acc)
+      t.oid_registry;
+    List.rev_map Ident.Oid.of_int !acc
+  end
+
+(* Distinct objects affected by occurrences of [etype] in [window] at
+   [at]; the candidate set for evaluating event formulas. *)
+let oids_of_type t ~etype ~window ~at =
+  match Event_type.Tbl.find_opt t.by_type etype with
+  | None -> []
+  | Some v ->
+      let upper = clipped_upper window ~at in
+      let lo = Vec.bisect_after v ~key:Occurrence.timestamp (Window.after window) in
+      let hi = Vec.bisect_right v ~key:Occurrence.timestamp upper in
+      let acc = ref Int_set.empty in
+      for i = lo to hi do
+        acc := Int_set.add (Ident.Oid.to_int (Occurrence.oid (Vec.get v i))) !acc
+      done;
+      List.map Ident.Oid.of_int (Int_set.elements !acc)
+
+(* Ascending timestamps of occurrences of [etype] on [oid] in [window],
+   clipped at [at]; used by the [at] event formula. *)
+let timestamps_of_type_on t ~etype ~oid ~window ~at =
+  match Type_oid_tbl.find_opt t.by_type_oid (etype, Ident.Oid.to_int oid) with
+  | None -> []
+  | Some v ->
+      let upper = clipped_upper window ~at in
+      let lo = Vec.bisect_after v ~key:(fun x -> x) (Window.after window) in
+      let hi = Vec.bisect_right v ~key:(fun x -> x) upper in
+      let rec loop i acc = if i < lo then acc else loop (i - 1) (Vec.get v i :: acc) in
+      loop hi []
+
+let to_list t = Vec.to_list t.log
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>";
+  Vec.iter (fun occ -> Fmt.pf ppf "%a@," Occurrence.pp occ) t.log;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,64 @@
+(** The Event Base: append-only log of the occurrences of a transaction,
+    with the per-type ("Occurred Events tree") and per-(type, object)
+    indexes of the paper's implementation section. *)
+
+open Chimera_util
+
+type t
+
+val create : unit -> t
+val clock : t -> Time.Clock.clock
+val size : t -> int
+
+val now : t -> Time.t
+(** Instant of the most recent occurrence ([Time.origin] when empty). *)
+
+val probe_now : t -> Time.t
+(** A probe instant strictly after every recorded occurrence. *)
+
+val record : t -> etype:Event_type.t -> oid:Ident.Oid.t -> Occurrence.t
+(** Appends an occurrence at a fresh event instant. *)
+
+val record_at :
+  t -> etype:Event_type.t -> oid:Ident.Oid.t -> timestamp:Time.t -> Occurrence.t
+(** Appends at a caller-chosen instant, which must be a strictly increasing
+    event instant; used by tests and workload replay. *)
+
+val last_of_type :
+  t -> etype:Event_type.t -> window:Window.t -> at:Time.t -> Time.t option
+(** Timestamp of the most recent occurrence of [etype] within [window]
+    observed at instant [at] — the positive branch of the paper's [ts]. *)
+
+val last_of_type_on :
+  t ->
+  etype:Event_type.t ->
+  oid:Ident.Oid.t ->
+  window:Window.t ->
+  at:Time.t ->
+  Time.t option
+(** Per-object variant — the positive branch of [ots]. *)
+
+val occurrences_in : t -> window:Window.t -> Occurrence.t list
+val iter_in : t -> window:Window.t -> (Occurrence.t -> unit) -> unit
+val timestamps_in : t -> window:Window.t -> Time.t list
+val is_empty_in : t -> window:Window.t -> bool
+
+val oids_in : t -> window:Window.t -> at:Time.t -> Ident.Oid.t list
+(** Distinct objects affected by any occurrence in the window at [at]: the
+    set the instance-to-set lifting ranges over. *)
+
+val oids_of_type :
+  t -> etype:Event_type.t -> window:Window.t -> at:Time.t -> Ident.Oid.t list
+
+val timestamps_of_type_on :
+  t ->
+  etype:Event_type.t ->
+  oid:Ident.Oid.t ->
+  window:Window.t ->
+  at:Time.t ->
+  Time.t list
+(** Ascending occurrence instants of [etype] on [oid]; drives the [at]
+    event formula. *)
+
+val to_list : t -> Occurrence.t list
+val pp : Format.formatter -> t -> unit

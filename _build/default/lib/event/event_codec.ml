@@ -1,0 +1,84 @@
+(* Textual persistence for event bases.
+
+   One occurrence per line — "EID <tab> event-type <tab> OID <tab>
+   timestamp" — human-inspectable and stable, so traces can be archived,
+   diffed and replayed (the CLI and the workload tools build on it).
+   Decoding validates monotonicity and the even-instant discipline via
+   [Event_base.record_at]. *)
+
+open Chimera_util
+
+let header = "# chimera-event-base v1"
+
+let encode_line occ =
+  Printf.sprintf "%d\t%s\t%d\t%d"
+    (Ident.Eid.to_int (Occurrence.eid occ))
+    (Event_type.to_string (Occurrence.etype occ))
+    (Ident.Oid.to_int (Occurrence.oid occ))
+    (Time.to_int (Occurrence.timestamp occ))
+
+let to_string eb =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun occ ->
+      Buffer.add_string buf (encode_line occ);
+      Buffer.add_char buf '\n')
+    (Event_base.to_list eb);
+  Buffer.contents buf
+
+let ( let* ) = Result.bind
+
+let decode_line lineno line =
+  match String.split_on_char '\t' line with
+  | [ _eid; etype_text; oid_text; timestamp_text ] -> (
+      let* etype =
+        Result.map_error
+          (fun msg -> Printf.sprintf "line %d: %s" lineno msg)
+          (Event_type.of_string etype_text)
+      in
+      match (int_of_string_opt oid_text, int_of_string_opt timestamp_text) with
+      | Some oid, Some timestamp ->
+          Ok (etype, Ident.Oid.of_int oid, Time.of_int timestamp)
+      | _ -> Error (Printf.sprintf "line %d: malformed numbers" lineno))
+  | _ -> Error (Printf.sprintf "line %d: expected 4 tab-separated fields" lineno)
+
+(* EIDs are reassigned densely on load; identity is carried by the
+   timestamps, which are preserved exactly. *)
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  match lines with
+  | first :: rest when String.equal first header ->
+      let eb = Event_base.create () in
+      let* () =
+        List.fold_left
+          (fun acc (lineno, line) ->
+            let* () = acc in
+            if String.trim line = "" then Ok ()
+            else
+              let* etype, oid, timestamp = decode_line lineno line in
+              match Event_base.record_at eb ~etype ~oid ~timestamp with
+              | _occ -> Ok ()
+              | exception Invalid_argument msg ->
+                  Error (Printf.sprintf "line %d: %s" lineno msg))
+          (Ok ())
+          (List.mapi (fun i line -> (i + 2, line)) rest)
+      in
+      Ok eb
+  | _ -> Error "missing chimera-event-base header"
+
+let write_file eb ~path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string eb))
+
+let read_file path =
+  let ic = open_in_bin path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_string text

@@ -1,0 +1,13 @@
+(** Textual persistence for event bases: one tab-separated occurrence per
+    line under a versioned header, so traces can be archived, diffed and
+    replayed.  Timestamps are preserved exactly; EIDs are reassigned
+    densely on load. *)
+
+val to_string : Event_base.t -> string
+
+val of_string : string -> (Event_base.t, string) result
+(** Validates the header, field shapes, timestamp monotonicity and the
+    even-instant discipline; errors carry line numbers. *)
+
+val write_file : Event_base.t -> path:string -> unit
+val read_file : string -> (Event_base.t, string) result

@@ -1,0 +1,71 @@
+(* Summary statistics over an event base (or a window of it): the
+   inspection companion to the Occurred Events structure — per-type and
+   per-object occurrence counts, span, and rates.  Used by the CLI's run
+   report and available to monitoring tools. *)
+
+open Chimera_util
+
+type t = {
+  total : int;
+  distinct_types : int;
+  distinct_objects : int;
+  first : Time.t option;
+  last : Time.t option;
+  by_type : (Event_type.t * int) list;  (** descending count *)
+  by_object : (Ident.Oid.t * int) list;  (** descending count *)
+}
+
+module Int_map = Map.Make (Int)
+
+let collect eb ~window =
+  let total = ref 0 in
+  let first = ref None in
+  let last = ref None in
+  let types = ref Event_type.Map.empty in
+  let objects = ref Int_map.empty in
+  Event_base.iter_in eb ~window (fun occ ->
+      incr total;
+      (match !first with None -> first := Some (Occurrence.timestamp occ) | Some _ -> ());
+      last := Some (Occurrence.timestamp occ);
+      types :=
+        Event_type.Map.update (Occurrence.etype occ)
+          (fun c -> Some (1 + Option.value ~default:0 c))
+          !types;
+      objects :=
+        Int_map.update
+          (Ident.Oid.to_int (Occurrence.oid occ))
+          (fun c -> Some (1 + Option.value ~default:0 c))
+          !objects);
+  let descending l = List.sort (fun (_, a) (_, b) -> compare b a) l in
+  {
+    total = !total;
+    distinct_types = Event_type.Map.cardinal !types;
+    distinct_objects = Int_map.cardinal !objects;
+    first = !first;
+    last = !last;
+    by_type = descending (Event_type.Map.bindings !types);
+    by_object =
+      descending
+        (List.map (fun (k, c) -> (Ident.Oid.of_int k, c)) (Int_map.bindings !objects));
+  }
+
+let of_event_base eb =
+  collect eb ~window:(Window.all ~upto:(Event_base.probe_now eb))
+
+let top_types ?(n = 5) t =
+  List.filteri (fun i _ -> i < n) t.by_type
+
+let top_objects ?(n = 5) t =
+  List.filteri (fun i _ -> i < n) t.by_object
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%d occurrence(s), %d type(s), %d object(s)" t.total
+    t.distinct_types t.distinct_objects;
+  (match (t.first, t.last) with
+  | Some a, Some b -> Fmt.pf ppf " over [%a, %a]" Time.pp a Time.pp b
+  | _ -> ());
+  List.iter
+    (fun (etype, count) ->
+      Fmt.pf ppf "@,  %6d x %a" count Event_type.pp etype)
+    t.by_type;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,21 @@
+(** Summary statistics over an event base (or a window of it): per-type
+    and per-object occurrence counts, span and extremes — the inspection
+    companion of the Occurred Events structure. *)
+
+open Chimera_util
+
+type t = {
+  total : int;
+  distinct_types : int;
+  distinct_objects : int;
+  first : Time.t option;
+  last : Time.t option;
+  by_type : (Event_type.t * int) list;  (** descending count *)
+  by_object : (Ident.Oid.t * int) list;  (** descending count *)
+}
+
+val collect : Event_base.t -> window:Window.t -> t
+val of_event_base : Event_base.t -> t
+val top_types : ?n:int -> t -> (Event_type.t * int) list
+val top_objects : ?n:int -> t -> (Ident.Oid.t * int) list
+val pp : Format.formatter -> t -> unit

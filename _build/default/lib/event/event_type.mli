@@ -1,0 +1,62 @@
+(** Primitive event types (Section 2 of the paper).
+
+    An event type names a data-manipulation operation, the class it targets
+    and — for [modify] — optionally the attribute it touches, e.g.
+    [create(stock)] or [modify(stock.quantity)]. *)
+
+type operation =
+  | Create
+  | Delete
+  | Modify
+  | Generalize
+  | Specialize
+  | Select
+  | External of string
+      (** Abstract/external events (HiPAC-style extension); the calculus
+          treats them like any other type. *)
+
+type t
+
+val make : ?attribute:string -> operation -> class_name:string -> t
+(** Raises [Invalid_argument] if [attribute] is given for an operation other
+    than [Modify]. *)
+
+val create : class_name:string -> t
+val delete : class_name:string -> t
+val modify : ?attribute:string -> class_name:string -> unit -> t
+val generalize : class_name:string -> t
+val specialize : class_name:string -> t
+val select : class_name:string -> t
+val external_ : name:string -> class_name:string -> t
+
+val operation : t -> operation
+val class_name : t -> string
+val attribute : t -> string option
+val operation_name : operation -> string
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Inverse of {!to_string}; also accepts a bare identifier as an external
+    event type. *)
+
+val generalizes : subscription:t -> occurrence:t -> bool
+(** [generalizes ~subscription ~occurrence] holds when an occurrence of type
+    [occurrence] counts as an occurrence of [subscription]; in particular an
+    unqualified [modify(c)] subscription matches any [modify(c.attr)]. *)
+
+module Key : sig
+  type nonrec t = t
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+  val compare : t -> t -> int
+end
+
+module Tbl : Hashtbl.S with type key = t
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

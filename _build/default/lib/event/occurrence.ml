@@ -1,0 +1,31 @@
+(* An event occurrence: one row of the Event Base (Fig. 3). *)
+
+open Chimera_util
+
+type t = {
+  eid : Ident.Eid.t;
+  etype : Event_type.t;
+  oid : Ident.Oid.t;
+  timestamp : Time.t;
+}
+
+let make ~eid ~etype ~oid ~timestamp = { eid; etype; oid; timestamp }
+let eid t = t.eid
+let etype t = t.etype
+let oid t = t.oid
+let timestamp t = t.timestamp
+
+(* The attribute functions of Fig. 4. *)
+let type_ = etype
+let obj = oid
+let event_on_class t = Event_type.class_name t.etype
+
+let compare a b =
+  let c = Time.compare a.timestamp b.timestamp in
+  if c <> 0 then c else Ident.Eid.compare a.eid b.eid
+
+let equal a b = compare a b = 0
+
+let pp ppf t =
+  Fmt.pf ppf "%a: %a on %a @@ %a" Ident.Eid.pp t.eid Event_type.pp t.etype
+    Ident.Oid.pp t.oid Time.pp t.timestamp

@@ -1,0 +1,29 @@
+(** An event occurrence: one row of the Event Base (Fig. 3 of the paper). *)
+
+open Chimera_util
+
+type t
+
+val make :
+  eid:Ident.Eid.t ->
+  etype:Event_type.t ->
+  oid:Ident.Oid.t ->
+  timestamp:Time.t ->
+  t
+
+val eid : t -> Ident.Eid.t
+val etype : t -> Event_type.t
+val oid : t -> Ident.Oid.t
+val timestamp : t -> Time.t
+
+(** The attribute functions of Fig. 4. *)
+
+val type_ : t -> Event_type.t
+val obj : t -> Ident.Oid.t
+val event_on_class : t -> string
+
+val compare : t -> t -> int
+(** Orders by timestamp, then EID. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,21 @@
+(* A window over the event base: the set R of Section 4.4.
+
+   R contains the occurrences strictly after [after] (the rule's last
+   consumption instant, or the transaction start for preserving rules) and
+   at or before [upto].  The [ts] function is additionally probed at
+   instants [t <= upto]; queries clip at [t]. *)
+
+open Chimera_util
+
+type t = { after : Time.t; upto : Time.t }
+
+let make ~after ~upto =
+  if Time.( > ) after upto then
+    invalid_arg "Window.make: after must not exceed upto";
+  { after; upto }
+
+let all ~upto = { after = Time.origin; upto }
+let after t = t.after
+let upto t = t.upto
+let contains t x = Time.( < ) t.after x && Time.( <= ) x t.upto
+let pp ppf t = Fmt.pf ppf "(%a, %a]" Time.pp t.after Time.pp t.upto

@@ -1,0 +1,17 @@
+(** The observation window R of Section 4.4: occurrences strictly after the
+    rule's last consumption instant and at or before the current instant. *)
+
+open Chimera_util
+
+type t
+
+val make : after:Time.t -> upto:Time.t -> t
+(** Raises [Invalid_argument] when [after > upto]. *)
+
+val all : upto:Time.t -> t
+(** The whole history up to [upto] ([after = Time.origin]). *)
+
+val after : t -> Time.t
+val upto : t -> Time.t
+val contains : t -> Time.t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/lang/ast.ml: Chimera_rules Chimera_store Query Rule Value

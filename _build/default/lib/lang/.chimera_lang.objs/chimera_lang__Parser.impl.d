@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Action Ast Chimera_calculus Chimera_rules Chimera_store Condition Expr_parse Lexer List Printf Query Rule String Value

@@ -1,0 +1,35 @@
+(* Abstract syntax of the script language: class definitions, trigger
+   definitions (elaborated straight to the rule subsystem's types), data
+   manipulation lines, and inspection commands. *)
+
+open Chimera_store
+open Chimera_rules
+
+type dml =
+  | D_create of {
+      class_name : string;
+      assigns : (string * Query.expr) list;
+      bind : string option;
+    }
+  | D_modify of { var : string; attribute : string; value : Query.expr }
+  | D_delete of string
+  | D_generalize of { var : string; to_class : string }
+  | D_specialize of { var : string; to_class : string }
+  | D_select of string
+
+type statement =
+  | Define_class of {
+      name : string;
+      super : string option;
+      attributes : (string * Value.ty) list;
+    }
+  | Define_trigger of Rule.spec
+  | Define_timer of { name : string; period_lines : int }
+      (** a periodic clock event (Engine.define_timer) *)
+  | Line of dml list  (** one transaction line (non-interruptible block) *)
+  | Commit
+  | Show of string  (** print the extent of a class *)
+  | Show_rules
+  | Show_events
+
+type script = statement list

@@ -1,0 +1,162 @@
+(* Script interpreter: binds the language to the engine.
+
+   Script-level variables name objects created with [as X]; inspection
+   commands append to an output buffer so callers (the CLI, the tests)
+   decide where it goes. *)
+
+open Chimera_store
+open Chimera_rules
+
+type t = {
+  engine : Engine.t;
+  vars : (string, Value.t) Hashtbl.t;
+  out : Buffer.t;
+}
+
+let create ?config () =
+  {
+    engine = Engine.create ?config (Schema.create ());
+    vars = Hashtbl.create 16;
+    out = Buffer.create 256;
+  }
+
+let engine t = t.engine
+let output t = Buffer.contents t.out
+let clear_output t = Buffer.clear t.out
+
+let resolve t x = Hashtbl.find_opt t.vars x
+
+let ( let* ) = Result.bind
+
+let err fmt = Fmt.kstr (fun msg -> Error msg) fmt
+
+let eval_expr t e =
+  match Query.eval_expr (Engine.store t.engine) ~resolve:(resolve t) e with
+  | Ok v -> Ok v
+  | Error e -> err "%a" Query.pp_error e
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = map_result f rest in
+      Ok (y :: ys)
+
+(* Elaborates one DML statement to a store operation; [D_create]'s binding
+   is applied after the line executes (the engine reports affected oids). *)
+let to_operation t dml : (Operation.t * string option, string) result =
+  let as_oid var =
+    match resolve t var with
+    | Some (Value.Oid oid) -> Ok oid
+    | Some v -> err "variable %s is not an object (%s)" var (Value.to_string v)
+    | None -> err "unbound variable %s" var
+  in
+  match dml with
+  | Ast.D_create { class_name; assigns; bind } ->
+      let* attrs =
+        map_result
+          (fun (a, e) ->
+            let* v = eval_expr t e in
+            Ok (a, v))
+          assigns
+      in
+      Ok (Operation.Create { class_name; attrs }, bind)
+  | Ast.D_modify { var; attribute; value } ->
+      let* oid = as_oid var in
+      let* v = eval_expr t value in
+      Ok (Operation.Modify { oid; attribute; value = v }, None)
+  | Ast.D_delete var ->
+      let* oid = as_oid var in
+      Ok (Operation.Delete { oid }, None)
+  | Ast.D_generalize { var; to_class } ->
+      let* oid = as_oid var in
+      Ok (Operation.Generalize { oid; to_class }, None)
+  | Ast.D_specialize { var; to_class } ->
+      let* oid = as_oid var in
+      Ok (Operation.Specialize { oid; to_class }, None)
+  | Ast.D_select class_name -> Ok (Operation.Select { class_name }, None)
+
+let run_statement t stmt : (unit, string) result =
+  match stmt with
+  | Ast.Define_class { name; super; attributes } -> (
+      match
+        Schema.define
+          (Object_store.schema (Engine.store t.engine))
+          ~name ?super ~attributes ()
+      with
+      | Ok _ -> Ok ()
+      | Error e -> err "%a" Schema.pp_error e)
+  | Ast.Define_trigger spec -> (
+      match Engine.define t.engine spec with
+      | Ok _ -> Ok ()
+      | Error (`Rule_error msg) -> Error msg)
+  | Ast.Define_timer { name; period_lines } -> (
+      match Engine.define_timer t.engine ~name ~period_lines with
+      | _etype -> Ok ()
+      | exception Invalid_argument msg -> Error msg)
+  | Ast.Line dmls -> (
+      let* elaborated = map_result (to_operation t) dmls in
+      let ops = List.map fst elaborated in
+      match Engine.execute_line_affected t.engine ops with
+      | Error e -> err "%a" Engine.pp_error e
+      | Ok affected ->
+          List.iter2
+            (fun (_, bind) oid ->
+              match (bind, oid) with
+              | Some var, Some oid -> Hashtbl.replace t.vars var (Value.Oid oid)
+              | Some var, None -> Hashtbl.remove t.vars var
+              | None, _ -> ())
+            elaborated affected;
+          Ok ())
+  | Ast.Commit -> (
+      match Engine.commit t.engine with
+      | Ok () -> Ok ()
+      | Error e -> err "%a" Engine.pp_error e)
+  | Ast.Show class_name ->
+      let store = Engine.store t.engine in
+      let extent = Object_store.extent store ~class_name in
+      Buffer.add_string t.out (Printf.sprintf "%s (%d):\n" class_name (List.length extent));
+      List.iter
+        (fun oid ->
+          Buffer.add_string t.out
+            (Fmt.str "  %a\n" (Object_store.pp_object store) oid))
+        extent;
+      Ok ()
+  | Ast.Show_rules ->
+      let table =
+        Chimera_util.Pretty.table ~title:"rules (selection order)"
+          ~header:
+            [ "name"; "coupling"; "mode"; "prio"; "status"; "event"; "V(E)" ]
+          ()
+      in
+      Rule_table.iter
+        (fun rule ->
+          let spec = Rule.spec rule in
+          Chimera_util.Pretty.add_row table
+            [
+              spec.Rule.name;
+              Rule.coupling_name spec.Rule.coupling;
+              Rule.consumption_name spec.Rule.consumption;
+              string_of_int spec.Rule.priority;
+              (if rule.Rule.triggered then "TRIGGERED" else "idle");
+              Fmt.str "%a" Chimera_calculus.Expr.pp spec.Rule.event;
+              Fmt.str "%a" Chimera_optimizer.Relevance.pp (Rule.relevance rule);
+            ])
+        (Engine.rules t.engine);
+      Buffer.add_string t.out (Chimera_util.Pretty.render table);
+      Ok ()
+  | Ast.Show_events ->
+      Buffer.add_string t.out
+        (Fmt.str "%a\n" Chimera_event.Event_base.pp (Engine.event_base t.engine));
+      Ok ()
+
+let run_script t script : (unit, string) result =
+  List.fold_left
+    (fun acc stmt ->
+      let* () = acc in
+      run_statement t stmt)
+    (Ok ()) script
+
+let run_string t src : (unit, string) result =
+  let* script = Parser.parse src in
+  run_script t script

@@ -1,0 +1,24 @@
+(** Script interpreter: runs parsed scripts against a fresh engine.
+
+    Script-level variables name objects created with [as X]; inspection
+    commands ([show], [rules], [events]) append to an output buffer. *)
+
+open Chimera_rules
+
+type t
+
+val create : ?config:Engine.config -> unit -> t
+(** A fresh engine over an initially empty schema; classes are defined by
+    the script. *)
+
+val engine : t -> Engine.t
+
+val output : t -> string
+(** Accumulated inspection output. *)
+
+val clear_output : t -> unit
+val run_statement : t -> Ast.statement -> (unit, string) result
+val run_script : t -> Ast.script -> (unit, string) result
+
+val run_string : t -> string -> (unit, string) result
+(** Parse and run; stops at the first failing statement. *)

@@ -1,0 +1,205 @@
+(* Lexer for the Chimera rule-definition and data-manipulation language.
+
+   Event-calculus expressions are enclosed in braces ({...}) and handed to
+   the calculus parser verbatim, which keeps the two grammars independent
+   (the calculus reuses ',' as its disjunction operator).  Comments run
+   from '--' to end of line. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | EVENT_EXPR of string  (** the raw text between braces *)
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | SEMI
+  | DOT
+  | COLON
+  | ASSIGN  (** = *)
+  | EQ  (** == *)
+  | NEQ  (** != *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | EOF
+
+type spanned = { token : token; pos : int; line : int }
+
+exception Error of string * int
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let out = ref [] in
+  let line = ref 1 in
+  let emit pos token = out := { token; pos; line = !line } :: !out in
+  let rec scan i =
+    if i >= n then emit i EOF
+    else
+      match src.[i] with
+      | '\n' ->
+          incr line;
+          scan (i + 1)
+      | ' ' | '\t' | '\r' -> scan (i + 1)
+      | '-' when i + 1 < n && src.[i + 1] = '-' ->
+          let j = ref i in
+          while !j < n && src.[!j] <> '\n' do
+            incr j
+          done;
+          scan !j
+      | '{' ->
+          let close = ref (i + 1) in
+          while !close < n && src.[!close] <> '}' do
+            if src.[!close] = '\n' then incr line;
+            incr close
+          done;
+          if !close >= n then raise (Error ("unterminated event expression", i));
+          emit i (EVENT_EXPR (String.sub src (i + 1) (!close - i - 1)));
+          scan (!close + 1)
+      | '"' ->
+          let buf = Buffer.create 16 in
+          let rec str j =
+            if j >= n then raise (Error ("unterminated string", i))
+            else
+              match src.[j] with
+              | '"' -> j + 1
+              | '\\' when j + 1 < n ->
+                  Buffer.add_char buf
+                    (match src.[j + 1] with
+                    | 'n' -> '\n'
+                    | 't' -> '\t'
+                    | c -> c);
+                  str (j + 2)
+              | c ->
+                  Buffer.add_char buf c;
+                  str (j + 1)
+          in
+          let next = str (i + 1) in
+          emit i (STRING (Buffer.contents buf));
+          scan next
+      | '(' ->
+          emit i LPAREN;
+          scan (i + 1)
+      | ')' ->
+          emit i RPAREN;
+          scan (i + 1)
+      | ',' ->
+          emit i COMMA;
+          scan (i + 1)
+      | ';' ->
+          emit i SEMI;
+          scan (i + 1)
+      | '.' ->
+          emit i DOT;
+          scan (i + 1)
+      | ':' ->
+          emit i COLON;
+          scan (i + 1)
+      | '+' ->
+          emit i PLUS;
+          scan (i + 1)
+      | '-' ->
+          emit i MINUS;
+          scan (i + 1)
+      | '*' ->
+          emit i STAR;
+          scan (i + 1)
+      | '/' ->
+          emit i SLASH;
+          scan (i + 1)
+      | '=' ->
+          if i + 1 < n && src.[i + 1] = '=' then begin
+            emit i EQ;
+            scan (i + 2)
+          end
+          else begin
+            emit i ASSIGN;
+            scan (i + 1)
+          end
+      | '!' when i + 1 < n && src.[i + 1] = '=' ->
+          emit i NEQ;
+          scan (i + 2)
+      | '<' ->
+          if i + 1 < n && src.[i + 1] = '=' then begin
+            emit i LE;
+            scan (i + 2)
+          end
+          else begin
+            emit i LT;
+            scan (i + 1)
+          end
+      | '>' ->
+          if i + 1 < n && src.[i + 1] = '=' then begin
+            emit i GE;
+            scan (i + 2)
+          end
+          else begin
+            emit i GT;
+            scan (i + 1)
+          end
+      | c when is_digit c ->
+          let j = ref i in
+          while !j < n && is_digit src.[!j] do
+            incr j
+          done;
+          if !j < n && src.[!j] = '.' && !j + 1 < n && is_digit src.[!j + 1]
+          then begin
+            incr j;
+            while !j < n && is_digit src.[!j] do
+              incr j
+            done;
+            emit i (FLOAT (float_of_string (String.sub src i (!j - i))));
+            scan !j
+          end
+          else begin
+            emit i (INT (int_of_string (String.sub src i (!j - i))));
+            scan !j
+          end
+      | c when is_ident_start c ->
+          let j = ref i in
+          while !j < n && is_ident_char src.[!j] do
+            incr j
+          done;
+          emit i (IDENT (String.sub src i (!j - i)));
+          scan !j
+      | c -> raise (Error (Printf.sprintf "unexpected character %C" c, i))
+  in
+  scan 0;
+  List.rev !out
+
+let token_name = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT i -> Printf.sprintf "integer %d" i
+  | FLOAT f -> Printf.sprintf "real %g" f
+  | STRING s -> Printf.sprintf "string %S" s
+  | EVENT_EXPR _ -> "event expression"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | COMMA -> "','"
+  | SEMI -> "';'"
+  | DOT -> "'.'"
+  | COLON -> "':'"
+  | ASSIGN -> "'='"
+  | EQ -> "'=='"
+  | NEQ -> "'!='"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | EOF -> "end of input"

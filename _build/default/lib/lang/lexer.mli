@@ -1,0 +1,38 @@
+(** Lexer for the script language.  Event-calculus expressions are
+    enclosed in braces and handed to the calculus parser verbatim;
+    comments run from [--] to end of line. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | EVENT_EXPR of string  (** the raw text between braces *)
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | SEMI
+  | DOT
+  | COLON
+  | ASSIGN  (** [=] *)
+  | EQ  (** [==] *)
+  | NEQ  (** [!=] *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | EOF
+
+type spanned = { token : token; pos : int; line : int }
+
+exception Error of string * int
+
+val tokenize : string -> spanned list
+(** Ends with an [EOF] token; raises {!Error} with an offset on lexical
+    errors. *)
+
+val token_name : token -> string

@@ -1,0 +1,480 @@
+(* Recursive-descent parser for the script language.
+
+   Grammar (statements are ';'-terminated):
+
+     define class <name> [extends <name>] ( attr : type, ... )
+     define (immediate|deferred) trigger <name> [for <class>]
+       events { <event calculus expression> }
+       [condition <atom>, ...]
+       actions <action>, ...
+       [consuming|preserving] [priority <int>]
+     end
+     create <class>(attr = expr, ...) [as X] | modify X.attr = expr
+       | delete X | generalize X to <class> | specialize X to <class>
+       | select <class>
+     begin <dml>; ... end            -- several DMLs in one line
+     commit | show <class> | rules | events
+
+   Condition atoms: <class>(X) ranges, occurred({expr}, X),
+   at({expr}, X, T), and comparisons between terms
+   (literal | X | X.attr) with ==, !=, <, <=, >, >=. *)
+
+open Chimera_calculus
+open Chimera_store
+open Chimera_rules
+open Lexer
+
+exception Error of string * int
+
+type state = { mutable toks : spanned list }
+
+let peek st = match st.toks with [] -> { token = EOF; pos = 0; line = 0 } | t :: _ -> t
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let fail st msg = raise (Error (msg, (peek st).pos))
+
+let expect st token =
+  let t = peek st in
+  if t.token = token then advance st
+  else
+    fail st
+      (Printf.sprintf "expected %s, found %s" (token_name token)
+         (token_name t.token))
+
+let ident st =
+  match (peek st).token with
+  | IDENT s ->
+      advance st;
+      s
+  | t -> fail st (Printf.sprintf "expected an identifier, found %s" (token_name t))
+
+let keyword st kw =
+  match (peek st).token with
+  | IDENT s when String.equal s kw -> advance st
+  | t -> fail st (Printf.sprintf "expected '%s', found %s" kw (token_name t))
+
+let peek_ident st =
+  match (peek st).token with IDENT s -> Some s | _ -> None
+
+let event_expr st =
+  match (peek st).token with
+  | EVENT_EXPR text -> (
+      advance st;
+      match Expr_parse.parse text with
+      | Ok e -> e
+      | Error msg -> fail st msg)
+  | t -> fail st (Printf.sprintf "expected { event expression }, found %s" (token_name t))
+
+let inst_event_expr st =
+  match (peek st).token with
+  | EVENT_EXPR text -> (
+      advance st;
+      match Expr_parse.parse_inst text with
+      | Ok e -> e
+      | Error msg -> fail st msg)
+  | t -> fail st (Printf.sprintf "expected { event expression }, found %s" (token_name t))
+
+let value_type st =
+  match ident st with
+  | "integer" | "int" -> Value.T_int
+  | "real" | "float" -> Value.T_float
+  | "string" -> Value.T_str
+  | "boolean" | "bool" -> Value.T_bool
+  | "oid" -> Value.T_oid
+  | other -> fail st (Printf.sprintf "unknown type %s" other)
+
+(* Terms: literals, variables, attribute paths. *)
+let term st =
+  match (peek st).token with
+  | INT i ->
+      advance st;
+      Query.Const (Value.Int i)
+  | FLOAT f ->
+      advance st;
+      Query.Const (Value.Float f)
+  | STRING s ->
+      advance st;
+      Query.Const (Value.Str s)
+  | MINUS ->
+      advance st;
+      (match (peek st).token with
+      | INT i ->
+          advance st;
+          Query.Const (Value.Int (-i))
+      | FLOAT f ->
+          advance st;
+          Query.Const (Value.Float (-.f))
+      | t -> fail st (Printf.sprintf "expected a number after '-', found %s" (token_name t)))
+  | IDENT "true" ->
+      advance st;
+      Query.Const (Value.Bool true)
+  | IDENT "false" ->
+      advance st;
+      Query.Const (Value.Bool false)
+  | IDENT "null" ->
+      advance st;
+      Query.Const Value.Null
+  | IDENT x ->
+      advance st;
+      if (peek st).token = DOT then begin
+        advance st;
+        let attr = ident st in
+        Query.Attr (x, attr)
+      end
+      else Query.Var x
+  | t -> fail st (Printf.sprintf "expected a term, found %s" (token_name t))
+
+(* Arithmetic expressions over terms, with min/max. *)
+let rec expr st =
+  let lhs = mul_expr st in
+  match (peek st).token with
+  | PLUS ->
+      advance st;
+      Query.Add (lhs, expr st)
+  | MINUS ->
+      advance st;
+      Query.Sub (lhs, expr st)
+  | _ -> lhs
+
+and mul_expr st =
+  let lhs = atom_expr st in
+  match (peek st).token with
+  | STAR ->
+      advance st;
+      Query.Mul (lhs, mul_expr st)
+  | SLASH ->
+      advance st;
+      Query.Div (lhs, mul_expr st)
+  | _ -> lhs
+
+and atom_expr st =
+  match (peek st).token with
+  | LPAREN ->
+      advance st;
+      let e = expr st in
+      expect st RPAREN;
+      e
+  | IDENT (("min" | "max") as f) when (match st.toks with _ :: { token = LPAREN; _ } :: _ -> true | _ -> false) ->
+      advance st;
+      expect st LPAREN;
+      let a = expr st in
+      expect st COMMA;
+      let b = expr st in
+      expect st RPAREN;
+      if String.equal f "min" then Query.Min (a, b) else Query.Max (a, b)
+  | _ -> Query.Term (term st)
+
+let comparison st =
+  match (peek st).token with
+  | EQ ->
+      advance st;
+      Query.Eq
+  | NEQ ->
+      advance st;
+      Query.Neq
+  | LT ->
+      advance st;
+      Query.Lt
+  | LE ->
+      advance st;
+      Query.Le
+  | GT ->
+      advance st;
+      Query.Gt
+  | GE ->
+      advance st;
+      Query.Ge
+  | t -> fail st (Printf.sprintf "expected a comparison operator, found %s" (token_name t))
+
+(* One condition atom. *)
+let rec condition_atom st =
+  match (peek st).token with
+  | IDENT "absent" ->
+      advance st;
+      expect st LPAREN;
+      let atoms = condition_atoms st in
+      expect st RPAREN;
+      Condition.Absent atoms
+  | IDENT "occurred" ->
+      advance st;
+      expect st LPAREN;
+      let e = inst_event_expr st in
+      expect st COMMA;
+      let var = ident st in
+      expect st RPAREN;
+      Condition.Occurred { expr = e; var }
+  | IDENT "at" ->
+      advance st;
+      expect st LPAREN;
+      let e = inst_event_expr st in
+      expect st COMMA;
+      let var = ident st in
+      expect st COMMA;
+      let time_var = ident st in
+      expect st RPAREN;
+      Condition.At { expr = e; var; time_var }
+  | IDENT class_name
+    when (match st.toks with
+         | _ :: { token = LPAREN; _ } :: { token = IDENT _; _ }
+           :: { token = RPAREN; _ } :: _ ->
+             true
+         | _ -> false) ->
+      advance st;
+      expect st LPAREN;
+      let var = ident st in
+      expect st RPAREN;
+      Condition.Range { var; class_name }
+  | _ ->
+      let lhs = term st in
+      let op = comparison st in
+      let rhs = term st in
+      Condition.Compare (Query.Cmp (op, lhs, rhs))
+
+and condition_atoms st =
+  let atom = condition_atom st in
+  if (peek st).token = COMMA then begin
+    advance st;
+    atom :: condition_atoms st
+  end
+  else [ atom ]
+
+let assigns st =
+  expect st LPAREN;
+  if (peek st).token = RPAREN then begin
+    advance st;
+    []
+  end
+  else begin
+    let rec loop () =
+      let attr = ident st in
+      expect st ASSIGN;
+      let value = expr st in
+      if (peek st).token = COMMA then begin
+        advance st;
+        (attr, value) :: loop ()
+      end
+      else [ (attr, value) ]
+    in
+    let result = loop () in
+    expect st RPAREN;
+    result
+  end
+
+let optional_bind st =
+  match peek_ident st with
+  | Some "as" ->
+      advance st;
+      Some (ident st)
+  | _ -> None
+
+(* One action op (inside a trigger definition). *)
+let action_op st =
+  match ident st with
+  | "modify" ->
+      expect st LPAREN;
+      let var = ident st in
+      expect st DOT;
+      let attribute = ident st in
+      expect st COMMA;
+      let value = expr st in
+      expect st RPAREN;
+      Action.A_modify { var; attribute; value }
+  | "create" ->
+      let class_name = ident st in
+      let attrs = assigns st in
+      let bind = optional_bind st in
+      Action.A_create { class_name; attrs; bind }
+  | "delete" -> Action.A_delete { var = ident st }
+  | "generalize" ->
+      let var = ident st in
+      keyword st "to";
+      Action.A_generalize { var; to_class = ident st }
+  | "specialize" ->
+      let var = ident st in
+      keyword st "to";
+      Action.A_specialize { var; to_class = ident st }
+  | "select" -> Action.A_select { class_name = ident st }
+  | other -> fail st (Printf.sprintf "unknown action %s" other)
+
+let rec action_ops st =
+  let op = action_op st in
+  if (peek st).token = COMMA then begin
+    advance st;
+    op :: action_ops st
+  end
+  else [ op ]
+
+let trigger_def st ~coupling =
+  keyword st "trigger";
+  let name = ident st in
+  let target =
+    match peek_ident st with
+    | Some "for" ->
+        advance st;
+        Some (ident st)
+    | _ -> None
+  in
+  keyword st "events";
+  let event = event_expr st in
+  let condition =
+    match peek_ident st with
+    | Some "condition" ->
+        advance st;
+        condition_atoms st
+    | _ -> []
+  in
+  keyword st "actions";
+  let action = action_ops st in
+  let consumption =
+    match peek_ident st with
+    | Some "consuming" ->
+        advance st;
+        Rule.Consuming
+    | Some "preserving" ->
+        advance st;
+        Rule.Preserving
+    | _ -> Rule.Consuming
+  in
+  let priority =
+    match peek_ident st with
+    | Some "priority" -> (
+        advance st;
+        match (peek st).token with
+        | INT p ->
+            advance st;
+            p
+        | t -> fail st (Printf.sprintf "expected a priority, found %s" (token_name t)))
+    | _ -> 0
+  in
+  keyword st "end";
+  {
+    Rule.name;
+    target;
+    event;
+    condition;
+    action;
+    coupling;
+    consumption;
+    priority;
+  }
+
+(* One DML statement. *)
+let dml st =
+  match ident st with
+  | "create" ->
+      let class_name = ident st in
+      let a = assigns st in
+      let bind = optional_bind st in
+      Ast.D_create { class_name; assigns = a; bind }
+  | "modify" ->
+      let var = ident st in
+      expect st DOT;
+      let attribute = ident st in
+      expect st ASSIGN;
+      let value = expr st in
+      Ast.D_modify { var; attribute; value }
+  | "delete" -> Ast.D_delete (ident st)
+  | "generalize" ->
+      let var = ident st in
+      keyword st "to";
+      Ast.D_generalize { var; to_class = ident st }
+  | "specialize" ->
+      let var = ident st in
+      keyword st "to";
+      Ast.D_specialize { var; to_class = ident st }
+  | "select" -> Ast.D_select (ident st)
+  | other -> fail st (Printf.sprintf "unknown statement %s" other)
+
+let statement st =
+  match peek_ident st with
+  | Some "define" -> (
+      advance st;
+      match ident st with
+      | "class" ->
+          let name = ident st in
+          let super =
+            match peek_ident st with
+            | Some "extends" ->
+                advance st;
+                Some (ident st)
+            | _ -> None
+          in
+          expect st LPAREN;
+          let rec attrs () =
+            let a = ident st in
+            expect st COLON;
+            let ty = value_type st in
+            if (peek st).token = COMMA then begin
+              advance st;
+              (a, ty) :: attrs ()
+            end
+            else [ (a, ty) ]
+          in
+          let attributes = if (peek st).token = RPAREN then [] else attrs () in
+          expect st RPAREN;
+          Ast.Define_class { name; super; attributes }
+      | "immediate" -> Ast.Define_trigger (trigger_def st ~coupling:Rule.Immediate)
+      | "deferred" -> Ast.Define_trigger (trigger_def st ~coupling:Rule.Deferred)
+      | "timer" -> (
+          let name = ident st in
+          keyword st "every";
+          match (peek st).token with
+          | INT period ->
+              advance st;
+              Ast.Define_timer { name; period_lines = period }
+          | t -> fail st (Printf.sprintf "expected a period, found %s" (token_name t)))
+      | other -> fail st (Printf.sprintf "expected class/immediate/deferred, found %s" other))
+  | Some "begin" ->
+      advance st;
+      let rec dmls () =
+        match peek_ident st with
+        | Some "end" ->
+            advance st;
+            []
+        | _ ->
+            let d = dml st in
+            expect st SEMI;
+            d :: dmls ()
+      in
+      Ast.Line (dmls ())
+  | Some "commit" ->
+      advance st;
+      Ast.Commit
+  | Some "show" ->
+      advance st;
+      Ast.Show (ident st)
+  | Some "rules" ->
+      advance st;
+      Ast.Show_rules
+  | Some "events" ->
+      advance st;
+      Ast.Show_events
+  | _ -> Ast.Line [ dml st ]
+
+let script st =
+  let rec loop acc =
+    if (peek st).token = EOF then List.rev acc
+    else begin
+      let s = statement st in
+      (match (peek st).token with
+      | SEMI -> advance st
+      | EOF -> ()
+      | t -> fail st (Printf.sprintf "expected ';', found %s" (token_name t)));
+      loop (s :: acc)
+    end
+  in
+  loop []
+
+let parse src : (Ast.script, string) result =
+  match Lexer.tokenize src with
+  | exception Lexer.Error (msg, pos) ->
+      Error (Printf.sprintf "lex error at offset %d: %s" pos msg)
+  | toks -> (
+      let st = { toks } in
+      match script st with
+      | s -> Ok s
+      | exception Error (msg, pos) ->
+          Error (Printf.sprintf "parse error at offset %d: %s" pos msg))
+
+let parse_exn src =
+  match parse src with Ok s -> s | Error msg -> invalid_arg msg

@@ -1,0 +1,9 @@
+(** Recursive-descent parser for the script language; see the grammar in
+    the implementation header and the README's language reference. *)
+
+exception Error of string * int
+
+val parse : string -> (Ast.script, string) result
+
+val parse_exn : string -> Ast.script
+(** Raises [Invalid_argument] on error. *)

@@ -1,0 +1,1 @@
+lib/optimizer/derive.ml: Chimera_calculus Expr Fmt List Variation

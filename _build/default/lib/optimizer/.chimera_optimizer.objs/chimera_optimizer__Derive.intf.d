@@ -1,0 +1,1 @@
+lib/optimizer/derive.mli: Chimera_calculus Expr Format Variation

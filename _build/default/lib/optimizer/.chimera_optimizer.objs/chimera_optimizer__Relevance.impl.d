@@ -1,0 +1,1 @@
+lib/optimizer/relevance.ml: Chimera_calculus Chimera_event Event_type Expr List Simplify Variation

@@ -1,0 +1,1 @@
+lib/optimizer/simplify.ml: Chimera_event Derive Event_type Fmt List Variation

@@ -1,0 +1,1 @@
+lib/optimizer/simplify.mli: Chimera_calculus Chimera_event Event_type Expr Format Variation

@@ -1,0 +1,1 @@
+lib/optimizer/variation.ml: Chimera_event Event_type Fmt Stdlib

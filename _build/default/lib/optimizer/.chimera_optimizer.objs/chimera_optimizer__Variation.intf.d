@@ -1,0 +1,1 @@
+lib/optimizer/variation.mli: Chimera_event Event_type Format

@@ -1,0 +1,24 @@
+(** The derivation rules of Fig. 6: propagate the required variation
+    [D+(E)] down to variations on primitive event types, recording every
+    intermediate step so the paper's worked example can be printed. *)
+
+
+open Chimera_calculus
+type pending =
+  | On_set of Variation.polarity * Expr.set
+  | On_inst of Variation.polarity * Expr.inst
+
+type trace = {
+  expression : Expr.set;
+  steps : pending list list;  (** intermediate worklists, first to last *)
+  variations : Variation.t list;  (** fully derived, before simplification *)
+}
+
+val derive : Expr.set -> trace
+
+val variations : Expr.set -> Variation.t list
+(** The final step of {!derive} as variations on primitives. *)
+
+val pp_pending : Format.formatter -> pending -> unit
+val pp_step : Format.formatter -> pending list -> unit
+val pp_trace : Format.formatter -> trace -> unit

@@ -1,0 +1,36 @@
+(** The relevance filter consulted by the Trigger Support (Section 5.1):
+    decide, from V(E) alone, whether an arriving event occurrence can
+    possibly change a rule's ts sign, and hence whether recomputation may
+    be skipped. *)
+
+open Chimera_event
+open Chimera_calculus
+
+type t
+
+val of_expr : Expr.set -> t
+
+val v_set : t -> Simplify.v_set
+val has_negative : t -> bool
+
+val always_relevant : t -> bool
+(** The expression can be active on a window with no occurrence of its own
+    primitive types (negation-dominated); every arrival is then relevant. *)
+
+val relevant_endpoint : t -> occurrence:Event_type.t -> bool
+(** Sound for endpoint detection (evaluate ts at the current instant). *)
+
+val relevant_exact : t -> occurrence:Event_type.t -> bool
+(** Sound for the exact existential semantics of Section 4.4; additionally
+    treats every arrival as relevant when V(E) contains negative
+    variations. *)
+
+val active_without_occurrences : Expr.set -> bool
+(** Sign of ts on a window with activity but no occurrence of the
+    expression's own primitives (it is fully determined). *)
+
+val pp : Format.formatter -> t -> unit
+
+val active_on_empty_prefix : Chimera_calculus.Expr.set -> bool
+(** Sign of ts at the window's lower-bound probe, where the object universe
+    is empty: a min-lifted instance negation is then vacuously active. *)

@@ -1,0 +1,57 @@
+(* Variations of the ts function (Section 5.1).
+
+   The occurrence of a composite event is signalled by a positive variation
+   of its ts; static analysis propagates required variations through the
+   expression down to primitive event types (Fig. 6) and simplifies the
+   resulting set (Fig. 7) into V(E): the event types whose arrival can
+   change the sign of ts and hence require recomputation. *)
+
+open Chimera_event
+
+type polarity = Positive | Negative | Both
+
+type scope = Set_scope | Object_scope
+
+(* A fully derived variation on a primitive event type. *)
+type t = { etype : Event_type.t; polarity : polarity; scope : scope }
+
+let make ~etype ~polarity ~scope = { etype; polarity; scope }
+let etype t = t.etype
+let polarity t = t.polarity
+let scope t = t.scope
+
+let polarity_symbol = function Positive -> "+" | Negative -> "-" | Both -> ""
+
+let merge_polarity a b =
+  match (a, b) with
+  | Positive, Positive -> Positive
+  | Negative, Negative -> Negative
+  | _ -> Both
+
+let negate_polarity = function
+  | Positive -> Negative
+  | Negative -> Positive
+  | Both -> Both
+
+let includes ~required ~observed =
+  match (required, observed) with
+  | Both, _ -> true
+  | Positive, Positive -> true
+  | Negative, Negative -> true
+  | _ -> false
+
+let pp ppf t =
+  let scope_mark = match t.scope with Set_scope -> "" | Object_scope -> "^O" in
+  Fmt.pf ppf "D%s%s(%a)" (polarity_symbol t.polarity) scope_mark Event_type.pp
+    t.etype
+
+let to_string t = Fmt.str "%a" pp t
+
+let compare a b =
+  let c = Event_type.compare a.etype b.etype in
+  if c <> 0 then c
+  else
+    let c = Stdlib.compare a.polarity b.polarity in
+    if c <> 0 then c else Stdlib.compare a.scope b.scope
+
+let equal a b = compare a b = 0

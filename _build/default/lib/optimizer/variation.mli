@@ -1,0 +1,31 @@
+(** Variations of the ts function (Section 5.1): the vocabulary of the
+    static optimizer. *)
+
+open Chimera_event
+
+type polarity =
+  | Positive  (** D+: ts may become positive. *)
+  | Negative  (** D-: ts may become negative. *)
+  | Both  (** D: either direction. *)
+
+type scope =
+  | Set_scope  (** variation of ts *)
+  | Object_scope  (** variation of ots for a single object *)
+
+type t
+
+val make : etype:Event_type.t -> polarity:polarity -> scope:scope -> t
+val etype : t -> Event_type.t
+val polarity : t -> polarity
+val scope : t -> scope
+val polarity_symbol : polarity -> string
+val merge_polarity : polarity -> polarity -> polarity
+val negate_polarity : polarity -> polarity
+
+val includes : required:polarity -> observed:polarity -> bool
+(** Whether an observed variation satisfies a required one. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

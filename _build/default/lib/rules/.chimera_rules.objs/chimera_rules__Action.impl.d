@@ -1,0 +1,1 @@
+lib/rules/action.ml: Chimera_store Chimera_util Condition Fmt Ident Operation Printf Query Result Value

@@ -1,0 +1,1 @@
+lib/rules/action.mli: Chimera_store Chimera_util Condition Format Ident Object_store Operation Query

@@ -1,0 +1,1 @@
+lib/rules/analysis.ml: Action Array Chimera_calculus Chimera_event Chimera_optimizer Condition Event_type Expr Fmt List Option Relevance Rule Simplify String Variation

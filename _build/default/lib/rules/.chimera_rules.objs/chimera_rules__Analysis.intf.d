@@ -1,0 +1,1 @@
+lib/rules/analysis.mli: Chimera_event Event_type Format Rule

@@ -1,0 +1,1 @@
+lib/rules/condition.ml: Chimera_calculus Chimera_store Chimera_util Expr Fmt Ident List Object_store Printf Query Result String Time Ts Value

@@ -1,0 +1,1 @@
+lib/rules/condition.mli: Chimera_calculus Chimera_store Chimera_util Expr Format Object_store Query Time Ts Value

@@ -1,0 +1,1 @@
+lib/rules/engine.mli: Chimera_event Chimera_store Chimera_util Condition Event_base Format Ident Object_store Operation Rule Rule_table Schema Time Trigger_support

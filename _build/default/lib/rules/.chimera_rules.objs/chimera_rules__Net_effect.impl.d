@@ -1,0 +1,1 @@
+lib/rules/net_effect.ml: Chimera_event Chimera_util Event_base Event_type Fmt Ident Int List Map Occurrence String

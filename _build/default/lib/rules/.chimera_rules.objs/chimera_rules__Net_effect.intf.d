@@ -1,0 +1,1 @@
+lib/rules/net_effect.mli: Chimera_event Chimera_util Event_base Format Ident Window

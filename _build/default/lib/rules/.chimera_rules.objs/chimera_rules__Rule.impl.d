@@ -1,0 +1,1 @@
+lib/rules/rule.ml: Action Chimera_calculus Chimera_event Chimera_optimizer Chimera_util Condition Event_type Expr Fmt List Memo Printf Relevance String Time

@@ -1,0 +1,1 @@
+lib/rules/rule.mli: Action Chimera_calculus Chimera_optimizer Chimera_util Condition Expr Format Memo Relevance Time

@@ -1,0 +1,1 @@
+lib/rules/rule_table.ml: Hashtbl List Printf Rule

@@ -1,0 +1,1 @@
+lib/rules/rule_table.mli: Chimera_util Rule Time

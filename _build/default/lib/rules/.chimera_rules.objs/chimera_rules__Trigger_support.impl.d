@@ -1,0 +1,1 @@
+lib/rules/trigger_support.ml: Chimera_calculus Chimera_event Chimera_optimizer Chimera_util Event_base List Logs Memo Occurrence Relevance Rule Rule_table Time Ts Window

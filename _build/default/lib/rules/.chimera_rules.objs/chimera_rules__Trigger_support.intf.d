@@ -1,0 +1,1 @@
+lib/rules/trigger_support.mli: Chimera_calculus Chimera_event Event_base Rule Rule_table Ts

@@ -1,0 +1,99 @@
+(* Rule actions: sequences of data manipulations, executed set-oriented —
+   once per binding produced by the condition (Section 2's checkStockQty
+   processes every violating object in a single rule execution). *)
+
+open Chimera_util
+open Chimera_store
+
+type op =
+  | A_create of {
+      class_name : string;
+      attrs : (string * Query.expr) list;
+      bind : string option;
+          (** optionally binds the created object for later ops *)
+    }
+  | A_delete of { var : string }
+  | A_modify of { var : string; attribute : string; value : Query.expr }
+  | A_generalize of { var : string; to_class : string }
+  | A_specialize of { var : string; to_class : string }
+  | A_select of { class_name : string }
+
+type t = op list
+
+type error = Condition.error
+
+let ( let* ) = Result.bind
+
+(* Instantiates one action op under a binding environment into concrete
+   store operations.  [A_create] extends the environment, so instantiation
+   threads it. *)
+let instantiate store (env : Condition.env) op :
+    (Operation.t * (Ident.Oid.t -> Condition.env), error) result =
+  let resolve = Condition.lookup env in
+  let as_object var =
+    match resolve var with
+    | Some (Value.Oid oid) -> Ok oid
+    | Some v ->
+        Error
+          (`Type_error
+            (Printf.sprintf "variable %s is not an object (%s)" var
+               (Value.to_string v)))
+    | None -> Error (`Unbound_variable var)
+  in
+  let keep_env _oid = env in
+  match op with
+  | A_create { class_name; attrs; bind } ->
+      let* concrete =
+        Condition.map_result
+          (fun (a, e) ->
+            let* v =
+              (Query.eval_expr store ~resolve e
+                : (Value.t, Query.error) result
+                :> (Value.t, error) result)
+            in
+            Ok (a, v))
+          attrs
+      in
+      let extend oid =
+        match bind with
+        | None -> env
+        | Some var -> (var, Value.Oid oid) :: env
+      in
+      Ok (Operation.Create { class_name; attrs = concrete }, extend)
+  | A_delete { var } ->
+      let* oid = as_object var in
+      Ok (Operation.Delete { oid }, keep_env)
+  | A_modify { var; attribute; value } ->
+      let* oid = as_object var in
+      let* v =
+        (Query.eval_expr store ~resolve value
+          : (Value.t, Query.error) result
+          :> (Value.t, error) result)
+      in
+      Ok (Operation.Modify { oid; attribute; value = v }, keep_env)
+  | A_generalize { var; to_class } ->
+      let* oid = as_object var in
+      Ok (Operation.Generalize { oid; to_class }, keep_env)
+  | A_specialize { var; to_class } ->
+      let* oid = as_object var in
+      Ok (Operation.Specialize { oid; to_class }, keep_env)
+  | A_select { class_name } -> Ok (Operation.Select { class_name }, keep_env)
+
+let pp_op ppf = function
+  | A_create { class_name; attrs; bind } ->
+      let pp_attr ppf (a, e) = Fmt.pf ppf "%s=%a" a Query.pp_expr e in
+      Fmt.pf ppf "create %s(%a)%a" class_name
+        Fmt.(list ~sep:comma pp_attr)
+        attrs
+        Fmt.(option (fun ppf v -> Fmt.pf ppf " as %s" v))
+        bind
+  | A_delete { var } -> Fmt.pf ppf "delete %s" var
+  | A_modify { var; attribute; value } ->
+      Fmt.pf ppf "modify(%s.%s, %a)" var attribute Query.pp_expr value
+  | A_generalize { var; to_class } ->
+      Fmt.pf ppf "generalize %s to %s" var to_class
+  | A_specialize { var; to_class } ->
+      Fmt.pf ppf "specialize %s to %s" var to_class
+  | A_select { class_name } -> Fmt.pf ppf "select %s" class_name
+
+let pp ppf ops = Fmt.(list ~sep:semi pp_op) ppf ops

@@ -1,0 +1,35 @@
+(** Rule actions: sequences of data manipulations, executed once per
+    binding produced by the condition (set-oriented execution,
+    Section 2). *)
+
+open Chimera_util
+open Chimera_store
+
+type op =
+  | A_create of {
+      class_name : string;
+      attrs : (string * Query.expr) list;
+      bind : string option;
+          (** optionally binds the created object for later ops *)
+    }
+  | A_delete of { var : string }
+  | A_modify of { var : string; attribute : string; value : Query.expr }
+  | A_generalize of { var : string; to_class : string }
+  | A_specialize of { var : string; to_class : string }
+  | A_select of { class_name : string }
+
+type t = op list
+
+type error = Condition.error
+
+val instantiate :
+  Object_store.t ->
+  Condition.env ->
+  op ->
+  (Operation.t * (Ident.Oid.t -> Condition.env), error) result
+(** Resolves one action op under a binding environment into a concrete
+    store operation; the returned function extends the environment with
+    the affected object (for [A_create]'s [bind]). *)
+
+val pp_op : Format.formatter -> op -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,216 @@
+(* Static analysis of rule sets: the triggering graph and a conservative
+   termination check.
+
+   Rule A *may trigger* rule B when some event type A's action can
+   generate matches B's relevance filter (a positive variation in V(B.E),
+   or B is always-relevant).  The action's event types are approximated
+   from its operations; variables whose class is not pinned by a condition
+   range atom yield class-wildcard types, which match any subscription
+   with the same operation (and attribute).
+
+   A cycle in this graph means the rule set may not terminate — the
+   classical active-database static check; the engine's runtime budget
+   (max_rule_executions) is the corresponding dynamic guard. *)
+
+open Chimera_event
+open Chimera_calculus
+open Chimera_optimizer
+
+(* An event type the action may generate; [class_name = None] is a
+   wildcard (statically unknown target class). *)
+type produced = {
+  operation : Event_type.operation;
+  class_name : string option;
+  attribute : string option;
+}
+
+let pp_produced ppf p =
+  Fmt.pf ppf "%s(%s%a)"
+    (Event_type.operation_name p.operation)
+    (Option.value ~default:"*" p.class_name)
+    Fmt.(option (fun ppf a -> Fmt.pf ppf ".%s" a))
+    p.attribute
+
+(* Classes bound to each condition variable by range atoms (and by the
+   classes of the event types an occurred/at formula mentions, when they
+   all agree). *)
+let variable_classes condition =
+  let add acc var class_name =
+    match List.assoc_opt var acc with
+    | None -> (var, Some class_name) :: acc
+    | Some (Some c) when String.equal c class_name -> acc
+    | Some _ -> (var, None) :: List.remove_assoc var acc
+  in
+  List.fold_left
+    (fun acc atom ->
+      match atom with
+      | Condition.Range { var; class_name } -> add acc var class_name
+      | Condition.Occurred { expr; var } | Condition.At { expr; var; _ } -> (
+          let classes =
+            Event_type.Set.fold
+              (fun p acc -> Event_type.class_name p :: acc)
+              (Expr.primitives_inst expr) []
+          in
+          match List.sort_uniq String.compare classes with
+          | [ c ] -> add acc var c
+          | _ -> acc)
+      | Condition.Compare _ -> acc
+      (* Bindings inside an Absent are local: they never reach actions. *)
+      | Condition.Absent _ -> acc)
+    [] condition
+
+let class_of_var classes var =
+  match List.assoc_opt var classes with Some c -> c | None -> None
+
+(* Event types one action op may generate. *)
+let produced_by classes op =
+  match op with
+  | Action.A_create { class_name; _ } ->
+      [ { operation = Event_type.Create; class_name = Some class_name; attribute = None } ]
+  | Action.A_delete { var } ->
+      [ { operation = Event_type.Delete; class_name = class_of_var classes var; attribute = None } ]
+  | Action.A_modify { var; attribute; _ } ->
+      [
+        {
+          operation = Event_type.Modify;
+          class_name = class_of_var classes var;
+          attribute = Some attribute;
+        };
+      ]
+  | Action.A_generalize { to_class; _ } ->
+      [ { operation = Event_type.Generalize; class_name = Some to_class; attribute = None } ]
+  | Action.A_specialize { to_class; _ } ->
+      [ { operation = Event_type.Specialize; class_name = Some to_class; attribute = None } ]
+  | Action.A_select { class_name } ->
+      [ { operation = Event_type.Select; class_name = Some class_name; attribute = None } ]
+
+let produced_events (spec : Rule.spec) =
+  let classes = variable_classes spec.Rule.condition in
+  List.concat_map (produced_by classes) spec.Rule.action
+
+(* Does a produced event type match a concrete subscription?  Wildcard
+   classes match any class; an attribute-qualified modify production also
+   matches the unqualified subscription. *)
+let matches produced ~subscription =
+  let op_ok =
+    match (produced.operation, Event_type.operation subscription) with
+    | Event_type.External a, Event_type.External b -> String.equal a b
+    | a, b -> a = b
+  in
+  let class_ok =
+    match produced.class_name with
+    | None -> true
+    | Some c -> String.equal c (Event_type.class_name subscription)
+  in
+  let attribute_ok =
+    match (Event_type.attribute subscription, produced.attribute) with
+    | None, _ -> true
+    | Some sub_attr, Some prod_attr -> String.equal sub_attr prod_attr
+    | Some _, None -> false
+  in
+  op_ok && class_ok && attribute_ok
+
+(* May [a]'s action trigger [b]?  Conservative: true when a produced event
+   matches a positive subscription of V(b.event), or when b triggers on
+   any activity at all. *)
+let may_trigger (a : Rule.spec) (b : Rule.spec) =
+  let produced = produced_events a in
+  produced <> []
+  && (let relevance = Relevance.of_expr b.Rule.event in
+      Relevance.always_relevant relevance
+      || List.exists
+           (fun p ->
+             Event_type.Set.exists
+               (fun subscription ->
+                 (match Simplify.polarity_of (Relevance.v_set relevance) subscription with
+                 | Some Variation.Positive | Some Variation.Both -> true
+                 | Some Variation.Negative | None -> false)
+                 && matches p ~subscription)
+               (Expr.primitives b.Rule.event))
+           produced)
+
+type graph = {
+  rules : Rule.spec array;
+  edges : int list array;  (** adjacency by rule index *)
+}
+
+let triggering_graph specs =
+  let rules = Array.of_list specs in
+  let n = Array.length rules in
+  let edges =
+    Array.init n (fun i ->
+        List.filter
+          (fun j -> may_trigger rules.(i) rules.(j))
+          (List.init n (fun j -> j)))
+  in
+  { rules; edges }
+
+let edges g =
+  Array.to_list
+    (Array.mapi
+       (fun i targets ->
+         ( g.rules.(i).Rule.name,
+           List.map (fun j -> g.rules.(j).Rule.name) targets ))
+       g.edges)
+
+(* Tarjan's strongly connected components; a component of size > 1, or a
+   self-looping singleton, is a potential non-termination source. *)
+let sccs g =
+  let n = Array.length g.rules in
+  let index = Array.make n (-1)
+  and lowlink = Array.make n 0
+  and on_stack = Array.make n false in
+  let stack = ref [] and counter = ref 0 and components = ref [] in
+  let rec strongconnect v =
+    index.(v) <- !counter;
+    lowlink.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) < 0 then begin
+          strongconnect w;
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      g.edges.(v);
+    if lowlink.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            if w = v then w :: acc else pop (w :: acc)
+      in
+      components := pop [] :: !components
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) < 0 then strongconnect v
+  done;
+  List.rev !components
+
+let potential_cycles specs =
+  let g = triggering_graph specs in
+  let cyclic component =
+    match component with
+    | [ v ] -> List.mem v g.edges.(v)
+    | _ :: _ :: _ -> true
+    | [] -> false
+  in
+  List.filter_map
+    (fun component ->
+      if cyclic component then
+        Some (List.map (fun v -> g.rules.(v).Rule.name) component)
+      else None)
+    (sccs g)
+
+let terminates specs = potential_cycles specs = []
+
+let pp_graph ppf g =
+  List.iter
+    (fun (name, targets) ->
+      Fmt.pf ppf "%s -> {%a}@." name Fmt.(list ~sep:(any ", ") string) targets)
+    (edges g)

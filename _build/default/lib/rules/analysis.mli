@@ -1,0 +1,39 @@
+(** Static analysis of rule sets: the triggering graph (which rules' actions
+    can trigger which rules) and a conservative termination check — the
+    classical active-database companion to the engine's runtime cascade
+    budget. *)
+
+open Chimera_event
+
+(** An event type an action may generate; [class_name = None] is a
+    wildcard (target class not statically pinned). *)
+type produced = {
+  operation : Event_type.operation;
+  class_name : string option;
+  attribute : string option;
+}
+
+val pp_produced : Format.formatter -> produced -> unit
+
+val produced_events : Rule.spec -> produced list
+(** Event types the rule's action may generate, with variable classes
+    recovered from the condition's range atoms and event formulas. *)
+
+val may_trigger : Rule.spec -> Rule.spec -> bool
+(** Conservative: [true] when a produced event matches a positive
+    subscription of the target's V(E), or the target is always-relevant
+    (negation-dominated). *)
+
+type graph
+
+val triggering_graph : Rule.spec list -> graph
+
+val edges : graph -> (string * string list) list
+(** Adjacency by rule name, in definition order. *)
+
+val potential_cycles : Rule.spec list -> string list list
+(** Strongly connected components that can sustain a cascade (size > 1 or
+    self-looping); empty means the rule set provably terminates. *)
+
+val terminates : Rule.spec list -> bool
+val pp_graph : Format.formatter -> graph -> unit

@@ -1,0 +1,296 @@
+(* The rule-processing engine: Block Executor + transaction loop.
+
+   A transaction is a sequence of transaction lines (non-interruptible
+   blocks of data manipulations).  After every block the Trigger Support
+   determines newly triggered rules; then the highest-priority triggered
+   rule with a matching coupling mode is considered (condition evaluated
+   set-oriented), detriggered, and — if the condition produced bindings —
+   its action executes as a new block, whose events can trigger further
+   rules.  Deferred rules wait for commit (Section 2). *)
+
+open Chimera_util
+open Chimera_event
+open Chimera_calculus
+open Chimera_store
+
+type error =
+  [ Condition.error
+  | `Nontermination of string ]
+
+let pp_error ppf = function
+  | #Condition.error as e -> Condition.pp_error ppf e
+  | `Nontermination rule ->
+      Fmt.pf ppf "rule processing did not quiesce (last rule %s)" rule
+
+type config = {
+  trigger : Trigger_support.config;
+  max_rule_executions : int;
+      (** guard against non-terminating rule cascades *)
+  compact_at_commit : int option;
+      (** drop the event log at commit once it exceeds this size; sound
+          because every rule window restarts at the commit instant *)
+}
+
+let default_config =
+  {
+    trigger = Trigger_support.default_config;
+    max_rule_executions = 10_000;
+    compact_at_commit = Some 100_000;
+  }
+
+type stats = {
+  trigger_stats : Trigger_support.stats;
+  mutable lines : int;  (** user transaction lines executed *)
+  mutable blocks : int;  (** blocks (lines + rule actions) *)
+  mutable considerations : int;
+  mutable executions : int;  (** considerations whose condition held *)
+  mutable operations : int;
+  mutable events : int;
+}
+
+let stats () =
+  {
+    trigger_stats = Trigger_support.stats ();
+    lines = 0;
+    blocks = 0;
+    considerations = 0;
+    executions = 0;
+    operations = 0;
+    events = 0;
+  }
+
+(* HiPAC-style periodic (clock) events, simulated on the engine's logical
+   time: a timer matures every [period] transaction lines and contributes
+   an external event occurrence to that line's block. *)
+type timer = {
+  timer_name : string;
+  etype : Event_type.t;
+  period : int;
+  mutable countdown : int;
+}
+
+type t = {
+  config : config;
+  store : Object_store.t;
+  mutable eb : Event_base.t;
+  rules : Rule_table.t;
+  mutable tx_start : Time.t;
+  mutable timers : timer list;
+  stats : stats;
+}
+
+(* Timer occurrences affect a reserved pseudo-object. *)
+let timer_oid = Ident.Oid.of_int 0
+
+let create ?(config = default_config) schema =
+  let eb = Event_base.create () in
+  {
+    config;
+    store = Object_store.create schema;
+    eb;
+    rules = Rule_table.create ();
+    tx_start = Event_base.probe_now eb;
+    timers = [];
+    stats = stats ();
+  }
+
+let store t = t.store
+let event_base t = t.eb
+let rules t = t.rules
+let statistics t = t.stats
+let tx_start t = t.tx_start
+
+let define t spec = Rule_table.add t.rules ~tx_start:t.tx_start spec
+
+(* Registers a periodic timer; returns the event type rules subscribe to
+   (an external event on the pseudo-class "timer"). *)
+let define_timer t ~name ~period_lines =
+  if period_lines <= 0 then
+    invalid_arg "Engine.define_timer: period must be positive";
+  let etype = Event_type.external_ ~name ~class_name:"timer" in
+  t.timers <-
+    t.timers
+    @ [ { timer_name = name; etype; period = period_lines; countdown = period_lines } ];
+  etype
+
+let timer_names t = List.map (fun timer -> timer.timer_name) t.timers
+
+(* Matured timers contribute occurrences to the upcoming line's block. *)
+let fire_timers t =
+  List.iter
+    (fun timer ->
+      timer.countdown <- timer.countdown - 1;
+      if timer.countdown <= 0 then begin
+        timer.countdown <- timer.period;
+        t.stats.events <- t.stats.events + 1;
+        ignore (Event_base.record t.eb ~etype:timer.etype ~oid:timer_oid)
+      end)
+    t.timers
+
+let define_exn t spec =
+  match define t spec with
+  | Ok rule -> rule
+  | Error (`Rule_error msg) -> invalid_arg msg
+
+let log_src = Logs.Src.create "chimera.engine" ~doc:"Rule-processing engine"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let ( let* ) = Result.bind
+
+(* Applies one store operation and records the generated occurrences. *)
+let apply_operation t op : (Ident.Oid.t option, error) result =
+  match Operation.apply t.store op with
+  | Error e -> Error (e : Object_store.error :> error)
+  | Ok emitted ->
+      t.stats.operations <- t.stats.operations + 1;
+      List.iter
+        (fun { Operation.etype; affected } ->
+          t.stats.events <- t.stats.events + 1;
+          ignore (Event_base.record t.eb ~etype ~oid:affected))
+        emitted;
+      Ok
+        (match emitted with
+        | [ { Operation.affected; _ } ] -> Some affected
+        | _ -> None)
+
+(* Executes a block of operations (a transaction line or one rule-action
+   instantiation), then lets the Trigger Support look for new triggered
+   rules.  Returns the object affected by each operation (scripts use the
+   one of a trailing [create] for [as X] bindings). *)
+let run_block t ops : (Ident.Oid.t option list, error) result =
+  t.stats.blocks <- t.stats.blocks + 1;
+  let* affected =
+    List.fold_left
+      (fun acc op ->
+        let* oids = acc in
+        let* oid = apply_operation t op in
+        Ok (oid :: oids))
+      (Ok []) ops
+  in
+  Trigger_support.check_all t.config.trigger t.stats.trigger_stats t.eb
+    t.rules;
+  Ok (List.rev affected)
+
+(* Executes a rule's action for every binding produced by its condition,
+   threading environment extensions from binding creates. *)
+let run_action t rule envs : (unit, error) result =
+  t.stats.blocks <- t.stats.blocks + 1;
+  let* () =
+    List.fold_left
+      (fun acc env ->
+        let* () = acc in
+        let* _env =
+          List.fold_left
+            (fun acc op ->
+              let* env = acc in
+              let* operation, extend =
+                (Action.instantiate t.store env op
+                  : (_, Condition.error) result
+                  :> (_, error) result)
+              in
+              let* oid = apply_operation t operation in
+              match oid with
+              | Some oid -> Ok (extend oid)
+              | None -> Ok env)
+            (Ok env) rule.Rule.spec.action
+        in
+        Ok ())
+      (Ok ()) envs
+  in
+  Trigger_support.check_all t.config.trigger t.stats.trigger_stats t.eb
+    t.rules;
+  Ok ()
+
+(* Considers the selected rule: evaluate its condition over its window,
+   detrigger, and execute the action when the condition holds. *)
+let consider t rule : (unit, error) result =
+  let at = Event_base.probe_now t.eb in
+  let after = Rule.formula_window_start rule ~tx_start:t.tx_start in
+  let window = Window.make ~after ~upto:at in
+  let ts_env = Ts.env ~style:t.config.trigger.Trigger_support.style t.eb ~window in
+  let* envs =
+    (Condition.eval t.store ts_env ~at rule.Rule.spec.condition
+      : (_, Condition.error) result
+      :> (_, error) result)
+  in
+  t.stats.considerations <- t.stats.considerations + 1;
+  Rule.detrigger rule ~at;
+  Log.debug (fun m ->
+      m "considering %s at %a: %d binding(s)" (Rule.name rule) Time.pp at
+        (List.length envs));
+  if envs = [] then Ok ()
+  else begin
+    t.stats.executions <- t.stats.executions + 1;
+    run_action t rule envs
+  end
+
+let coupling_filter ~include_deferred rule =
+  match rule.Rule.spec.coupling with
+  | Rule.Immediate -> true
+  | Rule.Deferred -> include_deferred
+
+(* The rule-processing loop: select, consider, repeat until quiescent. *)
+let process t ~include_deferred : (unit, error) result =
+  let budget = ref t.config.max_rule_executions in
+  let rec loop () =
+    match
+      Rule_table.select t.rules ~filter:(coupling_filter ~include_deferred)
+    with
+    | None -> Ok ()
+    | Some rule ->
+        if !budget <= 0 then Error (`Nontermination (Rule.name rule))
+        else begin
+          decr budget;
+          let* () = consider t rule in
+          loop ()
+        end
+  in
+  loop ()
+
+let execute_line t ops : (unit, error) result =
+  t.stats.lines <- t.stats.lines + 1;
+  fire_timers t;
+  let* _affected = run_block t ops in
+  process t ~include_deferred:false
+
+(* Like {!execute_line}, additionally reporting the object affected by each
+   operation (before any rule runs). *)
+let execute_line_affected t ops : (Ident.Oid.t option list, error) result =
+  t.stats.lines <- t.stats.lines + 1;
+  fire_timers t;
+  let* affected = run_block t ops in
+  let* () = process t ~include_deferred:false in
+  Ok affected
+
+(* After commit every rule window restarts at the commit instant, so no
+   evaluation can ever reach the old occurrences again: the log can be
+   dropped, keeping only the clock position so instants stay monotone. *)
+let compact t =
+  let fresh = Event_base.create () in
+  Time.Clock.advance_to (Event_base.clock fresh) (Event_base.now t.eb);
+  t.eb <- fresh
+
+let commit t : (unit, error) result =
+  (* Give deferred rules a final trigger check over the whole transaction,
+     then process every triggered rule. *)
+  Trigger_support.check_all t.config.trigger t.stats.trigger_stats t.eb
+    t.rules;
+  let* () = process t ~include_deferred:true in
+  (match t.config.compact_at_commit with
+  | Some threshold when Event_base.size t.eb >= threshold -> compact t
+  | Some _ | None -> ());
+  let fresh_start = Event_base.probe_now t.eb in
+  t.tx_start <- fresh_start;
+  Rule_table.iter (fun rule -> Rule.reset rule ~tx_start:fresh_start) t.rules;
+  Ok ()
+
+let execute_line_exn t ops =
+  match execute_line t ops with
+  | Ok () -> ()
+  | Error e -> failwith (Fmt.str "%a" pp_error e)
+
+let commit_exn t =
+  match commit t with
+  | Ok () -> ()
+  | Error e -> failwith (Fmt.str "%a" pp_error e)

@@ -1,0 +1,79 @@
+(** The rule-processing engine: Block Executor plus the transaction loop
+    of Section 2.
+
+    A transaction is a sequence of transaction lines (non-interruptible
+    blocks).  After every block the Trigger Support runs; then the
+    highest-priority triggered rule with a matching coupling mode is
+    considered (condition evaluated set-oriented), detriggered, and its
+    action — when the condition held — executes as a new block whose
+    events can trigger further rules.  Deferred rules wait for commit. *)
+
+open Chimera_util
+open Chimera_event
+open Chimera_store
+
+type error = [ Condition.error | `Nontermination of string ]
+
+val pp_error : Format.formatter -> error -> unit
+
+type config = {
+  trigger : Trigger_support.config;
+  max_rule_executions : int;
+      (** guard against non-terminating rule cascades *)
+  compact_at_commit : int option;
+      (** drop the event log at commit once it exceeds this size (sound:
+          every rule window restarts at the commit instant); [None]
+          disables compaction.  Default: [Some 100_000]. *)
+}
+
+val default_config : config
+
+type stats = {
+  trigger_stats : Trigger_support.stats;
+  mutable lines : int;  (** user transaction lines executed *)
+  mutable blocks : int;  (** blocks (lines plus rule actions) *)
+  mutable considerations : int;
+  mutable executions : int;  (** considerations whose condition held *)
+  mutable operations : int;
+  mutable events : int;
+}
+
+type t
+
+val create : ?config:config -> Schema.t -> t
+val store : t -> Object_store.t
+val event_base : t -> Event_base.t
+val rules : t -> Rule_table.t
+val statistics : t -> stats
+val tx_start : t -> Time.t
+
+val define : t -> Rule.spec -> (Rule.t, [> `Rule_error of string ]) result
+
+val define_exn : t -> Rule.spec -> Rule.t
+(** Raises [Invalid_argument] on rejection. *)
+
+val execute_line : t -> Operation.t list -> (unit, error) result
+(** Executes one transaction line, then processes immediate rules to
+    quiescence. *)
+
+val execute_line_affected :
+  t -> Operation.t list -> (Ident.Oid.t option list, error) result
+(** Like {!execute_line}, additionally reporting the object affected by
+    each operation (before any rule runs); scripts use it for [as X]
+    bindings. *)
+
+val commit : t -> (unit, error) result
+(** Processes deferred (and remaining immediate) rules, then starts a
+    fresh transaction: rule windows restart, flags clear. *)
+
+val execute_line_exn : t -> Operation.t list -> unit
+val commit_exn : t -> unit
+
+val define_timer : t -> name:string -> period_lines:int -> Chimera_event.Event_type.t
+(** Registers a HiPAC-style periodic clock event, simulated on the
+    engine's logical time: it matures every [period_lines] transaction
+    lines and contributes an external occurrence (on the reserved timer
+    pseudo-object) to that line's block.  Returns the event type rules
+    subscribe to.  Raises [Invalid_argument] on a non-positive period. *)
+
+val timer_names : t -> string list

@@ -1,0 +1,113 @@
+(* Net effects of a window of events, per object.
+
+   The paper's Section 3.3 footnote retires Chimera's [holds] predicate:
+   event composition — e.g. "net-effect creation" — is expressible in the
+   calculus directly.  This module provides the classical net-effect
+   summary (Starburst-style) as a library service on top of the event
+   base, so conditions and tools can reason about what a transaction
+   amounted to:
+
+   - created, then possibly modified            => net creation
+   - created, then deleted                      => no net effect
+   - modified (pre-existing), possibly deleted  => net delete / net modify
+   - deleted (pre-existing)                     => net deletion *)
+
+open Chimera_util
+open Chimera_event
+
+type effect =
+  | Net_created of { class_name : string; modified : string list }
+  | Net_deleted of { class_name : string }
+  | Net_modified of { class_name : string; modified : string list }
+  | No_net_effect  (** created and deleted within the window *)
+
+let effect_name = function
+  | Net_created _ -> "created"
+  | Net_deleted _ -> "deleted"
+  | Net_modified _ -> "modified"
+  | No_net_effect -> "none"
+
+let pp_effect ppf = function
+  | Net_created { class_name; modified } ->
+      Fmt.pf ppf "net-created %s%a" class_name
+        Fmt.(list ~sep:nop (fun ppf a -> Fmt.pf ppf " ~%s" a))
+        modified
+  | Net_deleted { class_name } -> Fmt.pf ppf "net-deleted %s" class_name
+  | Net_modified { class_name; modified } ->
+      Fmt.pf ppf "net-modified %s (%a)" class_name
+        Fmt.(list ~sep:(any ", ") string)
+        modified
+  | No_net_effect -> Fmt.string ppf "no net effect"
+
+(* Folds one object's chronological event list into its net effect. *)
+let summarize occs =
+  let created = ref false in
+  let deleted = ref false in
+  let class_name = ref "" in
+  let modified = ref [] in
+  List.iter
+    (fun occ ->
+      let etype = Occurrence.etype occ in
+      class_name := Event_type.class_name etype;
+      match Event_type.operation etype with
+      | Event_type.Create ->
+          created := true;
+          deleted := false;
+          modified := []
+      | Event_type.Delete -> deleted := true
+      | Event_type.Modify -> (
+          match Event_type.attribute etype with
+          | Some attr when not (List.mem attr !modified) ->
+              modified := attr :: !modified
+          | _ -> ())
+      | Event_type.Generalize | Event_type.Specialize
+      | Event_type.Select | Event_type.External _ ->
+          ())
+    occs;
+  let modified = List.sort String.compare !modified in
+  match (!created, !deleted) with
+  | true, true -> No_net_effect
+  | true, false -> Net_created { class_name = !class_name; modified }
+  | false, true -> Net_deleted { class_name = !class_name }
+  | false, false ->
+      if modified = [] then No_net_effect
+      else Net_modified { class_name = !class_name; modified }
+
+module Int_map = Map.Make (Int)
+
+(* Per-object net effects over [window]; objects appear in first-affected
+   order.  Qualified modify occurrences are considered once (the event
+   base also indexes them under the unqualified type). *)
+let compute eb ~window =
+  let per_object = ref Int_map.empty in
+  let order = ref [] in
+  Event_base.iter_in eb ~window (fun occ ->
+      let key = Ident.Oid.to_int (Occurrence.oid occ) in
+      (match Int_map.find_opt key !per_object with
+      | None ->
+          order := key :: !order;
+          per_object := Int_map.add key [ occ ] !per_object
+      | Some occs -> per_object := Int_map.add key (occ :: occs) !per_object));
+  List.rev_map
+    (fun key ->
+      let occs = List.rev (Int_map.find key !per_object) in
+      (Ident.Oid.of_int key, summarize occs))
+    !order
+
+let created eb ~window =
+  List.filter_map
+    (fun (oid, effect) ->
+      match effect with Net_created _ -> Some oid | _ -> None)
+    (compute eb ~window)
+
+let deleted eb ~window =
+  List.filter_map
+    (fun (oid, effect) ->
+      match effect with Net_deleted _ -> Some oid | _ -> None)
+    (compute eb ~window)
+
+let modified eb ~window =
+  List.filter_map
+    (fun (oid, effect) ->
+      match effect with Net_modified _ -> Some oid | _ -> None)
+    (compute eb ~window)

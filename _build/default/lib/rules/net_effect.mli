@@ -1,0 +1,25 @@
+(** Per-object net effects of a window of events: the classical summary
+    that makes Chimera's [holds] predicate redundant (the calculus
+    footnote of Section 3.3). *)
+
+open Chimera_util
+open Chimera_event
+
+type effect =
+  | Net_created of { class_name : string; modified : string list }
+  | Net_deleted of { class_name : string }
+  | Net_modified of { class_name : string; modified : string list }
+  | No_net_effect  (** created and deleted within the window *)
+
+val effect_name : effect -> string
+val pp_effect : Format.formatter -> effect -> unit
+
+val compute :
+  Event_base.t -> window:Window.t -> (Ident.Oid.t * effect) list
+(** Per-object summary, in first-affected order.  A creation erases prior
+    history (re-creation after delete counts as fresh); a deletion after a
+    creation cancels both. *)
+
+val created : Event_base.t -> window:Window.t -> Ident.Oid.t list
+val deleted : Event_base.t -> window:Window.t -> Ident.Oid.t list
+val modified : Event_base.t -> window:Window.t -> Ident.Oid.t list

@@ -1,0 +1,45 @@
+(* The Rule Table (Section 5): name-indexed for fast access, and kept in a
+   priority queue (here a sorted list rebuilt on definition — rule sets are
+   small and static relative to event traffic) for the selection step. *)
+
+type t = {
+  by_name : (string, Rule.t) Hashtbl.t;
+  mutable ordered : Rule.t list;  (** decreasing priority, then seqno *)
+  mutable next_seqno : int;
+}
+
+let create () = { by_name = Hashtbl.create 32; ordered = []; next_seqno = 0 }
+
+let order a b =
+  let c = compare (Rule.priority b) (Rule.priority a) in
+  if c <> 0 then c else compare a.Rule.seqno b.Rule.seqno
+
+let add t ~tx_start spec =
+  if Hashtbl.mem t.by_name spec.Rule.name then
+    Error (`Rule_error (Printf.sprintf "rule %s already defined" spec.Rule.name))
+  else
+    match Rule.make ~seqno:t.next_seqno ~tx_start spec with
+    | Error _ as e -> e
+    | Ok rule ->
+        t.next_seqno <- t.next_seqno + 1;
+        Hashtbl.add t.by_name spec.Rule.name rule;
+        t.ordered <- List.sort order (rule :: t.ordered);
+        Ok rule
+
+let remove t name =
+  match Hashtbl.find_opt t.by_name name with
+  | None -> Error (`Rule_error (Printf.sprintf "unknown rule %s" name))
+  | Some rule ->
+      Hashtbl.remove t.by_name name;
+      t.ordered <- List.filter (fun r -> r != rule) t.ordered;
+      Ok ()
+
+let find t name = Hashtbl.find_opt t.by_name name
+let rules t = t.ordered
+let cardinal t = Hashtbl.length t.by_name
+let iter f t = List.iter f t.ordered
+
+(* Highest-priority triggered rule passing [filter] (the coupling-mode
+   selection of the rule-processing loop). *)
+let select t ~filter =
+  List.find_opt (fun r -> r.Rule.triggered && filter r) t.ordered

@@ -1,0 +1,24 @@
+(** The Rule Table (Section 5): name-indexed, kept in decreasing priority
+    order (ties break on definition order) for the selection step. *)
+
+open Chimera_util
+
+type t
+
+val create : unit -> t
+
+val add :
+  t -> tx_start:Time.t -> Rule.spec -> (Rule.t, [> `Rule_error of string ]) result
+(** Rejects duplicate names and invalid targeting. *)
+
+val remove : t -> string -> (unit, [> `Rule_error of string ]) result
+val find : t -> string -> Rule.t option
+
+val rules : t -> Rule.t list
+(** In selection order. *)
+
+val cardinal : t -> int
+val iter : (Rule.t -> unit) -> t -> unit
+
+val select : t -> filter:(Rule.t -> bool) -> Rule.t option
+(** Highest-priority triggered rule passing [filter]. *)

@@ -1,0 +1,175 @@
+(* The Trigger Support (Section 5): after every non-interruptible block it
+   determines the newly triggered rules by evaluating ts for each
+   non-triggered rule over its window R, consulting the statically derived
+   V(E) to skip recomputations that cannot change the sign.
+
+   Two detection modes:
+
+   - [Exact] implements the existential semantics of Section 4.4 literally:
+     the rule is triggered if ts was positive at *some* instant since the
+     last consideration.  The sign of ts only changes at event instants, so
+     the support probes the window's lower bound once per window plus every
+     new event instant (incremental: [scan_from] remembers coverage).
+
+   - [Endpoint] evaluates ts at the current instant only, the cheaper
+     behaviour sketched in the implementation section. *)
+
+open Chimera_util
+open Chimera_event
+open Chimera_calculus
+open Chimera_optimizer
+
+let log_src = Logs.Src.create "chimera.trigger" ~doc:"Trigger Support decisions"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type detection = Exact | Endpoint
+
+type stats = {
+  mutable checks : int;  (** per-rule trigger checks performed *)
+  mutable recomputations : int;  (** ts (re)computations *)
+  mutable probes : int;  (** instants at which ts was evaluated *)
+  mutable skipped : int;  (** checks skipped thanks to V(E) *)
+  mutable fired : int;  (** rule triggerings *)
+}
+
+let stats () =
+  { checks = 0; recomputations = 0; probes = 0; skipped = 0; fired = 0 }
+
+let reset_stats s =
+  s.checks <- 0;
+  s.recomputations <- 0;
+  s.probes <- 0;
+  s.skipped <- 0;
+  s.fired <- 0
+
+type config = {
+  detection : detection;
+  optimizer : bool;  (** consult V(E) before recomputing ts *)
+  style : Ts.style;
+  memoize : bool;
+      (** evaluate through per-rule memo tables over interned expressions
+          (sound: windows move only at consideration, which drops them) *)
+}
+
+let default_config =
+  { detection = Exact; optimizer = true; style = Ts.Logical; memoize = false }
+
+(* One activation probe for [rule], through its memo when enabled. *)
+let rule_active config eb ~window ~at rule =
+  if config.memoize then begin
+    let memo, handle =
+      match rule.Rule.memo with
+      | Some ((m, _) as pair) when Memo.event_base m == eb -> pair
+      | _ ->
+          (* First probe for this window (or the log was compacted). *)
+          let m = Memo.create eb ~after:(Window.after window) in
+          let h = Memo.intern m rule.Rule.spec.event in
+          rule.Rule.memo <- Some (m, h);
+          (m, h)
+    in
+    Memo.active_handle memo ~at handle
+  end
+  else
+    let env = Ts.env ~style:config.style eb ~window in
+    Ts.active env ~at rule.Rule.spec.event
+
+(* Is there, among the occurrences in (from, upto], one whose type is
+   relevant to the rule under the configured detection mode? *)
+let relevant_arrival config eb rule ~from ~upto =
+  if Time.( >= ) from upto then false
+  else begin
+    let window = Window.make ~after:from ~upto in
+    let relevance = Rule.relevance rule in
+    let relevant =
+      match config.detection with
+      | Exact -> fun occ -> Relevance.relevant_exact relevance ~occurrence:occ
+      | Endpoint ->
+          fun occ -> Relevance.relevant_endpoint relevance ~occurrence:occ
+    in
+    let found = ref false in
+    Event_base.iter_in eb ~window (fun occ ->
+        if (not !found) && relevant (Occurrence.etype occ) then found := true);
+    !found
+  end
+
+let trigger stats rule =
+  rule.Rule.triggered <- true;
+  stats.fired <- stats.fired + 1;
+  Log.debug (fun m -> m "rule %s triggered" (Rule.name rule))
+
+(* Check one rule after a block; [now] is a probe instant after every
+   recorded occurrence. *)
+let check_rule config stats eb rule =
+  if not rule.Rule.triggered then begin
+    stats.checks <- stats.checks + 1;
+    let after = Rule.trigger_window_start rule in
+    let now = Event_base.probe_now eb in
+    if Time.( < ) after now then begin
+      let window = Window.make ~after ~upto:now in
+      (* The R <> 0 gate: a rule reacts only when something happened. *)
+      if not (Event_base.is_empty_in eb ~window) then begin
+        match config.detection with
+        | Endpoint ->
+            let since = Time.max rule.Rule.last_recomputation after in
+            let skip =
+              config.optimizer
+              && Time.( > ) rule.Rule.last_recomputation Time.origin
+              && not (relevant_arrival config eb rule ~from:since ~upto:now)
+            in
+            if skip then begin
+              stats.skipped <- stats.skipped + 1;
+              Log.debug (fun m ->
+                  m "rule %s: endpoint check skipped via V(E)" (Rule.name rule));
+              rule.Rule.last_recomputation <- now
+            end
+            else begin
+              stats.recomputations <- stats.recomputations + 1;
+              stats.probes <- stats.probes + 1;
+              let positive = rule_active config eb ~window ~at:now rule in
+              rule.Rule.last_recomputation <- now;
+              rule.Rule.last_sign_positive <- positive;
+              if positive then trigger stats rule
+            end
+        | Exact ->
+            let first_scan = Time.equal rule.Rule.scan_from after in
+            let relevance = Rule.relevance rule in
+            let skip =
+              config.optimizer
+              && (not (relevant_arrival config eb rule ~from:rule.Rule.scan_from ~upto:now))
+              && not (first_scan && Relevance.always_relevant relevance)
+            in
+            if skip then begin
+              stats.skipped <- stats.skipped + 1;
+              Log.debug (fun m ->
+                  m "rule %s: exact scan skipped via V(E)" (Rule.name rule));
+              (* Irrelevant arrivals cannot flip the sign at the skipped
+                 instants, so coverage advances. *)
+              rule.Rule.scan_from <- now
+            end
+            else begin
+              stats.recomputations <- stats.recomputations + 1;
+              let scan_window =
+                Window.make ~after:rule.Rule.scan_from ~upto:now
+              in
+              let candidates =
+                let news = Event_base.timestamps_in eb ~window:scan_window in
+                if first_scan then (after :: news) @ [ now ] else news
+              in
+              let found =
+                List.exists
+                  (fun at ->
+                    stats.probes <- stats.probes + 1;
+                    rule_active config eb ~window ~at rule)
+                  candidates
+              in
+              rule.Rule.scan_from <- now;
+              rule.Rule.last_sign_positive <- found;
+              if found then trigger stats rule
+            end
+      end
+    end
+  end
+
+let check_all config stats eb table =
+  Rule_table.iter (check_rule config stats eb) table

@@ -1,0 +1,49 @@
+(** The Trigger Support (Section 5): after every non-interruptible block,
+    determine the newly triggered rules by evaluating ts over each rule's
+    window, consulting V(E) to skip recomputations that cannot flip the
+    sign. *)
+
+open Chimera_calculus
+open Chimera_event
+
+type detection =
+  | Exact
+      (** The existential semantics of Section 4.4: triggered if ts was
+          positive at {e some} instant since the last consideration.
+          Incremental: each instant is probed at most once. *)
+  | Endpoint
+      (** Evaluate ts at the current instant only — the cheaper behaviour
+          sketched in the implementation section.  Equivalent to [Exact]
+          on negation-free rules (activation is monotone). *)
+
+type stats = {
+  mutable checks : int;  (** per-rule trigger checks performed *)
+  mutable recomputations : int;  (** ts (re)computations *)
+  mutable probes : int;  (** instants at which ts was evaluated *)
+  mutable skipped : int;  (** checks skipped thanks to V(E) *)
+  mutable fired : int;  (** rule triggerings *)
+}
+
+val stats : unit -> stats
+val reset_stats : stats -> unit
+
+type config = {
+  detection : detection;
+  optimizer : bool;  (** consult V(E) before recomputing ts *)
+  style : Ts.style;
+  memoize : bool;
+      (** evaluate ts through per-rule memo tables over interned
+          expressions (see {!Chimera_calculus.Memo}); behaviour-preserving
+          — windows move only at consideration, which drops the memo *)
+}
+
+val default_config : config
+(** Exact detection, optimizer on, logical style. *)
+
+val check_rule : config -> stats -> Event_base.t -> Rule.t -> unit
+(** Checks one non-triggered rule at the current instant over its
+    triggering window (events since its last consideration); sets its
+    triggered flag when its event expression activated.  The R <> 0 gate
+    keeps negation rules reactive rather than active. *)
+
+val check_all : config -> stats -> Event_base.t -> Rule_table.t -> unit

@@ -1,0 +1,1 @@
+lib/store/object_store.ml: Chimera_util Fmt Hashtbl Ident List Printf Result Schema String Value

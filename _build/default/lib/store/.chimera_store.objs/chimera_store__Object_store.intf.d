@@ -1,0 +1,1 @@
+lib/store/object_store.mli: Chimera_util Format Ident Schema Value

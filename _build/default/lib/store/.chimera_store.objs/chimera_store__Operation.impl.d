@@ -1,0 +1,1 @@
+lib/store/operation.ml: Chimera_event Chimera_util Event_type Fmt Ident List Object_store Result Value

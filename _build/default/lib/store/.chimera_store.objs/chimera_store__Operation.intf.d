@@ -1,0 +1,1 @@
+lib/store/operation.mli: Chimera_event Chimera_util Event_type Format Ident Object_store Value

@@ -1,0 +1,1 @@
+lib/store/query.ml: Fmt Object_store Printf Result Value

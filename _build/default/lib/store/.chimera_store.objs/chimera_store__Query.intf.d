@@ -1,0 +1,1 @@
+lib/store/query.mli: Format Object_store Value

@@ -1,0 +1,1 @@
+lib/store/schema.ml: Fmt Hashtbl List String Value

@@ -1,0 +1,1 @@
+lib/store/schema.mli: Format Value

@@ -1,0 +1,1 @@
+lib/store/value.ml: Bool Chimera_util Float Fmt Ident Int Printf String

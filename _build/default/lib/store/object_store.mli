@@ -1,0 +1,45 @@
+(** The object store: class extents, attribute state and the primitive
+    state-changing operations Chimera's internal events come from. *)
+
+open Chimera_util
+
+type t
+
+type error =
+  [ Schema.error | `Unknown_object of string | `Deleted_object of string ]
+
+val pp_error : Format.formatter -> error -> unit
+val create : Schema.t -> t
+val schema : t -> Schema.t
+
+val insert :
+  t ->
+  class_name:string ->
+  attrs:(string * Value.t) list ->
+  (Ident.Oid.t, error) result
+(** Validates against the (inherited) class schema; attributes not
+    provided start as [Null]. *)
+
+val exists : t -> Ident.Oid.t -> bool
+val class_of : t -> Ident.Oid.t -> (string, error) result
+val get : t -> Ident.Oid.t -> attribute:string -> (Value.t, error) result
+
+val set :
+  t -> Ident.Oid.t -> attribute:string -> value:Value.t -> (unit, error) result
+
+val delete : t -> Ident.Oid.t -> (unit, error) result
+
+val generalize : t -> Ident.Oid.t -> to_class:string -> (unit, error) result
+(** Moves the object up the hierarchy, dropping attributes the target does
+    not declare. *)
+
+val specialize : t -> Ident.Oid.t -> to_class:string -> (unit, error) result
+(** Moves the object down the hierarchy; new attributes start [Null]. *)
+
+val extent : t -> class_name:string -> Ident.Oid.t list
+(** Live members of the class, including subclass members, by ascending
+    OID. *)
+
+val count_live : t -> int
+val attributes_of : t -> Ident.Oid.t -> ((string * Value.t) list, error) result
+val pp_object : t -> Format.formatter -> Ident.Oid.t -> unit

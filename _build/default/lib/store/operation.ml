@@ -1,0 +1,71 @@
+(* Data-manipulation operations: the sources of Chimera's internal events.
+
+   Applying an operation mutates the store and reports the event
+   occurrences to record (type + affected object), which the Block Executor
+   forwards to the Event Handler.  A [modify] reports both nothing extra:
+   the attribute-qualified type is recorded once and the event base indexes
+   it under the unqualified type as well. *)
+
+open Chimera_util
+open Chimera_event
+
+type t =
+  | Create of { class_name : string; attrs : (string * Value.t) list }
+  | Delete of { oid : Ident.Oid.t }
+  | Modify of { oid : Ident.Oid.t; attribute : string; value : Value.t }
+  | Generalize of { oid : Ident.Oid.t; to_class : string }
+  | Specialize of { oid : Ident.Oid.t; to_class : string }
+  | Select of { class_name : string }
+
+(* An event to record: the oid is the affected object (for [Select], each
+   object of the extent is reported as affected, matching Chimera's
+   set-oriented select events). *)
+type emitted = { etype : Event_type.t; affected : Ident.Oid.t }
+
+let ( let* ) = Result.bind
+
+let apply store op : (emitted list, Object_store.error) result =
+  match op with
+  | Create { class_name; attrs } ->
+      let* oid = Object_store.insert store ~class_name ~attrs in
+      Ok [ { etype = Event_type.create ~class_name; affected = oid } ]
+  | Delete { oid } ->
+      let* class_name = Object_store.class_of store oid in
+      let* () = Object_store.delete store oid in
+      Ok [ { etype = Event_type.delete ~class_name; affected = oid } ]
+  | Modify { oid; attribute; value } ->
+      let* class_name = Object_store.class_of store oid in
+      let* () = Object_store.set store oid ~attribute ~value in
+      Ok
+        [
+          {
+            etype = Event_type.modify ~attribute ~class_name ();
+            affected = oid;
+          };
+        ]
+  | Generalize { oid; to_class } ->
+      let* () = Object_store.generalize store oid ~to_class in
+      Ok [ { etype = Event_type.generalize ~class_name:to_class; affected = oid } ]
+  | Specialize { oid; to_class } ->
+      let* () = Object_store.specialize store oid ~to_class in
+      Ok [ { etype = Event_type.specialize ~class_name:to_class; affected = oid } ]
+  | Select { class_name } ->
+      let extent = Object_store.extent store ~class_name in
+      Ok
+        (List.map
+           (fun oid ->
+             { etype = Event_type.select ~class_name; affected = oid })
+           extent)
+
+let pp ppf = function
+  | Create { class_name; attrs } ->
+      let pp_attr ppf (a, v) = Fmt.pf ppf "%s=%a" a Value.pp v in
+      Fmt.pf ppf "create %s(%a)" class_name Fmt.(list ~sep:comma pp_attr) attrs
+  | Delete { oid } -> Fmt.pf ppf "delete %a" Ident.Oid.pp oid
+  | Modify { oid; attribute; value } ->
+      Fmt.pf ppf "modify %a.%s := %a" Ident.Oid.pp oid attribute Value.pp value
+  | Generalize { oid; to_class } ->
+      Fmt.pf ppf "generalize %a to %s" Ident.Oid.pp oid to_class
+  | Specialize { oid; to_class } ->
+      Fmt.pf ppf "specialize %a to %s" Ident.Oid.pp oid to_class
+  | Select { class_name } -> Fmt.pf ppf "select %s" class_name

@@ -1,0 +1,22 @@
+(** Data-manipulation operations: the sources of Chimera's internal
+    events. *)
+
+open Chimera_util
+open Chimera_event
+
+type t =
+  | Create of { class_name : string; attrs : (string * Value.t) list }
+  | Delete of { oid : Ident.Oid.t }
+  | Modify of { oid : Ident.Oid.t; attribute : string; value : Value.t }
+  | Generalize of { oid : Ident.Oid.t; to_class : string }
+  | Specialize of { oid : Ident.Oid.t; to_class : string }
+  | Select of { class_name : string }
+
+(** An event occurrence to record after applying an operation. *)
+type emitted = { etype : Event_type.t; affected : Ident.Oid.t }
+
+val apply : Object_store.t -> t -> (emitted list, Object_store.error) result
+(** Mutates the store and reports the generated events; [Select] reports
+    one event per object of the extent (set-oriented select events). *)
+
+val pp : Format.formatter -> t -> unit

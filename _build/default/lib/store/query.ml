@@ -1,0 +1,113 @@
+(* Terms, arithmetic expressions and comparison predicates over the object
+   store: the query fragment shared by rule conditions and actions. *)
+
+
+type term =
+  | Const of Value.t
+  | Var of string  (** a variable bound to an object or a scalar *)
+  | Attr of string * string  (** [Attr (x, a)]: attribute [a] of object [x] *)
+
+type comparison = Eq | Neq | Lt | Le | Gt | Ge
+
+type predicate = Cmp of comparison * term * term
+
+type expr =
+  | Term of term
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Div of expr * expr
+  | Min of expr * expr
+  | Max of expr * expr
+
+type error = [ Object_store.error | `Unbound_variable of string ]
+
+let pp_error ppf = function
+  | #Object_store.error as e -> Object_store.pp_error ppf e
+  | `Unbound_variable v -> Fmt.pf ppf "unbound variable %s" v
+
+let ( let* ) = Result.bind
+
+(* [resolve] maps a variable to its value ([Value.Oid] for object
+   variables). *)
+let eval_term store ~resolve term : (Value.t, error) result =
+  match term with
+  | Const v -> Ok v
+  | Var x -> (
+      match resolve x with
+      | Some v -> Ok v
+      | None -> Error (`Unbound_variable x))
+  | Attr (x, attribute) -> (
+      match resolve x with
+      | Some (Value.Oid oid) ->
+          (Object_store.get store oid ~attribute
+            : (Value.t, Object_store.error) result
+            :> (Value.t, error) result)
+      | Some v ->
+          Error
+            (`Type_error
+              (Printf.sprintf "variable %s is not an object (%s)" x
+                 (Value.to_string v)))
+      | None -> Error (`Unbound_variable x))
+
+let rec eval_expr store ~resolve expr : (Value.t, error) result =
+  let binop f a b =
+    let* va = eval_expr store ~resolve a in
+    let* vb = eval_expr store ~resolve b in
+    (f va vb : (Value.t, Value.arith_error) result :> (Value.t, error) result)
+  in
+  match expr with
+  | Term t -> eval_term store ~resolve t
+  | Add (a, b) -> binop Value.add a b
+  | Sub (a, b) -> binop Value.sub a b
+  | Mul (a, b) -> binop Value.mul a b
+  | Div (a, b) -> binop Value.div a b
+  | Min (a, b) -> binop Value.min_ a b
+  | Max (a, b) -> binop Value.max_ a b
+
+let eval_predicate store ~resolve (Cmp (op, a, b)) : (bool, error) result =
+  let* va = eval_term store ~resolve a in
+  let* vb = eval_term store ~resolve b in
+  match op with
+  | Eq -> Ok (Value.equal va vb)
+  | Neq -> Ok (not (Value.equal va vb))
+  | Lt | Le | Gt | Ge -> (
+      match Value.compare_numeric va vb with
+      | None ->
+          Error
+            (`Type_error
+              (Printf.sprintf "cannot compare %s with %s" (Value.to_string va)
+                 (Value.to_string vb)))
+      | Some c ->
+          Ok
+            (match op with
+            | Lt -> c < 0
+            | Le -> c <= 0
+            | Gt -> c > 0
+            | Ge -> c >= 0
+            | Eq | Neq -> assert false))
+
+let comparison_symbol = function
+  | Eq -> "="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let pp_term ppf = function
+  | Const v -> Value.pp ppf v
+  | Var x -> Fmt.string ppf x
+  | Attr (x, a) -> Fmt.pf ppf "%s.%s" x a
+
+let rec pp_expr ppf = function
+  | Term t -> pp_term ppf t
+  | Add (a, b) -> Fmt.pf ppf "(%a + %a)" pp_expr a pp_expr b
+  | Sub (a, b) -> Fmt.pf ppf "(%a - %a)" pp_expr a pp_expr b
+  | Mul (a, b) -> Fmt.pf ppf "(%a * %a)" pp_expr a pp_expr b
+  | Div (a, b) -> Fmt.pf ppf "(%a / %a)" pp_expr a pp_expr b
+  | Min (a, b) -> Fmt.pf ppf "min(%a, %a)" pp_expr a pp_expr b
+  | Max (a, b) -> Fmt.pf ppf "max(%a, %a)" pp_expr a pp_expr b
+
+let pp_predicate ppf (Cmp (op, a, b)) =
+  Fmt.pf ppf "%a %s %a" pp_term a (comparison_symbol op) pp_term b

@@ -1,0 +1,51 @@
+(** Terms, arithmetic expressions and comparison predicates over the
+    object store: the query fragment shared by rule conditions and
+    actions. *)
+
+type term =
+  | Const of Value.t
+  | Var of string  (** a variable bound to an object or a scalar *)
+  | Attr of string * string  (** [Attr (x, a)]: attribute [a] of object [x] *)
+
+type comparison = Eq | Neq | Lt | Le | Gt | Ge
+type predicate = Cmp of comparison * term * term
+
+type expr =
+  | Term of term
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Div of expr * expr
+  | Min of expr * expr
+  | Max of expr * expr
+
+type error = [ Object_store.error | `Unbound_variable of string ]
+
+val pp_error : Format.formatter -> error -> unit
+
+val eval_term :
+  Object_store.t ->
+  resolve:(string -> Value.t option) ->
+  term ->
+  (Value.t, error) result
+(** [resolve] maps variables to their values ([Value.Oid] for object
+    variables). *)
+
+val eval_expr :
+  Object_store.t ->
+  resolve:(string -> Value.t option) ->
+  expr ->
+  (Value.t, error) result
+
+val eval_predicate :
+  Object_store.t ->
+  resolve:(string -> Value.t option) ->
+  predicate ->
+  (bool, error) result
+(** Ordering comparisons on incompatible kinds are type errors; equality
+    is structural. *)
+
+val comparison_symbol : comparison -> string
+val pp_term : Format.formatter -> term -> unit
+val pp_expr : Format.formatter -> expr -> unit
+val pp_predicate : Format.formatter -> predicate -> unit

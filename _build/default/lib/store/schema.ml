@@ -1,0 +1,105 @@
+(* Class definitions with single inheritance.
+
+   Chimera classes carry typed attributes; generalize/specialize move an
+   object along the hierarchy (and generate the corresponding event
+   types). *)
+
+type class_def = {
+  name : string;
+  super : string option;
+  own_attributes : (string * Value.ty) list;
+}
+
+type t = { classes : (string, class_def) Hashtbl.t }
+
+type error =
+  [ `Unknown_class of string
+  | `Duplicate_class of string
+  | `Unknown_attribute of string * string
+  | `Type_error of string ]
+
+let pp_error ppf = function
+  | `Unknown_class c -> Fmt.pf ppf "unknown class %s" c
+  | `Duplicate_class c -> Fmt.pf ppf "class %s already defined" c
+  | `Unknown_attribute (c, a) -> Fmt.pf ppf "class %s has no attribute %s" c a
+  | `Type_error msg -> Fmt.pf ppf "type error: %s" msg
+
+let create () = { classes = Hashtbl.create 16 }
+
+let find t name =
+  match Hashtbl.find_opt t.classes name with
+  | Some c -> Ok c
+  | None -> Error (`Unknown_class name)
+
+let mem t name = Hashtbl.mem t.classes name
+
+let define t ~name ?super ~attributes () =
+  if Hashtbl.mem t.classes name then Error (`Duplicate_class name)
+  else
+    match super with
+    | Some s when not (Hashtbl.mem t.classes s) -> Error (`Unknown_class s)
+    | _ ->
+        let c = { name; super; own_attributes = attributes } in
+        Hashtbl.add t.classes name c;
+        Ok c
+
+(* Attributes including the inherited ones, superclass first so that
+   shadowing (redefinition in a subclass) wins. *)
+let rec attributes t name =
+  match find t name with
+  | Error _ as e -> e
+  | Ok c -> (
+      match c.super with
+      | None -> Ok c.own_attributes
+      | Some s -> (
+          match attributes t s with
+          | Error _ as e -> e
+          | Ok inherited ->
+              let not_shadowed (a, _) =
+                not (List.mem_assoc a c.own_attributes)
+              in
+              Ok (List.filter not_shadowed inherited @ c.own_attributes)))
+
+let attribute_type t ~class_name ~attribute =
+  match attributes t class_name with
+  | Error _ as e -> e
+  | Ok attrs -> (
+      match List.assoc_opt attribute attrs with
+      | Some ty -> Ok ty
+      | None -> Error (`Unknown_attribute (class_name, attribute)))
+
+(* [is_subclass t ~sub ~super]: reflexive, transitive. *)
+let is_subclass t ~sub ~super =
+  let rec loop name =
+    if String.equal name super then true
+    else
+      match Hashtbl.find_opt t.classes name with
+      | Some { super = Some s; _ } -> loop s
+      | _ -> false
+  in
+  mem t sub && mem t super && loop sub
+
+let superclass t name =
+  match find t name with Error _ as e -> e | Ok c -> Ok c.super
+
+let direct_subclasses t name =
+  Hashtbl.fold
+    (fun _ c acc -> if c.super = Some name then c.name :: acc else acc)
+    t.classes []
+
+let class_names t =
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.classes [])
+
+let pp ppf t =
+  let pp_class ppf c =
+    let pp_attr ppf (a, ty) = Fmt.pf ppf "%s: %s" a (Value.type_name ty) in
+    Fmt.pf ppf "class %s%a (%a)" c.name
+      Fmt.(option (fun ppf s -> Fmt.pf ppf " extends %s" s))
+      c.super
+      Fmt.(list ~sep:comma pp_attr)
+      c.own_attributes
+  in
+  let names = class_names t in
+  Fmt.pf ppf "@[<v>%a@]"
+    Fmt.(list ~sep:cut pp_class)
+    (List.map (fun n -> Hashtbl.find t.classes n) names)

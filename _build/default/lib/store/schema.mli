@@ -1,0 +1,44 @@
+(** Class definitions with single inheritance. *)
+
+type class_def = {
+  name : string;
+  super : string option;
+  own_attributes : (string * Value.ty) list;
+}
+
+type t
+
+type error =
+  [ `Unknown_class of string
+  | `Duplicate_class of string
+  | `Unknown_attribute of string * string
+  | `Type_error of string ]
+
+val pp_error : Format.formatter -> error -> unit
+val create : unit -> t
+val find : t -> string -> (class_def, error) result
+val mem : t -> string -> bool
+
+val define :
+  t ->
+  name:string ->
+  ?super:string ->
+  attributes:(string * Value.ty) list ->
+  unit ->
+  (class_def, error) result
+(** The superclass, if any, must already be defined. *)
+
+val attributes : t -> string -> ((string * Value.ty) list, error) result
+(** Including inherited attributes, superclass first; a subclass
+    redefinition shadows. *)
+
+val attribute_type :
+  t -> class_name:string -> attribute:string -> (Value.ty, error) result
+
+val is_subclass : t -> sub:string -> super:string -> bool
+(** Reflexive and transitive; [false] when either class is unknown. *)
+
+val superclass : t -> string -> (string option, error) result
+val direct_subclasses : t -> string -> string list
+val class_names : t -> string list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,108 @@
+(* Attribute values of the object store. *)
+
+open Chimera_util
+
+type t =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+  | Oid of Ident.Oid.t
+  | Null
+
+type ty = T_int | T_float | T_str | T_bool | T_oid
+
+let type_of = function
+  | Int _ -> Some T_int
+  | Float _ -> Some T_float
+  | Str _ -> Some T_str
+  | Bool _ -> Some T_bool
+  | Oid _ -> Some T_oid
+  | Null -> None
+
+let type_name = function
+  | T_int -> "integer"
+  | T_float -> "real"
+  | T_str -> "string"
+  | T_bool -> "boolean"
+  | T_oid -> "oid"
+
+let conforms value ty =
+  match (value, ty) with
+  | Null, _ -> true
+  | Int _, T_int
+  | Float _, T_float
+  | Str _, T_str
+  | Bool _, T_bool
+  | Oid _, T_oid ->
+      true
+  | Int _, T_float -> true (* integer literals widen to real attributes *)
+  | _ -> false
+
+let pp ppf = function
+  | Int i -> Fmt.int ppf i
+  | Float f -> Fmt.float ppf f
+  | Str s -> Fmt.pf ppf "%S" s
+  | Bool b -> Fmt.bool ppf b
+  | Oid oid -> Ident.Oid.pp ppf oid
+  | Null -> Fmt.string ppf "null"
+
+let to_string v = Fmt.str "%a" pp v
+
+let equal a b =
+  match (a, b) with
+  | Int x, Int y -> x = y
+  | Float x, Float y -> Float.equal x y
+  | Int x, Float y | Float y, Int x -> Float.equal (float_of_int x) y
+  | Str x, Str y -> String.equal x y
+  | Bool x, Bool y -> Bool.equal x y
+  | Oid x, Oid y -> Ident.Oid.equal x y
+  | Null, Null -> true
+  | _ -> false
+
+(* Numeric comparison promotes integers to reals; comparing incompatible
+   kinds (or null) is a typing error surfaced to the caller. *)
+let compare_numeric a b =
+  match (a, b) with
+  | Int x, Int y -> Some (Int.compare x y)
+  | Float x, Float y -> Some (Float.compare x y)
+  | Int x, Float y -> Some (Float.compare (float_of_int x) y)
+  | Float x, Int y -> Some (Float.compare x (float_of_int y))
+  | Str x, Str y -> Some (String.compare x y)
+  | Bool x, Bool y -> Some (Bool.compare x y)
+  | Oid x, Oid y -> Some (Ident.Oid.compare x y)
+  | _ -> None
+
+type arith_error = [ `Type_error of string ]
+
+let arith name f_int f_float a b =
+  match (a, b) with
+  | Int x, Int y -> Ok (Int (f_int x y))
+  | Float x, Float y -> Ok (Float (f_float x y))
+  | Int x, Float y -> Ok (Float (f_float (float_of_int x) y))
+  | Float x, Int y -> Ok (Float (f_float x (float_of_int y)))
+  | _ ->
+      Error
+        (`Type_error
+          (Printf.sprintf "%s: expected numeric operands, got %s and %s" name
+             (to_string a) (to_string b)))
+
+let add = arith "add" ( + ) ( +. )
+let sub = arith "sub" ( - ) ( -. )
+let mul = arith "mul" ( * ) ( *. )
+
+let div a b =
+  match b with
+  | Int 0 -> Error (`Type_error "div: division by zero")
+  | Float f when Float.equal f 0.0 -> Error (`Type_error "div: division by zero")
+  | _ -> arith "div" ( / ) ( /. ) a b
+
+let min_ a b =
+  match compare_numeric a b with
+  | Some c -> Ok (if c <= 0 then a else b)
+  | None -> Error (`Type_error "min: incomparable operands")
+
+let max_ a b =
+  match compare_numeric a b with
+  | Some c -> Ok (if c >= 0 then a else b)
+  | None -> Error (`Type_error "max: incomparable operands")

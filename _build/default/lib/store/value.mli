@@ -1,0 +1,44 @@
+(** Attribute values of the object store. *)
+
+open Chimera_util
+
+type t =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+  | Oid of Ident.Oid.t
+  | Null
+
+type ty = T_int | T_float | T_str | T_bool | T_oid
+
+val type_of : t -> ty option
+(** [None] on [Null]. *)
+
+val type_name : ty -> string
+
+val conforms : t -> ty -> bool
+(** [Null] conforms to every type; integer literals widen to real
+    attributes. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val equal : t -> t -> bool
+(** Structural, with int/float promotion. *)
+
+val compare_numeric : t -> t -> int option
+(** Ordering with int/float promotion; [None] on incompatible kinds
+    (including [Null]). *)
+
+type arith_error = [ `Type_error of string ]
+
+val add : t -> t -> (t, arith_error) result
+val sub : t -> t -> (t, arith_error) result
+val mul : t -> t -> (t, arith_error) result
+
+val div : t -> t -> (t, arith_error) result
+(** Reports division by zero as a [`Type_error]. *)
+
+val min_ : t -> t -> (t, arith_error) result
+val max_ : t -> t -> (t, arith_error) result

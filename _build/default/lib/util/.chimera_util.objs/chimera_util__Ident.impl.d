@@ -1,0 +1,1 @@
+lib/util/ident.ml: Fmt Format Int

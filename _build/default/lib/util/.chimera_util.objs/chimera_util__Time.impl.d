@@ -1,0 +1,1 @@
+lib/util/time.ml: Fmt Int Stdlib

@@ -1,0 +1,56 @@
+(* Object and event-occurrence identifiers.
+
+   The paper's Event Base (Fig. 3) identifies rows by EIDs and the affected
+   objects by OIDs.  Both are dense integers here; generators hand them out
+   monotonically so logs are reproducible. *)
+
+module type ID = sig
+  type t
+
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val hash : t -> int
+  val pp : Format.formatter -> t -> unit
+  val to_string : t -> string
+  val to_int : t -> int
+  val of_int : int -> t
+
+  type gen
+
+  val generator : unit -> gen
+  val fresh : gen -> t
+  val count : gen -> int
+end
+
+module Make (Prefix : sig
+  val prefix : string
+end) : ID = struct
+  type t = int
+
+  let compare = Int.compare
+  let equal = Int.equal
+  let hash x = x
+  let pp ppf x = Fmt.pf ppf "%s%d" Prefix.prefix x
+  let to_string x = Fmt.str "%a" pp x
+  let to_int x = x
+  let of_int x = x
+
+  type gen = { mutable next : int }
+
+  let generator () = { next = 1 }
+
+  let fresh g =
+    let x = g.next in
+    g.next <- x + 1;
+    x
+
+  let count g = g.next - 1
+end
+
+module Oid = Make (struct
+  let prefix = "o"
+end)
+
+module Eid = Make (struct
+  let prefix = "e"
+end)

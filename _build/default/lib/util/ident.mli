@@ -1,0 +1,31 @@
+(** Object (OID) and event-occurrence (EID) identifiers: dense integers
+    with monotone generators, so logs are reproducible. *)
+
+module type ID = sig
+  type t
+
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val hash : t -> int
+  val pp : Format.formatter -> t -> unit
+  val to_string : t -> string
+  val to_int : t -> int
+  val of_int : int -> t
+
+  type gen
+
+  val generator : unit -> gen
+
+  val fresh : gen -> t
+  (** Identifiers are handed out from 1 upwards. *)
+
+  val count : gen -> int
+  (** How many identifiers were issued. *)
+end
+
+module Make (_ : sig
+  val prefix : string
+end) : ID
+
+module Oid : ID
+module Eid : ID

@@ -1,0 +1,85 @@
+(* Plain-text table rendering for the bench harness and examples.
+
+   The experiment harness prints the same rows/series the paper's figures
+   show; aligned monospace tables keep that output diffable. *)
+
+type align = Left | Right
+
+type table = {
+  title : string;
+  header : string list;
+  aligns : align list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let table ~title ~header ?aligns () =
+  let aligns =
+    match aligns with
+    | Some a ->
+        if List.length a <> List.length header then
+          invalid_arg "Pretty.table: aligns/header length mismatch";
+        a
+    | None -> List.map (fun _ -> Left) header
+  in
+  { title; header; aligns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.header then
+    invalid_arg "Pretty.add_row: wrong number of cells";
+  t.rows <- cells :: t.rows
+
+let rows t = List.rev t.rows
+
+let render t =
+  let all = t.header :: rows t in
+  let ncols = List.length t.header in
+  let widths = Array.make ncols 0 in
+  let record_widths cells =
+    List.iteri
+      (fun i c -> widths.(i) <- max widths.(i) (String.length c))
+      cells
+  in
+  List.iter record_widths all;
+  let pad align width s =
+    let fill = String.make (width - String.length s) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  in
+  let line cells =
+    let padded =
+      List.mapi
+        (fun i c -> pad (List.nth t.aligns i) widths.(i) c)
+        cells
+    in
+    "| " ^ String.concat " | " padded ^ " |"
+  in
+  let sep =
+    let dashes = Array.to_list (Array.map (fun w -> String.make w '-') widths) in
+    "|-" ^ String.concat "-|-" dashes ^ "-|"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf t.title;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (line t.header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string buf (line r);
+      Buffer.add_char buf '\n')
+    (rows t);
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let float_cell ?(digits = 2) f = Printf.sprintf "%.*f" digits f
+let int_cell = string_of_int
+
+let ratio_cell ?(digits = 2) num den =
+  if den = 0.0 then "inf" else Printf.sprintf "%.*fx" digits (num /. den)
+
+let ns_cell ns =
+  if ns >= 1e9 then Printf.sprintf "%.2fs" (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%.2fms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%.2fus" (ns /. 1e3)
+  else Printf.sprintf "%.0fns" ns

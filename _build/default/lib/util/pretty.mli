@@ -1,0 +1,28 @@
+(** Aligned plain-text tables for the experiment harness and examples. *)
+
+type align = Left | Right
+
+type table
+
+val table :
+  title:string -> header:string list -> ?aligns:align list -> unit -> table
+(** [aligns] defaults to all-left; raises [Invalid_argument] when its
+    length differs from the header's. *)
+
+val add_row : table -> string list -> unit
+(** Raises [Invalid_argument] on arity mismatch with the header. *)
+
+val rows : table -> string list list
+val render : table -> string
+val print : table -> unit
+
+(** {1 Cell formatting} *)
+
+val float_cell : ?digits:int -> float -> string
+val int_cell : int -> string
+
+val ratio_cell : ?digits:int -> float -> float -> string
+(** [ratio_cell num den] renders ["<num/den>x"], or ["inf"] on zero. *)
+
+val ns_cell : float -> string
+(** Nanoseconds with an adaptive unit (ns/us/ms/s). *)

@@ -1,0 +1,44 @@
+(* Deterministic splitmix64 PRNG.
+
+   All synthetic workloads are seeded explicitly so every bench table and
+   property test is reproducible; we never consult wall-clock randomness. *)
+
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let next_int t ~bound =
+  if bound <= 0 then invalid_arg "Prng.next_int: bound must be positive";
+  let v = Int64.to_int (next_int64 t) land max_int in
+  v mod bound
+
+let next_bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let next_float t =
+  (* 53 random bits mapped to [0, 1). *)
+  let bits = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
+  float_of_int bits /. 9007199254740992.0
+
+let pick t xs =
+  match Array.length xs with
+  | 0 -> invalid_arg "Prng.pick: empty array"
+  | n -> xs.(next_int t ~bound:n)
+
+let split t = create ~seed:(Int64.to_int (next_int64 t))
+
+let shuffle t xs =
+  let n = Array.length xs in
+  for i = n - 1 downto 1 do
+    let j = next_int t ~bound:(i + 1) in
+    let tmp = xs.(i) in
+    xs.(i) <- xs.(j);
+    xs.(j) <- tmp
+  done

@@ -1,0 +1,24 @@
+(** Deterministic splitmix64 pseudo-random generator for reproducible
+    workloads and benchmarks. *)
+
+type t
+
+val create : seed:int -> t
+val next_int64 : t -> int64
+
+val next_int : t -> bound:int -> int
+(** Uniform in [\[0, bound)]. Raises [Invalid_argument] if [bound <= 0]. *)
+
+val next_bool : t -> bool
+
+val next_float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element. Raises [Invalid_argument] on an empty array. *)
+
+val split : t -> t
+(** An independent generator derived from [t]'s stream. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

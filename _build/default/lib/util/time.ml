@@ -1,0 +1,54 @@
+(* Logical time for the event calculus.
+
+   The paper's [ts] function needs to be probed "at" event instants and also
+   strictly *between* two consecutive event instants (the existential
+   triggering semantics of Section 4.4 quantifies over dense time, while the
+   sign of [ts] only changes at event occurrences).  We make such probes
+   exact with integer arithmetic by issuing *even* instants to event
+   occurrences and reserving *odd* instants for probes: between any two
+   distinct event instants there is always at least one probe instant. *)
+
+type t = int
+
+let origin = 0
+let compare = Int.compare
+let equal = Int.equal
+let ( < ) (a : t) (b : t) = Stdlib.( < ) a b
+let ( <= ) (a : t) (b : t) = Stdlib.( <= ) a b
+let ( > ) (a : t) (b : t) = Stdlib.( > ) a b
+let ( >= ) (a : t) (b : t) = Stdlib.( >= ) a b
+let min = Stdlib.min
+let max = Stdlib.max
+let is_event_instant t = t mod 2 = 0 && t > 0
+let is_probe_instant t = t mod 2 = 1
+
+(* The probe instant immediately before [t]; for an event instant this is
+   the unique odd instant in the open interval between the previous event
+   instant and [t]. *)
+let probe_before t = t - 1
+let probe_after t = t + 1
+let pp ppf t = Fmt.pf ppf "t%d" t
+let to_string t = Fmt.str "%a" pp t
+let to_int t = t
+let of_int t = t
+
+module Clock = struct
+  (* A clock issues strictly increasing event instants.  [now] is the last
+     issued instant; [probe_now] is an instant strictly after every issued
+     event instant, usable to evaluate "the current time". *)
+  type clock = { mutable last : t }
+
+  let create () = { last = origin }
+
+  let next_event_instant c =
+    let t = c.last + 2 in
+    c.last <- t;
+    t
+
+  let now c = c.last
+  let probe_now c = c.last + 1
+
+  (* Advance the clock past [t] so that subsequently issued instants are
+     strictly greater.  Used when replaying externally timestamped events. *)
+  let advance_to c t = if Stdlib.( > ) t c.last then c.last <- t
+end

@@ -1,0 +1,58 @@
+(** Logical time.
+
+    Event occurrences live at {e even} instants; {e odd} instants are
+    reserved as probe points, so that between any two distinct event
+    instants there is always a probe instant.  This makes the existential
+    triggering semantics of the paper (Section 4.4) decidable with exact
+    integer arithmetic. *)
+
+type t = private int
+
+val origin : t
+(** The instant before any event; no occurrence carries it. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+val is_event_instant : t -> bool
+(** [true] on the even instants issued by {!Clock.next_event_instant}. *)
+
+val is_probe_instant : t -> bool
+
+val probe_before : t -> t
+(** The probe instant immediately before [t] (strictly earlier). *)
+
+val probe_after : t -> t
+(** The probe instant immediately after [t] (strictly later). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val to_int : t -> int
+
+val of_int : int -> t
+(** Unchecked injection; intended for tests and workload replay. *)
+
+(** Issues strictly increasing event instants. *)
+module Clock : sig
+  type clock
+
+  val create : unit -> clock
+
+  val next_event_instant : clock -> t
+  (** A fresh even instant, strictly greater than all previously issued. *)
+
+  val now : clock -> t
+  (** The last issued instant ({!origin} initially). *)
+
+  val probe_now : clock -> t
+  (** A probe instant strictly after every issued event instant. *)
+
+  val advance_to : clock -> t -> unit
+  (** Make subsequent instants strictly greater than the given one. *)
+end

@@ -1,0 +1,64 @@
+(* Growable array used for append-only logs and indexes. *)
+
+type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }
+
+let create ~dummy = { data = Array.make 8 dummy; len = 0; dummy }
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let grow t =
+  let cap = Array.length t.data in
+  let data = Array.make (2 * cap) t.dummy in
+  Array.blit t.data 0 data 0 t.len;
+  t.data <- data
+
+let push t x =
+  if t.len = Array.length t.data then grow t;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Vec.get: index out of bounds";
+  t.data.(i)
+
+let last t = if t.len = 0 then None else Some t.data.(t.len - 1)
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.data.(i)
+  done
+
+let fold f acc t =
+  let acc = ref acc in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let to_list t =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (t.data.(i) :: acc) in
+  loop (t.len - 1) []
+
+let clear t = t.len <- 0
+
+(* Greatest index [i] such that [key t.(i) <= x], assuming [key] is
+   non-decreasing over the vector; [-1] when all keys exceed [x]. *)
+let bisect_right t ~key x =
+  let rec loop lo hi =
+    (* invariant: key t.(lo-1) <= x < key t.(hi), with virtual sentinels *)
+    if lo >= hi then lo - 1
+    else
+      let mid = (lo + hi) / 2 in
+      if key t.data.(mid) <= x then loop (mid + 1) hi else loop lo mid
+  in
+  loop 0 t.len
+
+(* Least index [i] such that [key t.(i) > x]; [length t] when none. *)
+let bisect_after t ~key x = bisect_right t ~key x + 1

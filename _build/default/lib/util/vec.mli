@@ -1,0 +1,29 @@
+(** Growable arrays for append-only logs and indexes, with the binary
+    searches the event-base queries are built on. *)
+
+type 'a t
+
+val create : dummy:'a -> 'a t
+(** [dummy] fills unused capacity; it is never observable. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+val get : 'a t -> int -> 'a
+(** Raises [Invalid_argument] out of bounds. *)
+
+val last : 'a t -> 'a option
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+val to_list : 'a t -> 'a list
+val clear : 'a t -> unit
+
+val bisect_right : 'a t -> key:('a -> 'b) -> 'b -> int
+(** Greatest index [i] with [key t.(i) <= x] under the polymorphic order,
+    assuming [key] is non-decreasing over the vector; [-1] when every key
+    exceeds [x]. *)
+
+val bisect_after : 'a t -> key:('a -> 'b) -> 'b -> int
+(** Least index [i] with [key t.(i) > x]; [length t] when none. *)

@@ -1,0 +1,1 @@
+lib/workload/domain.ml: Char Chimera_event Chimera_store Event_type Fmt List Operation Printf Schema Value

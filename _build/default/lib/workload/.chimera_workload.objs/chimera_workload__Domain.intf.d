@@ -1,0 +1,1 @@
+lib/workload/domain.mli: Chimera_event Chimera_store Event_type Operation Schema

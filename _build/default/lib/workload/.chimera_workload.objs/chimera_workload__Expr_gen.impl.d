@@ -1,0 +1,1 @@
+lib/workload/expr_gen.ml: Array Chimera_calculus Chimera_util Expr Ident List Prng

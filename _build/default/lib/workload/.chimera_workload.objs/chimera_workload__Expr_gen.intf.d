@@ -1,0 +1,1 @@
+lib/workload/expr_gen.mli: Chimera_calculus Chimera_event Chimera_util Event_type Expr Ident Prng

@@ -1,0 +1,1 @@
+lib/workload/scenario.ml: Action Chimera_calculus Chimera_rules Chimera_store Chimera_util Condition Domain Engine Expr_parse Fmt Ident List Object_store Operation Prng Query Rule Value

@@ -1,0 +1,1 @@
+lib/workload/scenario.mli: Chimera_calculus Chimera_rules Chimera_util Engine Expr Prng Rule

@@ -1,0 +1,68 @@
+(* The paper's running domain: stock products, shelf shows and stock
+   orders (Sections 2-3).  Centralizes the schema, the event types used by
+   the examples/benches, and canonical operations. *)
+
+open Chimera_event
+open Chimera_store
+
+let schema () =
+  let s = Schema.create () in
+  let define name attributes =
+    match Schema.define s ~name ~attributes () with
+    | Ok _ -> ()
+    | Error e -> invalid_arg (Fmt.str "Domain.schema: %a" Schema.pp_error e)
+  in
+  define "stock"
+    [
+      ("quantity", Value.T_int);
+      ("maxquantity", Value.T_int);
+      ("minquantity", Value.T_int);
+    ];
+  define "show" [ ("quantity", Value.T_int); ("stock_ref", Value.T_oid) ];
+  define "stockOrder"
+    [ ("delquantity", Value.T_int); ("stock_ref", Value.T_oid) ];
+  s
+
+(* The event types of the paper's walkthroughs. *)
+let create_stock = Event_type.create ~class_name:"stock"
+let delete_stock = Event_type.delete ~class_name:"stock"
+let modify_stock_quantity =
+  Event_type.modify ~attribute:"quantity" ~class_name:"stock" ()
+let modify_stock_minquantity =
+  Event_type.modify ~attribute:"minquantity" ~class_name:"stock" ()
+let modify_show_quantity =
+  Event_type.modify ~attribute:"quantity" ~class_name:"show" ()
+let create_stock_order = Event_type.create ~class_name:"stockOrder"
+let modify_order_delquantity =
+  Event_type.modify ~attribute:"delquantity" ~class_name:"stockOrder" ()
+
+let all_event_types =
+  [
+    create_stock;
+    delete_stock;
+    modify_stock_quantity;
+    modify_stock_minquantity;
+    modify_show_quantity;
+    create_stock_order;
+    modify_order_delquantity;
+  ]
+
+(* Abstract event-type alphabets for calculus-level workloads (the paper's
+   A, B, C, ...). *)
+let abstract_alphabet n =
+  List.init n (fun i ->
+      let name = Printf.sprintf "ev%c" (Char.chr (Char.code 'A' + (i mod 26))) in
+      let name = if i < 26 then name else Printf.sprintf "%s%d" name (i / 26) in
+      Event_type.external_ ~name ~class_name:"obj")
+
+let new_stock ~quantity ~maxquantity ~minquantity =
+  Operation.Create
+    {
+      class_name = "stock";
+      attrs =
+        [
+          ("quantity", Value.Int quantity);
+          ("maxquantity", Value.Int maxquantity);
+          ("minquantity", Value.Int minquantity);
+        ];
+    }

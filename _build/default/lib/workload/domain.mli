@@ -1,0 +1,24 @@
+(** The paper's running domain (stock products, shelf shows, stock
+    orders): schema, event types and canonical operations shared by the
+    examples, tests and benches. *)
+
+open Chimera_event
+open Chimera_store
+
+val schema : unit -> Schema.t
+
+val create_stock : Event_type.t
+val delete_stock : Event_type.t
+val modify_stock_quantity : Event_type.t
+val modify_stock_minquantity : Event_type.t
+val modify_show_quantity : Event_type.t
+val create_stock_order : Event_type.t
+val modify_order_delquantity : Event_type.t
+val all_event_types : Event_type.t list
+
+val abstract_alphabet : int -> Event_type.t list
+(** [n] abstract event types (the paper's A, B, C, ...) for
+    calculus-level workloads. *)
+
+val new_stock :
+  quantity:int -> maxquantity:int -> minquantity:int -> Operation.t

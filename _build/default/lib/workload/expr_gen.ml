@@ -1,0 +1,73 @@
+(* Random event expressions over a given alphabet: drives the comparison
+   and scaling benches, and (wrapped in QCheck) the property tests. *)
+
+open Chimera_util
+open Chimera_calculus
+
+type profile = {
+  allow_negation : bool;
+  allow_instance : bool;
+  seq_bias : int;  (** weight of precedence among binary operators *)
+}
+
+let boolean_profile = { allow_negation = true; allow_instance = false; seq_bias = 1 }
+let regular_profile = { allow_negation = false; allow_instance = false; seq_bias = 1 }
+let sequence_profile = { allow_negation = false; allow_instance = false; seq_bias = 4 }
+let full_profile = { allow_negation = true; allow_instance = true; seq_bias = 1 }
+
+let pick_type prng alphabet = Prng.pick prng (Array.of_list alphabet)
+
+let rec gen_inst prng ~profile ~alphabet ~depth =
+  if depth <= 0 then Expr.I_prim (pick_type prng alphabet)
+  else
+    let neg_weight = if profile.allow_negation then 1 else 0 in
+    let total = 2 + profile.seq_bias + neg_weight + 1 (* leaf *) in
+    let roll = Prng.next_int prng ~bound:total in
+    if roll = 0 then Expr.I_prim (pick_type prng alphabet)
+    else
+      let sub () = gen_inst prng ~profile ~alphabet ~depth:(depth - 1) in
+      if roll = 1 then Expr.I_and (sub (), sub ())
+      else if roll = 2 then Expr.I_or (sub (), sub ())
+      else if roll < 3 + profile.seq_bias then Expr.I_seq (sub (), sub ())
+      else Expr.I_not (sub ())
+
+let rec gen_set prng ~profile ~alphabet ~depth =
+  if depth <= 0 then Expr.Prim (pick_type prng alphabet)
+  else
+    let neg_weight = if profile.allow_negation then 1 else 0 in
+    let inst_weight = if profile.allow_instance then 1 else 0 in
+    let total = 2 + profile.seq_bias + neg_weight + inst_weight + 1 in
+    let roll = Prng.next_int prng ~bound:total in
+    if roll = 0 then Expr.Prim (pick_type prng alphabet)
+    else
+      let sub () = gen_set prng ~profile ~alphabet ~depth:(depth - 1) in
+      if roll = 1 then Expr.And (sub (), sub ())
+      else if roll = 2 then Expr.Or (sub (), sub ())
+      else if roll < 3 + profile.seq_bias then Expr.Seq (sub (), sub ())
+      else if profile.allow_negation && roll = 3 + profile.seq_bias then
+        Expr.Not (sub ())
+      else
+        Expr.inst (gen_inst prng ~profile ~alphabet ~depth:(depth - 1))
+
+let gen prng ?(profile = boolean_profile) ~alphabet ~depth () =
+  gen_set prng ~profile ~alphabet ~depth
+
+(* A batch of distinct-ish expressions (duplicates are fine for load
+   benches but deduplicated here for rule-set realism). *)
+let batch prng ?(profile = boolean_profile) ~alphabet ~depth ~count () =
+  let rec loop acc n guard =
+    if n = 0 || guard = 0 then List.rev acc
+    else
+      let e = gen prng ~profile ~alphabet ~depth () in
+      if List.exists (Expr.equal e) acc then loop acc n (guard - 1)
+      else loop (e :: acc) (n - 1) guard
+  in
+  loop [] count (count * 50)
+
+(* A random event stream over the alphabet: (type, object) pairs. *)
+let stream prng ~alphabet ~objects ~length =
+  let alphabet = Array.of_list alphabet in
+  List.init length (fun _ ->
+      let etype = Prng.pick prng alphabet in
+      let oid = Ident.Oid.of_int (1 + Prng.next_int prng ~bound:objects) in
+      (etype, oid))

@@ -1,0 +1,56 @@
+(** Random event expressions and event streams over a given alphabet:
+    drives the comparison/scaling benches and, wrapped in QCheck, the
+    property tests. *)
+
+open Chimera_util
+open Chimera_event
+open Chimera_calculus
+
+type profile = {
+  allow_negation : bool;
+  allow_instance : bool;
+  seq_bias : int;  (** weight of precedence among binary operators *)
+}
+
+val boolean_profile : profile
+(** Negation allowed, set-oriented only. *)
+
+val regular_profile : profile
+(** Negation-free, set-oriented: the fragment all baselines support. *)
+
+val sequence_profile : profile
+(** Negation-free with precedence-heavy structure. *)
+
+val full_profile : profile
+(** Every operator, both granularities. *)
+
+val gen_inst :
+  Prng.t -> profile:profile -> alphabet:Event_type.t list -> depth:int ->
+  Expr.inst
+
+val gen :
+  Prng.t ->
+  ?profile:profile ->
+  alphabet:Event_type.t list ->
+  depth:int ->
+  unit ->
+  Expr.set
+
+val batch :
+  Prng.t ->
+  ?profile:profile ->
+  alphabet:Event_type.t list ->
+  depth:int ->
+  count:int ->
+  unit ->
+  Expr.set list
+(** Up to [count] distinct expressions (gives up on duplicates after a
+    bounded number of redraws). *)
+
+val stream :
+  Prng.t ->
+  alphabet:Event_type.t list ->
+  objects:int ->
+  length:int ->
+  (Event_type.t * Ident.Oid.t) list
+(** A uniform random event stream over [objects] objects. *)

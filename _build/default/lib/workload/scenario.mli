@@ -1,0 +1,28 @@
+(** End-to-end engine workloads on the stock/show/order domain: the
+    inventory-management scenario behind the engine bench (E6) and the
+    examples. *)
+
+open Chimera_util
+open Chimera_calculus
+open Chimera_rules
+
+val sample_composite_event : Expr.set
+(** The paper's Section 3.1 sample set-oriented expression, transcribed. *)
+
+val check_stock_qty : Rule.spec
+(** The clamp rule of Section 2. *)
+
+val reorder_on_low_stock : Rule.spec
+(** Raise a stock order when a product was created and later its quantity
+    dropped below the minimum (instance-oriented precedence). *)
+
+val standard_rules : Rule.spec list
+
+val engine : ?config:Engine.config -> unit -> Engine.t
+(** A fresh engine over the domain schema with {!standard_rules}
+    installed. *)
+
+val run_inventory_traffic :
+  Prng.t -> Engine.t -> lines:int -> ops_per_line:int -> unit
+(** Drives random create/modify/delete inventory traffic; raises
+    [Invalid_argument] on engine errors. *)

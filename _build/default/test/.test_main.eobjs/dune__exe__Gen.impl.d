@@ -1,0 +1,1 @@
+test/gen.ml: Array Core Domain Event_base Event_type Expr Ident List Printf QCheck QCheck_alcotest String Time Ts Window

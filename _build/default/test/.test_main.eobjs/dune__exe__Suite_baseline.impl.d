@@ -1,0 +1,1 @@
+test/suite_baseline.ml: Alcotest Array Automaton Core Event_base Expr Gen Ident Inst_tree_detector List Naive Occurrence Printf QCheck String Time Tree_detector Ts Window

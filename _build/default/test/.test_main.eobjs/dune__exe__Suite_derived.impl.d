@@ -1,0 +1,1 @@
+test/suite_derived.ml: Alcotest Array Context_detector Core Derived Domain Event_base Expr Gen Ident List Occurrence Time Ts Window

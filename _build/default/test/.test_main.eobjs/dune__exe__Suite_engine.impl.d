@@ -1,0 +1,1 @@
+test/suite_engine.ml: Action Alcotest Condition Core Engine Expr_parse List Object_store Operation Query Rule Schema Trigger_support Value

@@ -1,0 +1,1 @@
+test/suite_engine2.ml: Action Alcotest Condition Core Engine Expr Expr_parse Ident List Object_store Operation Query Rule Rule_table Schema String Value

@@ -1,0 +1,1 @@
+test/suite_event.ml: Alcotest Core Event_base Event_stats Event_type Ident List Occurrence Option Time Window

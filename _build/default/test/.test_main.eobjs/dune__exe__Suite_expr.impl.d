@@ -1,0 +1,1 @@
+test/suite_expr.ml: Alcotest Astring_contains Core Event_type Expr Expr_parse Gen List QCheck

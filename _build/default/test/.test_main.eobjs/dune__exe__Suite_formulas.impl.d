@@ -1,0 +1,1 @@
+test/suite_formulas.ml: Alcotest Core Domain Event_base Expr_parse Ident List Occurrence Time Ts Window

@@ -1,0 +1,1 @@
+test/suite_lang.ml: Alcotest Astring_contains Core Engine Interp

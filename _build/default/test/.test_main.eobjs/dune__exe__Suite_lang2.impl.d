@@ -1,0 +1,1 @@
+test/suite_lang2.ml: Alcotest Array Condition Core Engine Event_base Filename Fun Interp List Object_store Option Query Schema String Sys Ts Value Window

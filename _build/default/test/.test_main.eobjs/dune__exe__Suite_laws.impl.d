@@ -1,0 +1,1 @@
+test/suite_laws.ml: Array Core Event_base Expr Gen Ident List Normal_form Printf QCheck Time Ts Window

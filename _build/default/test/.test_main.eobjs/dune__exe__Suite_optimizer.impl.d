@@ -1,0 +1,1 @@
+test/suite_optimizer.ml: Alcotest Array Core Derive Event_base Event_type Expr Expr_parse Fmt Gen List Printf QCheck Relevance Simplify String Time Ts Variation Window

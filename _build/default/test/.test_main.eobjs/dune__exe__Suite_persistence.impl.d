@@ -1,0 +1,1 @@
+test/suite_persistence.ml: Alcotest Astring_contains Core Domain Engine Event_base Event_codec Filename Fun Gen List Object_store Printf Prng QCheck Scenario Sys Time Ts Value Window

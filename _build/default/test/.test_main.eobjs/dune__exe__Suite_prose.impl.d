@@ -1,0 +1,1 @@
+test/suite_prose.ml: Alcotest Core Domain Event_base Expr_parse Ident List Scenario Ts Window

@@ -1,0 +1,1 @@
+test/suite_store.ml: Alcotest Core Event_type List Object_store Operation Query Schema Value

@@ -1,0 +1,1 @@
+test/suite_store_model.ml: Array Core Gen Ident List Object_store Option Printf QCheck Schema Value

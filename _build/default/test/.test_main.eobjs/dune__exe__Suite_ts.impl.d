@@ -1,0 +1,1 @@
+test/suite_ts.ml: Alcotest Core Domain Event_base Expr Expr_parse Ident List Occurrence Scenario Time Ts Window

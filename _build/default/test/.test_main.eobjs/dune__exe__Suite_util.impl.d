@@ -1,0 +1,1 @@
+test/suite_util.ml: Alcotest Astring_contains Core List Pretty Prng Time Vec

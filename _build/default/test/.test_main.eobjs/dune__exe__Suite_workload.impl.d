@@ -1,0 +1,1 @@
+test/suite_workload.ml: Alcotest Core Domain Engine Event_type Expr Expr_gen Gen Ident List Object_store Operation Prng QCheck Scenario Value

@@ -1,0 +1,117 @@
+(* Shared QCheck generators: random event histories over the paper's
+   A/B/C-style abstract alphabet, and random event expressions at several
+   operator profiles. *)
+
+open Core
+
+let alphabet_list = Domain.abstract_alphabet 3
+let alphabet = Array.of_list alphabet_list
+
+(* A history is a list of (event-type index, object index). *)
+type history = (int * int) list
+
+let gen_history =
+  QCheck.Gen.(list_size (int_range 0 15) (pair (int_range 0 2) (int_range 0 2)))
+
+let print_history h =
+  String.concat ";"
+    (List.map
+       (fun (t, o) -> Printf.sprintf "%s@o%d" (Event_type.to_string alphabet.(t)) o)
+       h)
+
+(* Replays a history into a fresh event base.  Object indexes are offset by
+   one (oid 0 is reserved). *)
+let build_event_base history =
+  let eb = Event_base.create () in
+  List.iter
+    (fun (t, o) ->
+      ignore
+        (Event_base.record eb ~etype:alphabet.(t) ~oid:(Ident.Oid.of_int (o + 1))))
+    history;
+  eb
+
+(* Probe instants covering every sign regime of a replayed history: one
+   before everything, every event instant, and one after everything. *)
+let probe_instants eb =
+  let window = Window.all ~upto:(Event_base.probe_now eb) in
+  let stamps = Event_base.timestamps_in eb ~window in
+  (Time.of_int 1 :: stamps) @ [ Event_base.probe_now eb ]
+
+type profile = Regular | Boolean | Full
+
+let gen_inst_expr =
+  QCheck.Gen.(
+    sized_size (int_range 0 4) @@ fix (fun self n ->
+        if n = 0 then map (fun i -> Expr.I_prim alphabet.(i)) (int_range 0 2)
+        else
+          frequency
+            [
+              (1, map (fun i -> Expr.I_prim alphabet.(i)) (int_range 0 2));
+              (2, map2 Expr.i_conj (self (n / 2)) (self (n / 2)));
+              (2, map2 Expr.i_disj (self (n / 2)) (self (n / 2)));
+              (2, map2 Expr.i_seq (self (n / 2)) (self (n / 2)));
+              (1, map Expr.i_not (self (n - 1)));
+            ]))
+
+let gen_set_expr profile =
+  QCheck.Gen.(
+    sized_size (int_range 0 5) @@ fix (fun self n ->
+        if n = 0 then map (fun i -> Expr.Prim alphabet.(i)) (int_range 0 2)
+        else
+          let base =
+            [
+              (1, map (fun i -> Expr.Prim alphabet.(i)) (int_range 0 2));
+              (2, map2 Expr.conj (self (n / 2)) (self (n / 2)));
+              (2, map2 Expr.disj (self (n / 2)) (self (n / 2)));
+              (2, map2 Expr.seq (self (n / 2)) (self (n / 2)));
+            ]
+          in
+          let with_neg =
+            match profile with
+            | Regular -> base
+            | Boolean | Full -> (1, map Expr.not_ (self (n - 1))) :: base
+          in
+          let with_inst =
+            match profile with
+            | Regular | Boolean -> with_neg
+            | Full -> (1, map Expr.inst gen_inst_expr) :: with_neg
+          in
+          frequency with_inst))
+
+let arb_set_expr profile =
+  QCheck.make ~print:Expr.to_string (gen_set_expr profile)
+
+let arb_inst_expr = QCheck.make ~print:Expr.inst_to_string gen_inst_expr
+
+let arb_history = QCheck.make ~print:print_history gen_history
+
+let arb_history_and_expr profile =
+  QCheck.make
+    ~print:(fun (h, e) ->
+      Printf.sprintf "history=[%s] expr=%s" (print_history h) (Expr.to_string e))
+    QCheck.Gen.(pair gen_history (gen_set_expr profile))
+
+let arb_history_and_exprs2 profile =
+  QCheck.make
+    ~print:(fun (h, (a, b)) ->
+      Printf.sprintf "history=[%s] a=%s b=%s" (print_history h)
+        (Expr.to_string a) (Expr.to_string b))
+    QCheck.Gen.(
+      pair gen_history (pair (gen_set_expr profile) (gen_set_expr profile)))
+
+let arb_history_and_exprs3 profile =
+  QCheck.make
+    ~print:(fun (h, (a, (b, c))) ->
+      Printf.sprintf "history=[%s] a=%s b=%s c=%s" (print_history h)
+        (Expr.to_string a) (Expr.to_string b) (Expr.to_string c))
+    QCheck.Gen.(
+      pair gen_history
+        (pair (gen_set_expr profile)
+           (pair (gen_set_expr profile) (gen_set_expr profile))))
+
+(* Evaluation helper: ts at every probe instant under both styles. *)
+let ts_env ?style eb =
+  Ts.env ?style eb ~window:(Window.all ~upto:(Event_base.probe_now eb))
+
+let qcheck ?(count = 300) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)

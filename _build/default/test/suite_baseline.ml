@@ -1,0 +1,205 @@
+(* Equivalence of the baseline detectors with the calculus on their
+   supported fragment (negation- and instance-free set expressions):
+   the Snoop-style tree matches activation *and* activation timestamps,
+   the Ode-style automaton matches activation; both refuse negation. *)
+
+open Core
+
+let replay_compare ~check h e =
+  let eb = Event_base.create () in
+  List.iter
+    (fun (t, o) ->
+      let occ =
+        Event_base.record eb ~etype:Gen.alphabet.(t)
+          ~oid:(Ident.Oid.of_int (o + 1))
+      in
+      check eb occ)
+    h;
+  ignore e
+
+let tree_matches_calculus =
+  Gen.qcheck ~count:400 "tree detector = calculus (sign and stamp)"
+    (Gen.arb_history_and_expr Gen.Regular)
+    (fun (h, e) ->
+      let tree = Tree_detector.create e in
+      let result = ref true in
+      replay_compare h e ~check:(fun eb occ ->
+          Tree_detector.on_event tree ~etype:(Occurrence.etype occ)
+            ~timestamp:(Occurrence.timestamp occ);
+          let at = Event_base.probe_now eb in
+          let env = Ts.env eb ~window:(Window.all ~upto:at) in
+          let ts = Ts.ts env ~at e in
+          let ok =
+            if ts > 0 then Tree_detector.active tree && Tree_detector.value tree = ts
+            else not (Tree_detector.active tree)
+          in
+          if not ok then result := false);
+      !result)
+
+let automaton_matches_calculus =
+  Gen.qcheck ~count:400 "automaton = calculus (sign)"
+    (Gen.arb_history_and_expr Gen.Regular)
+    (fun (h, e) ->
+      let auto = Automaton.create e in
+      let result = ref true in
+      replay_compare h e ~check:(fun eb occ ->
+          Automaton.on_event auto ~etype:(Occurrence.etype occ);
+          let at = Event_base.probe_now eb in
+          let env = Ts.env eb ~window:(Window.all ~upto:at) in
+          if Ts.active env ~at e <> Automaton.active auto then result := false);
+      !result)
+
+let naive_matches_calculus =
+  Gen.qcheck ~count:200 "naive detector = calculus (sign, full fragment)"
+    (QCheck.make
+       ~print:(fun (h, es) ->
+         Printf.sprintf "history=[%s] exprs=[%s]" (Gen.print_history h)
+           (String.concat "; " (List.map Expr.to_string es)))
+       QCheck.Gen.(
+         pair Gen.gen_history
+           (list_size (int_range 1 4) (Gen.gen_set_expr Gen.Full))))
+    (fun (h, es) ->
+      let naive = Naive.create es in
+      let shadow = Event_base.create () in
+      let result = ref true in
+      List.iter
+        (fun (t, o) ->
+          let etype = Gen.alphabet.(t) and oid = Ident.Oid.of_int (o + 1) in
+          Naive.on_event naive ~etype ~oid;
+          ignore (Event_base.record shadow ~etype ~oid);
+          let at = Event_base.probe_now shadow in
+          let env = Ts.env shadow ~window:(Window.all ~upto:at) in
+          List.iteri
+            (fun i e ->
+              if Ts.active env ~at e <> Naive.active naive i then
+                result := false)
+            es)
+        h;
+      !result)
+
+let test_tree_rejects_negation () =
+  match
+    Tree_detector.create (Expr.not_ (Expr.prim Gen.alphabet.(0)))
+  with
+  | exception Tree_detector.Unsupported _ -> ()
+  | _ -> Alcotest.fail "expected Unsupported"
+
+let test_automaton_rejects_instance () =
+  match
+    Automaton.create
+      (Expr.Inst (Expr.i_conj (Expr.I_prim Gen.alphabet.(0)) (Expr.I_prim Gen.alphabet.(1))))
+  with
+  | exception Automaton.Unsupported _ -> ()
+  | _ -> Alcotest.fail "expected Unsupported"
+
+let test_automaton_memoizes () =
+  let a = Expr.prim Gen.alphabet.(0)
+  and b = Expr.prim Gen.alphabet.(1)
+  and c = Expr.prim Gen.alphabet.(2) in
+  let e = Expr.disj (Expr.seq a b) (Expr.conj c a) in
+  let auto = Automaton.create e in
+  (* Drive a long repetitive stream: the lazy DFA must saturate to a small
+     number of materialized transitions. *)
+  for i = 0 to 999 do
+    Automaton.on_event auto ~etype:Gen.alphabet.(i mod 3)
+  done;
+  Alcotest.(check bool) "few states materialized" true
+    (Automaton.states_materialized auto < 64)
+
+let test_reset () =
+  let e = Expr.conj (Expr.prim Gen.alphabet.(0)) (Expr.prim Gen.alphabet.(1)) in
+  let tree = Tree_detector.create e in
+  let auto = Automaton.create e in
+  let stamp = Time.of_int 2 in
+  Tree_detector.on_event tree ~etype:Gen.alphabet.(0) ~timestamp:stamp;
+  Tree_detector.on_event tree ~etype:Gen.alphabet.(1)
+    ~timestamp:(Time.of_int 4);
+  Automaton.on_event auto ~etype:Gen.alphabet.(0);
+  Automaton.on_event auto ~etype:Gen.alphabet.(1);
+  Alcotest.(check bool) "tree active" true (Tree_detector.active tree);
+  Alcotest.(check bool) "auto active" true (Automaton.active auto);
+  Tree_detector.reset tree;
+  Automaton.reset auto;
+  Alcotest.(check bool) "tree reset" false (Tree_detector.active tree);
+  Alcotest.(check bool) "auto reset" false (Automaton.active auto)
+
+let suite =
+  [
+    tree_matches_calculus;
+    automaton_matches_calculus;
+    naive_matches_calculus;
+    Alcotest.test_case "tree rejects negation" `Quick test_tree_rejects_negation;
+    Alcotest.test_case "automaton rejects instance ops" `Quick
+      test_automaton_rejects_instance;
+    Alcotest.test_case "automaton memoizes transitions" `Quick
+      test_automaton_memoizes;
+    Alcotest.test_case "detectors reset" `Quick test_reset;
+  ]
+
+(* --------------------------------------- instance-oriented tree detector *)
+
+let gen_regular_inst =
+  QCheck.Gen.(
+    sized_size (int_range 0 4) @@ fix (fun self n ->
+        if n = 0 then map (fun i -> Expr.I_prim Gen.alphabet.(i)) (int_range 0 2)
+        else
+          frequency
+            [
+              (1, map (fun i -> Expr.I_prim Gen.alphabet.(i)) (int_range 0 2));
+              (2, map2 Expr.i_conj (self (n / 2)) (self (n / 2)));
+              (2, map2 Expr.i_disj (self (n / 2)) (self (n / 2)));
+              (2, map2 Expr.i_seq (self (n / 2)) (self (n / 2)));
+            ]))
+
+let inst_tree_matches_calculus =
+  Gen.qcheck ~count:400 "instance tree = calculus lift (sign, stamp, objects)"
+    (QCheck.make
+       ~print:(fun (h, ie) ->
+         Printf.sprintf "history=[%s] expr=%s" (Gen.print_history h)
+           (Expr.inst_to_string ie))
+       QCheck.Gen.(pair Gen.gen_history gen_regular_inst))
+    (fun (h, ie) ->
+      let detector = Inst_tree_detector.create ie in
+      let eb = Event_base.create () in
+      let result = ref true in
+      List.iter
+        (fun (t, o) ->
+          let etype = Gen.alphabet.(t) and oid = Ident.Oid.of_int (o + 1) in
+          let occ = Event_base.record eb ~etype ~oid in
+          Inst_tree_detector.on_event detector ~etype ~oid
+            ~timestamp:(Occurrence.timestamp occ);
+          let at = Event_base.probe_now eb in
+          let env = Ts.env eb ~window:(Window.all ~upto:at) in
+          (* Lifted value. *)
+          let lifted = Ts.ts env ~at (Expr.Inst ie) in
+          let tree_value = Inst_tree_detector.value detector in
+          if lifted > 0 then begin
+            if not (Inst_tree_detector.active detector && tree_value = lifted)
+            then result := false
+          end
+          else if Inst_tree_detector.active detector then result := false;
+          (* Per-object activation agrees with occurred_objects. *)
+          let expected =
+            List.map Ident.Oid.to_int (Ts.occurred_objects env ~at ie)
+          in
+          let got =
+            List.sort compare
+              (List.map Ident.Oid.to_int
+                 (Inst_tree_detector.active_objects detector))
+          in
+          if List.sort compare expected <> got then result := false)
+        h;
+      !result)
+
+let test_inst_tree_rejects_negation () =
+  match Inst_tree_detector.create (Expr.I_not (Expr.I_prim Gen.alphabet.(0))) with
+  | exception Inst_tree_detector.Unsupported _ -> ()
+  | _ -> Alcotest.fail "expected Unsupported"
+
+let suite =
+  suite
+  @ [
+      inst_tree_matches_calculus;
+      Alcotest.test_case "instance tree rejects negation" `Quick
+        test_inst_tree_rejects_negation;
+    ]

@@ -1,0 +1,158 @@
+(* Derived related-work operators (the subsumption claim of the paper's
+   conclusions) and Snoop parameter contexts. *)
+
+open Core
+
+let ev i = Gen.alphabet.(i)
+let pa = Expr.prim (ev 0)
+let pb = Expr.prim (ev 1)
+let pc = Expr.prim (ev 2)
+
+let active_on h e =
+  let eb = Gen.build_event_base h in
+  let at = Event_base.probe_now eb in
+  Ts.active (Ts.env eb ~window:(Window.all ~upto:at)) ~at e
+
+(* ----------------------------------------------- derived combinators *)
+
+let test_any_all () =
+  let any = Derived.any_of [ pa; pb; pc ] in
+  let all = Derived.all_of [ pa; pb; pc ] in
+  Alcotest.(check bool) "any on B alone" true (active_on [ (1, 0) ] any);
+  Alcotest.(check bool) "all needs all three" false
+    (active_on [ (1, 0); (0, 0) ] all);
+  Alcotest.(check bool) "all on all three" true
+    (active_on [ (1, 0); (0, 0); (2, 1) ] all)
+
+let test_sequence () =
+  let seq = Derived.sequence [ pa; pb; pc ] in
+  Alcotest.(check bool) "in order" true
+    (active_on [ (0, 0); (1, 0); (2, 0) ] seq);
+  Alcotest.(check bool) "out of order" false
+    (active_on [ (1, 0); (0, 0); (2, 0) ] seq);
+  Alcotest.(check bool) "missing middle" false
+    (active_on [ (0, 0); (2, 0) ] seq)
+
+let test_without () =
+  let e = Derived.without pb ~absent:pa in
+  Alcotest.(check bool) "B with no A" true (active_on [ (1, 0) ] e);
+  Alcotest.(check bool) "B with A" false (active_on [ (0, 0); (1, 0) ] e)
+
+let test_not_followed_by () =
+  let e = Derived.not_followed_by pa ~by:pb in
+  Alcotest.(check bool) "A alone" true (active_on [ (0, 0) ] e);
+  Alcotest.(check bool) "A then B" false (active_on [ (0, 0); (1, 0) ] e);
+  (* The precedence anchors on the LAST B: once some A preceded it, a
+     fresh A cannot undo the completed pattern. *)
+  Alcotest.(check bool) "A B A" false (active_on [ (0, 0); (1, 0); (0, 0) ] e);
+  (* But a B that no A preceded does not count as "followed". *)
+  Alcotest.(check bool) "B A" true (active_on [ (1, 0); (0, 0) ] e)
+
+let test_one_of_not_both () =
+  let e = Derived.one_of_not_both pa pb in
+  Alcotest.(check bool) "A only" true (active_on [ (0, 0) ] e);
+  Alcotest.(check bool) "B only" true (active_on [ (1, 0) ] e);
+  Alcotest.(check bool) "both" false (active_on [ (0, 0); (1, 0) ] e)
+
+let test_net_created_combinator () =
+  let a = Domain.create_stock and d = Domain.delete_stock in
+  let e = Derived.net_created ~create:a ~delete:d in
+  let eb = Event_base.create () in
+  let o1 = Ident.Oid.of_int 1 and o2 = Ident.Oid.of_int 2 in
+  ignore (Event_base.record eb ~etype:a ~oid:o1);
+  ignore (Event_base.record eb ~etype:a ~oid:o2);
+  ignore (Event_base.record eb ~etype:d ~oid:o2);
+  let at = Event_base.probe_now eb in
+  let env = Ts.env eb ~window:(Window.all ~upto:at) in
+  Alcotest.(check bool) "o1 survives: active" true (Ts.active env ~at e)
+
+(* ----------------------------------------------------- Snoop contexts *)
+
+let feed_pairs detector stream =
+  let clock = Time.Clock.create () in
+  List.iter
+    (fun i ->
+      Context_detector.on_event detector ~etype:(ev i)
+        ~timestamp:(Time.Clock.next_event_instant clock))
+    stream;
+  List.map
+    (fun p ->
+      ( Time.to_int p.Context_detector.initiator,
+        Time.to_int p.Context_detector.terminator ))
+    (Context_detector.detections detector)
+
+(* Stream: A@2 A@4 B@6 B@8 (indices 0=A, 1=B). *)
+let stream = [ 0; 0; 1; 1 ]
+
+let test_context_recent () =
+  let d = Context_detector.create Context_detector.Recent ~a:(ev 0) ~b:(ev 1) in
+  Alcotest.(check (list (pair int int)))
+    "recent pairs the latest A, twice"
+    [ (4, 6); (4, 8) ]
+    (feed_pairs d stream)
+
+let test_context_chronicle () =
+  let d =
+    Context_detector.create Context_detector.Chronicle ~a:(ev 0) ~b:(ev 1)
+  in
+  Alcotest.(check (list (pair int int)))
+    "chronicle pairs FIFO"
+    [ (2, 6); (4, 8) ]
+    (feed_pairs d stream)
+
+let test_context_continuous () =
+  let d =
+    Context_detector.create Context_detector.Continuous ~a:(ev 0) ~b:(ev 1)
+  in
+  Alcotest.(check (list (pair int int)))
+    "continuous pairs all open initiators, consuming them"
+    [ (2, 6); (4, 6) ]
+    (feed_pairs d stream)
+
+let test_context_reset () =
+  let d = Context_detector.create Context_detector.Recent ~a:(ev 0) ~b:(ev 1) in
+  ignore (feed_pairs d stream);
+  Context_detector.reset d;
+  Alcotest.(check int) "cleared" 0 (Context_detector.detection_count d)
+
+(* The calculus itself behaves recent-like on activation stamps: the
+   precedence's stamp tracks the latest terminator. *)
+let calculus_is_recent_like =
+  Gen.qcheck ~count:200 "calculus precedence stamps match recent context"
+    Gen.arb_history (fun h ->
+      let a = Gen.alphabet.(0) and b = Gen.alphabet.(1) in
+      let eb = Gen.build_event_base h in
+      let detector = Context_detector.create Context_detector.Recent ~a ~b in
+      List.iter
+        (fun occ ->
+          Context_detector.on_event detector ~etype:(Occurrence.etype occ)
+            ~timestamp:(Occurrence.timestamp occ))
+        (Event_base.to_list eb);
+      let at = Event_base.probe_now eb in
+      let env = Ts.env eb ~window:(Window.all ~upto:at) in
+      let expr = Expr.seq (Expr.prim a) (Expr.prim b) in
+      match
+        ( Ts.activation env ~at expr,
+          List.rev (Context_detector.detections detector) )
+      with
+      | None, [] -> true
+      | Some stamp, last :: _ ->
+          Time.to_int stamp = Time.to_int last.Context_detector.terminator
+      | Some _, [] | None, _ :: _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "any_of / all_of" `Quick test_any_all;
+    Alcotest.test_case "sequence" `Quick test_sequence;
+    Alcotest.test_case "without" `Quick test_without;
+    Alcotest.test_case "not_followed_by" `Quick test_not_followed_by;
+    Alcotest.test_case "one_of_not_both" `Quick test_one_of_not_both;
+    Alcotest.test_case "net_created combinator" `Quick
+      test_net_created_combinator;
+    Alcotest.test_case "Snoop context: recent" `Quick test_context_recent;
+    Alcotest.test_case "Snoop context: chronicle" `Quick test_context_chronicle;
+    Alcotest.test_case "Snoop context: continuous" `Quick
+      test_context_continuous;
+    Alcotest.test_case "Snoop context reset" `Quick test_context_reset;
+    calculus_is_recent_like;
+  ]

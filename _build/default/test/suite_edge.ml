@@ -1,0 +1,255 @@
+(* Edge cases and robustness: parser fuzzing, boundary windows, deep
+   expressions, failure injection in the engine, and rule-table
+   lifecycle. *)
+
+open Core
+
+(* ------------------------------------------------------------- fuzz *)
+
+(* The expression parser must never raise on arbitrary input: every
+   outcome is Ok or Error. *)
+let parser_total =
+  Gen.qcheck ~count:1000 "expression parser is total"
+    (QCheck.make ~print:(Printf.sprintf "%S")
+       QCheck.Gen.(string_size ~gen:(char_range ' ' '~') (int_range 0 40)))
+    (fun s ->
+      match Expr_parse.parse s with Ok _ | Error _ -> true)
+
+let script_parser_total =
+  Gen.qcheck ~count:1000 "script parser is total"
+    (QCheck.make ~print:(Printf.sprintf "%S")
+       QCheck.Gen.(string_size ~gen:(char_range ' ' '~') (int_range 0 60)))
+    (fun s ->
+      match Lang_parser.parse s with Ok _ | Error _ -> true)
+
+let event_type_parser_total =
+  Gen.qcheck ~count:1000 "event-type parser is total"
+    (QCheck.make ~print:(Printf.sprintf "%S")
+       QCheck.Gen.(string_size ~gen:(char_range ' ' '~') (int_range 0 30)))
+    (fun s ->
+      match Event_type.of_string s with Ok _ | Error _ -> true)
+
+(* Mutated valid expressions: drop/duplicate one character and reparse. *)
+let parser_survives_mutation =
+  Gen.qcheck ~count:500 "parser survives single-character mutations"
+    (QCheck.make
+       ~print:(fun (e, i) -> Printf.sprintf "%s / %d" (Expr.to_string e) i)
+       QCheck.Gen.(pair (Gen.gen_set_expr Gen.Full) (int_range 0 200)))
+    (fun (e, i) ->
+      let s = Expr.to_string e in
+      if String.length s = 0 then true
+      else begin
+        let pos = i mod String.length s in
+        let dropped =
+          String.sub s 0 pos ^ String.sub s (pos + 1) (String.length s - pos - 1)
+        in
+        let doubled =
+          String.sub s 0 pos
+          ^ String.make 1 s.[pos]
+          ^ String.sub s pos (String.length s - pos)
+        in
+        (match Expr_parse.parse dropped with Ok _ | Error _ -> true)
+        && (match Expr_parse.parse doubled with Ok _ | Error _ -> true)
+      end)
+
+(* -------------------------------------------------------- boundaries *)
+
+let test_window_boundaries () =
+  let w = Window.make ~after:(Time.of_int 3) ~upto:(Time.of_int 9) in
+  Alcotest.(check bool) "after excluded" false (Window.contains w (Time.of_int 3));
+  Alcotest.(check bool) "upto included" true (Window.contains w (Time.of_int 9));
+  Alcotest.(check bool) "inside" true (Window.contains w (Time.of_int 4));
+  (match Window.make ~after:(Time.of_int 9) ~upto:(Time.of_int 3) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected invalid window");
+  (* Degenerate window is allowed and empty. *)
+  let empty = Window.make ~after:(Time.of_int 5) ~upto:(Time.of_int 5) in
+  Alcotest.(check bool) "degenerate empty" false
+    (Window.contains empty (Time.of_int 5))
+
+let test_ts_at_window_lower_bound () =
+  let eb = Gen.build_event_base [ (0, 0); (1, 0) ] in
+  let at = Event_base.probe_now eb in
+  let window = Window.make ~after:at ~upto:at in
+  let env = Ts.env eb ~window in
+  (* Empty R: primitives inactive, negation active (stamped now). *)
+  Alcotest.(check bool) "primitive inactive" false
+    (Ts.active env ~at (Expr.prim Gen.alphabet.(0)));
+  Alcotest.(check bool) "negation active" true
+    (Ts.active env ~at (Expr.not_ (Expr.prim Gen.alphabet.(0))))
+
+let test_unknown_event_types () =
+  let eb = Gen.build_event_base [ (0, 0) ] in
+  let ghost = Event_type.external_ ~name:"never" ~class_name:"ghost" in
+  let at = Event_base.probe_now eb in
+  let env = Ts.env eb ~window:(Window.all ~upto:at) in
+  Alcotest.(check bool) "never-seen type inactive" false
+    (Ts.active env ~at (Expr.prim ghost));
+  Alcotest.(check int) "value is -t" (-Time.to_int at)
+    (Ts.ts env ~at (Expr.prim ghost))
+
+let test_deep_expression () =
+  (* A 200-deep left portion exercises stack behaviour and printing. *)
+  let p = Expr.prim Gen.alphabet.(0) in
+  let deep = ref p in
+  for _ = 1 to 200 do
+    deep := Expr.conj !deep (Expr.not_ p)
+  done;
+  let eb = Gen.build_event_base [ (0, 0) ] in
+  let at = Event_base.probe_now eb in
+  let env = Ts.env eb ~window:(Window.all ~upto:at) in
+  (* A + -A is never active; the conjunction chain stays inactive. *)
+  Alcotest.(check bool) "deep chain evaluates" false (Ts.active env ~at !deep);
+  (* Printing and reparsing stays faithful. *)
+  match Expr_parse.parse (Expr.to_string !deep) with
+  | Ok e -> Alcotest.(check bool) "roundtrip" true (Expr.equal e !deep)
+  | Error msg -> Alcotest.fail msg
+
+(* --------------------------------------------------- failure injection *)
+
+let test_engine_survives_errors () =
+  let engine = Engine.create (Domain.schema ()) in
+  let _ = Engine.define_exn engine Scenario.check_stock_qty in
+  (* Unknown attribute mid-block: the line fails... *)
+  (match
+     Engine.execute_line engine
+       [
+         Domain.new_stock ~quantity:5 ~maxquantity:10 ~minquantity:0;
+         Operation.Create
+           { class_name = "stock"; attrs = [ ("nope", Value.Int 1) ] };
+       ]
+   with
+  | Error (`Unknown_attribute _) -> ()
+  | Ok () -> Alcotest.fail "expected unknown attribute"
+  | Error e -> Alcotest.failf "unexpected: %a" Engine.pp_error e);
+  (* ...and the engine remains usable afterwards. *)
+  (match
+     Engine.execute_line engine
+       [ Domain.new_stock ~quantity:50 ~maxquantity:10 ~minquantity:0 ]
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "engine wedged: %a" Engine.pp_error e);
+  (* The clamp rule still works on the new object. *)
+  let store = Engine.store engine in
+  let violator =
+    List.find
+      (fun oid ->
+        match Object_store.get store oid ~attribute:"maxquantity" with
+        | Ok (Value.Int 10) -> true
+        | _ -> false)
+      (List.rev (Object_store.extent store ~class_name:"stock"))
+  in
+  match Object_store.get store violator ~attribute:"quantity" with
+  | Ok (Value.Int q) -> Alcotest.(check bool) "clamped" true (q <= 10)
+  | _ -> Alcotest.fail "quantity"
+
+let test_unknown_class_operations () =
+  let engine = Engine.create (Domain.schema ()) in
+  (match
+     Engine.execute_line engine
+       [ Operation.Create { class_name = "ghost"; attrs = [] } ]
+   with
+  | Error (`Unknown_class _) -> ()
+  | _ -> Alcotest.fail "expected unknown class");
+  match
+    Engine.execute_line engine
+      [ Operation.Delete { oid = Ident.Oid.of_int 999 } ]
+  with
+  | Error (`Unknown_object _) -> ()
+  | _ -> Alcotest.fail "expected unknown object"
+
+(* ------------------------------------------------- rule-table lifecycle *)
+
+let test_rule_table_lifecycle () =
+  let table = Rule_table.create () in
+  let tx_start = Time.of_int 1 in
+  let spec name priority =
+    {
+      Rule.name;
+      target = None;
+      event = Expr.prim Gen.alphabet.(0);
+      condition = [];
+      action = [];
+      coupling = Rule.Immediate;
+      consumption = Rule.Consuming;
+      priority;
+    }
+  in
+  let ok = function
+    | Ok r -> r
+    | Error (`Rule_error msg) -> Alcotest.fail msg
+  in
+  let _a = ok (Rule_table.add table ~tx_start (spec "a" 1)) in
+  let b = ok (Rule_table.add table ~tx_start (spec "b" 9)) in
+  (match Rule_table.add table ~tx_start (spec "a" 5) with
+  | Error (`Rule_error _) -> ()
+  | Ok _ -> Alcotest.fail "expected duplicate rejection");
+  Alcotest.(check int) "two rules" 2 (Rule_table.cardinal table);
+  Alcotest.(check (list string)) "priority order" [ "b"; "a" ]
+    (List.map Rule.name (Rule_table.rules table));
+  b.Rule.triggered <- true;
+  (match Rule_table.select table ~filter:(fun _ -> true) with
+  | Some r -> Alcotest.(check string) "selects b" "b" (Rule.name r)
+  | None -> Alcotest.fail "expected selection");
+  (match Rule_table.remove table "b" with
+  | Ok () -> ()
+  | Error (`Rule_error msg) -> Alcotest.fail msg);
+  Alcotest.(check int) "one rule left" 1 (Rule_table.cardinal table);
+  match Rule_table.remove table "b" with
+  | Error (`Rule_error _) -> ()
+  | Ok () -> Alcotest.fail "expected missing-rule error"
+
+(* at() through the script language, with the bound instant used in a
+   comparison. *)
+let test_at_formula_in_language () =
+  let interp = Interp.create () in
+  (match
+     Interp.run_string interp
+       {|
+define class stock (quantity: integer, maxquantity: integer, minquantity: integer);
+define class audit (when_at: integer);
+define immediate trigger auditModify
+  events { modify(stock.quantity) }
+  condition at({ create(stock) <= modify(stock.quantity) }, S, T), T > 0
+  actions create audit(when_at = T)
+end;
+create stock(quantity = 5, maxquantity = 10, minquantity = 0) as X;
+modify X.quantity = 7;
+modify X.quantity = 9;
+|}
+   with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  let store = Engine.store (Interp.engine interp) in
+  (* Exactly one audit row: the first consideration binds the update
+     instant; after it the creation is consumed, so the second update no
+     longer completes the create-then-modify pattern (consuming mode). *)
+  let audits = Object_store.extent store ~class_name:"audit" in
+  Alcotest.(check int) "one audit row" 1 (List.length audits);
+  List.iter
+    (fun oid ->
+      match Object_store.get store oid ~attribute:"when_at" with
+      | Ok (Value.Int t) ->
+          Alcotest.(check bool) "instant positive" true (t > 0)
+      | _ -> Alcotest.fail "when_at")
+    audits
+
+let suite =
+  [
+    parser_total;
+    script_parser_total;
+    event_type_parser_total;
+    parser_survives_mutation;
+    Alcotest.test_case "window boundaries" `Quick test_window_boundaries;
+    Alcotest.test_case "ts on an empty window" `Quick
+      test_ts_at_window_lower_bound;
+    Alcotest.test_case "unknown event types" `Quick test_unknown_event_types;
+    Alcotest.test_case "deep expressions" `Quick test_deep_expression;
+    Alcotest.test_case "engine survives op errors" `Quick
+      test_engine_survives_errors;
+    Alcotest.test_case "unknown class/object operations" `Quick
+      test_unknown_class_operations;
+    Alcotest.test_case "rule table lifecycle" `Quick test_rule_table_lifecycle;
+    Alcotest.test_case "at() through the language" `Quick
+      test_at_formula_in_language;
+  ]

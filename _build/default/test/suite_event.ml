@@ -1,0 +1,186 @@
+(* The event substrate: event types, the Event Base of Fig. 3, the
+   attribute functions of Fig. 4, indexes and windows. *)
+
+open Core
+
+let test_event_type_roundtrip () =
+  let cases =
+    [
+      "create(stock)";
+      "delete(stock)";
+      "modify(stock.quantity)";
+      "modify(show)";
+      "generalize(item)";
+      "specialize(item)";
+      "select(stock)";
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Event_type.of_string s with
+      | Ok t -> Alcotest.(check string) s s (Event_type.to_string t)
+      | Error msg -> Alcotest.fail msg)
+    cases
+
+let test_event_type_errors () =
+  List.iter
+    (fun s ->
+      match Event_type.of_string s with
+      | Error _ -> ()
+      | Ok t -> Alcotest.failf "%s unexpectedly parsed to %s" s (Event_type.to_string t))
+    [ ""; "create("; "()"; "create()" ]
+
+let test_modify_generalization () =
+  let qualified = Event_type.modify ~attribute:"quantity" ~class_name:"stock" () in
+  let unqualified = Event_type.modify ~class_name:"stock" () in
+  Alcotest.(check bool) "modify(stock) covers modify(stock.quantity)" true
+    (Event_type.generalizes ~subscription:unqualified ~occurrence:qualified);
+  Alcotest.(check bool) "not the converse" false
+    (Event_type.generalizes ~subscription:qualified ~occurrence:unqualified);
+  let other = Event_type.modify ~attribute:"quantity" ~class_name:"show" () in
+  Alcotest.(check bool) "different class does not match" false
+    (Event_type.generalizes ~subscription:unqualified ~occurrence:other)
+
+(* Fig. 3's example event base and Fig. 4's attribute functions. *)
+let fig3_event_base () =
+  let eb = Event_base.create () in
+  let o1 = Ident.Oid.of_int 1
+  and o2 = Ident.Oid.of_int 2
+  and o3 = Ident.Oid.of_int 3
+  and o4 = Ident.Oid.of_int 4 in
+  let record etype oid = Event_base.record eb ~etype ~oid in
+  let e1 = record (Event_type.create ~class_name:"stock") o1 in
+  let e2 = record (Event_type.create ~class_name:"stock") o2 in
+  let e3 = record (Event_type.create ~class_name:"order") o3 in
+  let e4 = record (Event_type.create ~class_name:"notFilledOrder") o4 in
+  let e5 = record (Event_type.modify ~attribute:"quantity" ~class_name:"stock" ()) o1 in
+  let e6 = record (Event_type.modify ~attribute:"quantity" ~class_name:"stock" ()) o2 in
+  let e7 = record (Event_type.delete ~class_name:"stock") o1 in
+  (eb, [ e1; e2; e3; e4; e5; e6; e7 ])
+
+let test_fig3_fig4 () =
+  let eb, occs = fig3_event_base () in
+  Alcotest.(check int) "seven rows" 7 (Event_base.size eb);
+  let e1 = List.nth occs 0 and e5 = List.nth occs 4 and e7 = List.nth occs 6 in
+  Alcotest.(check string) "type(e1)" "create(stock)"
+    (Event_type.to_string (Occurrence.type_ e1));
+  Alcotest.(check int) "obj(e5) = o1" 1 (Ident.Oid.to_int (Occurrence.obj e5));
+  Alcotest.(check string) "event_on_class(e7)" "stock"
+    (Occurrence.event_on_class e7);
+  Alcotest.(check bool) "timestamps increase" true
+    (Time.( < ) (Occurrence.timestamp e1) (Occurrence.timestamp e7))
+
+let test_last_of_type () =
+  let eb, occs = fig3_event_base () in
+  let modify = Event_type.modify ~attribute:"quantity" ~class_name:"stock" () in
+  let at = Event_base.probe_now eb in
+  let window = Window.all ~upto:at in
+  let e6 = List.nth occs 5 in
+  Alcotest.(check (option int)) "last modify is e6"
+    (Some (Time.to_int (Occurrence.timestamp e6)))
+    (Option.map Time.to_int (Event_base.last_of_type eb ~etype:modify ~window ~at));
+  (* Clipping at an earlier instant sees only e5. *)
+  let e5 = List.nth occs 4 in
+  Alcotest.(check (option int)) "clipped at e5"
+    (Some (Time.to_int (Occurrence.timestamp e5)))
+    (Option.map Time.to_int
+       (Event_base.last_of_type eb ~etype:modify ~window
+          ~at:(Occurrence.timestamp e5)));
+  (* The unqualified modify subscription sees the qualified occurrences. *)
+  let unqualified = Event_type.modify ~class_name:"stock" () in
+  Alcotest.(check bool) "unqualified modify indexed" true
+    (Event_base.last_of_type eb ~etype:unqualified ~window ~at <> None)
+
+let test_per_object_index () =
+  let eb, occs = fig3_event_base () in
+  let modify = Event_type.modify ~attribute:"quantity" ~class_name:"stock" () in
+  let at = Event_base.probe_now eb in
+  let window = Window.all ~upto:at in
+  let o1 = Ident.Oid.of_int 1 and o3 = Ident.Oid.of_int 3 in
+  let e5 = List.nth occs 4 in
+  Alcotest.(check (option int)) "o1's last modify is e5"
+    (Some (Time.to_int (Occurrence.timestamp e5)))
+    (Option.map Time.to_int
+       (Event_base.last_of_type_on eb ~etype:modify ~oid:o1 ~window ~at));
+  Alcotest.(check (option int)) "o3 has no modify" None
+    (Option.map Time.to_int
+       (Event_base.last_of_type_on eb ~etype:modify ~oid:o3 ~window ~at))
+
+let test_windows () =
+  let eb, occs = fig3_event_base () in
+  let e3 = List.nth occs 2 in
+  let mid = Time.probe_after (Occurrence.timestamp e3) in
+  let tail = Window.make ~after:mid ~upto:(Event_base.probe_now eb) in
+  Alcotest.(check int) "four occurrences after e3" 4
+    (List.length (Event_base.occurrences_in eb ~window:tail));
+  Alcotest.(check bool) "nonempty" false (Event_base.is_empty_in eb ~window:tail);
+  let empty = Window.make ~after:mid ~upto:mid in
+  Alcotest.(check bool) "empty window" true
+    (Event_base.is_empty_in eb ~window:empty)
+
+let test_oids_in () =
+  let eb, occs = fig3_event_base () in
+  let at = Event_base.probe_now eb in
+  let window = Window.all ~upto:at in
+  Alcotest.(check (list int)) "all four objects" [ 1; 2; 3; 4 ]
+    (List.map Ident.Oid.to_int (Event_base.oids_in eb ~window ~at));
+  (* Clipping at e2 sees only o1 and o2. *)
+  let e2 = List.nth occs 1 in
+  Alcotest.(check (list int)) "first two objects" [ 1; 2 ]
+    (List.map Ident.Oid.to_int
+       (Event_base.oids_in eb ~window ~at:(Occurrence.timestamp e2)))
+
+let test_oids_of_type () =
+  let eb, _ = fig3_event_base () in
+  let at = Event_base.probe_now eb in
+  let window = Window.all ~upto:at in
+  let create_stock = Event_type.create ~class_name:"stock" in
+  Alcotest.(check (list int)) "stock creations affect o1 o2" [ 1; 2 ]
+    (List.map Ident.Oid.to_int
+       (Event_base.oids_of_type eb ~etype:create_stock ~window ~at))
+
+let test_record_at_validation () =
+  let eb = Event_base.create () in
+  let o1 = Ident.Oid.of_int 1 in
+  let etype = Event_type.create ~class_name:"stock" in
+  ignore (Event_base.record_at eb ~etype ~oid:o1 ~timestamp:(Time.of_int 10));
+  (match Event_base.record_at eb ~etype ~oid:o1 ~timestamp:(Time.of_int 10) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected monotonicity violation");
+  match Event_base.record_at eb ~etype ~oid:o1 ~timestamp:(Time.of_int 13) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected event-instant (even) violation"
+
+let suite =
+  [
+    Alcotest.test_case "event type to/of string" `Quick test_event_type_roundtrip;
+    Alcotest.test_case "event type parse errors" `Quick test_event_type_errors;
+    Alcotest.test_case "modify generalization" `Quick test_modify_generalization;
+    Alcotest.test_case "Fig. 3 event base / Fig. 4 attributes" `Quick
+      test_fig3_fig4;
+    Alcotest.test_case "last_of_type with clipping" `Quick test_last_of_type;
+    Alcotest.test_case "per-object index" `Quick test_per_object_index;
+    Alcotest.test_case "windows" `Quick test_windows;
+    Alcotest.test_case "oids_in" `Quick test_oids_in;
+    Alcotest.test_case "oids_of_type" `Quick test_oids_of_type;
+    Alcotest.test_case "record_at validation" `Quick test_record_at_validation;
+  ]
+
+let test_event_stats () =
+  let eb, _ = fig3_event_base () in
+  let stats = Event_stats.of_event_base eb in
+  Alcotest.(check int) "total" 7 stats.Event_stats.total;
+  Alcotest.(check int) "distinct types in the log" 5
+    stats.Event_stats.distinct_types;
+  Alcotest.(check int) "objects" 4 stats.Event_stats.distinct_objects;
+  (match Event_stats.top_objects ~n:1 stats with
+  | [ (oid, 3) ] -> Alcotest.(check int) "o1 busiest" 1 (Ident.Oid.to_int oid)
+  | _ -> Alcotest.fail "expected o1 with 3 occurrences");
+  (* Windowed collection sees a subset. *)
+  let late =
+    Event_stats.collect eb
+      ~window:(Window.make ~after:(Time.of_int 9) ~upto:(Time.of_int 15))
+  in
+  Alcotest.(check int) "three in the tail window" 3 late.Event_stats.total
+
+let suite = suite @ [ Alcotest.test_case "event stats" `Quick test_event_stats ]

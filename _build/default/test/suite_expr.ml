@@ -1,0 +1,117 @@
+(* Expression ADT, operator metadata (Fig. 1 / Fig. 2), printer and
+   parser: unit cases for priorities and stratification, and a print/parse
+   roundtrip property. *)
+
+open Core
+
+let parse = Expr_parse.parse_exn
+
+let shape =
+  Alcotest.testable (fun ppf e -> Expr.pp ppf e) Expr.equal
+
+let p name = Expr.prim (Event_type.external_ ~name ~class_name:"obj")
+let ip name = Expr.I_prim (Event_type.external_ ~name ~class_name:"obj")
+
+let test_priorities () =
+  (* Negation > conjunction/precedence > disjunction. *)
+  Alcotest.check shape "neg binds tightest"
+    (Expr.conj (Expr.not_ (p "a")) (p "b"))
+    (parse "-a(obj) + b(obj)");
+  Alcotest.check shape "conj before disj"
+    (Expr.disj (Expr.conj (p "a") (p "b")) (p "c"))
+    (parse "a(obj) + b(obj) , c(obj)");
+  Alcotest.check shape "seq and conj associate left"
+    (Expr.seq (Expr.conj (p "a") (p "b")) (p "c"))
+    (parse "a(obj) + b(obj) < c(obj)");
+  Alcotest.check shape "parens override"
+    (Expr.conj (p "a") (Expr.disj (p "b") (p "c")))
+    (parse "a(obj) + (b(obj) , c(obj))")
+
+let test_instance_parsing () =
+  Alcotest.check shape "instance ops bind tighter than set ops"
+    (Expr.conj (p "a") (Expr.Inst (Expr.I_seq (ip "b", ip "c"))))
+    (parse "a(obj) + b(obj) <= c(obj)");
+  Alcotest.check shape "instance negation"
+    (Expr.Inst (Expr.I_not (Expr.I_and (ip "a", ip "b"))))
+    (parse "-=(a(obj) += b(obj))")
+
+let test_stratification_rejected () =
+  match Expr_parse.parse "(a(obj) + b(obj)) <= c(obj)" with
+  | Error msg ->
+      Alcotest.(check bool) "mentions the violation" true
+        (Astring_contains.contains msg "set-oriented")
+  | Ok e -> Alcotest.failf "unexpectedly parsed: %s" (Expr.to_string e)
+
+let test_parse_errors () =
+  List.iter
+    (fun s ->
+      match Expr_parse.parse s with
+      | Error _ -> ()
+      | Ok e -> Alcotest.failf "%S unexpectedly parsed to %s" s (Expr.to_string e))
+    [ ""; "( a(obj)"; "a(obj) +"; "+ a(obj)"; "a(obj) b(obj)"; "a(" ]
+
+let test_operator_table () =
+  (* Fig. 1: four operators, each with instance and set symbols, in
+     decreasing priority order. *)
+  let table = Expr.operator_table in
+  Alcotest.(check int) "four rows" 4 (List.length table);
+  let priorities = List.map (fun (op, _, _) -> Expr.operator_priority op) table in
+  let rec non_increasing = function
+    | a :: (b :: _ as rest) -> a >= b && non_increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "decreasing priority" true (non_increasing priorities);
+  List.iter
+    (fun (op, inst_sym, set_sym) ->
+      Alcotest.(check string) "instance symbol has = suffix" (set_sym ^ "=") inst_sym;
+      match op with
+      | Expr.Precedence ->
+          Alcotest.(check string) "temporal dimension" "temporal"
+            (Expr.operator_dimension op)
+      | _ ->
+          Alcotest.(check string) "boolean dimension" "boolean"
+            (Expr.operator_dimension op))
+    table
+
+let test_measures () =
+  let e = parse "a(obj) + -(b(obj) , c(obj))" in
+  Alcotest.(check int) "size" 6 (Expr.size e);
+  Alcotest.(check int) "depth" 3 (Expr.depth e);
+  Alcotest.(check bool) "has negation" true (Expr.has_negation e);
+  Alcotest.(check bool) "not regular" false (Expr.is_regular e);
+  Alcotest.(check int) "three primitives" 3
+    (Event_type.Set.cardinal (Expr.primitives e))
+
+let test_smart_inst_collapse () =
+  Alcotest.check shape "Inst of a primitive collapses" (p "a") (Expr.inst (ip "a"))
+
+let roundtrip =
+  Gen.qcheck ~count:500 "print/parse roundtrip"
+    (Gen.arb_set_expr Gen.Full)
+    (fun e ->
+      match Expr_parse.parse (Expr.to_string e) with
+      | Ok e' -> Expr.equal e e'
+      | Error msg -> QCheck.Test.fail_reportf "%s: %s" (Expr.to_string e) msg)
+
+let roundtrip_inst =
+  Gen.qcheck ~count:300 "instance print/parse roundtrip" Gen.arb_inst_expr
+    (fun ie ->
+      match Expr_parse.parse_inst (Expr.inst_to_string ie) with
+      | Ok ie' -> Expr.equal_inst ie ie'
+      | Error msg ->
+          QCheck.Test.fail_reportf "%s: %s" (Expr.inst_to_string ie) msg)
+
+let suite =
+  [
+    Alcotest.test_case "operator priorities" `Quick test_priorities;
+    Alcotest.test_case "instance-oriented parsing" `Quick test_instance_parsing;
+    Alcotest.test_case "stratification violation rejected" `Quick
+      test_stratification_rejected;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "Fig. 1 operator table" `Quick test_operator_table;
+    Alcotest.test_case "structural measures" `Quick test_measures;
+    Alcotest.test_case "Inst collapses on primitives" `Quick
+      test_smart_inst_collapse;
+    roundtrip;
+    roundtrip_inst;
+  ]

@@ -1,0 +1,145 @@
+(* Tests for the script language: lexing, parsing, and end-to-end script
+   execution including the paper's checkStockQty written in concrete
+   syntax. *)
+
+open Core
+
+let ok = function
+  | Ok x -> x
+  | Error msg -> Alcotest.failf "script error: %s" msg
+
+let quickstart_script =
+  {|
+-- The paper's running example, in concrete syntax.
+define class stock (quantity: integer, maxquantity: integer, minquantity: integer);
+
+define immediate trigger checkStockQty for stock
+  events { create(stock) }
+  condition stock(S), occurred({ create(stock) }, S),
+            S.quantity > S.maxquantity
+  actions modify(S.quantity, S.maxquantity)
+  consuming priority 5
+end;
+
+create stock(quantity = 50, maxquantity = 10, minquantity = 0) as X;
+create stock(quantity = 5, maxquantity = 10, minquantity = 0) as Y;
+show stock;
+commit;
+|}
+
+let test_quickstart () =
+  let interp = Interp.create () in
+  ok (Interp.run_string interp quickstart_script);
+  let out = Interp.output interp in
+  Alcotest.(check bool) "X clamped to 10" true
+    (Astring_contains.contains out "quantity=10");
+  Alcotest.(check bool) "Y kept at 5" true
+    (Astring_contains.contains out "quantity=5")
+
+let test_line_groups_block () =
+  (* begin ... end groups several DMLs into one transaction line; the rule
+     must process both creations in a single set-oriented execution. *)
+  let interp = Interp.create () in
+  ok
+    (Interp.run_string interp
+       {|
+define class stock (quantity: integer, maxquantity: integer, minquantity: integer);
+define immediate trigger clamp for stock
+  events { create(stock) }
+  condition stock(S), occurred({ create(stock) }, S), S.quantity > S.maxquantity
+  actions modify(S.quantity, S.maxquantity)
+end;
+begin
+  create stock(quantity = 30, maxquantity = 10, minquantity = 0);
+  create stock(quantity = 40, maxquantity = 20, minquantity = 0);
+end;
+|});
+  let stats = Engine.statistics (Interp.engine interp) in
+  Alcotest.(check int) "one execution for both" 1 stats.Engine.executions
+
+let test_composite_event_trigger () =
+  (* An instance-oriented precedence in concrete syntax: create followed by
+     a quantity drop on the same object. *)
+  let interp = Interp.create () in
+  ok
+    (Interp.run_string interp
+       {|
+define class stock (quantity: integer, maxquantity: integer, minquantity: integer);
+define class stockOrder (delquantity: integer);
+
+define immediate trigger reorder
+  events { create(stock) <= modify(stock.quantity) }
+  condition occurred({ create(stock) <= modify(stock.quantity) }, S),
+            S.quantity < S.minquantity
+  actions create stockOrder(delquantity = S.maxquantity - S.quantity)
+end;
+
+create stock(quantity = 50, maxquantity = 100, minquantity = 10) as X;
+modify X.quantity = 3;
+show stockOrder;
+|});
+  let out = Interp.output interp in
+  Alcotest.(check bool) "order created with delquantity=97" true
+    (Astring_contains.contains out "delquantity=97")
+
+let test_inheritance_and_migration () =
+  let interp = Interp.create () in
+  ok
+    (Interp.run_string interp
+       {|
+define class item (name: string);
+define class perishable extends item (shelf_days: integer);
+create perishable(name = "milk", shelf_days = 7) as M;
+generalize M to item;
+show item;
+|});
+  let out = Interp.output interp in
+  Alcotest.(check bool) "migrated object listed under item" true
+    (Astring_contains.contains out "milk")
+
+let test_parse_errors_are_reported () =
+  let interp = Interp.create () in
+  (match Interp.run_string interp "create stock(" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected a parse error");
+  match Interp.run_string interp "define class c (x: integer); modify Z.x = 1;" with
+  | Error msg ->
+      Alcotest.(check bool) "unbound variable reported" true
+        (Astring_contains.contains msg "unbound")
+  | Ok () -> Alcotest.fail "expected an unbound-variable error"
+
+let test_select_generates_events () =
+  (* select is an event source: a rule on select(stock) fires after a
+     query. *)
+  let interp = Interp.create () in
+  ok
+    (Interp.run_string interp
+       {|
+define class stock (quantity: integer, maxquantity: integer, minquantity: integer);
+define class audit (count: integer);
+define immediate trigger onSelect
+  events { select(stock) }
+  actions create audit(count = 1)
+end;
+create stock(quantity = 1, maxquantity = 10, minquantity = 0);
+select stock;
+show audit;
+|});
+  let out = Interp.output interp in
+  Alcotest.(check bool) "audit row created" true
+    (Astring_contains.contains out "count=1")
+
+let suite =
+  [
+    Alcotest.test_case "quickstart script (checkStockQty)" `Quick
+      test_quickstart;
+    Alcotest.test_case "begin/end groups one line" `Quick test_line_groups_block;
+    Alcotest.test_case "composite instance event in syntax" `Quick
+      test_composite_event_trigger;
+    Alcotest.test_case "inheritance and generalize" `Quick
+      test_inheritance_and_migration;
+    Alcotest.test_case "errors are reported" `Quick
+      test_parse_errors_are_reported;
+    Alcotest.test_case "select generates events" `Quick
+      test_select_generates_events;
+  ]

@@ -1,0 +1,266 @@
+(* The static optimizer (Section 5.1): derivation rules (Fig. 6),
+   simplification rules (Fig. 7), the worked V(E) example, and — the part
+   that matters — soundness of the relevance filter, by property. *)
+
+open Core
+
+let etype name = Event_type.external_ ~name ~class_name:"obj"
+let ea = etype "evA"
+let eb_t = etype "evB"
+let ec = etype "evC"
+
+let pol_testable =
+  Alcotest.testable
+    (fun ppf p -> Fmt.string ppf (Variation.polarity_symbol p))
+    ( = )
+
+let v_of expr = Simplify.v_of_expr expr
+
+let check_v expr expected =
+  let v = v_of expr in
+  Alcotest.(check int) "cardinality" (List.length expected) (Simplify.cardinal v);
+  List.iter
+    (fun (et, pol) ->
+      Alcotest.(check (option pol_testable))
+        (Event_type.to_string et) (Some pol)
+        (Simplify.polarity_of v et))
+    expected
+
+(* Unit checks of the Fig. 6 rules. *)
+let test_derive_primitive () =
+  check_v (Expr.prim ea) [ (ea, Variation.Positive) ]
+
+let test_derive_negation_flips () =
+  check_v (Expr.not_ (Expr.prim ea)) [ (ea, Variation.Negative) ]
+
+let test_derive_double_negation () =
+  check_v
+    (Expr.not_ (Expr.not_ (Expr.prim ea)))
+    [ (ea, Variation.Positive) ]
+
+let test_derive_binary_propagates_both () =
+  check_v
+    (Expr.conj (Expr.prim ea) (Expr.prim eb_t))
+    [ (ea, Variation.Positive); (eb_t, Variation.Positive) ]
+
+let test_derive_seq_second_operand_only () =
+  (* D+(A < B) <= D+(B): a fresh A cannot newly satisfy the precedence. *)
+  check_v
+    (Expr.seq (Expr.prim ea) (Expr.prim eb_t))
+    [ (eb_t, Variation.Positive) ]
+
+let test_derive_seq_negated_second_operand () =
+  (* A negation in the second operand un-freezes the first operand's
+     evaluation instant: both sides are derived. *)
+  check_v
+    (Expr.seq (Expr.prim ea) (Expr.not_ (Expr.prim eb_t)))
+    [ (ea, Variation.Positive); (eb_t, Variation.Negative) ]
+
+let test_derive_instance_negation_lift () =
+  (* min-lifted instance negation: positive variation of the whole comes
+     from negative variations of the body. *)
+  check_v
+    (Expr.Inst (Expr.I_not (Expr.I_prim ea)))
+    [ (ea, Variation.Negative) ]
+
+(* The worked example of Section 5.1.  The OCR of the paper degrades the
+   exact expression; this reconstruction exercises every rule class
+   (negation, both binaries, the lifting boundary, instance negation) and
+   lands on the published result V(E) = {D(A), D(B), D+(C)}. *)
+let worked_example =
+  Expr.disj_list
+    [
+      Expr.conj (Expr.prim ea) (Expr.prim eb_t);
+      Expr.conj (Expr.prim ec) (Expr.not_ (Expr.prim ea));
+      Expr.Inst
+        (Expr.i_conj (Expr.I_prim ea)
+           (Expr.i_conj (Expr.I_not (Expr.I_prim eb_t)) (Expr.I_prim ec)));
+    ]
+
+let test_worked_example () =
+  check_v worked_example
+    [
+      (ea, Variation.Both); (eb_t, Variation.Both); (ec, Variation.Positive);
+    ]
+
+let test_trace_has_steps () =
+  let trace = Derive.derive worked_example in
+  Alcotest.(check bool) "several derivation steps" true
+    (List.length trace.Derive.steps >= 3);
+  Alcotest.(check bool) "final step all primitive" true
+    (List.for_all
+       (function
+         | Derive.On_set (_, Expr.Prim _) | Derive.On_inst (_, Expr.I_prim _) ->
+             true
+         | _ -> false)
+       (List.nth trace.Derive.steps (List.length trace.Derive.steps - 1)))
+
+(* Fig. 7 simplification: scopes merge, opposite polarities merge to D. *)
+let test_simplify_merges () =
+  let mk polarity scope = Variation.make ~etype:ea ~polarity ~scope in
+  let v =
+    Simplify.of_variations
+      [
+        mk Variation.Positive Variation.Set_scope;
+        mk Variation.Positive Variation.Object_scope;
+      ]
+  in
+  Alcotest.(check (option pol_testable)) "same polarity merges"
+    (Some Variation.Positive) (Simplify.polarity_of v ea);
+  let v2 =
+    Simplify.of_variations
+      [
+        mk Variation.Positive Variation.Set_scope;
+        mk Variation.Negative Variation.Object_scope;
+      ]
+  in
+  Alcotest.(check (option pol_testable)) "opposite polarities merge to both"
+    (Some Variation.Both) (Simplify.polarity_of v2 ea)
+
+(* Nullability: expressions that can be active with zero own-occurrences. *)
+let test_always_relevant () =
+  let check expr expected =
+    Alcotest.(check bool) (Expr.to_string expr) expected
+      (Relevance.active_without_occurrences expr)
+  in
+  check (Expr.prim ea) false;
+  check (Expr.not_ (Expr.prim ea)) true;
+  check (Expr.conj (Expr.not_ (Expr.prim ea)) (Expr.prim eb_t)) false;
+  check (Expr.disj (Expr.not_ (Expr.prim ea)) (Expr.prim eb_t)) true;
+  check (Expr.seq (Expr.not_ (Expr.prim ea)) (Expr.not_ (Expr.prim eb_t))) true
+
+(* Soundness (endpoint mode), by property: if the filter calls an arriving
+   event irrelevant, appending it must not *activate* the expression.
+   (It may deactivate it — e.g. A < -B losing its negation — but a
+   non-triggered rule's previous sign is always negative: a positive sign
+   at a check sets the sticky triggered flag, after which no checks run
+   until consideration.  So only missed negative-to-positive flips would
+   be unsound.)  Runs on the full operator profile. *)
+let filter_soundness_endpoint =
+  Gen.qcheck ~count:500 "irrelevant arrivals never activate the endpoint sign"
+    (QCheck.make
+       ~print:(fun ((h, e), (t, o)) ->
+         Printf.sprintf "history=[%s] expr=%s new=%s@o%d" (Gen.print_history h)
+           (Expr.to_string e)
+           (Event_type.to_string Gen.alphabet.(t))
+           o)
+       QCheck.Gen.(
+         pair
+           (pair Gen.gen_history (Gen.gen_set_expr Gen.Full))
+           (pair (int_range 0 2) (int_range 0 2))))
+    (fun ((h, e), (t, o)) ->
+      let relevance = Relevance.of_expr e in
+      let occurrence = Gen.alphabet.(t) in
+      QCheck.assume (not (Relevance.relevant_endpoint relevance ~occurrence));
+      let eb1 = Gen.build_event_base h in
+      let before =
+        Ts.active (Gen.ts_env eb1) ~at:(Event_base.probe_now eb1) e
+      in
+      let eb2 = Gen.build_event_base (h @ [ (t, o) ]) in
+      let after = Ts.active (Gen.ts_env eb2) ~at:(Event_base.probe_now eb2) e in
+      before || not after)
+
+(* Soundness (exact mode): an exact-irrelevant arrival cannot change
+   whether some instant in the window activates the expression. *)
+let filter_soundness_exact =
+  Gen.qcheck ~count:500 "irrelevant arrivals never create activations"
+    (QCheck.make
+       ~print:(fun ((h, e), (t, o)) ->
+         Printf.sprintf "history=[%s] expr=%s new=%s@o%d" (Gen.print_history h)
+           (Expr.to_string e)
+           (Event_type.to_string Gen.alphabet.(t))
+           o)
+       QCheck.Gen.(
+         pair
+           (pair Gen.gen_history (Gen.gen_set_expr Gen.Full))
+           (pair (int_range 0 2) (int_range 0 2))))
+    (fun ((h, e), (t, o)) ->
+      let relevance = Relevance.of_expr e in
+      let occurrence = Gen.alphabet.(t) in
+      QCheck.assume (not (Relevance.relevant_exact relevance ~occurrence));
+      let exists history =
+        let eb = Gen.build_event_base history in
+        let upto = Event_base.probe_now eb in
+        let env =
+          Ts.env eb ~window:(Window.make ~after:(Time.of_int 1) ~upto)
+        in
+        Ts.exists_active env ~upto e <> None
+      in
+      exists h = exists (h @ [ (t, o) ]))
+
+let suite =
+  [
+    Alcotest.test_case "D+ of a primitive" `Quick test_derive_primitive;
+    Alcotest.test_case "negation flips polarity" `Quick
+      test_derive_negation_flips;
+    Alcotest.test_case "double negation restores polarity" `Quick
+      test_derive_double_negation;
+    Alcotest.test_case "binary operators propagate both sides" `Quick
+      test_derive_binary_propagates_both;
+    Alcotest.test_case "precedence propagates second operand" `Quick
+      test_derive_seq_second_operand_only;
+    Alcotest.test_case "negated second operand widens precedence" `Quick
+      test_derive_seq_negated_second_operand;
+    Alcotest.test_case "instance negation lifts negatively" `Quick
+      test_derive_instance_negation_lift;
+    Alcotest.test_case "worked example: V(E) = {DA, DB, D+C}" `Quick
+      test_worked_example;
+    Alcotest.test_case "derivation trace records steps" `Quick
+      test_trace_has_steps;
+    Alcotest.test_case "Fig. 7 merges" `Quick test_simplify_merges;
+    Alcotest.test_case "nullability analysis" `Quick test_always_relevant;
+    filter_soundness_endpoint;
+    filter_soundness_exact;
+  ]
+
+(* Golden catalogue: V(E) for a battery of expression shapes, one per
+   Fig. 6 rule path and their compositions.  [P] = positive, [N] =
+   negative, [B] = both. *)
+let test_v_catalogue () =
+  let v_string expr_src =
+    let v = Simplify.v_of_expr (Expr_parse.parse_exn expr_src) in
+    String.concat " "
+      (List.map
+         (fun (etype, pol) ->
+           Printf.sprintf "%s%s"
+             (match pol with
+             | Variation.Positive -> "P"
+             | Variation.Negative -> "N"
+             | Variation.Both -> "B")
+             (Event_type.to_string etype))
+         (Simplify.bindings v))
+  in
+  let check expr expected =
+    Alcotest.(check string) expr expected (v_string expr)
+  in
+  (* Primitives and boolean structure. *)
+  check "A" "PA";
+  check "A , B" "PA PB";
+  check "A + B" "PA PB";
+  check "-A" "NA";
+  check "--A" "PA";
+  check "-(A + B)" "NA NB";
+  check "-(A , B)" "NA NB";
+  check "A + -A" "BA";
+  check "A , -B" "PA NB";
+  (* Precedence: second operand only... *)
+  check "A < B" "PB";
+  check "A < B < C" "PC";
+  check "(A , B) < C" "PC";
+  check "-(A < B)" "NB";
+  (* ...unless the second operand contains a negation (un-freezing). *)
+  check "A < -B" "PA NB";
+  check "A < (B + -C)" "PA PB NC";
+  (* Instance operators and the lifting boundary. *)
+  check "A += B" "PA PB";
+  check "A ,= B" "PA PB";
+  check "A <= B" "PB";
+  check "-=A" "NA";
+  check "-=(A += B)" "NA NB";
+  check "A + -=(B <= C)" "PA NC";
+  (* Mixed granularities collapse to per-type polarities. *)
+  check "(A += B) , -A" "BA PB";
+  check "(A <= B) + (B < A)" "PA PB"
+
+let suite =
+  suite @ [ Alcotest.test_case "V(E) golden catalogue" `Quick test_v_catalogue ]

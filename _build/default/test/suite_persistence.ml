@@ -1,0 +1,119 @@
+(* Event-base persistence (codec) and engine log compaction. *)
+
+open Core
+
+let roundtrip =
+  Gen.qcheck ~count:200 "codec roundtrip preserves ts everywhere"
+    (Gen.arb_history_and_expr Gen.Full)
+    (fun (h, e) ->
+      let eb = Gen.build_event_base h in
+      match Event_codec.of_string (Event_codec.to_string eb) with
+      | Error msg -> QCheck.Test.fail_reportf "decode: %s" msg
+      | Ok eb' ->
+          let probe eb =
+            let at = Event_base.probe_now eb in
+            let env = Ts.env eb ~window:(Window.all ~upto:at) in
+            List.map (fun at -> Ts.ts env ~at e) (Gen.probe_instants eb)
+          in
+          Event_base.size eb = Event_base.size eb' && probe eb = probe eb')
+
+let test_codec_errors () =
+  let cases =
+    [
+      ("", "header");
+      ("# wrong header\n", "header");
+      ("# chimera-event-base v1\ngarbage", "fields");
+      ("# chimera-event-base v1\n1\tcreate(stock)\tx\t2", "numbers");
+      (* timestamp going backwards *)
+      ( "# chimera-event-base v1\n\
+         1\tcreate(stock)\t1\t4\n\
+         2\tcreate(stock)\t1\t2",
+        "increasing" );
+      (* odd (probe) instant *)
+      ("# chimera-event-base v1\n1\tcreate(stock)\t1\t3", "instant");
+    ]
+  in
+  List.iter
+    (fun (text, needle) ->
+      match Event_codec.of_string text with
+      | Ok _ -> Alcotest.failf "expected failure for %S" text
+      | Error msg ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%S mentions %s" msg needle)
+            true
+            (Astring_contains.contains msg needle))
+    cases
+
+let test_file_roundtrip () =
+  let eb = Gen.build_event_base [ (0, 0); (1, 1); (2, 0) ] in
+  let path = Filename.temp_file "chimera" ".events" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Event_codec.write_file eb ~path;
+      match Event_codec.read_file path with
+      | Ok eb' -> Alcotest.(check int) "size" 3 (Event_base.size eb')
+      | Error msg -> Alcotest.fail msg)
+
+(* Compaction must be behaviour-invisible: same traffic with and without
+   it yields the same store contents and rule executions, while the log
+   shrinks. *)
+let test_compaction_transparent () =
+  let run ~compact =
+    let config =
+      {
+        Engine.default_config with
+        Engine.compact_at_commit = (if compact then Some 1 else None);
+      }
+    in
+    let engine = Scenario.engine ~config () in
+    let prng = Prng.create ~seed:99 in
+    for _ = 1 to 5 do
+      Scenario.run_inventory_traffic prng engine ~lines:20 ~ops_per_line:3;
+      Engine.commit_exn engine
+    done;
+    let stats = Engine.statistics engine in
+    let stock =
+      List.map
+        (fun oid ->
+          match
+            Object_store.get (Engine.store engine) oid ~attribute:"quantity"
+          with
+          | Ok v -> Value.to_string v
+          | Error _ -> "?")
+        (Object_store.extent (Engine.store engine) ~class_name:"stock")
+    in
+    (stats.Engine.executions, stock, Event_base.size (Engine.event_base engine))
+  in
+  let execs_c, stock_c, size_c = run ~compact:true in
+  let execs_n, stock_n, size_n = run ~compact:false in
+  Alcotest.(check int) "same executions" execs_n execs_c;
+  Alcotest.(check (list string)) "same final store" stock_n stock_c;
+  Alcotest.(check bool) "compacted log is empty after commit" true (size_c = 0);
+  Alcotest.(check bool) "uncompacted log retains history" true (size_n > 0)
+
+let test_compaction_keeps_clock_monotone () =
+  let config =
+    { Engine.default_config with Engine.compact_at_commit = Some 1 }
+  in
+  let engine = Engine.create ~config (Domain.schema ()) in
+  Engine.execute_line_exn engine
+    [ Domain.new_stock ~quantity:1 ~maxquantity:10 ~minquantity:0 ];
+  let before = Time.to_int (Event_base.now (Engine.event_base engine)) in
+  Engine.commit_exn engine;
+  Engine.execute_line_exn engine
+    [ Domain.new_stock ~quantity:2 ~maxquantity:10 ~minquantity:0 ];
+  let after = Time.to_int (Event_base.now (Engine.event_base engine)) in
+  Alcotest.(check bool) "instants strictly increase across compaction" true
+    (after > before)
+
+let suite =
+  [
+    roundtrip;
+    Alcotest.test_case "codec error reporting" `Quick test_codec_errors;
+    Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+    Alcotest.test_case "compaction is transparent" `Quick
+      test_compaction_transparent;
+    Alcotest.test_case "compaction keeps instants monotone" `Quick
+      test_compaction_keeps_clock_monotone;
+  ]

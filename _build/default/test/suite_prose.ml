@@ -1,0 +1,178 @@
+(* The sample expressions discussed in the prose of Sections 3.1 and 3.2:
+   each "the first one is active when ... instead the second one ..."
+   sentence becomes a test discriminating the two granularities on a
+   stream engineered to separate them. *)
+
+open Core
+
+let show_m = Domain.modify_show_quantity
+let stock_c = Domain.create_stock
+let stock_m = Domain.modify_stock_quantity
+let stock_mmin = Domain.modify_stock_minquantity
+let order_c = Domain.create_stock_order
+let order_m = Domain.modify_order_delquantity
+
+let replay occs =
+  let eb = Event_base.create () in
+  List.iter
+    (fun (etype, o) ->
+      ignore (Event_base.record eb ~etype ~oid:(Ident.Oid.of_int o)))
+    occs;
+  eb
+
+let active eb e =
+  let at = Event_base.probe_now eb in
+  Ts.active (Ts.env eb ~window:(Window.all ~upto:at)) ~at e
+
+let parse = Expr_parse.parse_exn
+
+(* Section 3.2: "modify(show.quantity) + (create(stock) += modify(stock.quantity))"
+   vs the set-oriented conjunction: the instance version needs the same
+   stock object created and modified. *)
+let test_conjunction_granularity () =
+  let inst =
+    parse "modify(show.quantity) + (create(stock) += modify(stock.quantity))"
+  in
+  let set_ =
+    parse "modify(show.quantity) + create(stock) + modify(stock.quantity)"
+  in
+  (* Cross-object stream: create o1, modify o2, show change. *)
+  let cross = replay [ (stock_c, 1); (stock_m, 2); (show_m, 9) ] in
+  Alcotest.(check bool) "set version active cross-object" true
+    (active cross set_);
+  Alcotest.(check bool) "instance version inactive cross-object" false
+    (active cross inst);
+  (* Same-object stream separates nothing: both active. *)
+  let same = replay [ (stock_c, 1); (stock_m, 1); (show_m, 9) ] in
+  Alcotest.(check bool) "set version active same-object" true (active same set_);
+  Alcotest.(check bool) "instance version active same-object" true
+    (active same inst)
+
+(* Section 3.2: the two negation variants — "no stock object has been
+   created AND modified" (instance) vs "neither a creation nor a
+   modification at all" (set). *)
+let test_negation_granularity () =
+  let inst =
+    parse "modify(show.quantity) + -(create(stock) += modify(stock.quantity))"
+  in
+  let set_ =
+    parse "modify(show.quantity) + -(create(stock) + modify(stock.quantity))"
+  in
+  (* Cross-object: a creation on o1 and a modification on o2 — no single
+     object has both, so the instance negation holds; but both event types
+     occurred, so the set negation fails. *)
+  let cross = replay [ (stock_c, 1); (stock_m, 2); (show_m, 9) ] in
+  Alcotest.(check bool) "instance negation active cross-object" true
+    (active cross inst);
+  Alcotest.(check bool) "set negation inactive cross-object" false
+    (active cross set_);
+  (* Same object: both fail. *)
+  let same = replay [ (stock_c, 1); (stock_m, 1); (show_m, 9) ] in
+  Alcotest.(check bool) "instance negation inactive same-object" false
+    (active same inst);
+  (* Only a creation: the set conjunction under the negation is not active
+     (missing modification), so both negations hold. *)
+  let only_create = replay [ (stock_c, 1); (show_m, 9) ] in
+  Alcotest.(check bool) "instance negation with only a create" true
+    (active only_create inst);
+  Alcotest.(check bool) "set negation with only a create" true
+    (active only_create set_)
+
+(* Section 3.2: the precedence pair — same-object create-then-modify vs
+   any creation followed by any modification. *)
+let test_precedence_granularity () =
+  let inst =
+    parse "modify(show.quantity) + (create(stock) <= modify(stock.quantity))"
+  in
+  let set_ =
+    parse "modify(show.quantity) + (create(stock) < modify(stock.quantity))"
+  in
+  let cross = replay [ (stock_c, 1); (stock_m, 2); (show_m, 9) ] in
+  Alcotest.(check bool) "set precedence active cross-object" true
+    (active cross set_);
+  Alcotest.(check bool) "instance precedence inactive cross-object" false
+    (active cross inst)
+
+(* Section 3.1's full sample expression: active under each of its two
+   disjuncts independently. *)
+let test_sample_expression_branches () =
+  let e = Scenario.sample_composite_event in
+  (* Branch 1: show change with no completed order sequence. *)
+  let quiet = replay [ (show_m, 9) ] in
+  Alcotest.(check bool) "quiet branch" true (active quiet e);
+  (* Completing the order sequence kills branch 1... *)
+  let ordered = replay [ (show_m, 9); (order_c, 5); (order_m, 5) ] in
+  Alcotest.(check bool) "order sequence defeats branch 1" false
+    (active ordered e);
+  (* ...but branch 2 (minquantity then quantity) reactivates the whole
+     disjunction even then. *)
+  let reconfigured =
+    replay
+      [ (show_m, 9); (order_c, 5); (order_m, 5); (stock_mmin, 1); (stock_m, 1) ]
+  in
+  Alcotest.(check bool) "stock reconfiguration branch" true
+    (active reconfigured e);
+  (* Branch 2 requires the order: min after quantity does not count. *)
+  let wrong_order = replay [ (stock_m, 1); (stock_mmin, 1) ] in
+  Alcotest.(check bool) "wrong order inactive" false (active wrong_order e)
+
+(* Section 3.2's three-expression comparison around instance disjunction:
+   a ,= b inside an instance context vs plain set disjunction — on
+   primitives the set-wise effect coincides (the text calls this out). *)
+let test_instance_disjunction_on_primitives () =
+  let lifted = parse "create(stock) ,= modify(stock.quantity)" in
+  let set_ = parse "create(stock) , modify(stock.quantity)" in
+  List.iter
+    (fun stream ->
+      let eb = replay stream in
+      Alcotest.(check bool)
+        "primitive instance disjunction = set disjunction"
+        (active eb set_) (active eb lifted))
+    [
+      [];
+      [ (stock_c, 1) ];
+      [ (stock_m, 2) ];
+      [ (stock_c, 1); (stock_m, 2) ];
+      [ (show_m, 3) ];
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "conjunction granularity (3.2)" `Quick
+      test_conjunction_granularity;
+    Alcotest.test_case "negation granularity (3.2)" `Quick
+      test_negation_granularity;
+    Alcotest.test_case "precedence granularity (3.2)" `Quick
+      test_precedence_granularity;
+    Alcotest.test_case "sample expression branches (3.1)" `Quick
+      test_sample_expression_branches;
+    Alcotest.test_case "instance disjunction on primitives (3.2)" `Quick
+      test_instance_disjunction_on_primitives;
+  ]
+
+(* Section 3.2's third disjunction expression: the creation and the inner
+   disjunct must hit the SAME object ("a creation of a stock object on
+   which either a modification of the minimum quantity or a modification
+   of the quantity occur"). *)
+let test_instance_disjunction_composition () =
+  let e =
+    parse
+      "modify(show.quantity) + (create(stock) += (modify(stock.minquantity) \
+       ,= modify(stock.quantity)))"
+  in
+  (* Same object: active. *)
+  let same = replay [ (stock_c, 1); (stock_mmin, 1); (show_m, 9) ] in
+  Alcotest.(check bool) "same object" true (active same e);
+  (* Creation on o1, modification on o2: the instance conjunction fails. *)
+  let cross = replay [ (stock_c, 1); (stock_mmin, 2); (show_m, 9) ] in
+  Alcotest.(check bool) "cross object" false (active cross e);
+  (* Either modification qualifies. *)
+  let qty = replay [ (stock_c, 1); (stock_m, 1); (show_m, 9) ] in
+  Alcotest.(check bool) "quantity variant" true (active qty e)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "instance disjunction composition (3.2)" `Quick
+        test_instance_disjunction_composition;
+    ]

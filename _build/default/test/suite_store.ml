@@ -1,0 +1,207 @@
+(* The object store substrate: schema with inheritance, typing, extents,
+   migration, operations and the query fragment. *)
+
+open Core
+
+let ok = function
+  | Ok x -> x
+  | Error e -> Alcotest.failf "store error: %a" Object_store.pp_error e
+
+let ok_schema = function
+  | Ok x -> x
+  | Error e -> Alcotest.failf "schema error: %a" Schema.pp_error e
+
+let hierarchy () =
+  let s = Schema.create () in
+  let _ = ok_schema (Schema.define s ~name:"item" ~attributes:[ ("name", Value.T_str); ("price", Value.T_int) ] ()) in
+  let _ =
+    ok_schema
+      (Schema.define s ~name:"perishable" ~super:"item"
+         ~attributes:[ ("shelf_days", Value.T_int) ]
+         ())
+  in
+  let _ =
+    ok_schema
+      (Schema.define s ~name:"frozen" ~super:"perishable"
+         ~attributes:[ ("temperature", Value.T_int) ]
+         ())
+  in
+  s
+
+let test_schema_inheritance () =
+  let s = hierarchy () in
+  let attrs = ok_schema (Schema.attributes s "frozen") in
+  Alcotest.(check (list string)) "inherited attributes in order"
+    [ "name"; "price"; "shelf_days"; "temperature" ]
+    (List.map fst attrs);
+  Alcotest.(check bool) "frozen <= item" true
+    (Schema.is_subclass s ~sub:"frozen" ~super:"item");
+  Alcotest.(check bool) "item not <= frozen" false
+    (Schema.is_subclass s ~sub:"item" ~super:"frozen");
+  Alcotest.(check bool) "reflexive" true
+    (Schema.is_subclass s ~sub:"item" ~super:"item")
+
+let test_schema_errors () =
+  let s = hierarchy () in
+  (match Schema.define s ~name:"item" ~attributes:[] () with
+  | Error (`Duplicate_class _) -> ()
+  | _ -> Alcotest.fail "expected duplicate class");
+  match Schema.define s ~name:"x" ~super:"nope" ~attributes:[] () with
+  | Error (`Unknown_class _) -> ()
+  | _ -> Alcotest.fail "expected unknown superclass"
+
+let test_insert_typing () =
+  let store = Object_store.create (hierarchy ()) in
+  (match
+     Object_store.insert store ~class_name:"item"
+       ~attrs:[ ("name", Value.Int 3) ]
+   with
+  | Error (`Type_error _) -> ()
+  | _ -> Alcotest.fail "expected type error");
+  (match
+     Object_store.insert store ~class_name:"item"
+       ~attrs:[ ("nope", Value.Int 3) ]
+   with
+  | Error (`Unknown_attribute _) -> ()
+  | _ -> Alcotest.fail "expected unknown attribute");
+  let oid =
+    ok
+      (Object_store.insert store ~class_name:"item"
+         ~attrs:[ ("name", Value.Str "soap") ])
+  in
+  (* Unset attributes default to null. *)
+  Alcotest.(check bool) "price is null" true
+    (Value.equal Value.Null (ok (Object_store.get store oid ~attribute:"price")))
+
+let test_extent_includes_subclasses () =
+  let store = Object_store.create (hierarchy ()) in
+  let _ = ok (Object_store.insert store ~class_name:"item" ~attrs:[]) in
+  let _ = ok (Object_store.insert store ~class_name:"perishable" ~attrs:[]) in
+  let _ = ok (Object_store.insert store ~class_name:"frozen" ~attrs:[]) in
+  Alcotest.(check int) "item extent covers hierarchy" 3
+    (List.length (Object_store.extent store ~class_name:"item"));
+  Alcotest.(check int) "perishable extent" 2
+    (List.length (Object_store.extent store ~class_name:"perishable"));
+  Alcotest.(check int) "frozen extent" 1
+    (List.length (Object_store.extent store ~class_name:"frozen"))
+
+let test_delete () =
+  let store = Object_store.create (hierarchy ()) in
+  let oid = ok (Object_store.insert store ~class_name:"item" ~attrs:[]) in
+  ok (Object_store.delete store oid);
+  Alcotest.(check int) "extent empty" 0
+    (List.length (Object_store.extent store ~class_name:"item"));
+  (match Object_store.get store oid ~attribute:"name" with
+  | Error (`Deleted_object _) -> ()
+  | _ -> Alcotest.fail "expected deleted object error")
+
+let test_migration () =
+  let store = Object_store.create (hierarchy ()) in
+  let oid =
+    ok
+      (Object_store.insert store ~class_name:"frozen"
+         ~attrs:[ ("name", Value.Str "peas"); ("temperature", Value.Int (-18)) ])
+  in
+  (* Generalize to item: loses shelf_days/temperature, keeps name. *)
+  ok (Object_store.generalize store oid ~to_class:"item");
+  Alcotest.(check string) "class changed" "item" (ok (Object_store.class_of store oid));
+  (match Object_store.get store oid ~attribute:"temperature" with
+  | Error (`Unknown_attribute _) -> ()
+  | _ -> Alcotest.fail "temperature should be gone");
+  Alcotest.(check bool) "name survives" true
+    (Value.equal (Value.Str "peas") (ok (Object_store.get store oid ~attribute:"name")));
+  (* Specialize back down: new attributes are null. *)
+  ok (Object_store.specialize store oid ~to_class:"perishable");
+  Alcotest.(check bool) "shelf_days null" true
+    (Value.equal Value.Null (ok (Object_store.get store oid ~attribute:"shelf_days")));
+  (* Sideways migration is rejected. *)
+  match Object_store.generalize store oid ~to_class:"frozen" with
+  | Error (`Type_error _) -> ()
+  | _ -> Alcotest.fail "expected migration direction error"
+
+let test_operations_emit_events () =
+  let store = Object_store.create (hierarchy ()) in
+  let emitted =
+    ok (Operation.apply store (Operation.Create { class_name = "item"; attrs = [] }))
+  in
+  (match emitted with
+  | [ { Operation.etype; _ } ] ->
+      Alcotest.(check string) "create event" "create(item)"
+        (Event_type.to_string etype)
+  | _ -> Alcotest.fail "expected one event");
+  let oid = (List.hd emitted).Operation.affected in
+  let emitted =
+    ok
+      (Operation.apply store
+         (Operation.Modify { oid; attribute = "price"; value = Value.Int 5 }))
+  in
+  (match emitted with
+  | [ { Operation.etype; _ } ] ->
+      Alcotest.(check string) "attribute-qualified modify" "modify(item.price)"
+        (Event_type.to_string etype)
+  | _ -> Alcotest.fail "expected one event");
+  (* Select reports every object of the extent as affected. *)
+  let _ = ok (Operation.apply store (Operation.Create { class_name = "item"; attrs = [] })) in
+  let emitted = ok (Operation.apply store (Operation.Select { class_name = "item" })) in
+  Alcotest.(check int) "select affects the extent" 2 (List.length emitted)
+
+let test_query_eval () =
+  let store = Object_store.create (hierarchy ()) in
+  let oid =
+    ok
+      (Object_store.insert store ~class_name:"item"
+         ~attrs:[ ("name", Value.Str "soap"); ("price", Value.Int 4) ])
+  in
+  let resolve = function "X" -> Some (Value.Oid oid) | _ -> None in
+  let eval e =
+    match Query.eval_expr store ~resolve e with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "query error: %a" Query.pp_error e
+  in
+  Alcotest.(check bool) "arithmetic" true
+    (Value.equal (Value.Int 9)
+       (eval
+          (Query.Add
+             ( Query.Term (Query.Attr ("X", "price")),
+               Query.Term (Query.Const (Value.Int 5)) ))));
+  Alcotest.(check bool) "min" true
+    (Value.equal (Value.Int 4)
+       (eval
+          (Query.Min
+             ( Query.Term (Query.Attr ("X", "price")),
+               Query.Term (Query.Const (Value.Int 7)) ))));
+  let pred ok_expected cmp rhs =
+    match
+      Query.eval_predicate store ~resolve
+        (Query.Cmp (cmp, Query.Attr ("X", "price"), Query.Const rhs))
+    with
+    | Ok b -> Alcotest.(check bool) "predicate" ok_expected b
+    | Error e -> Alcotest.failf "predicate error: %a" Query.pp_error e
+  in
+  pred true Query.Lt (Value.Int 5);
+  pred false Query.Gt (Value.Int 5);
+  pred true Query.Eq (Value.Int 4);
+  (* Int/float promotion. *)
+  pred true Query.Lt (Value.Float 4.5);
+  (* Division by zero surfaces as a typed error. *)
+  match
+    Query.eval_expr store ~resolve
+      (Query.Div
+         (Query.Term (Query.Const (Value.Int 1)), Query.Term (Query.Const (Value.Int 0))))
+  with
+  | Error (`Type_error _) -> ()
+  | _ -> Alcotest.fail "expected division error"
+
+let suite =
+  [
+    Alcotest.test_case "schema inheritance" `Quick test_schema_inheritance;
+    Alcotest.test_case "schema errors" `Quick test_schema_errors;
+    Alcotest.test_case "insert typing" `Quick test_insert_typing;
+    Alcotest.test_case "extent includes subclasses" `Quick
+      test_extent_includes_subclasses;
+    Alcotest.test_case "delete" `Quick test_delete;
+    Alcotest.test_case "generalize/specialize" `Quick test_migration;
+    Alcotest.test_case "operations emit events" `Quick
+      test_operations_emit_events;
+    Alcotest.test_case "query evaluation" `Quick test_query_eval;
+  ]

@@ -1,0 +1,196 @@
+(* Model-based testing of the object store: random operation sequences are
+   applied both to the real store and to a naive purely-functional model;
+   observable state (extents, attribute reads, classes) must agree after
+   every step. *)
+
+open Core
+
+(* The model: an association list of (oid, class, attrs, deleted). *)
+module Model = struct
+  type obj = {
+    class_name : string;
+    attrs : (string * Value.t) list;
+    deleted : bool;
+  }
+
+  type t = { mutable next : int; mutable objs : (int * obj) list }
+
+  let create () = { next = 1; objs = [] }
+
+  let insert t ~class_name ~declared =
+    let oid = t.next in
+    t.next <- oid + 1;
+    let attrs = List.map (fun (a, _) -> (a, Value.Null)) declared in
+    t.objs <- (oid, { class_name; attrs; deleted = false }) :: t.objs;
+    oid
+
+  let find t oid =
+    match List.assoc_opt oid t.objs with
+    | Some o when not o.deleted -> Some o
+    | _ -> None
+
+  let set t oid attr v =
+    match find t oid with
+    | None -> ()
+    | Some o ->
+        let attrs = (attr, v) :: List.remove_assoc attr o.attrs in
+        t.objs <- (oid, { o with attrs }) :: List.remove_assoc oid t.objs
+
+  let delete t oid =
+    match find t oid with
+    | None -> ()
+    | Some o ->
+        t.objs <- (oid, { o with deleted = true }) :: List.remove_assoc oid t.objs
+
+  let migrate t oid ~to_class ~declared =
+    match find t oid with
+    | None -> ()
+    | Some o ->
+        let attrs =
+          List.map
+            (fun (a, _) ->
+              (a, Option.value ~default:Value.Null (List.assoc_opt a o.attrs)))
+            declared
+        in
+        t.objs <-
+          (oid, { class_name = to_class; attrs; deleted = false })
+          :: List.remove_assoc oid t.objs
+
+  let extent t schema ~class_name =
+    List.sort compare
+      (List.filter_map
+         (fun (oid, o) ->
+           if
+             (not o.deleted)
+             && Schema.is_subclass schema ~sub:o.class_name ~super:class_name
+           then Some oid
+           else None)
+         t.objs)
+end
+
+(* The class hierarchy under test: base <- mid <- leaf. *)
+let schema () =
+  let s = Schema.create () in
+  let define name ?super attributes =
+    match Schema.define s ~name ?super ~attributes () with
+    | Ok _ -> ()
+    | Error _ -> assert false
+  in
+  define "base" [ ("x", Value.T_int) ];
+  define "mid" ~super:"base" [ ("y", Value.T_int) ];
+  define "leaf" ~super:"mid" [ ("z", Value.T_int) ];
+  s
+
+let classes = [| "base"; "mid"; "leaf" |]
+let attrs_of = function
+  | "base" -> [ ("x", Value.T_int) ]
+  | "mid" -> [ ("x", Value.T_int); ("y", Value.T_int) ]
+  | _ -> [ ("x", Value.T_int); ("y", Value.T_int); ("z", Value.T_int) ]
+
+(* Op encoding: (kind, class-index, object-index, payload). *)
+let arb_ops =
+  QCheck.make
+    ~print:(fun ops -> Printf.sprintf "%d ops" (List.length ops))
+    QCheck.Gen.(
+      list_size (int_range 0 40)
+        (quad (int_range 0 4) (int_range 0 2) (int_range 0 30) (int_range 0 99)))
+
+let store_model_agree =
+  Gen.qcheck ~count:300 "object store = naive model" arb_ops (fun ops ->
+      let s = schema () in
+      let store = Object_store.create s in
+      let model = Model.create () in
+      let ok = ref true in
+      let pick_oid idx =
+        (* A dense guess over issued oids; invalid ones exercise errors. *)
+        idx + 1
+      in
+      List.iter
+        (fun (kind, ci, oi, payload) ->
+          let class_name = classes.(ci) in
+          match kind with
+          | 0 ->
+              (* insert *)
+              let real = Object_store.insert store ~class_name ~attrs:[] in
+              let modelled =
+                Model.insert model ~class_name ~declared:(attrs_of class_name)
+              in
+              (match real with
+              | Ok oid ->
+                  if Ident.Oid.to_int oid <> modelled then ok := false
+              | Error _ -> ok := false)
+          | 1 ->
+              (* set an attribute the class may not have *)
+              let oid = Ident.Oid.of_int (pick_oid oi) in
+              let attr = [| "x"; "y"; "z" |].(payload mod 3) in
+              let value = Value.Int payload in
+              let real = Object_store.set store oid ~attribute:attr ~value in
+              (match (real, Model.find model (pick_oid oi)) with
+              | Ok (), Some o
+                when List.mem_assoc attr (attrs_of o.Model.class_name) ->
+                  Model.set model (pick_oid oi) attr value
+              | Ok (), _ -> ok := false
+              | Error _, Some o
+                when List.mem_assoc attr (attrs_of o.Model.class_name) ->
+                  ok := false
+              | Error _, _ -> ())
+          | 2 ->
+              (* delete *)
+              let oid = Ident.Oid.of_int (pick_oid oi) in
+              let real = Object_store.delete store oid in
+              (match (real, Model.find model (pick_oid oi)) with
+              | Ok (), Some _ -> Model.delete model (pick_oid oi)
+              | Ok (), None -> ok := false
+              | Error _, Some _ -> ok := false
+              | Error _, None -> ())
+          | 3 ->
+              (* generalize one level if possible *)
+              let oid = Ident.Oid.of_int (pick_oid oi) in
+              let target = classes.(max 0 (ci - 1)) in
+              let real = Object_store.generalize store oid ~to_class:target in
+              (match (real, Model.find model (pick_oid oi)) with
+              | Ok (), Some o
+                when Schema.is_subclass s ~sub:o.Model.class_name ~super:target
+                ->
+                  Model.migrate model (pick_oid oi) ~to_class:target
+                    ~declared:(attrs_of target)
+              | Ok (), _ -> ok := false
+              | Error _, Some o
+                when Schema.is_subclass s ~sub:o.Model.class_name ~super:target
+                ->
+                  ok := false
+              | Error _, _ -> ())
+          | _ ->
+              (* observe: extents of every class and one attribute *)
+              Array.iter
+                (fun c ->
+                  let real =
+                    List.map Ident.Oid.to_int (Object_store.extent store ~class_name:c)
+                  in
+                  if real <> Model.extent model s ~class_name:c then ok := false)
+                classes;
+              let oid = pick_oid oi in
+              let real = Object_store.get store (Ident.Oid.of_int oid) ~attribute:"x" in
+              (match (real, Model.find model oid) with
+              | Ok v, Some o ->
+                  let expected =
+                    Option.value ~default:Value.Null
+                      (List.assoc_opt "x" o.Model.attrs)
+                  in
+                  if not (Value.equal v expected) then ok := false
+              | Ok _, None -> ok := false
+              | Error _, Some _ -> ok := false
+              | Error _, None -> ()))
+        ops;
+      (* Final full agreement on extents. *)
+      Array.iter
+        (fun c ->
+          let real =
+            List.map Ident.Oid.to_int (Object_store.extent store ~class_name:c)
+          in
+          if real <> Model.extent model (schema ()) ~class_name:c then
+            ok := false)
+        classes;
+      !ok)
+
+let suite = [ store_model_agree ]

@@ -1,0 +1,95 @@
+(* Foundations: the even/odd clock discipline, the deterministic PRNG, and
+   the growable vector's binary searches. *)
+
+open Core
+
+let test_clock_discipline () =
+  let clock = Time.Clock.create () in
+  let t1 = Time.Clock.next_event_instant clock in
+  let t2 = Time.Clock.next_event_instant clock in
+  Alcotest.(check bool) "event instants are even" true
+    (Time.is_event_instant t1 && Time.is_event_instant t2);
+  Alcotest.(check bool) "strictly increasing" true (Time.( < ) t1 t2);
+  Alcotest.(check bool) "probe between any two events" true
+    (Time.is_probe_instant (Time.probe_before t2)
+    && Time.( < ) t1 (Time.probe_before t2));
+  let probe = Time.Clock.probe_now clock in
+  Alcotest.(check bool) "probe_now after all events" true
+    (Time.is_probe_instant probe && Time.( > ) probe t2)
+
+let test_clock_advance () =
+  let clock = Time.Clock.create () in
+  Time.Clock.advance_to clock (Time.of_int 100);
+  let t = Time.Clock.next_event_instant clock in
+  Alcotest.(check bool) "past the advance" true (Time.( > ) t (Time.of_int 100))
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+  let xs = List.init 20 (fun _ -> Prng.next_int a ~bound:1000) in
+  let ys = List.init 20 (fun _ -> Prng.next_int b ~bound:1000) in
+  Alcotest.(check (list int)) "same seed, same stream" xs ys;
+  let c = Prng.create ~seed:43 in
+  let zs = List.init 20 (fun _ -> Prng.next_int c ~bound:1000) in
+  Alcotest.(check bool) "different seed, different stream" true (xs <> zs)
+
+let test_prng_bounds () =
+  let p = Prng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let v = Prng.next_int p ~bound:10 in
+    if v < 0 || v >= 10 then Alcotest.fail "out of bounds"
+  done;
+  let f = Prng.next_float p in
+  Alcotest.(check bool) "float in [0,1)" true (f >= 0.0 && f < 1.0);
+  match Prng.next_int p ~bound:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected invalid bound"
+
+let test_vec_bisect () =
+  let v = Vec.create ~dummy:0 in
+  List.iter (Vec.push v) [ 2; 4; 4; 8; 10 ];
+  let key x = x in
+  Alcotest.(check int) "bisect_right finds last <= 4" 2 (Vec.bisect_right v ~key 4);
+  Alcotest.(check int) "bisect_right below all" (-1) (Vec.bisect_right v ~key 1);
+  Alcotest.(check int) "bisect_right above all" 4 (Vec.bisect_right v ~key 99);
+  Alcotest.(check int) "bisect_after 4 is index 3" 3 (Vec.bisect_after v ~key 4);
+  Alcotest.(check int) "bisect_after 10 is length" 5 (Vec.bisect_after v ~key 10)
+
+let test_vec_growth () =
+  let v = Vec.create ~dummy:(-1) in
+  for i = 0 to 999 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "length" 1000 (Vec.length v);
+  Alcotest.(check int) "get" 567 (Vec.get v 567);
+  Alcotest.(check (option int)) "last" (Some 999) (Vec.last v);
+  Alcotest.(check int) "fold" (999 * 1000 / 2) (Vec.fold ( + ) 0 v);
+  match Vec.get v 1000 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected out of bounds"
+
+let test_pretty_table () =
+  let t =
+    Pretty.table ~title:"demo" ~header:[ "name"; "value" ]
+      ~aligns:[ Pretty.Left; Pretty.Right ] ()
+  in
+  Pretty.add_row t [ "a"; "1" ];
+  Pretty.add_row t [ "long-name"; "12345" ];
+  let rendered = Pretty.render t in
+  Alcotest.(check bool) "has title" true (Astring_contains.contains rendered "demo");
+  Alcotest.(check bool) "has separator" true (Astring_contains.contains rendered "|-");
+  (match Pretty.add_row t [ "wrong" ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected arity mismatch");
+  Alcotest.(check string) "ns formatting" "1.50us" (Pretty.ns_cell 1500.0);
+  Alcotest.(check string) "ms formatting" "2.50ms" (Pretty.ns_cell 2.5e6)
+
+let suite =
+  [
+    Alcotest.test_case "clock discipline" `Quick test_clock_discipline;
+    Alcotest.test_case "clock advance" `Quick test_clock_advance;
+    Alcotest.test_case "prng determinism" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng bounds" `Quick test_prng_bounds;
+    Alcotest.test_case "vec bisect" `Quick test_vec_bisect;
+    Alcotest.test_case "vec growth" `Quick test_vec_growth;
+    Alcotest.test_case "pretty tables" `Quick test_pretty_table;
+  ]

@@ -1,0 +1,116 @@
+(* The workload library: generator profiles, stream bounds, batch
+   deduplication, scenario rules, and reproducibility. *)
+
+open Core
+
+let alphabet = Domain.abstract_alphabet 5
+
+let profile_respected =
+  Gen.qcheck ~count:200 "regular profile yields baseline-compatible exprs"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 0 10000))
+    (fun seed ->
+      let prng = Prng.create ~seed in
+      let e =
+        Expr_gen.gen prng ~profile:Expr_gen.regular_profile ~alphabet ~depth:4 ()
+      in
+      Expr.is_regular e)
+
+let boolean_profile_no_instance =
+  Gen.qcheck ~count:200 "boolean profile never emits instance operators"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 0 10000))
+    (fun seed ->
+      let prng = Prng.create ~seed in
+      let e =
+        Expr_gen.gen prng ~profile:Expr_gen.boolean_profile ~alphabet ~depth:4 ()
+      in
+      not (Expr.has_instance e))
+
+let test_stream_bounds () =
+  let prng = Prng.create ~seed:5 in
+  let stream = Expr_gen.stream prng ~alphabet ~objects:7 ~length:500 in
+  Alcotest.(check int) "length" 500 (List.length stream);
+  List.iter
+    (fun (etype, oid) ->
+      let i = Ident.Oid.to_int oid in
+      if i < 1 || i > 7 then Alcotest.failf "oid out of range: %d" i;
+      if not (List.exists (Event_type.equal etype) alphabet) then
+        Alcotest.fail "type outside alphabet")
+    stream
+
+let test_batch_distinct () =
+  let prng = Prng.create ~seed:6 in
+  let batch =
+    Expr_gen.batch prng ~profile:Expr_gen.boolean_profile ~alphabet ~depth:3
+      ~count:20 ()
+  in
+  let rec all_distinct = function
+    | [] -> true
+    | e :: rest -> (not (List.exists (Expr.equal e) rest)) && all_distinct rest
+  in
+  Alcotest.(check bool) "batch has no duplicates" true (all_distinct batch);
+  Alcotest.(check bool) "batch non-trivial" true (List.length batch >= 10)
+
+let test_generators_reproducible () =
+  let run seed =
+    let prng = Prng.create ~seed in
+    let exprs =
+      Expr_gen.batch prng ~profile:Expr_gen.full_profile ~alphabet ~depth:3
+        ~count:5 ()
+    in
+    List.map Expr.to_string exprs
+  in
+  Alcotest.(check (list string)) "same seed, same batch" (run 77) (run 77);
+  Alcotest.(check bool) "different seed, different batch" true
+    (run 77 <> run 78)
+
+let test_scenario_reorder_rule () =
+  let engine = Scenario.engine () in
+  Engine.execute_line_exn engine
+    [ Domain.new_stock ~quantity:40 ~maxquantity:90 ~minquantity:15 ];
+  let stock =
+    List.hd (Object_store.extent (Engine.store engine) ~class_name:"stock")
+  in
+  Engine.execute_line_exn engine
+    [
+      Operation.Modify
+        { oid = stock; attribute = "quantity"; value = Value.Int 4 };
+    ];
+  match Object_store.extent (Engine.store engine) ~class_name:"stockOrder" with
+  | [ order ] -> (
+      match
+        ( Object_store.get (Engine.store engine) order ~attribute:"delquantity",
+          Object_store.get (Engine.store engine) order ~attribute:"stock_ref" )
+      with
+      | Ok (Value.Int del), Ok (Value.Oid ref_) ->
+          Alcotest.(check int) "delquantity = max - quantity" 86 del;
+          Alcotest.(check bool) "references the product" true
+            (Ident.Oid.equal ref_ stock)
+      | _ -> Alcotest.fail "order attributes")
+  | other -> Alcotest.failf "expected one order, got %d" (List.length other)
+
+let test_inventory_traffic_deterministic () =
+  let run () =
+    let engine = Scenario.engine () in
+    let prng = Prng.create ~seed:31 in
+    Scenario.run_inventory_traffic prng engine ~lines:40 ~ops_per_line:4;
+    let stats = Engine.statistics engine in
+    ( stats.Engine.events,
+      stats.Engine.executions,
+      List.length (Object_store.extent (Engine.store engine) ~class_name:"stock")
+    )
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "identical replays" true (a = b)
+
+let suite =
+  [
+    profile_respected;
+    boolean_profile_no_instance;
+    Alcotest.test_case "stream bounds" `Quick test_stream_bounds;
+    Alcotest.test_case "batch deduplicates" `Quick test_batch_distinct;
+    Alcotest.test_case "generators reproducible" `Quick
+      test_generators_reproducible;
+    Alcotest.test_case "scenario reorder rule" `Quick test_scenario_reorder_rule;
+    Alcotest.test_case "inventory traffic deterministic" `Quick
+      test_inventory_traffic_deterministic;
+  ]
