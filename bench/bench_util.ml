@@ -47,4 +47,76 @@ let seed_of_experiment = function
   | "e4" -> 404
   | "e5" -> 505
   | "e6" -> 606
+  | "e8" -> 808
   | _ -> 7
+
+(* ------------------------------------------------ machine-readable *)
+
+(* A minimal JSON value, enough for BENCH_*.json result files (no
+   external dependency). *)
+type json =
+  | J_bool of bool
+  | J_int of int
+  | J_float of float
+  | J_string of string
+  | J_list of json list
+  | J_obj of (string * json) list
+
+let rec json_to_buf buf = function
+  | J_bool b -> Buffer.add_string buf (string_of_bool b)
+  | J_int i -> Buffer.add_string buf (string_of_int i)
+  | J_float f ->
+      if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.6g" f)
+      else Buffer.add_string buf "null"
+  | J_string s ->
+      Buffer.add_char buf '"';
+      String.iter
+        (fun c ->
+          match c with
+          | '"' -> Buffer.add_string buf "\\\""
+          | '\\' -> Buffer.add_string buf "\\\\"
+          | '\n' -> Buffer.add_string buf "\\n"
+          | c when Char.code c < 0x20 ->
+              Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+          | c -> Buffer.add_char buf c)
+        s;
+      Buffer.add_char buf '"'
+  | J_list items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          json_to_buf buf item)
+        items;
+      Buffer.add_char buf ']'
+  | J_obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          json_to_buf buf (J_string k);
+          Buffer.add_char buf ':';
+          json_to_buf buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+(* Writes BENCH_<id>.json into the invocation directory: the experiment's
+   rows in machine-readable form, next to the pretty table on stdout. *)
+let write_json ~experiment rows =
+  let path = Printf.sprintf "BENCH_%s.json" experiment in
+  let doc =
+    J_obj
+      [
+        ("experiment", J_string experiment);
+        ("seed", J_int (seed_of_experiment experiment));
+        ("rows", J_list rows);
+      ]
+  in
+  let buf = Buffer.create 1024 in
+  json_to_buf buf doc;
+  Buffer.add_char buf '\n';
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (Buffer.contents buf));
+  Printf.printf "(results written to %s)\n" path

@@ -22,6 +22,7 @@ let experiments =
     ("e5", "consuming vs preserving", Perf.e5);
     ("e6", "engine throughput", Perf.e6);
     ("e7", "memoized ts ablation", Perf.e7);
+    ("e8", "shared memo engine path", Perf.e8);
     ("micro", "bechamel micro-benchmarks", Micro.run);
   ]
 

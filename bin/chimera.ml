@@ -31,6 +31,8 @@ let run_script trace path =
         "-- %d line(s), %d event(s), %d consideration(s), %d execution(s)\n"
         stats.Engine.lines stats.Engine.events stats.Engine.considerations
         stats.Engine.executions;
+      Printf.printf "-- memo: %d hit(s), %d miss(es), %d node(s)\n"
+        stats.Engine.memo_hits stats.Engine.memo_misses stats.Engine.memo_nodes;
       Printf.printf "-- %s\n"
         (Fmt.str "%a" Event_stats.pp
            (Event_stats.of_event_base (Engine.event_base (Interp.engine interp))));

@@ -1,15 +1,27 @@
-(* Memoized ts evaluation over interned (hash-consed) expressions.
+(* Shared memoized ts evaluation over interned (hash-consed) expressions.
 
    The recompute-from-indexes evaluation of Section 5 re-derives every
    subexpression value on each probe.  Because the event base is
    append-only, ts(E, at) over a window with a fixed lower bound never
-   changes once computed, so (node, instant) pairs can be cached across
-   probes — and across rules, since structurally equal subexpressions
-   intern to the same node.
+   changes once computed, so (node, window, instant) triples can be cached
+   across probes — and across rules, since structurally equal
+   subexpressions intern to the same node.
 
-   Interning happens once per expression ({!intern}); evaluation then runs
-   over an int-indexed node graph with cheap (int * int) cache keys, never
-   re-hashing subtrees.  This is the ablation substrate behind bench E7. *)
+   One memo serves a whole rule set: cache entries carry the window's
+   lower bound in their key, so rules whose windows coincide (the common
+   case — every window restarts at the transaction start) share values,
+   and a rule's consideration merely moves it onto fresh keys instead of
+   invalidating anything.  {!restart} — the commit/compaction path —
+   drops the cached values while preserving the interned node graph and
+   the cumulative counters.
+
+   On top of the exact value cache sits a per-node V(E) fast path: each
+   node carries the set of primitive event types it mentions, and for
+   negation-free nodes a probe at a later instant reuses the previous
+   value when no occurrence of those types arrived in between (activation
+   is monotone in the node's own events, and a negation-free node's
+   inactive value is exactly -at).  An arriving occurrence therefore only
+   forces re-evaluation of the nodes that mention its type. *)
 
 open Chimera_util
 open Chimera_event
@@ -29,65 +41,122 @@ type node =
 
 type handle = int
 
-module Pair_key = struct
-  type t = int * int
+(* A per-object slot for instance-level values, updated in place. *)
+type islot = { mutable iafter : int; mutable iat : int; mutable iv : int }
 
-  let equal (a1, b1) (a2, b2) = a1 = a2 && b1 = b2
-  let hash (a, b) = (a * 1_000_003) + b
-end
-
-module Triple_key = struct
-  type t = int * int * int
-
-  let equal (a1, b1, c1) (a2, b2, c2) = a1 = a2 && b1 = b2 && c1 = c2
-  let hash (a, b, c) = (((a * 1_000_003) + b) * 1_000_003) + c
-end
-
-module Pair_tbl = Hashtbl.Make (Pair_key)
-module Triple_tbl = Hashtbl.Make (Triple_key)
-
+(* Values are cached in a small ring of slots per node (set-oriented) or
+   one slot per (node, object) (instance-oriented), each holding a
+   (window, instant, value) probe.  Set rings live in three flat unboxed
+   int vectors of stride [slot_width], so the hot path — one probe per
+   node per instant, driven by the Trigger Support after every block —
+   allocates nothing and never hashes.  The ring (rather than a single
+   newest slot) is what makes cross-rule sharing work: rules scan the
+   same new instants one after another, so the second rule's probes hit
+   the instants the first rule just filled in. *)
 type t = {
-  eb : Event_base.t;
-  mutable after : Time.t;
-      (** window lower bound; the value cache is valid for it only *)
+  mutable eb : Event_base.t;
   nodes : node Vec.t;
+  tyset : Event_type.Set.t Vec.t;
+      (** per-node primitive-type sets: the node-granular V(E) *)
+  stable : bool Vec.t;
+      (** negation-free below: value-stable across irrelevant arrivals *)
+  cost : int Vec.t;
+      (** recompute cost estimate (index probes in the subtree); nodes
+          cheaper than the cache machinery bypass it *)
   set_ids : (Expr.set, int) Hashtbl.t;
   inst_ids : (Expr.inst, int) Hashtbl.t;
   node_ids : (node, int) Hashtbl.t;
-  set_cache : int Pair_tbl.t;  (** (node, at) -> value *)
-  inst_cache : int Triple_tbl.t;  (** (node, at, oid) -> value *)
+  slot_after : int Vec.t;
+      (** ring, stride [slot_width]: window lower bound; -1 = empty *)
+  slot_at : int Vec.t;  (** ring: probe instant *)
+  slot_v : int Vec.t;  (** ring: cached ts value *)
+  slot_cursor : int Vec.t;  (** per-node round-robin insertion point *)
+  inst_slots : (int, islot) Hashtbl.t Vec.t;  (** per node, keyed by oid *)
+  mutable inst_entries : int;  (** live instance slots, for the bound *)
+  max_entries : int;
   mutable hits : int;
   mutable misses : int;
+  mutable evictions : int;
 }
 
-let create eb ~after =
+(* Ring size: at least the number of fresh instants per block, so that
+   every rule of a set scanning the block hits the values the first one
+   computed.  Scanning it is a handful of int compares. *)
+let slot_width = 8
+
+(* A slot probe (ring scan or per-object table lookup, plus the arrival
+   test on a near miss) costs about as much as a couple of index probes,
+   so nodes whose whole subtree recomputes in fewer bypass the cache:
+   caching a [conj] of two primitives can only lose. *)
+let cache_min_cost = 4
+
+let default_max_entries = 1 lsl 20
+
+let create ?(max_entries = default_max_entries) eb =
   {
     eb;
-    after;
     nodes = Vec.create ~dummy:(N_prim (Event_type.external_ ~name:"_" ~class_name:""));
+    tyset = Vec.create ~dummy:Event_type.Set.empty;
+    stable = Vec.create ~dummy:false;
+    cost = Vec.create ~dummy:0;
     set_ids = Hashtbl.create 16;
     inst_ids = Hashtbl.create 16;
     node_ids = Hashtbl.create 16;
-    set_cache = Pair_tbl.create 64;
-    inst_cache = Triple_tbl.create 64;
+    slot_after = Vec.create ~dummy:(-1);
+    slot_at = Vec.create ~dummy:(-1);
+    slot_v = Vec.create ~dummy:0;
+    slot_cursor = Vec.create ~dummy:0;
+    inst_slots = Vec.create ~dummy:(Hashtbl.create 0);
+    inst_entries = 0;
+    max_entries;
     hits = 0;
     misses = 0;
+    evictions = 0;
   }
 
 let hits t = t.hits
 let misses t = t.misses
+let evictions t = t.evictions
 let event_base t = t.eb
 let node_count t = Vec.length t.nodes
 
-(* Structural interning: one deep traversal per distinct expression. *)
-let alloc t node =
+(* Structural interning: one deep traversal per distinct expression.  Each
+   node is allocated with its primitive-type set and stability flag, both
+   derived from its children (already interned). *)
+let alloc t node ~types ~stable ~cost =
   match Hashtbl.find_opt t.node_ids node with
   | Some id -> id
   | None ->
       let id = Vec.length t.nodes in
       Vec.push t.nodes node;
+      Vec.push t.tyset types;
+      Vec.push t.stable stable;
+      Vec.push t.cost cost;
+      for _ = 1 to slot_width do
+        Vec.push t.slot_after (-1);
+        Vec.push t.slot_at (-1);
+        Vec.push t.slot_v 0
+      done;
+      Vec.push t.slot_cursor 0;
+      Vec.push t.inst_slots (Hashtbl.create 8);
       Hashtbl.add t.node_ids node id;
       id
+
+let types_of t id = Vec.get t.tyset id
+let stable_of t id = Vec.get t.stable id
+let cost_of t id = Vec.get t.cost id
+
+let alloc1 t mk a ~stable =
+  alloc t (mk a)
+    ~types:(types_of t a)
+    ~stable:(stable && stable_of t a)
+    ~cost:(1 + cost_of t a)
+
+let alloc2 t mk a b =
+  alloc t (mk a b)
+    ~types:(Event_type.Set.union (types_of t a) (types_of t b))
+    ~stable:(stable_of t a && stable_of t b)
+    ~cost:(1 + cost_of t a + cost_of t b)
 
 let rec intern_inst t ie =
   match Hashtbl.find_opt t.inst_ids ie with
@@ -95,11 +164,18 @@ let rec intern_inst t ie =
   | None ->
       let id =
         match ie with
-        | Expr.I_prim p -> alloc t (N_iprim p)
-        | Expr.I_not e -> alloc t (N_inot (intern_inst t e))
-        | Expr.I_and (a, b) -> alloc t (N_iand (intern_inst t a, intern_inst t b))
-        | Expr.I_or (a, b) -> alloc t (N_ior (intern_inst t a, intern_inst t b))
-        | Expr.I_seq (a, b) -> alloc t (N_iseq (intern_inst t a, intern_inst t b))
+        | Expr.I_prim p ->
+            alloc t (N_iprim p)
+              ~types:(Event_type.Set.singleton p)
+              ~stable:true ~cost:1
+        | Expr.I_not e ->
+            alloc1 t (fun a -> N_inot a) (intern_inst t e) ~stable:false
+        | Expr.I_and (a, b) ->
+            alloc2 t (fun a b -> N_iand (a, b)) (intern_inst t a) (intern_inst t b)
+        | Expr.I_or (a, b) ->
+            alloc2 t (fun a b -> N_ior (a, b)) (intern_inst t a) (intern_inst t b)
+        | Expr.I_seq (a, b) ->
+            alloc2 t (fun a b -> N_iseq (a, b)) (intern_inst t a) (intern_inst t b)
       in
       Hashtbl.add t.inst_ids ie id;
       id
@@ -110,60 +186,149 @@ let rec intern t e =
   | None ->
       let id =
         match e with
-        | Expr.Prim p -> alloc t (N_prim p)
-        | Expr.Not e -> alloc t (N_not (intern t e))
-        | Expr.And (a, b) -> alloc t (N_and (intern t a, intern t b))
-        | Expr.Or (a, b) -> alloc t (N_or (intern t a, intern t b))
-        | Expr.Seq (a, b) -> alloc t (N_seq (intern t a, intern t b))
-        | Expr.Inst ie -> alloc t (N_inst (intern_inst t ie))
+        | Expr.Prim p ->
+            alloc t (N_prim p)
+              ~types:(Event_type.Set.singleton p)
+              ~stable:true ~cost:1
+        | Expr.Not e -> alloc1 t (fun a -> N_not a) (intern t e) ~stable:false
+        | Expr.And (a, b) ->
+            alloc2 t (fun a b -> N_and (a, b)) (intern t a) (intern t b)
+        | Expr.Or (a, b) ->
+            alloc2 t (fun a b -> N_or (a, b)) (intern t a) (intern t b)
+        | Expr.Seq (a, b) ->
+            alloc2 t (fun a b -> N_seq (a, b)) (intern t a) (intern t b)
+        | Expr.Inst ie ->
+            (* Lifting scans the window's objects and evaluates the child
+               per object, so its recompute cost dwarfs its children's. *)
+            let a = intern_inst t ie in
+            alloc t (N_inst a) ~types:(types_of t a) ~stable:(stable_of t a)
+              ~cost:(8 + (2 * cost_of t a))
       in
       Hashtbl.add t.set_ids e id;
       id
 
-let window t ~at = Window.make ~after:t.after ~upto:(Time.max t.after at)
+let window ~after ~at = Window.make ~after ~upto:(Time.max after at)
 
-let prim_ts t ~at p =
-  match Event_base.last_of_type t.eb ~etype:p ~window:(window t ~at) ~at with
+let prim_ts t ~after ~at p =
+  match Event_base.last_of_type t.eb ~etype:p ~window:(window ~after ~at) ~at with
   | Some stamp -> Time.to_int stamp
   | None -> -Time.to_int at
 
-let prim_ots t ~at p oid =
+let prim_ots t ~after ~at p oid =
   match
-    Event_base.last_of_type_on t.eb ~etype:p ~oid ~window:(window t ~at) ~at
+    Event_base.last_of_type_on t.eb ~etype:p ~oid ~window:(window ~after ~at) ~at
   with
   | Some stamp -> Time.to_int stamp
   | None -> -Time.to_int at
 
-let rec eval_inst t ~at id oid =
-  let key = (id, Time.to_int at, Ident.Oid.to_int oid) in
-  match Triple_tbl.find_opt t.inst_cache key with
-  | Some v ->
-      t.hits <- t.hits + 1;
-      v
-  | None ->
-      t.misses <- t.misses + 1;
-      let v =
-        match Vec.get t.nodes id with
-        | N_iprim p -> prim_ots t ~at p oid
-        | N_inot e -> -eval_inst t ~at e oid
-        | N_iand (a, b) ->
-            let va = eval_inst t ~at a oid and vb = eval_inst t ~at b oid in
-            if va > 0 && vb > 0 then max va vb else min va vb
-        | N_ior (a, b) ->
-            let va = eval_inst t ~at a oid and vb = eval_inst t ~at b oid in
-            if va > 0 || vb > 0 then max va vb else min va vb
-        | N_iseq (a, b) ->
-            let vb = eval_inst t ~at b oid in
-            if vb > 0 && eval_inst t ~at:(Time.of_int vb) a oid > 0 then vb
-            else -Time.to_int at
-        | N_prim _ | N_not _ | N_and _ | N_or _ | N_seq _ | N_inst _ ->
-            invalid_arg "Memo: set node in instance position"
-      in
-      Triple_tbl.add t.inst_cache key v;
-      v
+(* Any occurrence of one of [types] in (lo, at]?  Cached probe instants
+   never precede their window's lower bound, so the gap (lo, at] covers
+   the in-window arrivals; finding one outside the window merely forgoes
+   a reuse.  The gap between successive probes is typically a few
+   occurrences, which {!Event_base.occurred_in} scans in one pass. *)
+let arrival_in t ~lo ~at types = Event_base.occurred_in t.eb ~types ~after:lo ~upto:at
 
-let lift t ~at id =
-  let oids = Event_base.oids_in t.eb ~window:(window t ~at) ~at in
+(* Per-object variant: instance-level values only depend on the object's
+   own occurrences of the node's types.  The global gap check screens
+   out the common all-quiet case before the per-(type, object) probes. *)
+let arrival_on t ~after ~lo ~at types oid =
+  Event_base.occurred_in t.eb ~types ~after:lo ~upto:at
+  && Event_type.Set.exists
+       (fun p ->
+         match
+           Event_base.last_of_type_on t.eb ~etype:p ~oid
+             ~window:(window ~after ~at) ~at
+         with
+         | Some stamp -> Time.( > ) stamp lo
+         | None -> false)
+       types
+
+(* The instance-slot population is bounded: blowing past [max_entries]
+   drops every per-object slot (never the interned graph) and starts
+   over.  Soundness is unaffected — slots are pure (node, window,
+   instant, object) facts.  Set-level slots need no bound: one per
+   node. *)
+let evict_if_full t =
+  if t.inst_entries > t.max_entries then begin
+    Vec.iter Hashtbl.reset t.inst_slots;
+    t.inst_entries <- 0;
+    t.evictions <- t.evictions + 1
+  end
+
+(* Instance-level evaluation, mirroring the set-level slot discipline:
+   cheap nodes (primitives, small composites) bypass the cache — their
+   recompute is a few per-object index probes, less than the table
+   lookup — while costlier nodes reuse their per-object slot on an exact
+   instant match or, for stable nodes, when none of the node's types
+   occurred on the object since the cached instant. *)
+let rec compute_inst t ~after ~at node oid =
+  match node with
+  | N_iprim p -> prim_ots t ~after ~at p oid
+  | N_inot e -> -eval_inst t ~after ~at e oid
+  | N_iand (a, b) ->
+      let va = eval_inst t ~after ~at a oid
+      and vb = eval_inst t ~after ~at b oid in
+      if va > 0 && vb > 0 then max va vb else min va vb
+  | N_ior (a, b) ->
+      let va = eval_inst t ~after ~at a oid
+      and vb = eval_inst t ~after ~at b oid in
+      if va > 0 || vb > 0 then max va vb else min va vb
+  | N_iseq (a, b) ->
+      let vb = eval_inst t ~after ~at b oid in
+      if vb > 0 && eval_inst t ~after ~at:(Time.of_int vb) a oid > 0 then vb
+      else -Time.to_int at
+  | N_prim _ | N_not _ | N_and _ | N_or _ | N_seq _ | N_inst _ ->
+      invalid_arg "Memo: set node in instance position"
+
+and eval_inst t ~after ~at id oid =
+  match Vec.get t.nodes id with
+  | N_iprim p -> prim_ots t ~after ~at p oid
+  | node when Vec.get t.cost id < cache_min_cost ->
+      compute_inst t ~after ~at node oid
+  | node ->
+      let afteri = Time.to_int after and ati = Time.to_int at in
+      let slots = Vec.get t.inst_slots id in
+      let oidi = Ident.Oid.to_int oid in
+      let slot = Hashtbl.find_opt slots oidi in
+      let reuse =
+        match slot with
+        | Some s when s.iafter = afteri ->
+            if s.iat = ati then Some s.iv
+            else if
+              s.iat < ati
+              && Vec.get t.stable id
+              && (Time.to_int (Event_base.now t.eb) <= s.iat
+                 || not
+                      (arrival_on t ~after ~lo:(Time.of_int s.iat) ~at
+                         (Vec.get t.tyset id) oid))
+            then Some (if s.iv > 0 then s.iv else -ati)
+            else None
+        | _ -> None
+      in
+      (match reuse with
+      | Some v ->
+          t.hits <- t.hits + 1;
+          v
+      | None ->
+          t.misses <- t.misses + 1;
+          let v = compute_inst t ~after ~at node oid in
+          (match slot with
+          | Some s ->
+              (* Keep the newest probe (sequences probe left operands at
+                 earlier instants). *)
+              if s.iafter <> afteri || s.iat <= ati then begin
+                s.iafter <- afteri;
+                s.iat <- ati;
+                s.iv <- v
+              end
+          | None ->
+              Hashtbl.add slots oidi { iafter = afteri; iat = ati; iv = v };
+              t.inst_entries <- t.inst_entries + 1;
+              evict_if_full t);
+          v)
+
+let lift t ~after ~at id =
+  let oids = Event_base.oids_in t.eb ~window:(window ~after ~at) ~at in
   let is_negation =
     match Vec.get t.nodes id with N_inot _ -> true | _ -> false
   in
@@ -172,56 +337,155 @@ let lift t ~at id =
     | [] -> Time.to_int at
     | o :: os ->
         List.fold_left
-          (fun acc oid -> min acc (eval_inst t ~at id oid))
-          (eval_inst t ~at id o) os
+          (fun acc oid -> min acc (eval_inst t ~after ~at id oid))
+          (eval_inst t ~after ~at id o) os
   else
     match oids with
     | [] -> -Time.to_int at
     | o :: os ->
         List.fold_left
-          (fun acc oid -> max acc (eval_inst t ~at id oid))
-          (eval_inst t ~at id o) os
+          (fun acc oid -> max acc (eval_inst t ~after ~at id oid))
+          (eval_inst t ~after ~at id o) os
 
-let rec eval t ~at id =
-  let key = (id, Time.to_int at) in
-  match Pair_tbl.find_opt t.set_cache key with
-  | Some v ->
-      t.hits <- t.hits + 1;
-      v
-  | None ->
-      t.misses <- t.misses + 1;
-      let v =
-        match Vec.get t.nodes id with
-        | N_prim p -> prim_ts t ~at p
-        | N_not e -> -eval t ~at e
-        | N_and (a, b) ->
-            let va = eval t ~at a and vb = eval t ~at b in
-            if va > 0 && vb > 0 then max va vb else min va vb
-        | N_or (a, b) ->
-            let va = eval t ~at a and vb = eval t ~at b in
-            if va > 0 || vb > 0 then max va vb else min va vb
-        | N_seq (a, b) ->
-            let vb = eval t ~at b in
-            if vb > 0 && eval t ~at:(Time.of_int vb) a > 0 then vb
-            else -Time.to_int at
-        | N_inst ie -> lift t ~at ie
-        | N_iprim _ | N_inot _ | N_iand _ | N_ior _ | N_iseq _ ->
-            invalid_arg "Memo: instance node in set position"
+(* Set-level evaluation with the per-node slot cache.
+
+   Primitives and cheap composites bypass the cache entirely: a
+   primitive's evaluation IS a single index probe, and a small composite
+   recomputes from the indexes in fewer probes than a slot scan costs —
+   only nodes whose subtree is worth saving carry slots.
+
+   For composite nodes, a slot probe reuses the cached value when:
+
+   - the window matches and the instant is the very same (exact: ts is a
+     pure function of (node, window, instant)) — this is how concurrent
+     rules probing the same instants share work; or
+   - the window matches, the node is negation-free (stable), and none of
+     its own event types occurred since the cached instant.  Exact
+     because (i) active values only move on an occurrence of one of the
+     node's types (activation is monotone in them for negation-free
+     nodes), and (ii) a negation-free node's inactive value is exactly
+     -at (induction over the operators: every inactive branch bottoms
+     out in -at and min/max propagate it).  The arrival test is first an
+     O(1) comparison against the newest occurrence overall, then
+     per-type index probes — the node-granular V(E).
+
+   Nodes under a negation get only the exact same-instant reuse: their
+   activation magnitude can track the probe instant itself (e.g. -A is
+   active "now" while A stays silent), so no arrival-based reuse is
+   sound for them. *)
+let rec compute_set t ~after ~at node =
+  match node with
+  | N_prim p -> prim_ts t ~after ~at p
+  | N_not e -> -eval t ~after ~at e
+  | N_and (a, b) ->
+      let va = eval t ~after ~at a and vb = eval t ~after ~at b in
+      if va > 0 && vb > 0 then max va vb else min va vb
+  | N_or (a, b) ->
+      let va = eval t ~after ~at a and vb = eval t ~after ~at b in
+      if va > 0 || vb > 0 then max va vb else min va vb
+  | N_seq (a, b) ->
+      let vb = eval t ~after ~at b in
+      if vb > 0 && eval t ~after ~at:(Time.of_int vb) a > 0 then vb
+      else -Time.to_int at
+  | N_inst ie -> lift t ~after ~at ie
+  | N_iprim _ | N_inot _ | N_iand _ | N_ior _ | N_iseq _ ->
+      invalid_arg "Memo: instance node in set position"
+
+and eval t ~after ~at id =
+  match Vec.get t.nodes id with
+  | N_prim p -> prim_ts t ~after ~at p
+  | node when Vec.get t.cost id < cache_min_cost -> compute_set t ~after ~at node
+  | node ->
+      let afteri = Time.to_int after and ati = Time.to_int at in
+      (* One pass over the ring: an exact (window, instant) entry wins;
+         otherwise remember the newest same-window entry as the seed for
+         the stable-node arrival test. *)
+      let base = id * slot_width in
+      let exact = ref false and exact_v = ref 0 in
+      let best_at = ref (-1) and best_v = ref 0 in
+      for j = base to base + slot_width - 1 do
+        if Vec.get t.slot_after j = afteri then begin
+          let sat = Vec.get t.slot_at j in
+          if sat = ati then begin
+            exact := true;
+            exact_v := Vec.get t.slot_v j
+          end;
+          if sat > !best_at then begin
+            best_at := sat;
+            best_v := Vec.get t.slot_v j
+          end
+        end
+      done;
+      let reuse =
+        if !exact then Some !exact_v
+        else if
+          !best_at >= 0
+          && !best_at < ati
+          && Vec.get t.stable id
+          && (Time.to_int (Event_base.now t.eb) <= !best_at
+             || not
+                  (arrival_in t ~lo:(Time.of_int !best_at) ~at
+                     (Vec.get t.tyset id)))
+        then Some (if !best_v > 0 then !best_v else -ati)
+        else None
       in
-      Pair_tbl.add t.set_cache key v;
-      v
+      (match reuse with
+      | Some v ->
+          t.hits <- t.hits + 1;
+          v
+      | None ->
+          t.misses <- t.misses + 1;
+          let v = compute_set t ~after ~at node in
+          let c = Vec.get t.slot_cursor id in
+          let j = base + c in
+          Vec.set t.slot_after j afteri;
+          Vec.set t.slot_at j ati;
+          Vec.set t.slot_v j v;
+          Vec.set t.slot_cursor id ((c + 1) mod slot_width);
+          v)
 
-let ts_handle t ~at handle = eval t ~at handle
-let ts t ~at e = eval t ~at (intern t e)
-let ots t ~at ie oid = eval_inst t ~at (intern_inst t ie) oid
-let active t ~at e = ts t ~at e > 0
-let active_handle t ~at handle = ts_handle t ~at handle > 0
+let ts_handle t ~after ~at handle = eval t ~after ~at handle
+let ts t ~after ~at e = eval t ~after ~at (intern t e)
+let ots t ~after ~at ie oid = eval_inst t ~after ~at (intern_inst t ie) oid
+let active t ~after ~at e = ts t ~after ~at e > 0
+let active_handle t ~after ~at handle = ts_handle t ~after ~at handle > 0
 
-(* Moving the window's lower bound (a consuming consideration) invalidates
-   every cached value; interned node identities are kept. *)
-let restart t ~after =
-  Pair_tbl.reset t.set_cache;
-  Triple_tbl.reset t.inst_cache;
-  t.after <- after;
-  t.hits <- 0;
-  t.misses <- 0
+(* The [occurred] event formula (Section 3.3) through the cache: objects
+   for which the instance expression is active at [at]. *)
+let occurred_objects ?candidates t ~after ~at ie =
+  let id = intern_inst t ie in
+  let candidates =
+    match candidates with
+    | Some oids -> oids
+    | None -> Event_base.oids_in t.eb ~window:(window ~after ~at) ~at
+  in
+  List.filter (fun oid -> eval_inst t ~after ~at id oid > 0) candidates
+
+(* The [at] event formula: instants where the expression arises for [oid]
+   (activation timestamp equal to the instant itself, cf.
+   {!Ts.occurrence_instants}).  The candidate instants come from the
+   node's own type set — the interned graph already carries V(E). *)
+let occurrence_instants t ~after ~at ie oid =
+  let id = intern_inst t ie in
+  let w = window ~after ~at in
+  let stamps =
+    Event_type.Set.fold
+      (fun etype acc ->
+        Event_base.timestamps_of_type_on t.eb ~etype ~oid ~window:w ~at @ acc)
+      (Vec.get t.tyset id) []
+  in
+  let stamps = List.sort_uniq Time.compare stamps in
+  List.filter
+    (fun tau -> eval_inst t ~after ~at:tau id oid = Time.to_int tau)
+    stamps
+
+(* The commit/compaction path: every rule window restarts, so no cached
+   value is reachable again — drop them all (and rebind to the possibly
+   fresh log), preserving the interned graph and the counters. *)
+let restart t eb =
+  for id = 0 to Vec.length t.slot_after - 1 do
+    Vec.set t.slot_after id (-1)
+  done;
+  Vec.iter Hashtbl.reset t.inst_slots;
+  t.inst_entries <- 0;
+  t.eb <- eb

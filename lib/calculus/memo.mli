@@ -1,10 +1,24 @@
-(** Memoized ts evaluation over interned (hash-consed) expressions.
+(** Shared memoized ts evaluation over interned (hash-consed) expressions
+    — the engine's default evaluation substrate.
 
-    Because the event base is append-only, ts(E, at) over a window with a
-    fixed lower bound is immutable once computed: (node, instant) pairs
-    are cached across probes and shared across structurally equal
-    subexpressions of a whole rule set.  Intern once, evaluate through the
-    handle.  Ablation substrate for bench E7. *)
+    One memo serves a whole rule set: because the event base is
+    append-only, ts(E, at) over a window with a fixed lower bound is
+    immutable once computed, so (node, window, instant) values are cached
+    across probes and across rules (structurally equal subexpressions
+    intern to the same node).  Cache keys carry the window's lower bound,
+    so a rule's consideration moves it onto fresh keys — nothing is
+    invalidated and the interned graph is never rebuilt.
+
+    Each node also carries the set of primitive event types it mentions
+    (V(E) at node granularity): for negation-free nodes a probe at a later
+    instant reuses the previous value when no occurrence of those types
+    arrived in between, so an arrival only forces re-evaluation of the
+    nodes that mention its type.
+
+    Set-level values live in small flat per-node slot rings (the hot path
+    allocates nothing); per-object instance values live in bounded
+    per-node tables.  Primitives and cheap composites bypass the cache:
+    their recompute is fewer index probes than a lookup costs. *)
 
 open Chimera_util
 open Chimera_event
@@ -13,30 +27,56 @@ type t
 
 type handle
 (** An interned expression; evaluation through a handle never re-hashes
-    the tree. *)
+    the tree.  Handles stay valid across {!restart}. *)
 
-val create : Event_base.t -> after:Time.t -> t
-(** A memo table bound to one window lower bound. *)
+val create : ?max_entries:int -> Event_base.t -> t
+(** A memo bound to an event base.  [max_entries] bounds the per-object
+    instance-slot population (default 2^20; set-level slots are one ring
+    per node and need no bound); exceeding it drops the instance slots —
+    never the interned graph — and counts an eviction. *)
 
 val intern : t -> Expr.set -> handle
 val intern_inst : t -> Expr.inst -> handle
 
-val ts_handle : t -> at:Time.t -> handle -> int
-val active_handle : t -> at:Time.t -> handle -> bool
+val ts_handle : t -> after:Time.t -> at:Time.t -> handle -> int
+(** ts of the interned expression at [at] over the window whose lower
+    bound is [after] (upper bound clips at [at]); same value as {!Ts.ts}
+    under the logical style (property-tested). *)
 
-val ts : t -> at:Time.t -> Expr.set -> int
-(** Interns (cached) then evaluates; same value as {!Ts.ts} under the
-    logical style (property-tested). *)
+val active_handle : t -> after:Time.t -> at:Time.t -> handle -> bool
 
-val ots : t -> at:Time.t -> Expr.inst -> Ident.Oid.t -> int
-val active : t -> at:Time.t -> Expr.set -> bool
+val ts : t -> after:Time.t -> at:Time.t -> Expr.set -> int
+(** Interns (cached) then evaluates. *)
 
-val restart : t -> after:Time.t -> unit
-(** Moves the window's lower bound (a consuming consideration), dropping
-    every cached value; interned nodes are kept. *)
+val ots : t -> after:Time.t -> at:Time.t -> Expr.inst -> Ident.Oid.t -> int
+val active : t -> after:Time.t -> at:Time.t -> Expr.set -> bool
+
+val occurred_objects :
+  ?candidates:Ident.Oid.t list ->
+  t ->
+  after:Time.t ->
+  at:Time.t ->
+  Expr.inst ->
+  Ident.Oid.t list
+(** Objects activating the instance expression at [at] — the [occurred]
+    event formula through the cache; agrees with {!Ts.occurred_objects}. *)
+
+val occurrence_instants :
+  t -> after:Time.t -> at:Time.t -> Expr.inst -> Ident.Oid.t -> Time.t list
+(** Instants at which the expression arises for the object — the [at]
+    event formula through the cache; agrees with
+    {!Ts.occurrence_instants}. *)
+
+val restart : t -> Event_base.t -> unit
+(** The commit/compaction path: drops every cached value and rebinds to
+    [eb] (pass the current event base when only the windows restarted);
+    the interned graph, handles, and counters survive. *)
 
 val hits : t -> int
 val misses : t -> int
+
+val evictions : t -> int
+(** Times the instance slots overflowed [max_entries] and were dropped. *)
 
 val event_base : t -> Event_base.t
 (** The log this memo is bound to (cached values are per event base). *)

@@ -134,6 +134,17 @@ let last_of_type t ~etype ~window ~at =
         let ts = Occurrence.timestamp (Vec.get v i) in
         if Time.( > ) ts (Window.after window) then Some ts else None)
 
+(* Newest occurrence of [etype] anywhere in the log, O(1): the per-type
+   index is append-only, so its last entry is the answer.  Lets callers
+   rule out an arrival after some instant without a binary search. *)
+let newest_of_type t ~etype =
+  match Event_type.Tbl.find_opt t.by_type etype with
+  | None -> None
+  | Some v -> (
+      match Vec.last v with
+      | Some occ -> Some (Occurrence.timestamp occ)
+      | None -> None)
+
 (* Per-object variant: the positive branch of ots. *)
 let last_of_type_on t ~etype ~oid ~window ~at =
   match Type_oid_tbl.find_opt t.by_type_oid (etype, Ident.Oid.to_int oid) with
@@ -145,6 +156,38 @@ let last_of_type_on t ~etype ~oid ~window ~at =
       else
         let ts = Vec.get v i in
         if Time.( > ) ts (Window.after window) then Some ts else None)
+
+(* Did any occurrence in (after, upto] carry one of [types] (under the
+   same modify-attribute aliasing the indexes use)?  The gap between two
+   successive probes is typically a handful of occurrences, so a short
+   gap is answered by scanning it once; a long one falls back to one
+   index probe per type. *)
+let occurred_in t ~types ~after ~upto =
+  if Time.( >= ) after upto then false
+  else begin
+    let lo = Vec.bisect_after t.log ~key:Occurrence.timestamp after in
+    let hi = Vec.bisect_right t.log ~key:Occurrence.timestamp upto in
+    if hi < lo then false
+    else if hi - lo < 16 then begin
+      let rec scan i =
+        i <= hi
+        && (List.exists
+              (fun ty -> Event_type.Set.mem ty types)
+              (index_types (Vec.get t.log i))
+           || scan (i + 1))
+      in
+      scan lo
+    end
+    else
+      Event_type.Set.exists
+        (fun etype ->
+          match Event_type.Tbl.find_opt t.by_type etype with
+          | None -> false
+          | Some v ->
+              let i = Vec.bisect_right v ~key:Occurrence.timestamp upto in
+              i >= 0 && Time.( > ) (Occurrence.timestamp (Vec.get v i)) after)
+        types
+  end
 
 let iter_in t ~window f =
   let lo = Vec.bisect_after t.log ~key:Occurrence.timestamp (Window.after window) in

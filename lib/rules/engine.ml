@@ -46,6 +46,9 @@ type stats = {
   mutable executions : int;  (** considerations whose condition held *)
   mutable operations : int;
   mutable events : int;
+  mutable memo_hits : int;  (** shared-memo cache hits (cumulative) *)
+  mutable memo_misses : int;  (** shared-memo cache misses (cumulative) *)
+  mutable memo_nodes : int;  (** interned nodes (shows cross-rule sharing) *)
 }
 
 let stats () =
@@ -57,6 +60,9 @@ let stats () =
     executions = 0;
     operations = 0;
     events = 0;
+    memo_hits = 0;
+    memo_misses = 0;
+    memo_nodes = 0;
   }
 
 (* HiPAC-style periodic (clock) events, simulated on the engine's logical
@@ -73,9 +79,14 @@ type t = {
   config : config;
   store : Object_store.t;
   mutable eb : Event_base.t;
+  memo : Memo.t;
+      (** the shared evaluation cache: one interned node graph for every
+          rule, cache entries keyed by window; survives commits and
+          compactions via {!Memo.restart} *)
   rules : Rule_table.t;
   mutable tx_start : Time.t;
-  mutable timers : timer list;
+  timers : timer Queue.t;  (** in definition order; maturing is in-order *)
+  timer_index : (string, unit) Hashtbl.t;  (** O(1) duplicate rejection *)
   stats : stats;
 }
 
@@ -88,36 +99,50 @@ let create ?(config = default_config) schema =
     config;
     store = Object_store.create schema;
     eb;
+    memo = Memo.create eb;
     rules = Rule_table.create ();
     tx_start = Event_base.probe_now eb;
-    timers = [];
+    timers = Queue.create ();
+    timer_index = Hashtbl.create 8;
     stats = stats ();
   }
 
 let store t = t.store
 let event_base t = t.eb
+let memo t = t.memo
 let rules t = t.rules
-let statistics t = t.stats
+
+let statistics t =
+  t.stats.memo_hits <- Memo.hits t.memo;
+  t.stats.memo_misses <- Memo.misses t.memo;
+  t.stats.memo_nodes <- Memo.node_count t.memo;
+  t.stats
 let tx_start t = t.tx_start
 
 let define t spec = Rule_table.add t.rules ~tx_start:t.tx_start spec
 
 (* Registers a periodic timer; returns the event type rules subscribe to
-   (an external event on the pseudo-class "timer"). *)
+   (an external event on the pseudo-class "timer").  Duplicate names are
+   rejected — two timers of the same name share an event type and would
+   double-fire per line. *)
 let define_timer t ~name ~period_lines =
   if period_lines <= 0 then
     invalid_arg "Engine.define_timer: period must be positive";
+  if Hashtbl.mem t.timer_index name then
+    invalid_arg (Printf.sprintf "Engine.define_timer: duplicate timer %s" name);
   let etype = Event_type.external_ ~name ~class_name:"timer" in
-  t.timers <-
-    t.timers
-    @ [ { timer_name = name; etype; period = period_lines; countdown = period_lines } ];
+  Hashtbl.add t.timer_index name ();
+  Queue.add
+    { timer_name = name; etype; period = period_lines; countdown = period_lines }
+    t.timers;
   etype
 
-let timer_names t = List.map (fun timer -> timer.timer_name) t.timers
+let timer_names t =
+  List.rev (Queue.fold (fun acc timer -> timer.timer_name :: acc) [] t.timers)
 
 (* Matured timers contribute occurrences to the upcoming line's block. *)
 let fire_timers t =
-  List.iter
+  Queue.iter
     (fun timer ->
       timer.countdown <- timer.countdown - 1;
       if timer.countdown <= 0 then begin
@@ -168,7 +193,7 @@ let run_block t ops : (Ident.Oid.t option list, error) result =
         Ok (oid :: oids))
       (Ok []) ops
   in
-  Trigger_support.check_all t.config.trigger t.stats.trigger_stats t.eb
+  Trigger_support.check_all t.config.trigger t.stats.trigger_stats t.memo
     t.rules;
   Ok (List.rev affected)
 
@@ -198,7 +223,7 @@ let run_action t rule envs : (unit, error) result =
         Ok ())
       (Ok ()) envs
   in
-  Trigger_support.check_all t.config.trigger t.stats.trigger_stats t.eb
+  Trigger_support.check_all t.config.trigger t.stats.trigger_stats t.memo
     t.rules;
   Ok ()
 
@@ -207,10 +232,16 @@ let run_action t rule envs : (unit, error) result =
 let consider t rule : (unit, error) result =
   let at = Event_base.probe_now t.eb in
   let after = Rule.formula_window_start rule ~tx_start:t.tx_start in
-  let window = Window.make ~after ~upto:at in
-  let ts_env = Ts.env ~style:t.config.trigger.Trigger_support.style t.eb ~window in
+  let evaluator =
+    if t.config.trigger.Trigger_support.memoize then
+      Condition.Memoized { memo = t.memo; after }
+    else
+      let window = Window.make ~after ~upto:at in
+      Condition.Recompute
+        (Ts.env ~style:t.config.trigger.Trigger_support.style t.eb ~window)
+  in
   let* envs =
-    (Condition.eval t.store ts_env ~at rule.Rule.spec.condition
+    (Condition.eval t.store evaluator ~at rule.Rule.spec.condition
       : (_, Condition.error) result
       :> (_, error) result)
   in
@@ -274,7 +305,7 @@ let compact t =
 let commit t : (unit, error) result =
   (* Give deferred rules a final trigger check over the whole transaction,
      then process every triggered rule. *)
-  Trigger_support.check_all t.config.trigger t.stats.trigger_stats t.eb
+  Trigger_support.check_all t.config.trigger t.stats.trigger_stats t.memo
     t.rules;
   let* () = process t ~include_deferred:true in
   (match t.config.compact_at_commit with
@@ -283,6 +314,10 @@ let commit t : (unit, error) result =
   let fresh_start = Event_base.probe_now t.eb in
   t.tx_start <- fresh_start;
   Rule_table.iter (fun rule -> Rule.reset rule ~tx_start:fresh_start) t.rules;
+  (* Every rule window restarted at the commit instant, so no cached value
+     is reachable again: drop them all, keep the interned graph (and
+     rebind to the fresh log when the commit compacted). *)
+  Memo.restart t.memo t.eb;
   Ok ()
 
 let execute_line_exn t ops =

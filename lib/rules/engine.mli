@@ -10,6 +10,7 @@
 
 open Chimera_util
 open Chimera_event
+open Chimera_calculus
 open Chimera_store
 
 type error = [ Condition.error | `Nontermination of string ]
@@ -36,6 +37,9 @@ type stats = {
   mutable executions : int;  (** considerations whose condition held *)
   mutable operations : int;
   mutable events : int;
+  mutable memo_hits : int;  (** shared-memo cache hits (cumulative) *)
+  mutable memo_misses : int;  (** shared-memo cache misses (cumulative) *)
+  mutable memo_nodes : int;  (** interned nodes (shows cross-rule sharing) *)
 }
 
 type t
@@ -43,8 +47,18 @@ type t
 val create : ?config:config -> Schema.t -> t
 val store : t -> Object_store.t
 val event_base : t -> Event_base.t
+
+val memo : t -> Memo.t
+(** The engine-owned shared evaluation cache: one interned node graph for
+    every rule; entries are keyed by window, so considerations invalidate
+    nothing, and {!commit} restarts it in place (graph preserved). *)
+
 val rules : t -> Rule_table.t
+
 val statistics : t -> stats
+(** Engine counters; the memo fields are synced from the shared cache on
+    each call. *)
+
 val tx_start : t -> Time.t
 
 val define : t -> Rule.spec -> (Rule.t, [> `Rule_error of string ]) result
@@ -74,6 +88,8 @@ val define_timer : t -> name:string -> period_lines:int -> Chimera_event.Event_t
     engine's logical time: it matures every [period_lines] transaction
     lines and contributes an external occurrence (on the reserved timer
     pseudo-object) to that line's block.  Returns the event type rules
-    subscribe to.  Raises [Invalid_argument] on a non-positive period. *)
+    subscribe to.  Registration is O(1); raises [Invalid_argument] on a
+    non-positive period or a duplicate timer name (two timers of the same
+    name would share an event type and double-fire per line). *)
 
 val timer_names : t -> string list

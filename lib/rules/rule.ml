@@ -7,8 +7,9 @@ open Chimera_event
 open Chimera_calculus
 open Chimera_optimizer
 
-(* Windows move only at consideration/reset, which drop the memo, so the
-   cached (node, instant) values stay sound in between. *)
+(* Windows move only at consideration/reset; the engine's shared memo
+   keys its cache by the window lower bound, so moving a window needs no
+   invalidation here. *)
 
 type coupling = Immediate | Deferred
 type consumption = Consuming | Preserving
@@ -36,9 +37,9 @@ type t = {
   mutable last_recomputation : Time.t;
       (** endpoint detection: when ts was last recomputed *)
   mutable last_sign_positive : bool;
-  mutable memo : (Memo.t * Memo.handle) option;
-      (** memoized-evaluation state (Trigger_support.memoize); valid for
-          the current window lower bound and event base only *)
+  mutable memo_handle : (Memo.t * Memo.handle) option;
+      (** the rule's event expression interned into the engine's shared
+          memo; handles survive restarts, so this is set once per memo *)
 }
 
 let spec t = t.spec
@@ -84,7 +85,7 @@ let make ~seqno ~tx_start spec =
           scan_from = tx_start;
           last_recomputation = Time.origin;
           last_sign_positive = false;
-          memo = None;
+          memo_handle = None;
         }
 
 (* Two distinct windows (the paper keeps them orthogonal):
@@ -112,8 +113,7 @@ let detrigger t ~at =
   | Preserving -> ());
   t.scan_from <- at;
   t.last_recomputation <- Time.origin;
-  t.last_sign_positive <- false;
-  t.memo <- None
+  t.last_sign_positive <- false
 
 let reset t ~tx_start =
   t.triggered <- false;
@@ -121,8 +121,7 @@ let reset t ~tx_start =
   t.last_consumption <- tx_start;
   t.scan_from <- tx_start;
   t.last_recomputation <- Time.origin;
-  t.last_sign_positive <- false;
-  t.memo <- None
+  t.last_sign_positive <- false
 
 let coupling_name = function Immediate -> "immediate" | Deferred -> "deferred"
 

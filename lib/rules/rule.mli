@@ -33,9 +33,10 @@ type t = {
   mutable last_recomputation : Time.t;
       (** endpoint detection: when ts was last recomputed *)
   mutable last_sign_positive : bool;
-  mutable memo : (Memo.t * Memo.handle) option;
-      (** memoized-evaluation state (see {!Trigger_support}); dropped
-          whenever the window's lower bound moves *)
+  mutable memo_handle : (Memo.t * Memo.handle) option;
+      (** the rule's event expression interned into the engine's shared
+          memo (see {!Trigger_support}); handles survive restarts, so
+          this is set once per memo *)
 }
 
 val spec : t -> spec

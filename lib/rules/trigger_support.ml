@@ -48,30 +48,33 @@ type config = {
   optimizer : bool;  (** consult V(E) before recomputing ts *)
   style : Ts.style;
   memoize : bool;
-      (** evaluate through per-rule memo tables over interned expressions
-          (sound: windows move only at consideration, which drops them) *)
+      (** evaluate through the engine's shared memo over interned
+          expressions (sound: the cache keys carry the window's lower
+          bound, so moving windows invalidate nothing).  The memoized
+          path uses the logical style; both styles agree on every
+          expression and instant (property-tested). *)
 }
 
 let default_config =
-  { detection = Exact; optimizer = true; style = Ts.Logical; memoize = false }
+  { detection = Exact; optimizer = true; style = Ts.Logical; memoize = true }
 
-(* One activation probe for [rule], through its memo when enabled. *)
-let rule_active config eb ~window ~at rule =
-  if config.memoize then begin
-    let memo, handle =
-      match rule.Rule.memo with
-      | Some ((m, _) as pair) when Memo.event_base m == eb -> pair
-      | _ ->
-          (* First probe for this window (or the log was compacted). *)
-          let m = Memo.create eb ~after:(Window.after window) in
-          let h = Memo.intern m rule.Rule.spec.event in
-          rule.Rule.memo <- Some (m, h);
-          (m, h)
-    in
-    Memo.active_handle memo ~at handle
-  end
+(* The rule's event expression interned into [memo] — once per memo;
+   handles survive restarts. *)
+let rule_handle memo rule =
+  match rule.Rule.memo_handle with
+  | Some (m, h) when m == memo -> h
+  | _ ->
+      let h = Memo.intern memo rule.Rule.spec.event in
+      rule.Rule.memo_handle <- Some (memo, h);
+      h
+
+(* One activation probe for [rule], through the shared memo when enabled. *)
+let rule_active config memo ~window ~at rule =
+  if config.memoize then
+    Memo.active_handle memo ~after:(Window.after window) ~at
+      (rule_handle memo rule)
   else
-    let env = Ts.env ~style:config.style eb ~window in
+    let env = Ts.env ~style:config.style (Memo.event_base memo) ~window in
     Ts.active env ~at rule.Rule.spec.event
 
 (* Is there, among the occurrences in (from, upto], one whose type is
@@ -100,8 +103,9 @@ let trigger stats rule =
 
 (* Check one rule after a block; [now] is a probe instant after every
    recorded occurrence. *)
-let check_rule config stats eb rule =
+let check_rule config stats memo rule =
   if not rule.Rule.triggered then begin
+    let eb = Memo.event_base memo in
     stats.checks <- stats.checks + 1;
     let after = Rule.trigger_window_start rule in
     let now = Event_base.probe_now eb in
@@ -126,7 +130,7 @@ let check_rule config stats eb rule =
             else begin
               stats.recomputations <- stats.recomputations + 1;
               stats.probes <- stats.probes + 1;
-              let positive = rule_active config eb ~window ~at:now rule in
+              let positive = rule_active config memo ~window ~at:now rule in
               rule.Rule.last_recomputation <- now;
               rule.Rule.last_sign_positive <- positive;
               if positive then trigger stats rule
@@ -160,7 +164,7 @@ let check_rule config stats eb rule =
                 List.exists
                   (fun at ->
                     stats.probes <- stats.probes + 1;
-                    rule_active config eb ~window ~at rule)
+                    rule_active config memo ~window ~at rule)
                   candidates
               in
               rule.Rule.scan_from <- now;
@@ -171,5 +175,5 @@ let check_rule config stats eb rule =
     end
   end
 
-let check_all config stats eb table =
-  Rule_table.iter (check_rule config stats eb) table
+let check_all config stats memo table =
+  Rule_table.iter (check_rule config stats memo) table

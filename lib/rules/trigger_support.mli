@@ -4,7 +4,6 @@
     sign. *)
 
 open Chimera_calculus
-open Chimera_event
 
 type detection =
   | Exact
@@ -32,18 +31,22 @@ type config = {
   optimizer : bool;  (** consult V(E) before recomputing ts *)
   style : Ts.style;
   memoize : bool;
-      (** evaluate ts through per-rule memo tables over interned
-          expressions (see {!Chimera_calculus.Memo}); behaviour-preserving
-          — windows move only at consideration, which drops the memo *)
+      (** evaluate ts through the shared memo over interned expressions
+          (see {!Chimera_calculus.Memo}); behaviour-preserving — cache
+          keys carry the window's lower bound, so moving windows
+          invalidate nothing.  The memoized path evaluates in the logical
+          style (both styles agree, property-tested). *)
 }
 
 val default_config : config
-(** Exact detection, optimizer on, logical style. *)
+(** Exact detection, optimizer on, logical style, memoized evaluation. *)
 
-val check_rule : config -> stats -> Event_base.t -> Rule.t -> unit
+val check_rule : config -> stats -> Memo.t -> Rule.t -> unit
 (** Checks one non-triggered rule at the current instant over its
     triggering window (events since its last consideration); sets its
     triggered flag when its event expression activated.  The R <> 0 gate
-    keeps negation rules reactive rather than active. *)
+    keeps negation rules reactive rather than active.  [memo] is the
+    shared evaluation cache bound to the engine's event base; it carries
+    the event base even when [memoize] is off. *)
 
-val check_all : config -> stats -> Event_base.t -> Rule_table.t -> unit
+val check_all : config -> stats -> Memo.t -> Rule_table.t -> unit

@@ -23,6 +23,10 @@ let get t i =
   if i < 0 || i >= t.len then invalid_arg "Vec.get: index out of bounds";
   t.data.(i)
 
+let set t i x =
+  if i < 0 || i >= t.len then invalid_arg "Vec.set: index out of bounds";
+  t.data.(i) <- x
+
 let last t = if t.len = 0 then None else Some t.data.(t.len - 1)
 
 let iter f t =

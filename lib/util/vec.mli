@@ -13,6 +13,10 @@ val push : 'a t -> 'a -> unit
 val get : 'a t -> int -> 'a
 (** Raises [Invalid_argument] out of bounds. *)
 
+val set : 'a t -> int -> 'a -> unit
+(** Replaces an existing element; raises [Invalid_argument] out of
+    bounds. *)
+
 val last : 'a t -> 'a option
 val iter : ('a -> unit) -> 'a t -> unit
 val iteri : (int -> 'a -> unit) -> 'a t -> unit

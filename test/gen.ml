@@ -113,5 +113,13 @@ let arb_history_and_exprs3 profile =
 let ts_env ?style eb =
   Ts.env ?style eb ~window:(Window.all ~upto:(Event_base.probe_now eb))
 
+(* Candidate window lower bounds covering every restart point of a
+   history: the transaction start plus the consumption instant right
+   after each event (where a consuming rule's window would move). *)
+let window_starts eb =
+  let window = Window.all ~upto:(Event_base.probe_now eb) in
+  let stamps = Event_base.timestamps_in eb ~window in
+  Time.origin :: List.map Time.probe_after stamps
+
 let qcheck ?(count = 300) name arb prop =
   QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)

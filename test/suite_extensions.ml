@@ -183,13 +183,14 @@ let memo_equals_ts =
     (fun (h, e) ->
       let eb = Gen.build_event_base h in
       let env = Gen.ts_env eb in
-      let memo = Memo.create eb ~after:Time.origin in
+      let memo = Memo.create eb in
+      let after = Time.origin in
       List.for_all
-        (fun at -> Ts.ts env ~at e = Memo.ts memo ~at e)
+        (fun at -> Ts.ts env ~at e = Memo.ts memo ~after ~at e)
         (Gen.probe_instants eb)
       (* Probe twice: cached answers must not drift. *)
       && List.for_all
-           (fun at -> Ts.ts env ~at e = Memo.ts memo ~at e)
+           (fun at -> Ts.ts env ~at e = Memo.ts memo ~after ~at e)
            (Gen.probe_instants eb))
 
 let test_memo_caches () =
@@ -199,20 +200,28 @@ let test_memo_caches () =
       (Expr.prim Gen.alphabet.(0))
       (Expr.seq (Expr.prim Gen.alphabet.(1)) (Expr.prim Gen.alphabet.(2)))
   in
-  let memo = Memo.create eb ~after:Time.origin in
+  let memo = Memo.create eb in
   let at = Event_base.probe_now eb in
-  let v1 = Memo.ts memo ~at e in
+  let v1 = Memo.ts memo ~after:Time.origin ~at e in
   let misses_after_first = Memo.misses memo in
-  let v2 = Memo.ts memo ~at e in
+  let v2 = Memo.ts memo ~after:Time.origin ~at e in
   Alcotest.(check int) "stable value" v1 v2;
   Alcotest.(check int) "second probe is pure hits" misses_after_first
     (Memo.misses memo);
   Alcotest.(check bool) "hits recorded" true (Memo.hits memo > 0);
-  (* Restart moves the window and invalidates. *)
-  Memo.restart memo ~after:at;
+  (* A moved window is just a different [after] key - no invalidation. *)
   let later = Time.probe_after at in
   Alcotest.(check bool) "restarted window sees empty R" false
-    (Memo.active memo ~at:later e)
+    (Memo.active memo ~after:at ~at:later e);
+  Alcotest.(check int) "old window still cached" v1
+    (Memo.ts memo ~after:Time.origin ~at e);
+  (* [restart] (the commit path) drops values, keeps graph and counters. *)
+  let nodes_before = Memo.node_count memo in
+  Memo.restart memo eb;
+  Alcotest.(check int) "graph survives restart" nodes_before
+    (Memo.node_count memo);
+  Alcotest.(check int) "values recomputed identically" v1
+    (Memo.ts memo ~after:Time.origin ~at e)
 
 (* ------------------------------------------------------------ timers *)
 
@@ -323,16 +332,16 @@ let memo_restart_equals_ts =
           ~window:(Window.all ~upto:(Event_base.probe_now eb))
       in
       let consumption = Time.probe_after (List.nth stamps (cut mod List.length stamps)) in
-      let memo = Memo.create eb ~after:Time.origin in
-      (* Prime the cache over the whole history, then consume. *)
-      ignore (Memo.ts memo ~at:(Event_base.probe_now eb) e);
-      Memo.restart memo ~after:consumption;
+      let memo = Memo.create eb in
+      (* Prime the cache over the whole history; the moved window is just a
+         different [after] key, so nothing needs invalidating. *)
+      ignore (Memo.ts memo ~after:Time.origin ~at:(Event_base.probe_now eb) e);
       let env =
         Ts.env eb
           ~window:(Window.make ~after:consumption ~upto:(Event_base.probe_now eb))
       in
       List.for_all
-        (fun at -> Ts.ts env ~at e = Memo.ts memo ~at e)
+        (fun at -> Ts.ts env ~at e = Memo.ts memo ~after:consumption ~at e)
         (List.filter (fun at -> Time.(at > consumption)) (Gen.probe_instants eb)))
 
 let suite = suite @ [ memo_restart_equals_ts ]

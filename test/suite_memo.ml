@@ -1,0 +1,195 @@
+(* The shared memoized evaluation path (the engine default): equivalence
+   with both plain styles over every window restart point, engine-level
+   equivalence across detrigger/commit/compaction boundaries, cross-rule
+   structural sharing, eviction transparency, and the O(1)
+   duplicate-rejecting timer registry. *)
+
+open Core
+
+(* ------------------------------------------------- style equivalence *)
+
+(* The tentpole property: for every generated history and expression, the
+   memoized evaluator agrees with both provably-equal plain styles at
+   every (window start, probe instant) pair — and cached answers do not
+   drift on a second probe. *)
+let memo_equals_both_styles =
+  Gen.qcheck ~count:200 "memo = logical = algebraic over moving windows"
+    (Gen.arb_history_and_expr Gen.Full)
+    (fun (h, e) ->
+      let eb = Gen.build_event_base h in
+      let memo = Memo.create eb in
+      let upto = Event_base.probe_now eb in
+      let instants = Gen.probe_instants eb in
+      List.for_all
+        (fun after ->
+          let window = Window.make ~after ~upto in
+          let logical = Ts.env ~style:Ts.Logical eb ~window in
+          let algebraic = Ts.env ~style:Ts.Algebraic eb ~window in
+          List.for_all
+            (fun at ->
+              let v = Memo.ts memo ~after ~at e in
+              v = Ts.ts logical ~at e
+              && v = Ts.ts algebraic ~at e
+              (* probe twice: the cached answer must not drift *)
+              && v = Memo.ts memo ~after ~at e)
+            instants)
+        (Gen.window_starts eb))
+
+(* Instance-oriented formulas through the cache: the [occurred] and [at]
+   condition atoms must see the same objects and instants. *)
+let memo_formulas_equal_ts =
+  Gen.qcheck ~count:200 "memoized occurred/at = plain"
+    (QCheck.make
+       ~print:(fun (h, e) ->
+         Printf.sprintf "history=[%s] expr=%s" (Gen.print_history h)
+           (Expr.inst_to_string e))
+       QCheck.Gen.(pair Gen.gen_history Gen.gen_inst_expr))
+    (fun (h, e) ->
+      let eb = Gen.build_event_base h in
+      let memo = Memo.create eb in
+      let at = Event_base.probe_now eb in
+      List.for_all
+        (fun after ->
+          let window = Window.make ~after ~upto:at in
+          let env = Ts.env eb ~window in
+          let plain_objs = List.sort compare (Ts.occurred_objects env ~at e) in
+          let memo_objs =
+            List.sort compare (Memo.occurred_objects memo ~after ~at e)
+          in
+          plain_objs = memo_objs
+          && List.for_all
+               (fun oid ->
+                 Ts.occurrence_instants env ~at e oid
+                 = Memo.occurrence_instants memo ~after ~at e oid)
+               plain_objs)
+        (Gen.window_starts eb))
+
+(* Eviction transparency: a cache too small to hold anything still gives
+   the right answers (values are dropped, never corrupted). *)
+let memo_eviction_transparent =
+  Gen.qcheck ~count:150 "eviction keeps answers exact"
+    (Gen.arb_history_and_expr Gen.Full)
+    (fun (h, e) ->
+      let eb = Gen.build_event_base h in
+      let memo = Memo.create ~max_entries:2 eb in
+      let env = Gen.ts_env eb in
+      List.for_all
+        (fun at -> Ts.ts env ~at e = Memo.ts memo ~after:Time.origin ~at e)
+        (Gen.probe_instants eb))
+
+(* --------------------------------------------- engine-level equality *)
+
+(* The same random inventory traffic through two engines differing only
+   in [memoize]; stores and counters must end identical.  With
+   [compact_at_commit = Some 1] every commit also swaps the event base,
+   exercising the [Memo.restart] rebind path. *)
+let drive_inventory ~memoize ~compact =
+  let config =
+    {
+      Engine.default_config with
+      Engine.compact_at_commit = (if compact then Some 1 else None);
+      trigger =
+        { Trigger_support.default_config with Trigger_support.memoize };
+    }
+  in
+  let engine = Scenario.engine ~config () in
+  let ok = function
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "engine error: %a" Engine.pp_error e
+  in
+  List.iter
+    (fun seed ->
+      let prng = Prng.create ~seed in
+      Scenario.run_inventory_traffic prng engine ~lines:30 ~ops_per_line:3;
+      ok (Engine.commit engine))
+    [ 4242; 777; 31337 ];
+  let store = Engine.store engine in
+  let dump class_name =
+    List.map
+      (fun oid ->
+        let quantity =
+          match Object_store.get store oid ~attribute:"quantity" with
+          | Ok v -> Value.to_string v
+          | Error _ -> "-"
+        in
+        (Ident.Oid.to_int oid, quantity))
+      (Object_store.extent store ~class_name)
+  in
+  let stats = Engine.statistics engine in
+  ( dump "stock",
+    dump "stockOrder",
+    (stats.Engine.executions, stats.Engine.considerations, stats.Engine.events),
+    stats )
+
+let test_engine_equivalence ~compact () =
+  let s_on, o_on, c_on, stats_on = drive_inventory ~memoize:true ~compact in
+  let s_off, o_off, c_off, _ = drive_inventory ~memoize:false ~compact in
+  Alcotest.(check (list (pair int string))) "stock store identical" s_off s_on;
+  Alcotest.(check (list (pair int string)))
+    "stockOrder store identical" o_off o_on;
+  let pp_counts (e, c, v) = Printf.sprintf "exec=%d cons=%d events=%d" e c v in
+  Alcotest.(check string) "counters identical" (pp_counts c_off)
+    (pp_counts c_on);
+  Alcotest.(check bool) "memoized path did cache" true
+    (stats_on.Engine.memo_hits > 0)
+
+(* ------------------------------------------------ cross-rule sharing *)
+
+let test_structural_sharing () =
+  let eb = Event_base.create () in
+  let memo = Memo.create eb in
+  let a = Expr.prim Gen.alphabet.(0) and b = Expr.prim Gen.alphabet.(1) in
+  let shared = Expr.conj a b in
+  let _r1 = Memo.intern memo shared in
+  let n1 = Memo.node_count memo in
+  (* A second "rule" reusing the subexpression adds only its new nodes. *)
+  let _r2 = Memo.intern memo (Expr.seq shared (Expr.prim Gen.alphabet.(2))) in
+  Alcotest.(check int) "two nodes added" (n1 + 2) (Memo.node_count memo);
+  let _r3 = Memo.intern memo shared in
+  Alcotest.(check int) "re-interning adds nothing" (n1 + 2)
+    (Memo.node_count memo)
+
+let test_engine_exposes_memo_counters () =
+  let engine = Scenario.engine () in
+  let prng = Prng.create ~seed:7 in
+  Scenario.run_inventory_traffic prng engine ~lines:10 ~ops_per_line:3;
+  let stats = Engine.statistics engine in
+  Alcotest.(check bool) "nodes interned" true (stats.Engine.memo_nodes > 0);
+  Alcotest.(check bool) "probes went through the cache" true
+    (stats.Engine.memo_hits + stats.Engine.memo_misses > 0);
+  Alcotest.(check int) "engine memo is the shared one"
+    stats.Engine.memo_nodes
+    (Memo.node_count (Engine.memo engine))
+
+(* -------------------------------------------------------- timers *)
+
+let test_duplicate_timer_rejected () =
+  let engine = Engine.create (Schema.create ()) in
+  let _ = Engine.define_timer engine ~name:"tick" ~period_lines:3 in
+  (match Engine.define_timer engine ~name:"tick" ~period_lines:5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate timer name accepted");
+  Alcotest.(check (list string)) "registry unchanged by rejection"
+    [ "tick" ]
+    (Engine.timer_names engine);
+  let _ = Engine.define_timer engine ~name:"tock" ~period_lines:2 in
+  Alcotest.(check (list string)) "definition order preserved"
+    [ "tick"; "tock" ]
+    (Engine.timer_names engine)
+
+let suite =
+  [
+    memo_equals_both_styles;
+    memo_formulas_equal_ts;
+    memo_eviction_transparent;
+    Alcotest.test_case "engine: memo on = off" `Quick
+      (test_engine_equivalence ~compact:false);
+    Alcotest.test_case "engine: memo on = off under compaction" `Quick
+      (test_engine_equivalence ~compact:true);
+    Alcotest.test_case "cross-rule structural sharing" `Quick
+      test_structural_sharing;
+    Alcotest.test_case "engine exposes memo counters" `Quick
+      test_engine_exposes_memo_counters;
+    Alcotest.test_case "duplicate timer rejected" `Quick
+      test_duplicate_timer_rejected;
+  ]

@@ -313,7 +313,7 @@ let condition_order_independent =
       let at = Event_base.probe_now eb in
       let env = Ts.env eb ~window:(Window.all ~upto:at) in
       let eval atoms =
-        match Condition.eval (Engine.store engine) env ~at atoms with
+        match Condition.eval (Engine.store engine) (Condition.Recompute env) ~at atoms with
         | Ok envs ->
             List.sort compare
               (List.filter_map
