@@ -48,6 +48,7 @@ let seed_of_experiment = function
   | "e5" -> 505
   | "e6" -> 606
   | "e8" -> 808
+  | "e9" -> 909
   | _ -> 7
 
 (* ------------------------------------------------ machine-readable *)

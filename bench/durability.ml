@@ -1,0 +1,131 @@
+(* E9: write-ahead journaling overhead — the fsync-policy ablation of
+   the durability layer (DESIGN.md "Durable transactions").
+
+   Identical inventory traffic per row (same seed, same rule set); only
+   the journal attachment differs: none, fsync never (buffered appends
+   only), fsync per commit (the default — one durability point per
+   transaction), fsync per write (every block forced to disk).  The
+   no-journal row is the baseline the overhead is measured against. *)
+
+open Core
+
+type policy = No_journal | Sync of Journal.sync_policy
+
+let policy_label = function
+  | No_journal -> "none"
+  | Sync Journal.Never -> "never"
+  | Sync Journal.Per_commit -> "per-commit"
+  | Sync Journal.Per_write -> "per-write"
+
+let transactions = 8
+let lines_per_tx = 40
+let ops_per_line = 3
+
+(* One full measured run: fresh engine, fresh journal file, [transactions]
+   committed transactions of seeded traffic. *)
+let run_once ~seed policy =
+  let engine = Scenario.engine () in
+  let journal =
+    match policy with
+    | No_journal -> None
+    | Sync sync ->
+        let path = Filename.temp_file "chimera-e9" ".chj" in
+        let j = Journal.create ~sync ~path () in
+        Engine.set_journal engine j;
+        Some j
+  in
+  let prng = Prng.create ~seed in
+  let elapsed, () =
+    Bench_util.time_once_ns (fun () ->
+        for _ = 1 to transactions do
+          Scenario.run_inventory_traffic prng engine ~lines:lines_per_tx
+            ~ops_per_line;
+          Engine.commit_exn engine
+        done)
+  in
+  let counters = Option.map Journal.counters journal in
+  Option.iter
+    (fun j ->
+      Journal.close j;
+      try Sys.remove (Journal.path j) with Sys_error _ -> ())
+    journal;
+  (elapsed, counters)
+
+(* Minimum of [runs] fresh runs: engines are stateful, so repetition means
+   rebuilding, not re-entering. *)
+let measure ~seed ?(runs = 3) policy =
+  let best = ref infinity in
+  let counters = ref None in
+  for _ = 1 to runs do
+    let elapsed, c = run_once ~seed policy in
+    if elapsed < !best then begin
+      best := elapsed;
+      counters := c
+    end
+  done;
+  (!best, !counters)
+
+let e9 () =
+  Bench_util.print_header "E9: write-ahead journal overhead (fsync policy)";
+  Bench_util.print_note
+    "Identical seeded inventory traffic per row; only the journal\n\
+     attachment differs.  8 transactions x 40 lines x 3 ops; min of 3\n\
+     fresh runs.  'per-commit' is the default durability point (one\n\
+     fsync per transaction); 'per-write' forces every block.";
+  let seed = Bench_util.seed_of_experiment "e9" in
+  let table =
+    Pretty.table
+      ~title:
+        (Printf.sprintf "journaling: %d tx x %d lines x %d ops" transactions
+           lines_per_tx ops_per_line)
+      ~header:
+        [ "journal"; "total"; "per line"; "overhead"; "fsyncs"; "bytes" ]
+      ~aligns:
+        [ Pretty.Left; Pretty.Right; Pretty.Right; Pretty.Right; Pretty.Right;
+          Pretty.Right ]
+      ()
+  in
+  let json_rows = ref [] in
+  let lines_total = transactions * lines_per_tx in
+  let baseline = ref nan in
+  List.iter
+    (fun policy ->
+      let total, counters = measure ~seed policy in
+      if policy = No_journal then baseline := total;
+      let per_line = total /. float_of_int lines_total in
+      let overhead =
+        if policy = No_journal then "1.00x"
+        else Printf.sprintf "%.2fx" (total /. !baseline)
+      in
+      let fsyncs, bytes =
+        match counters with
+        | None -> (0, 0)
+        | Some c -> (c.Journal.syncs, c.Journal.bytes_written)
+      in
+      Pretty.add_row table
+        [
+          policy_label policy;
+          Pretty.ns_cell total;
+          Pretty.ns_cell per_line;
+          overhead;
+          string_of_int fsyncs;
+          string_of_int bytes;
+        ];
+      json_rows :=
+        Bench_util.(
+          J_obj
+            [
+              ("policy", J_string (policy_label policy));
+              ("total_ns", J_float total);
+              ("ns_per_line", J_float per_line);
+              ("overhead", J_float (total /. !baseline));
+              ("fsyncs", J_int fsyncs);
+              ("bytes_written", J_int bytes);
+              ("transactions", J_int transactions);
+              ("lines", J_int lines_total);
+            ])
+        :: !json_rows)
+    [ No_journal; Sync Journal.Never; Sync Journal.Per_commit;
+      Sync Journal.Per_write ];
+  print_string (Pretty.render table);
+  Bench_util.write_json ~experiment:"e9" (List.rev !json_rows)

@@ -23,6 +23,7 @@ let experiments =
     ("e6", "engine throughput", Perf.e6);
     ("e7", "memoized ts ablation", Perf.e7);
     ("e8", "shared memo engine path", Perf.e8);
+    ("e9", "journaling overhead (fsync policy)", Durability.e9);
     ("micro", "bechamel micro-benchmarks", Micro.run);
   ]
 

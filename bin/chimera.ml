@@ -17,29 +17,86 @@ let read_file path =
 
 (* ------------------------------------------------------------- run *)
 
-let run_script trace path =
+let fsync_policy_conv =
+  let parse = function
+    | "write" -> Ok Journal.Per_write
+    | "commit" -> Ok Journal.Per_commit
+    | "never" -> Ok Journal.Never
+    | s -> Error (`Msg (Printf.sprintf "unknown fsync policy %s (write|commit|never)" s))
+  in
+  let print ppf p =
+    Format.pp_print_string ppf
+      (match p with
+      | Journal.Per_write -> "write"
+      | Journal.Per_commit -> "commit"
+      | Journal.Never -> "never")
+  in
+  Arg.conv (parse, print)
+
+let fsync_arg =
+  Arg.(
+    value
+    & opt fsync_policy_conv Journal.Per_commit
+    & info [ "fsync" ] ~docv:"POLICY"
+        ~doc:
+          "Journal fsync policy: $(b,write) (every block), $(b,commit) \
+           (markers only, the default) or $(b,never).")
+
+let print_stats interp =
+  let stats = Engine.statistics (Interp.engine interp) in
+  Printf.printf
+    "-- %d line(s), %d event(s), %d consideration(s), %d execution(s)\n"
+    stats.Engine.lines stats.Engine.events stats.Engine.considerations
+    stats.Engine.executions;
+  Printf.printf "-- memo: %d hit(s), %d miss(es), %d node(s)\n"
+    stats.Engine.memo_hits stats.Engine.memo_misses stats.Engine.memo_nodes;
+  (match Engine.journal (Interp.engine interp) with
+  | None -> ()
+  | Some j ->
+      let c = Journal.counters j in
+      Printf.printf
+        "-- journal: %d record(s), %d commit(s), %d fsync(s), %d rotation(s), %d byte(s) -> %s\n"
+        c.Journal.appends c.Journal.commits c.Journal.syncs
+        c.Journal.rotations c.Journal.bytes_written (Journal.path j));
+  Printf.printf "-- %s\n"
+    (Fmt.str "%a" Event_stats.pp
+       (Event_stats.of_event_base (Engine.event_base (Interp.engine interp))))
+
+let run_script trace journal_path fsync path =
   if trace then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Debug)
   end;
   let interp = Interp.create () in
+  let journal =
+    Option.map
+      (fun path ->
+        let j = Journal.create ~sync:fsync ~path () in
+        Engine.set_journal (Interp.engine interp) j;
+        j)
+      journal_path
+  in
+  let finish result =
+    Option.iter Journal.close journal;
+    result
+  in
   match Interp.run_string interp (read_file path) with
   | Ok () ->
       print_string (Interp.output interp);
-      let stats = Engine.statistics (Interp.engine interp) in
-      Printf.printf
-        "-- %d line(s), %d event(s), %d consideration(s), %d execution(s)\n"
-        stats.Engine.lines stats.Engine.events stats.Engine.considerations
-        stats.Engine.executions;
-      Printf.printf "-- memo: %d hit(s), %d miss(es), %d node(s)\n"
-        stats.Engine.memo_hits stats.Engine.memo_misses stats.Engine.memo_nodes;
-      Printf.printf "-- %s\n"
-        (Fmt.str "%a" Event_stats.pp
-           (Event_stats.of_event_base (Engine.event_base (Interp.engine interp))));
-      `Ok ()
+      print_stats interp;
+      finish (`Ok ())
   | Error msg ->
       print_string (Interp.output interp);
-      `Error (false, msg)
+      finish (`Error (false, msg))
+
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"PATH"
+        ~doc:
+          "Write-ahead journal file: every transaction is made durable and \
+           $(b,chimera recover) can rebuild the state after a crash.")
 
 let run_cmd =
   let path =
@@ -50,7 +107,87 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a Chimera rule script")
-    Term.(ret (const run_script $ trace $ path))
+    Term.(ret (const run_script $ trace $ journal_arg $ fsync_arg $ path))
+
+(* --------------------------------------------------------- recover *)
+
+(* Replays a script's definitions (classes, triggers, timers) without
+   executing any transaction line, then rebuilds the state after the
+   last committed transaction from the journal. *)
+let recover_from_journal journal_path script_path =
+  match Lang_parser.parse (read_file script_path) with
+  | Error msg -> `Error (false, msg)
+  | Ok script -> (
+      let interp = Interp.create () in
+      let definitions =
+        List.filter
+          (function
+            | Lang_ast.Define_class _ | Lang_ast.Define_trigger _
+            | Lang_ast.Define_timer _ ->
+                true
+            | _ -> false)
+          script
+      in
+      let defined =
+        List.fold_left
+          (fun acc stmt ->
+            match acc with
+            | Error _ -> acc
+            | Ok () -> Interp.run_statement interp stmt)
+          (Ok ()) definitions
+      in
+      match defined with
+      | Error msg -> `Error (false, msg)
+      | Ok () -> (
+          match Engine.recover (Interp.engine interp) ~path:journal_path with
+          | Error msg -> `Error (false, msg)
+          | Ok report ->
+              Printf.printf
+                "recovered %d transaction(s) (last commit seq %d), %d record(s)\n"
+                report.Engine.recovered_commits report.Engine.last_commit_seq
+                report.Engine.recovered_entries;
+              if report.Engine.dropped_entries > 0 || report.Engine.dropped_bytes > 0
+              then
+                Printf.printf
+                  "dropped %d uncommitted record(s) and %d torn byte(s)\n"
+                  report.Engine.dropped_entries report.Engine.dropped_bytes;
+              let store = Engine.store (Interp.engine interp) in
+              Printf.printf "store: %d live object(s)\n"
+                (Object_store.count_live store);
+              List.iter
+                (fun (oid, class_name, deleted, _attrs) ->
+                  if not deleted then
+                    Printf.printf "  %s\n"
+                      (Fmt.str "%a" (Object_store.pp_object store) oid)
+                  else
+                    Printf.printf "  o%d: deleted (%s)\n"
+                      (Ident.Oid.to_int oid) class_name)
+                (Object_store.dump_objects store);
+              Printf.printf "events: %d occurrence(s) in the log\n"
+                (Event_base.size (Engine.event_base (Interp.engine interp)));
+              `Ok ()))
+
+let recover_cmd =
+  let journal =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"JOURNAL" ~doc:"Journal file written by $(b,run --journal).")
+  in
+  let script =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"SCRIPT"
+          ~doc:
+            "The script whose definitions (classes, triggers, timers) the \
+             journal was recorded under; its transaction lines are not \
+             executed.")
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:"Rebuild the state after the last committed transaction from a journal")
+    Term.(ret (const recover_from_journal $ journal $ script))
 
 (* ------------------------------------------------------------ eval *)
 
@@ -193,6 +330,7 @@ let repl_cmd =
 
 let main_cmd =
   let doc = "Composite events in Chimera (EDBT 1996) - reproduction CLI" in
-  Cmd.group (Cmd.info "chimera" ~doc) [ run_cmd; eval_cmd; analyze_cmd; graph_cmd; repl_cmd ]
+  Cmd.group (Cmd.info "chimera" ~doc)
+    [ run_cmd; recover_cmd; eval_cmd; analyze_cmd; graph_cmd; repl_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -9,6 +9,7 @@ module Ident = Chimera_util.Ident
 module Prng = Chimera_util.Prng
 module Pretty = Chimera_util.Pretty
 module Vec = Chimera_util.Vec
+module Failpoint = Chimera_util.Failpoint
 
 (* Event substrate. *)
 module Event_type = Chimera_event.Event_type
@@ -17,6 +18,7 @@ module Event_base = Chimera_event.Event_base
 module Window = Chimera_event.Window
 module Event_codec = Chimera_event.Event_codec
 module Event_stats = Chimera_event.Event_stats
+module Journal = Chimera_event.Journal
 
 (* The event calculus: the paper's contribution. *)
 module Expr = Chimera_calculus.Expr
@@ -38,6 +40,7 @@ module Schema = Chimera_store.Schema
 module Object_store = Chimera_store.Object_store
 module Operation = Chimera_store.Operation
 module Query = Chimera_store.Query
+module Store_codec = Chimera_store.Store_codec
 
 (* Active-rule subsystem. *)
 module Rule = Chimera_rules.Rule

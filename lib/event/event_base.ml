@@ -118,6 +118,32 @@ let record_at t ~etype ~oid ~timestamp =
   insert t occ;
   occ
 
+(* Rollback support: forget every occurrence strictly after [instant] and
+   rewind the clock and EID generator, so the log is exactly what it was
+   when [instant] was the present.  Every index is append-only in
+   timestamp order, so each one is cut with a single binary search; the
+   per-object registry is in first-seen order, so objects first seen
+   after the cut form a suffix. *)
+let truncate_to t ~instant =
+  let cut v ~key = Vec.truncate v (Vec.bisect_right v ~key instant + 1) in
+  cut t.log ~key:Occurrence.timestamp;
+  Event_type.Tbl.iter (fun _ v -> cut v ~key:Occurrence.timestamp) t.by_type;
+  Type_oid_tbl.iter (fun _ v -> cut v ~key:(fun x -> x)) t.by_type_oid;
+  Hashtbl.iter (fun _ v -> cut v ~key:(fun x -> x)) t.by_oid;
+  let rec drop_fresh_oids () =
+    match Vec.last t.oid_registry with
+    | Some key when Vec.is_empty (Hashtbl.find t.by_oid key) ->
+        Hashtbl.remove t.by_oid key;
+        Vec.truncate t.oid_registry (Vec.length t.oid_registry - 1);
+        drop_fresh_oids ()
+    | Some _ | None -> ()
+  in
+  drop_fresh_oids ();
+  Time.Clock.rewind_to t.clock instant;
+  (* EIDs are issued densely, one per logged occurrence, so the undone
+     ones are exactly those beyond the remaining length. *)
+  Ident.Eid.rewind t.eids ~count:(Vec.length t.log)
+
 let clipped_upper window ~at = Time.min at (Window.upto window)
 
 (* Timestamp of the most recent occurrence of [etype] inside [window],

@@ -24,6 +24,12 @@ val record_at :
 (** Appends at a caller-chosen instant, which must be a strictly increasing
     event instant; used by tests and workload replay. *)
 
+val truncate_to : t -> instant:Time.t -> unit
+(** Forgets every occurrence strictly after [instant] (across the log and
+    all indexes) and rewinds the clock and EID generator, leaving the
+    event base exactly as it was when [instant] was the present — the
+    abort/rollback path. *)
+
 val last_of_type :
   t -> etype:Event_type.t -> window:Window.t -> at:Time.t -> Time.t option
 (** Timestamp of the most recent occurrence of [etype] within [window]

@@ -29,6 +29,19 @@ let to_string eb =
   Buffer.contents buf
 
 let ( let* ) = Result.bind
+let occurrence_line = encode_line
+
+(* Parses one occurrence line without positional context: the journal
+   frames these lines as its "ev" payloads. *)
+let parse_occurrence_line line =
+  match String.split_on_char '\t' line with
+  | [ _eid; etype_text; oid_text; timestamp_text ] -> (
+      let* etype = Event_type.of_string etype_text in
+      match (int_of_string_opt oid_text, int_of_string_opt timestamp_text) with
+      | Some oid, Some timestamp ->
+          Ok (etype, Ident.Oid.of_int oid, Time.of_int timestamp)
+      | _ -> Error (Printf.sprintf "malformed numbers in %S" line))
+  | _ -> Error (Printf.sprintf "expected 4 tab-separated fields in %S" line)
 
 let decode_line lineno line =
   match String.split_on_char '\t' line with
@@ -68,17 +81,30 @@ let of_string text =
       Ok eb
   | _ -> Error "missing chimera-event-base header"
 
+(* File variants surface I/O failures (missing or unwritable paths) as
+   [Error] carrying the path, never as a raised [Sys_error]. *)
 let write_file eb ~path =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (to_string eb))
+  match open_out_bin path with
+  | exception Sys_error msg -> Error (Printf.sprintf "cannot write %s: %s" path msg)
+  | oc -> (
+      match
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc (to_string eb))
+      with
+      | () -> Ok ()
+      | exception Sys_error msg ->
+          Error (Printf.sprintf "cannot write %s: %s" path msg))
 
 let read_file path =
-  let ic = open_in_bin path in
-  let text =
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
-  of_string text
+  match open_in_bin path with
+  | exception Sys_error msg -> Error (Printf.sprintf "cannot read %s: %s" path msg)
+  | ic -> (
+      match
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with
+      | text -> of_string text
+      | exception Sys_error msg ->
+          Error (Printf.sprintf "cannot read %s: %s" path msg))

@@ -3,11 +3,27 @@
     replayed.  Timestamps are preserved exactly; EIDs are reassigned
     densely on load. *)
 
+open Chimera_util
+
 val to_string : Event_base.t -> string
 
 val of_string : string -> (Event_base.t, string) result
 (** Validates the header, field shapes, timestamp monotonicity and the
     even-instant discipline; errors carry line numbers. *)
 
-val write_file : Event_base.t -> path:string -> unit
+val write_file : Event_base.t -> path:string -> (unit, string) result
+(** [Error] (carrying the path) on unwritable destinations — never
+    raises [Sys_error]. *)
+
 val read_file : string -> (Event_base.t, string) result
+(** [Error] (carrying the path) on missing or unreadable files — never
+    raises [Sys_error]. *)
+
+val occurrence_line : Occurrence.t -> string
+(** One occurrence in the line format (no header/newline); the journal
+    frames these as its ["ev"] payloads. *)
+
+val parse_occurrence_line :
+  string -> (Event_type.t * Ident.Oid.t * Time.t, string) result
+(** Parses one {!occurrence_line} (EIDs are reassigned on replay, so only
+    the type, object and instant are returned). *)

@@ -1,0 +1,351 @@
+(* The write-ahead event journal: an append-only on-disk log of framed
+   records with commit/abort markers, a configurable fsync policy and
+   checkpoint-based segment rotation.
+
+   The journal is payload-agnostic: records are (tag, payload) strings —
+   the engine writes operations with [Store_codec] lines and occurrences
+   with [Event_codec] lines — framed one per line as
+
+       <len> TAB <crc32> TAB <tag> [TAB <payload>] NL
+
+   under a versioned header.  The framing makes torn tails detectable:
+   recovery accepts the longest prefix of intact records, replays the
+   transactions closed by a commit marker, and reports exactly what was
+   dropped (uncommitted records and torn bytes).
+
+   Durability boundaries are instrumented with [Failpoint] sites
+   ("journal.write", "journal.fsync", "journal.rename"), so the recovery
+   property tests can crash at every one of them, including mid-write
+   (torn records). *)
+
+open Chimera_util
+
+let header = "# chimera-journal v1"
+
+(* ------------------------------------------------------------- crc32 *)
+
+(* Standard reflected CRC-32 (polynomial 0xEDB88320), table-driven. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch -> c := table.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF
+
+(* ------------------------------------------------------------- types *)
+
+type sync_policy = Per_write | Per_commit | Never
+
+type counters = {
+  appends : int;
+  commits : int;
+  syncs : int;
+  rotations : int;
+  bytes_written : int;
+}
+
+type t = {
+  path : string;
+  sync : sync_policy;
+  mutable oc : out_channel;
+  mutable pending : (string * string) list;  (** newest first, not yet on disk *)
+  mutable commit_seq : int;
+  mutable appends : int;
+  mutable commits : int;
+  mutable syncs : int;
+  mutable rotations : int;
+  mutable bytes_written : int;
+  mutable closed : bool;
+}
+
+let counters t =
+  {
+    appends = t.appends;
+    commits = t.commits;
+    syncs = t.syncs;
+    rotations = t.rotations;
+    bytes_written = t.bytes_written;
+  }
+
+let commit_seq t = t.commit_seq
+let path t = t.path
+
+(* ---------------------------------------------------- physical layer *)
+
+let encode_record ~tag payload =
+  let body = if payload = "" then tag else tag ^ "\t" ^ payload in
+  Printf.sprintf "%d\t%d\t%s\n" (String.length body) (crc32 body) body
+
+(* One write boundary.  A failpoint landing here persists a strict prefix
+   of the bytes (flushed, so the torn record is on disk) and crashes. *)
+let write_string t s =
+  (match Failpoint.cut "journal.write" ~len:(String.length s) with
+  | None -> output_string t.oc s
+  | Some keep ->
+      output_string t.oc (String.sub s 0 keep);
+      flush t.oc;
+      Failpoint.crash "journal.write");
+  t.bytes_written <- t.bytes_written + String.length s
+
+let fsync_channel oc = Unix.fsync (Unix.descr_of_out_channel oc)
+
+(* One fsync boundary: a failpoint landing here crashes after the write
+   reached the channel but before it was forced to disk. *)
+let fsync t =
+  Failpoint.hit "journal.fsync";
+  flush t.oc;
+  fsync_channel t.oc;
+  t.syncs <- t.syncs + 1
+
+let sync t =
+  flush t.oc;
+  fsync_channel t.oc;
+  t.syncs <- t.syncs + 1
+
+(* ------------------------------------------------------------ opening *)
+
+let open_segment path =
+  open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 path
+
+let create ?(sync = Per_commit) ~path () =
+  let t =
+    {
+      path;
+      sync;
+      oc = open_segment path;
+      pending = [];
+      commit_seq = 0;
+      appends = 0;
+      commits = 0;
+      syncs = 0;
+      rotations = 0;
+      bytes_written = 0;
+      closed = false;
+    }
+  in
+  write_string t (header ^ "\n");
+  fsync t;
+  t
+
+let check_open t = if t.closed then invalid_arg "Journal: already closed"
+
+(* --------------------------------------------------- logical records *)
+
+let valid_tag tag =
+  tag <> ""
+  && not (String.exists (fun c -> c = '\t' || c = '\n' || c = '\r') tag)
+
+let append t ~tag payload =
+  check_open t;
+  if not (valid_tag tag) then invalid_arg "Journal.append: malformed tag";
+  if String.contains payload '\n' || String.contains payload '\r' then
+    invalid_arg "Journal.append: payload contains a newline";
+  t.pending <- (tag, payload) :: t.pending;
+  t.appends <- t.appends + 1
+
+(* Writes the pending records of the current block in one batch; the
+   block either reaches the file whole or (on rollback) not at all. *)
+let flush_block t =
+  check_open t;
+  match t.pending with
+  | [] -> ()
+  | pending ->
+      let buf = Buffer.create 256 in
+      List.iter
+        (fun (tag, payload) -> Buffer.add_string buf (encode_record ~tag payload))
+        (List.rev pending);
+      t.pending <- [];
+      write_string t (Buffer.contents buf);
+      flush t.oc;
+      if t.sync = Per_write then fsync t
+
+let drop_block t =
+  check_open t;
+  t.pending <- []
+
+let write_marker t tag payload =
+  write_string t (encode_record ~tag payload);
+  flush t.oc;
+  match t.sync with
+  | Per_write | Per_commit -> fsync t
+  | Never -> ()
+
+let commit t =
+  check_open t;
+  flush_block t;
+  write_marker t "commit" (string_of_int (t.commit_seq + 1));
+  t.commit_seq <- t.commit_seq + 1;
+  t.commits <- t.commits + 1
+
+(* An abort discards the pending block and records a durable marker, so
+   flushed records of the aborted transaction are skipped on replay even
+   once a later transaction commits. *)
+let abort t =
+  check_open t;
+  t.pending <- [];
+  write_marker t "abort" ""
+
+(* ----------------------------------------------------------- rotation *)
+
+(* Replaces the whole journal by a fresh segment whose base records (a
+   checkpoint of the committed state) stand for everything logged so
+   far.  The segment is prepared aside, fsynced, and atomically renamed
+   over the live path: a crash anywhere leaves either the old journal or
+   the complete new one. *)
+let rotate t ~base =
+  check_open t;
+  t.pending <- [];
+  let tmp = t.path ^ ".rotating" in
+  let oc = open_segment tmp in
+  let previous = t.oc in
+  t.oc <- oc;
+  Fun.protect
+    ~finally:(fun () -> if t.oc == oc then () else close_out_noerr oc)
+    (fun () ->
+      write_string t (header ^ "\n");
+      let buf = Buffer.create 1024 in
+      List.iter
+        (fun (tag, payload) -> Buffer.add_string buf (encode_record ~tag payload))
+        base;
+      Buffer.add_string buf
+        (encode_record ~tag:"commit" (string_of_int (t.commit_seq + 1)));
+      write_string t (Buffer.contents buf);
+      fsync t;
+      Failpoint.hit "journal.rename";
+      Sys.rename tmp t.path;
+      close_out_noerr previous;
+      t.commit_seq <- t.commit_seq + 1;
+      t.commits <- t.commits + 1;
+      t.rotations <- t.rotations + 1;
+      t.appends <- t.appends + List.length base)
+
+let close t =
+  if not t.closed then begin
+    flush_block t;
+    flush t.oc;
+    close_out_noerr t.oc;
+    t.closed <- true
+  end
+
+(* A simulated process death: releases the descriptor *without* flushing,
+   so bytes still in the channel buffer are lost exactly as they would be
+   when a process is killed.  Test harness use. *)
+let abandon t =
+  if not t.closed then begin
+    (try Unix.close (Unix.descr_of_out_channel t.oc) with Unix.Unix_error _ -> ());
+    t.closed <- true
+  end
+
+(* ------------------------------------------------------------ reading *)
+
+type entry = { tag : string; payload : string }
+
+type replay = {
+  committed : entry list list;
+  last_commit_seq : int;
+  entries_committed : int;
+  uncommitted_entries : int;
+  torn_bytes : int;
+}
+
+let read_all path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      Ok
+        (Fun.protect
+           ~finally:(fun () -> close_in_noerr ic)
+           (fun () -> really_input_string ic (in_channel_length ic)))
+
+let split_body body =
+  match String.index_opt body '\t' with
+  | None -> { tag = body; payload = "" }
+  | Some i ->
+      {
+        tag = String.sub body 0 i;
+        payload = String.sub body (i + 1) (String.length body - i - 1);
+      }
+
+(* Parses the record starting at [pos]; [None] when the bytes from [pos]
+   on are not one intact record (torn or corrupt tail). *)
+let parse_record content pos =
+  match String.index_from_opt content pos '\n' with
+  | None -> None
+  | Some nl -> (
+      let line = String.sub content pos (nl - pos) in
+      match String.split_on_char '\t' line with
+      | len_text :: crc_text :: rest -> (
+          let body = String.concat "\t" rest in
+          match (int_of_string_opt len_text, int_of_string_opt crc_text) with
+          | Some len, Some crc
+            when len = String.length body && crc = crc32 body ->
+              Some (split_body body, nl + 1)
+          | _ -> None)
+      | _ -> None)
+
+let read ~path =
+  match read_all path with
+  | Error msg -> Error msg
+  | Ok content ->
+      let total = String.length content in
+      let header_line = header ^ "\n" in
+      let header_len = String.length header_line in
+      if total >= header_len && String.sub content 0 header_len = header_line
+      then begin
+        let committed = ref [] in
+        let current = ref [] in
+        let entries_committed = ref 0 in
+        let last_commit_seq = ref 0 in
+        let pos = ref header_len in
+        let stop = ref false in
+        while not !stop do
+          match parse_record content !pos with
+          | None -> stop := true
+          | Some (entry, next) -> (
+              pos := next;
+              match entry.tag with
+              | "commit" -> (
+                  match int_of_string_opt entry.payload with
+                  | None -> stop := true  (* corrupt marker: truncate here *)
+                  | Some seq ->
+                      committed := List.rev !current :: !committed;
+                      entries_committed :=
+                        !entries_committed + List.length !current;
+                      current := [];
+                      last_commit_seq := seq)
+              | "abort" -> current := []
+              | _ -> current := entry :: !current)
+        done;
+        Ok
+          {
+            committed = List.rev !committed;
+            last_commit_seq = !last_commit_seq;
+            entries_committed = !entries_committed;
+            uncommitted_entries = List.length !current;
+            torn_bytes = total - !pos;
+          }
+      end
+      else if
+        (* A crash during the very first header write leaves a prefix of
+           the header: an empty journal with a torn tail, not garbage. *)
+        total < header_len && String.sub header_line 0 total = content
+      then
+        Ok
+          {
+            committed = [];
+            last_commit_seq = 0;
+            entries_committed = 0;
+            uncommitted_entries = 0;
+            torn_bytes = total;
+          }
+      else Error (Printf.sprintf "%s: missing chimera-journal header" path)

@@ -1,0 +1,103 @@
+(** The write-ahead event journal: an append-only on-disk log of framed
+    (tag, payload) records with commit/abort markers, length+CRC32
+    framing (one record per line under a versioned header), a
+    configurable fsync policy, and checkpoint-based segment rotation.
+
+    The journal is payload-agnostic; the engine records operations as
+    [Store_codec] lines and occurrences as [Event_codec] lines.  Records
+    accumulate in a pending block buffer ({!append}) and reach the file
+    either whole ({!flush_block}) or not at all ({!drop_block}) — block
+    atomicity.  {!commit} closes a transaction with a durable marker;
+    recovery ({!read}) replays committed transactions only and tolerates
+    a torn tail (truncating at the first corrupt record and reporting
+    what was dropped).
+
+    Durability boundaries carry [Failpoint] sites — ["journal.write"]
+    (torn-write capable), ["journal.fsync"], ["journal.rename"] — so
+    recovery tests can crash at every one of them. *)
+
+type sync_policy =
+  | Per_write  (** fsync every flushed block and marker *)
+  | Per_commit  (** fsync commit/abort markers only (the default) *)
+  | Never  (** never fsync; flushes still reach the OS *)
+
+type t
+
+val create : ?sync:sync_policy -> path:string -> unit -> t
+(** Starts a fresh journal at [path] (truncating any previous file) and
+    durably writes the header. *)
+
+val append : t -> tag:string -> string -> unit
+(** Buffers one record into the pending block.  Tags must be non-empty
+    and tab/newline-free; payloads newline-free (raises
+    [Invalid_argument] otherwise). *)
+
+val flush_block : t -> unit
+(** Writes the pending block to the file in one batch (fsyncs under
+    {!Per_write}). *)
+
+val drop_block : t -> unit
+(** Discards the pending block — the journal side of block rollback. *)
+
+val commit : t -> unit
+(** Flushes the pending block and writes a commit marker carrying the
+    next commit sequence number; fsyncs unless the policy is {!Never}. *)
+
+val abort : t -> unit
+(** Discards the pending block and writes a durable abort marker, so
+    already-flushed records of the aborted transaction are skipped on
+    replay. *)
+
+val rotate : t -> base:(string * string) list -> unit
+(** Replaces the whole journal by a fresh segment holding [base] (a
+    checkpoint of the committed state) closed by a commit marker.  The
+    segment is prepared aside, fsynced and atomically renamed over the
+    live path: a crash anywhere leaves either the old journal or the
+    complete new one.  Counts as a commit. *)
+
+val sync : t -> unit
+(** Forces an fsync regardless of policy. *)
+
+val close : t -> unit
+(** Flushes pending records and closes the file. *)
+
+val abandon : t -> unit
+(** Simulated process death: releases the descriptor {e without}
+    flushing, losing bytes still in the channel buffer — test harness
+    use after a [Failpoint.Crash]. *)
+
+val commit_seq : t -> int
+(** Commit markers written so far (monotone across rotations). *)
+
+val path : t -> string
+
+type counters = {
+  appends : int;  (** records accepted into pending blocks *)
+  commits : int;  (** commit markers written (incl. rotations) *)
+  syncs : int;  (** fsyncs issued *)
+  rotations : int;
+  bytes_written : int;  (** bytes written to the live segment *)
+}
+
+val counters : t -> counters
+
+(** {2 Recovery} *)
+
+type entry = { tag : string; payload : string }
+
+type replay = {
+  committed : entry list list;  (** committed transactions, in order *)
+  last_commit_seq : int;  (** 0 when no transaction committed *)
+  entries_committed : int;
+  uncommitted_entries : int;  (** intact records after the last marker *)
+  torn_bytes : int;  (** bytes dropped at the first torn/corrupt record *)
+}
+
+val read : path:string -> (replay, string) result
+(** Scans a journal file, accepting the longest prefix of intact
+    records: committed transactions are returned for replay, trailing
+    uncommitted records and the torn tail are reported as dropped.
+    [Error] on an unreadable file or a foreign/garbled header. *)
+
+val crc32 : string -> int
+(** The checksum used by the framing (exposed for tests). *)

@@ -49,6 +49,17 @@ type stats = {
   mutable memo_hits : int;  (** shared-memo cache hits (cumulative) *)
   mutable memo_misses : int;  (** shared-memo cache misses (cumulative) *)
   mutable memo_nodes : int;  (** interned nodes (shows cross-rule sharing) *)
+  mutable aborts : int;  (** transactions rolled back via {!abort} *)
+  mutable block_rollbacks : int;  (** failed blocks undone atomically *)
+  mutable journal_appends : int;  (** records accepted by the journal *)
+  mutable journal_commits : int;  (** commit markers (incl. rotations) *)
+  mutable journal_syncs : int;  (** fsyncs issued by the journal *)
+  mutable journal_rotations : int;
+  mutable recovered_commits : int;  (** committed transactions replayed *)
+  mutable recovered_entries : int;  (** journal records replayed *)
+  mutable recovery_dropped_entries : int;
+      (** intact but uncommitted records dropped on recovery *)
+  mutable recovery_torn_bytes : int;  (** torn-tail bytes dropped *)
 }
 
 let stats () =
@@ -63,6 +74,16 @@ let stats () =
     memo_hits = 0;
     memo_misses = 0;
     memo_nodes = 0;
+    aborts = 0;
+    block_rollbacks = 0;
+    journal_appends = 0;
+    journal_commits = 0;
+    journal_syncs = 0;
+    journal_rotations = 0;
+    recovered_commits = 0;
+    recovered_entries = 0;
+    recovery_dropped_entries = 0;
+    recovery_torn_bytes = 0;
   }
 
 (* HiPAC-style periodic (clock) events, simulated on the engine's logical
@@ -88,23 +109,47 @@ type t = {
   timers : timer Queue.t;  (** in definition order; maturing is in-order *)
   timer_index : (string, unit) Hashtbl.t;  (** O(1) duplicate rejection *)
   stats : stats;
+  mutable journal : Journal.t option;
+  (* The transaction savepoint: everything {!abort} winds back to. *)
+  mutable tx_sp : Object_store.savepoint;
+  mutable tx_instant : Time.t;  (** last event instant at tx start *)
+  mutable tx_trigger : Trigger_support.snapshot;
+  mutable tx_timers : (timer * int) list;  (** timers and countdowns *)
 }
 
 (* Timer occurrences affect a reserved pseudo-object. *)
 let timer_oid = Ident.Oid.of_int 0
 
+let timer_list t =
+  List.rev (Queue.fold (fun acc timer -> timer :: acc) [] t.timers)
+
+(* Marks the transaction start: the state {!abort} restores.  Called at
+   creation, after every commit, and after recovery. *)
+let begin_transaction t =
+  t.tx_sp <- Object_store.savepoint t.store;
+  t.tx_instant <- Event_base.now t.eb;
+  t.tx_trigger <- Trigger_support.snapshot t.rules;
+  t.tx_timers <- List.map (fun tm -> (tm, tm.countdown)) (timer_list t)
+
 let create ?(config = default_config) schema =
   let eb = Event_base.create () in
+  let store = Object_store.create schema in
+  let rules = Rule_table.create () in
   {
     config;
-    store = Object_store.create schema;
+    store;
     eb;
     memo = Memo.create eb;
-    rules = Rule_table.create ();
+    rules;
     tx_start = Event_base.probe_now eb;
     timers = Queue.create ();
     timer_index = Hashtbl.create 8;
     stats = stats ();
+    journal = None;
+    tx_sp = Object_store.savepoint store;
+    tx_instant = Event_base.now eb;
+    tx_trigger = Trigger_support.snapshot rules;
+    tx_timers = [];
   }
 
 let store t = t.store
@@ -116,8 +161,28 @@ let statistics t =
   t.stats.memo_hits <- Memo.hits t.memo;
   t.stats.memo_misses <- Memo.misses t.memo;
   t.stats.memo_nodes <- Memo.node_count t.memo;
+  (match t.journal with
+  | None -> ()
+  | Some j ->
+      let c = Journal.counters j in
+      t.stats.journal_appends <- c.Journal.appends;
+      t.stats.journal_commits <- c.Journal.commits;
+      t.stats.journal_syncs <- c.Journal.syncs;
+      t.stats.journal_rotations <- c.Journal.rotations);
   t.stats
+
 let tx_start t = t.tx_start
+let journal t = t.journal
+
+(* Attaches a write-ahead journal.  Records flow from here on: attach at
+   transaction start (normally right after {!create} or {!recover}) so
+   the journal sees whole transactions. *)
+let set_journal t j = t.journal <- Some j
+
+let journal_append t ~tag payload =
+  match t.journal with
+  | None -> ()
+  | Some j -> Journal.append j ~tag payload
 
 let define t spec = Rule_table.add t.rules ~tx_start:t.tx_start spec
 
@@ -148,7 +213,8 @@ let fire_timers t =
       if timer.countdown <= 0 then begin
         timer.countdown <- timer.period;
         t.stats.events <- t.stats.events + 1;
-        ignore (Event_base.record t.eb ~etype:timer.etype ~oid:timer_oid)
+        let occ = Event_base.record t.eb ~etype:timer.etype ~oid:timer_oid in
+        journal_append t ~tag:"ev" (Event_codec.occurrence_line occ)
       end)
     t.timers
 
@@ -163,21 +229,53 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 
 let ( let* ) = Result.bind
 
-(* Applies one store operation and records the generated occurrences. *)
+(* Applies one store operation and records the generated occurrences.
+   The journal sees the operation (a [Store_codec] line, replayed against
+   the store on recovery) and every occurrence (an [Event_codec] line
+   carrying the exact instant, replayed against the event base). *)
 let apply_operation t op : (Ident.Oid.t option, error) result =
   match Operation.apply t.store op with
   | Error e -> Error (e : Object_store.error :> error)
   | Ok emitted ->
       t.stats.operations <- t.stats.operations + 1;
+      journal_append t ~tag:"op" (Store_codec.op_to_line op);
       List.iter
         (fun { Operation.etype; affected } ->
           t.stats.events <- t.stats.events + 1;
-          ignore (Event_base.record t.eb ~etype ~oid:affected))
+          let occ = Event_base.record t.eb ~etype ~oid:affected in
+          journal_append t ~tag:"ev" (Event_codec.occurrence_line occ))
         emitted;
       Ok
         (match emitted with
         | [ { Operation.affected; _ } ] -> Some affected
         | _ -> None)
+
+(* Runs [f] as one non-interruptible block (Section 2): on [Error] the
+   store, the event base, the timer countdowns and the pending journal
+   records are restored to the block start, so a failing operation takes
+   its whole block with it; on [Ok] the block's journal records reach
+   the file as one batch. *)
+let guarded_block t f =
+  let sp = Object_store.savepoint t.store in
+  let instant = Event_base.now t.eb in
+  let countdowns = List.map (fun tm -> (tm, tm.countdown)) (timer_list t) in
+  let operations = t.stats.operations and events = t.stats.events in
+  match f () with
+  | Ok _ as ok ->
+      (match t.journal with None -> () | Some j -> Journal.flush_block j);
+      ok
+  | Error _ as err ->
+      Object_store.rollback_to t.store sp;
+      Event_base.truncate_to t.eb ~instant;
+      List.iter (fun (tm, c) -> tm.countdown <- c) countdowns;
+      (match t.journal with None -> () | Some j -> Journal.drop_block j);
+      (* The operation/event counters mirror applied state, so they
+         rewind with it; blocks/lines count attempts and do not. *)
+      t.stats.operations <- operations;
+      t.stats.events <- events;
+      t.stats.block_rollbacks <- t.stats.block_rollbacks + 1;
+      Log.debug (fun m -> m "block rolled back to instant %a" Time.pp instant);
+      err
 
 (* Executes a block of operations (a transaction line or one rule-action
    instantiation), then lets the Trigger Support look for new triggered
@@ -198,8 +296,11 @@ let run_block t ops : (Ident.Oid.t option list, error) result =
   Ok (List.rev affected)
 
 (* Executes a rule's action for every binding produced by its condition,
-   threading environment extensions from binding creates. *)
+   threading environment extensions from binding creates.  The whole
+   action instantiation is one block: a failing operation undoes it
+   entirely. *)
 let run_action t rule envs : (unit, error) result =
+  guarded_block t @@ fun () ->
   t.stats.blocks <- t.stats.blocks + 1;
   let* () =
     List.fold_left
@@ -279,18 +380,23 @@ let process t ~include_deferred : (unit, error) result =
   in
   loop ()
 
+(* A transaction line's block covers its matured timer occurrences too:
+   on failure the countdowns rewind with the events. *)
+let line_block t ops =
+  guarded_block t @@ fun () ->
+  fire_timers t;
+  run_block t ops
+
 let execute_line t ops : (unit, error) result =
   t.stats.lines <- t.stats.lines + 1;
-  fire_timers t;
-  let* _affected = run_block t ops in
+  let* _affected = line_block t ops in
   process t ~include_deferred:false
 
 (* Like {!execute_line}, additionally reporting the object affected by each
    operation (before any rule runs). *)
 let execute_line_affected t ops : (Ident.Oid.t option list, error) result =
   t.stats.lines <- t.stats.lines + 1;
-  fire_timers t;
-  let* affected = run_block t ops in
+  let* affected = line_block t ops in
   let* () = process t ~include_deferred:false in
   Ok affected
 
@@ -302,15 +408,71 @@ let compact t =
   Time.Clock.advance_to (Event_base.clock fresh) (Event_base.now t.eb);
   t.eb <- fresh
 
+(* ------------------------------------------------- journal integration *)
+
+(* Timers are journaled at every commit as "name TAB period TAB
+   countdown" (the name is parsed from the right, so it may contain
+   tabs); the last committed record per name wins on replay. *)
+let timer_to_line tm =
+  Printf.sprintf "%s\t%d\t%d" tm.timer_name tm.period tm.countdown
+
+let timer_of_line line =
+  let fail () = Error (Printf.sprintf "malformed timer record %S" line) in
+  match String.rindex_opt line '\t' with
+  | None -> fail ()
+  | Some j when j = 0 -> fail ()
+  | Some j -> (
+      match String.rindex_from_opt line (j - 1) '\t' with
+      | None -> fail ()
+      | Some i -> (
+          let name = String.sub line 0 i in
+          let period = String.sub line (i + 1) (j - i - 1) in
+          let countdown = String.sub line (j + 1) (String.length line - j - 1) in
+          match (int_of_string_opt period, int_of_string_opt countdown) with
+          | Some period, Some countdown when name <> "" && period > 0 ->
+              Ok (name, period, countdown)
+          | _ -> fail ()))
+
+(* The checkpoint a rotated segment opens with: it must reconstruct the
+   committed state exactly — object rows (tombstones included), the OID
+   generator, the clock position (the event log itself was just
+   compacted away, soundly), and the timers. *)
+let checkpoint_entries t =
+  ("ckpt.oidgen", string_of_int (Object_store.oid_count t.store))
+  :: ("ckpt.clock", string_of_int (Time.to_int (Event_base.now t.eb)))
+  :: List.map
+       (fun row -> ("ckpt.obj", Store_codec.object_to_line row))
+       (Object_store.dump_objects t.store)
+  @ List.map (fun tm -> ("timer", timer_to_line tm)) (timer_list t)
+
 let commit t : (unit, error) result =
   (* Give deferred rules a final trigger check over the whole transaction,
      then process every triggered rule. *)
   Trigger_support.check_all t.config.trigger t.stats.trigger_stats t.memo
     t.rules;
   let* () = process t ~include_deferred:true in
-  (match t.config.compact_at_commit with
-  | Some threshold when Event_base.size t.eb >= threshold -> compact t
-  | Some _ | None -> ());
+  let compacted =
+    match t.config.compact_at_commit with
+    | Some threshold when Event_base.size t.eb >= threshold ->
+        compact t;
+        true
+    | Some _ | None -> false
+  in
+  (match t.journal with
+  | None -> ()
+  | Some j ->
+      if compacted then
+        (* Segment rotation rides the compaction: the dropped history is
+           replaced by a checkpoint of the committed state. *)
+        Journal.rotate j ~base:(checkpoint_entries t)
+      else begin
+        Queue.iter
+          (fun tm -> Journal.append j ~tag:"timer" (timer_to_line tm))
+          t.timers;
+        Journal.commit j
+      end);
+  (* The commit point: committed history can never be rolled back. *)
+  Object_store.forget_undo t.store;
   let fresh_start = Event_base.probe_now t.eb in
   t.tx_start <- fresh_start;
   Rule_table.iter (fun rule -> Rule.reset rule ~tx_start:fresh_start) t.rules;
@@ -318,7 +480,154 @@ let commit t : (unit, error) result =
      is reachable again: drop them all, keep the interned graph (and
      rebind to the fresh log when the commit compacted). *)
   Memo.restart t.memo t.eb;
+  begin_transaction t;
   Ok ()
+
+(* ------------------------------------------------------ abort/recover *)
+
+(* Restores the engine to the transaction start: store (undo log), event
+   base (truncation — clock and EIDs rewind with it), trigger state,
+   timers (countdowns back, mid-transaction definitions dropped), memo
+   (all cached values over the truncated log go).  Observationally the
+   transaction never ran. *)
+let abort t =
+  (match t.journal with None -> () | Some j -> Journal.abort j);
+  Object_store.rollback_to t.store t.tx_sp;
+  Event_base.truncate_to t.eb ~instant:t.tx_instant;
+  Trigger_support.restore t.rules t.tx_trigger;
+  Queue.clear t.timers;
+  Hashtbl.reset t.timer_index;
+  List.iter
+    (fun (tm, countdown) ->
+      tm.countdown <- countdown;
+      Hashtbl.add t.timer_index tm.timer_name ();
+      Queue.add tm t.timers)
+    t.tx_timers;
+  Memo.restart t.memo t.eb;
+  t.stats.aborts <- t.stats.aborts + 1;
+  (* The savepoint state is unchanged — the transaction may be retried —
+     but retake it so rollback internals start from a clean undo log. *)
+  begin_transaction t;
+  Log.info (fun m -> m "transaction aborted; back to %a" Time.pp t.tx_start)
+
+type recovery = {
+  recovered_commits : int;  (** commit markers replayed from the segment *)
+  last_commit_seq : int;  (** global sequence of the last committed tx *)
+  recovered_entries : int;
+  dropped_entries : int;  (** intact but uncommitted records dropped *)
+  dropped_bytes : int;  (** torn-tail bytes dropped *)
+}
+
+(* Replays one journal record into the engine. *)
+let replay_entry t (entry : Journal.entry) : (unit, string) result =
+  match entry.Journal.tag with
+  | "op" -> (
+      let* op = Store_codec.op_of_line entry.Journal.payload in
+      (* OIDs are issued densely, so replaying the operations in order
+         reproduces the original identifiers; the emitted occurrences
+         are discarded — the "ev" records carry the exact instants. *)
+      match Operation.apply t.store op with
+      | Ok _emitted -> Ok ()
+      | Error e -> Error (Fmt.str "cannot replay operation: %a" Object_store.pp_error e))
+  | "ev" -> (
+      let* etype, oid, timestamp =
+        Event_codec.parse_occurrence_line entry.Journal.payload
+      in
+      match Event_base.record_at t.eb ~etype ~oid ~timestamp with
+      | _occ -> Ok ()
+      | exception Invalid_argument msg -> Error msg)
+  | "timer" -> (
+      let* name, period, countdown = timer_of_line entry.Journal.payload in
+      match
+        Queue.fold
+          (fun acc tm -> if String.equal tm.timer_name name then Some tm else acc)
+          None t.timers
+      with
+      | Some tm ->
+          if tm.period <> period then
+            Error (Printf.sprintf "timer %s: period mismatch on replay" name)
+          else begin
+            tm.countdown <- countdown;
+            Ok ()
+          end
+      | None ->
+          let etype = Event_type.external_ ~name ~class_name:"timer" in
+          Hashtbl.add t.timer_index name ();
+          Queue.add { timer_name = name; etype; period; countdown } t.timers;
+          Ok ())
+  | "ckpt.oidgen" -> (
+      match int_of_string_opt entry.Journal.payload with
+      | Some n -> (
+          match Object_store.set_oid_count t.store n with
+          | () -> Ok ()
+          | exception Invalid_argument msg -> Error msg)
+      | None -> Error "malformed ckpt.oidgen record")
+  | "ckpt.clock" -> (
+      match int_of_string_opt entry.Journal.payload with
+      | Some n ->
+          Time.Clock.advance_to (Event_base.clock t.eb) (Time.of_int n);
+          Ok ()
+      | None -> Error "malformed ckpt.clock record")
+  | "ckpt.obj" -> (
+      let* oid, class_name, deleted, attrs =
+        Store_codec.object_of_line entry.Journal.payload
+      in
+      match Object_store.restore_object t.store ~oid ~class_name ~deleted ~attrs with
+      | () -> Ok ()
+      | exception Invalid_argument msg -> Error msg)
+  | other ->
+      (* Unknown tags are future extensions, not corruption: skip. *)
+      Log.warn (fun m -> m "recovery: skipping unknown record tag %s" other);
+      Ok ()
+
+(* Rebuilds the state after the last committed transaction from a
+   journal segment.  The engine must be fresh (same schema, rules and
+   timers re-defined by the caller — definitions are program text, not
+   journaled state) and holds exactly the committed state afterwards:
+   uncommitted trailing records and a torn tail are dropped and
+   reported. *)
+let recover t ~path : (recovery, string) result =
+  if Object_store.oid_count t.store > 0 || Event_base.size t.eb > 0 then
+    Error "Engine.recover: the engine already holds state"
+  else
+    let* replay = Journal.read ~path in
+    let* () =
+      List.fold_left
+        (fun acc tx ->
+          let* () = acc in
+          List.fold_left
+            (fun acc entry ->
+              let* () = acc in
+              replay_entry t entry)
+            (Ok ()) tx)
+        (Ok ()) replay.Journal.committed
+    in
+    (* The recovered state is committed state: start a fresh transaction
+       exactly as [commit] would. *)
+    Object_store.forget_undo t.store;
+    let fresh_start = Event_base.probe_now t.eb in
+    t.tx_start <- fresh_start;
+    Rule_table.iter (fun rule -> Rule.reset rule ~tx_start:fresh_start) t.rules;
+    Memo.restart t.memo t.eb;
+    begin_transaction t;
+    let report =
+      {
+        recovered_commits = List.length replay.Journal.committed;
+        last_commit_seq = replay.Journal.last_commit_seq;
+        recovered_entries = replay.Journal.entries_committed;
+        dropped_entries = replay.Journal.uncommitted_entries;
+        dropped_bytes = replay.Journal.torn_bytes;
+      }
+    in
+    t.stats.recovered_commits <- report.recovered_commits;
+    t.stats.recovered_entries <- report.recovered_entries;
+    t.stats.recovery_dropped_entries <- report.dropped_entries;
+    t.stats.recovery_torn_bytes <- report.dropped_bytes;
+    Log.info (fun m ->
+        m "recovered %d transaction(s), %d record(s); dropped %d uncommitted record(s), %d torn byte(s)"
+          report.recovered_commits report.recovered_entries
+          report.dropped_entries report.dropped_bytes);
+    Ok report
 
 let execute_line_exn t ops =
   match execute_line t ops with

@@ -40,6 +40,17 @@ type stats = {
   mutable memo_hits : int;  (** shared-memo cache hits (cumulative) *)
   mutable memo_misses : int;  (** shared-memo cache misses (cumulative) *)
   mutable memo_nodes : int;  (** interned nodes (shows cross-rule sharing) *)
+  mutable aborts : int;  (** transactions rolled back via {!abort} *)
+  mutable block_rollbacks : int;  (** failed blocks undone atomically *)
+  mutable journal_appends : int;  (** records accepted by the journal *)
+  mutable journal_commits : int;  (** commit markers (incl. rotations) *)
+  mutable journal_syncs : int;  (** fsyncs issued by the journal *)
+  mutable journal_rotations : int;
+  mutable recovered_commits : int;  (** committed transactions replayed *)
+  mutable recovered_entries : int;  (** journal records replayed *)
+  mutable recovery_dropped_entries : int;
+      (** intact but uncommitted records dropped on recovery *)
+  mutable recovery_torn_bytes : int;  (** torn-tail bytes dropped *)
 }
 
 type t
@@ -78,7 +89,19 @@ val execute_line_affected :
 
 val commit : t -> (unit, error) result
 (** Processes deferred (and remaining immediate) rules, then starts a
-    fresh transaction: rule windows restart, flags clear. *)
+    fresh transaction: rule windows restart, flags clear.  With a journal
+    attached, the commit is made durable first — a commit marker under the
+    journal's fsync policy, or a checkpointed segment rotation when the
+    commit compacted the event log. *)
+
+val abort : t -> unit
+(** Rolls the current transaction back to its start: the store (via the
+    undo log), the event base (truncation — clock and identifier
+    generators rewind with it), the trigger state, the timers (countdowns
+    restored, mid-transaction definitions dropped) and the shared memo.
+    Observationally equivalent to the transaction never having run; a
+    durable abort marker is journaled when a journal is attached.  The
+    engine is immediately usable for the next transaction. *)
 
 val execute_line_exn : t -> Operation.t list -> unit
 val commit_exn : t -> unit
@@ -93,3 +116,33 @@ val define_timer : t -> name:string -> period_lines:int -> Chimera_event.Event_t
     name would share an event type and double-fire per line). *)
 
 val timer_names : t -> string list
+
+(** {2 Durability: write-ahead journal and crash recovery} *)
+
+val set_journal : t -> Chimera_event.Journal.t -> unit
+(** Attaches a write-ahead journal; every applied operation and recorded
+    occurrence is journaled from here on (blocks atomically, transactions
+    closed by commit/abort markers).  Attach at transaction start —
+    normally right after {!create} or {!recover} — so the journal sees
+    whole transactions. *)
+
+val journal : t -> Chimera_event.Journal.t option
+
+type recovery = {
+  recovered_commits : int;  (** commit markers replayed from the segment *)
+  last_commit_seq : int;  (** global sequence of the last committed tx *)
+  recovered_entries : int;
+  dropped_entries : int;  (** intact but uncommitted records dropped *)
+  dropped_bytes : int;  (** torn-tail bytes dropped *)
+}
+
+val recover : t -> path:string -> (recovery, string) result
+(** Rebuilds the state after the last committed transaction from a
+    journal segment: operations replay against the store (OIDs are issued
+    densely, so identifiers reproduce exactly), occurrences replay against
+    the event base at their original instants, checkpoints restore rotated
+    history.  The engine must be fresh; schema, rules and timers are
+    program text, not journaled state — re-define them before calling
+    (recovered timer countdowns override defined ones).  Trailing
+    uncommitted records and a torn tail are tolerated, dropped and
+    reported. *)

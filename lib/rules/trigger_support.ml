@@ -177,3 +177,56 @@ let check_rule config stats memo rule =
 
 let check_all config stats memo table =
   Rule_table.iter (check_rule config stats memo) table
+
+(* ------------------------------------------------- snapshot / restore *)
+
+(* The per-rule runtime state the Trigger Support owns: everything a
+   transaction abort must wind back.  Snapshots capture it by value for
+   every rule in the table; restore puts it back and drops rules defined
+   after the snapshot (a rule defined inside an aborted transaction was
+   never defined). *)
+type rule_state = {
+  rule : Rule.t;
+  triggered : bool;
+  last_consideration : Time.t;
+  last_consumption : Time.t;
+  scan_from : Time.t;
+  last_recomputation : Time.t;
+  last_sign_positive : bool;
+}
+
+type snapshot = rule_state list
+
+let snapshot table =
+  List.map
+    (fun rule ->
+      {
+        rule;
+        triggered = rule.Rule.triggered;
+        last_consideration = rule.Rule.last_consideration;
+        last_consumption = rule.Rule.last_consumption;
+        scan_from = rule.Rule.scan_from;
+        last_recomputation = rule.Rule.last_recomputation;
+        last_sign_positive = rule.Rule.last_sign_positive;
+      })
+    (Rule_table.rules table)
+
+let restore table saved =
+  let keep = Hashtbl.create 16 in
+  List.iter (fun st -> Hashtbl.replace keep (Rule.name st.rule) ()) saved;
+  List.iter
+    (fun rule ->
+      let name = Rule.name rule in
+      if not (Hashtbl.mem keep name) then
+        ignore (Rule_table.remove table name))
+    (Rule_table.rules table);
+  List.iter
+    (fun st ->
+      let rule = st.rule in
+      rule.Rule.triggered <- st.triggered;
+      rule.Rule.last_consideration <- st.last_consideration;
+      rule.Rule.last_consumption <- st.last_consumption;
+      rule.Rule.scan_from <- st.scan_from;
+      rule.Rule.last_recomputation <- st.last_recomputation;
+      rule.Rule.last_sign_positive <- st.last_sign_positive)
+    saved

@@ -50,3 +50,15 @@ val check_rule : config -> stats -> Memo.t -> Rule.t -> unit
     the event base even when [memoize] is off. *)
 
 val check_all : config -> stats -> Memo.t -> Rule_table.t -> unit
+
+type snapshot
+(** The per-rule runtime state the Trigger Support owns (triggered flag,
+    consideration/consumption stamps, scan coverage), captured by value
+    for every rule in a table. *)
+
+val snapshot : Rule_table.t -> snapshot
+
+val restore : Rule_table.t -> snapshot -> unit
+(** Puts every captured rule back to its snapshotted state and removes
+    rules added after the snapshot — a rule defined inside an aborted
+    transaction was never defined. *)

@@ -10,6 +10,17 @@ type obj = {
   mutable deleted : bool;
 }
 
+(* Inverse operations, recorded by every mutator as it succeeds.  The
+   undo log makes any store state reachable again: rolling back to a
+   savepoint pops entries in reverse and applies the inverses, which is
+   what gives blocks and transactions their abort semantics. *)
+type undo =
+  | U_insert of obj  (** inverse: remove the object entirely *)
+  | U_set of obj * string * Value.t option  (** inverse: restore the value *)
+  | U_delete of obj  (** inverse: resurrect *)
+  | U_migrate of obj * string * (string * Value.t) list
+      (** inverse: restore the old class and full attribute table *)
+
 type t = {
   schema : Schema.t;
   objects : (int, obj) Hashtbl.t;
@@ -18,7 +29,11 @@ type t = {
      Extents walk the target class and its transitive subclasses instead
      of scanning the whole store. *)
   members : (string, int list ref) Hashtbl.t;
+  mutable undo : undo list;  (** most recent first *)
+  mutable undo_len : int;
 }
+
+type savepoint = { mark : int; saved_oid_count : int }
 
 type error =
   [ Schema.error | `Unknown_object of string | `Deleted_object of string ]
@@ -34,7 +49,13 @@ let create schema =
     objects = Hashtbl.create 256;
     oids = Ident.Oid.generator ();
     members = Hashtbl.create 32;
+    undo = [];
+    undo_len = 0;
   }
+
+let record_undo t entry =
+  t.undo <- entry :: t.undo;
+  t.undo_len <- t.undo_len + 1
 
 let schema t = t.schema
 
@@ -98,6 +119,7 @@ let insert t ~class_name ~attrs =
   let o = { oid; class_name; attrs = table; deleted = false } in
   Hashtbl.add t.objects (Ident.Oid.to_int oid) o;
   enroll t class_name oid;
+  record_undo t (U_insert o);
   Ok oid
 
 let get t oid ~attribute =
@@ -119,6 +141,7 @@ let set t oid ~attribute ~value =
         (Printf.sprintf "attribute %s.%s expects %s, got %s" o.class_name
            attribute (Value.type_name ty) (Value.to_string value)))
   else begin
+    record_undo t (U_set (o, attribute, Hashtbl.find_opt o.attrs attribute));
     Hashtbl.replace o.attrs attribute value;
     Ok ()
   end
@@ -126,6 +149,7 @@ let set t oid ~attribute ~value =
 let delete t oid =
   let* o = find t oid in
   o.deleted <- true;
+  record_undo t (U_delete o);
   Ok ()
 
 (* Migration along the hierarchy.  Generalizing drops the attributes not
@@ -154,6 +178,9 @@ let migrate t oid ~to_class ~check =
       in
       Hashtbl.replace fresh a v)
     target_attrs;
+  record_undo t
+    (U_migrate
+       (o, o.class_name, Hashtbl.fold (fun a v acc -> (a, v) :: acc) o.attrs []));
   Hashtbl.reset o.attrs;
   Hashtbl.iter (Hashtbl.replace o.attrs) fresh;
   unenroll t o.class_name oid;
@@ -187,6 +214,83 @@ let extent t ~class_name =
 
 let count_live t =
   Hashtbl.fold (fun _ o n -> if o.deleted then n else n + 1) t.objects 0
+
+(* ------------------------------------------- savepoints and rollback *)
+
+let savepoint t = { mark = t.undo_len; saved_oid_count = Ident.Oid.count t.oids }
+
+let apply_undo t = function
+  | U_insert o ->
+      Hashtbl.remove t.objects (Ident.Oid.to_int o.oid);
+      unenroll t o.class_name o.oid
+  | U_set (o, attribute, old) -> (
+      match old with
+      | Some v -> Hashtbl.replace o.attrs attribute v
+      | None -> Hashtbl.remove o.attrs attribute)
+  | U_delete o -> o.deleted <- false
+  | U_migrate (o, old_class, old_attrs) ->
+      unenroll t o.class_name o.oid;
+      Hashtbl.reset o.attrs;
+      List.iter (fun (a, v) -> Hashtbl.replace o.attrs a v) old_attrs;
+      o.class_name <- old_class;
+      enroll t old_class o.oid
+
+let rollback_to t sp =
+  if sp.mark > t.undo_len then
+    invalid_arg "Object_store.rollback_to: savepoint from the future";
+  while t.undo_len > sp.mark do
+    (match t.undo with
+    | entry :: rest ->
+        apply_undo t entry;
+        t.undo <- rest
+    | [] -> assert false);
+    t.undo_len <- t.undo_len - 1
+  done;
+  (* Identifiers issued during the undone span are reissued, so an
+     aborted transaction is indistinguishable from one that never ran. *)
+  Ident.Oid.rewind t.oids ~count:sp.saved_oid_count
+
+(* The commit point: committed history can never be rolled back again,
+   so the inverse-operation log is dropped (savepoints taken before this
+   call become invalid). *)
+let forget_undo t =
+  t.undo <- [];
+  t.undo_len <- 0
+
+(* ----------------------------------------------- checkpoint support *)
+
+let oid_count t = Ident.Oid.count t.oids
+
+let set_oid_count t count =
+  if count < Ident.Oid.count t.oids then
+    invalid_arg "Object_store.set_oid_count: cannot go backwards";
+  (* Advance by issuing (dense identifiers have no gaps to skip). *)
+  while Ident.Oid.count t.oids < count do
+    ignore (Ident.Oid.fresh t.oids)
+  done
+
+let dump_objects t =
+  let rows =
+    Hashtbl.fold
+      (fun _ o acc ->
+        let attrs =
+          List.sort
+            (fun (a, _) (b, _) -> String.compare a b)
+            (Hashtbl.fold (fun a v acc -> (a, v) :: acc) o.attrs [])
+        in
+        (o.oid, o.class_name, o.deleted, attrs) :: acc)
+      t.objects []
+  in
+  List.sort (fun (a, _, _, _) (b, _, _, _) -> Ident.Oid.compare a b) rows
+
+let restore_object t ~oid ~class_name ~deleted ~attrs =
+  if Hashtbl.mem t.objects (Ident.Oid.to_int oid) then
+    invalid_arg "Object_store.restore_object: object already present";
+  let table = Hashtbl.create (List.length attrs) in
+  List.iter (fun (a, v) -> Hashtbl.replace table a v) attrs;
+  let o = { oid; class_name; attrs = table; deleted } in
+  Hashtbl.add t.objects (Ident.Oid.to_int oid) o;
+  enroll t class_name oid
 
 let attributes_of t oid =
   let* o = find t oid in

@@ -43,3 +43,51 @@ val extent : t -> class_name:string -> Ident.Oid.t list
 val count_live : t -> int
 val attributes_of : t -> Ident.Oid.t -> ((string * Value.t) list, error) result
 val pp_object : t -> Format.formatter -> Ident.Oid.t -> unit
+
+(** {2 Savepoints}
+
+    Every mutator records its inverse into an undo log, so any earlier
+    state of the current (uncommitted) history can be restored — the
+    substrate of block atomicity and transaction abort. *)
+
+type savepoint
+
+val savepoint : t -> savepoint
+(** Marks the current state; cheap (no copying). *)
+
+val rollback_to : t -> savepoint -> unit
+(** Restores the state at the savepoint by applying recorded inverses in
+    reverse, and rewinds the OID generator so identifiers issued during
+    the undone span are reissued.  Raises [Invalid_argument] on a
+    savepoint taken after the current state (or invalidated by
+    {!forget_undo}). *)
+
+val forget_undo : t -> unit
+(** The commit point: drops the undo log (committed history can never be
+    rolled back), invalidating earlier savepoints. *)
+
+(** {2 Checkpoint support (journal segments)} *)
+
+val oid_count : t -> int
+(** Identifiers issued so far. *)
+
+val set_oid_count : t -> int -> unit
+(** Advances the OID generator to [count] issued identifiers (recovery
+    from a checkpoint); raises [Invalid_argument] when going backwards. *)
+
+val dump_objects :
+  t -> (Ident.Oid.t * string * bool * (string * Value.t) list) list
+(** Every object row — including deleted ones, their tombstones matter
+    for OID accounting — as [(oid, class, deleted, attrs)] in ascending
+    OID order with sorted attributes; the canonical comparable dump. *)
+
+val restore_object :
+  t ->
+  oid:Ident.Oid.t ->
+  class_name:string ->
+  deleted:bool ->
+  attrs:(string * Value.t) list ->
+  unit
+(** Reinstates a dumped row verbatim (no schema validation: the row came
+    from a validated store).  Raises [Invalid_argument] when the OID is
+    already present. *)

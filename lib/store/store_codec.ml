@@ -1,0 +1,139 @@
+(* Textual persistence for store-level data: attribute values, data
+   manipulation operations, and dumped object rows.
+
+   One entity per line, tab-separated, in the same human-inspectable
+   spirit as [Event_codec]: the journal records operations with these
+   lines and checkpoints store dumps with them.  Strings are escaped
+   ([String.escaped]), so no payload ever contains a tab or newline. *)
+
+open Chimera_util
+
+let ( let* ) = Result.bind
+let err fmt = Printf.ksprintf (fun msg -> Error msg) fmt
+
+(* ------------------------------------------------------------ values *)
+
+let value_to_string = function
+  | Value.Null -> "null"
+  | Value.Int i -> Printf.sprintf "i:%d" i
+  | Value.Float f -> Printf.sprintf "r:%h" f  (* hex floats round-trip exactly *)
+  | Value.Str s -> Printf.sprintf "s:%s" (String.escaped s)
+  | Value.Bool b -> Printf.sprintf "b:%b" b
+  | Value.Oid oid -> Printf.sprintf "o:%d" (Ident.Oid.to_int oid)
+
+let value_of_string text =
+  match String.index_opt text ':' with
+  | None -> if String.equal text "null" then Ok Value.Null else err "malformed value %S" text
+  | Some i -> (
+      let tag = String.sub text 0 i in
+      let body = String.sub text (i + 1) (String.length text - i - 1) in
+      match tag with
+      | "i" -> (
+          match int_of_string_opt body with
+          | Some n -> Ok (Value.Int n)
+          | None -> err "malformed integer %S" body)
+      | "r" -> (
+          match float_of_string_opt body with
+          | Some f -> Ok (Value.Float f)
+          | None -> err "malformed real %S" body)
+      | "s" -> (
+          match Scanf.unescaped body with
+          | s -> Ok (Value.Str s)
+          | exception Scanf.Scan_failure _ -> err "malformed string %S" body)
+      | "b" -> (
+          match bool_of_string_opt body with
+          | Some b -> Ok (Value.Bool b)
+          | None -> err "malformed boolean %S" body)
+      | "o" -> (
+          match int_of_string_opt body with
+          | Some n -> Ok (Value.Oid (Ident.Oid.of_int n))
+          | None -> err "malformed oid %S" body)
+      | _ -> err "unknown value tag %S" tag)
+
+(* Attribute bindings as "name=value" (names are identifiers: no '='). *)
+let attr_to_string (a, v) = Printf.sprintf "%s=%s" a (value_to_string v)
+
+let attr_of_string text =
+  match String.index_opt text '=' with
+  | None -> err "malformed attribute binding %S" text
+  | Some i ->
+      let name = String.sub text 0 i in
+      let* v =
+        value_of_string (String.sub text (i + 1) (String.length text - i - 1))
+      in
+      Ok (name, v)
+
+let attrs_of_strings fields =
+  List.fold_left
+    (fun acc field ->
+      let* acc = acc in
+      let* binding = attr_of_string field in
+      Ok (binding :: acc))
+    (Ok []) fields
+  |> Result.map List.rev
+
+(* -------------------------------------------------------- operations *)
+
+let op_to_line op =
+  let oid o = string_of_int (Ident.Oid.to_int o) in
+  String.concat "\t"
+    (match op with
+    | Operation.Create { class_name; attrs } ->
+        "create" :: class_name :: List.map attr_to_string attrs
+    | Operation.Delete { oid = o } -> [ "delete"; oid o ]
+    | Operation.Modify { oid = o; attribute; value } ->
+        [ "modify"; oid o; attribute; value_to_string value ]
+    | Operation.Generalize { oid = o; to_class } ->
+        [ "generalize"; oid o; to_class ]
+    | Operation.Specialize { oid = o; to_class } ->
+        [ "specialize"; oid o; to_class ]
+    | Operation.Select { class_name } -> [ "select"; class_name ])
+
+let parse_oid text =
+  match int_of_string_opt text with
+  | Some n -> Ok (Ident.Oid.of_int n)
+  | None -> err "malformed oid %S" text
+
+let op_of_line line =
+  match String.split_on_char '\t' line with
+  | "create" :: class_name :: attr_fields ->
+      let* attrs = attrs_of_strings attr_fields in
+      Ok (Operation.Create { class_name; attrs })
+  | [ "delete"; o ] ->
+      let* oid = parse_oid o in
+      Ok (Operation.Delete { oid })
+  | [ "modify"; o; attribute; v ] ->
+      let* oid = parse_oid o in
+      let* value = value_of_string v in
+      Ok (Operation.Modify { oid; attribute; value })
+  | [ "generalize"; o; to_class ] ->
+      let* oid = parse_oid o in
+      Ok (Operation.Generalize { oid; to_class })
+  | [ "specialize"; o; to_class ] ->
+      let* oid = parse_oid o in
+      Ok (Operation.Specialize { oid; to_class })
+  | [ "select"; class_name ] -> Ok (Operation.Select { class_name })
+  | _ -> err "malformed operation line %S" line
+
+(* ------------------------------------------------------- object rows *)
+
+let object_to_line (oid, class_name, deleted, attrs) =
+  String.concat "\t"
+    (string_of_int (Ident.Oid.to_int oid)
+    :: class_name
+    :: (if deleted then "dead" else "live")
+    :: List.map attr_to_string attrs)
+
+let object_of_line line =
+  match String.split_on_char '\t' line with
+  | o :: class_name :: liveness :: attr_fields ->
+      let* oid = parse_oid o in
+      let* deleted =
+        match liveness with
+        | "live" -> Ok false
+        | "dead" -> Ok true
+        | _ -> err "malformed liveness %S" liveness
+      in
+      let* attrs = attrs_of_strings attr_fields in
+      Ok (oid, class_name, deleted, attrs)
+  | _ -> err "malformed object line %S" line

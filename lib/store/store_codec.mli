@@ -1,0 +1,22 @@
+(** Textual persistence for store-level data: one tab-separated entity
+    per line, in the spirit of [Event_codec].  The write-ahead journal
+    records operations with {!op_to_line} and checkpoints store dumps
+    with {!object_to_line}; strings are escaped, so no payload contains
+    a tab or newline.  Floats are printed as hex literals and round-trip
+    exactly. *)
+
+open Chimera_util
+
+val value_to_string : Value.t -> string
+val value_of_string : string -> (Value.t, string) result
+
+val op_to_line : Operation.t -> string
+val op_of_line : string -> (Operation.t, string) result
+
+val object_to_line :
+  Ident.Oid.t * string * bool * (string * Value.t) list -> string
+(** Encodes one {!Object_store.dump_objects} row. *)
+
+val object_of_line :
+  string ->
+  (Ident.Oid.t * string * bool * (string * Value.t) list, string) result

@@ -1,0 +1,70 @@
+(* Seeded fault injection for durability testing.
+
+   Code under test declares *sites* — named points where a crash may be
+   injected — by calling [hit] (or [cut] for partial writes).  Tests arm
+   the module with a hit budget: the first [after] hits pass through, the
+   next one raises {!Crash}, simulating a process death at exactly that
+   boundary.  Counting a fault-free run first ([total_hits]) lets a test
+   crash at *every* boundary in turn.
+
+   The state is global and not thread-safe: this is a test harness, not a
+   production facility.  When disarmed (the default) every site is a
+   no-op costing one branch. *)
+
+exception Crash of string
+
+type state = {
+  mutable armed : bool;
+  mutable budget : int;  (** hits still allowed before crashing *)
+  mutable prng : Prng.t option;  (** drives torn-write cut points *)
+  mutable hits : int;  (** total sites passed since the last [clear] *)
+}
+
+let state = { armed = false; budget = 0; prng = None; hits = 0 }
+
+let clear () =
+  state.armed <- false;
+  state.budget <- 0;
+  state.prng <- None;
+  state.hits <- 0
+
+let arm ?seed ~after () =
+  if after < 0 then invalid_arg "Failpoint.arm: negative budget";
+  state.armed <- true;
+  state.budget <- after;
+  state.prng <- Option.map (fun seed -> Prng.create ~seed) seed;
+  state.hits <- 0
+
+let armed () = state.armed
+let total_hits () = state.hits
+let crash site = raise (Crash site)
+
+(* One hit: pass while budget remains, crash when it is spent. *)
+let hit site =
+  if state.armed then begin
+    state.hits <- state.hits + 1;
+    if state.budget > 0 then state.budget <- state.budget - 1
+    else crash site
+  end
+
+(* A write-shaped hit: when the crash lands here, pick how many of the
+   [len] bytes reach the disk (strictly fewer than all of them — a torn
+   write), seeded for reproducibility.  The caller must persist that
+   prefix and then call {!crash}. *)
+let cut site ~len =
+  if not state.armed then None
+  else begin
+    state.hits <- state.hits + 1;
+    if state.budget > 0 then begin
+      state.budget <- state.budget - 1;
+      None
+    end
+    else if len <= 0 then crash site
+    else
+      let keep =
+        match state.prng with
+        | Some prng -> Prng.next_int prng ~bound:len
+        | None -> 0
+      in
+      Some keep
+  end

@@ -1,0 +1,37 @@
+(** Seeded fault injection for durability testing.
+
+    Code under test declares named crash sites with {!hit} (or {!cut}
+    for torn writes); tests {!arm} the module with a hit budget and the
+    next site past the budget raises {!Crash}, simulating a process
+    death at exactly that boundary.  Global and not thread-safe — a test
+    harness.  Disarmed (the default), every site is a one-branch
+    no-op. *)
+
+exception Crash of string
+(** Carries the site name that "killed the process". *)
+
+val arm : ?seed:int -> after:int -> unit -> unit
+(** Allow the next [after] hits, then crash.  [seed] makes torn-write
+    cut points ({!cut}) reproducible.  Resets the hit counter. *)
+
+val clear : unit -> unit
+(** Disarm and reset counters (call in test teardown). *)
+
+val armed : unit -> bool
+
+val hit : string -> unit
+(** A crash site: no-op while disarmed or within budget, raises
+    {!Crash} otherwise. *)
+
+val cut : string -> len:int -> int option
+(** A write of [len] bytes about to happen.  [None]: proceed normally.
+    [Some k] ([k < len]): the crash lands here as a torn write — the
+    caller must persist exactly the first [k] bytes and then call
+    {!crash}. *)
+
+val crash : string -> 'a
+(** Raise {!Crash} for the site (used after honouring a {!cut}). *)
+
+val total_hits : unit -> int
+(** Sites passed since arming/clearing — run once fault-free to learn
+    how many crash points a scenario has, then crash at each in turn. *)

@@ -20,6 +20,7 @@ module type ID = sig
   val generator : unit -> gen
   val fresh : gen -> t
   val count : gen -> int
+  val rewind : gen -> count:int -> unit
 end
 
 module Make (Prefix : sig
@@ -45,6 +46,12 @@ end) : ID = struct
     x
 
   let count g = g.next - 1
+
+  (* Rollback support: identifiers issued during an undone span are
+     reissued, keeping logs dense and replays deterministic. *)
+  let rewind g ~count =
+    if count < 0 then invalid_arg "Ident.rewind: negative count";
+    if count + 1 < g.next then g.next <- count + 1
 end
 
 module Oid = Make (struct

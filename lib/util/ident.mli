@@ -21,6 +21,12 @@ module type ID = sig
 
   val count : gen -> int
   (** How many identifiers were issued. *)
+
+  val rewind : gen -> count:int -> unit
+  (** Forgets identifiers beyond the first [count] issued, so the next
+      {!fresh} returns [count + 1] again — the rollback/truncation path
+      (never advances the generator).  Raises [Invalid_argument] on a
+      negative count. *)
 end
 
 module Make (_ : sig

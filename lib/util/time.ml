@@ -51,4 +51,11 @@ module Clock = struct
   (* Advance the clock past [t] so that subsequently issued instants are
      strictly greater.  Used when replaying externally timestamped events. *)
   let advance_to c t = if Stdlib.( > ) t c.last then c.last <- t
+
+  (* Move the clock back to [t] (a no-op when already at or before it).
+     Only the rollback path uses this: instants issued after [t] were
+     undone together with the occurrences carrying them, so reissuing
+     them keeps aborted histories indistinguishable from never-run
+     ones. *)
+  let rewind_to c t = if Stdlib.( < ) t c.last then c.last <- t
 end

@@ -55,4 +55,9 @@ module Clock : sig
 
   val advance_to : clock -> t -> unit
   (** Make subsequent instants strictly greater than the given one. *)
+
+  val rewind_to : clock -> t -> unit
+  (** Move the clock back to the given instant (no-op when already at or
+      before it) — the rollback path: the instants issued after it were
+      undone together with the occurrences carrying them. *)
 end

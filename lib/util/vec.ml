@@ -52,6 +52,13 @@ let to_list t =
 
 let clear t = t.len <- 0
 
+(* Keeps the first [n] elements.  Slots beyond the new length are reset to
+   the dummy so truncation never pins dropped values. *)
+let truncate t n =
+  if n < 0 || n > t.len then invalid_arg "Vec.truncate: length out of bounds";
+  Array.fill t.data n (t.len - n) t.dummy;
+  t.len <- n
+
 (* Greatest index [i] such that [key t.(i) <= x], assuming [key] is
    non-decreasing over the vector; [-1] when all keys exceed [x]. *)
 let bisect_right t ~key x =

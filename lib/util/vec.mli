@@ -24,6 +24,11 @@ val fold : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
 val to_list : 'a t -> 'a list
 val clear : 'a t -> unit
 
+val truncate : 'a t -> int -> unit
+(** Keeps the first [n] elements (the undo/rollback path of append-only
+    logs); raises [Invalid_argument] when [n] is negative or exceeds the
+    length. *)
+
 val bisect_right : 'a t -> key:('a -> 'b) -> 'b -> int
 (** Greatest index [i] with [key t.(i) <= x] under the polymorphic order,
     assuming [key] is non-decreasing over the vector; [-1] when every key

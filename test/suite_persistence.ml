@@ -50,10 +50,28 @@ let test_file_roundtrip () =
   Fun.protect
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
-      Event_codec.write_file eb ~path;
+      (match Event_codec.write_file eb ~path with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail msg);
       match Event_codec.read_file path with
       | Ok eb' -> Alcotest.(check int) "size" 3 (Event_base.size eb')
       | Error msg -> Alcotest.fail msg)
+
+(* The file variants report I/O failures as [Error] carrying the path —
+   never a raised [Sys_error]. *)
+let test_file_io_errors () =
+  let missing = Filename.concat (Filename.get_temp_dir_name ()) "chimera-definitely-absent.events" in
+  (match Event_codec.read_file missing with
+  | Ok _ -> Alcotest.fail "reading a missing file succeeded"
+  | Error msg ->
+      Alcotest.(check bool) "read error mentions the path" true
+        (Astring_contains.contains msg missing));
+  let unwritable = "/nonexistent-dir/chimera.events" in
+  match Event_codec.write_file (Gen.build_event_base [ (0, 0) ]) ~path:unwritable with
+  | Ok () -> Alcotest.fail "writing into a missing directory succeeded"
+  | Error msg ->
+      Alcotest.(check bool) "write error mentions the path" true
+        (Astring_contains.contains msg unwritable)
 
 (* Compaction must be behaviour-invisible: same traffic with and without
    it yields the same store contents and rule executions, while the log
@@ -112,6 +130,8 @@ let suite =
     roundtrip;
     Alcotest.test_case "codec error reporting" `Quick test_codec_errors;
     Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+    Alcotest.test_case "file I/O errors are results" `Quick
+      test_file_io_errors;
     Alcotest.test_case "compaction is transparent" `Quick
       test_compaction_transparent;
     Alcotest.test_case "compaction keeps instants monotone" `Quick

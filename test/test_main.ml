@@ -22,6 +22,7 @@ let () =
       ("memo", Suite_memo.suite);
       ("derived-operators", Suite_derived.suite);
       ("persistence", Suite_persistence.suite);
+      ("recovery", Suite_recovery.suite);
       ("edge-cases", Suite_edge.suite);
       ("lang-extensions", Suite_lang2.suite);
       ("workload", Suite_workload.suite);
