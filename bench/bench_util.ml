@@ -49,6 +49,7 @@ let seed_of_experiment = function
   | "e6" -> 606
   | "e8" -> 808
   | "e9" -> 909
+  | "e10" -> 1010
   | _ -> 7
 
 (* ------------------------------------------------ machine-readable *)
@@ -101,6 +102,36 @@ let rec json_to_buf buf = function
         fields;
       Buffer.add_char buf '}'
 
+(* The obs snapshot in the bench JSON schema: even an obs-disabled run
+   embeds it (all zeroes then), so every BENCH_*.json records the metric
+   state its numbers were produced under. *)
+let json_of_histogram_stat (s : Obs.Metrics.histogram_stat) =
+  J_obj
+    [
+      ("count", J_int s.Obs.Metrics.h_count);
+      ("sum_ns", J_int s.Obs.Metrics.h_sum);
+      ("min_ns", J_int s.Obs.Metrics.h_min);
+      ("max_ns", J_int s.Obs.Metrics.h_max);
+      ( "buckets",
+        J_list
+          (List.map
+             (fun (lower, count) -> J_list [ J_int lower; J_int count ])
+             s.Obs.Metrics.h_buckets) );
+    ]
+
+let json_of_snapshot (snap : Obs.snapshot) =
+  J_obj
+    [
+      ( "counters",
+        J_obj (List.map (fun (k, v) -> (k, J_int v)) snap.Obs.counters) );
+      ("gauges", J_obj (List.map (fun (k, v) -> (k, J_int v)) snap.Obs.gauges));
+      ( "histograms",
+        J_obj
+          (List.map
+             (fun (k, s) -> (k, json_of_histogram_stat s))
+             snap.Obs.histograms) );
+    ]
+
 (* Writes BENCH_<id>.json into the invocation directory: the experiment's
    rows in machine-readable form, next to the pretty table on stdout. *)
 let write_json ~experiment rows =
@@ -110,6 +141,8 @@ let write_json ~experiment rows =
       [
         ("experiment", J_string experiment);
         ("seed", J_int (seed_of_experiment experiment));
+        ("obs_enabled", J_bool (Obs.enabled ()));
+        ("metrics", json_of_snapshot (Obs.snapshot ()));
         ("rows", J_list rows);
       ]
   in

@@ -24,6 +24,7 @@ let experiments =
     ("e7", "memoized ts ablation", Perf.e7);
     ("e8", "shared memo engine path", Perf.e8);
     ("e9", "journaling overhead (fsync policy)", Durability.e9);
+    ("e10", "observability overhead", Obs_overhead.e10);
     ("micro", "bechamel micro-benchmarks", Micro.run);
   ]
 

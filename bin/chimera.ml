@@ -2,6 +2,7 @@
    inline streams, inspect V(E) analyses, or start a small REPL.
 
      chimera run script.ch          execute a script file
+     chimera stats script.ch        execute and report the obs snapshot
      chimera eval "A < B" "A B"     ts timeline of an expression
      chimera analyze "A + -B"       static V(E) analysis
      chimera repl                   interactive statements *)
@@ -62,11 +63,26 @@ let print_stats interp =
     (Fmt.str "%a" Event_stats.pp
        (Event_stats.of_event_base (Engine.event_base (Interp.engine interp))))
 
-let run_script trace journal_path fsync path =
-  if trace then begin
-    Logs.set_reporter (Logs.format_reporter ());
-    Logs.set_level (Some Logs.Debug)
-  end;
+(* --trace without a value records spans into the ring and turns on the
+   debug log; --trace=stderr streams spans to stderr; any other value is
+   a JSONL file path.  --metrics enables the counters and prints the
+   snapshot after the run. *)
+let setup_obs ~metrics ~trace =
+  if metrics || trace <> None then Obs.set_enabled true;
+  match trace with
+  | None | Some "" -> ()
+  | Some "1" ->
+      Logs.set_reporter (Logs.format_reporter ());
+      Logs.set_level (Some Logs.Debug)
+  | Some "stderr" -> Obs.Sink.attach (Obs.Sink.stderr ())
+  | Some path -> Obs.Sink.attach (Obs.Sink.jsonl ~path)
+
+let finish_obs ~metrics ~trace =
+  if trace <> None then Obs.publish ();
+  if metrics then Fmt.pr "%a@." Obs.pp_snapshot (Obs.snapshot ())
+
+let run_script trace metrics journal_path fsync path =
+  setup_obs ~metrics ~trace;
   let interp = Interp.create () in
   let journal =
     Option.map
@@ -78,6 +94,7 @@ let run_script trace journal_path fsync path =
   in
   let finish result =
     Option.iter Journal.close journal;
+    finish_obs ~metrics ~trace;
     result
   in
   match Interp.run_string interp (read_file path) with
@@ -98,16 +115,95 @@ let journal_arg =
           "Write-ahead journal file: every transaction is made durable and \
            $(b,chimera recover) can rebuild the state after a crash.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "1") (some string) None
+    & info [ "trace" ] ~docv:"TARGET"
+        ~doc:
+          "Record trace spans.  Without a value also logs \
+           trigger/consideration decisions; $(b,--trace=stderr) streams \
+           spans to stderr; any other value is a JSONL file the spans and \
+           the final metrics snapshot are written to.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Enable the metrics registry and print its snapshot at the end.")
+
 let run_cmd =
   let path =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"SCRIPT" ~doc:"Script file to execute.")
   in
-  let trace =
-    Arg.(value & flag & info [ "trace" ] ~doc:"Log trigger/consideration decisions.")
-  in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a Chimera rule script")
-    Term.(ret (const run_script $ trace $ journal_arg $ fsync_arg $ path))
+    Term.(
+      ret (const run_script $ trace_arg $ metrics_arg $ journal_arg $ fsync_arg $ path))
+
+(* ----------------------------------------------------------- stats *)
+
+(* Like [run] with everything enabled: executes the script under metrics
+   and span recording, then reports the snapshot and the hottest interned
+   memo nodes — the quick profiling entry point. *)
+let stats_script top path =
+  Obs.set_enabled true;
+  let interp = Interp.create () in
+  match Interp.run_string interp (read_file path) with
+  | Error msg ->
+      print_string (Interp.output interp);
+      `Error (false, msg)
+  | Ok () ->
+      print_string (Interp.output interp);
+      Fmt.pr "%a@." Obs.pp_snapshot (Obs.snapshot ());
+      let nodes =
+        List.filter
+          (fun n -> Memo.(n.node_hits + n.node_misses) > 0)
+          (Memo.node_stats (Engine.memo (Interp.engine interp)))
+      in
+      let nodes =
+        List.sort
+          (fun a b ->
+            compare
+              Memo.(b.node_hits + b.node_misses)
+              Memo.(a.node_hits + a.node_misses))
+          nodes
+      in
+      let shown = List.filteri (fun i _ -> i < top) nodes in
+      if shown <> [] then begin
+        Fmt.pr "@.hot memo nodes (top %d of %d touched):@."
+          (List.length shown) (List.length nodes);
+        Fmt.pr "  %8s %8s %6s %6s  %s@." "hits" "misses" "inval" "cost" "node";
+        List.iter
+          (fun n ->
+            Fmt.pr "  %8d %8d %6d %6d  %s%s@." n.Memo.node_hits
+              n.Memo.node_misses n.Memo.node_invalidations n.Memo.node_cost
+              n.Memo.node_expr
+              (if n.Memo.node_cached then "" else "  [uncached]"))
+          shown
+      end;
+      let spans = Obs.Trace.recorded () in
+      Fmt.pr "@.%d span(s) in the trace ring (capacity %d)@."
+        (List.length spans)
+        (Obs.Trace.ring_capacity ());
+      `Ok ()
+
+let stats_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"SCRIPT" ~doc:"Script file to execute.")
+  in
+  let top =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N" ~doc:"Hot memo nodes to list.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Execute a script under full observability and report the snapshot")
+    Term.(ret (const stats_script $ top $ path))
 
 (* --------------------------------------------------------- recover *)
 
@@ -331,6 +427,6 @@ let repl_cmd =
 let main_cmd =
   let doc = "Composite events in Chimera (EDBT 1996) - reproduction CLI" in
   Cmd.group (Cmd.info "chimera" ~doc)
-    [ run_cmd; recover_cmd; eval_cmd; analyze_cmd; graph_cmd; repl_cmd ]
+    [ run_cmd; stats_cmd; recover_cmd; eval_cmd; analyze_cmd; graph_cmd; repl_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

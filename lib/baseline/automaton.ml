@@ -15,6 +15,13 @@
 
 open Chimera_event
 open Chimera_calculus
+module Obs = Chimera_obs.Obs
+
+let c_transitions = Obs.Metrics.counter "baseline.automaton.transitions"
+
+let g_states = Obs.Metrics.gauge "baseline.automaton.states_materialized"
+(* Lazy-DFA growth: the gauge tracks the largest transition memo across
+   detectors, the point of comparison against the 2^nodes upper bound. *)
 
 exception Unsupported of string
 
@@ -126,6 +133,7 @@ let step nodes state etype =
   !out
 
 let on_event t ~etype =
+  Obs.Metrics.incr c_transitions;
   let key = (t.state, type_id t etype) in
   let next =
     match Hashtbl.find_opt t.memo key with
@@ -133,6 +141,11 @@ let on_event t ~etype =
     | None ->
         let s = step t.nodes t.state etype in
         Hashtbl.add t.memo key s;
+        if Obs.enabled () then begin
+          let n = Hashtbl.length t.memo in
+          if n > Obs.Metrics.gauge_value g_states then
+            Obs.Metrics.set_gauge g_states n
+        end;
         s
   in
   t.state <- next

@@ -5,6 +5,9 @@
 
 open Chimera_event
 open Chimera_calculus
+module Obs = Chimera_obs.Obs
+
+let c_evals = Obs.Metrics.counter "baseline.naive.evals"
 
 type t = {
   eb : Event_base.t;
@@ -28,7 +31,9 @@ let on_event t ~etype ~oid =
   let window = Window.all ~upto:at in
   let env = Ts.env t.eb ~window in
   Array.iteri
-    (fun i expr -> t.active.(i) <- Ts.active env ~at expr)
+    (fun i expr ->
+      Obs.Metrics.incr c_evals;
+      t.active.(i) <- Ts.active env ~at expr)
     t.exprs
 
 let active t i = t.active.(i)

@@ -17,6 +17,9 @@
 open Chimera_util
 open Chimera_event
 open Chimera_calculus
+module Obs = Chimera_obs.Obs
+
+let c_activations = Obs.Metrics.counter "baseline.tree.activations"
 
 type node = {
   mutable value : int;  (** current ts; 0 = inactive (no occurrence yet) *)
@@ -116,7 +119,10 @@ let rec propagate node ~stamp =
         | N_and _ | N_or _ -> true
         | N_seq (_, b) -> b == node
       in
-      if relevant && refresh parent ~stamp then propagate parent ~stamp
+      if relevant && refresh parent ~stamp then begin
+        Obs.Metrics.incr c_activations;
+        propagate parent ~stamp
+      end
 
 let on_event t ~etype ~timestamp =
   let stamp = Time.to_int timestamp in
@@ -124,6 +130,9 @@ let on_event t ~etype ~timestamp =
     (fun (subscription, leaf) ->
       if Event_type.generalizes ~subscription ~occurrence:etype then begin
         leaf.value <- stamp;
+        (* One activation per stamped node: the leaf plus every ancestor
+           [propagate] refreshes — the detector's work unit. *)
+        Obs.Metrics.incr c_activations;
         propagate leaf ~stamp
       end)
     t.leaves

@@ -25,6 +25,21 @@
 
 open Chimera_util
 open Chimera_event
+module Obs = Chimera_obs.Obs
+
+(* The cache's behaviour over time is the first thing a slow engine run
+   asks about: aggregate hit/miss/eviction/restart counters feed the
+   metric registry on the same increments as the engine-visible totals,
+   and per-node tallies (kept in flat int vectors, touched only while
+   observability is enabled) attribute them to individual interned
+   subexpressions via {!node_stats}. *)
+let c_hits = Obs.Metrics.counter "memo.hits"
+let c_misses = Obs.Metrics.counter "memo.misses"
+let c_evictions = Obs.Metrics.counter "memo.evictions"
+let c_restarts = Obs.Metrics.counter "memo.restarts"
+let c_evals = Obs.Metrics.counter "memo.evals"
+let g_nodes = Obs.Metrics.gauge "memo.nodes"
+let h_eval = Obs.Metrics.histogram "memo.eval_ns"
 
 type node =
   | N_prim of Event_type.t
@@ -77,6 +92,13 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  (* Per-node observability tallies, maintained only while [Obs.enabled]
+     (two int-vector bumps per cached probe): hits, misses, and
+     invalidations (restarts/evictions that dropped live values of the
+     node). *)
+  nhits : int Vec.t;
+  nmisses : int Vec.t;
+  ninval : int Vec.t;
 }
 
 (* Ring size: at least the number of fresh instants per block, so that
@@ -112,6 +134,9 @@ let create ?(max_entries = default_max_entries) eb =
     hits = 0;
     misses = 0;
     evictions = 0;
+    nhits = Vec.create ~dummy:0;
+    nmisses = Vec.create ~dummy:0;
+    ninval = Vec.create ~dummy:0;
   }
 
 let hits t = t.hits
@@ -139,9 +164,14 @@ let alloc t node ~types ~stable ~cost =
       done;
       Vec.push t.slot_cursor 0;
       Vec.push t.inst_slots (Hashtbl.create 8);
+      Vec.push t.nhits 0;
+      Vec.push t.nmisses 0;
+      Vec.push t.ninval 0;
       Hashtbl.add t.node_ids node id;
+      Obs.Metrics.set_gauge g_nodes (Vec.length t.nodes);
       id
 
+let tally vec id = if Obs.enabled () then Vec.set vec id (Vec.get vec id + 1)
 let types_of t id = Vec.get t.tyset id
 let stable_of t id = Vec.get t.stable id
 let cost_of t id = Vec.get t.cost id
@@ -250,9 +280,14 @@ let arrival_on t ~after ~lo ~at types oid =
    node. *)
 let evict_if_full t =
   if t.inst_entries > t.max_entries then begin
+    if Obs.enabled () then
+      Vec.iteri
+        (fun id slots -> if Hashtbl.length slots > 0 then tally t.ninval id)
+        t.inst_slots;
     Vec.iter Hashtbl.reset t.inst_slots;
     t.inst_entries <- 0;
-    t.evictions <- t.evictions + 1
+    t.evictions <- t.evictions + 1;
+    Obs.Metrics.incr c_evictions
   end
 
 (* Instance-level evaluation, mirroring the set-level slot discipline:
@@ -308,9 +343,17 @@ and eval_inst t ~after ~at id oid =
       (match reuse with
       | Some v ->
           t.hits <- t.hits + 1;
+          if Obs.enabled () then begin
+            Obs.Metrics.incr c_hits;
+            tally t.nhits id
+          end;
           v
       | None ->
           t.misses <- t.misses + 1;
+          if Obs.enabled () then begin
+            Obs.Metrics.incr c_misses;
+            tally t.nmisses id
+          end;
           let v = compute_inst t ~after ~at node oid in
           (match slot with
           | Some s ->
@@ -432,9 +475,17 @@ and eval t ~after ~at id =
       (match reuse with
       | Some v ->
           t.hits <- t.hits + 1;
+          if Obs.enabled () then begin
+            Obs.Metrics.incr c_hits;
+            tally t.nhits id
+          end;
           v
       | None ->
           t.misses <- t.misses + 1;
+          if Obs.enabled () then begin
+            Obs.Metrics.incr c_misses;
+            tally t.nmisses id
+          end;
           let v = compute_set t ~after ~at node in
           let c = Vec.get t.slot_cursor id in
           let j = base + c in
@@ -444,7 +495,17 @@ and eval t ~after ~at id =
           Vec.set t.slot_cursor id ((c + 1) mod slot_width);
           v)
 
-let ts_handle t ~after ~at handle = eval t ~after ~at handle
+(* Handles resolve to evaluations as cheap as one index probe, so the
+   disabled path must be a single load-and-branch ahead of [eval]. *)
+let ts_handle t ~after ~at handle =
+  if Obs.enabled () then begin
+    Obs.Metrics.incr c_evals;
+    let t0 = Obs.start_timer () in
+    let v = eval t ~after ~at handle in
+    Obs.observe_since h_eval t0;
+    v
+  end
+  else eval t ~after ~at handle
 let ts t ~after ~at e = eval t ~after ~at (intern t e)
 let ots t ~after ~at ie oid = eval_inst t ~after ~at (intern_inst t ie) oid
 let active t ~after ~at e = ts t ~after ~at e > 0
@@ -483,9 +544,61 @@ let occurrence_instants t ~after ~at ie oid =
    value is reachable again — drop them all (and rebind to the possibly
    fresh log), preserving the interned graph and the counters. *)
 let restart t eb =
+  (* Per-node invalidation tally: a node whose set ring or instance table
+     held live values loses them here. *)
+  if Obs.enabled () then
+    for id = 0 to Vec.length t.nodes - 1 do
+      let live = ref (Hashtbl.length (Vec.get t.inst_slots id) > 0) in
+      let base = id * slot_width in
+      for j = base to base + slot_width - 1 do
+        if Vec.get t.slot_after j >= 0 then live := true
+      done;
+      if !live then tally t.ninval id
+    done;
   for id = 0 to Vec.length t.slot_after - 1 do
     Vec.set t.slot_after id (-1)
   done;
   Vec.iter Hashtbl.reset t.inst_slots;
   t.inst_entries <- 0;
+  Obs.Metrics.incr c_restarts;
   t.eb <- eb
+
+(* ------------------------------------------- per-node observability *)
+
+type node_stat = {
+  node_id : int;
+  node_expr : string;
+  node_hits : int;
+  node_misses : int;
+  node_invalidations : int;
+  node_cost : int;
+  node_cached : bool;  (** false for nodes that bypass the cache *)
+}
+
+(* Diagnostic rendering of an interned node: fully parenthesized, so no
+   precedence reasoning is needed (and none is claimed — {!Expr.pp} is
+   the round-trippable printer). *)
+let rec render t id =
+  match Vec.get t.nodes id with
+  | N_prim p | N_iprim p -> Event_type.to_string p
+  | N_not a -> "-(" ^ render t a ^ ")"
+  | N_inot a -> "-=(" ^ render t a ^ ")"
+  | N_and (a, b) -> "(" ^ render t a ^ " + " ^ render t b ^ ")"
+  | N_iand (a, b) -> "(" ^ render t a ^ " += " ^ render t b ^ ")"
+  | N_or (a, b) -> "(" ^ render t a ^ " , " ^ render t b ^ ")"
+  | N_ior (a, b) -> "(" ^ render t a ^ " ,= " ^ render t b ^ ")"
+  | N_seq (a, b) -> "(" ^ render t a ^ " < " ^ render t b ^ ")"
+  | N_iseq (a, b) -> "(" ^ render t a ^ " <= " ^ render t b ^ ")"
+  | N_inst a -> render t a
+
+let node_stats t =
+  List.init (Vec.length t.nodes) (fun id ->
+      {
+        node_id = id;
+        node_expr = render t id;
+        node_hits = Vec.get t.nhits id;
+        node_misses = Vec.get t.nmisses id;
+        node_invalidations = Vec.get t.ninval id;
+        node_cost = Vec.get t.cost id;
+        node_cached = Vec.get t.cost id >= cache_min_cost;
+      })

@@ -83,3 +83,21 @@ val event_base : t -> Event_base.t
 
 val node_count : t -> int
 (** Distinct interned nodes (shows cross-rule sharing). *)
+
+(** {2 Per-node observability} *)
+
+type node_stat = {
+  node_id : int;
+  node_expr : string;  (** diagnostic rendering, fully parenthesized *)
+  node_hits : int;
+  node_misses : int;
+  node_invalidations : int;
+      (** restarts/evictions that dropped live cached values of the node *)
+  node_cost : int;  (** recompute cost estimate (index probes) *)
+  node_cached : bool;  (** false for nodes that bypass the cache *)
+}
+
+val node_stats : t -> node_stat list
+(** One entry per interned node, in interning order.  The per-node
+    hit/miss/invalidation tallies are maintained only while
+    [Obs.enabled]; the aggregate {!hits}/{!misses} always are. *)

@@ -13,6 +13,12 @@
 
 open Chimera_util
 open Chimera_event
+module Obs = Chimera_obs.Obs
+
+(* Top-level evaluation entries are counted and timed (recursive descent
+   is not: one observation per probe, not per node). *)
+let c_evals = Obs.Metrics.counter "ts.evals"
+let h_eval = Obs.Metrics.histogram "ts.eval_ns"
 
 type style = Logical | Algebraic
 
@@ -136,10 +142,22 @@ let rec ts_algebraic t ~at e =
       (vb * q) - (Time.to_int at * (1 - q))
   | Expr.Inst ie -> lift t ~at ie
 
-let ts t ~at e =
+let eval t ~at e =
   match t.style with
   | Logical -> ts_logical t ~at e
   | Algebraic -> ts_algebraic t ~at e
+
+(* A primitive evaluation is ~150ns, so the disabled path must stay a
+   single load-and-branch ahead of the untouched pre-obs code. *)
+let ts t ~at e =
+  if Obs.enabled () then begin
+    Obs.Metrics.incr c_evals;
+    let t0 = Obs.start_timer () in
+    let v = eval t ~at e in
+    Obs.observe_since h_eval t0;
+    v
+  end
+  else eval t ~at e
 
 let active t ~at e = ts t ~at e > 0
 let active_on t ~at ie oid = ots t ~at ie oid > 0

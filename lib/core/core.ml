@@ -11,6 +11,9 @@ module Pretty = Chimera_util.Pretty
 module Vec = Chimera_util.Vec
 module Failpoint = Chimera_util.Failpoint
 
+(* Observability: metrics, trace spans, sinks. *)
+module Obs = Chimera_obs.Obs
+
 (* Event substrate. *)
 module Event_type = Chimera_event.Event_type
 module Occurrence = Chimera_event.Occurrence

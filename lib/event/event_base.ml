@@ -5,6 +5,13 @@
    the instance-oriented operators. *)
 
 open Chimera_util
+module Obs = Chimera_obs.Obs
+
+(* Every appended occurrence updates the trace context (spans begun after
+   it carry its EID) and the raise counter — the "event raise" phase is
+   observable wherever it happens: engine lines, rule actions, timers,
+   recovery replay and the baseline detectors alike. *)
+let c_recorded = Obs.Metrics.counter "events.recorded"
 
 module Type_oid_key = struct
   type t = Event_type.t * int
@@ -88,6 +95,8 @@ let oid_index t oid =
       v
 
 let insert t occ =
+  Obs.Metrics.incr c_recorded;
+  Obs.Trace.set_eid (Ident.Eid.to_int (Occurrence.eid occ));
   Vec.push t.log occ;
   Vec.push (oid_index t (Occurrence.oid occ)) (Occurrence.timestamp occ);
   List.iter

@@ -19,6 +19,18 @@
    (torn records). *)
 
 open Chimera_util
+module Obs = Chimera_obs.Obs
+
+(* Durability is where latency hides: every fsync, block write and segment
+   rotation is timed into a log-scale histogram, so a snapshot attributes
+   journal time without a profiler attached. *)
+let c_appends = Obs.Metrics.counter "journal.appends"
+let c_commits = Obs.Metrics.counter "journal.commits"
+let c_syncs = Obs.Metrics.counter "journal.syncs"
+let c_rotations = Obs.Metrics.counter "journal.rotations"
+let h_fsync = Obs.Metrics.histogram "journal.fsync_ns"
+let h_append = Obs.Metrics.histogram "journal.append_ns"
+let h_rotate = Obs.Metrics.histogram "journal.rotate_ns"
 
 let header = "# chimera-journal v1"
 
@@ -103,13 +115,19 @@ let fsync_channel oc = Unix.fsync (Unix.descr_of_out_channel oc)
    reached the channel but before it was forced to disk. *)
 let fsync t =
   Failpoint.hit "journal.fsync";
+  let t0 = Obs.start_timer () in
   flush t.oc;
   fsync_channel t.oc;
+  Obs.observe_since h_fsync t0;
+  Obs.Metrics.incr c_syncs;
   t.syncs <- t.syncs + 1
 
 let sync t =
+  let t0 = Obs.start_timer () in
   flush t.oc;
   fsync_channel t.oc;
+  Obs.observe_since h_fsync t0;
+  Obs.Metrics.incr c_syncs;
   t.syncs <- t.syncs + 1
 
 (* ------------------------------------------------------------ opening *)
@@ -151,6 +169,7 @@ let append t ~tag payload =
   if String.contains payload '\n' || String.contains payload '\r' then
     invalid_arg "Journal.append: payload contains a newline";
   t.pending <- (tag, payload) :: t.pending;
+  Obs.Metrics.incr c_appends;
   t.appends <- t.appends + 1
 
 (* Writes the pending records of the current block in one batch; the
@@ -160,6 +179,7 @@ let flush_block t =
   match t.pending with
   | [] -> ()
   | pending ->
+      let t0 = Obs.start_timer () in
       let buf = Buffer.create 256 in
       List.iter
         (fun (tag, payload) -> Buffer.add_string buf (encode_record ~tag payload))
@@ -167,6 +187,7 @@ let flush_block t =
       t.pending <- [];
       write_string t (Buffer.contents buf);
       flush t.oc;
+      Obs.observe_since h_append t0;
       if t.sync = Per_write then fsync t
 
 let drop_block t =
@@ -185,6 +206,7 @@ let commit t =
   flush_block t;
   write_marker t "commit" (string_of_int (t.commit_seq + 1));
   t.commit_seq <- t.commit_seq + 1;
+  Obs.Metrics.incr c_commits;
   t.commits <- t.commits + 1
 
 (* An abort discards the pending block and records a durable marker, so
@@ -204,13 +226,16 @@ let abort t =
    the complete new one. *)
 let rotate t ~base =
   check_open t;
+  let tok = Obs.Trace.begin_ "journal.rotate" in
   t.pending <- [];
   let tmp = t.path ^ ".rotating" in
   let oc = open_segment tmp in
   let previous = t.oc in
   t.oc <- oc;
   Fun.protect
-    ~finally:(fun () -> if t.oc == oc then () else close_out_noerr oc)
+    ~finally:(fun () ->
+      Obs.Trace.end_into h_rotate tok;
+      if t.oc == oc then () else close_out_noerr oc)
     (fun () ->
       write_string t (header ^ "\n");
       let buf = Buffer.create 1024 in
@@ -225,7 +250,9 @@ let rotate t ~base =
       Sys.rename tmp t.path;
       close_out_noerr previous;
       t.commit_seq <- t.commit_seq + 1;
+      Obs.Metrics.incr c_commits;
       t.commits <- t.commits + 1;
+      Obs.Metrics.incr c_rotations;
       t.rotations <- t.rotations + 1;
       t.appends <- t.appends + List.length base)
 

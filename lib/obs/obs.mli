@@ -1,0 +1,199 @@
+(** The observability layer: named counters, gauges and log-scale latency
+    histograms, plus lightweight nestable trace spans recorded into a
+    bounded ring buffer and streamed to pluggable sinks.
+
+    The whole subsystem sits behind one global [enabled] flag: every
+    recording entry point is a single load-and-branch when disabled, and
+    the disabled path allocates nothing (property-tested).  Metric and
+    histogram handles are registered once by name at module-load time and
+    then incremented through the handle — the hot path never hashes.
+
+    The registry is global (one process, one engine instance in every
+    current deployment): two engines in one process share counters, which
+    is the conventional process-wide metrics model.  Tests isolate
+    themselves with {!reset}/{!hard_reset}.
+
+    Environment activation: [CHIMERA_METRICS=1] enables metrics at
+    startup; [CHIMERA_TRACE=1] additionally enables span recording (ring
+    buffer only), [CHIMERA_TRACE=stderr] attaches the human-readable
+    stderr sink, and any other [CHIMERA_TRACE=PATH] attaches the JSONL
+    file sink (flushed at exit). *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val now_ns : unit -> int
+(** The current clock reading in nanoseconds (monotone under the default
+    clock for the sub-second spans measured here; replaceable). *)
+
+val set_clock : (unit -> int) -> unit
+(** Replaces the clock — deterministic tests drive spans and histograms
+    with a hand-stepped counter. *)
+
+(** {1 Metrics} *)
+
+module Metrics : sig
+  type counter
+
+  val counter : string -> counter
+  (** Registers (or retrieves) the counter of that name. *)
+
+  val incr : counter -> unit
+  val add : counter -> int -> unit
+  val counter_value : counter -> int
+  val counter_name : counter -> string
+
+  type gauge
+
+  val gauge : string -> gauge
+  val set_gauge : gauge -> int -> unit
+  val gauge_value : gauge -> int
+
+  (** Log-scale latency histograms: bucket [i] counts observations in
+      [[2{^i}, 2{^i+1})] nanoseconds; observations below 1 clamp to
+      bucket 0. *)
+
+  type histogram
+
+  val histogram : string -> histogram
+  val observe : histogram -> int -> unit
+
+  val bucket_index : int -> int
+  (** [floor (log2 (max v 1))] — the bucket an observation lands in. *)
+
+  val bucket_lower : int -> int
+  (** [2{^i}], the inclusive lower bound of bucket [i]. *)
+
+  type histogram_stat = {
+    h_count : int;
+    h_sum : int;
+    h_min : int;  (** 0 when empty *)
+    h_max : int;
+    h_buckets : (int * int) list;
+        (** (inclusive lower bound, count), populated buckets only,
+            ascending *)
+  }
+
+  val histogram_stat : histogram -> histogram_stat
+end
+
+val start_timer : unit -> int
+(** A latency-measurement origin: the clock when enabled, [0] when
+    disabled (so the disabled path never reads the clock). *)
+
+val observe_since : Metrics.histogram -> int -> unit
+(** Records [now_ns () - t0] into the histogram; no-op when disabled or
+    when the origin was taken disabled ([t0 = 0]). *)
+
+(** {1 Trace spans} *)
+
+module Trace : sig
+  type span = {
+    name : string;
+    detail : string;  (** free-form qualifier, e.g. the rule name *)
+    start_ns : int;
+    dur_ns : int;
+    depth : int;  (** nesting depth at begin; 0 = top level *)
+    tx : int;  (** transaction id current at begin *)
+    eid : int;  (** last event EID current at begin *)
+  }
+
+  val set_tx : int -> unit
+  (** Sets the transaction id carried by subsequently begun spans. *)
+
+  val set_eid : int -> unit
+  (** Sets the event EID carried by subsequently begun spans. *)
+
+  val begin_ : ?detail:string -> string -> int
+  (** Opens a span; returns a token for {!end_}, or [-1] when disabled.
+      Allocation-free when disabled. *)
+
+  val end_ : int -> unit
+  (** Closes the span of that token, recording it into the ring and the
+      sinks.  Inner spans left open (an exception skipped their [end_])
+      are closed first, so every begin gets its end.  No-op on [-1]. *)
+
+  val end_into : Metrics.histogram -> int -> unit
+  (** {!end_} that also observes the span's duration into the histogram
+      (one clock read for both). *)
+
+  val instant : ?detail:string -> string -> unit
+  (** A zero-duration marker span (e.g. an event raise). *)
+
+  val with_span : ?detail:string -> string -> (unit -> 'a) -> 'a
+  (** [begin_]/[end_] around [f], balanced on exceptions.  Convenience
+      for cold paths (the closure allocates even when disabled). *)
+
+  val open_depth : unit -> int
+  (** Currently open spans — 0 whenever the system is quiescent. *)
+
+  val recorded : unit -> span list
+  (** Ring contents, oldest first; at most {!ring_capacity} spans. *)
+
+  val ring_capacity : unit -> int
+
+  val set_ring_capacity : int -> unit
+  (** Replaces the ring (contents dropped); capacity must be positive. *)
+end
+
+(** {1 Snapshots and sinks} *)
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  gauges : (string * int) list;
+  histograms : (string * Metrics.histogram_stat) list;
+}
+
+val snapshot : unit -> snapshot
+
+val pp_snapshot : Format.formatter -> snapshot -> unit
+(** Aligned tables: counters, gauges, then histograms with count / mean /
+    max and the populated log-scale buckets. *)
+
+module Sink : sig
+  (** The sink contract: [on_span] is called once per completed span, in
+      completion order (innermost first), only while enabled; [on_snapshot]
+      receives the full metrics snapshot on {!publish}; [on_flush] must
+      make everything durable (files flushed).  Sinks must not call back
+      into the recording API. *)
+  type t = {
+    name : string;
+    on_span : Trace.span -> unit;
+    on_snapshot : snapshot -> unit;
+    on_flush : unit -> unit;
+  }
+
+  val attach : t -> unit
+  val detach : string -> unit
+  val detach_all : unit -> unit
+  val attached : unit -> string list
+
+  val memory : unit -> t * (unit -> Trace.span list)
+  (** Collects spans in memory; the closure returns them oldest first. *)
+
+  val stderr : unit -> t
+  (** Human-readable one-line-per-span to stderr; snapshots pretty-print. *)
+
+  val jsonl : path:string -> t
+  (** One JSON object per line: spans as they complete, the snapshot as a
+      [{"snapshot": ...}] line on publish.  [on_flush] flushes the file;
+      the channel stays open for the process lifetime. *)
+
+  val span_to_json : Trace.span -> string
+
+  val span_of_json : string -> (Trace.span, string) result
+  (** Parses a line written by {!span_to_json} (round-trip tested). *)
+end
+
+val publish : unit -> unit
+(** Pushes the current snapshot to every sink, then flushes them all. *)
+
+val reset : unit -> unit
+(** Zeroes every registered metric, clears the span ring, the open-span
+    stack and the trace context.  Registered names and attached sinks
+    survive. *)
+
+val hard_reset : unit -> unit
+(** {!reset} plus: unregisters every metric and detaches every sink.
+    Handles obtained before a [hard_reset] keep working but are no longer
+    reachable from snapshots.  Test isolation only. *)

@@ -12,6 +12,26 @@ open Chimera_util
 open Chimera_event
 open Chimera_calculus
 open Chimera_store
+module Obs = Chimera_obs.Obs
+
+(* The engine phases of one transaction — event raise, rule wake,
+   condition eval, action exec — plus the transaction boundaries
+   (commit/abort/recover) each get a counter and, where latency is
+   interesting, a histogram fed by a span. *)
+let c_lines = Obs.Metrics.counter "engine.lines"
+let c_blocks = Obs.Metrics.counter "engine.blocks"
+let c_considerations = Obs.Metrics.counter "engine.considerations"
+let c_executions = Obs.Metrics.counter "engine.executions"
+let c_operations = Obs.Metrics.counter "engine.operations"
+let c_commits = Obs.Metrics.counter "engine.commits"
+let c_aborts = Obs.Metrics.counter "engine.aborts"
+let c_block_rollbacks = Obs.Metrics.counter "engine.block_rollbacks"
+let c_recover_entries = Obs.Metrics.counter "engine.recover.entries"
+let h_line = Obs.Metrics.histogram "engine.line_ns"
+let h_condition = Obs.Metrics.histogram "engine.condition_ns"
+let h_action = Obs.Metrics.histogram "engine.action_ns"
+let h_commit = Obs.Metrics.histogram "engine.commit_ns"
+let h_abort = Obs.Metrics.histogram "engine.abort_ns"
 
 type error =
   [ Condition.error
@@ -109,6 +129,8 @@ type t = {
   timers : timer Queue.t;  (** in definition order; maturing is in-order *)
   timer_index : (string, unit) Hashtbl.t;  (** O(1) duplicate rejection *)
   stats : stats;
+  mutable tx_id : int;
+      (** monotone per-engine transaction number, carried by trace spans *)
   mutable journal : Journal.t option;
   (* The transaction savepoint: everything {!abort} winds back to. *)
   mutable tx_sp : Object_store.savepoint;
@@ -126,6 +148,8 @@ let timer_list t =
 (* Marks the transaction start: the state {!abort} restores.  Called at
    creation, after every commit, and after recovery. *)
 let begin_transaction t =
+  t.tx_id <- t.tx_id + 1;
+  Obs.Trace.set_tx t.tx_id;
   t.tx_sp <- Object_store.savepoint t.store;
   t.tx_instant <- Event_base.now t.eb;
   t.tx_trigger <- Trigger_support.snapshot t.rules;
@@ -135,6 +159,7 @@ let create ?(config = default_config) schema =
   let eb = Event_base.create () in
   let store = Object_store.create schema in
   let rules = Rule_table.create () in
+  Obs.Trace.set_tx 1;
   {
     config;
     store;
@@ -145,6 +170,7 @@ let create ?(config = default_config) schema =
     timers = Queue.create ();
     timer_index = Hashtbl.create 8;
     stats = stats ();
+    tx_id = 1;
     journal = None;
     tx_sp = Object_store.savepoint store;
     tx_instant = Event_base.now eb;
@@ -238,6 +264,7 @@ let apply_operation t op : (Ident.Oid.t option, error) result =
   | Error e -> Error (e : Object_store.error :> error)
   | Ok emitted ->
       t.stats.operations <- t.stats.operations + 1;
+      Obs.Metrics.incr c_operations;
       journal_append t ~tag:"op" (Store_codec.op_to_line op);
       List.iter
         (fun { Operation.etype; affected } ->
@@ -274,6 +301,7 @@ let guarded_block t f =
       t.stats.operations <- operations;
       t.stats.events <- events;
       t.stats.block_rollbacks <- t.stats.block_rollbacks + 1;
+      Obs.Metrics.incr c_block_rollbacks;
       Log.debug (fun m -> m "block rolled back to instant %a" Time.pp instant);
       err
 
@@ -283,6 +311,7 @@ let guarded_block t f =
    one of a trailing [create] for [as X] bindings). *)
 let run_block t ops : (Ident.Oid.t option list, error) result =
   t.stats.blocks <- t.stats.blocks + 1;
+  Obs.Metrics.incr c_blocks;
   let* affected =
     List.fold_left
       (fun acc op ->
@@ -299,9 +328,7 @@ let run_block t ops : (Ident.Oid.t option list, error) result =
    threading environment extensions from binding creates.  The whole
    action instantiation is one block: a failing operation undoes it
    entirely. *)
-let run_action t rule envs : (unit, error) result =
-  guarded_block t @@ fun () ->
-  t.stats.blocks <- t.stats.blocks + 1;
+let run_action_body t rule envs : (unit, error) result =
   let* () =
     List.fold_left
       (fun acc env ->
@@ -328,9 +355,21 @@ let run_action t rule envs : (unit, error) result =
     t.rules;
   Ok ()
 
+let run_action t rule envs : (unit, error) result =
+  let tok = Obs.Trace.begin_ "engine.action" ~detail:(Rule.name rule) in
+  let result =
+    guarded_block t @@ fun () ->
+    t.stats.blocks <- t.stats.blocks + 1;
+    Obs.Metrics.incr c_blocks;
+    run_action_body t rule envs
+  in
+  Obs.Trace.end_into h_action tok;
+  result
+
 (* Considers the selected rule: evaluate its condition over its window,
    detrigger, and execute the action when the condition holds. *)
 let consider t rule : (unit, error) result =
+  let tok = Obs.Trace.begin_ "engine.consider" ~detail:(Rule.name rule) in
   let at = Event_base.probe_now t.eb in
   let after = Rule.formula_window_start rule ~tx_start:t.tx_start in
   let evaluator =
@@ -341,21 +380,30 @@ let consider t rule : (unit, error) result =
       Condition.Recompute
         (Ts.env ~style:t.config.trigger.Trigger_support.style t.eb ~window)
   in
-  let* envs =
+  let ctok = Obs.Trace.begin_ "engine.condition" ~detail:(Rule.name rule) in
+  let condition =
     (Condition.eval t.store evaluator ~at rule.Rule.spec.condition
       : (_, Condition.error) result
       :> (_, error) result)
   in
-  t.stats.considerations <- t.stats.considerations + 1;
-  Rule.detrigger rule ~at;
-  Log.debug (fun m ->
-      m "considering %s at %a: %d binding(s)" (Rule.name rule) Time.pp at
-        (List.length envs));
-  if envs = [] then Ok ()
-  else begin
-    t.stats.executions <- t.stats.executions + 1;
-    run_action t rule envs
-  end
+  Obs.Trace.end_into h_condition ctok;
+  let result =
+    let* envs = condition in
+    t.stats.considerations <- t.stats.considerations + 1;
+    Obs.Metrics.incr c_considerations;
+    Rule.detrigger rule ~at;
+    Log.debug (fun m ->
+        m "considering %s at %a: %d binding(s)" (Rule.name rule) Time.pp at
+          (List.length envs));
+    if envs = [] then Ok ()
+    else begin
+      t.stats.executions <- t.stats.executions + 1;
+      Obs.Metrics.incr c_executions;
+      run_action t rule envs
+    end
+  in
+  Obs.Trace.end_ tok;
+  result
 
 let coupling_filter ~include_deferred rule =
   match rule.Rule.spec.coupling with
@@ -389,16 +437,28 @@ let line_block t ops =
 
 let execute_line t ops : (unit, error) result =
   t.stats.lines <- t.stats.lines + 1;
-  let* _affected = line_block t ops in
-  process t ~include_deferred:false
+  Obs.Metrics.incr c_lines;
+  let tok = Obs.Trace.begin_ "engine.line" in
+  let result =
+    let* _affected = line_block t ops in
+    process t ~include_deferred:false
+  in
+  Obs.Trace.end_into h_line tok;
+  result
 
 (* Like {!execute_line}, additionally reporting the object affected by each
    operation (before any rule runs). *)
 let execute_line_affected t ops : (Ident.Oid.t option list, error) result =
   t.stats.lines <- t.stats.lines + 1;
-  let* affected = line_block t ops in
-  let* () = process t ~include_deferred:false in
-  Ok affected
+  Obs.Metrics.incr c_lines;
+  let tok = Obs.Trace.begin_ "engine.line" in
+  let result =
+    let* affected = line_block t ops in
+    let* () = process t ~include_deferred:false in
+    Ok affected
+  in
+  Obs.Trace.end_into h_line tok;
+  result
 
 (* After commit every rule window restarts at the commit instant, so no
    evaluation can ever reach the old occurrences again: the log can be
@@ -445,7 +505,14 @@ let checkpoint_entries t =
        (Object_store.dump_objects t.store)
   @ List.map (fun tm -> ("timer", timer_to_line tm)) (timer_list t)
 
-let commit t : (unit, error) result =
+let rec commit t : (unit, error) result =
+  let tok = Obs.Trace.begin_ "engine.commit" in
+  let result = commit_body t in
+  Obs.Trace.end_into h_commit tok;
+  (match result with Ok () -> Obs.Metrics.incr c_commits | Error _ -> ());
+  result
+
+and commit_body t : (unit, error) result =
   (* Give deferred rules a final trigger check over the whole transaction,
      then process every triggered rule. *)
   Trigger_support.check_all t.config.trigger t.stats.trigger_stats t.memo
@@ -491,6 +558,7 @@ let commit t : (unit, error) result =
    (all cached values over the truncated log go).  Observationally the
    transaction never ran. *)
 let abort t =
+  let tok = Obs.Trace.begin_ "engine.abort" in
   (match t.journal with None -> () | Some j -> Journal.abort j);
   Object_store.rollback_to t.store t.tx_sp;
   Event_base.truncate_to t.eb ~instant:t.tx_instant;
@@ -505,9 +573,11 @@ let abort t =
     t.tx_timers;
   Memo.restart t.memo t.eb;
   t.stats.aborts <- t.stats.aborts + 1;
+  Obs.Metrics.incr c_aborts;
   (* The savepoint state is unchanged — the transaction may be retried —
      but retake it so rollback internals start from a clean undo log. *)
   begin_transaction t;
+  Obs.Trace.end_into h_abort tok;
   Log.info (fun m -> m "transaction aborted; back to %a" Time.pp t.tx_start)
 
 type recovery = {
@@ -518,8 +588,11 @@ type recovery = {
   dropped_bytes : int;  (** torn-tail bytes dropped *)
 }
 
-(* Replays one journal record into the engine. *)
+(* Replays one journal record into the engine.  The progress counter
+   ticks per record attempted, so a trace of a recovery shows how far the
+   replay got even when it fails partway. *)
 let replay_entry t (entry : Journal.entry) : (unit, string) result =
+  Obs.Metrics.incr c_recover_entries;
   match entry.Journal.tag with
   | "op" -> (
       let* op = Store_codec.op_of_line entry.Journal.payload in
@@ -590,6 +663,7 @@ let recover t ~path : (recovery, string) result =
   if Object_store.oid_count t.store > 0 || Event_base.size t.eb > 0 then
     Error "Engine.recover: the engine already holds state"
   else
+    Obs.Trace.with_span "engine.recover" ~detail:path @@ fun () ->
     let* replay = Journal.read ~path in
     let* () =
       List.fold_left

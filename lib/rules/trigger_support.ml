@@ -18,6 +18,16 @@ open Chimera_util
 open Chimera_event
 open Chimera_calculus
 open Chimera_optimizer
+module Obs = Chimera_obs.Obs
+
+(* The rule-wake phase: one [trigger.wake] span per post-block sweep, and
+   counters mirroring the per-run [stats] record into the registry. *)
+let c_checks = Obs.Metrics.counter "trigger.checks"
+let c_recomputations = Obs.Metrics.counter "trigger.recomputations"
+let c_probes = Obs.Metrics.counter "trigger.probes"
+let c_skipped = Obs.Metrics.counter "trigger.skipped"
+let c_fired = Obs.Metrics.counter "trigger.fired"
+let h_wake = Obs.Metrics.histogram "trigger.wake_ns"
 
 let log_src = Logs.Src.create "chimera.trigger" ~doc:"Trigger Support decisions"
 
@@ -176,7 +186,25 @@ let check_rule config stats memo rule =
   end
 
 let check_all config stats memo table =
-  Rule_table.iter (check_rule config stats memo) table
+  if Obs.enabled () then begin
+    let checks0 = stats.checks
+    and recomputations0 = stats.recomputations
+    and probes0 = stats.probes
+    and skipped0 = stats.skipped
+    and fired0 = stats.fired in
+    let tok = Obs.Trace.begin_ "trigger.wake" in
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Trace.end_into h_wake tok;
+        Obs.Metrics.add c_checks (stats.checks - checks0);
+        Obs.Metrics.add c_recomputations
+          (stats.recomputations - recomputations0);
+        Obs.Metrics.add c_probes (stats.probes - probes0);
+        Obs.Metrics.add c_skipped (stats.skipped - skipped0);
+        Obs.Metrics.add c_fired (stats.fired - fired0))
+      (fun () -> Rule_table.iter (check_rule config stats memo) table)
+  end
+  else Rule_table.iter (check_rule config stats memo) table
 
 (* ------------------------------------------------- snapshot / restore *)
 

@@ -1,0 +1,307 @@
+(* The observability layer: bucket math, histograms under a hand-stepped
+   clock, span nesting and ring semantics, sink round-trips, and the
+   disabled-path allocation guarantee. *)
+
+open Core
+
+(* A hand-stepped clock: every reading advances by [step] ns, so span
+   durations and histogram observations are exact. *)
+let fake_clock ?(step = 10) () =
+  let now = ref 0 in
+  Obs.set_clock (fun () ->
+      now := !now + step;
+      !now)
+
+let restore_clock () = Obs.set_clock (fun () -> int_of_float (Sys.time () *. 1e9))
+
+(* Every test runs enabled with clean metric values and leaves the layer
+   disabled and restored, whatever happens. *)
+let with_obs f () =
+  Obs.set_enabled true;
+  Obs.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.reset ();
+      Obs.Sink.detach_all ();
+      restore_clock ();
+      Obs.set_enabled false)
+    f
+
+let test_bucket_math () =
+  let cases =
+    [ (0, 0); (1, 0); (2, 1); (3, 1); (4, 2); (7, 2); (8, 3); (1023, 9);
+      (1024, 10); (1025, 10); (-5, 0) ]
+  in
+  List.iter
+    (fun (v, expected) ->
+      Alcotest.(check int)
+        (Printf.sprintf "bucket_index %d" v)
+        expected
+        (Obs.Metrics.bucket_index v))
+    cases;
+  List.iter
+    (fun i ->
+      Alcotest.(check int)
+        (Printf.sprintf "bucket_lower %d" i)
+        (1 lsl i)
+        (Obs.Metrics.bucket_lower i))
+    [ 0; 1; 2; 10; 30 ];
+  (* The bucket bounds tile: every value lands in the bucket whose lower
+     bound is the largest power of two below it. *)
+  for v = 1 to 5000 do
+    let i = Obs.Metrics.bucket_index v in
+    assert (Obs.Metrics.bucket_lower i <= v);
+    assert (v < Obs.Metrics.bucket_lower (i + 1))
+  done
+
+let test_histogram () =
+  let h = Obs.Metrics.histogram "test.histogram" in
+  List.iter (Obs.Metrics.observe h) [ 1; 2; 3; 1024; 9 ];
+  let s = Obs.Metrics.histogram_stat h in
+  Alcotest.(check int) "count" 5 s.Obs.Metrics.h_count;
+  Alcotest.(check int) "sum" 1039 s.Obs.Metrics.h_sum;
+  Alcotest.(check int) "min" 1 s.Obs.Metrics.h_min;
+  Alcotest.(check int) "max" 1024 s.Obs.Metrics.h_max;
+  Alcotest.(check (list (pair int int)))
+    "buckets"
+    [ (1, 1); (2, 2); (8, 1); (1024, 1) ]
+    s.Obs.Metrics.h_buckets;
+  (* A zero-or-negative observation clamps into bucket 0. *)
+  Obs.Metrics.observe h 0;
+  let s = Obs.Metrics.histogram_stat h in
+  Alcotest.(check int) "clamped count" 6 s.Obs.Metrics.h_count;
+  Alcotest.(check int) "min after clamp" 0 s.Obs.Metrics.h_min
+
+let test_counters_gauges () =
+  let c = Obs.Metrics.counter "test.counter" in
+  let g = Obs.Metrics.gauge "test.gauge" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.add c 41;
+  Obs.Metrics.set_gauge g 17;
+  Alcotest.(check int) "counter" 42 (Obs.Metrics.counter_value c);
+  Alcotest.(check int) "gauge" 17 (Obs.Metrics.gauge_value g);
+  (* Registration is by name: the same name yields the same cell. *)
+  Obs.Metrics.incr (Obs.Metrics.counter "test.counter");
+  Alcotest.(check int) "shared by name" 43 (Obs.Metrics.counter_value c);
+  let snap = Obs.snapshot () in
+  Alcotest.(check (option int))
+    "snapshot sees it" (Some 43)
+    (List.assoc_opt "test.counter" snap.Obs.counters);
+  Obs.reset ();
+  Alcotest.(check int) "reset zeroes" 0 (Obs.Metrics.counter_value c);
+  Alcotest.(check int) "reset zeroes gauge" 0 (Obs.Metrics.gauge_value g)
+
+let test_ring_wraparound () =
+  fake_clock ();
+  Obs.Trace.set_ring_capacity 8;
+  Fun.protect ~finally:(fun () -> Obs.Trace.set_ring_capacity 4096)
+  @@ fun () ->
+  for i = 1 to 20 do
+    let tok = Obs.Trace.begin_ "span" ~detail:(string_of_int i) in
+    Obs.Trace.end_ tok
+  done;
+  let spans = Obs.Trace.recorded () in
+  Alcotest.(check int) "capacity bounds" 8 (List.length spans);
+  Alcotest.(check (list string))
+    "oldest first, newest kept"
+    [ "13"; "14"; "15"; "16"; "17"; "18"; "19"; "20" ]
+    (List.map (fun sp -> sp.Obs.Trace.detail) spans);
+  (* A smaller refill never exceeds what was recorded. *)
+  Obs.Trace.set_ring_capacity 4;
+  let tok = Obs.Trace.begin_ "solo" in
+  Obs.Trace.end_ tok;
+  Alcotest.(check int) "partial ring" 1 (List.length (Obs.Trace.recorded ()))
+
+let test_span_nesting () =
+  fake_clock ();
+  Obs.Trace.set_tx 7;
+  Obs.Trace.set_eid 3;
+  let outer = Obs.Trace.begin_ "outer" in
+  let inner = Obs.Trace.begin_ "inner" ~detail:"d" in
+  Alcotest.(check int) "two open" 2 (Obs.Trace.open_depth ());
+  Obs.Trace.end_ inner;
+  Obs.Trace.end_ outer;
+  Alcotest.(check int) "balanced" 0 (Obs.Trace.open_depth ());
+  (match Obs.Trace.recorded () with
+  | [ i; o ] ->
+      (* Completion order: the inner span lands first. *)
+      Alcotest.(check string) "inner first" "inner" i.Obs.Trace.name;
+      Alcotest.(check int) "inner depth" 1 i.Obs.Trace.depth;
+      Alcotest.(check string) "outer second" "outer" o.Obs.Trace.name;
+      Alcotest.(check int) "outer depth" 0 o.Obs.Trace.depth;
+      Alcotest.(check int) "tx stamped" 7 o.Obs.Trace.tx;
+      Alcotest.(check int) "eid stamped" 3 o.Obs.Trace.eid;
+      assert (i.Obs.Trace.dur_ns > 0);
+      assert (o.Obs.Trace.dur_ns > i.Obs.Trace.dur_ns)
+  | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans));
+  (* An exception path: with_span stays balanced, and ending an outer
+     token closes leaked inner spans (every begin gets its end). *)
+  Obs.reset ();
+  fake_clock ();
+  (try
+     Obs.Trace.with_span "raises" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check int) "with_span balanced on raise" 0 (Obs.Trace.open_depth ());
+  let outer = Obs.Trace.begin_ "outer" in
+  let _leaked = Obs.Trace.begin_ "leaked" in
+  let _leaked2 = Obs.Trace.begin_ "leaked2" in
+  Obs.Trace.end_ outer;
+  Alcotest.(check int) "outer end closes leaks" 0 (Obs.Trace.open_depth ());
+  Alcotest.(check (list string))
+    "leaked spans recorded innermost first"
+    [ "raises"; "leaked2"; "leaked"; "outer" ]
+    (List.map (fun sp -> sp.Obs.Trace.name) (Obs.Trace.recorded ()))
+
+let test_end_into () =
+  fake_clock ~step:16 ();
+  let h = Obs.Metrics.histogram "test.end_into" in
+  let tok = Obs.Trace.begin_ "timed" in
+  Obs.Trace.end_into h tok;
+  let s = Obs.Metrics.histogram_stat h in
+  Alcotest.(check int) "one observation" 1 s.Obs.Metrics.h_count;
+  (match Obs.Trace.recorded () with
+  | [ sp ] ->
+      Alcotest.(check int)
+        "histogram got the span's duration" sp.Obs.Trace.dur_ns
+        s.Obs.Metrics.h_sum
+  | _ -> Alcotest.fail "expected exactly one span")
+
+(* The engine's abort path closes every span it opened: after an abort
+   mid-transaction the trace stack is quiescent and the abort span is in
+   the ring. *)
+let test_abort_balance () =
+  let engine = Scenario.engine () in
+  let prng = Prng.create ~seed:7 in
+  Scenario.run_inventory_traffic prng engine ~lines:5 ~ops_per_line:3;
+  Engine.abort engine;
+  Alcotest.(check int) "quiescent after abort" 0 (Obs.Trace.open_depth ());
+  let names = List.map (fun sp -> sp.Obs.Trace.name) (Obs.Trace.recorded ()) in
+  Alcotest.(check bool) "abort span recorded" true
+    (List.mem "engine.abort" names);
+  Alcotest.(check bool) "line spans recorded" true
+    (List.mem "engine.line" names);
+  (* And the engine keeps working after the rollback. *)
+  Scenario.run_inventory_traffic prng engine ~lines:2 ~ops_per_line:2;
+  (match Engine.commit engine with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "commit after abort: %a" Engine.pp_error e);
+  Alcotest.(check int) "quiescent after commit" 0 (Obs.Trace.open_depth ())
+
+let test_jsonl_sink () =
+  fake_clock ();
+  let path = Filename.temp_file "chimera_obs_test" ".jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let mem, collected = Obs.Sink.memory () in
+  Obs.Sink.attach mem;
+  Obs.Sink.attach (Obs.Sink.jsonl ~path);
+  Obs.Trace.set_tx 5;
+  let outer = Obs.Trace.begin_ "outer" ~detail:{|quote " tab	 backslash \|} in
+  let inner = Obs.Trace.begin_ "inner" in
+  Obs.Trace.end_ inner;
+  Obs.Trace.end_ outer;
+  ignore (Obs.Metrics.counter "test.jsonl");
+  Obs.publish ();
+  Obs.Sink.detach_all ();
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let lines = List.rev !lines in
+  let span_lines, other =
+    List.partition (fun l -> not (String.length l > 11 && String.sub l 0 11 = {|{"snapshot"|})) lines
+  in
+  Alcotest.(check int) "two span lines + snapshot" 2 (List.length span_lines);
+  Alcotest.(check int) "one snapshot line" 1 (List.length other);
+  let parsed =
+    List.map
+      (fun line ->
+        match Obs.Sink.span_of_json line with
+        | Ok sp -> sp
+        | Error msg -> Alcotest.failf "parse-back failed on %s: %s" line msg)
+      span_lines
+  in
+  (* The file round-trips to exactly what the memory sink saw, including
+     the escaped detail string. *)
+  Alcotest.(check int) "sink agreement" (List.length (collected ()))
+    (List.length parsed);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check string) "name" a.Obs.Trace.name b.Obs.Trace.name;
+      Alcotest.(check string) "detail" a.Obs.Trace.detail b.Obs.Trace.detail;
+      Alcotest.(check int) "start" a.Obs.Trace.start_ns b.Obs.Trace.start_ns;
+      Alcotest.(check int) "dur" a.Obs.Trace.dur_ns b.Obs.Trace.dur_ns;
+      Alcotest.(check int) "depth" a.Obs.Trace.depth b.Obs.Trace.depth;
+      Alcotest.(check int) "tx" a.Obs.Trace.tx b.Obs.Trace.tx;
+      Alcotest.(check int) "eid" a.Obs.Trace.eid b.Obs.Trace.eid)
+    (collected ()) parsed
+
+let test_span_json_roundtrip () =
+  let sp =
+    {
+      Obs.Trace.name = "weird \"name\"\n";
+      detail = "\\ \t \x01 ünïcode";
+      start_ns = 123456789;
+      dur_ns = 42;
+      depth = 3;
+      tx = -1;
+      eid = 999;
+    }
+  in
+  match Obs.Sink.span_of_json (Obs.Sink.span_to_json sp) with
+  | Error msg -> Alcotest.failf "round-trip failed: %s" msg
+  | Ok back ->
+      Alcotest.(check string) "name" sp.Obs.Trace.name back.Obs.Trace.name;
+      Alcotest.(check string) "detail" sp.Obs.Trace.detail back.Obs.Trace.detail;
+      Alcotest.(check int) "start" sp.Obs.Trace.start_ns back.Obs.Trace.start_ns;
+      Alcotest.(check int) "tx" sp.Obs.Trace.tx back.Obs.Trace.tx
+
+(* The disabled path allocates nothing: a loop over every recording entry
+   point moves the minor-heap allocation pointer not at all (a lenient
+   threshold absorbs the boxed floats of the measurement itself). *)
+let test_disabled_no_alloc () =
+  Obs.set_enabled false;
+  let c = Obs.Metrics.counter "test.noalloc.counter" in
+  let g = Obs.Metrics.gauge "test.noalloc.gauge" in
+  let h = Obs.Metrics.histogram "test.noalloc.histogram" in
+  (* Warm up so any one-time lazy work is done. *)
+  Obs.Metrics.incr c;
+  let before = Gc.minor_words () in
+  for i = 1 to 10_000 do
+    Obs.Metrics.incr c;
+    Obs.Metrics.add c i;
+    Obs.Metrics.set_gauge g i;
+    Obs.Metrics.observe h i;
+    let t0 = Obs.start_timer () in
+    Obs.observe_since h t0;
+    let tok = Obs.Trace.begin_ "noalloc" in
+    Obs.Trace.end_ tok;
+    Obs.Trace.end_into h tok;
+    Obs.Trace.instant "noalloc";
+    Obs.Trace.set_tx i;
+    Obs.Trace.set_eid i
+  done;
+  let after = Gc.minor_words () in
+  let words = after -. before in
+  if words > 64.0 then
+    Alcotest.failf "disabled path allocated %.0f minor words over 10k rounds"
+      words;
+  Alcotest.(check int) "no counts either" 0 (Obs.Metrics.counter_value c);
+  Alcotest.(check int) "no spans either" 0 (List.length (Obs.Trace.recorded ()))
+
+let suite =
+  [
+    ("bucket math", `Quick, with_obs test_bucket_math);
+    ("histogram stats", `Quick, with_obs test_histogram);
+    ("counters, gauges, reset", `Quick, with_obs test_counters_gauges);
+    ("ring wraparound", `Quick, with_obs test_ring_wraparound);
+    ("span nesting and balance", `Quick, with_obs test_span_nesting);
+    ("end_into shares the clock read", `Quick, with_obs test_end_into);
+    ("abort keeps spans balanced", `Quick, with_obs test_abort_balance);
+    ("jsonl sink parse-back", `Quick, with_obs test_jsonl_sink);
+    ("span json round-trip", `Quick, with_obs test_span_json_roundtrip);
+    ("disabled mode allocates nothing", `Quick, with_obs test_disabled_no_alloc);
+  ]

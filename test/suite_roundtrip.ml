@@ -1,0 +1,85 @@
+(* Printer/parser round-trip: the concrete syntax of Fig. 1 printed by
+   [Expr.to_string] must parse back to the identical tree.  The printer
+   emits minimal parentheses from operator priorities; this property pins
+   it against the parser's associativity and precedence. *)
+
+open Core
+
+let roundtrip_set e =
+  let printed = Expr.to_string e in
+  match Expr_parse.parse printed with
+  | Error msg ->
+      QCheck.Test.fail_reportf "printed %S does not parse: %s" printed msg
+  | Ok back ->
+      if Expr.equal back e then true
+      else
+        QCheck.Test.fail_reportf
+          "round-trip changed the tree:@.printed %S@.reparsed %S" printed
+          (Expr.to_string back)
+
+let roundtrip_inst ie =
+  let printed = Expr.inst_to_string ie in
+  match Expr_parse.parse_inst printed with
+  | Error msg ->
+      QCheck.Test.fail_reportf "printed %S does not parse: %s" printed msg
+  | Ok back ->
+      if Expr.equal_inst back ie then true
+      else
+        QCheck.Test.fail_reportf
+          "round-trip changed the tree:@.printed %S@.reparsed %S" printed
+          (Expr.inst_to_string back)
+
+(* Handwritten trees covering every precedence boundary: conjunction and
+   precedence share a priority level and associate left, disjunction binds
+   loosest, negation tightest, and instance subtrees carry =-suffixed
+   operators. *)
+let test_pinned_cases () =
+  let a = Expr.prim (List.nth Gen.alphabet_list 0) in
+  let b = Expr.prim (List.nth Gen.alphabet_list 1) in
+  let c = Expr.prim (List.nth Gen.alphabet_list 2) in
+  let cases =
+    [
+      Expr.conj a (Expr.conj b c);
+      Expr.conj (Expr.conj a b) c;
+      Expr.seq a (Expr.conj b c);
+      Expr.conj (Expr.seq a b) c;
+      Expr.seq (Expr.seq a b) (Expr.seq a c);
+      Expr.disj (Expr.conj a b) c;
+      Expr.conj (Expr.disj a b) c;
+      Expr.disj a (Expr.disj b c);
+      Expr.not_ (Expr.disj a b);
+      Expr.not_ (Expr.not_ a);
+      Expr.conj (Expr.not_ a) (Expr.not_ b);
+      Expr.seq (Expr.not_ (Expr.conj a b)) c;
+    ]
+  in
+  List.iter (fun e -> ignore (roundtrip_set e)) cases;
+  let pa = Expr.I_prim (List.nth Gen.alphabet_list 0) in
+  let pb = Expr.I_prim (List.nth Gen.alphabet_list 1) in
+  let inst_cases =
+    [
+      Expr.i_seq (Expr.i_conj pa pb) pb;
+      Expr.i_conj pa (Expr.i_seq pa pb);
+      Expr.i_not (Expr.i_disj pa pb);
+      Expr.i_disj (Expr.i_not pa) (Expr.i_seq pa pb);
+    ]
+  in
+  List.iter (fun ie -> ignore (roundtrip_inst ie)) inst_cases;
+  (* Instance subtrees embedded at the set level. *)
+  List.iter
+    (fun e -> ignore (roundtrip_set e))
+    [
+      Expr.conj (Expr.inst (Expr.i_seq pa pb)) b;
+      Expr.disj a (Expr.inst (Expr.i_not pa));
+    ]
+
+let suite =
+  [
+    ("pinned precedence cases", `Quick, test_pinned_cases);
+    Gen.qcheck ~count:1000 "parse (print e) = e (full profile)"
+      (Gen.arb_set_expr Gen.Full) roundtrip_set;
+    Gen.qcheck ~count:1000 "parse (print e) = e (boolean profile)"
+      (Gen.arb_set_expr Gen.Boolean) roundtrip_set;
+    Gen.qcheck ~count:1000 "parse_inst (print ie) = ie" Gen.arb_inst_expr
+      roundtrip_inst;
+  ]

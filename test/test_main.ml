@@ -26,4 +26,7 @@ let () =
       ("edge-cases", Suite_edge.suite);
       ("lang-extensions", Suite_lang2.suite);
       ("workload", Suite_workload.suite);
+      ("obs", Suite_obs.suite);
+      ("differential", Suite_differential.suite);
+      ("roundtrip", Suite_roundtrip.suite);
     ]
