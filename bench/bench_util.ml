@@ -50,6 +50,7 @@ let seed_of_experiment = function
   | "e8" -> 808
   | "e9" -> 909
   | "e10" -> 1010
+  | "e11" -> 1111
   | _ -> 7
 
 (* ------------------------------------------------ machine-readable *)

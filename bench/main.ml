@@ -25,6 +25,7 @@ let experiments =
     ("e8", "shared memo engine path", Perf.e8);
     ("e9", "journaling overhead (fsync policy)", Durability.e9);
     ("e10", "observability overhead", Obs_overhead.e10);
+    ("e11", "wide rule sets: sweep vs indexed wake", Wide.e11);
     ("micro", "bechamel micro-benchmarks", Micro.run);
   ]
 

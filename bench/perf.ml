@@ -104,8 +104,12 @@ let detection_run ?(memoize = false) ~optimizer ~rules ~stream ~block () =
       optimizer;
       style = Ts.Logical;
       memoize;
+      (* This harness drives check_all directly without an engine, so
+         there is no listener feeding a wake index: sweep mode. *)
+      wake = Trigger_support.Sweep;
     }
   in
+  let wake = Trigger_support.Wake.create () in
   let stats = Trigger_support.stats () in
   let consider_triggered () =
     Rule_table.iter
@@ -127,7 +131,7 @@ let detection_run ?(memoize = false) ~optimizer ~rules ~stream ~block () =
         List.iter
           (fun (etype, oid) -> ignore (Event_base.record eb ~etype ~oid))
           now;
-        Trigger_support.check_all config stats memo table;
+        Trigger_support.check_all config stats memo wake table;
         consider_triggered ();
         feed later
   in
@@ -282,7 +286,7 @@ let e6 () =
       {
         Engine.default_config with
         Engine.trigger =
-          { Trigger_support.detection; optimizer; style = Ts.Logical; memoize };
+          { Trigger_support.default_config with detection; optimizer; memoize };
       }
     in
     let engine = Scenario.engine ~config () in

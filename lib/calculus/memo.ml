@@ -99,6 +99,16 @@ type t = {
   nhits : int Vec.t;
   nmisses : int Vec.t;
   ninval : int Vec.t;
+  (* The reverse V(E) index: each node subscribes to the event types of
+     its footprint, and an event-base listener bumps the subscribers'
+     arrival watermark as occurrences are recorded.  A probe whose cached
+     instant is at or past the watermark is clean — no relevant arrival
+     since — and reuses without re-probing the window. *)
+  subs : int list Event_type.Tbl.t;  (** event type -> subscribed node ids *)
+  last_arrival : int Vec.t;
+      (** per node: instant of the newest relevant occurrence (as
+          [Time.to_int]); only ever an over-approximation, so a stale
+          entry costs a re-probe, never soundness *)
 }
 
 (* Ring size: at least the number of fresh instants per block, so that
@@ -114,8 +124,22 @@ let cache_min_cost = 4
 
 let default_max_entries = 1 lsl 20
 
+(* Feed the arrival watermarks from the event base: an occurrence bumps
+   exactly the nodes subscribed to one of its index keys (its type and,
+   for qualified modifies, the unqualified alias) — the Rete-style
+   discrimination step, O(affected nodes) per event. *)
+let attach t eb =
+  Event_base.on_insert eb (fun occ ->
+      let stamp = Time.to_int (Occurrence.timestamp occ) in
+      List.iter
+        (fun key ->
+          match Event_type.Tbl.find_opt t.subs key with
+          | None -> ()
+          | Some ids -> List.iter (fun id -> Vec.set t.last_arrival id stamp) ids)
+        (Event_base.indexed_types occ))
+
 let create ?(max_entries = default_max_entries) eb =
-  {
+  let t = {
     eb;
     nodes = Vec.create ~dummy:(N_prim (Event_type.external_ ~name:"_" ~class_name:""));
     tyset = Vec.create ~dummy:Event_type.Set.empty;
@@ -137,7 +161,12 @@ let create ?(max_entries = default_max_entries) eb =
     nhits = Vec.create ~dummy:0;
     nmisses = Vec.create ~dummy:0;
     ninval = Vec.create ~dummy:0;
+    subs = Event_type.Tbl.create 64;
+    last_arrival = Vec.create ~dummy:0;
   }
+  in
+  attach t eb;
+  t
 
 let hits t = t.hits
 let misses t = t.misses
@@ -167,6 +196,19 @@ let alloc t node ~types ~stable ~cost =
       Vec.push t.nhits 0;
       Vec.push t.nmisses 0;
       Vec.push t.ninval 0;
+      (* Subscribe the node to its V(E) types and start its watermark at
+         the present: occurrences already in the log predate it, so the
+         watermark never understates a relevant arrival. *)
+      Event_type.Set.iter
+        (fun ty ->
+          let ids =
+            match Event_type.Tbl.find_opt t.subs ty with
+            | Some ids -> ids
+            | None -> []
+          in
+          Event_type.Tbl.replace t.subs ty (id :: ids))
+        types;
+      Vec.push t.last_arrival (Time.to_int (Event_base.now t.eb));
       Hashtbl.add t.node_ids node id;
       Obs.Metrics.set_gauge g_nodes (Vec.length t.nodes);
       id
@@ -332,7 +374,7 @@ and eval_inst t ~after ~at id oid =
             else if
               s.iat < ati
               && Vec.get t.stable id
-              && (Time.to_int (Event_base.now t.eb) <= s.iat
+              && (Vec.get t.last_arrival id <= s.iat
                  || not
                       (arrival_on t ~after ~lo:(Time.of_int s.iat) ~at
                          (Vec.get t.tyset id) oid))
@@ -465,7 +507,12 @@ and eval t ~after ~at id =
           !best_at >= 0
           && !best_at < ati
           && Vec.get t.stable id
-          && (Time.to_int (Event_base.now t.eb) <= !best_at
+          (* Clean slot: the subscription watermark says no occurrence of
+             the node's types arrived after the cached instant — an O(1)
+             reuse.  A raised watermark (which may only over-approximate)
+             falls back to the precise arrival probe, which still matters
+             for sub-instant re-probes inside sequences. *)
+          && (Vec.get t.last_arrival id <= !best_at
              || not
                   (arrival_in t ~lo:(Time.of_int !best_at) ~at
                      (Vec.get t.tyset id)))
@@ -561,7 +608,16 @@ let restart t eb =
   Vec.iter Hashtbl.reset t.inst_slots;
   t.inst_entries <- 0;
   Obs.Metrics.incr c_restarts;
-  t.eb <- eb
+  (* Rebuild the subscription feed for the (possibly fresh) event base:
+     re-attach the listener when the log changed and restart every
+     watermark at the new present — conservative for whatever the new log
+     already contains, exact from the next occurrence on. *)
+  let fresh_eb = not (eb == t.eb) in
+  t.eb <- eb;
+  for id = 0 to Vec.length t.last_arrival - 1 do
+    Vec.set t.last_arrival id (Time.to_int (Event_base.now eb))
+  done;
+  if fresh_eb then attach t eb
 
 (* ------------------------------------------- per-node observability *)
 

@@ -1,8 +1,13 @@
 (* The Event Base: the append-only log of event occurrences of a transaction
    (Fig. 3), with the per-type index tree the implementation section
-   describes (Occurred Events structure: per-type occurrence lists keeping
-   the most recent timestamp at each leaf) and a per-(type, object) index for
-   the instance-oriented operators. *)
+   describes (Occurred Events structure) and a per-(type, object) index for
+   the instance-oriented operators.
+
+   The per-type index is a *posting list*: a Vec of log indices per event
+   type, appended on record and cut by truncate_to.  Because the log is in
+   timestamp order, a posting list is too, so every type-restricted query
+   (last_of_type, newest_of_type, oids_of_type, window scans) is a binary
+   search over postings instead of a walk of the raw log. *)
 
 open Chimera_util
 module Obs = Chimera_obs.Obs
@@ -12,6 +17,13 @@ module Obs = Chimera_obs.Obs
    observable wherever it happens: engine lines, rule actions, timers,
    recovery replay and the baseline detectors alike. *)
 let c_recorded = Obs.Metrics.counter "events.recorded"
+
+(* Posting-list traffic: appends on record, probes on type-restricted
+   queries, and the number of distinct lists — the discrimination-network
+   footprint visible in [chimera stats]. *)
+let c_posting_appends = Obs.Metrics.counter "eventbase.posting_appends"
+let c_posting_probes = Obs.Metrics.counter "eventbase.posting_probes"
+let g_posting_lists = Obs.Metrics.gauge "eventbase.posting_lists"
 
 module Type_oid_key = struct
   type t = Event_type.t * int
@@ -26,13 +38,15 @@ type t = {
   clock : Time.Clock.clock;
   eids : Ident.Eid.gen;
   log : Occurrence.t Vec.t;
-  by_type : Occurrence.t Vec.t Event_type.Tbl.t;
+  by_type : int Vec.t Event_type.Tbl.t;  (** posting lists of log indices *)
   by_type_oid : Time.t Vec.t Type_oid_tbl.t;
   (* Per-object event instants (the "sparse data structure" of Section 5):
      lets [oids_in] check each known object with a binary search instead of
      scanning the window. *)
   by_oid : (int, Time.t Vec.t) Hashtbl.t;
   oid_registry : int Vec.t;  (** first-seen order *)
+  mutable listeners : (Occurrence.t -> unit) list;
+      (** notified after every insert, in registration order *)
 }
 
 let dummy_occurrence =
@@ -50,19 +64,26 @@ let create () =
     by_type_oid = Type_oid_tbl.create 256;
     by_oid = Hashtbl.create 256;
     oid_registry = Vec.create ~dummy:0;
+    listeners = [];
   }
 
 let clock t = t.clock
 let size t = Vec.length t.log
 let now t = Time.Clock.now t.clock
 let probe_now t = Time.Clock.probe_now t.clock
+let on_insert t f = t.listeners <- t.listeners @ [ f ]
+
+(* Timestamp of the log entry a posting refers to: the (non-decreasing)
+   search key of every posting-list bisection. *)
+let stamp_at t i = Occurrence.timestamp (Vec.get t.log i)
 
 let type_index t etype =
   match Event_type.Tbl.find_opt t.by_type etype with
   | Some v -> v
   | None ->
-      let v = Vec.create ~dummy:dummy_occurrence in
+      let v = Vec.create ~dummy:0 in
       Event_type.Tbl.add t.by_type etype v;
+      Obs.Metrics.set_gauge g_posting_lists (Event_type.Tbl.length t.by_type);
       v
 
 let type_oid_index t etype oid =
@@ -84,6 +105,8 @@ let index_types occ =
       [ etype; Event_type.modify ~class_name:(Event_type.class_name etype) () ]
   | _ -> [ etype ]
 
+let indexed_types = index_types
+
 let oid_index t oid =
   let key = Ident.Oid.to_int oid in
   match Hashtbl.find_opt t.by_oid key with
@@ -97,15 +120,18 @@ let oid_index t oid =
 let insert t occ =
   Obs.Metrics.incr c_recorded;
   Obs.Trace.set_eid (Ident.Eid.to_int (Occurrence.eid occ));
+  let pos = Vec.length t.log in
   Vec.push t.log occ;
   Vec.push (oid_index t (Occurrence.oid occ)) (Occurrence.timestamp occ);
   List.iter
     (fun key ->
-      Vec.push (type_index t key) occ;
+      Vec.push (type_index t key) pos;
+      Obs.Metrics.incr c_posting_appends;
       Vec.push
         (type_oid_index t key (Occurrence.oid occ))
         (Occurrence.timestamp occ))
-    (index_types occ)
+    (index_types occ);
+  List.iter (fun f -> f occ) t.listeners
 
 let record t ~etype ~oid =
   let timestamp = Time.Clock.next_event_instant t.clock in
@@ -131,12 +157,13 @@ let record_at t ~etype ~oid ~timestamp =
    rewind the clock and EID generator, so the log is exactly what it was
    when [instant] was the present.  Every index is append-only in
    timestamp order, so each one is cut with a single binary search; the
-   per-object registry is in first-seen order, so objects first seen
-   after the cut form a suffix. *)
+   posting lists are cut *before* the log so their entries still resolve,
+   and the per-object registry is in first-seen order, so objects first
+   seen after the cut form a suffix. *)
 let truncate_to t ~instant =
   let cut v ~key = Vec.truncate v (Vec.bisect_right v ~key instant + 1) in
+  Event_type.Tbl.iter (fun _ v -> cut v ~key:(stamp_at t)) t.by_type;
   cut t.log ~key:Occurrence.timestamp;
-  Event_type.Tbl.iter (fun _ v -> cut v ~key:Occurrence.timestamp) t.by_type;
   Type_oid_tbl.iter (fun _ v -> cut v ~key:(fun x -> x)) t.by_type_oid;
   Hashtbl.iter (fun _ v -> cut v ~key:(fun x -> x)) t.by_oid;
   let rec drop_fresh_oids () =
@@ -155,30 +182,33 @@ let truncate_to t ~instant =
 
 let clipped_upper window ~at = Time.min at (Window.upto window)
 
+let postings t etype =
+  let r = Event_type.Tbl.find_opt t.by_type etype in
+  if r <> None then Obs.Metrics.incr c_posting_probes;
+  r
+
 (* Timestamp of the most recent occurrence of [etype] inside [window],
    observed at instant [at]; [None] when there is none.  This is the
    positive branch of the paper's ts function for primitive event types. *)
 let last_of_type t ~etype ~window ~at =
-  match Event_type.Tbl.find_opt t.by_type etype with
+  match postings t etype with
   | None -> None
   | Some v -> (
       let upper = clipped_upper window ~at in
-      let i = Vec.bisect_right v ~key:Occurrence.timestamp upper in
+      let i = Vec.bisect_right v ~key:(stamp_at t) upper in
       if i < 0 then None
       else
-        let ts = Occurrence.timestamp (Vec.get v i) in
+        let ts = stamp_at t (Vec.get v i) in
         if Time.( > ) ts (Window.after window) then Some ts else None)
 
-(* Newest occurrence of [etype] anywhere in the log, O(1): the per-type
-   index is append-only, so its last entry is the answer.  Lets callers
+(* Newest occurrence of [etype] anywhere in the log, O(1): the posting
+   list is append-only, so its last entry is the answer.  Lets callers
    rule out an arrival after some instant without a binary search. *)
 let newest_of_type t ~etype =
   match Event_type.Tbl.find_opt t.by_type etype with
   | None -> None
   | Some v -> (
-      match Vec.last v with
-      | Some occ -> Some (Occurrence.timestamp occ)
-      | None -> None)
+      match Vec.last v with Some i -> Some (stamp_at t i) | None -> None)
 
 (* Per-object variant: the positive branch of ots. *)
 let last_of_type_on t ~etype ~oid ~window ~at =
@@ -196,7 +226,7 @@ let last_of_type_on t ~etype ~oid ~window ~at =
    same modify-attribute aliasing the indexes use)?  The gap between two
    successive probes is typically a handful of occurrences, so a short
    gap is answered by scanning it once; a long one falls back to one
-   index probe per type. *)
+   posting-list probe per type. *)
 let occurred_in t ~types ~after ~upto =
   if Time.( >= ) after upto then false
   else begin
@@ -216,11 +246,11 @@ let occurred_in t ~types ~after ~upto =
     else
       Event_type.Set.exists
         (fun etype ->
-          match Event_type.Tbl.find_opt t.by_type etype with
+          match postings t etype with
           | None -> false
           | Some v ->
-              let i = Vec.bisect_right v ~key:Occurrence.timestamp upto in
-              i >= 0 && Time.( > ) (Occurrence.timestamp (Vec.get v i)) after)
+              let i = Vec.bisect_right v ~key:(stamp_at t) upto in
+              i >= 0 && Time.( > ) (stamp_at t (Vec.get v i)) after)
         types
   end
 
@@ -245,8 +275,16 @@ let occurrences_in t ~window =
 let timestamps_in t ~window =
   List.map Occurrence.timestamp (occurrences_in t ~window)
 
+(* Two bisections, not a window scan: this is the R <> 0 gate the
+   Trigger Support consults on every rule check. *)
 let is_empty_in t ~window =
-  match occurrences_in t ~window with [] -> true | _ :: _ -> false
+  let lo =
+    Vec.bisect_after t.log ~key:Occurrence.timestamp (Window.after window)
+  in
+  let hi =
+    Vec.bisect_right t.log ~key:Occurrence.timestamp (Window.upto window)
+  in
+  hi < lo
 
 module Int_set = Set.Make (Int)
 
@@ -273,15 +311,18 @@ let oids_in t ~window ~at =
 (* Distinct objects affected by occurrences of [etype] in [window] at
    [at]; the candidate set for evaluating event formulas. *)
 let oids_of_type t ~etype ~window ~at =
-  match Event_type.Tbl.find_opt t.by_type etype with
+  match postings t etype with
   | None -> []
   | Some v ->
       let upper = clipped_upper window ~at in
-      let lo = Vec.bisect_after v ~key:Occurrence.timestamp (Window.after window) in
-      let hi = Vec.bisect_right v ~key:Occurrence.timestamp upper in
+      let lo = Vec.bisect_after v ~key:(stamp_at t) (Window.after window) in
+      let hi = Vec.bisect_right v ~key:(stamp_at t) upper in
       let acc = ref Int_set.empty in
       for i = lo to hi do
-        acc := Int_set.add (Ident.Oid.to_int (Occurrence.oid (Vec.get v i))) !acc
+        acc :=
+          Int_set.add
+            (Ident.Oid.to_int (Occurrence.oid (Vec.get t.log (Vec.get v i))))
+            !acc
       done;
       List.map Ident.Oid.of_int (Int_set.elements !acc)
 
@@ -296,6 +337,28 @@ let timestamps_of_type_on t ~etype ~oid ~window ~at =
       let hi = Vec.bisect_right v ~key:(fun x -> x) upper in
       let rec loop i acc = if i < lo then acc else loop (i - 1) (Vec.get v i :: acc) in
       loop hi []
+
+(* Ascending, de-duplicated instants in (after, upto] that carry at least
+   one of [types]: the relevant-instant set a delta-driven trigger check
+   probes, gathered by merging the per-type posting ranges instead of
+   scanning the window. *)
+let timestamps_of_types_in t ~types ~after ~upto =
+  if Time.( >= ) after upto then []
+  else begin
+    let acc = ref Int_set.empty in
+    List.iter
+      (fun etype ->
+        match postings t etype with
+        | None -> ()
+        | Some v ->
+            let lo = Vec.bisect_after v ~key:(stamp_at t) after in
+            let hi = Vec.bisect_right v ~key:(stamp_at t) upto in
+            for i = lo to hi do
+              acc := Int_set.add (Vec.get v i) !acc
+            done)
+      types;
+    List.map (stamp_at t) (Int_set.elements !acc)
+  end
 
 let to_list t = Vec.to_list t.log
 

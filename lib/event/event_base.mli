@@ -24,6 +24,17 @@ val record_at :
 (** Appends at a caller-chosen instant, which must be a strictly increasing
     event instant; used by tests and workload replay. *)
 
+val on_insert : t -> (Occurrence.t -> unit) -> unit
+(** Registers a listener called after every recorded occurrence (engine
+    lines, timers, recovery replay alike), in registration order — the
+    feed of the subscription indexes.  Listeners survive [truncate_to]
+    and are never unregistered; register at most once per consumer. *)
+
+val indexed_types : Occurrence.t -> Event_type.t list
+(** The posting-list keys an occurrence is indexed under: its exact type
+    and, for attribute-qualified modify events, also the unqualified
+    modify on the same class (so coarse subscriptions see it). *)
+
 val truncate_to : t -> instant:Time.t -> unit
 (** Forgets every occurrence strictly after [instant] (across the log and
     all indexes) and rewinds the clock and EID generator, leaving the
@@ -74,6 +85,13 @@ val timestamps_of_type_on :
   Time.t list
 (** Ascending occurrence instants of [etype] on [oid]; drives the [at]
     event formula. *)
+
+val timestamps_of_types_in :
+  t -> types:Event_type.t list -> after:Time.t -> upto:Time.t -> Time.t list
+(** Ascending, de-duplicated instants in [(after, upto]] carrying at
+    least one of [types] (under the modify-attribute aliasing the
+    indexes use), merged from the per-type posting lists — the
+    relevant-instant set a delta-driven trigger check probes. *)
 
 val to_list : t -> Occurrence.t list
 val pp : Format.formatter -> t -> unit

@@ -84,6 +84,7 @@ let of_expr e =
 let v_set t = t.v
 let has_negative t = t.has_negative
 let always_relevant t = t.always_relevant
+let positive_types t = t.positive
 
 (* [occurrence] is the (possibly attribute-qualified) type of an arriving
    event; a subscription on the unqualified modify matches it too. *)

@@ -17,6 +17,11 @@ val always_relevant : t -> bool
 (** The expression can be active on a window with no occurrence of its own
     primitive types (negation-dominated); every arrival is then relevant. *)
 
+val positive_types : t -> Event_type.t list
+(** The positive-variation subscriptions of V(E): the event types whose
+    arrival can flip the rule's ts sign when neither [has_negative] nor
+    [always_relevant] holds — the reverse-index subscription set. *)
+
 val relevant_endpoint : t -> occurrence:Event_type.t -> bool
 (** Sound for endpoint detection (evaluate ts at the current instant). *)
 

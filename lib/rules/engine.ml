@@ -125,6 +125,9 @@ type t = {
           rule, cache entries keyed by window; survives commits and
           compactions via {!Memo.restart} *)
   rules : Rule_table.t;
+  wake : Trigger_support.Wake.t;
+      (** the reverse V(E) index over rules, fed by an event-base
+          listener; the indexed wake drains its dirty set *)
   mutable tx_start : Time.t;
   timers : timer Queue.t;  (** in definition order; maturing is in-order *)
   timer_index : (string, unit) Hashtbl.t;  (** O(1) duplicate rejection *)
@@ -159,6 +162,8 @@ let create ?(config = default_config) schema =
   let eb = Event_base.create () in
   let store = Object_store.create schema in
   let rules = Rule_table.create () in
+  let wake = Trigger_support.Wake.create () in
+  Event_base.on_insert eb (Trigger_support.Wake.on_event wake);
   Obs.Trace.set_tx 1;
   {
     config;
@@ -166,6 +171,7 @@ let create ?(config = default_config) schema =
     eb;
     memo = Memo.create eb;
     rules;
+    wake;
     tx_start = Event_base.probe_now eb;
     timers = Queue.create ();
     timer_index = Hashtbl.create 8;
@@ -210,7 +216,15 @@ let journal_append t ~tag payload =
   | None -> ()
   | Some j -> Journal.append j ~tag payload
 
-let define t spec = Rule_table.add t.rules ~tx_start:t.tx_start spec
+let define t spec =
+  match Rule_table.add t.rules ~tx_start:t.tx_start spec with
+  | Ok rule as ok ->
+      (* Into the wake index (and its dirty set) the moment it exists:
+         occurrences already in this transaction's window get their
+         trigger check at the next wake. *)
+      Trigger_support.Wake.add_rule t.wake rule;
+      ok
+  | Error _ as e -> e
 
 (* Registers a periodic timer; returns the event type rules subscribe to
    (an external event on the pseudo-class "timer").  Duplicate names are
@@ -321,7 +335,7 @@ let run_block t ops : (Ident.Oid.t option list, error) result =
       (Ok []) ops
   in
   Trigger_support.check_all t.config.trigger t.stats.trigger_stats t.memo
-    t.rules;
+    t.wake t.rules;
   Ok (List.rev affected)
 
 (* Executes a rule's action for every binding produced by its condition,
@@ -352,7 +366,7 @@ let run_action_body t rule envs : (unit, error) result =
       (Ok ()) envs
   in
   Trigger_support.check_all t.config.trigger t.stats.trigger_stats t.memo
-    t.rules;
+    t.wake t.rules;
   Ok ()
 
 let run_action t rule envs : (unit, error) result =
@@ -392,6 +406,10 @@ let consider t rule : (unit, error) result =
     t.stats.considerations <- t.stats.considerations + 1;
     Obs.Metrics.incr c_considerations;
     Rule.detrigger rule ~at;
+    (* The consideration moved the rule's windows: re-arm it for the next
+       wake independently of new arrivals (under endpoint detection its
+       first post-consideration check can matter even without them). *)
+    Trigger_support.Wake.mark t.wake rule;
     Log.debug (fun m ->
         m "considering %s at %a: %d binding(s)" (Rule.name rule) Time.pp at
           (List.length envs));
@@ -466,6 +484,7 @@ let execute_line_affected t ops : (Ident.Oid.t option list, error) result =
 let compact t =
   let fresh = Event_base.create () in
   Time.Clock.advance_to (Event_base.clock fresh) (Event_base.now t.eb);
+  Event_base.on_insert fresh (Trigger_support.Wake.on_event t.wake);
   t.eb <- fresh
 
 (* ------------------------------------------------- journal integration *)
@@ -516,7 +535,7 @@ and commit_body t : (unit, error) result =
   (* Give deferred rules a final trigger check over the whole transaction,
      then process every triggered rule. *)
   Trigger_support.check_all t.config.trigger t.stats.trigger_stats t.memo
-    t.rules;
+    t.wake t.rules;
   let* () = process t ~include_deferred:true in
   let compacted =
     match t.config.compact_at_commit with
@@ -563,6 +582,10 @@ let abort t =
   Object_store.rollback_to t.store t.tx_sp;
   Event_base.truncate_to t.eb ~instant:t.tx_instant;
   Trigger_support.restore t.rules t.tx_trigger;
+  (* Rules defined in the aborted transaction left the table; everything
+     else moved its windows back.  Re-derive the wake index and mark all
+     dirty — one sweep-equivalent wake, then delta-driven again. *)
+  Trigger_support.Wake.rebuild t.wake t.rules;
   Queue.clear t.timers;
   Hashtbl.reset t.timer_index;
   List.iter
@@ -682,6 +705,9 @@ let recover t ~path : (recovery, string) result =
     let fresh_start = Event_base.probe_now t.eb in
     t.tx_start <- fresh_start;
     Rule_table.iter (fun rule -> Rule.reset rule ~tx_start:fresh_start) t.rules;
+    (* The replay recorded events through the same listener feed, but the
+       windows all moved: re-derive the wake index from scratch. *)
+    Trigger_support.Wake.rebuild t.wake t.rules;
     Memo.restart t.memo t.eb;
     begin_transaction t;
     let report =

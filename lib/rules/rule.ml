@@ -40,6 +40,9 @@ type t = {
   mutable memo_handle : (Memo.t * Memo.handle) option;
       (** the rule's event expression interned into the engine's shared
           memo; handles survive restarts, so this is set once per memo *)
+  mutable wake_pending : bool;
+      (** already enqueued in the dirty-rule set of the indexed wake
+          (see {!Trigger_support.Wake}); dedups marking in O(1) *)
 }
 
 let spec t = t.spec
@@ -86,6 +89,7 @@ let make ~seqno ~tx_start spec =
           last_recomputation = Time.origin;
           last_sign_positive = false;
           memo_handle = None;
+          wake_pending = false;
         }
 
 (* Two distinct windows (the paper keeps them orthogonal):

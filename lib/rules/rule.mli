@@ -37,6 +37,9 @@ type t = {
       (** the rule's event expression interned into the engine's shared
           memo (see {!Trigger_support}); handles survive restarts, so
           this is set once per memo *)
+  mutable wake_pending : bool;
+      (** already enqueued in the dirty-rule set of the indexed wake
+          (see {!Trigger_support.Wake}); dedups marking in O(1) *)
 }
 
 val spec : t -> spec

@@ -27,6 +27,8 @@ let c_recomputations = Obs.Metrics.counter "trigger.recomputations"
 let c_probes = Obs.Metrics.counter "trigger.probes"
 let c_skipped = Obs.Metrics.counter "trigger.skipped"
 let c_fired = Obs.Metrics.counter "trigger.fired"
+let c_woken = Obs.Metrics.counter "trigger.woken"
+let c_idle = Obs.Metrics.counter "trigger.idle"
 let h_wake = Obs.Metrics.histogram "trigger.wake_ns"
 
 let log_src = Logs.Src.create "chimera.trigger" ~doc:"Trigger Support decisions"
@@ -34,6 +36,7 @@ let log_src = Logs.Src.create "chimera.trigger" ~doc:"Trigger Support decisions"
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type detection = Exact | Endpoint
+type wake_mode = Sweep | Indexed
 
 type stats = {
   mutable checks : int;  (** per-rule trigger checks performed *)
@@ -41,17 +44,29 @@ type stats = {
   mutable probes : int;  (** instants at which ts was evaluated *)
   mutable skipped : int;  (** checks skipped thanks to V(E) *)
   mutable fired : int;  (** rule triggerings *)
+  mutable woken : int;  (** rules drained from the dirty set *)
+  mutable idle : int;  (** rules a wake never visited *)
 }
 
 let stats () =
-  { checks = 0; recomputations = 0; probes = 0; skipped = 0; fired = 0 }
+  {
+    checks = 0;
+    recomputations = 0;
+    probes = 0;
+    skipped = 0;
+    fired = 0;
+    woken = 0;
+    idle = 0;
+  }
 
 let reset_stats s =
   s.checks <- 0;
   s.recomputations <- 0;
   s.probes <- 0;
   s.skipped <- 0;
-  s.fired <- 0
+  s.fired <- 0;
+  s.woken <- 0;
+  s.idle <- 0
 
 type config = {
   detection : detection;
@@ -63,10 +78,99 @@ type config = {
           bound, so moving windows invalidate nothing).  The memoized
           path uses the logical style; both styles agree on every
           expression and instant (property-tested). *)
+  wake : wake_mode;
+      (** [Sweep] visits every rule after every block (the legacy path);
+          [Indexed] drains only the rules subscribed to a type that
+          arrived since their last visit — O(affected rules) per block,
+          behaviour-preserving (differential-tested against [Sweep]). *)
 }
 
 let default_config =
-  { detection = Exact; optimizer = true; style = Ts.Logical; memoize = true }
+  {
+    detection = Exact;
+    optimizer = true;
+    style = Ts.Logical;
+    memoize = true;
+    wake = Indexed;
+  }
+
+(* ------------------------------------------------------ indexed wake *)
+
+(* The reverse V(E) index over whole rules: each rule subscribes to the
+   positive-variation types of its V(E) — or to every arrival when type
+   filtering is unsound for it (negative variations, or activation on
+   windows without own occurrences; the conservative union of what either
+   detection mode needs.  An arriving occurrence marks exactly the
+   subscribed rules dirty, and the post-block wake drains the dirty set
+   instead of sweeping the table.  Marking is O(1) and deduplicated by
+   the rule's [wake_pending] flag, so the dirty set is bounded by the
+   rule count whatever the event volume. *)
+module Wake = struct
+  type t = {
+    subs : Rule.t list Event_type.Tbl.t;
+        (** positive-variation subscriptions, keyed like the event base's
+            posting lists (qualified modifies match under their alias) *)
+    mutable wildcard : Rule.t list;  (** marked on every arrival *)
+    mutable dirty : Rule.t list;  (** pending drain, newest first *)
+  }
+
+  let create () =
+    { subs = Event_type.Tbl.create 32; wildcard = []; dirty = [] }
+
+  let mark t rule =
+    if not rule.Rule.wake_pending then begin
+      rule.Rule.wake_pending <- true;
+      t.dirty <- rule :: t.dirty
+    end
+
+  let subscribe t rule =
+    let relevance = Rule.relevance rule in
+    if Relevance.has_negative relevance || Relevance.always_relevant relevance
+    then t.wildcard <- rule :: t.wildcard
+    else
+      List.iter
+        (fun ty ->
+          let rules =
+            match Event_type.Tbl.find_opt t.subs ty with
+            | Some rules -> rules
+            | None -> []
+          in
+          Event_type.Tbl.replace t.subs ty (rule :: rules))
+        (Relevance.positive_types relevance)
+
+  (* A rule enters dirty as it enters the index: events already in its
+     window (defined mid-transaction) get their check at the next wake. *)
+  let add_rule t rule =
+    subscribe t rule;
+    mark t rule
+
+  let on_event t occ =
+    List.iter (mark t) t.wildcard;
+    List.iter
+      (fun key ->
+        match Event_type.Tbl.find_opt t.subs key with
+        | Some rules -> List.iter (mark t) rules
+        | None -> ())
+      (Event_base.indexed_types occ)
+
+  (* Re-derive the whole index from the table — the abort/recovery path,
+     where rules may have been removed and every window moved.  Marks
+     everything dirty: one full sweep-equivalent wake, then delta-driven
+     again. *)
+  let rebuild t table =
+    List.iter (fun rule -> rule.Rule.wake_pending <- false) t.dirty;
+    Event_type.Tbl.reset t.subs;
+    t.wildcard <- [];
+    t.dirty <- [];
+    Rule_table.iter (add_rule t) table
+
+  (* Oldest-first, so a drain visits rules in marking order. *)
+  let drain t =
+    let d = t.dirty in
+    t.dirty <- [];
+    List.iter (fun rule -> rule.Rule.wake_pending <- false) d;
+    List.rev d
+end
 
 (* The rule's event expression interned into [memo] — once per memo;
    handles survive restarts. *)
@@ -148,6 +252,47 @@ let check_rule config stats memo rule =
         | Exact ->
             let first_scan = Time.equal rule.Rule.scan_from after in
             let relevance = Rule.relevance rule in
+            (* Delta-driven candidate restriction: when the rule's sign
+               can only flip at an arrival of one of its positive V(E)
+               types (no negative variations, inactive on windows without
+               own occurrences — the very property the V(E) skip below
+               already relies on), the probe instants come straight off
+               the posting lists: O(log n + matches) instead of scanning
+               the whole uncovered window.  The window's lower-bound and
+               current-instant probes of a first scan are unnecessary
+               here: such a rule is inactive on an empty prefix, and its
+               sign at [now] equals its sign at its newest own arrival. *)
+            let restricted =
+              config.wake = Indexed && config.optimizer
+              && (not (Relevance.has_negative relevance))
+              && not (Relevance.always_relevant relevance)
+            in
+            if restricted then begin
+              let candidates =
+                Event_base.timestamps_of_types_in eb
+                  ~types:(Relevance.positive_types relevance)
+                  ~after:rule.Rule.scan_from ~upto:now
+              in
+              match candidates with
+              | [] ->
+                  stats.skipped <- stats.skipped + 1;
+                  Log.debug (fun m ->
+                      m "rule %s: no posting in scan window" (Rule.name rule));
+                  rule.Rule.scan_from <- now
+              | _ :: _ ->
+                  stats.recomputations <- stats.recomputations + 1;
+                  let found =
+                    List.exists
+                      (fun at ->
+                        stats.probes <- stats.probes + 1;
+                        rule_active config memo ~window ~at rule)
+                      candidates
+                  in
+                  rule.Rule.scan_from <- now;
+                  rule.Rule.last_sign_positive <- found;
+                  if found then trigger stats rule
+            end
+            else
             let skip =
               config.optimizer
               && (not (relevant_arrival config eb rule ~from:rule.Rule.scan_from ~upto:now))
@@ -185,13 +330,28 @@ let check_rule config stats memo rule =
     end
   end
 
-let check_all config stats memo table =
+(* One post-block wake: the sweep visits every rule; the indexed wake
+   drains the dirty set — rules untouched by the block's events are never
+   visited, and show up in [idle] instead. *)
+let run_checks config stats memo wake table =
+  match config.wake with
+  | Sweep -> Rule_table.iter (check_rule config stats memo) table
+  | Indexed ->
+      let woken = Wake.drain wake in
+      let n = List.length woken in
+      stats.woken <- stats.woken + n;
+      stats.idle <- stats.idle + max 0 (Rule_table.cardinal table - n);
+      List.iter (check_rule config stats memo) woken
+
+let check_all config stats memo wake table =
   if Obs.enabled () then begin
     let checks0 = stats.checks
     and recomputations0 = stats.recomputations
     and probes0 = stats.probes
     and skipped0 = stats.skipped
-    and fired0 = stats.fired in
+    and fired0 = stats.fired
+    and woken0 = stats.woken
+    and idle0 = stats.idle in
     let tok = Obs.Trace.begin_ "trigger.wake" in
     Fun.protect
       ~finally:(fun () ->
@@ -201,10 +361,12 @@ let check_all config stats memo table =
           (stats.recomputations - recomputations0);
         Obs.Metrics.add c_probes (stats.probes - probes0);
         Obs.Metrics.add c_skipped (stats.skipped - skipped0);
-        Obs.Metrics.add c_fired (stats.fired - fired0))
-      (fun () -> Rule_table.iter (check_rule config stats memo) table)
+        Obs.Metrics.add c_fired (stats.fired - fired0);
+        Obs.Metrics.add c_woken (stats.woken - woken0);
+        Obs.Metrics.add c_idle (stats.idle - idle0))
+      (fun () -> run_checks config stats memo wake table)
   end
-  else Rule_table.iter (check_rule config stats memo) table
+  else run_checks config stats memo wake table
 
 (* ------------------------------------------------- snapshot / restore *)
 

@@ -3,6 +3,7 @@
     window, consulting V(E) to skip recomputations that cannot flip the
     sign. *)
 
+open Chimera_event
 open Chimera_calculus
 
 type detection =
@@ -15,12 +16,21 @@ type detection =
           sketched in the implementation section.  Equivalent to [Exact]
           on negation-free rules (activation is monotone). *)
 
+type wake_mode =
+  | Sweep  (** visit every rule after every block — the legacy path *)
+  | Indexed
+      (** drain only the rules subscribed (via V(E)) to a type that
+          arrived since their last visit: O(affected rules) per block,
+          behaviour-preserving (differential-tested against [Sweep]) *)
+
 type stats = {
   mutable checks : int;  (** per-rule trigger checks performed *)
   mutable recomputations : int;  (** ts (re)computations *)
   mutable probes : int;  (** instants at which ts was evaluated *)
   mutable skipped : int;  (** checks skipped thanks to V(E) *)
   mutable fired : int;  (** rule triggerings *)
+  mutable woken : int;  (** rules drained from the dirty set *)
+  mutable idle : int;  (** rules a wake never visited *)
 }
 
 val stats : unit -> stats
@@ -36,10 +46,41 @@ type config = {
           keys carry the window's lower bound, so moving windows
           invalidate nothing.  The memoized path evaluates in the logical
           style (both styles agree, property-tested). *)
+  wake : wake_mode;
 }
 
 val default_config : config
-(** Exact detection, optimizer on, logical style, memoized evaluation. *)
+(** Exact detection, optimizer on, logical style, memoized evaluation,
+    indexed wake. *)
+
+(** The reverse V(E) index over rules: each rule subscribes to the
+    positive-variation types of its V(E) (or to every arrival when type
+    filtering is unsound for it); an arriving occurrence marks the
+    subscribed rules dirty, and the post-block wake under [Indexed]
+    drains the dirty set instead of sweeping the table.  Marking is O(1),
+    deduplicated by {!Rule.t.wake_pending}, so the dirty set is bounded
+    by the rule count. *)
+module Wake : sig
+  type t
+
+  val create : unit -> t
+
+  val on_event : t -> Occurrence.t -> unit
+  (** Feed from {!Event_base.on_insert}: marks the subscribers of the
+      occurrence's index keys dirty. *)
+
+  val add_rule : t -> Rule.t -> unit
+  (** Subscribes a newly defined rule and marks it dirty, so events
+      already in its window get their check at the next wake. *)
+
+  val mark : t -> Rule.t -> unit
+  (** Forces a rule into the next drain — the consideration path, whose
+      window move re-arms the rule independently of new arrivals. *)
+
+  val rebuild : t -> Rule_table.t -> unit
+  (** Re-derives the whole index from the table and marks every rule
+      dirty — the abort/recovery path. *)
+end
 
 val check_rule : config -> stats -> Memo.t -> Rule.t -> unit
 (** Checks one non-triggered rule at the current instant over its
@@ -49,7 +90,9 @@ val check_rule : config -> stats -> Memo.t -> Rule.t -> unit
     shared evaluation cache bound to the engine's event base; it carries
     the event base even when [memoize] is off. *)
 
-val check_all : config -> stats -> Memo.t -> Rule_table.t -> unit
+val check_all : config -> stats -> Memo.t -> Wake.t -> Rule_table.t -> unit
+(** One post-block wake: sweeps the table or drains the dirty set,
+    according to [config.wake]. *)
 
 type snapshot
 (** The per-rule runtime state the Trigger Support owns (triggered flag,

@@ -168,10 +168,147 @@ let test_verdicts_agree_after_restart () =
   done;
   Alcotest.(check int) "no disagreements" 0 !failures
 
+(* ------------------------------------------- wake-mode differential *)
+
+(* The indexed wake (subscription table + dirty-set drain) against the
+   per-block sweep, at full engine level: the same seeded rules and the
+   same operation history through two engines differing only in
+   [Trigger_support.wake] must show identical rule behaviour after every
+   line — same considerations, executions, firings and recorded events —
+   and identical ts values for every rule expression at the end.  The
+   160 seeds reuse the two seed ranges above; the second range commits
+   mid-stream so the dirty set also survives a window restart. *)
+
+let wake_rule name event =
+  {
+    Rule.name;
+    target = None;
+    event;
+    condition = [];
+    action = [];
+    coupling = Rule.Immediate;
+    consumption = Rule.Consuming;
+    priority = 0;
+  }
+
+(* Abstract alphabet types mapped onto store events the engine can
+   actually generate (same trick as the trigger suite). *)
+let to_domain =
+  Expr.map_primitives (fun p ->
+      match Event_type.to_string p with
+      | "evA(obj)" -> Domain.create_stock
+      | "evB(obj)" -> Domain.modify_stock_quantity
+      | _ -> Domain.delete_stock)
+
+let wake_engine ~wake exprs =
+  let config =
+    {
+      Engine.default_config with
+      Engine.trigger =
+        { Trigger_support.default_config with Trigger_support.wake };
+    }
+  in
+  let engine = Engine.create ~config (Domain.schema ()) in
+  List.iteri
+    (fun i e ->
+      match Engine.define engine (wake_rule (Printf.sprintf "r%d" i) e) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "define: %a" Engine.pp_error e)
+    exprs;
+  engine
+
+let wake_step engine (kind, idx) =
+  let live = Object_store.extent (Engine.store engine) ~class_name:"stock" in
+  let op =
+    match (kind, live) with
+    | 0, _ | _, [] ->
+        Domain.new_stock ~quantity:(10 + idx) ~maxquantity:100 ~minquantity:0
+    | 1, l ->
+        Operation.Modify
+          {
+            oid = List.nth l (idx mod List.length l);
+            attribute = "quantity";
+            value = Value.Int idx;
+          }
+    | _, l -> Operation.Delete { oid = List.nth l (idx mod List.length l) }
+  in
+  match Engine.execute_line engine [ op ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "line: %a" Engine.pp_error e
+
+let wake_fingerprint engine =
+  let s = Engine.statistics engine in
+  ( s.Engine.considerations,
+    s.Engine.executions,
+    s.Engine.events,
+    s.Engine.trigger_stats.Trigger_support.fired )
+
+let run_wake_scenario ~seed ~commit_at =
+  let prng = Prng.create ~seed in
+  let alphabet = Domain.abstract_alphabet 3 in
+  let nexprs = 1 + (seed mod 4) in
+  let exprs =
+    List.init nexprs (fun _ ->
+        to_domain
+          (Expr_gen.gen prng ~profile:Expr_gen.boolean_profile ~alphabet
+             ~depth:(1 + (seed mod 4)) ()))
+  in
+  let history =
+    List.init 25 (fun _ ->
+        (Prng.next_int prng ~bound:3, Prng.next_int prng ~bound:8))
+  in
+  let sweep = wake_engine ~wake:Trigger_support.Sweep exprs in
+  let indexed = wake_engine ~wake:Trigger_support.Indexed exprs in
+  List.iteri
+    (fun step opspec ->
+      wake_step sweep opspec;
+      wake_step indexed opspec;
+      (match commit_at with
+      | Some cut when step = cut ->
+          let ok = function
+            | Ok () -> ()
+            | Error e -> Alcotest.failf "commit: %a" Engine.pp_error e
+          in
+          ok (Engine.commit sweep);
+          ok (Engine.commit indexed)
+      | _ -> ());
+      if wake_fingerprint sweep <> wake_fingerprint indexed then
+        let c, x, v, f = wake_fingerprint sweep
+        and c', x', v', f' = wake_fingerprint indexed in
+        Alcotest.failf
+          "seed %d step %d: sweep cons=%d exec=%d events=%d fired=%d vs \
+           indexed cons=%d exec=%d events=%d fired=%d"
+          seed step c x v f c' x' v' f')
+    history;
+  (* ts agreement: both logs are identical, and both memo caches — fed
+     through entirely different probe schedules — must agree on every
+     rule's activation timestamp at the end. *)
+  let at = Event_base.probe_now (Engine.event_base sweep) in
+  List.iter
+    (fun e ->
+      let a = Memo.ts (Engine.memo sweep) ~after:Time.origin ~at e in
+      let b = Memo.ts (Engine.memo indexed) ~after:Time.origin ~at e in
+      if a <> b then
+        Alcotest.failf "seed %d expr %s: ts sweep=%d indexed=%d" seed
+          (Expr.to_string e) a b)
+    exprs
+
+let test_wake_modes_agree () =
+  for i = 0 to scenarios - 1 do
+    run_wake_scenario ~seed:(1000 + i) ~commit_at:None
+  done;
+  for i = 0 to 39 do
+    let seed = 5000 + i in
+    run_wake_scenario ~seed ~commit_at:(Some (10 + (seed mod 10)))
+  done
+
 let suite =
   [
     ( Printf.sprintf "%d scenarios x 4 engines agree" scenarios,
       `Quick,
       test_verdicts_agree );
     ("windowed restart keeps agreement", `Quick, test_verdicts_agree_after_restart);
+    ( Printf.sprintf "%d scenarios: sweep wake = indexed wake" (scenarios + 40),
+      `Quick,
+      test_wake_modes_agree );
   ]

@@ -89,7 +89,14 @@ let drive_inventory ~memoize ~compact =
       Engine.default_config with
       Engine.compact_at_commit = (if compact then Some 1 else None);
       trigger =
-        { Trigger_support.default_config with Trigger_support.memoize };
+        (* Sweep wake: the indexed wake filters the probe stream so hard
+           that this workload produces no repeated probes, and the point
+           here is to exercise the cache (asserted below). *)
+        {
+          Trigger_support.default_config with
+          Trigger_support.memoize;
+          wake = Trigger_support.Sweep;
+        };
     }
   in
   let engine = Scenario.engine ~config () in

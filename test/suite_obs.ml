@@ -292,6 +292,60 @@ let test_disabled_no_alloc () =
   Alcotest.(check int) "no counts either" 0 (Obs.Metrics.counter_value c);
   Alcotest.(check int) "no spans either" 0 (List.length (Obs.Trace.recorded ()))
 
+(* The wake/posting-list counters added with the indexed trigger wake
+   all move under ordinary engine traffic: the subscription-driven drain
+   wakes rules (and leaves the rest idle), and the event base maintains
+   per-type posting lists on every insert. *)
+let test_wake_counters_move () =
+  let engine = Scenario.engine () in
+  (* A rule on a type the traffic never generates: it subscribes but is
+     never woken, so the idle counter has something to count. *)
+  ignore
+    (Engine.define_exn engine
+       {
+         Rule.name = "dormant";
+         target = None;
+         event = Expr.prim Domain.modify_show_quantity;
+         condition = [];
+         action = [];
+         coupling = Rule.Immediate;
+         consumption = Rule.Consuming;
+         priority = 0;
+       });
+  let prng = Prng.create ~seed:11 in
+  Scenario.run_inventory_traffic prng engine ~lines:10 ~ops_per_line:3;
+  let snap = Obs.snapshot () in
+  let counter name =
+    match List.assoc_opt name snap.Obs.counters with
+    | Some n -> n
+    | None -> Alcotest.failf "%s not registered" name
+  in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s > 0" name)
+        true
+        (counter name > 0))
+    [
+      "trigger.woken";
+      "trigger.idle";
+      "eventbase.posting_appends";
+      "eventbase.posting_probes";
+    ];
+  let lists =
+    match List.assoc_opt "eventbase.posting_lists" snap.Obs.gauges with
+    | Some n -> n
+    | None -> Alcotest.fail "eventbase.posting_lists not registered"
+  in
+  Alcotest.(check bool) "posting_lists gauge > 0" true (lists > 0);
+  (* The dirty set over-approximates: woken plus idle accounts for every
+     rule the sweep would have visited. *)
+  let stats = Engine.statistics engine in
+  let t = stats.Engine.trigger_stats in
+  Alcotest.(check int)
+    "woken mirrors engine stats" t.Trigger_support.woken
+    (counter "trigger.woken")
+
 let suite =
   [
     ("bucket math", `Quick, with_obs test_bucket_math);
@@ -301,6 +355,8 @@ let suite =
     ("span nesting and balance", `Quick, with_obs test_span_nesting);
     ("end_into shares the clock read", `Quick, with_obs test_end_into);
     ("abort keeps spans balanced", `Quick, with_obs test_abort_balance);
+    ("wake and posting-list counters move", `Quick,
+      with_obs test_wake_counters_move);
     ("jsonl sink parse-back", `Quick, with_obs test_jsonl_sink);
     ("span json round-trip", `Quick, with_obs test_span_json_roundtrip);
     ("disabled mode allocates nothing", `Quick, with_obs test_disabled_no_alloc);

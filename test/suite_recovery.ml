@@ -374,6 +374,70 @@ let test_abort_qcheck =
       && event_log aborted = event_log reference
       && ts_probes aborted = ts_probes reference)
 
+(* ------------------------------- posting lists / wake index rebuild *)
+
+(* The type-indexed structures added for the indexed wake — per-type
+   posting lists in the event base and the subscription-driven dirty set
+   in the engine — are rebuilt, not journaled.  Regression: after an
+   abort and after a crash-style recovery they must answer type-indexed
+   queries exactly like a reference engine that only ever saw the
+   committed prefix, and a follow-up transaction must trigger rules
+   identically (a stale or empty wake index would silently under-fire). *)
+let posting_dump engine =
+  let eb = Engine.event_base engine in
+  let upto = Event_base.probe_now eb in
+  List.map
+    (fun etype ->
+      List.map Time.to_int
+        (Event_base.timestamps_of_types_in eb ~types:[ etype ]
+           ~after:Time.origin ~upto))
+    Domain.all_event_types
+
+let firing_counts engine =
+  let s = Engine.statistics engine in
+  (s.Engine.considerations, s.Engine.executions,
+   s.Engine.trigger_stats.Trigger_support.fired)
+
+let test_posting_lists_survive_abort_and_recovery () =
+  let path = temp_journal () in
+  Fun.protect ~finally:(fun () -> remove_if_exists path) @@ fun () ->
+  let engine = Scenario.engine () in
+  Engine.set_journal engine (Journal.create ~path ());
+  drive engine ~txs:2 ~lines:6 ~ops:3;
+  (* An aborted transaction must leave no trace in the posting lists. *)
+  let prng = Prng.create ~seed:(fault_seed + 3) in
+  Scenario.run_inventory_traffic prng engine ~lines:6 ~ops_per_line:3;
+  Engine.abort engine;
+  let reference = reference_after ~seed:fault_seed ~txs:2 ~lines:6 ~ops:3 () in
+  Alcotest.(check (list (list int)))
+    "posting lists after abort" (posting_dump reference) (posting_dump engine);
+  Option.iter Journal.close (Engine.journal engine);
+  (* Crash-style recovery into a fresh engine: the posting lists and the
+     wake subscriptions are rebuilt from the replayed log. *)
+  let recovered = Scenario.engine () in
+  (match Engine.recover recovered ~path with
+  | Error msg -> Alcotest.fail msg
+  | Ok report ->
+      Alcotest.(check int) "two txs" 2 report.Engine.recovered_commits);
+  check_same_state ~msg:"posting recovery" reference recovered;
+  Alcotest.(check (list (list int)))
+    "posting lists after recovery" (posting_dump reference)
+    (posting_dump recovered);
+  (* The follow-up transaction exercises the rebuilt wake index: the
+     standard rules must consider and fire exactly as on the reference
+     (both engines run the default indexed wake). *)
+  let base_ref = firing_counts reference in
+  let base_rec = firing_counts recovered in
+  drive ~seed:(fault_seed + 4) reference ~txs:1 ~lines:8 ~ops:3;
+  drive ~seed:(fault_seed + 4) recovered ~txs:1 ~lines:8 ~ops:3;
+  let d (a, b, c) (a', b', c') = (a - a', b - b', c - c') in
+  let pp (a, b, c) = Printf.sprintf "cons=%d exec=%d fired=%d" a b c in
+  Alcotest.(check string)
+    "post-recovery trigger behaviour"
+    (pp (d (firing_counts reference) base_ref))
+    (pp (d (firing_counts recovered) base_rec));
+  check_same_state ~msg:"post-recovery transaction" reference recovered
+
 (* --------------------------------------------------- block atomicity *)
 
 (* A block whose Nth operation fails must leave no trace: store, event
@@ -527,6 +591,8 @@ let suite =
       test_crash_recovery_rotation;
     Alcotest.test_case "abort ≡ never ran (incl. follow-up tx)" `Quick
       test_abort_equiv_never_ran;
+    Alcotest.test_case "posting lists + wake survive abort and recovery"
+      `Quick test_posting_lists_survive_abort_and_recovery;
     test_abort_qcheck;
     Alcotest.test_case "failed block leaves no trace" `Quick
       test_failed_block_rolls_back;

@@ -75,12 +75,13 @@ let arb_workload =
         (list_size (int_range 1 5) (Gen.gen_set_expr Gen.Full))
         (list_size (int_range 0 25) (pair (int_range 0 2) (int_range 0 7))))
 
-let run_config ?(memoize = false) detection optimizer (es, h) =
+let run_config ?(memoize = false) ?(wake = Trigger_support.Indexed) detection
+    optimizer (es, h) =
   let config =
     {
       Engine.default_config with
       Engine.trigger =
-        { Trigger_support.detection; optimizer; style = Ts.Logical; memoize };
+        { Trigger_support.detection; optimizer; style = Ts.Logical; memoize; wake };
     }
   in
   let engine = Engine.create ~config (Domain.schema ()) in
@@ -132,7 +133,7 @@ let test_exact_catches_transient () =
       {
         Engine.default_config with
         Engine.trigger =
-          { Trigger_support.detection; optimizer = true; style = Ts.Logical; memoize = false };
+          { Trigger_support.default_config with detection; memoize = false };
       }
     in
     let engine = Engine.create ~config (Domain.schema ()) in
@@ -268,6 +269,68 @@ let engine_is_deterministic =
          = b.Engine.trigger_stats.Trigger_support.fired)
 
 let suite = suite @ [ engine_is_deterministic ]
+
+(* The counter-budget guard (runs in CI via `dune runtest`): under the
+   indexed wake, per-event trigger work must stay flat as the rule set
+   widens — a regression that reintroduces any O(rules)-per-event cost
+   into the wake path blows these budgets and fails the build.  The
+   scenario is the E11 shape in miniature: [n] rules over disjoint event
+   types, round-robin creates, so exactly one rule is relevant per
+   line. *)
+let test_indexed_counter_budget () =
+  let n = 50 and lines = 400 in
+  let class_name i = Printf.sprintf "b%d" i in
+  let schema = Schema.create () in
+  for i = 0 to n - 1 do
+    match Schema.define schema ~name:(class_name i) ~attributes:[] () with
+    | Ok _ -> ()
+    | Error _ -> Alcotest.fail "schema"
+  done;
+  let config =
+    {
+      Engine.default_config with
+      Engine.trigger =
+        {
+          Trigger_support.default_config with
+          Trigger_support.wake = Trigger_support.Indexed;
+        };
+    }
+  in
+  let engine = Engine.create ~config schema in
+  for i = 0 to n - 1 do
+    ignore
+      (Engine.define_exn engine
+         (noop_rule
+            (Printf.sprintf "b%d" i)
+            (Expr.prim (Event_type.create ~class_name:(class_name i)))))
+  done;
+  for line = 0 to lines - 1 do
+    ok
+      (Engine.execute_line engine
+         [ Operation.Create { class_name = class_name (line mod n); attrs = [] } ])
+  done;
+  let s = Engine.statistics engine in
+  let t = s.Engine.trigger_stats in
+  let events = s.Engine.events in
+  Alcotest.(check bool) "traffic ran" true (events >= lines);
+  (* Budgets: a constant per event plus a one-off [n] for the
+     definition-time backlog drain (every fresh rule is checked once).
+     The sweep wake blows these by a factor of ~n. *)
+  let budget name actual limit =
+    if actual > limit then
+      Alcotest.failf "%s budget exceeded: %d > %d (events=%d, rules=%d)" name
+        actual limit events n
+  in
+  budget "trigger.probes" t.Trigger_support.probes ((2 * events) + n);
+  budget "trigger.checks" t.Trigger_support.checks ((4 * events) + (2 * n));
+  budget "trigger.woken" t.Trigger_support.woken ((4 * events) + (2 * n))
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "indexed wake counter budget (CI guard)" `Quick
+        test_indexed_counter_budget;
+    ]
 
 (* Condition atoms form a conjunctive query: evaluation must be
    order-independent (the planner may reorder them freely). *)
