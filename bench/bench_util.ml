@@ -51,6 +51,7 @@ let seed_of_experiment = function
   | "e9" -> 909
   | "e10" -> 1010
   | "e11" -> 1111
+  | "e12" -> 1212
   | _ -> 7
 
 (* ------------------------------------------------ machine-readable *)

@@ -26,6 +26,7 @@ let experiments =
     ("e9", "journaling overhead (fsync policy)", Durability.e9);
     ("e10", "observability overhead", Obs_overhead.e10);
     ("e11", "wide rule sets: sweep vs indexed wake", Wide.e11);
+    ("e12", "network serving throughput (1 vs 4 shards)", Serve_bench.e12);
     ("micro", "bechamel micro-benchmarks", Micro.run);
   ]
 

@@ -1,0 +1,151 @@
+(* E12: network serving throughput — connection scaling, 1 vs 4 engine
+   shards.
+
+   The server and the load generator are both single-threaded pollable
+   reactors, so the bench interleaves [Server.poll] and [Loadgen.poll]
+   co-operatively in this one process: the numbers measure the full
+   protocol path (framing, session multiplexing, engine execution,
+   reply) without scheduler or loopback-stack noise dominating.  Every
+   LINE creates one object and fires the boot trigger, so each round
+   trip is one real transaction-line's worth of engine work.
+
+   Sharding changes *serialization*, not parallelism (one thread): with
+   1 shard all C sessions funnel their transactions through one engine
+   and queue FIFO; with 4 shards sessions hash across 4 independent
+   engines, so the queue behind any one transaction is a quarter as
+   long.  The table reports how throughput and tail latency respond. *)
+
+open Core
+
+let lines = 150
+let commit_every = 10
+let shard_counts = [ 1; 4 ]
+let conn_counts = [ 8; 64 ]
+
+let boot_script =
+  "define class item (n: integer);\n\
+   define class audit (tag: string);\n\
+   define immediate trigger onItem for item\n\
+  \  events { create(item) }\n\
+  \  condition item(I), occurred({ create(item) }, I), I.n > 0\n\
+  \  actions create audit(tag = \"item\")\n\
+   end;\n"
+
+type row = {
+  shards : int;
+  conns : int;
+  report : Loadgen.report;
+}
+
+let run_one ~shards ~conns =
+  let server_config =
+    {
+      Server.default_config with
+      Server.engines = shards;
+      boot_script = Some boot_script;
+      max_conns = conns + 8;
+      idle_timeout = 0.;
+    }
+  in
+  match Server.create server_config with
+  | Error msg -> failwith msg
+  | Ok srv ->
+      let lg =
+        match
+          Loadgen.create
+            {
+              Loadgen.default_config with
+              Loadgen.port = Server.port srv;
+              conns;
+              lines;
+              commit_every;
+            }
+        with
+        | Ok lg -> lg
+        | Error msg -> failwith msg
+      in
+      let rec drive () =
+        if not (Loadgen.finished lg) then begin
+          ignore (Server.poll srv ~timeout:0.);
+          Loadgen.poll lg ~timeout:0.;
+          drive ()
+        end
+      in
+      drive ();
+      let report = Loadgen.report lg in
+      (* Epilogue: drain so journal-free shards still close sockets. *)
+      Server.request_drain srv;
+      let rec stop n =
+        if n > 0 then
+          match Server.poll srv ~timeout:0.005 with
+          | Server.Stopped -> ()
+          | Server.Running -> stop (n - 1)
+      in
+      stop 1000;
+      if report.Loadgen.errors > 0 then
+        failwith
+          (Printf.sprintf "e12: %d protocol error(s) at shards=%d conns=%d"
+             report.Loadgen.errors shards conns);
+      { shards; conns; report }
+
+let e12 () =
+  Bench_util.print_header
+    "E12: network serving throughput (1 vs 4 engine shards)";
+  Bench_util.print_note
+    (Printf.sprintf
+       "in-process loopback; %d lines/conn, commit every %d; every line \
+        creates an object and fires the boot trigger"
+       lines commit_every);
+  let rows =
+    List.concat_map
+      (fun shards ->
+        List.map (fun conns -> run_one ~shards ~conns) conn_counts)
+      shard_counts
+  in
+  Printf.printf "\n  %6s %6s %10s %12s %10s %10s %10s\n" "shards" "conns"
+    "lines" "lines/s" "p50 us" "p99 us" "max us";
+  List.iter
+    (fun { shards; conns; report = r } ->
+      Printf.printf "  %6d %6d %10d %12.0f %10d %10d %10d\n" shards conns
+        r.Loadgen.lines_ok r.Loadgen.lines_per_s
+        (r.Loadgen.lat_p50_ns / 1000)
+        (r.Loadgen.lat_p99_ns / 1000)
+        (r.Loadgen.lat_max_ns / 1000))
+    rows;
+  let base speed_of target =
+    match
+      List.find_opt (fun r -> r.shards = 1 && r.conns = target.conns) rows
+    with
+    | Some b -> speed_of target.report /. speed_of b.report
+    | None -> Float.nan
+  in
+  let speed r = r.Loadgen.lines_per_s in
+  List.iter
+    (fun r ->
+      if r.shards > 1 then
+        Printf.printf
+          "  %d conns: %d shards serve %.2fx the single-shard throughput\n"
+          r.conns r.shards (base speed r))
+    rows;
+  Bench_util.write_json ~experiment:"e12"
+    (List.map
+       (fun { shards; conns; report = r } ->
+         Bench_util.J_obj
+           [
+             ("shards", Bench_util.J_int shards);
+             ("conns", Bench_util.J_int conns);
+             ("lines_per_conn", Bench_util.J_int lines);
+             ("commit_every", Bench_util.J_int commit_every);
+             ("lines_sent", Bench_util.J_int r.Loadgen.lines_sent);
+             ("lines_ok", Bench_util.J_int r.Loadgen.lines_ok);
+             ("triggered", Bench_util.J_int r.Loadgen.triggered);
+             ("commits", Bench_util.J_int r.Loadgen.commits);
+             ("errors", Bench_util.J_int r.Loadgen.errors);
+             ("wall_s", Bench_util.J_float r.Loadgen.wall_s);
+             ("lines_per_s", Bench_util.J_float r.Loadgen.lines_per_s);
+             ("lat_p50_ns", Bench_util.J_int r.Loadgen.lat_p50_ns);
+             ("lat_p90_ns", Bench_util.J_int r.Loadgen.lat_p90_ns);
+             ("lat_p99_ns", Bench_util.J_int r.Loadgen.lat_p99_ns);
+             ("lat_max_ns", Bench_util.J_int r.Loadgen.lat_max_ns);
+           ])
+       rows)

@@ -5,6 +5,8 @@
      chimera stats script.ch        execute and report the obs snapshot
      chimera eval "A < B" "A B"     ts timeline of an expression
      chimera analyze "A + -B"       static V(E) analysis
+     chimera serve --port 7877      network ingestion server
+     chimera loadgen --port 7877    load generator against a server
      chimera repl                   interactive statements *)
 
 open Core
@@ -15,6 +17,15 @@ let read_file path =
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Every subcommand body runs under this guard so an engine-level failure
+   surfaces as an ordinary cmdliner error (exit code 1, message on
+   stderr) instead of an escaping exception (exit 125): unreadable paths
+   from [read_file]/[Journal.create] raise [Sys_error], malformed
+   numbers raise [Failure], stream items raise [Invalid_argument]. *)
+let protected f =
+  try f () with
+  | Sys_error msg | Failure msg | Invalid_argument msg -> `Error (false, msg)
 
 (* ------------------------------------------------------------- run *)
 
@@ -107,6 +118,7 @@ let config_of_wake wake =
   }
 
 let run_script trace metrics journal_path fsync wake path =
+ protected @@ fun () ->
   setup_obs ~metrics ~trace;
   let interp = Interp.create ~config:(config_of_wake wake) () in
   let journal =
@@ -174,6 +186,7 @@ let run_cmd =
    and span recording, then reports the snapshot and the hottest interned
    memo nodes — the quick profiling entry point. *)
 let stats_script top wake path =
+ protected @@ fun () ->
   Obs.set_enabled true;
   let interp = Interp.create ~config:(config_of_wake wake) () in
   match Interp.run_string interp (read_file path) with
@@ -265,6 +278,7 @@ let stats_cmd =
    executing any transaction line, then rebuilds the state after the
    last committed transaction from the journal. *)
 let recover_from_journal journal_path script_path =
+ protected @@ fun () ->
   match Lang_parser.parse (read_file script_path) with
   | Error msg -> `Error (false, msg)
   | Ok script -> (
@@ -354,6 +368,7 @@ let parse_stream s =
     items
 
 let eval_expression expr_src stream_src =
+ protected @@ fun () ->
   match Expr_parse.parse expr_src with
   | Error msg -> `Error (false, msg)
   | Ok expr ->
@@ -418,6 +433,7 @@ let analyze_cmd =
 (* ----------------------------------------------------------- graph *)
 
 let graph_script path =
+ protected @@ fun () ->
   match Lang_parser.parse (read_file path) with
   | Error msg -> `Error (false, msg)
   | Ok script ->
@@ -450,6 +466,185 @@ let graph_cmd =
     (Cmd.info "graph" ~doc:"Triggering graph and termination check of a script's rules")
     Term.(ret (const graph_script $ path))
 
+(* ----------------------------------------------------------- serve *)
+
+let serve trace metrics host port engines journal_dir fsync script max_conns
+    max_frame max_pending idle_timeout =
+ protected @@ fun () ->
+  setup_obs ~metrics ~trace;
+  let boot_script = Option.map read_file script in
+  let config =
+    {
+      Server.default_config with
+      host;
+      port;
+      engines;
+      journal_dir;
+      fsync;
+      boot_script;
+      max_conns;
+      max_frame;
+      max_pending;
+      idle_timeout;
+    }
+  in
+  match Server.create config with
+  | Error msg -> `Error (false, msg)
+  | Ok server ->
+      Server.install_signal_handlers server;
+      Printf.printf "chimera serve: listening on %s:%d (%d engine shard(s)%s)\n%!"
+        host (Server.port server) engines
+        (match journal_dir with
+        | None -> ""
+        | Some dir -> Printf.sprintf ", journals in %s" dir);
+      Server.run server;
+      finish_obs ~metrics ~trace;
+      Printf.printf "chimera serve: drained cleanly\n";
+      `Ok ()
+
+let host_arg =
+  Arg.(
+    value
+    & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind or connect to.")
+
+let serve_cmd =
+  let port =
+    Arg.(
+      value
+      & opt int Server.default_config.Server.port
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"TCP port to listen on; $(b,0) binds an ephemeral port.")
+  in
+  let engines =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "engines" ] ~docv:"N"
+          ~doc:
+            "Independent engine shards; each session is pinned to the shard \
+             its id hashes to and transactions serialize per shard.")
+  in
+  let journal_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"DIR"
+          ~doc:
+            "Directory for the per-shard write-ahead journals \
+             ($(i,DIR)/shard-$(i,N).journal), each replayable with \
+             $(b,chimera recover).")
+  in
+  let script =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "script" ] ~docv:"SCRIPT"
+          ~doc:
+            "Boot script (class, trigger and timer definitions) executed \
+             and committed on every shard before the first accept.")
+  in
+  let max_conns =
+    Arg.(
+      value
+      & opt int Server.default_config.Server.max_conns
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:"Connection admission cap; further accepts get $(b,ERR busy).")
+  in
+  let max_frame =
+    Arg.(
+      value
+      & opt int Server.default_config.Server.max_frame
+      & info [ "max-frame" ] ~docv:"BYTES"
+          ~doc:"Frame payload cap; larger frames close the connection.")
+  in
+  let max_pending =
+    Arg.(
+      value
+      & opt int Server.default_config.Server.max_pending
+      & info [ "max-pending" ] ~docv:"N"
+          ~doc:"Per-session bound on commands queued behind a busy shard.")
+  in
+  let idle_timeout =
+    Arg.(
+      value
+      & opt float Server.default_config.Server.idle_timeout
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:"Close sessions idle this long; $(b,0) disables.")
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Serves the engine over TCP with the length-prefixed frame protocol \
+         (HELLO, LINE, COMMIT, ABORT, STATS, PING, QUIT).  SIGTERM and \
+         SIGINT drain gracefully: accepts stop, lines already received \
+         finish, clients get $(b,ERR shutdown), journals flush, and the \
+         process exits 0.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "serve" ~man ~doc:"Serve the engine over TCP")
+    Term.(
+      ret
+        (const serve $ trace_arg $ metrics_arg $ host_arg $ port $ engines
+        $ journal_dir $ fsync_arg $ script $ max_conns $ max_frame
+        $ max_pending $ idle_timeout))
+
+(* --------------------------------------------------------- loadgen *)
+
+let loadgen host port conns lines line commit_every =
+ protected @@ fun () ->
+  let config =
+    { Loadgen.default_config with host; port; conns; lines; line; commit_every }
+  in
+  match Loadgen.run config with
+  | Error msg -> `Error (false, msg)
+  | Ok report ->
+      Fmt.pr "%a@." Loadgen.pp_report report;
+      if report.Loadgen.errors > 0 then
+        `Error
+          (false, Printf.sprintf "%d protocol error(s)" report.Loadgen.errors)
+      else `Ok ()
+
+let loadgen_cmd =
+  let port =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT" ~doc:"Port of the server to drive.")
+  in
+  let conns =
+    Arg.(
+      value
+      & opt int Loadgen.default_config.Loadgen.conns
+      & info [ "conns" ] ~docv:"C" ~doc:"Concurrent connections.")
+  in
+  let lines =
+    Arg.(
+      value
+      & opt int Loadgen.default_config.Loadgen.lines
+      & info [ "lines" ] ~docv:"L" ~doc:"Transaction lines per connection.")
+  in
+  let line =
+    Arg.(
+      value
+      & opt string Loadgen.default_config.Loadgen.line
+      & info [ "line" ] ~docv:"TEXT"
+          ~doc:"Rule-language text every LINE frame carries.")
+  in
+  let commit_every =
+    Arg.(
+      value
+      & opt int Loadgen.default_config.Loadgen.commit_every
+      & info [ "commit-every" ] ~docv:"N" ~doc:"Commit every $(i,N) lines.")
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Drive a running server with concurrent protocol sessions")
+    Term.(
+      ret (const loadgen $ host_arg $ port $ conns $ lines $ line $ commit_every))
+
 (* ------------------------------------------------------------ repl *)
 
 let repl () =
@@ -481,6 +676,18 @@ let repl_cmd =
 let main_cmd =
   let doc = "Composite events in Chimera (EDBT 1996) - reproduction CLI" in
   Cmd.group (Cmd.info "chimera" ~doc)
-    [ run_cmd; stats_cmd; recover_cmd; eval_cmd; analyze_cmd; graph_cmd; repl_cmd ]
+    [
+      run_cmd;
+      stats_cmd;
+      recover_cmd;
+      eval_cmd;
+      analyze_cmd;
+      graph_cmd;
+      serve_cmd;
+      loadgen_cmd;
+      repl_cmd;
+    ]
 
-let () = exit (Cmd.eval main_cmd)
+(* ~term_err:1 so engine failures exit 1 uniformly across subcommands;
+   CLI usage errors keep cmdliner's 124. *)
+let () = exit (Cmd.eval ~term_err:1 main_cmd)

@@ -1,0 +1,14 @@
+-- Boot schema for the ingestion server; run with:
+--   chimera serve --script examples/scripts/serve_boot.ch
+--
+-- Defines the class the load generator's default LINE creates, plus a
+-- trigger so TRIGGERED replies show up under load.
+
+define class item (n: integer);
+define class audit (tag: string);
+
+define immediate trigger onItem for item
+  events { create(item) }
+  condition item(I), occurred({ create(item) }, I), I.n > 0
+  actions create audit(tag = "item")
+end;

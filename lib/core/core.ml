@@ -55,6 +55,13 @@ module Engine = Chimera_rules.Engine
 module Net_effect = Chimera_rules.Net_effect
 module Analysis = Chimera_rules.Analysis
 
+(* Network ingestion: the wire protocol, session shards, the select
+   reactor and the load generator behind [chimera serve]/[loadgen]. *)
+module Protocol = Chimera_server.Protocol
+module Session = Chimera_server.Session
+module Server = Chimera_server.Server
+module Loadgen = Chimera_server.Loadgen
+
 (* Script language. *)
 module Lang_ast = Chimera_lang.Ast
 module Lang_lexer = Chimera_lang.Lexer

@@ -31,13 +31,23 @@ let to_string eb =
 let ( let* ) = Result.bind
 let occurrence_line = encode_line
 
+(* Numeric fields decode defensively: [int_of_string_opt] already turns
+   length/precision overflow into [None], and the sign check keeps an
+   (otherwise CRC-valid) corrupt record from reaching the unchecked
+   [Time.of_int]/[Oid.of_int] injections — decoding returns [Error],
+   never raises. *)
+let nonneg_int_opt text =
+  match int_of_string_opt text with
+  | Some n when n >= 0 -> Some n
+  | Some _ | None -> None
+
 (* Parses one occurrence line without positional context: the journal
    frames these lines as its "ev" payloads. *)
 let parse_occurrence_line line =
   match String.split_on_char '\t' line with
   | [ _eid; etype_text; oid_text; timestamp_text ] -> (
       let* etype = Event_type.of_string etype_text in
-      match (int_of_string_opt oid_text, int_of_string_opt timestamp_text) with
+      match (nonneg_int_opt oid_text, nonneg_int_opt timestamp_text) with
       | Some oid, Some timestamp ->
           Ok (etype, Ident.Oid.of_int oid, Time.of_int timestamp)
       | _ -> Error (Printf.sprintf "malformed numbers in %S" line))
@@ -51,7 +61,7 @@ let decode_line lineno line =
           (fun msg -> Printf.sprintf "line %d: %s" lineno msg)
           (Event_type.of_string etype_text)
       in
-      match (int_of_string_opt oid_text, int_of_string_opt timestamp_text) with
+      match (nonneg_int_opt oid_text, nonneg_int_opt timestamp_text) with
       | Some oid, Some timestamp ->
           Ok (etype, Ident.Oid.of_int oid, Time.of_int timestamp)
       | _ -> Error (Printf.sprintf "line %d: malformed numbers" lineno))

@@ -140,6 +140,11 @@ type t = {
   mutable tx_instant : Time.t;  (** last event instant at tx start *)
   mutable tx_trigger : Trigger_support.snapshot;
   mutable tx_timers : (timer * int) list;  (** timers and countdowns *)
+  mutable on_execution : (string -> unit) option;
+      (** notified with the rule name each time a consideration's
+          condition holds and the action is about to execute — the
+          network server reports the executed rules of a line to its
+          client through this *)
 }
 
 (* Timer occurrences affect a reserved pseudo-object. *)
@@ -182,6 +187,7 @@ let create ?(config = default_config) schema =
     tx_instant = Event_base.now eb;
     tx_trigger = Trigger_support.snapshot rules;
     tx_timers = [];
+    on_execution = None;
   }
 
 let store t = t.store
@@ -205,6 +211,8 @@ let statistics t =
 
 let tx_start t = t.tx_start
 let journal t = t.journal
+let set_on_execution t f = t.on_execution <- Some f
+let clear_on_execution t = t.on_execution <- None
 
 (* Attaches a write-ahead journal.  Records flow from here on: attach at
    transaction start (normally right after {!create} or {!recover}) so
@@ -417,6 +425,9 @@ let consider t rule : (unit, error) result =
     else begin
       t.stats.executions <- t.stats.executions + 1;
       Obs.Metrics.incr c_executions;
+      (match t.on_execution with
+      | Some notify -> notify (Rule.name rule)
+      | None -> ());
       run_action t rule envs
     end
   in

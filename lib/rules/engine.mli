@@ -117,6 +117,14 @@ val define_timer : t -> name:string -> period_lines:int -> Chimera_event.Event_t
 
 val timer_names : t -> string list
 
+val set_on_execution : t -> (string -> unit) -> unit
+(** Registers the (single) execution listener: called with the rule name
+    each time a consideration's condition holds, immediately before the
+    action block runs.  The network server uses it to report the rules a
+    transaction line executed ([TRIGGERED ...]) back to the client. *)
+
+val clear_on_execution : t -> unit
+
 (** {2 Durability: write-ahead journal and crash recovery} *)
 
 val set_journal : t -> Chimera_event.Journal.t -> unit

@@ -1,0 +1,364 @@
+(* The load generator: C concurrent protocol sessions driven by one
+   non-blocking select loop.
+
+   Each session is a strict ping-pong state machine — HELLO, then L
+   LINE frames with a COMMIT every [commit_every], then QUIT — with at
+   most one frame outstanding, so every LINE round trip is one latency
+   sample and the reply stream needs no correlation ids.  Throughput
+   scales with the connection count, latency reports the per-frame
+   cost; both are what the bench records. *)
+
+module Obs = Chimera_obs.Obs
+
+type config = {
+  host : string;
+  port : int;
+  conns : int;
+  lines : int;
+  line : string;
+  commit_every : int;
+  max_frame : int;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    conns = 8;
+    lines = 100;
+    line = "create item(n = 1)";
+    commit_every = 10;
+    max_frame = Protocol.default_max_frame;
+  }
+
+type report = {
+  conns : int;
+  lines_sent : int;
+  lines_ok : int;
+  triggered : int;
+  commits : int;
+  errors : int;
+  drained : int;
+  wall_s : float;
+  lines_per_s : float;
+  lat_p50_ns : int;
+  lat_p90_ns : int;
+  lat_p99_ns : int;
+  lat_max_ns : int;
+}
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "%d conn(s): %d line(s) sent, %d ok (%d triggered), %d commit(s), %d \
+     error(s), %d drained@\n\
+     %.3f s wall, %.0f lines/s; LINE latency p50=%dus p90=%dus p99=%dus \
+     max=%dus"
+    r.conns r.lines_sent r.lines_ok r.triggered r.commits r.errors r.drained
+    r.wall_s r.lines_per_s (r.lat_p50_ns / 1000) (r.lat_p90_ns / 1000)
+    (r.lat_p99_ns / 1000) (r.lat_max_ns / 1000)
+
+(* What the session is waiting for (one outstanding frame at most). *)
+type await = Connect | Hello | Line | Commit | Bye
+
+type conn = {
+  fd : Unix.file_descr;
+  mutable await : await;
+  mutable lines_done : int;
+  mutable since_commit : int;
+  mutable line_sent_ns : int;
+  mutable inbuf : Bytes.t;
+  mutable in_len : int;
+  outbuf : Buffer.t;
+  mutable out_off : int;
+  mutable done_ : bool;
+}
+
+type t = {
+  config : config;
+  conns : conn list;
+  latencies : int array;
+  mutable samples : int;
+  mutable lines_sent : int;
+  mutable lines_ok : int;
+  mutable triggered : int;
+  mutable commits : int;
+  mutable errors : int;
+  mutable drained : int;
+  started : float;
+  mutable finished_at : float option;
+}
+
+let now_ns () = Obs.now_ns ()
+
+let send t conn payload =
+  match
+    Protocol.frame_into ~max_frame:t.config.max_frame conn.outbuf payload
+  with
+  | Ok () -> ()
+  | Error _ ->
+      t.errors <- t.errors + 1;
+      conn.done_ <- true
+
+let send_command t conn cmd = send t conn (Protocol.command_to_payload cmd)
+
+let finish_conn t conn =
+  if not conn.done_ then begin
+    conn.done_ <- true;
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ())
+  end;
+  if
+    t.finished_at = None
+    && List.for_all (fun c -> c.done_) t.conns
+  then t.finished_at <- Some (Unix.gettimeofday ())
+
+let send_next_line t conn =
+  conn.line_sent_ns <- now_ns ();
+  conn.await <- Line;
+  t.lines_sent <- t.lines_sent + 1;
+  send_command t conn (Protocol.Line t.config.line)
+
+let send_commit t conn =
+  conn.await <- Commit;
+  conn.since_commit <- 0;
+  send_command t conn Protocol.Commit
+
+let send_quit t conn =
+  conn.await <- Bye;
+  send_command t conn Protocol.Quit
+
+(* Advance after a successful round trip: next line, a due commit, or
+   the goodbye. *)
+let advance t conn =
+  if conn.lines_done >= t.config.lines then
+    if conn.since_commit > 0 then send_commit t conn else send_quit t conn
+  else if conn.since_commit >= t.config.commit_every then send_commit t conn
+  else send_next_line t conn
+
+let on_reply t conn reply =
+  match (conn.await, reply) with
+  | _, Protocol.Err ("shutdown", _) ->
+      (* The server is draining (or idled us out): a clean end, counted
+         apart from protocol errors. *)
+      t.drained <- t.drained + 1;
+      finish_conn t conn
+  | Connect, _ | _, Protocol.Err _ ->
+      t.errors <- t.errors + 1;
+      finish_conn t conn
+  | Hello, (Protocol.Ok_ _ | Protocol.Triggered _) -> advance t conn
+  | Line, (Protocol.Ok_ _ | Protocol.Triggered _) ->
+      let dt = now_ns () - conn.line_sent_ns in
+      if t.samples < Array.length t.latencies then begin
+        t.latencies.(t.samples) <- dt;
+        t.samples <- t.samples + 1
+      end;
+      t.lines_ok <- t.lines_ok + 1;
+      (match reply with
+      | Protocol.Triggered _ -> t.triggered <- t.triggered + 1
+      | _ -> ());
+      conn.lines_done <- conn.lines_done + 1;
+      conn.since_commit <- conn.since_commit + 1;
+      advance t conn
+  | Commit, (Protocol.Ok_ _ | Protocol.Triggered _) ->
+      t.commits <- t.commits + 1;
+      advance t conn
+  | Bye, (Protocol.Ok_ _ | Protocol.Triggered _) -> finish_conn t conn
+
+let rec drain_frames t conn =
+  if not conn.done_ then
+    match
+      Protocol.decode ~max_frame:t.config.max_frame conn.inbuf ~off:0
+        ~len:conn.in_len
+    with
+    | Protocol.Need_more -> ()
+    | Protocol.Reject (_, skip) ->
+        Bytes.blit conn.inbuf skip conn.inbuf 0 (conn.in_len - skip);
+        conn.in_len <- conn.in_len - skip;
+        t.errors <- t.errors + 1;
+        drain_frames t conn
+    | Protocol.Corrupt _ ->
+        t.errors <- t.errors + 1;
+        finish_conn t conn
+    | Protocol.Frame (payload, used) ->
+        Bytes.blit conn.inbuf used conn.inbuf 0 (conn.in_len - used);
+        conn.in_len <- conn.in_len - used;
+        (match Protocol.reply_of_payload payload with
+        | Ok reply -> on_reply t conn reply
+        | Error _ ->
+            t.errors <- t.errors + 1;
+            finish_conn t conn);
+        drain_frames t conn
+
+let handle_readable t conn chunk =
+  match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+  | 0 ->
+      (* EOF before the goodbye is only clean after a drain notice. *)
+      if conn.await <> Bye && not conn.done_ then t.errors <- t.errors + 1;
+      finish_conn t conn
+  | n ->
+      let need = conn.in_len + n in
+      if Bytes.length conn.inbuf < need then begin
+        let grown = Bytes.create (max need (2 * Bytes.length conn.inbuf)) in
+        Bytes.blit conn.inbuf 0 grown 0 conn.in_len;
+        conn.inbuf <- grown
+      end;
+      Bytes.blit chunk 0 conn.inbuf conn.in_len n;
+      conn.in_len <- need;
+      drain_frames t conn
+  | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
+    ->
+      ()
+  | exception Unix.Unix_error _ ->
+      t.errors <- t.errors + 1;
+      finish_conn t conn
+
+let try_flush t conn =
+  let pending = Buffer.length conn.outbuf - conn.out_off in
+  if (not conn.done_) && pending > 0 then begin
+    let data = Buffer.to_bytes conn.outbuf in
+    match Unix.write conn.fd data conn.out_off pending with
+    | n ->
+        conn.out_off <- conn.out_off + n;
+        if conn.out_off >= Bytes.length data then begin
+          Buffer.clear conn.outbuf;
+          conn.out_off <- 0
+        end
+    | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
+      ->
+        ()
+    | exception Unix.Unix_error _ ->
+        t.errors <- t.errors + 1;
+        finish_conn t conn
+  end
+
+let create (config : config) =
+  if config.conns <= 0 || config.lines <= 0 then
+    Error "conns and lines must be positive"
+  else if config.commit_every <= 0 then Error "commit-every must be positive"
+  else
+    match Unix.inet_addr_of_string config.host with
+    | exception Failure _ -> Error (Printf.sprintf "bad host %s" config.host)
+    | addr -> (
+        let open_conn () =
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          Unix.set_nonblock fd;
+          (try Unix.setsockopt fd Unix.TCP_NODELAY true
+           with Unix.Unix_error _ -> ());
+          (try Unix.connect fd (Unix.ADDR_INET (addr, config.port))
+           with Unix.Unix_error (Unix.EINPROGRESS, _, _) -> ());
+          {
+            fd;
+            await = Connect;
+            lines_done = 0;
+            since_commit = 0;
+            line_sent_ns = 0;
+            inbuf = Bytes.create 4096;
+            in_len = 0;
+            outbuf = Buffer.create 256;
+            out_off = 0;
+            done_ = false;
+          }
+        in
+        match List.init config.conns (fun _ -> open_conn ()) with
+        | conns ->
+            Ok
+              {
+                config;
+                conns;
+                latencies = Array.make (config.conns * config.lines) 0;
+                samples = 0;
+                lines_sent = 0;
+                lines_ok = 0;
+                triggered = 0;
+                commits = 0;
+                errors = 0;
+                drained = 0;
+                started = Unix.gettimeofday ();
+                finished_at = None;
+              }
+        | exception Unix.Unix_error (e, _, _) ->
+            Error (Printf.sprintf "connect: %s" (Unix.error_message e)))
+
+let finished t = List.for_all (fun c -> c.done_) t.conns
+
+let poll t ~timeout =
+  let live = List.filter (fun c -> not c.done_) t.conns in
+  if live <> [] then begin
+    let reads = List.map (fun c -> c.fd) live in
+    let writes =
+      List.filter_map
+        (fun c ->
+          if c.await = Connect || Buffer.length c.outbuf - c.out_off > 0 then
+            Some c.fd
+          else None)
+        live
+    in
+    match Unix.select reads writes [] timeout with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, writable, _ ->
+        let chunk = Bytes.create 8192 in
+        List.iter
+          (fun c ->
+            if (not c.done_) && c.await = Connect && List.memq c.fd writable
+            then begin
+              match Unix.getsockopt_error c.fd with
+              | Some err ->
+                  t.errors <- t.errors + 1;
+                  ignore err;
+                  finish_conn t c
+              | None ->
+                  c.await <- Hello;
+                  send_command t c (Protocol.Hello Protocol.version)
+            end)
+          live;
+        List.iter
+          (fun c ->
+            if (not c.done_) && List.memq c.fd readable then
+              handle_readable t c chunk)
+          live;
+        List.iter (fun c -> if not c.done_ then try_flush t c) live
+  end
+
+let report t =
+  let finished_at =
+    match t.finished_at with Some f -> f | None -> Unix.gettimeofday ()
+  in
+  let wall_s = Float.max 1e-9 (finished_at -. t.started) in
+  let sorted = Array.sub t.latencies 0 t.samples in
+  Array.sort compare sorted;
+  let pct p =
+    if t.samples = 0 then 0
+    else
+      let idx =
+        Stdlib.min (t.samples - 1)
+          (int_of_float (Float.of_int t.samples *. p /. 100.))
+      in
+      sorted.(idx)
+  in
+  {
+    conns = t.config.conns;
+    lines_sent = t.lines_sent;
+    lines_ok = t.lines_ok;
+    triggered = t.triggered;
+    commits = t.commits;
+    errors = t.errors;
+    drained = t.drained;
+    wall_s;
+    lines_per_s = Float.of_int t.lines_ok /. wall_s;
+    lat_p50_ns = pct 50.;
+    lat_p90_ns = pct 90.;
+    lat_p99_ns = pct 99.;
+    lat_max_ns = (if t.samples = 0 then 0 else sorted.(t.samples - 1));
+  }
+
+let run config =
+  match create config with
+  | Error _ as e -> e
+  | Ok t ->
+      let rec loop () =
+        if finished t then Ok (report t)
+        else begin
+          poll t ~timeout:0.25;
+          loop ()
+        end
+      in
+      loop ()

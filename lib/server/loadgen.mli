@@ -1,0 +1,53 @@
+(** The multi-connection load generator behind [chimera loadgen]: C
+    concurrent sessions, each sending L transaction lines (one
+    outstanding frame per session, so every round trip is a latency
+    sample), committing every [commit_every] lines, then quitting.
+
+    Like the server it is a single-threaded non-blocking reactor, so
+    tests and the in-process bench interleave {!poll} with
+    [Server.poll] co-operatively in one thread; the CLI uses {!run}. *)
+
+type config = {
+  host : string;
+  port : int;
+  conns : int;
+  lines : int;  (** per connection *)
+  line : string;  (** rule-language text each LINE frame carries *)
+  commit_every : int;
+  max_frame : int;
+}
+
+val default_config : config
+(** 8 connections, 100 lines each, committing every 10. *)
+
+type report = {
+  conns : int;
+  lines_sent : int;
+  lines_ok : int;  (** replied [OK] or [TRIGGERED] *)
+  triggered : int;  (** lines whose reply listed executed rules *)
+  commits : int;
+  errors : int;  (** [ERR] replies other than a drain notice *)
+  drained : int;  (** sessions ended by the server's [ERR shutdown] *)
+  wall_s : float;
+  lines_per_s : float;
+  lat_p50_ns : int;  (** LINE round-trip latency percentiles *)
+  lat_p90_ns : int;
+  lat_p99_ns : int;
+  lat_max_ns : int;
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+type t
+
+val create : config -> (t, string) result
+(** Opens the connections (non-blocking connect). *)
+
+val poll : t -> timeout:float -> unit
+(** One reactor turn. *)
+
+val finished : t -> bool
+val report : t -> report
+
+val run : config -> (report, string) result
+(** {!create} then {!poll} to completion. *)

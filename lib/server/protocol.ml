@@ -1,0 +1,164 @@
+(* The wire protocol: length-prefixed frames carrying one text command or
+   reply each.
+
+   Framing is the only binary part — a 4-byte big-endian unsigned length
+   prefix — and everything inside a frame is text, so a session capture
+   is human-readable and the LINE payloads are the ordinary rule-language
+   script text the rest of the system already parses.  The decoder is a
+   total function over byte ranges: torn input is [Need_more], a
+   zero-length prefix is a frame-local [Reject] (the stream is still
+   framed: skip 4 bytes and continue), and a length prefix that
+   overflows the cap is [Corrupt] — after it nothing downstream can be
+   trusted, so the server replies ERR best-effort and closes. *)
+
+let version = "chimera/1"
+let features = [ "tx"; "stats"; "drain" ]
+let default_max_frame = 64 * 1024
+let header_bytes = 4
+
+(* ----------------------------------------------------------- commands *)
+
+type command =
+  | Hello of string
+  | Line of string
+  | Commit
+  | Abort
+  | Stats
+  | Ping of string
+  | Quit
+
+(* The verb/argument split: the verb runs to the first space or newline;
+   one separator char is dropped and the rest is the argument verbatim
+   (LINE payloads keep their internal newlines). *)
+let split_verb payload =
+  let n = String.length payload in
+  let rec scan i =
+    if i >= n then (payload, "")
+    else
+      match payload.[i] with
+      | ' ' | '\n' -> (String.sub payload 0 i, String.sub payload (i + 1) (n - i - 1))
+      | _ -> scan (i + 1)
+  in
+  scan 0
+
+let command_to_payload = function
+  | Hello v -> "HELLO " ^ v
+  | Line text -> "LINE " ^ text
+  | Commit -> "COMMIT"
+  | Abort -> "ABORT"
+  | Stats -> "STATS"
+  | Ping "" -> "PING"
+  | Ping token -> "PING " ^ token
+  | Quit -> "QUIT"
+
+let command_of_payload payload =
+  let verb, arg = split_verb payload in
+  match verb with
+  | "HELLO" -> Ok (Hello (String.trim arg))
+  | "LINE" -> Ok (Line arg)
+  | "COMMIT" -> if arg = "" then Ok Commit else Error "COMMIT takes no argument"
+  | "ABORT" -> if arg = "" then Ok Abort else Error "ABORT takes no argument"
+  | "STATS" -> if arg = "" then Ok Stats else Error "STATS takes no argument"
+  | "PING" -> Ok (Ping arg)
+  | "QUIT" -> if arg = "" then Ok Quit else Error "QUIT takes no argument"
+  | "" -> Error "empty command"
+  | other -> Error (Printf.sprintf "unknown verb %S" other)
+
+(* ------------------------------------------------------------ replies *)
+
+type reply =
+  | Ok_ of string
+  | Triggered of string list
+  | Err of string * string
+
+(* Rule names are identifiers (no whitespace); reject anything else at
+   encode time so the space-separated list stays parseable. *)
+let valid_rule_name name =
+  name <> ""
+  && not (String.exists (fun c -> c = ' ' || c = '\t' || c = '\n') name)
+
+let valid_err_code code =
+  code <> "" && not (String.exists (fun c -> c = ' ' || c = '\n') code)
+
+let reply_to_payload = function
+  | Ok_ "" -> "OK"
+  | Ok_ info -> "OK " ^ info
+  | Triggered rules ->
+      List.iter
+        (fun r ->
+          if not (valid_rule_name r) then
+            invalid_arg (Printf.sprintf "Protocol: unencodable rule name %S" r))
+        rules;
+      "TRIGGERED " ^ String.concat " " rules
+  | Err (code, msg) ->
+      if not (valid_err_code code) then
+        invalid_arg (Printf.sprintf "Protocol: unencodable error code %S" code);
+      (* Replies are one frame each: newlines in engine messages are kept
+         (frames are length-delimited), only the code token is constrained. *)
+      "ERR " ^ code ^ " " ^ msg
+
+let reply_of_payload payload =
+  let verb, arg = split_verb payload in
+  match verb with
+  | "OK" -> Ok (Ok_ arg)
+  | "TRIGGERED" ->
+      let rules =
+        List.filter (fun s -> s <> "") (String.split_on_char ' ' arg)
+      in
+      if rules = [] then Error "TRIGGERED without rule names"
+      else Ok (Triggered rules)
+  | "ERR" -> (
+      let code, msg = split_verb arg in
+      if code = "" then Error "ERR without a code" else Ok (Err (code, msg)))
+  | "" -> Error "empty reply"
+  | other -> Error (Printf.sprintf "unknown reply %S" other)
+
+(* ------------------------------------------------------------ framing *)
+
+let frame_into ~max_frame buf payload =
+  let n = String.length payload in
+  if n = 0 then Error "cannot frame an empty payload"
+  else if n > max_frame then
+    Error
+      (Printf.sprintf "payload of %d bytes exceeds the %d-byte frame cap" n
+         max_frame)
+  else begin
+    Buffer.add_char buf (Char.chr ((n lsr 24) land 0xFF));
+    Buffer.add_char buf (Char.chr ((n lsr 16) land 0xFF));
+    Buffer.add_char buf (Char.chr ((n lsr 8) land 0xFF));
+    Buffer.add_char buf (Char.chr (n land 0xFF));
+    Buffer.add_string buf payload;
+    Ok ()
+  end
+
+let frame_exn ~max_frame payload =
+  let buf = Buffer.create (String.length payload + header_bytes) in
+  match frame_into ~max_frame buf payload with
+  | Ok () -> Buffer.contents buf
+  | Error msg -> invalid_arg ("Protocol.frame_exn: " ^ msg)
+
+type decoded =
+  | Frame of string * int
+  | Need_more
+  | Reject of string * int
+  | Corrupt of string
+
+(* The length prefix is read as an unsigned 32-bit value into an OCaml
+   int (63-bit), so the decode itself cannot overflow; the cap check
+   then classifies anything oversized — including a prefix with the high
+   bit set, which a signed 32-bit reader would see as negative — as
+   [Corrupt], never as an exception. *)
+let decode ~max_frame bytes ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length bytes then
+    Corrupt "decode range outside the buffer"
+  else if len < header_bytes then Need_more
+  else
+    let b i = Char.code (Bytes.get bytes (off + i)) in
+    let n = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+    if n = 0 then Reject ("zero-length frame", header_bytes)
+    else if n > max_frame then
+      Corrupt
+        (Printf.sprintf "length prefix %d exceeds the %d-byte frame cap" n
+           max_frame)
+    else if len < header_bytes + n then Need_more
+    else Frame (Bytes.sub_string bytes (off + header_bytes) n, header_bytes + n)

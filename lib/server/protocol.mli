@@ -1,0 +1,83 @@
+(** The wire protocol of [chimera serve]: length-prefixed frames carrying
+    one text command (or reply) each.
+
+    A frame is a 4-byte big-endian unsigned length prefix followed by
+    exactly that many payload bytes.  Payloads are text: a verb, then —
+    separated by one space or newline — an optional argument.  [LINE]
+    arguments are ordinary rule-language script text (the [lib/lang]
+    grammar), so the protocol adds framing and control verbs but no new
+    statement syntax.
+
+    Decoding never raises: torn frames report [Need_more], a zero
+    length-prefix is rejected frame-locally ([Reject] — the connection
+    can continue), and an oversized or overflowed length prefix loses
+    framing ([Corrupt] — the server replies [ERR] and closes). *)
+
+val version : string
+(** The protocol identifier exchanged by [HELLO], currently ["chimera/1"]. *)
+
+val features : string list
+(** Feature tokens the server advertises in its [HELLO] reply. *)
+
+val default_max_frame : int
+(** Default payload-size cap, in bytes (64 KiB). *)
+
+val header_bytes : int
+(** Size of the length prefix (4). *)
+
+(** {1 Commands} (client to server) *)
+
+type command =
+  | Hello of string  (** [HELLO <version>]: version/feature negotiation *)
+  | Line of string
+      (** [LINE <script text>]: one transaction line — rule-language
+          statements executed as a block (definitions included;
+          [commit;] is refused, use the COMMIT verb) *)
+  | Commit  (** close the open transaction durably *)
+  | Abort  (** roll the open transaction back *)
+  | Stats  (** engine + server statistics snapshot *)
+  | Ping of string  (** liveness probe; the token is echoed *)
+  | Quit  (** orderly close (an open transaction is aborted) *)
+
+val command_to_payload : command -> string
+val command_of_payload : string -> (command, string) result
+
+(** {1 Replies} (server to client) *)
+
+type reply =
+  | Ok_ of string  (** [OK] or [OK <info>] (e.g. inspection output) *)
+  | Triggered of string list
+      (** [TRIGGERED <rule> ...]: the line (or commit) executed these
+          rules, in execution order *)
+  | Err of string * string
+      (** [ERR <code> <message>]; codes: [proto], [parse], [engine],
+          [state], [busy], [overflow], [oversize], [shutdown] *)
+
+val reply_to_payload : reply -> string
+val reply_of_payload : string -> (reply, string) result
+
+(** {1 Framing} *)
+
+val frame_into :
+  max_frame:int -> Buffer.t -> string -> (unit, string) result
+(** Appends the length prefix and payload; [Error] when the payload is
+    empty or exceeds [max_frame] (nothing is appended then). *)
+
+val frame_exn : max_frame:int -> string -> string
+(** Convenience for tests and the load generator; raises
+    [Invalid_argument] where {!frame_into} errors. *)
+
+type decoded =
+  | Frame of string * int
+      (** one intact payload and the bytes consumed (prefix included) *)
+  | Need_more  (** the buffer holds a strict prefix of a frame *)
+  | Reject of string * int
+      (** a framed protocol violation (zero-length frame): the reason
+          and the bytes to skip; the stream stays framed *)
+  | Corrupt of string
+      (** framing lost (length prefix overflow / over [max_frame]):
+          reply [ERR] best-effort and close *)
+
+val decode : max_frame:int -> Bytes.t -> off:int -> len:int -> decoded
+(** Decodes the first frame of [len] bytes at [off]; never raises (an
+    [off]/[len] range outside the buffer is itself [Corrupt]). *)

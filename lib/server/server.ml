@@ -1,0 +1,448 @@
+(* The select reactor: sockets, buffers and scheduling for the wire
+   protocol; every engine decision lives in [Session.Manager], every
+   byte-level concern lives here.
+
+   One poll = one turn: acts on a requested drain, selects, accepts,
+   reads (decoding and executing complete frames as they surface),
+   writes, and enforces the idle timeout.  All I/O is non-blocking; the
+   only place the process sleeps is inside [Unix.select] itself.
+
+   Flow control is read-side: a connection is excluded from the read set
+   while its reply buffer is above the high-water mark (slow reader) or
+   while its session queues behind a busy engine shard (admission).  The
+   kernel socket buffers then push the backpressure to the client. *)
+
+open Chimera_event
+module Obs = Chimera_obs.Obs
+
+let c_accepts = Obs.Metrics.counter "server.accepts"
+let c_rejects = Obs.Metrics.counter "server.rejects"
+let c_frames_in = Obs.Metrics.counter "server.frames_in"
+let c_frames_out = Obs.Metrics.counter "server.frames_out"
+let c_bytes_in = Obs.Metrics.counter "server.bytes_in"
+let c_bytes_out = Obs.Metrics.counter "server.bytes_out"
+let c_drains = Obs.Metrics.counter "server.drains"
+let g_active = Obs.Metrics.gauge "server.active_conns"
+let h_frame = Obs.Metrics.histogram "server.frame_ns"
+
+type config = {
+  host : string;
+  port : int;
+  engines : int;
+  journal_dir : string option;
+  fsync : Journal.sync_policy;
+  boot_script : string option;
+  max_conns : int;
+  max_frame : int;
+  max_pending : int;
+  idle_timeout : float;
+  high_water : int;
+  backlog : int;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    engines = 1;
+    journal_dir = None;
+    fsync = Journal.Per_commit;
+    boot_script = None;
+    max_conns = 256;
+    max_frame = Protocol.default_max_frame;
+    max_pending = 64;
+    idle_timeout = 30.;
+    high_water = 256 * 1024;
+    backlog = 64;
+  }
+
+type conn = {
+  fd : Unix.file_descr;
+  sid : int;
+  mutable inbuf : Bytes.t;
+  mutable in_len : int;  (** buffered undecoded bytes, at offset 0 *)
+  outbuf : Buffer.t;
+  mutable out_off : int;  (** bytes of [outbuf] already written *)
+  mutable last_activity : float;
+  mutable close_after_flush : bool;
+  mutable dead : bool;
+}
+
+type t = {
+  config : config;
+  mutable listen_fd : Unix.file_descr option;
+  bound_port : int;
+  mgr : Session.Manager.t;
+  conns : (int, conn) Hashtbl.t;  (** by session id *)
+  mutable drain_requested : bool;  (** set from signal context *)
+  mutable draining : bool;
+  mutable stopped : bool;
+  read_chunk : Bytes.t;
+}
+
+(* The server's contribution to a STATS reply: its own counter block,
+   read back from the registry (enabled or not, the handles exist). *)
+let counters_text () =
+  Printf.sprintf
+    "server: %d accept(s), %d reject(s), %d active, %d frame(s) in, %d \
+     frame(s) out, %d byte(s) in, %d byte(s) out"
+    (Obs.Metrics.counter_value c_accepts)
+    (Obs.Metrics.counter_value c_rejects)
+    (Obs.Metrics.gauge_value g_active)
+    (Obs.Metrics.counter_value c_frames_in)
+    (Obs.Metrics.counter_value c_frames_out)
+    (Obs.Metrics.counter_value c_bytes_in)
+    (Obs.Metrics.counter_value c_bytes_out)
+
+let create config =
+  let ( let* ) = Result.bind in
+  let* mgr =
+    Session.Manager.create ~engines:config.engines
+      ?journal_dir:config.journal_dir ~fsync:config.fsync
+      ?boot_script:config.boot_script ~max_pending:config.max_pending
+      ~extra_stats:counters_text ()
+  in
+  let* addr =
+    match Unix.inet_addr_of_string config.host with
+    | addr -> Ok addr
+    | exception Failure _ -> (
+        match Unix.gethostbyname config.host with
+        | { Unix.h_addr_list = [||]; _ } ->
+            Error (Printf.sprintf "cannot resolve %s" config.host)
+        | entry -> Ok entry.Unix.h_addr_list.(0)
+        | exception Not_found ->
+            Error (Printf.sprintf "cannot resolve %s" config.host))
+  in
+  match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "socket: %s" (Unix.error_message e))
+  | fd -> (
+      match
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        Unix.bind fd (Unix.ADDR_INET (addr, config.port));
+        Unix.listen fd config.backlog;
+        Unix.set_nonblock fd;
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, port) -> port
+        | Unix.ADDR_UNIX _ -> config.port
+      with
+      | exception Unix.Unix_error (e, op, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Session.Manager.shutdown mgr;
+          Error (Printf.sprintf "%s: %s" op (Unix.error_message e))
+      | bound_port ->
+          Ok
+            {
+              config;
+              listen_fd = Some fd;
+              bound_port;
+              mgr;
+              conns = Hashtbl.create 64;
+              drain_requested = false;
+              draining = false;
+              stopped = false;
+              read_chunk = Bytes.create 8192;
+            })
+
+let port t = t.bound_port
+let manager t = t.mgr
+let active_conns t = Hashtbl.length t.conns
+let draining t = t.draining
+let request_drain t = t.drain_requested <- true
+
+let install_signal_handlers t =
+  let handle = Sys.Signal_handle (fun _ -> request_drain t) in
+  Sys.set_signal Sys.sigterm handle;
+  Sys.set_signal Sys.sigint handle;
+  (* A client that vanishes mid-write must surface as EPIPE, not kill
+     the process. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+
+(* ------------------------------------------------------------- output *)
+
+let enqueue_payload t conn payload =
+  match
+    Protocol.frame_into ~max_frame:t.config.max_frame conn.outbuf payload
+  with
+  | Ok () -> Obs.Metrics.incr c_frames_out
+  | Error _ ->
+      (* A reply larger than the negotiated frame cap (a huge inspection
+         output): degrade to a framed ERR rather than lose framing. *)
+      (match
+         Protocol.frame_into ~max_frame:t.config.max_frame conn.outbuf
+           (Protocol.reply_to_payload
+              (Protocol.Err ("oversize", "reply exceeded the frame cap")))
+       with
+      | Ok () -> Obs.Metrics.incr c_frames_out
+      | Error _ -> ())
+
+let enqueue_reply t conn reply =
+  enqueue_payload t conn (Protocol.reply_to_payload reply)
+
+let close_conn t conn =
+  if not conn.dead then begin
+    conn.dead <- true;
+    Hashtbl.remove t.conns conn.sid;
+    Obs.Metrics.set_gauge g_active (Hashtbl.length t.conns);
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+    (* Closing may free an engine shard: route the woken waiters'
+       replies to their own connections. *)
+    let events = Session.Manager.disconnect t.mgr conn.sid in
+    List.iter
+      (fun event ->
+        match event with
+        | Session.Manager.Reply (sid, reply) -> (
+            match Hashtbl.find_opt t.conns sid with
+            | Some peer when not peer.dead -> enqueue_reply t peer reply
+            | Some _ | None -> ())
+        | Session.Manager.Close sid -> (
+            match Hashtbl.find_opt t.conns sid with
+            | Some peer -> peer.close_after_flush <- true
+            | None -> ()))
+      events
+  end
+
+let dispatch_events t events =
+  List.iter
+    (fun event ->
+      match event with
+      | Session.Manager.Reply (sid, reply) -> (
+          match Hashtbl.find_opt t.conns sid with
+          | Some conn when not conn.dead -> enqueue_reply t conn reply
+          | Some _ | None -> ())
+      | Session.Manager.Close sid -> (
+          match Hashtbl.find_opt t.conns sid with
+          | Some conn -> conn.close_after_flush <- true
+          | None -> ()))
+    events
+
+let pending_out conn = Buffer.length conn.outbuf - conn.out_off
+
+(* Non-blocking flush of whatever the buffer holds; on completion the
+   buffer resets and a pending close executes. *)
+let try_flush t conn =
+  if (not conn.dead) && pending_out conn > 0 then begin
+    let data = Buffer.to_bytes conn.outbuf in
+    match
+      Unix.write conn.fd data conn.out_off (Bytes.length data - conn.out_off)
+    with
+    | 0 -> ()
+    | n ->
+        Obs.Metrics.add c_bytes_out n;
+        conn.out_off <- conn.out_off + n;
+        if conn.out_off >= Bytes.length data then begin
+          Buffer.clear conn.outbuf;
+          conn.out_off <- 0
+        end
+    | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
+      ->
+        ()
+    | exception Unix.Unix_error _ -> close_conn t conn
+  end;
+  if (not conn.dead) && conn.close_after_flush && pending_out conn = 0 then
+    close_conn t conn
+
+(* -------------------------------------------------------------- input *)
+
+let ensure_capacity conn extra =
+  let need = conn.in_len + extra in
+  if Bytes.length conn.inbuf < need then begin
+    let grown = Bytes.create (max need (2 * Bytes.length conn.inbuf)) in
+    Bytes.blit conn.inbuf 0 grown 0 conn.in_len;
+    conn.inbuf <- grown
+  end
+
+let consume conn n =
+  if n > 0 then begin
+    Bytes.blit conn.inbuf n conn.inbuf 0 (conn.in_len - n);
+    conn.in_len <- conn.in_len - n
+  end
+
+(* Decodes and executes every complete frame currently buffered. *)
+let rec drain_frames t conn =
+  if conn.dead || conn.close_after_flush then ()
+  else
+    match
+      Protocol.decode ~max_frame:t.config.max_frame conn.inbuf ~off:0
+        ~len:conn.in_len
+    with
+    | Protocol.Need_more -> ()
+    | Protocol.Frame (payload, used) ->
+        consume conn used;
+        Obs.Metrics.incr c_frames_in;
+        let t0 = Obs.start_timer () in
+        dispatch_events t (Session.Manager.on_payload t.mgr conn.sid payload);
+        Obs.observe_since h_frame t0;
+        drain_frames t conn
+    | Protocol.Reject (reason, skip) ->
+        (* Framing survived (e.g. a zero-length frame): answer and go on. *)
+        consume conn skip;
+        enqueue_reply t conn (Protocol.Err ("proto", reason));
+        drain_frames t conn
+    | Protocol.Corrupt reason ->
+        (* Framing lost: nothing later in the stream can be trusted. *)
+        conn.in_len <- 0;
+        enqueue_reply t conn (Protocol.Err ("oversize", reason));
+        conn.close_after_flush <- true
+
+let handle_readable t conn =
+  match Unix.read conn.fd t.read_chunk 0 (Bytes.length t.read_chunk) with
+  | 0 -> close_conn t conn
+  | n ->
+      Obs.Metrics.add c_bytes_in n;
+      conn.last_activity <- Unix.gettimeofday ();
+      ensure_capacity conn n;
+      Bytes.blit t.read_chunk 0 conn.inbuf conn.in_len n;
+      conn.in_len <- conn.in_len + n;
+      drain_frames t conn
+  | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
+    ->
+      ()
+  | exception Unix.Unix_error _ -> close_conn t conn
+
+(* ------------------------------------------------------------- accept *)
+
+let reject_conn t fd =
+  Obs.Metrics.incr c_rejects;
+  let frame =
+    Protocol.frame_exn ~max_frame:t.config.max_frame
+      (Protocol.reply_to_payload
+         (Protocol.Err ("busy", "server at max connections")))
+  in
+  (try
+     Unix.set_nonblock fd;
+     ignore (Unix.write_substring fd frame 0 (String.length frame))
+   with Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let rec accept_loop t listen_fd =
+  match Unix.accept listen_fd with
+  | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
+    ->
+      ()
+  | exception Unix.Unix_error _ -> ()
+  | fd, _addr ->
+      if Hashtbl.length t.conns >= t.config.max_conns then reject_conn t fd
+      else begin
+        Unix.set_nonblock fd;
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true
+         with Unix.Unix_error _ -> ());
+        let sid = Session.Manager.open_session t.mgr in
+        Hashtbl.replace t.conns sid
+          {
+            fd;
+            sid;
+            inbuf = Bytes.create 4096;
+            in_len = 0;
+            outbuf = Buffer.create 512;
+            out_off = 0;
+            last_activity = Unix.gettimeofday ();
+            close_after_flush = false;
+            dead = false;
+          };
+        Obs.Metrics.incr c_accepts;
+        Obs.Metrics.set_gauge g_active (Hashtbl.length t.conns)
+      end;
+      accept_loop t listen_fd
+
+(* -------------------------------------------------------------- drain *)
+
+(* Entering drain: stop accepting, execute what is already buffered on
+   every connection, tell every client, and let the write path close the
+   sockets once their replies are out. *)
+let begin_drain t =
+  t.draining <- true;
+  Obs.Metrics.incr c_drains;
+  (match t.listen_fd with
+  | Some fd ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      t.listen_fd <- None
+  | None -> ());
+  Hashtbl.iter
+    (fun _sid conn ->
+      if not conn.dead then begin
+        drain_frames t conn;
+        if not conn.dead then begin
+          enqueue_reply t conn (Protocol.Err ("shutdown", "draining"));
+          conn.close_after_flush <- true
+        end
+      end)
+    (Hashtbl.copy t.conns)
+
+(* --------------------------------------------------------------- poll *)
+
+type status = Running | Stopped
+
+let conn_list t = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns []
+
+let poll t ~timeout =
+  if t.stopped then Stopped
+  else begin
+    if t.drain_requested && not t.draining then begin_drain t;
+    let conns = conn_list t in
+    let reads =
+      List.filter_map
+        (fun c ->
+          if
+            c.dead || c.close_after_flush
+            || pending_out c > t.config.high_water
+            || Session.Manager.blocked t.mgr c.sid
+          then None
+          else Some c.fd)
+        conns
+    in
+    let reads =
+      match t.listen_fd with Some fd -> fd :: reads | None -> reads
+    in
+    let writes =
+      List.filter_map
+        (fun c -> if (not c.dead) && pending_out c > 0 then Some c.fd else None)
+        conns
+    in
+    (match Unix.select reads writes [] timeout with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, writable, _ ->
+        (match t.listen_fd with
+        | Some fd when List.memq fd readable -> accept_loop t fd
+        | Some _ | None -> ());
+        List.iter
+          (fun c ->
+            if (not c.dead) && List.memq c.fd readable then handle_readable t c)
+          conns;
+        (* Flush everything with output pending — the just-computed
+           replies included, not only the fds select saw. *)
+        List.iter
+          (fun c ->
+            if
+              (not c.dead)
+              && (List.memq c.fd writable || pending_out c > 0
+                 || c.close_after_flush)
+            then try_flush t c)
+          conns);
+    (* Idle reaping (sessions queued behind a busy shard included: a
+       stuck transaction holder eventually times out and its abort frees
+       the shard for the queue). *)
+    if t.config.idle_timeout > 0. then begin
+      let now = Unix.gettimeofday () in
+      List.iter
+        (fun c ->
+          if
+            (not c.dead) && (not c.close_after_flush)
+            && now -. c.last_activity > t.config.idle_timeout
+          then begin
+            enqueue_reply t c (Protocol.Err ("shutdown", "idle timeout"));
+            c.close_after_flush <- true;
+            try_flush t c
+          end)
+        conns
+    end;
+    if t.draining && Hashtbl.length t.conns = 0 then begin
+      Session.Manager.shutdown t.mgr;
+      t.stopped <- true;
+      Stopped
+    end
+    else Running
+  end
+
+let rec run t =
+  match poll t ~timeout:0.25 with Running -> run t | Stopped -> ()

@@ -1,0 +1,68 @@
+(** The network front end of [chimera serve]: a single-threaded,
+    non-blocking [Unix.select] reactor speaking {!Protocol} and driving a
+    {!Session.Manager}.
+
+    One {!poll} call is one reactor turn — accept, read, execute, write —
+    and never blocks longer than its timeout, so the CLI loops it with a
+    real timeout while tests (and the in-process bench) interleave it
+    co-operatively with a client in the same thread.
+
+    Admission control and backpressure: at [max_conns] further accepts
+    are answered [ERR busy] and closed; a connection whose reply buffer
+    exceeds [high_water] bytes stops being read (a slow reader throttles
+    itself, never the server); a session queued behind a busy engine
+    shard stops being read until the shard frees; and frames over
+    [max_frame] lose framing — [ERR oversize], connection closed.
+
+    Graceful drain ({!request_drain}, wired to SIGTERM/SIGINT by
+    {!install_signal_handlers}): stop accepting, finish the lines already
+    received, notify every client ([ERR shutdown draining]), flush, close,
+    abort whatever stayed uncommitted, flush and close the journals —
+    then {!poll} reports [Stopped] and {!run} returns. *)
+
+open Chimera_event
+
+type config = {
+  host : string;  (** bind address, default ["127.0.0.1"] *)
+  port : int;  (** [0] binds an ephemeral port (see {!port}) *)
+  engines : int;  (** independent engine shards *)
+  journal_dir : string option;  (** per-shard journals live here *)
+  fsync : Journal.sync_policy;
+  boot_script : string option;  (** rule-language source run on every shard *)
+  max_conns : int;
+  max_frame : int;
+  max_pending : int;  (** per-session queued-command bound *)
+  idle_timeout : float;  (** seconds; [<= 0.] disables *)
+  high_water : int;  (** reply-buffer bytes that pause reading *)
+  backlog : int;  (** listen(2) backlog *)
+}
+
+val default_config : config
+
+type t
+
+val create : config -> (t, string) result
+(** Binds and listens (non-blocking); shards, journals and the boot
+    script run before the first accept. *)
+
+val port : t -> int
+(** The bound port — the ephemeral one when [config.port] was [0]. *)
+
+val manager : t -> Session.Manager.t
+val active_conns : t -> int
+val draining : t -> bool
+
+type status = Running | Stopped
+
+val poll : t -> timeout:float -> status
+(** One reactor turn; [Stopped] once a requested drain has fully
+    completed (sockets closed, journals flushed). *)
+
+val run : t -> unit
+(** {!poll} until [Stopped]. *)
+
+val request_drain : t -> unit
+(** Signal-safe: flips a flag the next {!poll} acts on. *)
+
+val install_signal_handlers : t -> unit
+(** SIGTERM and SIGINT trigger {!request_drain}. *)

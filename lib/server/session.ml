@@ -1,0 +1,441 @@
+(* Session management: per-connection sessions multiplexed onto N
+   independent engine shards.
+
+   The engine is single-threaded and transactional, so concurrency comes
+   from partitioning, not sharing: [--engines N] creates N ordinary
+   engines (each wrapped in the script interpreter, each with its own
+   journal) and a session is pinned to the shard its id hashes to.
+   Within a shard, transactions serialize: the first LINE of a session
+   acquires the shard, COMMIT/ABORT release it, and engine-bound
+   commands of other sessions queue FIFO until then.  Queued sessions
+   are reported [blocked] so the reactor stops reading from them — the
+   queue bound plus that read-stop is the admission control of the
+   protocol.
+
+   Every state transition here is synchronous and single-threaded; the
+   reactor calls in with one decoded payload at a time and gets back the
+   list of replies (possibly for *other* sessions: releasing a shard
+   answers its waiters) to write out. *)
+
+open Chimera_event
+open Chimera_rules
+open Chimera_lang
+
+module Manager = struct
+  type event = Reply of int * Protocol.reply | Close of int
+
+  type session = {
+    id : int;
+    shard : int;
+    mutable greeted : bool;
+    pending : Protocol.command Queue.t;
+    mutable waiting : bool;  (** enqueued in its shard's waiter queue *)
+    mutable closed : bool;
+  }
+
+  type shard = {
+    interp : Interp.t;
+    journal : Journal.t option;
+    mutable owner : int option;  (** session id holding the open tx *)
+    waiters : int Queue.t;
+    executed : string list ref;  (** execution-listener accumulator, newest first *)
+  }
+
+  type t = {
+    engines : int;
+    shards : shard array;
+    sessions : (int, session) Hashtbl.t;
+    mutable next_sid : int;
+    max_pending : int;
+    extra_stats : (unit -> string) option;
+    mutable down : bool;
+  }
+
+  (* ------------------------------------------------------------ setup *)
+
+  let rec mkdir_p path =
+    if path = "" || path = "." || path = "/" || Sys.file_exists path then Ok ()
+    else
+      let parent = Filename.dirname path in
+      let ( let* ) = Result.bind in
+      let* () = if parent = path then Ok () else mkdir_p parent in
+      match Unix.mkdir path 0o755 with
+      | () -> Ok ()
+      | exception Unix.Unix_error (Unix.EEXIST, _, _) -> Ok ()
+      | exception Unix.Unix_error (e, _, _) ->
+          Error
+            (Printf.sprintf "cannot create journal directory %s: %s" path
+               (Unix.error_message e))
+
+  let make_shard ~journal_dir ~fsync ~boot_script idx =
+    let ( let* ) = Result.bind in
+    let interp = Interp.create () in
+    let executed = ref [] in
+    Engine.set_on_execution (Interp.engine interp)
+      (fun name -> executed := name :: !executed);
+    let* journal =
+      match journal_dir with
+      | None -> Ok None
+      | Some dir -> (
+          let path = Filename.concat dir (Printf.sprintf "shard-%d.journal" idx) in
+          match Journal.create ~sync:fsync ~path () with
+          | j ->
+              Engine.set_journal (Interp.engine interp) j;
+              Ok (Some j)
+          | exception Sys_error msg ->
+              Error (Printf.sprintf "cannot open journal %s: %s" path msg))
+    in
+    let* () =
+      match boot_script with
+      | None -> Ok ()
+      | Some src -> (
+          match Interp.run_string interp src with
+          | Error msg -> Error (Printf.sprintf "boot script (shard %d): %s" idx msg)
+          | Ok () -> (
+              (* Shards open for traffic on a committed, quiescent state
+                 whatever the script's trailing statement was. *)
+              Interp.clear_output interp;
+              match Engine.commit (Interp.engine interp) with
+              | Ok () -> Ok ()
+              | Error e ->
+                  Error
+                    (Fmt.str "boot script commit (shard %d): %a" idx
+                       Engine.pp_error e)))
+    in
+    Ok { interp; journal; owner = None; waiters = Queue.create (); executed }
+
+  let create ~engines ?journal_dir ?(fsync = Journal.Per_commit) ?boot_script
+      ?(max_pending = 64) ?extra_stats () =
+    let ( let* ) = Result.bind in
+    if engines <= 0 then Error "engines must be positive"
+    else
+      let* () =
+        match journal_dir with None -> Ok () | Some dir -> mkdir_p dir
+      in
+      let* shards =
+        let rec build acc idx =
+          if idx >= engines then Ok (List.rev acc)
+          else
+            let* shard = make_shard ~journal_dir ~fsync ~boot_script idx in
+            build (shard :: acc) (idx + 1)
+        in
+        build [] 0
+      in
+      Ok
+        {
+          engines;
+          shards = Array.of_list shards;
+          sessions = Hashtbl.create 64;
+          next_sid = 1;
+          max_pending;
+          extra_stats;
+          down = false;
+        }
+
+  let engines t = t.engines
+  let session_count t = Hashtbl.length t.sessions
+
+  (* Sessions shard by id hash — the documented multiplexing scheme; the
+     id sequence is dense, which [Hashtbl.hash] spreads well enough for
+     the bench's 64-connections-over-4-shards balance. *)
+  let shard_index t sid = Hashtbl.hash sid mod t.engines
+
+  let open_session t =
+    let sid = t.next_sid in
+    t.next_sid <- sid + 1;
+    Hashtbl.replace t.sessions sid
+      {
+        id = sid;
+        shard = shard_index t sid;
+        greeted = false;
+        pending = Queue.create ();
+        waiting = false;
+        closed = false;
+      };
+    sid
+
+  let shard_of_session t sid =
+    match Hashtbl.find_opt t.sessions sid with
+    | Some s -> s.shard
+    | None -> shard_index t sid
+
+  let in_transaction t sid =
+    match Hashtbl.find_opt t.sessions sid with
+    | Some s -> t.shards.(s.shard).owner = Some sid
+    | None -> false
+
+  let blocked t sid =
+    match Hashtbl.find_opt t.sessions sid with
+    | Some s -> s.waiting
+    | None -> false
+
+  let journal_paths t =
+    Array.to_list t.shards
+    |> List.filter_map (fun shard -> Option.map Journal.path shard.journal)
+
+  (* ------------------------------------------------------- statistics *)
+
+  let stats_text t s =
+    let shard = t.shards.(s.shard) in
+    let engine = Interp.engine shard.interp in
+    let st = Engine.statistics engine in
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "session %d shard %d/%d%s\n\
+          engine: %d line(s), %d event(s), %d consideration(s), %d \
+          execution(s), %d abort(s)\n\
+          memo: %d hit(s), %d miss(es), %d node(s)"
+         s.id s.shard t.engines
+         (match shard.owner with
+         | Some owner when owner = s.id -> " (transaction open)"
+         | Some _ -> " (shard busy)"
+         | None -> "")
+         st.Engine.lines st.Engine.events st.Engine.considerations
+         st.Engine.executions st.Engine.aborts st.Engine.memo_hits
+         st.Engine.memo_misses st.Engine.memo_nodes);
+    (match shard.journal with
+    | None -> ()
+    | Some j ->
+        let c = Journal.counters j in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "\njournal: %d record(s), %d commit(s), %d fsync(s), %d \
+              rotation(s) -> %s"
+             c.Journal.appends c.Journal.commits c.Journal.syncs
+             c.Journal.rotations (Journal.path j)));
+    (match t.extra_stats with
+    | None -> ()
+    | Some f ->
+        let extra = f () in
+        if extra <> "" then begin
+          Buffer.add_char buf '\n';
+          Buffer.add_string buf extra
+        end);
+    Buffer.contents buf
+
+  (* -------------------------------------------------------- execution *)
+
+  let push acc e = acc := e :: !acc
+
+  let requires_shard = function
+    | Protocol.Line _ | Protocol.Commit | Protocol.Abort -> true
+    | Protocol.Hello _ | Protocol.Stats | Protocol.Ping _ | Protocol.Quit ->
+        false
+
+  let trim_trailing_newlines s =
+    let n = ref (String.length s) in
+    while !n > 0 && (s.[!n - 1] = '\n' || s.[!n - 1] = '\r') do
+      decr n
+    done;
+    String.sub s 0 !n
+
+  (* Runs the statements of one LINE as a unit; the engine rolls a failed
+     block back by itself, and the reply is either the executed-rule list
+     or the inspection output the statements produced. *)
+  let run_line shard statements =
+    let interp = shard.interp in
+    shard.executed := [];
+    Interp.clear_output interp;
+    let result =
+      List.fold_left
+        (fun acc stmt ->
+          match acc with
+          | Error _ -> acc
+          | Ok () -> Interp.run_statement interp stmt)
+        (Ok ()) statements
+    in
+    match result with
+    | Error msg -> Protocol.Err ("engine", msg)
+    | Ok () -> (
+        match List.rev !(shard.executed) with
+        | [] -> Protocol.Ok_ (trim_trailing_newlines (Interp.output interp))
+        | rules -> Protocol.Triggered rules)
+
+  (* Statements a LINE may carry: anything but [commit] — the transaction
+     boundary is a protocol verb, so the session manager always knows who
+     holds the shard. *)
+  let line_statements text =
+    match Parser.parse text with
+    | Error msg -> Error ("parse", msg)
+    | Ok statements ->
+        if List.exists (function Ast.Commit -> true | _ -> false) statements
+        then Error ("proto", "commit inside LINE: use the COMMIT verb")
+        else Ok statements
+
+  let rec release_shard t shard acc =
+    shard.owner <- None;
+    drain_waiters t shard acc
+
+  (* Wakes the next waiting sessions of a freed shard, FIFO; each woken
+     session runs its queued commands until it blocks again (e.g. its
+     LINE re-acquired the shard and its COMMIT is yet to come — then the
+     queue simply continues) or empties. *)
+  and drain_waiters t shard acc =
+    if shard.owner = None && not (Queue.is_empty shard.waiters) then begin
+      let sid = Queue.pop shard.waiters in
+      (match Hashtbl.find_opt t.sessions sid with
+      | Some s when not s.closed ->
+          s.waiting <- false;
+          process_session t s acc
+      | Some _ | None -> ());
+      drain_waiters t shard acc
+    end
+
+  and process_session t s acc =
+    if (not (Queue.is_empty s.pending)) && not s.closed then begin
+      let shard = t.shards.(s.shard) in
+      let busy =
+        match shard.owner with Some owner -> owner <> s.id | None -> false
+      in
+      if requires_shard (Queue.peek s.pending) && busy then begin
+        if not s.waiting then begin
+          s.waiting <- true;
+          Queue.add s.id shard.waiters
+        end
+      end
+      else begin
+        exec_command t s (Queue.pop s.pending) acc;
+        process_session t s acc
+      end
+    end
+
+  and exec_command t s cmd acc =
+    let shard = t.shards.(s.shard) in
+    let engine = Interp.engine shard.interp in
+    let reply r = push acc (Reply (s.id, r)) in
+    let owner_self () = shard.owner = Some s.id in
+    match cmd with
+    | Protocol.Hello v ->
+        if s.greeted then reply (Protocol.Err ("state", "already greeted"))
+        else if String.equal v Protocol.version then begin
+          s.greeted <- true;
+          reply
+            (Protocol.Ok_
+               (Protocol.version ^ " features="
+               ^ String.concat "," Protocol.features))
+        end
+        else begin
+          reply
+            (Protocol.Err
+               ( "proto",
+                 Printf.sprintf "unsupported version %S; speak %s" v
+                   Protocol.version ));
+          s.closed <- true;
+          push acc (Close s.id)
+        end
+    | Protocol.Ping token ->
+        reply (Protocol.Ok_ (if token = "" then "pong" else "pong " ^ token))
+    | Protocol.Stats -> reply (Protocol.Ok_ (stats_text t s))
+    | Protocol.Quit ->
+        (* Orderly close: an uncommitted transaction aborts before the
+           shard passes to the next waiter. *)
+        if owner_self () then begin
+          Engine.abort engine;
+          release_shard t shard acc
+        end;
+        reply (Protocol.Ok_ "bye");
+        s.closed <- true;
+        push acc (Close s.id)
+    | Protocol.Line _ | Protocol.Commit | Protocol.Abort
+      when not s.greeted ->
+        reply (Protocol.Err ("proto", "HELLO required first"))
+    | Protocol.Line text -> (
+        match line_statements text with
+        | Error (code, msg) -> reply (Protocol.Err (code, msg))
+        | Ok statements ->
+            (* Acquire on first contact, hold across engine errors: the
+               failed block was rolled back but the transaction is the
+               client's to COMMIT or ABORT. *)
+            shard.owner <- Some s.id;
+            reply (run_line shard statements))
+    | Protocol.Commit ->
+        if owner_self () then begin
+          shard.executed := [];
+          (match Interp.run_statement shard.interp Ast.Commit with
+          | Ok () ->
+              reply
+                (match List.rev !(shard.executed) with
+                | [] -> Protocol.Ok_ ""
+                | rules -> Protocol.Triggered rules)
+          | Error msg ->
+              (* A failed commit (e.g. a non-terminating deferred
+                 cascade) leaves no committed state to hand over: abort,
+                 so the shard frees in a defined state. *)
+              Engine.abort engine;
+              reply
+                (Protocol.Err ("engine", msg ^ " (transaction aborted)")));
+          release_shard t shard acc
+        end
+        else reply (Protocol.Err ("state", "no open transaction"))
+    | Protocol.Abort ->
+        if owner_self () then begin
+          Engine.abort engine;
+          release_shard t shard acc;
+          reply (Protocol.Ok_ "aborted")
+        end
+        else reply (Protocol.Err ("state", "no open transaction"))
+
+  (* ---------------------------------------------------------- feeding *)
+
+  let on_payload t sid payload =
+    if t.down then []
+    else
+      match Hashtbl.find_opt t.sessions sid with
+      | None -> []
+      | Some s when s.closed -> []
+      | Some s ->
+          let acc = ref [] in
+          (match Protocol.command_of_payload payload with
+          | Error msg -> push acc (Reply (sid, Protocol.Err ("proto", msg)))
+          | Ok cmd ->
+              if Queue.length s.pending >= t.max_pending then begin
+                (* The per-session pending bound: the client kept sending
+                   past a busy shard faster than admission allows. *)
+                push acc
+                  (Reply
+                     ( sid,
+                       Protocol.Err
+                         ( "overflow",
+                           Printf.sprintf "more than %d queued command(s)"
+                             t.max_pending ) ));
+                s.closed <- true;
+                push acc (Close sid)
+              end
+              else begin
+                Queue.add cmd s.pending;
+                process_session t s acc
+              end);
+          List.rev !acc
+
+  let disconnect t sid =
+    match Hashtbl.find_opt t.sessions sid with
+    | None -> []
+    | Some s ->
+        s.closed <- true;
+        Hashtbl.remove t.sessions sid;
+        let shard = t.shards.(s.shard) in
+        let acc = ref [] in
+        if shard.owner = Some sid then begin
+          Engine.abort (Interp.engine shard.interp);
+          release_shard t shard acc
+        end;
+        List.rev !acc
+
+  let shutdown t =
+    if not t.down then begin
+      t.down <- true;
+      Array.iter
+        (fun shard ->
+          (match shard.owner with
+          | Some _ ->
+              Engine.abort (Interp.engine shard.interp);
+              shard.owner <- None
+          | None -> ());
+          match shard.journal with
+          | Some j -> Journal.close j
+          | None -> ())
+        t.shards;
+      Hashtbl.reset t.sessions
+    end
+end

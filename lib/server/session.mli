@@ -1,0 +1,70 @@
+(** Session management for [chimera serve]: per-connection sessions
+    multiplexed onto [--engines N] independent engine shards.
+
+    Each shard is one ordinary single-threaded engine (wrapped in the
+    script interpreter) with its own write-ahead journal; a session is
+    pinned to the shard its id hashes to.  Transactions serialize per
+    shard: the first [LINE] of a session acquires its shard, [COMMIT] /
+    [ABORT] release it, and commands of other sessions on the same shard
+    queue (FIFO, bounded by [max_pending]) until the shard frees — the
+    caller stops reading from a queued session, which is the protocol's
+    admission control.  An orderly or disorderly close of a session that
+    holds a shard aborts its uncommitted transaction. *)
+
+open Chimera_event
+
+module Manager : sig
+  type t
+
+  (** What the caller (the reactor) must do next: send a reply frame on a
+      session's connection, or flush-and-close it. *)
+  type event = Reply of int * Protocol.reply | Close of int
+
+  val create :
+    engines:int ->
+    ?journal_dir:string ->
+    ?fsync:Journal.sync_policy ->
+    ?boot_script:string ->
+    ?max_pending:int ->
+    ?extra_stats:(unit -> string) ->
+    unit ->
+    (t, string) result
+  (** [engines] must be positive.  [journal_dir] (created if missing)
+      gives every shard a write-ahead journal at
+      [<dir>/shard-<i>.journal]; [boot_script] is rule-language source
+      executed (and committed) on every shard before the first
+      connection — the conventional way to predefine schema and rules.
+      [extra_stats] is appended to every [STATS] reply (the server
+      contributes its connection counters through it). *)
+
+  val engines : t -> int
+  val open_session : t -> int
+  (** Registers a fresh session (in the greeting state) and returns its id. *)
+
+  val session_count : t -> int
+  val shard_of_session : t -> int -> int
+
+  val in_transaction : t -> int -> bool
+  (** The session currently holds its shard (open transaction). *)
+
+  val blocked : t -> int -> bool
+  (** The session has commands queued behind a busy shard: the caller
+      should stop reading from its connection until events release it. *)
+
+  val on_payload : t -> int -> string -> event list
+  (** Feed one decoded frame payload from a session.  Parse errors and
+      protocol-state violations come back as [ERR] replies; engine-bound
+      commands may queue (empty event list) and their replies surface
+      from the [on_payload]/[disconnect] call that released the shard. *)
+
+  val disconnect : t -> int -> event list
+  (** The connection is gone (EOF, error, timeout, drain): aborts the
+      session's open transaction, drops its queue, and wakes waiters of
+      its shard — their replies are the returned events.  Idempotent. *)
+
+  val shutdown : t -> unit
+  (** Drain epilogue: aborts every open transaction, flushes and closes
+      every journal.  The manager accepts no further commands. *)
+
+  val journal_paths : t -> string list
+end

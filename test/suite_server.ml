@@ -1,0 +1,806 @@
+(* The network server suite: the wire protocol in isolation, the session
+   manager in isolation, and the full reactor over real loopback sockets.
+
+   The server and the load generator are both single-threaded pollable
+   reactors, so every socket test interleaves [Server.poll] with a
+   non-blocking client co-operatively in this one thread — no sleeps, no
+   races, deterministic scheduling. *)
+
+open Core
+
+let mf = Protocol.default_max_frame
+
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* ------------------------------------------------------- protocol unit *)
+
+let roundtrip_command c =
+  match Protocol.command_of_payload (Protocol.command_to_payload c) with
+  | Ok c' ->
+      Alcotest.(check bool)
+        (Printf.sprintf "command %s" (Protocol.command_to_payload c))
+        true (c = c')
+  | Error msg -> Alcotest.failf "command rejected: %s" msg
+
+let roundtrip_reply r =
+  match Protocol.reply_of_payload (Protocol.reply_to_payload r) with
+  | Ok r' ->
+      Alcotest.(check bool)
+        (Printf.sprintf "reply %s" (Protocol.reply_to_payload r))
+        true (r = r')
+  | Error msg -> Alcotest.failf "reply rejected: %s" msg
+
+let test_payload_roundtrip () =
+  List.iter roundtrip_command
+    [
+      Protocol.Hello Protocol.version;
+      Protocol.Line "create item(n = 1)";
+      Protocol.Line "create item(n = 1) as X;\nshow item";
+      Protocol.Commit;
+      Protocol.Abort;
+      Protocol.Stats;
+      Protocol.Ping "";
+      Protocol.Ping "tok-42";
+      Protocol.Quit;
+    ];
+  List.iter roundtrip_reply
+    [
+      Protocol.Ok_ "";
+      Protocol.Ok_ "pong tok";
+      Protocol.Ok_ "line one\nline two";
+      Protocol.Triggered [ "onItem" ];
+      Protocol.Triggered [ "a"; "b"; "c" ];
+      Protocol.Err ("proto", "bad thing happened");
+      Protocol.Err ("shutdown", "draining");
+    ];
+  (match Protocol.command_of_payload "FROBNICATE now" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown verb accepted");
+  match Protocol.reply_of_payload "WAT" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown reply verb accepted"
+
+let be32 n =
+  let b = Bytes.create 4 in
+  Bytes.set_uint8 b 0 ((n lsr 24) land 0xff);
+  Bytes.set_uint8 b 1 ((n lsr 16) land 0xff);
+  Bytes.set_uint8 b 2 ((n lsr 8) land 0xff);
+  Bytes.set_uint8 b 3 (n land 0xff);
+  Bytes.to_string b
+
+let test_decode_frames () =
+  let payload = "PING deadbeef" in
+  let frame = Protocol.frame_exn ~max_frame:mf payload in
+  let bytes = Bytes.of_string frame in
+  (* Intact frame. *)
+  (match Protocol.decode ~max_frame:mf bytes ~off:0 ~len:(Bytes.length bytes) with
+  | Protocol.Frame (p, used) ->
+      Alcotest.(check string) "payload" payload p;
+      Alcotest.(check int) "used" (String.length frame) used
+  | _ -> Alcotest.fail "intact frame not decoded");
+  (* Every strict prefix is torn, never an error. *)
+  for len = 0 to Bytes.length bytes - 1 do
+    match Protocol.decode ~max_frame:mf bytes ~off:0 ~len with
+    | Protocol.Need_more -> ()
+    | _ -> Alcotest.failf "prefix of %d bytes not Need_more" len
+  done;
+  (* Zero-length frame: rejected frame-locally, stream stays framed. *)
+  (match
+     Protocol.decode ~max_frame:mf (Bytes.of_string (be32 0)) ~off:0 ~len:4
+   with
+  | Protocol.Reject (_, 4) -> ()
+  | _ -> Alcotest.fail "zero-length frame not Reject");
+  (* Over the cap and u32-max length prefixes: framing is lost. *)
+  List.iter
+    (fun n ->
+      match
+        Protocol.decode ~max_frame:mf (Bytes.of_string (be32 n)) ~off:0 ~len:4
+      with
+      | Protocol.Corrupt _ -> ()
+      | _ -> Alcotest.failf "length %d not Corrupt" n)
+    [ mf + 1; 0x7fffffff; 0xffffffff ];
+  (* An off/len range outside the buffer must not raise. *)
+  (match Protocol.decode ~max_frame:mf bytes ~off:2 ~len:(Bytes.length bytes) with
+  | Protocol.Corrupt _ -> ()
+  | _ -> Alcotest.fail "out-of-range slice not Corrupt");
+  (* Encoding refuses what decoding would reject. *)
+  (match Protocol.frame_into ~max_frame:mf (Buffer.create 8) "" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "empty payload framed");
+  match
+    Protocol.frame_into ~max_frame:16 (Buffer.create 8) (String.make 17 'x')
+  with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "oversized payload framed"
+
+(* The event-codec regression (the decode-must-not-raise bugfix):
+   negative or overflowed numeric fields return [Error]. *)
+let test_event_codec_rejects_bad_numbers () =
+  let eb = Event_base.create () in
+  let occ =
+    Event_base.record eb
+      ~etype:(Event_type.external_ ~name:"tick" ~class_name:"")
+      ~oid:(Ident.Oid.of_int 7)
+  in
+  let line = Event_codec.occurrence_line occ in
+  let fields = String.split_on_char '\t' line in
+  let patched i v =
+    String.concat "\t" (List.mapi (fun j f -> if i = j then v else f) fields)
+  in
+  (match Event_codec.parse_occurrence_line line with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "valid line rejected: %s" msg);
+  List.iter
+    (fun bad ->
+      match Event_codec.parse_occurrence_line bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %S" bad)
+    [
+      patched 2 "-1" (* negative oid *);
+      patched 3 "-5" (* negative timestamp *);
+      patched 3 "99999999999999999999" (* precision overflow *);
+      patched 2 "7x" (* trailing garbage *);
+    ]
+
+(* -------------------------------------------------- session manager unit *)
+
+let boot_script =
+  "define class item (n: integer);\n\
+   define class audit (tag: string);\n\
+   define immediate trigger onItem for item\n\
+  \  events { create(item) }\n\
+  \  condition item(I), occurred({ create(item) }, I), I.n > 0\n\
+  \  actions create audit(tag = \"item\")\n\
+   end;\n"
+
+let feed mgr sid cmd =
+  Session.Manager.on_payload mgr sid (Protocol.command_to_payload cmd)
+
+let greet mgr sid =
+  match feed mgr sid (Protocol.Hello Protocol.version) with
+  | [ Session.Manager.Reply (_, Protocol.Ok_ _) ] -> ()
+  | _ -> Alcotest.fail "greeting failed"
+
+let test_manager_queueing_and_overflow () =
+  let mgr =
+    match
+      Session.Manager.create ~engines:1 ~boot_script ~max_pending:2 ()
+    with
+    | Ok mgr -> mgr
+    | Error msg -> Alcotest.fail msg
+  in
+  let s1 = Session.Manager.open_session mgr in
+  let s2 = Session.Manager.open_session mgr in
+  greet mgr s1;
+  greet mgr s2;
+  (* s1 opens a transaction and holds the single shard. *)
+  (match feed mgr s1 (Protocol.Line "create item(n = 1)") with
+  | [ Session.Manager.Reply (sid, Protocol.Triggered [ "onItem" ]) ] ->
+      Alcotest.(check int) "reply to s1" s1 sid
+  | _ -> Alcotest.fail "s1 line not triggered");
+  Alcotest.(check bool) "s1 in tx" true (Session.Manager.in_transaction mgr s1);
+  (* s2 queues behind the busy shard: no reply, marked blocked. *)
+  (match feed mgr s2 (Protocol.Line "create item(n = 2)") with
+  | [] -> ()
+  | _ -> Alcotest.fail "queued command replied early");
+  Alcotest.(check bool) "s2 blocked" true (Session.Manager.blocked mgr s2);
+  (* The pending bound: one more queues, the next overflows and closes. *)
+  (match feed mgr s2 Protocol.Commit with
+  | [] -> ()
+  | _ -> Alcotest.fail "second queued command replied early");
+  (match feed mgr s2 Protocol.Commit with
+  | [
+   Session.Manager.Reply (_, Protocol.Err ("overflow", _));
+   Session.Manager.Close sid;
+  ] ->
+      Alcotest.(check int) "closed s2" s2 sid
+  | _ -> Alcotest.fail "pending overflow not enforced");
+  (* s3 queues; s1's disconnect aborts its transaction and the waiter's
+     reply surfaces from the disconnect call that freed the shard. *)
+  let s3 = Session.Manager.open_session mgr in
+  greet mgr s3;
+  (match feed mgr s3 (Protocol.Line "create item(n = 3)") with
+  | [] -> ()
+  | _ -> Alcotest.fail "s3 not queued");
+  (match Session.Manager.disconnect mgr s1 with
+  | [ Session.Manager.Reply (sid, Protocol.Triggered [ "onItem" ]) ] ->
+      Alcotest.(check int) "woken waiter" s3 sid
+  | _ -> Alcotest.fail "disconnect did not wake the waiter");
+  (match feed mgr s3 Protocol.Commit with
+  | [ Session.Manager.Reply (_, Protocol.Ok_ _) ] -> ()
+  | _ -> Alcotest.fail "s3 commit failed");
+  Session.Manager.shutdown mgr
+
+(* ------------------------------------------------------- socket harness *)
+
+type client = { fd : Unix.file_descr; mutable buf : Bytes.t; mutable len : int }
+
+let connect srv =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port srv));
+  Unix.set_nonblock fd;
+  { fd; buf = Bytes.create 4096; len = 0 }
+
+let client_read c =
+  let chunk = Bytes.create 4096 in
+  match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+  | 0 -> `Eof
+  | n ->
+      let need = c.len + n in
+      if Bytes.length c.buf < need then begin
+        let grown = Bytes.create (max need (2 * Bytes.length c.buf)) in
+        Bytes.blit c.buf 0 grown 0 c.len;
+        c.buf <- grown
+      end;
+      Bytes.blit chunk 0 c.buf c.len n;
+      c.len <- need;
+      `Read
+  | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
+    ->
+      `Nothing
+  | exception Unix.Unix_error _ -> `Eof
+
+let send_raw srv c s =
+  let rec go off =
+    if off < String.length s then
+      match Unix.write_substring c.fd s off (String.length s - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error
+          ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _) ->
+          ignore (Server.poll srv ~timeout:0.005);
+          go off
+  in
+  go 0
+
+let send srv c cmd =
+  send_raw srv c
+    (Protocol.frame_exn ~max_frame:mf (Protocol.command_to_payload cmd))
+
+(* Pulls the next reply, interleaving server polls with client reads;
+   [`Timeout] after [polls] turns without one (used to assert that a
+   reply must NOT arrive, with a small budget). *)
+let recv ?(polls = 400) srv c =
+  let take () =
+    match Protocol.decode ~max_frame:mf c.buf ~off:0 ~len:c.len with
+    | Protocol.Frame (payload, used) ->
+        Bytes.blit c.buf used c.buf 0 (c.len - used);
+        c.len <- c.len - used;
+        (match Protocol.reply_of_payload payload with
+        | Ok r -> Some r
+        | Error msg -> Alcotest.failf "unparsable reply %S: %s" payload msg)
+    | _ -> None
+  in
+  let rec go polls =
+    match take () with
+    | Some r -> `Reply r
+    | None ->
+        if polls <= 0 then `Timeout
+        else begin
+          ignore (Server.poll srv ~timeout:0.005);
+          match client_read c with
+          | `Eof -> ( match take () with Some r -> `Reply r | None -> `Eof)
+          | `Read | `Nothing -> go (polls - 1)
+        end
+  in
+  go polls
+
+let expect_ok srv c what =
+  match recv srv c with
+  | `Reply (Protocol.Ok_ s) -> s
+  | `Reply r ->
+      Alcotest.failf "%s: expected OK, got %s" what (Protocol.reply_to_payload r)
+  | `Eof -> Alcotest.failf "%s: connection closed" what
+  | `Timeout -> Alcotest.failf "%s: no reply" what
+
+let expect_triggered srv c what =
+  match recv srv c with
+  | `Reply (Protocol.Triggered rules) -> rules
+  | `Reply r ->
+      Alcotest.failf "%s: expected TRIGGERED, got %s" what
+        (Protocol.reply_to_payload r)
+  | `Eof | `Timeout -> Alcotest.failf "%s: no TRIGGERED reply" what
+
+let expect_err srv c code what =
+  match recv srv c with
+  | `Reply (Protocol.Err (got, msg)) ->
+      Alcotest.(check string) (what ^ ": code") code got;
+      msg
+  | `Reply r ->
+      Alcotest.failf "%s: expected ERR %s, got %s" what code
+        (Protocol.reply_to_payload r)
+  | `Eof -> Alcotest.failf "%s: connection closed" what
+  | `Timeout -> Alcotest.failf "%s: no reply" what
+
+let expect_eof ?(polls = 400) srv c =
+  match recv ~polls srv c with
+  | `Eof -> ()
+  | `Reply r ->
+      Alcotest.failf "expected EOF, got %s" (Protocol.reply_to_payload r)
+  | `Timeout -> Alcotest.fail "expected EOF, connection still open"
+
+let hello srv c =
+  send srv c (Protocol.Hello Protocol.version);
+  let info = expect_ok srv c "hello" in
+  Alcotest.(check bool)
+    "greeting carries the version" true
+    (contains_sub info Protocol.version)
+
+let close_client c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let stop_server srv =
+  Server.request_drain srv;
+  let rec go n =
+    if n = 0 then Alcotest.fail "server did not stop on drain"
+    else
+      match Server.poll srv ~timeout:0.005 with
+      | Server.Stopped -> ()
+      | Server.Running -> go (n - 1)
+  in
+  go 1000
+
+let with_server ?(config = Server.default_config) f =
+  match Server.create { config with Server.port = 0 } with
+  | Error msg -> Alcotest.fail msg
+  | Ok srv -> Fun.protect ~finally:(fun () -> stop_server srv) (fun () -> f srv)
+
+let with_boot_server ?(config = Server.default_config) f =
+  with_server ~config:{ config with Server.boot_script = Some boot_script } f
+
+(* --------------------------------------------------------- socket tests *)
+
+let test_socket_roundtrip () =
+  with_boot_server @@ fun srv ->
+  let c = connect srv in
+  Fun.protect ~finally:(fun () -> close_client c) @@ fun () ->
+  hello srv c;
+  send srv c (Protocol.Ping "tok");
+  Alcotest.(check string) "ping echo" "pong tok" (expect_ok srv c "ping");
+  send srv c (Protocol.Line "create item(n = 1) as X");
+  Alcotest.(check (list string))
+    "trigger executed" [ "onItem" ]
+    (expect_triggered srv c "line");
+  send srv c (Protocol.Line "show audit");
+  Alcotest.(check bool)
+    "audit visible in the open tx" true
+    (contains_sub (expect_ok srv c "show") "audit (1)");
+  send srv c Protocol.Commit;
+  Alcotest.(check string) "commit" "" (expect_ok srv c "commit");
+  send srv c Protocol.Stats;
+  let stats = expect_ok srv c "stats" in
+  Alcotest.(check bool) "engine stats" true (contains_sub stats "engine:");
+  Alcotest.(check bool) "server stats" true (contains_sub stats "server:");
+  send srv c Protocol.Quit;
+  Alcotest.(check string) "bye" "bye" (expect_ok srv c "quit");
+  expect_eof srv c
+
+let test_socket_protocol_errors () =
+  with_boot_server @@ fun srv ->
+  let c = connect srv in
+  Fun.protect ~finally:(fun () -> close_client c) @@ fun () ->
+  (* Engine verbs before HELLO. *)
+  send srv c Protocol.Commit;
+  ignore (expect_err srv c "proto" "commit before hello");
+  send srv c (Protocol.Line "create item(n = 1)");
+  ignore (expect_err srv c "proto" "line before hello");
+  hello srv c;
+  (* COMMIT with no open transaction. *)
+  send srv c Protocol.Commit;
+  ignore (expect_err srv c "state" "commit without tx");
+  (* A garbage verb inside a well-formed frame: ERR, connection lives. *)
+  send_raw srv c (Protocol.frame_exn ~max_frame:mf "FROBNICATE now");
+  ignore (expect_err srv c "proto" "garbage verb");
+  (* A zero-length frame: rejected frame-locally, connection lives. *)
+  send_raw srv c (be32 0);
+  ignore (expect_err srv c "proto" "zero-length frame");
+  send srv c (Protocol.Ping "");
+  Alcotest.(check string) "alive after rejects" "pong" (expect_ok srv c "ping");
+  (* commit; must travel as the COMMIT verb. *)
+  send srv c (Protocol.Line "create item(n = 1);\ncommit;");
+  ignore (expect_err srv c "proto" "commit inside LINE");
+  (* A parse error and an engine error both keep the connection. *)
+  send srv c (Protocol.Line "craete item(n = 1)");
+  ignore (expect_err srv c "parse" "parse error");
+  send srv c (Protocol.Line "create ghost(n = 1)");
+  ignore (expect_err srv c "engine" "unknown class");
+  (* The failed block rolled back but the transaction stayed the
+     client's to close... *)
+  send srv c Protocol.Abort;
+  Alcotest.(check string) "abort" "aborted" (expect_ok srv c "abort");
+  (* ...and a second ABORT has nothing to close. *)
+  send srv c Protocol.Abort;
+  ignore (expect_err srv c "state" "abort without tx");
+  send srv c Protocol.Quit;
+  ignore (expect_ok srv c "quit")
+
+let test_socket_oversized_frame_closes () =
+  with_boot_server @@ fun srv ->
+  let c = connect srv in
+  Fun.protect ~finally:(fun () -> close_client c) @@ fun () ->
+  hello srv c;
+  (* A length prefix beyond the cap loses framing: ERR oversize, close. *)
+  send_raw srv c (be32 (mf + 1));
+  ignore (expect_err srv c "oversize" "oversized frame");
+  expect_eof srv c;
+  (* A u32-max prefix (the length-overflow regression) on a fresh
+     connection behaves the same. *)
+  let c2 = connect srv in
+  Fun.protect ~finally:(fun () -> close_client c2) @@ fun () ->
+  hello srv c2;
+  send_raw srv c2 (be32 0xffffffff);
+  ignore (expect_err srv c2 "oversize" "overflowed length prefix");
+  expect_eof srv c2
+
+let test_socket_torn_frame () =
+  with_boot_server @@ fun srv ->
+  let c = connect srv in
+  Fun.protect ~finally:(fun () -> close_client c) @@ fun () ->
+  hello srv c;
+  let frame = Protocol.frame_exn ~max_frame:mf "PING torn" in
+  let cut = String.length frame - 3 in
+  send_raw srv c (String.sub frame 0 cut);
+  (match recv ~polls:10 srv c with
+  | `Timeout -> ()
+  | _ -> Alcotest.fail "torn frame answered early");
+  send_raw srv c (String.sub frame cut (String.length frame - cut));
+  Alcotest.(check string) "completed frame" "pong torn" (expect_ok srv c "ping")
+
+let test_socket_wrong_version_closes () =
+  with_boot_server @@ fun srv ->
+  let c = connect srv in
+  Fun.protect ~finally:(fun () -> close_client c) @@ fun () ->
+  send srv c (Protocol.Hello "bogus/9");
+  ignore (expect_err srv c "proto" "wrong version");
+  expect_eof srv c
+
+let test_socket_shard_fifo () =
+  with_boot_server ~config:{ Server.default_config with Server.engines = 1 }
+  @@ fun srv ->
+  let c1 = connect srv in
+  let c2 = connect srv in
+  Fun.protect ~finally:(fun () -> close_client c1; close_client c2)
+  @@ fun () ->
+  hello srv c1;
+  hello srv c2;
+  send srv c1 (Protocol.Line "create item(n = 1)");
+  ignore (expect_triggered srv c1 "c1 line");
+  (* c2 queues behind c1's transaction: no reply while c1 holds the shard. *)
+  send srv c2 (Protocol.Line "create item(n = 2)");
+  (match recv ~polls:20 srv c2 with
+  | `Timeout -> ()
+  | _ -> Alcotest.fail "c2 answered while the shard was held");
+  send srv c1 Protocol.Commit;
+  ignore (expect_ok srv c1 "c1 commit");
+  ignore (expect_triggered srv c2 "c2 line after release");
+  send srv c2 Protocol.Commit;
+  ignore (expect_ok srv c2 "c2 commit")
+
+let test_socket_backpressure_slow_reader () =
+  with_boot_server
+    ~config:{ Server.default_config with Server.high_water = 256 }
+  @@ fun srv ->
+  let c = connect srv in
+  Fun.protect ~finally:(fun () -> close_client c) @@ fun () ->
+  hello srv c;
+  (* Pipeline many pings without reading a byte back: the reply buffer
+     crosses the high-water mark, the server stops reading this
+     connection, and nothing is lost or reordered once we drain. *)
+  let n = 100 in
+  let all = Buffer.create (n * 16) in
+  for i = 1 to n do
+    Buffer.add_string all
+      (Protocol.frame_exn ~max_frame:mf
+         (Protocol.command_to_payload (Protocol.Ping (string_of_int i))))
+  done;
+  send_raw srv c (Buffer.contents all);
+  for _ = 1 to 20 do
+    ignore (Server.poll srv ~timeout:0.001)
+  done;
+  Alcotest.(check int) "still connected" 1 (Server.active_conns srv);
+  for i = 1 to n do
+    Alcotest.(check string)
+      (Printf.sprintf "pong %d" i)
+      ("pong " ^ string_of_int i)
+      (expect_ok srv c "ping")
+  done;
+  send srv c Protocol.Quit;
+  ignore (expect_ok srv c "quit")
+
+let test_socket_idle_timeout () =
+  with_boot_server
+    ~config:{ Server.default_config with Server.idle_timeout = 0.05 }
+  @@ fun srv ->
+  let c = connect srv in
+  Fun.protect ~finally:(fun () -> close_client c) @@ fun () ->
+  hello srv c;
+  let msg = expect_err srv c "shutdown" "idle reaping" in
+  Alcotest.(check bool) "names the timeout" true (contains_sub msg "idle");
+  expect_eof srv c
+
+let test_socket_max_conns_rejects () =
+  with_boot_server ~config:{ Server.default_config with Server.max_conns = 1 }
+  @@ fun srv ->
+  let c1 = connect srv in
+  Fun.protect ~finally:(fun () -> close_client c1) @@ fun () ->
+  hello srv c1;
+  let c2 = connect srv in
+  Fun.protect ~finally:(fun () -> close_client c2) @@ fun () ->
+  ignore (expect_err srv c2 "busy" "admission cap");
+  expect_eof srv c2;
+  (* The admitted connection is unaffected. *)
+  send srv c1 (Protocol.Ping "");
+  Alcotest.(check string) "first conn lives" "pong" (expect_ok srv c1 "ping")
+
+(* Graceful drain mid-transaction: buffered work finishes, clients get
+   the shutdown notice, journals close flushed — and replay cleanly,
+   without the aborted transaction. *)
+let test_socket_drain_and_recover () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "chimera-serve-test-%d" (Unix.getpid ()))
+  in
+  let config =
+    {
+      Server.default_config with
+      Server.engines = 2;
+      boot_script = Some boot_script;
+      journal_dir = Some dir;
+    }
+  in
+  (match Server.create { config with Server.port = 0 } with
+  | Error msg -> Alcotest.fail msg
+  | Ok srv ->
+      let c1 = connect srv in
+      let c2 = connect srv in
+      Fun.protect ~finally:(fun () -> close_client c1; close_client c2)
+      @@ fun () ->
+      hello srv c1;
+      hello srv c2;
+      (* c1 commits an item; c2 leaves one uncommitted. *)
+      send srv c1 (Protocol.Line "create item(n = 1)");
+      ignore (expect_triggered srv c1 "c1 line");
+      send srv c1 Protocol.Commit;
+      ignore (expect_ok srv c1 "c1 commit");
+      send srv c2 (Protocol.Line "create item(n = 2)");
+      (match recv ~polls:100 srv c2 with
+      | `Reply (Protocol.Triggered _) | `Timeout -> ()
+      | r ->
+          Alcotest.failf "c2 line: unexpected %s"
+            (match r with
+            | `Reply r -> Protocol.reply_to_payload r
+            | `Eof -> "EOF"
+            | `Timeout -> assert false));
+      let journals = Session.Manager.journal_paths (Server.manager srv) in
+      Alcotest.(check int) "one journal per shard" 2 (List.length journals);
+      Server.request_drain srv;
+      let rec drive n =
+        if n = 0 then Alcotest.fail "drain did not complete"
+        else
+          match Server.poll srv ~timeout:0.005 with
+          | Server.Stopped -> ()
+          | Server.Running ->
+              ignore (client_read c1);
+              ignore (client_read c2);
+              drive (n - 1)
+      in
+      drive 1000;
+      Alcotest.(check bool) "draining reported" true (Server.draining srv);
+      (* Both clients were notified before their sockets closed. *)
+      List.iter
+        (fun c ->
+          ignore (client_read c);
+          match Protocol.decode ~max_frame:mf c.buf ~off:0 ~len:c.len with
+          | Protocol.Frame (payload, _) -> (
+              match Protocol.reply_of_payload payload with
+              | Ok (Protocol.Err ("shutdown", _)) -> ()
+              | Ok (Protocol.Triggered _) -> ()
+              | _ -> Alcotest.failf "unexpected drain reply %S" payload)
+          | _ -> Alcotest.fail "no drain notice buffered")
+        [ c1; c2 ];
+      (* Replay every shard journal into a fresh engine: only committed
+         state survives (the boot commit plus c1's transaction). *)
+      let live =
+        List.fold_left
+          (fun acc path ->
+            let interp = Interp.create () in
+            (match
+               Interp.run_string interp
+                 "define class item (n: integer);\n\
+                  define class audit (tag: string);"
+             with
+            | Ok () -> ()
+            | Error msg -> Alcotest.fail msg);
+            match Engine.recover (Interp.engine interp) ~path with
+            | Error msg -> Alcotest.failf "recover %s: %s" path msg
+            | Ok report ->
+                Alcotest.(check bool)
+                  "boot commit journaled" true
+                  (report.Engine.recovered_commits >= 1);
+                acc
+                + Object_store.count_live (Engine.store (Interp.engine interp)))
+          0 journals
+      in
+      Alcotest.(check int) "item + audit committed, nothing else" 2 live);
+  (* Temp cleanup. *)
+  (try
+     Array.iter
+       (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+       (Sys.readdir dir);
+     Unix.rmdir dir
+   with Sys_error _ | Unix.Unix_error _ -> ())
+
+(* ------------------------------------------------- loadgen + differential *)
+
+let test_loadgen_in_process () =
+  with_boot_server ~config:{ Server.default_config with Server.engines = 4 }
+  @@ fun srv ->
+  let lg =
+    match
+      Loadgen.create
+        {
+          Loadgen.default_config with
+          Loadgen.port = Server.port srv;
+          conns = 8;
+          lines = 25;
+          commit_every = 5;
+        }
+    with
+    | Ok lg -> lg
+    | Error msg -> Alcotest.fail msg
+  in
+  let rec drive n =
+    if Loadgen.finished lg then ()
+    else if n = 0 then Alcotest.fail "loadgen did not finish"
+    else begin
+      ignore (Server.poll srv ~timeout:0.001);
+      Loadgen.poll lg ~timeout:0.001;
+      drive (n - 1)
+    end
+  in
+  drive 100_000;
+  let r = Loadgen.report lg in
+  Alcotest.(check int) "no protocol errors" 0 r.Loadgen.errors;
+  Alcotest.(check int) "every line answered" (8 * 25) r.Loadgen.lines_ok;
+  Alcotest.(check int) "every line triggered" (8 * 25) r.Loadgen.triggered;
+  Alcotest.(check int) "commits" (8 * 5) r.Loadgen.commits
+
+(* The differential check: a scripted socket session must produce, reply
+   by reply, the verdicts of driving the engine directly — same TRIGGERED
+   rule lists, same inspection output, same error surface. *)
+let differential_lines =
+  [
+    `Line "create item(n = 1) as A";
+    `Line "create item(n = 0) as B";
+    `Line "modify A.n = 5";
+    `Line "show item";
+    `Commit;
+    `Line "create item(n = 2);\ncreate item(n = 3)";
+    `Line "show audit";
+    `Line "create ghost(n = 1)";
+    `Abort;
+    `Line "show audit";
+    `Commit;
+  ]
+
+(* The direct-drive reference implements the documented LINE semantics by
+   hand: per-line executed-rule capture, per-line output, errors as ERR. *)
+let direct_verdicts () =
+  let interp = Interp.create () in
+  (match Interp.run_string interp boot_script with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  (match Engine.commit (Interp.engine interp) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "boot commit");
+  Interp.clear_output interp;
+  let executed = ref [] in
+  Engine.set_on_execution (Interp.engine interp) (fun name ->
+      executed := name :: !executed);
+  let trim s =
+    let n = ref (String.length s) in
+    while !n > 0 && (s.[!n - 1] = '\n' || s.[!n - 1] = '\r') do
+      decr n
+    done;
+    String.sub s 0 !n
+  in
+  let run_statements statements =
+    executed := [];
+    Interp.clear_output interp;
+    let result =
+      List.fold_left
+        (fun acc stmt ->
+          match acc with
+          | Error _ -> acc
+          | Ok () -> Interp.run_statement interp stmt)
+        (Ok ()) statements
+    in
+    match result with
+    | Error msg -> Protocol.Err ("engine", msg)
+    | Ok () -> (
+        match List.rev !executed with
+        | [] -> Protocol.Ok_ (trim (Interp.output interp))
+        | rules -> Protocol.Triggered rules)
+  in
+  List.map
+    (fun step ->
+      match step with
+      | `Line text -> (
+          match Lang_parser.parse text with
+          | Error msg -> Protocol.Err ("parse", msg)
+          | Ok statements -> run_statements statements)
+      | `Commit -> (
+          executed := [];
+          match Engine.commit (Interp.engine interp) with
+          | Ok () -> (
+              match List.rev !executed with
+              | [] -> Protocol.Ok_ ""
+              | rules -> Protocol.Triggered rules)
+          | Error e ->
+              Engine.abort (Interp.engine interp);
+              Protocol.Err ("engine", Fmt.str "%a" Engine.pp_error e))
+      | `Abort ->
+          Engine.abort (Interp.engine interp);
+          Protocol.Ok_ "aborted")
+    differential_lines
+
+let test_differential_socket_vs_direct () =
+  let expected = direct_verdicts () in
+  with_boot_server @@ fun srv ->
+  let c = connect srv in
+  Fun.protect ~finally:(fun () -> close_client c) @@ fun () ->
+  hello srv c;
+  let got =
+    List.map
+      (fun step ->
+        send srv c
+          (match step with
+          | `Line text -> Protocol.Line text
+          | `Commit -> Protocol.Commit
+          | `Abort -> Protocol.Abort);
+        match recv srv c with
+        | `Reply r -> r
+        | `Eof -> Alcotest.fail "connection closed mid-scenario"
+        | `Timeout -> Alcotest.fail "no reply mid-scenario")
+      differential_lines
+  in
+  List.iteri
+    (fun i (want, have) ->
+      Alcotest.(check string)
+        (Printf.sprintf "step %d" i)
+        (Protocol.reply_to_payload want)
+        (Protocol.reply_to_payload have))
+    (List.combine expected got);
+  send srv c Protocol.Quit;
+  ignore (expect_ok srv c "quit")
+
+let suite =
+  [
+    Alcotest.test_case "payload round trip" `Quick test_payload_roundtrip;
+    Alcotest.test_case "frame decoding is total" `Quick test_decode_frames;
+    Alcotest.test_case "event codec rejects bad numbers" `Quick
+      test_event_codec_rejects_bad_numbers;
+    Alcotest.test_case "manager queueing and overflow" `Quick
+      test_manager_queueing_and_overflow;
+    Alcotest.test_case "socket round trip" `Quick test_socket_roundtrip;
+    Alcotest.test_case "protocol errors keep the connection" `Quick
+      test_socket_protocol_errors;
+    Alcotest.test_case "oversized frame closes" `Quick
+      test_socket_oversized_frame_closes;
+    Alcotest.test_case "torn frame completes" `Quick test_socket_torn_frame;
+    Alcotest.test_case "wrong version closes" `Quick
+      test_socket_wrong_version_closes;
+    Alcotest.test_case "shard transactions serialize FIFO" `Quick
+      test_socket_shard_fifo;
+    Alcotest.test_case "backpressure on a slow reader" `Quick
+      test_socket_backpressure_slow_reader;
+    Alcotest.test_case "idle timeout" `Quick test_socket_idle_timeout;
+    Alcotest.test_case "admission cap rejects" `Quick
+      test_socket_max_conns_rejects;
+    Alcotest.test_case "graceful drain, journals replay" `Quick
+      test_socket_drain_and_recover;
+    Alcotest.test_case "in-process loadgen" `Quick test_loadgen_in_process;
+    Alcotest.test_case "differential: socket vs direct" `Quick
+      test_differential_socket_vs_direct;
+  ]

@@ -29,4 +29,5 @@ let () =
       ("obs", Suite_obs.suite);
       ("differential", Suite_differential.suite);
       ("roundtrip", Suite_roundtrip.suite);
+      ("server", Suite_server.suite);
     ]
