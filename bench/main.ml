@@ -27,6 +27,7 @@ let experiments =
     ("e10", "observability overhead", Obs_overhead.e10);
     ("e11", "wide rule sets: sweep vs indexed wake", Wide.e11);
     ("e12", "network serving throughput (1 vs 4 shards)", Serve_bench.e12);
+    ("e13", "worker-domain scaling (inline vs 1/2/4 domains)", Serve_bench.e13);
     ("micro", "bechamel micro-benchmarks", Micro.run);
   ]
 

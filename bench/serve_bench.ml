@@ -149,3 +149,126 @@ let e12 () =
              ("lat_max_ns", Bench_util.J_int r.Loadgen.lat_max_ns);
            ])
        rows)
+
+(* E13: worker-domain scaling — 4 engine shards executed inline on the
+   reactor thread (domains = 0) versus on 1, 2 and 4 worker domains.
+
+   Honest caveat baked into the JSON: the speedup ceiling is the machine's
+   core count.  On a single-core container the domain runs measure the
+   *overhead* of the mailbox hop (they cannot be faster than inline); the
+   scaling story only materialises with cores to schedule the workers
+   on.  The bench records [cores] so readers can tell which regime a
+   result came from. *)
+
+let e13_domain_counts = [ 0; 1; 2; 4 ]
+let e13_conns = 64
+
+type drow = { domains : int; report : Loadgen.report }
+
+let run_domains ~domains =
+  let server_config =
+    {
+      Server.default_config with
+      Server.engines = 4;
+      domains = Some domains;
+      boot_script = Some boot_script;
+      max_conns = e13_conns + 8;
+      idle_timeout = 0.;
+    }
+  in
+  match Server.create server_config with
+  | Error msg -> failwith msg
+  | Ok srv ->
+      let lg =
+        match
+          Loadgen.create
+            {
+              Loadgen.default_config with
+              Loadgen.port = Server.port srv;
+              conns = e13_conns;
+              lines;
+              commit_every;
+            }
+        with
+        | Ok lg -> lg
+        | Error msg -> failwith msg
+      in
+      let rec drive () =
+        if not (Loadgen.finished lg) then begin
+          ignore (Server.poll srv ~timeout:0.);
+          Loadgen.poll lg ~timeout:0.;
+          drive ()
+        end
+      in
+      drive ();
+      let report = Loadgen.report lg in
+      Server.request_drain srv;
+      let rec stop n =
+        if n > 0 then
+          match Server.poll srv ~timeout:0.005 with
+          | Server.Stopped -> ()
+          | Server.Running -> stop (n - 1)
+      in
+      stop 1000;
+      if report.Loadgen.errors > 0 then
+        failwith
+          (Printf.sprintf "e13: %d protocol error(s) at domains=%d"
+             report.Loadgen.errors domains);
+      { domains; report }
+
+let e13 () =
+  let cores = Stdlib.Domain.recommended_domain_count () in
+  Bench_util.print_header
+    "E13: worker-domain scaling (4 shards; inline vs 1/2/4 domains)";
+  Bench_util.print_note
+    (Printf.sprintf
+       "%d conns, %d lines/conn, commit every %d; %d core(s) available — \
+        on 1 core the domain rows measure mailbox-hop overhead, not \
+        parallel speedup"
+       e13_conns lines commit_every cores);
+  let rows = List.map (fun domains -> run_domains ~domains) e13_domain_counts in
+  Printf.printf "\n  %7s %10s %12s %10s %10s %10s\n" "domains" "lines"
+    "lines/s" "p50 us" "p99 us" "max us";
+  List.iter
+    (fun { domains; report = r } ->
+      Printf.printf "  %7d %10d %12.0f %10d %10d %10d\n" domains
+        r.Loadgen.lines_ok r.Loadgen.lines_per_s
+        (r.Loadgen.lat_p50_ns / 1000)
+        (r.Loadgen.lat_p99_ns / 1000)
+        (r.Loadgen.lat_max_ns / 1000))
+    rows;
+  (match List.find_opt (fun r -> r.domains = 0) rows with
+  | Some inline ->
+      List.iter
+        (fun r ->
+          if r.domains > 0 then
+            Printf.printf "  %d domain(s): %.2fx the inline throughput\n"
+              r.domains
+              (r.report.Loadgen.lines_per_s
+              /. inline.report.Loadgen.lines_per_s))
+        rows
+  | None -> ());
+  Bench_util.write_json ~experiment:"e13"
+    (List.map
+       (fun { domains; report = r } ->
+         Bench_util.J_obj
+           [
+             ("shards", Bench_util.J_int 4);
+             ("domains", Bench_util.J_int domains);
+             ("cores", Bench_util.J_int cores);
+             ("conns", Bench_util.J_int e13_conns);
+             ("lines_per_conn", Bench_util.J_int lines);
+             ("commit_every", Bench_util.J_int commit_every);
+             ("lines_sent", Bench_util.J_int r.Loadgen.lines_sent);
+             ("lines_ok", Bench_util.J_int r.Loadgen.lines_ok);
+             ("triggered", Bench_util.J_int r.Loadgen.triggered);
+             ("commits", Bench_util.J_int r.Loadgen.commits);
+             ("errors", Bench_util.J_int r.Loadgen.errors);
+             ("wall_s", Bench_util.J_float r.Loadgen.wall_s);
+             ("lines_per_s", Bench_util.J_float r.Loadgen.lines_per_s);
+             ("lat_p50_ns", Bench_util.J_int r.Loadgen.lat_p50_ns);
+             ("lat_p90_ns", Bench_util.J_int r.Loadgen.lat_p90_ns);
+             ("lat_p99_ns", Bench_util.J_int r.Loadgen.lat_p99_ns);
+             ("lat_max_ns", Bench_util.J_int r.Loadgen.lat_max_ns);
+           ])
+       rows)

@@ -468,8 +468,8 @@ let graph_cmd =
 
 (* ----------------------------------------------------------- serve *)
 
-let serve trace metrics host port engines journal_dir fsync script max_conns
-    max_frame max_pending idle_timeout =
+let serve trace metrics host port engines domains journal_dir fsync script
+    max_conns max_frame max_pending idle_timeout =
  protected @@ fun () ->
   setup_obs ~metrics ~trace;
   let boot_script = Option.map read_file script in
@@ -479,6 +479,7 @@ let serve trace metrics host port engines journal_dir fsync script max_conns
       host;
       port;
       engines;
+      domains;
       journal_dir;
       fsync;
       boot_script;
@@ -492,8 +493,15 @@ let serve trace metrics host port engines journal_dir fsync script max_conns
   | Error msg -> `Error (false, msg)
   | Ok server ->
       Server.install_signal_handlers server;
-      Printf.printf "chimera serve: listening on %s:%d (%d engine shard(s)%s)\n%!"
+      let running_domains =
+        Session.Manager.domains (Server.manager server)
+      in
+      Printf.printf
+        "chimera serve: listening on %s:%d (%d engine shard(s), %s%s)\n%!"
         host (Server.port server) engines
+        (match running_domains with
+        | 0 -> "inline on the reactor thread"
+        | n -> Printf.sprintf "%d worker domain(s)" n)
         (match journal_dir with
         | None -> ""
         | Some dir -> Printf.sprintf ", journals in %s" dir);
@@ -524,6 +532,17 @@ let serve_cmd =
           ~doc:
             "Independent engine shards; each session is pinned to the shard \
              its id hashes to and transactions serialize per shard.")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"M"
+          ~doc:
+            "Worker domains executing the engine shards (shard $(i,i) \
+             runs on domain $(i,i) mod $(i,M)).  Defaults to one domain \
+             per shard; $(b,0) runs every shard inline on the reactor \
+             thread (the pre-multicore behaviour).")
   in
   let journal_dir =
     Arg.(
@@ -588,7 +607,7 @@ let serve_cmd =
     Term.(
       ret
         (const serve $ trace_arg $ metrics_arg $ host_arg $ port $ engines
-        $ journal_dir $ fsync_arg $ script $ max_conns $ max_frame
+        $ domains $ journal_dir $ fsync_arg $ script $ max_conns $ max_frame
         $ max_pending $ idle_timeout))
 
 (* --------------------------------------------------------- loadgen *)

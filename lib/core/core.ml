@@ -10,6 +10,9 @@ module Prng = Chimera_util.Prng
 module Pretty = Chimera_util.Pretty
 module Vec = Chimera_util.Vec
 module Failpoint = Chimera_util.Failpoint
+module Monotime = Chimera_util.Monotime
+module Fnv = Chimera_util.Fnv
+module Mailbox = Chimera_util.Mailbox
 
 (* Observability: metrics, trace spans, sinks. *)
 module Obs = Chimera_obs.Obs

@@ -14,9 +14,9 @@
    dropped (uncommitted records and torn bytes).
 
    Durability boundaries are instrumented with [Failpoint] sites
-   ("journal.write", "journal.fsync", "journal.rename"), so the recovery
-   property tests can crash at every one of them, including mid-write
-   (torn records). *)
+   ("journal.write", "journal.fsync", "journal.rename",
+   "journal.dirsync"), so the recovery property tests can crash at every
+   one of them, including mid-write (torn records). *)
 
 open Chimera_util
 module Obs = Chimera_obs.Obs
@@ -111,6 +111,20 @@ let write_string t s =
 
 let fsync_channel oc = Unix.fsync (Unix.descr_of_out_channel oc)
 
+(* Fsync of the parent directory: file creation and rename are directory
+   mutations, durable only once the *directory* inode is forced down.
+   Without it a crash after a rotation's rename can recover the old
+   segment name — or no file at all — even though the rename "happened".
+   Best-effort on filesystems whose directories refuse fsync. *)
+let fsync_dir path =
+  let dir = Filename.dirname path in
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+
 (* One fsync boundary: a failpoint landing here crashes after the write
    reached the channel but before it was forced to disk. *)
 let fsync t =
@@ -153,6 +167,8 @@ let create ?(sync = Per_commit) ~path () =
   in
   write_string t (header ^ "\n");
   fsync t;
+  (* The segment's directory entry must be as durable as its header. *)
+  fsync_dir path;
   t
 
 let check_open t = if t.closed then invalid_arg "Journal: already closed"
@@ -248,6 +264,11 @@ let rotate t ~base =
       fsync t;
       Failpoint.hit "journal.rename";
       Sys.rename tmp t.path;
+      (* The rename is durable only once the directory is synced: a
+         crash in between may resurrect the pre-rotation segment (or
+         leave only the ".rotating" name) on recovery. *)
+      Failpoint.hit "journal.dirsync";
+      fsync_dir t.path;
       close_out_noerr previous;
       t.commit_seq <- t.commit_seq + 1;
       Obs.Metrics.incr c_commits;

@@ -16,11 +16,11 @@ let on = ref false
 let[@inline] enabled () = !on
 let set_enabled b = on := b
 
-(* The clock: wall time in integer nanoseconds.  Monotone in practice for
-   the sub-second spans measured here; tests swap in a hand-stepped
-   counter for determinism.  Only consulted while enabled, so its float
-   boxing never taxes the disabled path. *)
-let default_clock () = int_of_float (Unix.gettimeofday () *. 1e9)
+(* The clock: the process monotonic clock in integer nanoseconds — never
+   stepped by NTP, so span durations and latency samples cannot go
+   negative; tests swap in a hand-stepped counter for determinism.  Only
+   consulted while enabled. *)
+let default_clock = Chimera_util.Monotime.now_ns
 
 let clock = ref default_clock
 let now_ns () = !clock ()
@@ -29,65 +29,71 @@ let set_clock f = clock := f
 (* ------------------------------------------------------------ metrics *)
 
 module Metrics = struct
-  type counter = { cname : string; mutable cv : int }
-  type gauge = { gname : string; mutable gv : int }
+  (* Counters, gauges and histogram cells are [Atomic.t]: with one engine
+     shard per domain ([chimera serve --domains]) the same process-wide
+     handles are bumped concurrently from every worker, and a plain
+     mutable field would silently lose increments.  The disabled path is
+     still one load-and-branch; the enabled path pays one atomic RMW. *)
+  type counter = { cname : string; cv : int Atomic.t }
+  type gauge = { gname : string; gv : int Atomic.t }
 
   (* 63 buckets cover every positive OCaml int. *)
   let n_buckets = 63
 
   type histogram = {
     hname : string;
-    hcounts : int array;
-    mutable hcount : int;
-    mutable hsum : int;
-    mutable hmin : int;
-    mutable hmax : int;
+    hcounts : int Atomic.t array;
+    hcount : int Atomic.t;
+    hsum : int Atomic.t;
+    hmin : int Atomic.t;  (** [max_int] while empty *)
+    hmax : int Atomic.t;
   }
 
   let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
   let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
   let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 32
 
-  let counter name =
-    match Hashtbl.find_opt counters name with
-    | Some c -> c
-    | None ->
-        let c = { cname = name; cv = 0 } in
-        Hashtbl.add counters name c;
-        c
+  (* Registration is rare (module-load time) but may race when a worker
+     domain forces a module first; a lock keeps the registry coherent.
+     The hot paths never take it — they go through the handle. *)
+  let registry_lock = Mutex.create ()
 
-  let incr c = if !on then c.cv <- c.cv + 1
-  let add c n = if !on then c.cv <- c.cv + n
-  let counter_value c = c.cv
+  let registered tbl name make =
+    Mutex.lock registry_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock registry_lock)
+      (fun () ->
+        match Hashtbl.find_opt tbl name with
+        | Some v -> v
+        | None ->
+            let v = make () in
+            Hashtbl.add tbl name v;
+            v)
+
+  let counter name =
+    registered counters name (fun () -> { cname = name; cv = Atomic.make 0 })
+
+  let incr c = if !on then ignore (Atomic.fetch_and_add c.cv 1)
+  let add c n = if !on then ignore (Atomic.fetch_and_add c.cv n)
+  let counter_value c = Atomic.get c.cv
   let counter_name c = c.cname
 
   let gauge name =
-    match Hashtbl.find_opt gauges name with
-    | Some g -> g
-    | None ->
-        let g = { gname = name; gv = 0 } in
-        Hashtbl.add gauges name g;
-        g
+    registered gauges name (fun () -> { gname = name; gv = Atomic.make 0 })
 
-  let set_gauge g v = if !on then g.gv <- v
-  let gauge_value g = g.gv
+  let set_gauge g v = if !on then Atomic.set g.gv v
+  let gauge_value g = Atomic.get g.gv
 
   let histogram name =
-    match Hashtbl.find_opt histograms name with
-    | Some h -> h
-    | None ->
-        let h =
-          {
-            hname = name;
-            hcounts = Array.make n_buckets 0;
-            hcount = 0;
-            hsum = 0;
-            hmin = 0;
-            hmax = 0;
-          }
-        in
-        Hashtbl.add histograms name h;
-        h
+    registered histograms name (fun () ->
+        {
+          hname = name;
+          hcounts = Array.init n_buckets (fun _ -> Atomic.make 0);
+          hcount = Atomic.make 0;
+          hsum = Atomic.make 0;
+          hmin = Atomic.make max_int;
+          hmax = Atomic.make 0;
+        })
 
   let bucket_index v =
     if v <= 1 then 0
@@ -102,15 +108,27 @@ module Metrics = struct
 
   let bucket_lower i = 1 lsl i
 
+  let rec atomic_min a v =
+    let cur = Atomic.get a in
+    if v >= cur then ()
+    else if Atomic.compare_and_set a cur v then ()
+    else atomic_min a v
+
+  let rec atomic_max a v =
+    let cur = Atomic.get a in
+    if v <= cur then ()
+    else if Atomic.compare_and_set a cur v then ()
+    else atomic_max a v
+
   let observe h v =
     if !on then begin
       let v = if v < 0 then 0 else v in
       let i = bucket_index v in
-      h.hcounts.(i) <- h.hcounts.(i) + 1;
-      if h.hcount = 0 || v < h.hmin then h.hmin <- v;
-      if v > h.hmax then h.hmax <- v;
-      h.hcount <- h.hcount + 1;
-      h.hsum <- h.hsum + v
+      ignore (Atomic.fetch_and_add h.hcounts.(i) 1);
+      atomic_min h.hmin v;
+      atomic_max h.hmax v;
+      ignore (Atomic.fetch_and_add h.hcount 1);
+      ignore (Atomic.fetch_and_add h.hsum v)
     end
 
   type histogram_stat = {
@@ -124,27 +142,28 @@ module Metrics = struct
   let histogram_stat h =
     let buckets = ref [] in
     for i = n_buckets - 1 downto 0 do
-      if h.hcounts.(i) > 0 then
-        buckets := (bucket_lower i, h.hcounts.(i)) :: !buckets
+      let c = Atomic.get h.hcounts.(i) in
+      if c > 0 then buckets := (bucket_lower i, c) :: !buckets
     done;
+    let count = Atomic.get h.hcount in
     {
-      h_count = h.hcount;
-      h_sum = h.hsum;
-      h_min = h.hmin;
-      h_max = h.hmax;
+      h_count = count;
+      h_sum = Atomic.get h.hsum;
+      h_min = (if count = 0 then 0 else Atomic.get h.hmin);
+      h_max = Atomic.get h.hmax;
       h_buckets = !buckets;
     }
 
   let reset_all () =
-    Hashtbl.iter (fun _ c -> c.cv <- 0) counters;
-    Hashtbl.iter (fun _ g -> g.gv <- 0) gauges;
+    Hashtbl.iter (fun _ c -> Atomic.set c.cv 0) counters;
+    Hashtbl.iter (fun _ g -> Atomic.set g.gv 0) gauges;
     Hashtbl.iter
       (fun _ h ->
-        Array.fill h.hcounts 0 n_buckets 0;
-        h.hcount <- 0;
-        h.hsum <- 0;
-        h.hmin <- 0;
-        h.hmax <- 0)
+        Array.iter (fun a -> Atomic.set a 0) h.hcounts;
+        Atomic.set h.hcount 0;
+        Atomic.set h.hsum 0;
+        Atomic.set h.hmin max_int;
+        Atomic.set h.hmax 0)
       histograms
 
   let forget_all () =
@@ -169,22 +188,41 @@ module Trace = struct
     eid : int;
   }
 
-  (* Context stamped onto spans at begin time. *)
-  let cur_tx = ref 0
-  let cur_eid = ref 0
-  let set_tx n = if !on then cur_tx := n
-  let set_eid n = if !on then cur_eid := n
-
-  (* The open-span stack: preallocated parallel arrays, so a begin is a
-     few stores.  Nesting past [max_depth] is tolerated (tokens stay
-     valid) but the overflowing spans are not recorded. *)
+  (* The open-span stack and the tx/eid context are per-domain state
+     (Domain.DLS): each engine shard traces its own nesting without
+     seeing the others'.  Only the completed-span ring and the sinks are
+     shared, behind [ring_lock].  Nesting past [max_depth] is tolerated
+     (tokens stay valid) but the overflowing spans are not recorded. *)
   let max_depth = 256
-  let stk_name = Array.make max_depth ""
-  let stk_detail = Array.make max_depth ""
-  let stk_start = Array.make max_depth 0
-  let stk_tx = Array.make max_depth 0
-  let stk_eid = Array.make max_depth 0
-  let depth = ref 0
+
+  type tls = {
+    stk_name : string array;
+    stk_detail : string array;
+    stk_start : int array;
+    stk_tx : int array;
+    stk_eid : int array;
+    mutable depth : int;
+    mutable cur_tx : int;
+    mutable cur_eid : int;
+  }
+
+  let tls_key =
+    Domain.DLS.new_key (fun () ->
+        {
+          stk_name = Array.make max_depth "";
+          stk_detail = Array.make max_depth "";
+          stk_start = Array.make max_depth 0;
+          stk_tx = Array.make max_depth 0;
+          stk_eid = Array.make max_depth 0;
+          depth = 0;
+          cur_tx = 0;
+          cur_eid = 0;
+        })
+
+  let tls () = Domain.DLS.get tls_key
+  let set_tx n = if !on then (tls ()).cur_tx <- n
+  let set_eid n = if !on then (tls ()).cur_eid <- n
+  let ring_lock = Mutex.create ()
 
   (* The bounded span ring: completed spans, newest overwriting oldest. *)
   let dummy =
@@ -197,77 +235,90 @@ module Trace = struct
 
   let set_ring_capacity n =
     if n <= 0 then invalid_arg "Obs.Trace.set_ring_capacity: capacity must be positive";
+    Mutex.lock ring_lock;
     ring := Array.make n dummy;
-    ring_next := 0
+    ring_next := 0;
+    Mutex.unlock ring_lock
 
   (* Set by the sink layer below; a forward reference breaks the module
      cycle between spans and sinks. *)
   let emit : (span -> unit) ref = ref (fun _ -> ())
 
   let record sp =
+    Mutex.lock ring_lock;
     let r = !ring in
     r.(!ring_next mod Array.length r) <- sp;
     incr ring_next;
+    Mutex.unlock ring_lock;
     !emit sp
 
   let recorded () =
+    Mutex.lock ring_lock;
     let r = !ring in
     let cap = Array.length r in
     let n = if !ring_next < cap then !ring_next else cap in
     let first = !ring_next - n in
-    List.init n (fun i -> r.((first + i) mod cap))
+    let spans = List.init n (fun i -> r.((first + i) mod cap)) in
+    Mutex.unlock ring_lock;
+    spans
 
-  let open_depth () = !depth
+  let open_depth () = (tls ()).depth
 
   let begin_ ?(detail = "") name =
     if not !on then -1
     else begin
-      let d = !depth in
+      let s = tls () in
+      let d = s.depth in
       if d < max_depth then begin
-        stk_name.(d) <- name;
-        stk_detail.(d) <- detail;
-        stk_start.(d) <- now_ns ();
-        stk_tx.(d) <- !cur_tx;
-        stk_eid.(d) <- !cur_eid
+        s.stk_name.(d) <- name;
+        s.stk_detail.(d) <- detail;
+        s.stk_start.(d) <- now_ns ();
+        s.stk_tx.(d) <- s.cur_tx;
+        s.stk_eid.(d) <- s.cur_eid
       end;
-      depth := d + 1;
+      s.depth <- d + 1;
       d
     end
 
   (* Closes the span of [token], first closing any inner spans an
      exception path left open — every begin gets its end.  [stop] is the
      shared clock reading, so [end_into] costs one read. *)
-  let close_to token stop =
-    for i = !depth - 1 downto token do
+  let close_to s token stop =
+    for i = s.depth - 1 downto token do
       if i < max_depth then
         record
           {
-            name = stk_name.(i);
-            detail = stk_detail.(i);
-            start_ns = stk_start.(i);
-            dur_ns = stop - stk_start.(i);
+            name = s.stk_name.(i);
+            detail = s.stk_detail.(i);
+            start_ns = s.stk_start.(i);
+            dur_ns = stop - s.stk_start.(i);
             depth = i;
-            tx = stk_tx.(i);
-            eid = stk_eid.(i);
+            tx = s.stk_tx.(i);
+            eid = s.stk_eid.(i);
           }
     done;
-    depth := token
+    s.depth <- token
 
   let end_ token =
-    if token >= 0 && !on && token < !depth then close_to token (now_ns ())
+    if token >= 0 && !on then begin
+      let s = tls () in
+      if token < s.depth then close_to s token (now_ns ())
+    end
 
   let end_into h token =
-    if token >= 0 && !on && token < !depth then begin
-      let stop = now_ns () in
-      let dur =
-        if token < max_depth then stop - stk_start.(token) else 0
-      in
-      close_to token stop;
-      Metrics.observe h dur
+    if token >= 0 && !on then begin
+      let s = tls () in
+      if token < s.depth then begin
+        let stop = now_ns () in
+        let dur = if token < max_depth then stop - s.stk_start.(token) else 0 in
+        close_to s token stop;
+        Metrics.observe h dur
+      end
     end
 
   let instant ?(detail = "") name =
-    if !on then
+    if !on then begin
+      let s = tls () in
       let now = now_ns () in
       record
         {
@@ -275,21 +326,27 @@ module Trace = struct
           detail;
           start_ns = now;
           dur_ns = 0;
-          depth = !depth;
-          tx = !cur_tx;
-          eid = !cur_eid;
+          depth = s.depth;
+          tx = s.cur_tx;
+          eid = s.cur_eid;
         }
+    end
 
   let with_span ?detail name f =
     let tok = begin_ ?detail name in
     Fun.protect ~finally:(fun () -> end_ tok) f
 
+  (* Resets the calling domain's stack/context plus the shared ring; other
+     domains' open stacks are theirs to unwind (tests run single-domain). *)
   let reset_all () =
-    depth := 0;
+    let s = tls () in
+    s.depth <- 0;
+    s.cur_tx <- 0;
+    s.cur_eid <- 0;
+    Mutex.lock ring_lock;
     ring_next := 0;
     Array.fill !ring 0 (Array.length !ring) dummy;
-    cur_tx := 0;
-    cur_eid := 0
+    Mutex.unlock ring_lock
 end
 
 (* --------------------------------------------------------- snapshots *)
@@ -307,12 +364,12 @@ let snapshot () =
     counters =
       List.sort by_name
         (Hashtbl.fold
-           (fun name c acc -> (name, c.Metrics.cv) :: acc)
+           (fun name c acc -> (name, Atomic.get c.Metrics.cv) :: acc)
            Metrics.counters []);
     gauges =
       List.sort by_name
         (Hashtbl.fold
-           (fun name g acc -> (name, g.Metrics.gv) :: acc)
+           (fun name g acc -> (name, Atomic.get g.Metrics.gv) :: acc)
            Metrics.gauges []);
     histograms =
       List.sort by_name

@@ -62,6 +62,7 @@ type await = Connect | Hello | Line | Commit | Bye
 
 type conn = {
   fd : Unix.file_descr;
+  key : string;  (** session key sent with HELLO, for shard pinning *)
   mutable await : await;
   mutable lines_done : int;
   mutable since_commit : int;
@@ -89,6 +90,7 @@ type t = {
 }
 
 let now_ns () = Obs.now_ns ()
+let now_s () = Chimera_util.Monotime.now_s ()
 
 let send t conn payload =
   match
@@ -109,7 +111,7 @@ let finish_conn t conn =
   if
     t.finished_at = None
     && List.for_all (fun c -> c.done_) t.conns
-  then t.finished_at <- Some (Unix.gettimeofday ())
+  then t.finished_at <- Some (now_s ())
 
 let send_next_line t conn =
   conn.line_sent_ns <- now_ns ();
@@ -146,7 +148,9 @@ let on_reply t conn reply =
       finish_conn t conn
   | Hello, (Protocol.Ok_ _ | Protocol.Triggered _) -> advance t conn
   | Line, (Protocol.Ok_ _ | Protocol.Triggered _) ->
-      let dt = now_ns () - conn.line_sent_ns in
+      (* The clock is monotonic, but clamp anyway: a sample must never go
+         negative even under a test-injected clock. *)
+      let dt = max 0 (now_ns () - conn.line_sent_ns) in
       if t.samples < Array.length t.latencies then begin
         t.latencies.(t.samples) <- dt;
         t.samples <- t.samples + 1
@@ -238,7 +242,7 @@ let create (config : config) =
     match Unix.inet_addr_of_string config.host with
     | exception Failure _ -> Error (Printf.sprintf "bad host %s" config.host)
     | addr -> (
-        let open_conn () =
+        let open_conn i =
           let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
           Unix.set_nonblock fd;
           (try Unix.setsockopt fd Unix.TCP_NODELAY true
@@ -247,6 +251,7 @@ let create (config : config) =
            with Unix.Unix_error (Unix.EINPROGRESS, _, _) -> ());
           {
             fd;
+            key = Printf.sprintf "lg-%d" i;
             await = Connect;
             lines_done = 0;
             since_commit = 0;
@@ -258,7 +263,7 @@ let create (config : config) =
             done_ = false;
           }
         in
-        match List.init config.conns (fun _ -> open_conn ()) with
+        match List.init config.conns open_conn with
         | conns ->
             Ok
               {
@@ -272,7 +277,7 @@ let create (config : config) =
                 commits = 0;
                 errors = 0;
                 drained = 0;
-                started = Unix.gettimeofday ();
+                started = now_s ();
                 finished_at = None;
               }
         | exception Unix.Unix_error (e, _, _) ->
@@ -307,7 +312,11 @@ let poll t ~timeout =
                   finish_conn t c
               | None ->
                   c.await <- Hello;
-                  send_command t c (Protocol.Hello Protocol.version)
+                  (* The key pins the session by full-string hash
+                     server-side, spreading the dense connection indexes
+                     evenly over the shards. *)
+                  send_command t c
+                    (Protocol.Hello (Protocol.version ^ " " ^ c.key))
             end)
           live;
         List.iter
@@ -318,22 +327,24 @@ let poll t ~timeout =
         List.iter (fun c -> if not c.done_ then try_flush t c) live
   end
 
+(* Nearest-rank percentile over an already-sorted sample array: the
+   smallest element with at least p% of the samples at or below it; 0 on
+   an empty array.  With one sample every percentile is that sample. *)
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0
+  else
+    let rank = int_of_float (Float.ceil (p /. 100. *. Float.of_int n)) in
+    sorted.(Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)))
+
 let report t =
-  let finished_at =
-    match t.finished_at with Some f -> f | None -> Unix.gettimeofday ()
-  in
+  let finished_at = match t.finished_at with Some f -> f | None -> now_s () in
   let wall_s = Float.max 1e-9 (finished_at -. t.started) in
   let sorted = Array.sub t.latencies 0 t.samples in
-  Array.sort compare sorted;
-  let pct p =
-    if t.samples = 0 then 0
-    else
-      let idx =
-        Stdlib.min (t.samples - 1)
-          (int_of_float (Float.of_int t.samples *. p /. 100.))
-      in
-      sorted.(idx)
-  in
+  (* [Int.compare], not polymorphic [compare]: same order, no boxing
+     walk per comparison. *)
+  Array.sort Int.compare sorted;
+  let pct = percentile sorted in
   {
     conns = t.config.conns;
     lines_sent = t.lines_sent;

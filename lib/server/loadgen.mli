@@ -38,6 +38,12 @@ type report = {
 
 val pp_report : Format.formatter -> report -> unit
 
+val percentile : int array -> float -> int
+(** [percentile sorted p] — nearest-rank percentile of an ascending
+    sample array: the smallest element with at least [p]% of the samples
+    at or below it.  [0] on an empty array; total over [p] (values
+    outside [0..100] clamp to the extremes).  Exposed for tests. *)
+
 type t
 
 val create : config -> (t, string) result

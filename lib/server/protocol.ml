@@ -12,7 +12,7 @@
    trusted, so the server replies ERR best-effort and closes. *)
 
 let version = "chimera/1"
-let features = [ "tx"; "stats"; "drain" ]
+let features = [ "tx"; "stats"; "drain"; "keys" ]
 let default_max_frame = 64 * 1024
 let header_bytes = 4
 

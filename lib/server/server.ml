@@ -29,6 +29,9 @@ type config = {
   host : string;
   port : int;
   engines : int;
+  domains : int option;
+      (** worker domains: [None] = one per shard, [Some 0] = inline
+          single-reactor mode, [Some m] = m workers *)
   journal_dir : string option;
   fsync : Journal.sync_policy;
   boot_script : string option;
@@ -45,6 +48,7 @@ let default_config =
     host = "127.0.0.1";
     port = 0;
     engines = 1;
+    domains = None;
     journal_dir = None;
     fsync = Journal.Per_commit;
     boot_script = None;
@@ -96,8 +100,11 @@ let counters_text () =
 
 let create config =
   let ( let* ) = Result.bind in
+  let domains =
+    match config.domains with None -> config.engines | Some m -> m
+  in
   let* mgr =
-    Session.Manager.create ~engines:config.engines
+    Session.Manager.create ~engines:config.engines ~domains
       ?journal_dir:config.journal_dir ~fsync:config.fsync
       ?boot_script:config.boot_script ~max_pending:config.max_pending
       ~extra_stats:counters_text ()
@@ -290,7 +297,7 @@ let handle_readable t conn =
   | 0 -> close_conn t conn
   | n ->
       Obs.Metrics.add c_bytes_in n;
-      conn.last_activity <- Unix.gettimeofday ();
+      conn.last_activity <- Chimera_util.Monotime.now_s ();
       ensure_capacity conn n;
       Bytes.blit t.read_chunk 0 conn.inbuf conn.in_len n;
       conn.in_len <- conn.in_len + n;
@@ -336,7 +343,7 @@ let rec accept_loop t listen_fd =
             in_len = 0;
             outbuf = Buffer.create 512;
             out_off = 0;
-            last_activity = Unix.gettimeofday ();
+            last_activity = Chimera_util.Monotime.now_s ();
             close_after_flush = false;
             dead = false;
           };
@@ -347,9 +354,28 @@ let rec accept_loop t listen_fd =
 
 (* -------------------------------------------------------------- drain *)
 
+(* The per-turn drain sweep: a connection is told goodbye and closed
+   once its session is idle — nothing queued, nothing in flight on a
+   worker domain — so every reply already owed to it goes out first.
+   Sessions parked behind a busy shard become idle as the closes cascade
+   (closing the owner frees the shard, its waiters run their queues and
+   turn idle), so the sweep converges over a few turns. *)
+let drain_sweep t =
+  Hashtbl.iter
+    (fun _sid conn ->
+      if
+        (not conn.dead)
+        && (not conn.close_after_flush)
+        && Session.Manager.idle t.mgr conn.sid
+      then begin
+        enqueue_reply t conn (Protocol.Err ("shutdown", "draining"));
+        conn.close_after_flush <- true
+      end)
+    (Hashtbl.copy t.conns)
+
 (* Entering drain: stop accepting, execute what is already buffered on
-   every connection, tell every client, and let the write path close the
-   sockets once their replies are out. *)
+   every connection, then sweep; the write path closes each socket once
+   its replies are out. *)
 let begin_drain t =
   t.draining <- true;
   Obs.Metrics.incr c_drains;
@@ -359,15 +385,9 @@ let begin_drain t =
       t.listen_fd <- None
   | None -> ());
   Hashtbl.iter
-    (fun _sid conn ->
-      if not conn.dead then begin
-        drain_frames t conn;
-        if not conn.dead then begin
-          enqueue_reply t conn (Protocol.Err ("shutdown", "draining"));
-          conn.close_after_flush <- true
-        end
-      end)
-    (Hashtbl.copy t.conns)
+    (fun _sid conn -> if not conn.dead then drain_frames t conn)
+    (Hashtbl.copy t.conns);
+  drain_sweep t
 
 (* --------------------------------------------------------------- poll *)
 
@@ -394,6 +414,13 @@ let poll t ~timeout =
     let reads =
       match t.listen_fd with Some fd -> fd :: reads | None -> reads
     in
+    let reads =
+      (* The worker domains' self-pipe: completions interrupt the select
+         instead of waiting out its timeout. *)
+      match Session.Manager.wakeup_fd t.mgr with
+      | Some fd when not t.stopped -> fd :: reads
+      | Some _ | None -> reads
+    in
     let writes =
       List.filter_map
         (fun c -> if (not c.dead) && pending_out c > 0 then Some c.fd else None)
@@ -409,6 +436,10 @@ let poll t ~timeout =
           (fun c ->
             if (not c.dead) && List.memq c.fd readable then handle_readable t c)
           conns;
+        (* Collect worker completions — replies for frames read this turn
+           or earlier — so they flush below with everything else. *)
+        dispatch_events t (Session.Manager.pump t.mgr);
+        if t.draining then drain_sweep t;
         (* Flush everything with output pending — the just-computed
            replies included, not only the fds select saw. *)
         List.iter
@@ -421,9 +452,10 @@ let poll t ~timeout =
           conns);
     (* Idle reaping (sessions queued behind a busy shard included: a
        stuck transaction holder eventually times out and its abort frees
-       the shard for the queue). *)
+       the shard for the queue).  The monotonic clock, so an NTP step
+       neither reaps every session at once nor pins one open forever. *)
     if t.config.idle_timeout > 0. then begin
-      let now = Unix.gettimeofday () in
+      let now = Chimera_util.Monotime.now_s () in
       List.iter
         (fun c ->
           if

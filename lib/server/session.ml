@@ -1,36 +1,56 @@
 (* Session management: per-connection sessions multiplexed onto N
-   independent engine shards.
+   independent engine shards, executed either inline (single-reactor
+   mode) or on worker domains (one per shard by default).
 
    The engine is single-threaded and transactional, so concurrency comes
    from partitioning, not sharing: [--engines N] creates N ordinary
    engines (each wrapped in the script interpreter, each with its own
-   journal) and a session is pinned to the shard its id hashes to.
-   Within a shard, transactions serialize: the first LINE of a session
-   acquires the shard, COMMIT/ABORT release it, and engine-bound
-   commands of other sessions queue FIFO until then.  Queued sessions
-   are reported [blocked] so the reactor stops reading from them — the
-   queue bound plus that read-stop is the admission control of the
-   protocol.
+   journal) and a session is pinned to the shard its key hashes to
+   (FNV-1a over the full key — a client-supplied HELLO key when given,
+   the decimal session id otherwise).  Within a shard, transactions
+   serialize: the first LINE of a session acquires the shard,
+   COMMIT/ABORT release it, and engine-bound commands of other sessions
+   queue FIFO until then.  Queued sessions are reported [blocked] so the
+   reactor stops reading from them — the queue bound plus that read-stop
+   is the admission control of the protocol.
 
-   Every state transition here is synchronous and single-threaded; the
-   reactor calls in with one decoded payload at a time and gets back the
-   list of replies (possibly for *other* sessions: releasing a shard
-   answers its waiters) to write out. *)
+   With [domains = 0] every state transition is synchronous and
+   single-threaded, exactly as above: the reactor calls in with one
+   decoded payload at a time and gets back the list of replies (possibly
+   for *other* sessions: releasing a shard answers its waiters) to write
+   out.
+
+   With [domains = M > 0] the engines move off the reactor: shard [i]
+   belongs to worker domain [i mod M], commands travel through a bounded
+   per-worker mailbox, and replies come back through a per-worker
+   completion queue that the reactor drains from [pump] (a self-pipe
+   waker interrupts its select).  The ownership and waiter bookkeeping
+   stays on the reactor and is updated *eagerly at submit time* — a
+   COMMIT releases its shard the moment it is enqueued — which is sound
+   because the per-worker mailbox is FIFO: a waiter's LINE enqueued
+   after the COMMIT also executes after it.  Reply order per session is
+   preserved by counting in-flight jobs: shard-bound commands pipeline
+   FIFO through the one worker the session maps to, and reactor-answered
+   commands (HELLO, PING, state errors, QUIT) wait until nothing is in
+   flight so their replies cannot overtake. *)
 
 open Chimera_event
 open Chimera_rules
 open Chimera_lang
+module Mailbox = Chimera_util.Mailbox
+module Fnv = Chimera_util.Fnv
 
 module Manager = struct
   type event = Reply of int * Protocol.reply | Close of int
 
   type session = {
     id : int;
-    shard : int;
+    mutable shard : int;  (** re-pinned by a HELLO session key *)
     mutable greeted : bool;
     pending : Protocol.command Queue.t;
     mutable waiting : bool;  (** enqueued in its shard's waiter queue *)
     mutable closed : bool;
+    mutable inflight : int;  (** jobs submitted to a worker, not yet completed *)
   }
 
   type shard = {
@@ -41,6 +61,35 @@ module Manager = struct
     executed : string list ref;  (** execution-listener accumulator, newest first *)
   }
 
+  (* What a worker domain executes.  LINE text is parsed on the reactor
+     (a parse error never acquires the shard, and never touches the
+     engine), so the job carries statements, not text. *)
+  type job =
+    | Run_line of { sid : int; shard : int; statements : Ast.statement list }
+    | Run_commit of { sid : int; shard : int }
+    | Run_abort of { sid : int; shard : int; quiet : bool }
+    | Run_stats of { sid : int; shard : int; note : string }
+
+  type completion = { done_sid : int; done_reply : Protocol.reply option }
+
+  type worker = {
+    w_index : int;
+    w_cmds : job Mailbox.t;
+    w_out : completion Mailbox.t;
+    w_deferred : job Queue.t;
+        (** reactor-side overflow, flushed into [w_cmds] ahead of new
+            submissions so the per-worker FIFO order holds *)
+    mutable w_domain : unit Domain.t option;
+  }
+
+  type runtime =
+    | Inline
+    | Threaded of {
+        n : int;  (** worker count; shard [i] belongs to worker [i mod n] *)
+        workers : worker array;
+        waker : Mailbox.Waker.waker;
+      }
+
   type t = {
     engines : int;
     shards : shard array;
@@ -49,7 +98,12 @@ module Manager = struct
     max_pending : int;
     extra_stats : (unit -> string) option;
     mutable down : bool;
+    runtime : runtime;
   }
+
+  (* Commands queued per worker mailbox; sized so a full complement of
+     pipelining sessions rarely defers, without unbounded buffering. *)
+  let mailbox_capacity = 1024
 
   (* ------------------------------------------------------------ setup *)
 
@@ -104,124 +158,22 @@ module Manager = struct
     in
     Ok { interp; journal; owner = None; waiters = Queue.create (); executed }
 
-  let create ~engines ?journal_dir ?(fsync = Journal.Per_commit) ?boot_script
-      ?(max_pending = 64) ?extra_stats () =
-    let ( let* ) = Result.bind in
-    if engines <= 0 then Error "engines must be positive"
-    else
-      let* () =
-        match journal_dir with None -> Ok () | Some dir -> mkdir_p dir
-      in
-      let* shards =
-        let rec build acc idx =
-          if idx >= engines then Ok (List.rev acc)
-          else
-            let* shard = make_shard ~journal_dir ~fsync ~boot_script idx in
-            build (shard :: acc) (idx + 1)
-        in
-        build [] 0
-      in
-      Ok
-        {
-          engines;
-          shards = Array.of_list shards;
-          sessions = Hashtbl.create 64;
-          next_sid = 1;
-          max_pending;
-          extra_stats;
-          down = false;
-        }
+  (* ----------------------------------------------------- shard pinning *)
 
-  let engines t = t.engines
-  let session_count t = Hashtbl.length t.sessions
+  (* FNV-1a over the full key.  The previous scheme — [Hashtbl.hash sid]
+     over the dense id sequence — looks fine in aggregate but skews badly
+     over the window of ids a batch of concurrent clients actually holds
+     (64 consecutive ids over 4 shards land up to 4x apart); hashing the
+     decimal string byte-by-byte spreads dense and common-prefixed keys
+     alike. *)
+  let pin t key = Fnv.hash key mod t.engines
 
-  (* Sessions shard by id hash — the documented multiplexing scheme; the
-     id sequence is dense, which [Hashtbl.hash] spreads well enough for
-     the bench's 64-connections-over-4-shards balance. *)
-  let shard_index t sid = Hashtbl.hash sid mod t.engines
+  (* ------------------------------------------------- worker execution *)
 
-  let open_session t =
-    let sid = t.next_sid in
-    t.next_sid <- sid + 1;
-    Hashtbl.replace t.sessions sid
-      {
-        id = sid;
-        shard = shard_index t sid;
-        greeted = false;
-        pending = Queue.create ();
-        waiting = false;
-        closed = false;
-      };
-    sid
-
-  let shard_of_session t sid =
-    match Hashtbl.find_opt t.sessions sid with
-    | Some s -> s.shard
-    | None -> shard_index t sid
-
-  let in_transaction t sid =
-    match Hashtbl.find_opt t.sessions sid with
-    | Some s -> t.shards.(s.shard).owner = Some sid
-    | None -> false
-
-  let blocked t sid =
-    match Hashtbl.find_opt t.sessions sid with
-    | Some s -> s.waiting
-    | None -> false
-
-  let journal_paths t =
-    Array.to_list t.shards
-    |> List.filter_map (fun shard -> Option.map Journal.path shard.journal)
-
-  (* ------------------------------------------------------- statistics *)
-
-  let stats_text t s =
-    let shard = t.shards.(s.shard) in
-    let engine = Interp.engine shard.interp in
-    let st = Engine.statistics engine in
-    let buf = Buffer.create 256 in
-    Buffer.add_string buf
-      (Printf.sprintf
-         "session %d shard %d/%d%s\n\
-          engine: %d line(s), %d event(s), %d consideration(s), %d \
-          execution(s), %d abort(s)\n\
-          memo: %d hit(s), %d miss(es), %d node(s)"
-         s.id s.shard t.engines
-         (match shard.owner with
-         | Some owner when owner = s.id -> " (transaction open)"
-         | Some _ -> " (shard busy)"
-         | None -> "")
-         st.Engine.lines st.Engine.events st.Engine.considerations
-         st.Engine.executions st.Engine.aborts st.Engine.memo_hits
-         st.Engine.memo_misses st.Engine.memo_nodes);
-    (match shard.journal with
-    | None -> ()
-    | Some j ->
-        let c = Journal.counters j in
-        Buffer.add_string buf
-          (Printf.sprintf
-             "\njournal: %d record(s), %d commit(s), %d fsync(s), %d \
-              rotation(s) -> %s"
-             c.Journal.appends c.Journal.commits c.Journal.syncs
-             c.Journal.rotations (Journal.path j)));
-    (match t.extra_stats with
-    | None -> ()
-    | Some f ->
-        let extra = f () in
-        if extra <> "" then begin
-          Buffer.add_char buf '\n';
-          Buffer.add_string buf extra
-        end);
-    Buffer.contents buf
-
-  (* -------------------------------------------------------- execution *)
-
-  let push acc e = acc := e :: !acc
-
-  let requires_shard = function
-    | Protocol.Line _ | Protocol.Commit | Protocol.Abort -> true
-    | Protocol.Hello _ | Protocol.Stats | Protocol.Ping _ | Protocol.Quit ->
-        false
+  (* Everything below [run_line]/[do_commit]/[do_stats] touches only the
+     shard's own interp/journal/executed cell: exclusive access is by
+     construction — inline mode runs them on the reactor, threaded mode
+     on the one worker domain the shard maps to. *)
 
   let trim_trailing_newlines s =
     let n = ref (String.length s) in
@@ -252,6 +204,241 @@ module Manager = struct
         | [] -> Protocol.Ok_ (trim_trailing_newlines (Interp.output interp))
         | rules -> Protocol.Triggered rules)
 
+  let do_commit shard =
+    let engine = Interp.engine shard.interp in
+    shard.executed := [];
+    match Interp.run_statement shard.interp Ast.Commit with
+    | Ok () -> (
+        match List.rev !(shard.executed) with
+        | [] -> Protocol.Ok_ ""
+        | rules -> Protocol.Triggered rules)
+    | Error msg ->
+        (* A failed commit (e.g. a non-terminating deferred cascade)
+           leaves no committed state to hand over: abort, so the shard
+           frees in a defined state. *)
+        Engine.abort engine;
+        Protocol.Err ("engine", msg ^ " (transaction aborted)")
+
+  let do_abort shard = Engine.abort (Interp.engine shard.interp)
+
+  (* [note] is the ownership annotation, computed where the ownership
+     bookkeeping lives (the reactor) and carried into the job. *)
+  let stats_text t ~sid ~shard_idx ~note =
+    let shard = t.shards.(shard_idx) in
+    let engine = Interp.engine shard.interp in
+    let st = Engine.statistics engine in
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "session %d shard %d/%d%s\n\
+          engine: %d line(s), %d event(s), %d consideration(s), %d \
+          execution(s), %d abort(s)\n\
+          memo: %d hit(s), %d miss(es), %d node(s)"
+         sid shard_idx t.engines note st.Engine.lines st.Engine.events
+         st.Engine.considerations st.Engine.executions st.Engine.aborts
+         st.Engine.memo_hits st.Engine.memo_misses st.Engine.memo_nodes);
+    (match shard.journal with
+    | None -> ()
+    | Some j ->
+        let c = Journal.counters j in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "\njournal: %d record(s), %d commit(s), %d fsync(s), %d \
+              rotation(s) -> %s"
+             c.Journal.appends c.Journal.commits c.Journal.syncs
+             c.Journal.rotations (Journal.path j)));
+    (match t.extra_stats with
+    | None -> ()
+    | Some f ->
+        let extra = f () in
+        if extra <> "" then begin
+          Buffer.add_char buf '\n';
+          Buffer.add_string buf extra
+        end);
+    Buffer.contents buf
+
+  let exec_job t = function
+    | Run_line { sid; shard; statements } ->
+        { done_sid = sid; done_reply = Some (run_line t.shards.(shard) statements) }
+    | Run_commit { sid; shard } ->
+        { done_sid = sid; done_reply = Some (do_commit t.shards.(shard)) }
+    | Run_abort { sid; shard; quiet } ->
+        do_abort t.shards.(shard);
+        {
+          done_sid = sid;
+          done_reply = (if quiet then None else Some (Protocol.Ok_ "aborted"));
+        }
+    | Run_stats { sid; shard; note } ->
+        {
+          done_sid = sid;
+          done_reply = Some (Protocol.Ok_ (stats_text t ~sid ~shard_idx:shard ~note));
+        }
+
+  let worker_loop t ~n ~waker w =
+    let rec loop () =
+      match Mailbox.pop w.w_cmds with
+      | None -> ()  (* closed and drained: shutdown *)
+      | Some job ->
+          let c = exec_job t job in
+          ignore (Mailbox.push w.w_out c);
+          Mailbox.Waker.wake waker;
+          loop ()
+    in
+    loop ();
+    (* The worker owns its shards' journals from spawn to exit; closing
+       here happens-before the reactor's [Domain.join]. *)
+    Array.iteri
+      (fun i shard ->
+        if i mod n = w.w_index then Option.iter Journal.close shard.journal)
+      t.shards;
+    Mailbox.Waker.wake waker
+
+  (* ---------------------------------------------------------- create *)
+
+  let create ~engines ?(domains = 0) ?journal_dir ?(fsync = Journal.Per_commit)
+      ?boot_script ?(max_pending = 64) ?extra_stats () =
+    let ( let* ) = Result.bind in
+    if engines <= 0 then Error "engines must be positive"
+    else if domains < 0 then Error "domains must be non-negative"
+    else
+      let* () =
+        match journal_dir with None -> Ok () | Some dir -> mkdir_p dir
+      in
+      let* shards =
+        let rec build acc idx =
+          if idx >= engines then Ok (List.rev acc)
+          else
+            let* shard = make_shard ~journal_dir ~fsync ~boot_script idx in
+            build (shard :: acc) (idx + 1)
+        in
+        build [] 0
+      in
+      let runtime =
+        if domains = 0 then Inline
+        else
+          let n = min domains engines in
+          Threaded
+            {
+              n;
+              waker = Mailbox.Waker.create ();
+              workers =
+                Array.init n (fun i ->
+                    {
+                      w_index = i;
+                      w_cmds = Mailbox.create mailbox_capacity;
+                      w_out = Mailbox.create mailbox_capacity;
+                      w_deferred = Queue.create ();
+                      w_domain = None;
+                    });
+            }
+      in
+      let t =
+        {
+          engines;
+          shards = Array.of_list shards;
+          sessions = Hashtbl.create 64;
+          next_sid = 1;
+          max_pending;
+          extra_stats;
+          down = false;
+          runtime;
+        }
+      in
+      (match t.runtime with
+      | Inline -> ()
+      | Threaded { n; workers; waker } ->
+          Array.iter
+            (fun w ->
+              w.w_domain <- Some (Domain.spawn (fun () -> worker_loop t ~n ~waker w)))
+            workers);
+      Ok t
+
+  let engines t = t.engines
+  let domains t = match t.runtime with Inline -> 0 | Threaded { n; _ } -> n
+  let session_count t = Hashtbl.length t.sessions
+
+  let wakeup_fd t =
+    match t.runtime with
+    | Inline -> None
+    | Threaded { waker; _ } -> Some (Mailbox.Waker.fd waker)
+
+  let open_session t =
+    let sid = t.next_sid in
+    t.next_sid <- sid + 1;
+    Hashtbl.replace t.sessions sid
+      {
+        id = sid;
+        shard = pin t (string_of_int sid);
+        greeted = false;
+        pending = Queue.create ();
+        waiting = false;
+        closed = false;
+        inflight = 0;
+      };
+    sid
+
+  let shard_of_session t sid =
+    match Hashtbl.find_opt t.sessions sid with
+    | Some s -> s.shard
+    | None -> pin t (string_of_int sid)
+
+  let in_transaction t sid =
+    match Hashtbl.find_opt t.sessions sid with
+    | Some s -> t.shards.(s.shard).owner = Some sid
+    | None -> false
+
+  let blocked t sid =
+    match Hashtbl.find_opt t.sessions sid with
+    | Some s -> s.waiting || not (Queue.is_empty s.pending)
+    | None -> false
+
+  let idle t sid =
+    match Hashtbl.find_opt t.sessions sid with
+    | None -> true
+    | Some s -> Queue.is_empty s.pending && s.inflight = 0
+
+  let journal_paths t =
+    Array.to_list t.shards
+    |> List.filter_map (fun shard -> Option.map Journal.path shard.journal)
+
+  (* ------------------------------------------------------- submission *)
+
+  let worker_of t shard_idx =
+    match t.runtime with
+    | Inline -> invalid_arg "Session.Manager: no workers in inline mode"
+    | Threaded { n; workers; _ } -> workers.(shard_idx mod n)
+
+  (* The reactor never blocks: a push refused by a full mailbox lands in
+     the worker's deferred queue instead, flushed (in order, ahead of
+     anything newer) by [pump] as completions free slots. *)
+  let submit_job t shard_idx job =
+    let w = worker_of t shard_idx in
+    if not (Queue.is_empty w.w_deferred && Mailbox.try_push w.w_cmds job) then
+      Queue.add job w.w_deferred
+
+  let submit t s job =
+    s.inflight <- s.inflight + 1;
+    submit_job t s.shard job
+
+  let flush_deferred w =
+    let rec go () =
+      match Queue.peek_opt w.w_deferred with
+      | Some job when Mailbox.try_push w.w_cmds job ->
+          ignore (Queue.pop w.w_deferred);
+          go ()
+      | Some _ | None -> ()
+    in
+    go ()
+
+  (* -------------------------------------------------------- execution *)
+
+  let push acc e = acc := e :: !acc
+
+  let requires_shard = function
+    | Protocol.Line _ | Protocol.Commit | Protocol.Abort -> true
+    | Protocol.Hello _ | Protocol.Stats | Protocol.Ping _ | Protocol.Quit ->
+        false
+
   (* Statements a LINE may carry: anything but [commit] — the transaction
      boundary is a protocol verb, so the session manager always knows who
      holds the shard. *)
@@ -262,6 +449,51 @@ module Manager = struct
         if List.exists (function Ast.Commit -> true | _ -> false) statements
         then Error ("proto", "commit inside LINE: use the COMMIT verb")
         else Ok statements
+
+  (* HELLO argument: "<version>" or "<version> <session-key>".  A key,
+     when present, re-pins the session by FNV-1a of the full key before
+     any engine traffic — clients that mint related ids (dense counters,
+     a common prefix) still spread evenly over the shards. *)
+  let split_hello arg =
+    match String.index_opt arg ' ' with
+    | None -> (arg, "")
+    | Some i ->
+        ( String.sub arg 0 i,
+          String.trim (String.sub arg (i + 1) (String.length arg - i - 1)) )
+
+  let greeting_note s shard =
+    match shard.owner with
+    | Some owner when owner = s.id -> " (transaction open)"
+    | Some _ -> " (shard busy)"
+    | None -> ""
+
+  (* HELLO is pure reactor state in both modes. *)
+  let exec_hello t s arg acc =
+    let reply r = push acc (Reply (s.id, r)) in
+    let version, key = split_hello arg in
+    if s.greeted then reply (Protocol.Err ("state", "already greeted"))
+    else if String.equal version Protocol.version then begin
+      s.greeted <- true;
+      if key <> "" then s.shard <- pin t key;
+      reply
+        (Protocol.Ok_
+           (Protocol.version ^ " features=" ^ String.concat "," Protocol.features))
+    end
+    else begin
+      reply
+        (Protocol.Err
+           ( "proto",
+             Printf.sprintf "unsupported version %S; speak %s" version
+               Protocol.version ));
+      s.closed <- true;
+      push acc (Close s.id)
+    end
+
+  let park s shard =
+    if not s.waiting then begin
+      s.waiting <- true;
+      Queue.add s.id shard.waiters
+    end
 
   let rec release_shard t shard acc =
     shard.owner <- None;
@@ -283,50 +515,37 @@ module Manager = struct
     end
 
   and process_session t s acc =
+    match t.runtime with
+    | Inline -> process_inline t s acc
+    | Threaded _ -> process_threaded t s acc
+
+  and process_inline t s acc =
     if (not (Queue.is_empty s.pending)) && not s.closed then begin
       let shard = t.shards.(s.shard) in
       let busy =
         match shard.owner with Some owner -> owner <> s.id | None -> false
       in
-      if requires_shard (Queue.peek s.pending) && busy then begin
-        if not s.waiting then begin
-          s.waiting <- true;
-          Queue.add s.id shard.waiters
-        end
-      end
+      if requires_shard (Queue.peek s.pending) && busy then park s shard
       else begin
-        exec_command t s (Queue.pop s.pending) acc;
-        process_session t s acc
+        exec_inline t s (Queue.pop s.pending) acc;
+        process_inline t s acc
       end
     end
 
-  and exec_command t s cmd acc =
+  and exec_inline t s cmd acc =
     let shard = t.shards.(s.shard) in
     let engine = Interp.engine shard.interp in
     let reply r = push acc (Reply (s.id, r)) in
     let owner_self () = shard.owner = Some s.id in
     match cmd with
-    | Protocol.Hello v ->
-        if s.greeted then reply (Protocol.Err ("state", "already greeted"))
-        else if String.equal v Protocol.version then begin
-          s.greeted <- true;
-          reply
-            (Protocol.Ok_
-               (Protocol.version ^ " features="
-               ^ String.concat "," Protocol.features))
-        end
-        else begin
-          reply
-            (Protocol.Err
-               ( "proto",
-                 Printf.sprintf "unsupported version %S; speak %s" v
-                   Protocol.version ));
-          s.closed <- true;
-          push acc (Close s.id)
-        end
+    | Protocol.Hello v -> exec_hello t s v acc
     | Protocol.Ping token ->
         reply (Protocol.Ok_ (if token = "" then "pong" else "pong " ^ token))
-    | Protocol.Stats -> reply (Protocol.Ok_ (stats_text t s))
+    | Protocol.Stats ->
+        reply
+          (Protocol.Ok_
+             (stats_text t ~sid:s.id ~shard_idx:s.shard
+                ~note:(greeting_note s shard)))
     | Protocol.Quit ->
         (* Orderly close: an uncommitted transaction aborts before the
            shard passes to the next waiter. *)
@@ -337,8 +556,7 @@ module Manager = struct
         reply (Protocol.Ok_ "bye");
         s.closed <- true;
         push acc (Close s.id)
-    | Protocol.Line _ | Protocol.Commit | Protocol.Abort
-      when not s.greeted ->
+    | Protocol.Line _ | Protocol.Commit | Protocol.Abort when not s.greeted ->
         reply (Protocol.Err ("proto", "HELLO required first"))
     | Protocol.Line text -> (
         match line_statements text with
@@ -351,30 +569,145 @@ module Manager = struct
             reply (run_line shard statements))
     | Protocol.Commit ->
         if owner_self () then begin
-          shard.executed := [];
-          (match Interp.run_statement shard.interp Ast.Commit with
-          | Ok () ->
-              reply
-                (match List.rev !(shard.executed) with
-                | [] -> Protocol.Ok_ ""
-                | rules -> Protocol.Triggered rules)
-          | Error msg ->
-              (* A failed commit (e.g. a non-terminating deferred
-                 cascade) leaves no committed state to hand over: abort,
-                 so the shard frees in a defined state. *)
-              Engine.abort engine;
-              reply
-                (Protocol.Err ("engine", msg ^ " (transaction aborted)")));
+          reply (do_commit shard);
           release_shard t shard acc
         end
         else reply (Protocol.Err ("state", "no open transaction"))
     | Protocol.Abort ->
         if owner_self () then begin
-          Engine.abort engine;
+          do_abort shard;
           release_shard t shard acc;
           reply (Protocol.Ok_ "aborted")
         end
         else reply (Protocol.Err ("state", "no open transaction"))
+
+  (* The threaded step: examine (don't yet pop) the head command and
+     either submit it to the session's worker, answer it from the
+     reactor, or leave it queued.  Reactor answers wait for
+     [inflight = 0] so they cannot overtake worker replies; shard
+     commands park behind a busy shard exactly as in inline mode, so the
+     two modes stay observably equivalent. *)
+  and process_threaded t s acc =
+    if (not s.closed) && (not s.waiting) && not (Queue.is_empty s.pending)
+    then begin
+      let shard = t.shards.(s.shard) in
+      let busy =
+        match shard.owner with Some owner -> owner <> s.id | None -> false
+      in
+      let cmd = Queue.peek s.pending in
+      (* Run a reactor-side answer, gated on an empty pipeline. *)
+      let inline_now f =
+        if s.inflight = 0 then begin
+          ignore (Queue.pop s.pending);
+          f ();
+          process_threaded t s acc
+        end
+      in
+      let submit_now job =
+        ignore (Queue.pop s.pending);
+        submit t s job;
+        process_threaded t s acc
+      in
+      if requires_shard cmd && busy then park s shard
+      else
+        match cmd with
+        | Protocol.Hello v -> inline_now (fun () -> exec_hello t s v acc)
+        | Protocol.Ping token ->
+            inline_now (fun () ->
+                push acc
+                  (Reply
+                     ( s.id,
+                       Protocol.Ok_
+                         (if token = "" then "pong" else "pong " ^ token) )))
+        | Protocol.Stats ->
+            submit_now
+              (Run_stats
+                 { sid = s.id; shard = s.shard; note = greeting_note s shard })
+        | Protocol.Quit ->
+            inline_now (fun () ->
+                if shard.owner = Some s.id then begin
+                  submit t s
+                    (Run_abort { sid = s.id; shard = s.shard; quiet = true });
+                  release_shard t shard acc
+                end;
+                push acc (Reply (s.id, Protocol.Ok_ "bye"));
+                s.closed <- true;
+                push acc (Close s.id))
+        | Protocol.Line _ | Protocol.Commit | Protocol.Abort
+          when not s.greeted ->
+            inline_now (fun () ->
+                push acc
+                  (Reply (s.id, Protocol.Err ("proto", "HELLO required first"))))
+        | Protocol.Line text -> (
+            match line_statements text with
+            | Error (code, msg) ->
+                inline_now (fun () ->
+                    push acc (Reply (s.id, Protocol.Err (code, msg))))
+            | Ok statements ->
+                (* Eager acquire: ownership is reactor state; the worker
+                   sees only the statements. *)
+                shard.owner <- Some s.id;
+                submit_now
+                  (Run_line { sid = s.id; shard = s.shard; statements }))
+        | Protocol.Commit ->
+            if shard.owner = Some s.id then begin
+              ignore (Queue.pop s.pending);
+              submit t s (Run_commit { sid = s.id; shard = s.shard });
+              (* Eager release: the waiters' commands enqueue behind this
+                 COMMIT in the same FIFO mailbox. *)
+              release_shard t shard acc;
+              process_threaded t s acc
+            end
+            else
+              inline_now (fun () ->
+                  push acc
+                    (Reply (s.id, Protocol.Err ("state", "no open transaction"))))
+        | Protocol.Abort ->
+            if shard.owner = Some s.id then begin
+              ignore (Queue.pop s.pending);
+              submit t s
+                (Run_abort { sid = s.id; shard = s.shard; quiet = false });
+              release_shard t shard acc;
+              process_threaded t s acc
+            end
+            else
+              inline_now (fun () ->
+                  push acc
+                    (Reply (s.id, Protocol.Err ("state", "no open transaction"))))
+    end
+
+  (* ------------------------------------------------------ completions *)
+
+  let handle_completion t c acc =
+    match Hashtbl.find_opt t.sessions c.done_sid with
+    | None -> ()  (* session disconnected while the job was in flight *)
+    | Some s ->
+        if s.inflight > 0 then s.inflight <- s.inflight - 1;
+        (match c.done_reply with
+        | Some r when not s.closed -> push acc (Reply (s.id, r))
+        | Some _ | None -> ());
+        if not s.closed then process_session t s acc
+
+  let pump t =
+    match t.runtime with
+    | Inline -> []
+    | Threaded _ when t.down -> []
+    | Threaded { workers; waker; _ } ->
+        Mailbox.Waker.drain waker;
+        let acc = ref [] in
+        Array.iter
+          (fun w ->
+            let rec drain () =
+              match Mailbox.try_pop w.w_out with
+              | Some c ->
+                  handle_completion t c acc;
+                  drain ()
+              | None -> ()
+            in
+            drain ();
+            flush_deferred w)
+          workers;
+        List.rev !acc
 
   (* ---------------------------------------------------------- feeding *)
 
@@ -417,25 +750,74 @@ module Manager = struct
         let shard = t.shards.(s.shard) in
         let acc = ref [] in
         if shard.owner = Some sid then begin
-          Engine.abort (Interp.engine shard.interp);
+          (match t.runtime with
+          | Inline -> do_abort shard
+          | Threaded _ ->
+              submit_job t s.shard
+                (Run_abort { sid; shard = s.shard; quiet = true }));
           release_shard t shard acc
         end;
         List.rev !acc
 
+  (* --------------------------------------------------------- shutdown *)
+
   let shutdown t =
     if not t.down then begin
+      (match t.runtime with
+      | Inline ->
+          Array.iter
+            (fun shard ->
+              (match shard.owner with
+              | Some _ ->
+                  do_abort shard;
+                  shard.owner <- None
+              | None -> ());
+              match shard.journal with
+              | Some j -> Journal.close j
+              | None -> ())
+            t.shards
+      | Threaded { workers; waker; _ } ->
+          (* Abort whatever transactions are still open — behind any work
+             already queued for their shards. *)
+          Array.iteri
+            (fun i shard ->
+              match shard.owner with
+              | Some sid ->
+                  shard.owner <- None;
+                  submit_job t i (Run_abort { sid; shard = i; quiet = true })
+              | None -> ())
+            t.shards;
+          (* Flush the deferred queues, draining completions to free
+             mailbox slots; the workers are still live, so this settles. *)
+          let rec settle () =
+            if
+              Array.exists
+                (fun w -> not (Queue.is_empty w.w_deferred))
+                workers
+            then begin
+              Array.iter
+                (fun w ->
+                  ignore (Mailbox.try_pop w.w_out);
+                  flush_deferred w)
+                workers;
+              Domain.cpu_relax ();
+              settle ()
+            end
+          in
+          settle ();
+          (* Closing [w_cmds] is the stop signal: each worker finishes
+             its queue, closes its journals, and exits.  [w_out] closes
+             too so a worker blocked publishing a completion is released
+             (its push returns [false]) rather than deadlocking the
+             join. *)
+          Array.iter
+            (fun w ->
+              Mailbox.close w.w_cmds;
+              Mailbox.close w.w_out)
+            workers;
+          Array.iter (fun w -> Option.iter Domain.join w.w_domain) workers;
+          Mailbox.Waker.dispose waker);
       t.down <- true;
-      Array.iter
-        (fun shard ->
-          (match shard.owner with
-          | Some _ ->
-              Engine.abort (Interp.engine shard.interp);
-              shard.owner <- None
-          | None -> ());
-          match shard.journal with
-          | Some j -> Journal.close j
-          | None -> ())
-        t.shards;
       Hashtbl.reset t.sessions
     end
 end

@@ -1,15 +1,25 @@
 (** Session management for [chimera serve]: per-connection sessions
-    multiplexed onto [--engines N] independent engine shards.
+    multiplexed onto [--engines N] independent engine shards, executed
+    inline or on worker domains.
 
     Each shard is one ordinary single-threaded engine (wrapped in the
     script interpreter) with its own write-ahead journal; a session is
-    pinned to the shard its id hashes to.  Transactions serialize per
-    shard: the first [LINE] of a session acquires its shard, [COMMIT] /
+    pinned to the shard its key hashes to — FNV-1a over the client's
+    HELLO session key when one is given ([HELLO <version> <key>]), over
+    the decimal session id otherwise.  Transactions serialize per shard:
+    the first [LINE] of a session acquires its shard, [COMMIT] /
     [ABORT] release it, and commands of other sessions on the same shard
     queue (FIFO, bounded by [max_pending]) until the shard frees — the
     caller stops reading from a queued session, which is the protocol's
     admission control.  An orderly or disorderly close of a session that
-    holds a shard aborts its uncommitted transaction. *)
+    holds a shard aborts its uncommitted transaction.
+
+    With [domains = 0] (the default here) everything runs synchronously
+    on the calling thread.  With [domains = M > 0], M worker domains
+    execute the engine-bound commands — shard [i] belongs to worker
+    [i mod M] — fed through bounded per-worker mailboxes; replies then
+    surface asynchronously from {!pump}, which the caller runs whenever
+    {!wakeup_fd} signals (or once per reactor turn). *)
 
 open Chimera_event
 
@@ -22,6 +32,7 @@ module Manager : sig
 
   val create :
     engines:int ->
+    ?domains:int ->
     ?journal_dir:string ->
     ?fsync:Journal.sync_policy ->
     ?boot_script:string ->
@@ -29,15 +40,22 @@ module Manager : sig
     ?extra_stats:(unit -> string) ->
     unit ->
     (t, string) result
-  (** [engines] must be positive.  [journal_dir] (created if missing)
-      gives every shard a write-ahead journal at
+  (** [engines] must be positive.  [domains] (default [0]) is the worker
+      domain count: [0] executes inline on the caller's thread, [M > 0]
+      spawns [min M engines] worker domains at creation.  [journal_dir]
+      (created if missing) gives every shard a write-ahead journal at
       [<dir>/shard-<i>.journal]; [boot_script] is rule-language source
       executed (and committed) on every shard before the first
       connection — the conventional way to predefine schema and rules.
       [extra_stats] is appended to every [STATS] reply (the server
-      contributes its connection counters through it). *)
+      contributes its connection counters through it); with worker
+      domains it is called from them, so it must be domain-safe. *)
 
   val engines : t -> int
+
+  val domains : t -> int
+  (** Worker domains actually running; [0] in inline mode. *)
+
   val open_session : t -> int
   (** Registers a fresh session (in the greeting state) and returns its id. *)
 
@@ -48,23 +66,41 @@ module Manager : sig
   (** The session currently holds its shard (open transaction). *)
 
   val blocked : t -> int -> bool
-  (** The session has commands queued behind a busy shard: the caller
-      should stop reading from its connection until events release it. *)
+  (** The session has commands queued (behind a busy shard, or behind its
+      own in-flight pipeline): the caller should stop reading from its
+      connection until events release it. *)
+
+  val idle : t -> int -> bool
+  (** Nothing queued and nothing in flight for this session — its reply
+      stream is complete as of now.  What a draining server polls before
+      it closes a connection. *)
 
   val on_payload : t -> int -> string -> event list
   (** Feed one decoded frame payload from a session.  Parse errors and
       protocol-state violations come back as [ERR] replies; engine-bound
       commands may queue (empty event list) and their replies surface
-      from the [on_payload]/[disconnect] call that released the shard. *)
+      from the [on_payload]/[disconnect] call that released the shard —
+      or, with worker domains, from a later {!pump}. *)
 
   val disconnect : t -> int -> event list
   (** The connection is gone (EOF, error, timeout, drain): aborts the
       session's open transaction, drops its queue, and wakes waiters of
       its shard — their replies are the returned events.  Idempotent. *)
 
+  val wakeup_fd : t -> Unix.file_descr option
+  (** With worker domains, a self-pipe read end that becomes readable
+      when completions are waiting: add it to the reactor's select read
+      set and call {!pump} on wakeup.  [None] in inline mode. *)
+
+  val pump : t -> event list
+  (** Collect finished worker jobs: their replies, plus whatever woke up
+      behind them (a completed COMMIT wakes the shard's waiters).  Cheap
+      when there is nothing to do; inline mode always returns []. *)
+
   val shutdown : t -> unit
-  (** Drain epilogue: aborts every open transaction, flushes and closes
-      every journal.  The manager accepts no further commands. *)
+  (** Drain epilogue: aborts every open transaction, stops and joins the
+      worker domains, flushes and closes every journal.  The manager
+      accepts no further commands. *)
 
   val journal_paths : t -> string list
 end

@@ -1,0 +1,16 @@
+(* FNV-1a, 64-bit parameters.  OCaml ints are 63-bit so the running hash
+   lives truncated to 63 bits; the multiply wraps, which is exactly the
+   modular arithmetic FNV wants.  Every byte of the key participates —
+   the property [Hashtbl.hash] lacks on long strings. *)
+
+(* 0xcbf29ce484222325 truncated to OCaml's 63-bit int range. *)
+let offset_basis = 0x4bf29ce484222325
+let prime = 0x100000001b3
+
+let fold h s =
+  let h = ref h in
+  String.iter (fun c -> h := (!h lxor Char.code c) * prime) s;
+  !h land max_int
+
+let hash s = fold offset_basis s
+let hash_seeded ~seed s = fold ((offset_basis lxor seed) land max_int) s

@@ -1,0 +1,18 @@
+(** FNV-1a string hashing, for partitioning by key.
+
+    [Hashtbl.hash] is tuned for hash-table bucketing, not for balanced
+    partitioning into a handful of shards: over the *window* of keys a
+    system actually holds at once (say 64 consecutive session ids mod 4
+    shards) its residues cluster up to 4x apart, and being
+    runtime-defined it may change across compiler versions, silently
+    re-pinning every key.  FNV-1a folds every byte through a fixed,
+    documented recurrence: dense and common-prefixed key sets spread
+    evenly, and the mapping is stable forever.  Not cryptographic; meant
+    for partitioning and interning, not for adversarial inputs. *)
+
+val hash : string -> int
+(** 64-bit FNV-1a folded into a non-negative OCaml int. *)
+
+val hash_seeded : seed:int -> string -> int
+(** Same fold started from [basis xor seed] — distinct seeds give
+    independent partitionings of the same key set. *)

@@ -1,0 +1,124 @@
+(* A mutex-and-conditions bounded ring.  SPSC in usage, not in mechanism:
+   the lock is held for a few loads and stores only, and the two
+   conditions ([nonempty] for the consumer, [nonfull] for the producer)
+   keep wakeups targeted.  OCaml 5 domains only — no Thread dependency. *)
+
+type 'a t = {
+  buf : 'a option array;
+  mutable head : int;  (* next pop position *)
+  mutable len : int;
+  mutable is_closed : bool;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  nonfull : Condition.t;
+}
+
+let create capacity =
+  if capacity <= 0 then invalid_arg "Mailbox.create: capacity must be positive";
+  {
+    buf = Array.make capacity None;
+    head = 0;
+    len = 0;
+    is_closed = false;
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    nonfull = Condition.create ();
+  }
+
+let capacity t = Array.length t.buf
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let length t = with_lock t (fun () -> t.len)
+let closed t = with_lock t (fun () -> t.is_closed)
+
+let unsafe_push t v =
+  let cap = Array.length t.buf in
+  t.buf.((t.head + t.len) mod cap) <- Some v;
+  t.len <- t.len + 1;
+  Condition.signal t.nonempty
+
+let unsafe_pop t =
+  match t.buf.(t.head) with
+  | None -> assert false
+  | Some v ->
+      t.buf.(t.head) <- None;
+      t.head <- (t.head + 1) mod Array.length t.buf;
+      t.len <- t.len - 1;
+      Condition.signal t.nonfull;
+      Some v
+
+let try_push t v =
+  with_lock t (fun () ->
+      if t.is_closed || t.len >= Array.length t.buf then false
+      else begin
+        unsafe_push t v;
+        true
+      end)
+
+let push t v =
+  with_lock t (fun () ->
+      while (not t.is_closed) && t.len >= Array.length t.buf do
+        Condition.wait t.nonfull t.mutex
+      done;
+      if t.is_closed then false
+      else begin
+        unsafe_push t v;
+        true
+      end)
+
+let try_pop t = with_lock t (fun () -> if t.len = 0 then None else unsafe_pop t)
+
+let pop t =
+  with_lock t (fun () ->
+      while t.len = 0 && not t.is_closed do
+        Condition.wait t.nonempty t.mutex
+      done;
+      if t.len = 0 then None else unsafe_pop t)
+
+let close t =
+  with_lock t (fun () ->
+      if not t.is_closed then begin
+        t.is_closed <- true;
+        Condition.broadcast t.nonempty;
+        Condition.broadcast t.nonfull
+      end)
+
+(* ------------------------------------------------------------- waker *)
+
+module Waker = struct
+  type waker = { r : Unix.file_descr; w : Unix.file_descr; buf : Bytes.t }
+
+  let create () =
+    let r, w = Unix.pipe () in
+    Unix.set_nonblock r;
+    Unix.set_nonblock w;
+    { r; w; buf = Bytes.create 64 }
+
+  let fd t = t.r
+
+  let one = Bytes.of_string "!"
+
+  let wake t =
+    match Unix.write t.w one 0 1 with
+    | _ -> ()
+    | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) ->
+        (* Pipe full: the reader already has a pending wakeup. *)
+        ()
+    | exception Unix.Unix_error _ -> ()
+
+  let rec drain t =
+    match Unix.read t.r t.buf 0 (Bytes.length t.buf) with
+    | 0 -> ()
+    | _ -> drain t
+    | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
+      ->
+        ()
+    | exception Unix.Unix_error _ -> ()
+
+  let dispose t =
+    (try Unix.close t.r with Unix.Unix_error _ -> ());
+    try Unix.close t.w with Unix.Unix_error _ -> ()
+end

@@ -1,0 +1,65 @@
+(** Bounded single-producer/single-consumer mailboxes and a self-pipe
+    waker — the hand-off machinery between the reactor domain and the
+    engine-shard worker domains of [chimera serve].
+
+    A mailbox is a bounded FIFO ring.  The intended discipline is one
+    producing domain and one consuming domain per mailbox (commands flow
+    reactor -> worker through one, completions flow worker -> reactor
+    through another); the implementation is mutex-protected, so misuse
+    by extra producers degrades throughput, not correctness.
+
+    Closing is how a worker is told to finish: after {!close}, pushes
+    are refused but the consumer still drains what was queued; {!pop}
+    returns [None] only once the mailbox is both closed and empty. *)
+
+type 'a t
+
+val create : int -> 'a t
+(** [create capacity] — capacity must be positive. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+val closed : 'a t -> bool
+
+val try_push : 'a t -> 'a -> bool
+(** Non-blocking; [false] when full or closed.  The reactor side: it
+    must never block, so a refused push parks the session instead. *)
+
+val push : 'a t -> 'a -> bool
+(** Blocking push: waits while full, [false] only when closed.  The
+    worker side (completion queues), where blocking is acceptable
+    because the reactor drains without ever blocking itself. *)
+
+val try_pop : 'a t -> 'a option
+(** Non-blocking; [None] when currently empty (closed or not). *)
+
+val pop : 'a t -> 'a option
+(** Blocking pop: waits while empty and open; [None] once the mailbox
+    is closed and drained — the worker's exit condition. *)
+
+val close : 'a t -> unit
+(** Refuse further pushes and wake all blocked parties.  Idempotent. *)
+
+(** The self-pipe: lets worker domains interrupt the reactor's
+    [Unix.select] so a completion never waits for the select timeout.
+    Many writers, one reader; writes coalesce (the pipe holds at most a
+    few bytes and a full pipe means a wakeup is already pending). *)
+module Waker : sig
+  type waker
+
+  val create : unit -> waker
+  (** Both ends non-blocking. *)
+
+  val fd : waker -> Unix.file_descr
+  (** The read end — add it to the reactor's select read set. *)
+
+  val wake : waker -> unit
+  (** Write one byte (drop it if the pipe is already full: the reader
+      has a wakeup pending).  Async-signal-safe in spirit: never blocks,
+      never raises. *)
+
+  val drain : waker -> unit
+  (** Consume all pending bytes; call when [fd] selects readable. *)
+
+  val dispose : waker -> unit
+end

@@ -1,0 +1,7 @@
+external now_ns : unit -> int = "chimera_monotime_ns" [@@noalloc]
+
+let now_s () = float_of_int (now_ns ()) /. 1e9
+
+let elapsed_ns ~since =
+  let d = now_ns () - since in
+  if d < 0 then 0 else d

@@ -1,0 +1,21 @@
+(** The process monotonic clock.
+
+    Wall-clock time ([Unix.gettimeofday]) steps under NTP corrections and
+    manual adjustment, which turns interval arithmetic built on it into
+    spurious idle disconnects and negative latency samples.  Every
+    duration measurement in the tree goes through this module instead:
+    [CLOCK_MONOTONIC], never stepped, meaningful only as a difference of
+    two readings from the same process. *)
+
+val now_ns : unit -> int
+(** Nanoseconds on the monotonic clock.  Allocation-free.  The absolute
+    value is arbitrary (typically time since boot); only differences
+    between two readings mean anything. *)
+
+val now_s : unit -> float
+(** The monotonic reading as seconds, for second-granularity deadline
+    arithmetic (idle timeouts, wall-clock spans). *)
+
+val elapsed_ns : since:int -> int
+(** [now_ns () - since], clamped to be non-negative — a latency sample
+    can never be negative even if the clock source misbehaves. *)

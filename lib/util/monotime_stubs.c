@@ -1,0 +1,15 @@
+/* Monotonic clock binding: CLOCK_MONOTONIC nanoseconds as an OCaml int.
+   63-bit OCaml ints hold ~292 years of nanoseconds, so the uptime-based
+   monotonic reading never overflows in practice; returning an unboxed
+   int keeps the call allocation-free ([@@noalloc]). */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value chimera_monotime_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

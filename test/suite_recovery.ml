@@ -325,6 +325,68 @@ let test_crash_recovery_rotation () =
   crash_matrix ~name:"rotation" ~sync:Journal.Per_commit ~compact:(Some 0)
     ~txs:3 ~lines:5 ~ops:2 ()
 
+(* Rotation durability (the dirsync bugfix): rotation renames the fresh
+   compacted segment over the live path and must then fsync the parent
+   directory, or the rename itself can be lost on power failure.  The
+   [journal.dirsync] failpoint sits exactly between the rename and the
+   directory fsync; crashing there must leave a recoverable journal whose
+   checkpoint is intact. *)
+let test_rotation_dirsync_crash () =
+  let path = temp_journal () in
+  Fun.protect
+    ~finally:(fun () ->
+      Failpoint.clear ();
+      remove_if_exists path;
+      remove_if_exists (path ^ ".rotating"))
+  @@ fun () ->
+  let scenario () =
+    let j = Journal.create ~path () in
+    Journal.append j ~tag:"op" "before-rotation";
+    Journal.commit j;
+    Journal.rotate j ~base:[ ("op", "checkpoint-entry") ];
+    Journal.append j ~tag:"op" "after-rotation";
+    Journal.commit j;
+    Journal.close j
+  in
+  (* Pass 1: count the boundaries of the fault-free run. *)
+  remove_if_exists path;
+  Failpoint.arm ~seed:fault_seed ~after:max_int ();
+  scenario ();
+  let boundaries = Failpoint.total_hits () in
+  Failpoint.clear ();
+  (* Pass 2: crash at each boundary; at the dirsync site specifically,
+     assert the rename already happened and the journal recovers. *)
+  let dirsync_crashes = ref 0 in
+  for b = 0 to boundaries - 1 do
+    remove_if_exists path;
+    remove_if_exists (path ^ ".rotating");
+    Failpoint.arm ~seed:fault_seed ~after:b ();
+    (match scenario () with
+    | () -> Alcotest.failf "boundary %d did not crash" b
+    | exception Failpoint.Crash site ->
+        Failpoint.clear ();
+        if site = "journal.dirsync" then begin
+          incr dirsync_crashes;
+          Alcotest.(check bool) "temp segment renamed away" false
+            (Sys.file_exists (path ^ ".rotating"));
+          match Journal.read ~path with
+          | Error msg ->
+              Alcotest.failf "recovery after dirsync crash: %s" msg
+          | Ok replay ->
+              let payloads =
+                List.map
+                  (fun e -> e.Journal.payload)
+                  (List.concat replay.Journal.committed)
+              in
+              Alcotest.(check bool) "checkpoint entry recovered" true
+                (List.mem "checkpoint-entry" payloads);
+              Alcotest.(check bool) "pre-rotation state is the checkpoint"
+                false
+                (List.mem "before-rotation" payloads)
+        end)
+  done;
+  Alcotest.(check bool) "dirsync boundary exercised" true (!dirsync_crashes >= 1)
+
 (* ------------------------------------------------------------- abort *)
 
 (* Abort ≡ the transaction never ran: state, generators and the
@@ -589,6 +651,8 @@ let suite =
       test_crash_recovery_per_write;
     Alcotest.test_case "crash recovery across segment rotation" `Quick
       test_crash_recovery_rotation;
+    Alcotest.test_case "rotation crash between rename and dirsync" `Quick
+      test_rotation_dirsync_crash;
     Alcotest.test_case "abort ≡ never ran (incl. follow-up tx)" `Quick
       test_abort_equiv_never_ran;
     Alcotest.test_case "posting lists + wake survive abort and recovery"

@@ -214,6 +214,40 @@ let test_manager_queueing_and_overflow () =
   | _ -> Alcotest.fail "s3 commit failed");
   Session.Manager.shutdown mgr
 
+(* A HELLO session key re-pins the session before any engine traffic:
+   the shard is [Fnv.hash key mod engines], not whatever the connection
+   order happened to give. *)
+let test_manager_hello_key_repin () =
+  let mgr =
+    match Session.Manager.create ~engines:4 ~boot_script () with
+    | Ok mgr -> mgr
+    | Error msg -> Alcotest.fail msg
+  in
+  Fun.protect ~finally:(fun () -> Session.Manager.shutdown mgr) @@ fun () ->
+  let keys = List.init 32 (fun i -> Printf.sprintf "tenant-%04d" i) in
+  List.iter
+    (fun key ->
+      let sid = Session.Manager.open_session mgr in
+      (match
+         feed mgr sid (Protocol.Hello (Protocol.version ^ " " ^ key))
+       with
+      | [ Session.Manager.Reply (_, Protocol.Ok_ _) ] -> ()
+      | _ -> Alcotest.failf "keyed greeting failed for %s" key);
+      Alcotest.(check int)
+        (Printf.sprintf "pinned by key %s" key)
+        (Fnv.hash key mod 4)
+        (Session.Manager.shard_of_session mgr sid))
+    keys;
+  (* Same key, same shard — a reconnecting client lands on its data. *)
+  let a = Session.Manager.open_session mgr in
+  let b = Session.Manager.open_session mgr in
+  List.iter
+    (fun sid -> ignore (feed mgr sid (Protocol.Hello (Protocol.version ^ " sticky"))))
+    [ a; b ];
+  Alcotest.(check int) "same key, same shard"
+    (Session.Manager.shard_of_session mgr a)
+    (Session.Manager.shard_of_session mgr b)
+
 (* ------------------------------------------------------- socket harness *)
 
 type client = { fd : Unix.file_descr; mutable buf : Bytes.t; mutable len : int }
@@ -631,6 +665,60 @@ let test_socket_drain_and_recover () =
      Unix.rmdir dir
    with Sys_error _ | Unix.Unix_error _ -> ())
 
+(* The tentpole end to end: 4 shards on 2 worker domains, keyed sessions
+   on distinct shards running transactions concurrently, then a clean
+   drain that joins every domain (stop_server → Manager.shutdown). *)
+let test_socket_multidomain () =
+  with_boot_server
+    ~config:
+      { Server.default_config with Server.engines = 4; domains = Some 2 }
+  @@ fun srv ->
+  Alcotest.(check int) "worker domains running" 2
+    (Session.Manager.domains (Server.manager srv));
+  (* Four keys that pin to four distinct shards (checked below), so the
+     four transactions really are concurrent — none queues behind
+     another's shard. *)
+  let keys = [ "alpha"; "charlie"; "echo"; "juliet" ] in
+  let pins = List.map (fun k -> Fnv.hash k mod 4) keys in
+  Alcotest.(check int) "keys cover all shards" 4
+    (List.length (List.sort_uniq Int.compare pins));
+  let clients =
+    List.map
+      (fun key ->
+        let c = connect srv in
+        send srv c (Protocol.Hello (Protocol.version ^ " " ^ key));
+        ignore (expect_ok srv c ("hello " ^ key));
+        (key, c))
+      keys
+  in
+  Fun.protect
+    ~finally:(fun () -> List.iter (fun (_, c) -> close_client c) clients)
+  @@ fun () ->
+  (* Interleave: every client opens a transaction, then all commit. *)
+  List.iteri
+    (fun i (key, c) ->
+      send srv c (Protocol.Line (Printf.sprintf "create item(n = %d)" (i + 1)));
+      ignore (expect_triggered srv c ("line " ^ key)))
+    clients;
+  List.iter
+    (fun (key, c) ->
+      send srv c Protocol.Commit;
+      Alcotest.(check string) ("commit " ^ key) ""
+        (expect_ok srv c ("commit " ^ key)))
+    clients;
+  (* STATS executes on the worker owning the shard and round-trips. *)
+  let _, c0 = List.hd clients in
+  send srv c0 Protocol.Stats;
+  let stats = expect_ok srv c0 "stats" in
+  Alcotest.(check bool) "stats from the worker" true
+    (contains_sub stats "engine:");
+  List.iter
+    (fun (key, c) ->
+      send srv c Protocol.Quit;
+      Alcotest.(check string) ("bye " ^ key) "bye" (expect_ok srv c "quit");
+      expect_eof srv c)
+    clients
+
 (* ------------------------------------------------- loadgen + differential *)
 
 let test_loadgen_in_process () =
@@ -783,6 +871,8 @@ let suite =
       test_event_codec_rejects_bad_numbers;
     Alcotest.test_case "manager queueing and overflow" `Quick
       test_manager_queueing_and_overflow;
+    Alcotest.test_case "hello key re-pins the session" `Quick
+      test_manager_hello_key_repin;
     Alcotest.test_case "socket round trip" `Quick test_socket_roundtrip;
     Alcotest.test_case "protocol errors keep the connection" `Quick
       test_socket_protocol_errors;
@@ -800,6 +890,8 @@ let suite =
       test_socket_max_conns_rejects;
     Alcotest.test_case "graceful drain, journals replay" `Quick
       test_socket_drain_and_recover;
+    Alcotest.test_case "keyed sessions across worker domains" `Quick
+      test_socket_multidomain;
     Alcotest.test_case "in-process loadgen" `Quick test_loadgen_in_process;
     Alcotest.test_case "differential: socket vs direct" `Quick
       test_differential_socket_vs_direct;

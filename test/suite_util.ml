@@ -83,6 +83,195 @@ let test_pretty_table () =
   Alcotest.(check string) "ns formatting" "1.50us" (Pretty.ns_cell 1500.0);
   Alcotest.(check string) "ms formatting" "2.50ms" (Pretty.ns_cell 2.5e6)
 
+(* --- Monotonic clock ------------------------------------------------- *)
+
+let test_monotime_monotonic () =
+  let a = Monotime.now_ns () in
+  let b = Monotime.now_ns () in
+  let c = Monotime.now_ns () in
+  Alcotest.(check bool) "never decreases" true (a <= b && b <= c);
+  Alcotest.(check bool) "positive" true (a > 0);
+  let s = Monotime.now_s () in
+  Alcotest.(check bool) "seconds agree with ns" true
+    (Float.abs (s -. (float_of_int c /. 1e9)) < 1.0)
+
+let test_monotime_elapsed_clamp () =
+  let since = Monotime.now_ns () in
+  Alcotest.(check bool) "elapsed non-negative" true
+    (Monotime.elapsed_ns ~since >= 0);
+  (* A [since] from the future must clamp to zero, not go negative. *)
+  let future = Monotime.now_ns () + 1_000_000_000 in
+  Alcotest.(check int) "future since clamps" 0 (Monotime.elapsed_ns ~since:future)
+
+(* --- FNV-1a ----------------------------------------------------------- *)
+
+let test_fnv_full_string () =
+  (* Every byte participates: strings sharing a long prefix differ. *)
+  let prefix = String.make 200 'x' in
+  let h1 = Fnv.hash (prefix ^ "a") and h2 = Fnv.hash (prefix ^ "b") in
+  Alcotest.(check bool) "suffix changes hash" true (h1 <> h2);
+  Alcotest.(check bool) "non-negative" true (h1 >= 0 && h2 >= 0);
+  Alcotest.(check int) "deterministic" h1 (Fnv.hash (prefix ^ "a"));
+  let s1 = Fnv.hash_seeded ~seed:1 "key" and s2 = Fnv.hash_seeded ~seed:2 "key" in
+  Alcotest.(check bool) "seeds give distinct partitionings" true (s1 <> s2)
+
+(* Shard-pinning skew regression (the bug this PR fixes): [Session.Manager]
+   used to pin via [Hashtbl.hash sid mod engines] over dense integer
+   session ids.  Over the window of sessions a server actually holds at
+   once — say 64 consecutive ids — that clusters badly (up to 4x between
+   the fullest and emptiest of 4 shards).  FNV-1a over the full id string
+   must stay balanced both globally over 10k prefixed ids and over every
+   such window. *)
+
+let max_min_ratio counts =
+  let mx = Array.fold_left max 0 counts in
+  let mn = Array.fold_left min max_int counts in
+  float_of_int mx /. float_of_int (Stdlib.max 1 mn)
+
+let skew_over ~shards ~ids pin =
+  let counts = Array.make shards 0 in
+  List.iter (fun id -> let s = pin id mod shards in counts.(s) <- counts.(s) + 1) ids;
+  max_min_ratio counts
+
+let worst_window_skew ~shards ~window pin n =
+  (* Worst max/min ratio over any [window] consecutive integer ids. *)
+  let worst = ref 1.0 in
+  let start = ref 0 in
+  while !start + window <= n do
+    let ids = List.init window (fun i -> !start + i) in
+    let r = skew_over ~shards ~ids pin in
+    if r > !worst then worst := r;
+    start := !start + window
+  done;
+  !worst
+
+let test_shard_skew_regression () =
+  let n = 10_000 in
+  (* 10k prefixed ids, as issued to sessions keyed like [user-00042]. *)
+  let prefixed = List.init n (fun i -> Printf.sprintf "user-%08d" i) in
+  List.iter
+    (fun shards ->
+      let r = skew_over ~shards ~ids:prefixed Fnv.hash in
+      Alcotest.(check bool)
+        (Printf.sprintf "fnv balanced over 10k prefixed ids (/%d): %.2f" shards r)
+        true (r <= 1.5))
+    [ 4; 8 ];
+  (* Windowed: any 64 consecutive integer ids, as [open_session] pins. *)
+  let fnv_int i = Fnv.hash (string_of_int i) in
+  let fnv_worst = worst_window_skew ~shards:4 ~window:64 fnv_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "fnv worst 64-id window (/4): %.2f" fnv_worst)
+    true (fnv_worst <= 1.5);
+  (* The old scheme fails exactly this bound — keep it as documentation
+     that the test would have caught the bug. *)
+  let old_pin i = Hashtbl.hash i in
+  let old_worst = worst_window_skew ~shards:4 ~window:64 old_pin n in
+  Alcotest.(check bool)
+    (Printf.sprintf "old Hashtbl.hash pinning skews (/4): %.2f" old_worst)
+    true (old_worst > 1.5)
+
+(* --- Mailbox ---------------------------------------------------------- *)
+
+let test_mailbox_basics () =
+  let mb = Mailbox.create 2 in
+  Alcotest.(check int) "capacity" 2 (Mailbox.capacity mb);
+  Alcotest.(check bool) "push 1" true (Mailbox.try_push mb 1);
+  Alcotest.(check bool) "push 2" true (Mailbox.try_push mb 2);
+  Alcotest.(check bool) "full refuses" false (Mailbox.try_push mb 3);
+  Alcotest.(check int) "length" 2 (Mailbox.length mb);
+  Alcotest.(check (option int)) "fifo 1" (Some 1) (Mailbox.try_pop mb);
+  Alcotest.(check (option int)) "fifo 2" (Some 2) (Mailbox.try_pop mb);
+  Alcotest.(check (option int)) "empty" None (Mailbox.try_pop mb)
+
+let test_mailbox_close () =
+  let mb = Mailbox.create 4 in
+  Alcotest.(check bool) "push before close" true (Mailbox.push mb 10);
+  Alcotest.(check bool) "push before close" true (Mailbox.push mb 11);
+  Mailbox.close mb;
+  Alcotest.(check bool) "closed" true (Mailbox.closed mb);
+  Alcotest.(check bool) "push after close refused" false (Mailbox.push mb 12);
+  Alcotest.(check bool) "try_push after close refused" false (Mailbox.try_push mb 12);
+  (* Pop drains what was enqueued, then reports closure. *)
+  Alcotest.(check (option int)) "drain 10" (Some 10) (Mailbox.pop mb);
+  Alcotest.(check (option int)) "drain 11" (Some 11) (Mailbox.pop mb);
+  Alcotest.(check (option int)) "closed+empty is None" None (Mailbox.pop mb)
+
+let test_mailbox_cross_domain_fifo () =
+  (* A tiny-capacity mailbox forces the producer domain to block on a
+     full ring while the consumer drains: order must still be FIFO and
+     nothing may be lost or duplicated.  [Core] shadows [Domain] with
+     the workload module, hence [Stdlib.Domain]. *)
+  let n = 10_000 in
+  let mb = Mailbox.create 8 in
+  let producer =
+    Stdlib.Domain.spawn (fun () ->
+        for i = 0 to n - 1 do
+          if not (Mailbox.push mb i) then failwith "push refused"
+        done;
+        Mailbox.close mb)
+  in
+  let next = ref 0 and ok = ref true in
+  let rec drain () =
+    match Mailbox.pop mb with
+    | Some v ->
+        if v <> !next then ok := false;
+        incr next;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Stdlib.Domain.join producer;
+  Alcotest.(check bool) "in order" true !ok;
+  Alcotest.(check int) "all delivered" n !next
+
+let test_mailbox_close_wakes_pop () =
+  (* A consumer blocked on an empty mailbox must wake when another
+     domain closes it. *)
+  let mb : int Mailbox.t = Mailbox.create 4 in
+  let consumer = Stdlib.Domain.spawn (fun () -> Mailbox.pop mb) in
+  Unix.sleepf 0.02;
+  Mailbox.close mb;
+  Alcotest.(check (option int)) "woken with None" None (Stdlib.Domain.join consumer)
+
+let test_waker () =
+  let w = Mailbox.Waker.create () in
+  let fd = Mailbox.Waker.fd w in
+  (* Nothing pending: fd is not readable. *)
+  let r, _, _ = Unix.select [ fd ] [] [] 0.0 in
+  Alcotest.(check bool) "idle fd not readable" true (r = []);
+  Mailbox.Waker.wake w;
+  Mailbox.Waker.wake w;
+  (* wakes coalesce *)
+  let r, _, _ = Unix.select [ fd ] [] [] 0.5 in
+  Alcotest.(check bool) "woken fd readable" true (r <> []);
+  Mailbox.Waker.drain w;
+  let r, _, _ = Unix.select [ fd ] [] [] 0.0 in
+  Alcotest.(check bool) "drained fd not readable" true (r = []);
+  Mailbox.Waker.dispose w
+
+(* --- Loadgen percentile ----------------------------------------------- *)
+
+let test_percentile_edges () =
+  let pct = Loadgen.percentile in
+  Alcotest.(check int) "empty p50" 0 (pct [||] 50.);
+  Alcotest.(check int) "empty p99" 0 (pct [||] 99.);
+  let one = [| 7 |] in
+  List.iter
+    (fun p -> Alcotest.(check int) "single sample" 7 (pct one p))
+    [ 0.; 50.; 90.; 99.; 100. ];
+  let two = [| 1; 9 |] in
+  Alcotest.(check int) "two p50" 1 (pct two 50.);
+  Alcotest.(check int) "two p90" 9 (pct two 90.);
+  Alcotest.(check int) "two p99" 9 (pct two 99.);
+  Alcotest.(check int) "two p100" 9 (pct two 100.);
+  let hundred = Array.init 100 (fun i -> i + 1) in
+  Alcotest.(check int) "hundred p50" 50 (pct hundred 50.);
+  Alcotest.(check int) "hundred p90" 90 (pct hundred 90.);
+  Alcotest.(check int) "hundred p99" 99 (pct hundred 99.);
+  Alcotest.(check int) "hundred p100" 100 (pct hundred 100.);
+  Alcotest.(check int) "hundred p0 clamps" 1 (pct hundred 0.);
+  Alcotest.(check int) "over 100 clamps" 100 (pct hundred 150.)
+
 let suite =
   [
     Alcotest.test_case "clock discipline" `Quick test_clock_discipline;
@@ -92,4 +281,16 @@ let suite =
     Alcotest.test_case "vec bisect" `Quick test_vec_bisect;
     Alcotest.test_case "vec growth" `Quick test_vec_growth;
     Alcotest.test_case "pretty tables" `Quick test_pretty_table;
+    Alcotest.test_case "monotime monotonic" `Quick test_monotime_monotonic;
+    Alcotest.test_case "monotime elapsed clamp" `Quick test_monotime_elapsed_clamp;
+    Alcotest.test_case "fnv full-string" `Quick test_fnv_full_string;
+    Alcotest.test_case "shard skew regression" `Quick test_shard_skew_regression;
+    Alcotest.test_case "mailbox basics" `Quick test_mailbox_basics;
+    Alcotest.test_case "mailbox close" `Quick test_mailbox_close;
+    Alcotest.test_case "mailbox cross-domain fifo" `Quick
+      test_mailbox_cross_domain_fifo;
+    Alcotest.test_case "mailbox close wakes pop" `Quick
+      test_mailbox_close_wakes_pop;
+    Alcotest.test_case "waker" `Quick test_waker;
+    Alcotest.test_case "percentile edges" `Quick test_percentile_edges;
   ]
