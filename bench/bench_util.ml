@@ -52,6 +52,7 @@ let seed_of_experiment = function
   | "e10" -> 1010
   | "e11" -> 1111
   | "e12" -> 1212
+  | "e14" -> 1414
   | _ -> 7
 
 (* ------------------------------------------------ machine-readable *)

@@ -272,3 +272,256 @@ let e13 () =
              ("lat_max_ns", Bench_util.J_int r.Loadgen.lat_max_ns);
            ])
        rows)
+
+(* E14: journal-shipping replication — what a warm standby costs and
+   what a failover buys.
+
+   The same co-operative single-thread harness as E12/E13, now with up
+   to three reactors interleaved: the primary, its journal-tailing
+   standby, and the load generator.  The follower row pays the full
+   semi-synchronous price: every COMMIT reply is parked until the
+   standby has written the records to its local segment copy (fsync per
+   the follower's policy) and acknowledged them, so the delta against
+   the zero-follower row is the whole replication round trip, not just
+   the shipped bytes.
+
+   After the load completes the primary is drained away, the standby is
+   promoted, and two numbers are recorded: how long promotion takes (it
+   is warm — the shipped segments are re-opened for append, nothing is
+   replayed) and how many acknowledged commits the promoted journals
+   are missing.  Semi-sync's contract is that the second number is
+   zero. *)
+
+let e14_conns = 32
+let e14_lines = 100
+let e14_shards = 2
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Sys.remove path with Sys_error _ -> ())
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let e14_dir label =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "chimera-e14-%s-%d" label (Unix.getpid ()))
+  in
+  rm_rf dir;
+  Unix.mkdir dir 0o755;
+  dir
+
+type rrow = {
+  followers : int;
+  r_report : Loadgen.report;
+  lag_max : int;  (** worst commits-behind seen on any shard mid-run *)
+  promote_ms : float;  (** NaN on the baseline row *)
+  acked_lost : int;  (** acked commits missing from the promoted journals *)
+}
+
+(* Sum of last committed sequence numbers across a data directory's
+   shard journals — commits are per-shard monotone from 1, so this is
+   the directory's total committed-transaction count. *)
+let e14_journal_commits dir =
+  List.fold_left
+    (fun acc shard ->
+      match
+        Journal.read
+          ~path:(Filename.concat dir (Printf.sprintf "shard-%d.journal" shard))
+      with
+      | Ok r -> acc + r.Journal.last_commit_seq
+      | Error msg -> failwith msg)
+    0
+    (List.init e14_shards Fun.id)
+
+let run_repl ~follower =
+  let dir_p = e14_dir "primary" in
+  let dir_f = e14_dir "standby" in
+  let base_config =
+    {
+      Server.default_config with
+      Server.engines = e14_shards;
+      domains = Some 0;
+      boot_script = Some boot_script;
+      max_conns = e14_conns + 8;
+      idle_timeout = 0.;
+    }
+  in
+  let primary =
+    match
+      Server.create { base_config with Server.journal_dir = Some dir_p }
+    with
+    | Ok s -> s
+    | Error msg -> failwith msg
+  in
+  let standby =
+    if not follower then None
+    else
+      match
+        Server.create
+          {
+            base_config with
+            Server.journal_dir = Some dir_f;
+            follow = Some ("127.0.0.1", Server.port primary);
+          }
+      with
+      | Ok s -> Some s
+      | Error msg -> failwith msg
+  in
+  let lg =
+    match
+      Loadgen.create
+        {
+          Loadgen.default_config with
+          Loadgen.port = Server.port primary;
+          conns = e14_conns;
+          lines = e14_lines;
+          commit_every;
+        }
+    with
+    | Ok lg -> lg
+    | Error msg -> failwith msg
+  in
+  let lag_max = ref 0 in
+  let sample_lag () =
+    match standby with
+    | None -> ()
+    | Some s ->
+        Array.iter
+          (fun (applied, head) -> lag_max := max !lag_max (head - applied))
+          (Session.Manager.repl_seqs (Server.manager s))
+  in
+  let poll_all () =
+    ignore (Server.poll primary ~timeout:0.);
+    match standby with
+    | Some s -> ignore (Server.poll s ~timeout:0.)
+    | None -> ()
+  in
+  let rec drive n =
+    if not (Loadgen.finished lg) then begin
+      poll_all ();
+      Loadgen.poll lg ~timeout:0.;
+      if n mod 64 = 0 then sample_lag ();
+      drive (n + 1)
+    end
+  in
+  drive 0;
+  let report = Loadgen.report lg in
+  if report.Loadgen.errors > 0 then
+    failwith
+      (Printf.sprintf "e14: %d protocol error(s) with %d follower(s)"
+         report.Loadgen.errors
+         (if follower then 1 else 0));
+  (* Let any in-flight replication batch land before the primary goes
+     away: under semi-sync the last acked COMMIT already implies the
+     follower applied it, so a short grace is enough. *)
+  for _ = 1 to 50 do
+    poll_all ()
+  done;
+  sample_lag ();
+  let stop srv =
+    Server.request_drain srv;
+    let rec go n =
+      if n > 0 then
+        match Server.poll srv ~timeout:0.005 with
+        | Server.Stopped -> ()
+        | Server.Running -> go (n - 1)
+    in
+    go 1000
+  in
+  stop primary;
+  let promote_ms, acked_lost =
+    match standby with
+    | None -> (Float.nan, 0)
+    | Some s ->
+        let t0 = Monotime.now_s () in
+        Server.request_promote s;
+        let rec go n =
+          if Server.standby s && n > 0 then begin
+            ignore (Server.poll s ~timeout:0.001);
+            go (n - 1)
+          end
+        in
+        go 10_000;
+        let ms = (Monotime.now_s () -. t0) *. 1e3 in
+        if Server.standby s then failwith "e14: promotion never completed";
+        stop s;
+        (* Every acknowledged commit, plus the boot transaction each
+           shard journals, must be in the promoted journals. *)
+        let expected = report.Loadgen.commits + e14_shards in
+        (ms, max 0 (expected - e14_journal_commits dir_f))
+  in
+  rm_rf dir_p;
+  rm_rf dir_f;
+  {
+    followers = (if follower then 1 else 0);
+    r_report = report;
+    lag_max = !lag_max;
+    promote_ms;
+    acked_lost;
+  }
+
+let e14 () =
+  Bench_util.print_header
+    "E14: journal-shipping replication (0 vs 1 follower, failover)";
+  Bench_util.print_note
+    (Printf.sprintf
+       "in-process loopback, %d shards inline; %d conns, %d lines/conn, \
+        commit every %d; the follower row is semi-synchronous (COMMIT \
+        waits for the standby's durable ack), then the primary is \
+        stopped and the standby promoted"
+       e14_shards e14_conns e14_lines commit_every);
+  let rows = [ run_repl ~follower:false; run_repl ~follower:true ] in
+  Printf.printf "\n  %9s %10s %12s %10s %10s %9s %11s %11s\n" "followers"
+    "lines" "lines/s" "p50 us" "p99 us" "lag max" "promote ms" "acked lost";
+  List.iter
+    (fun { followers; r_report = r; lag_max; promote_ms; acked_lost } ->
+      Printf.printf "  %9d %10d %12.0f %10d %10d %9d %11s %11d\n" followers
+        r.Loadgen.lines_ok r.Loadgen.lines_per_s
+        (r.Loadgen.lat_p50_ns / 1000)
+        (r.Loadgen.lat_p99_ns / 1000)
+        lag_max
+        (if Float.is_nan promote_ms then "-"
+         else Printf.sprintf "%.1f" promote_ms)
+        acked_lost)
+    rows;
+  (match rows with
+  | [ base; repl ] ->
+      Printf.printf
+        "  semi-sync replication keeps %.2fx the standalone throughput; \
+         %d acked commit(s) lost across failover\n"
+        (repl.r_report.Loadgen.lines_per_s
+        /. base.r_report.Loadgen.lines_per_s)
+        repl.acked_lost
+  | _ -> ());
+  Bench_util.write_json ~experiment:"e14"
+    (List.map
+       (fun { followers; r_report = r; lag_max; promote_ms; acked_lost } ->
+         Bench_util.J_obj
+           [
+             ("followers", Bench_util.J_int followers);
+             ("shards", Bench_util.J_int e14_shards);
+             ("conns", Bench_util.J_int e14_conns);
+             ("lines_per_conn", Bench_util.J_int e14_lines);
+             ("commit_every", Bench_util.J_int commit_every);
+             ("semi_sync", Bench_util.J_bool true);
+             ("lines_sent", Bench_util.J_int r.Loadgen.lines_sent);
+             ("lines_ok", Bench_util.J_int r.Loadgen.lines_ok);
+             ("triggered", Bench_util.J_int r.Loadgen.triggered);
+             ("commits", Bench_util.J_int r.Loadgen.commits);
+             ("errors", Bench_util.J_int r.Loadgen.errors);
+             ("reconnects", Bench_util.J_int r.Loadgen.reconnects);
+             ("wall_s", Bench_util.J_float r.Loadgen.wall_s);
+             ("lines_per_s", Bench_util.J_float r.Loadgen.lines_per_s);
+             ("lat_p50_ns", Bench_util.J_int r.Loadgen.lat_p50_ns);
+             ("lat_p90_ns", Bench_util.J_int r.Loadgen.lat_p90_ns);
+             ("lat_p99_ns", Bench_util.J_int r.Loadgen.lat_p99_ns);
+             ("lat_max_ns", Bench_util.J_int r.Loadgen.lat_max_ns);
+             ("repl_lag_max_commits", Bench_util.J_int lag_max);
+             ("promote_ms", Bench_util.J_float promote_ms);
+             ("acked_commits_lost", Bench_util.J_int acked_lost);
+           ])
+       rows)

@@ -468,9 +468,27 @@ let graph_cmd =
 
 (* ----------------------------------------------------------- serve *)
 
+let parse_follow = function
+  | None -> Ok None
+  | Some spec -> (
+      match String.rindex_opt spec ':' with
+      | None -> Error (Printf.sprintf "bad --follow %S: expected HOST:PORT" spec)
+      | Some i -> (
+          let host = String.sub spec 0 i in
+          let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+          match int_of_string_opt port with
+          | Some p when host <> "" && p > 0 && p < 65536 ->
+              Ok (Some (host, p))
+          | _ ->
+              Error
+                (Printf.sprintf "bad --follow %S: expected HOST:PORT" spec)))
+
 let serve trace metrics host port engines domains journal_dir fsync script
-    max_conns max_frame max_pending idle_timeout =
+    max_conns max_frame max_pending idle_timeout follow repl_async =
  protected @@ fun () ->
+  match parse_follow follow with
+  | Error msg -> `Error (false, msg)
+  | Ok follow ->
   setup_obs ~metrics ~trace;
   let boot_script = Option.map read_file script in
   let config =
@@ -487,6 +505,8 @@ let serve trace metrics host port engines domains journal_dir fsync script
       max_frame;
       max_pending;
       idle_timeout;
+      follow;
+      repl_sync = not repl_async;
     }
   in
   match Server.create config with
@@ -497,14 +517,17 @@ let serve trace metrics host port engines domains journal_dir fsync script
         Session.Manager.domains (Server.manager server)
       in
       Printf.printf
-        "chimera serve: listening on %s:%d (%d engine shard(s), %s%s)\n%!"
+        "chimera serve: listening on %s:%d (%d engine shard(s), %s%s%s)\n%!"
         host (Server.port server) engines
         (match running_domains with
         | 0 -> "inline on the reactor thread"
         | n -> Printf.sprintf "%d worker domain(s)" n)
         (match journal_dir with
         | None -> ""
-        | Some dir -> Printf.sprintf ", journals in %s" dir);
+        | Some dir -> Printf.sprintf ", journals in %s" dir)
+        (match follow with
+        | None -> ""
+        | Some (h, p) -> Printf.sprintf ", standby following %s:%d" h p);
       Server.run server;
       finish_obs ~metrics ~trace;
       Printf.printf "chimera serve: drained cleanly\n";
@@ -591,6 +614,27 @@ let serve_cmd =
       & info [ "idle-timeout" ] ~docv:"SECONDS"
           ~doc:"Close sessions idle this long; $(b,0) disables.")
   in
+  let follow =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "follow" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Run as a warm standby of the primary at $(i,HOST:PORT): tail \
+             its journal stream, apply committed transactions, refuse \
+             writes with $(b,ERR standby), and promote to primary on \
+             SIGUSR1 (or a $(b,PROMOTE) frame).  Requires $(b,--journal).")
+  in
+  let repl_async =
+    Arg.(
+      value & flag
+      & info [ "repl-async" ]
+          ~doc:
+            "Ship the journal stream to followers asynchronously: commit \
+             replies return without waiting for follower acknowledgements \
+             (faster, but the freshest acked commits can be lost with the \
+             primary).  The default is semi-synchronous.")
+  in
   let man =
     [
       `S Manpage.s_description;
@@ -608,14 +652,28 @@ let serve_cmd =
       ret
         (const serve $ trace_arg $ metrics_arg $ host_arg $ port $ engines
         $ domains $ journal_dir $ fsync_arg $ script $ max_conns $ max_frame
-        $ max_pending $ idle_timeout))
+        $ max_pending $ idle_timeout $ follow $ repl_async))
 
 (* --------------------------------------------------------- loadgen *)
 
-let loadgen host port conns lines line commit_every =
+let loadgen host port conns lines line commit_every reconnect retry_max
+    retry_base retry_cap seed =
  protected @@ fun () ->
   let config =
-    { Loadgen.default_config with host; port; conns; lines; line; commit_every }
+    {
+      Loadgen.default_config with
+      host;
+      port;
+      conns;
+      lines;
+      line;
+      commit_every;
+      reconnect;
+      retry_max;
+      retry_base;
+      retry_cap;
+      seed;
+    }
   in
   match Loadgen.run config with
   | Error msg -> `Error (false, msg)
@@ -658,11 +716,52 @@ let loadgen_cmd =
       & opt int Loadgen.default_config.Loadgen.commit_every
       & info [ "commit-every" ] ~docv:"N" ~doc:"Commit every $(i,N) lines.")
   in
+  let reconnect =
+    Arg.(
+      value & flag
+      & info [ "reconnect" ]
+          ~doc:
+            "Ride out dropped connections: back off with jitter, \
+             reconnect, and resend the uncommitted lines (a failover \
+             drill's client).  Without it any mid-run failure is a hard \
+             error.")
+  in
+  let retry_max =
+    Arg.(
+      value
+      & opt int Loadgen.default_config.Loadgen.retry_max
+      & info [ "retry-max" ] ~docv:"N"
+          ~doc:"Consecutive failed connects tolerated before giving up.")
+  in
+  let retry_base =
+    Arg.(
+      value
+      & opt float Loadgen.default_config.Loadgen.retry_base
+      & info [ "retry-base" ] ~docv:"SECONDS"
+          ~doc:"First backoff delay; doubles up to $(b,--retry-cap).")
+  in
+  let retry_cap =
+    Arg.(
+      value
+      & opt float Loadgen.default_config.Loadgen.retry_cap
+      & info [ "retry-cap" ] ~docv:"SECONDS"
+          ~doc:"Backoff saturation bound.")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt int Loadgen.default_config.Loadgen.seed
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Backoff jitter PRNG seed (connection $(i,i) uses \
+                $(i,SEED+i)).")
+  in
   Cmd.v
     (Cmd.info "loadgen"
        ~doc:"Drive a running server with concurrent protocol sessions")
     Term.(
-      ret (const loadgen $ host_arg $ port $ conns $ lines $ line $ commit_every))
+      ret
+        (const loadgen $ host_arg $ port $ conns $ lines $ line $ commit_every
+       $ reconnect $ retry_max $ retry_base $ retry_cap $ seed))
 
 (* ------------------------------------------------------------ repl *)
 

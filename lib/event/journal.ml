@@ -171,6 +171,29 @@ let create ?(sync = Per_commit) ~path () =
   fsync_dir path;
   t
 
+(* Reopens an existing journal for appending — the promotion path of a
+   replication follower, whose local segment was written record-for-record
+   from the primary's stream.  The header must already be on disk; the
+   caller supplies the commit sequence the segment ends at (it tracked it
+   while applying), so later markers continue the numbering. *)
+let open_append ?(sync = Per_commit) ~path ~commit_seq () =
+  let oc =
+    open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path
+  in
+  {
+    path;
+    sync;
+    oc;
+    pending = [];
+    commit_seq;
+    appends = 0;
+    commits = 0;
+    syncs = 0;
+    rotations = 0;
+    bytes_written = 0;
+    closed = false;
+  }
+
 let check_open t = if t.closed then invalid_arg "Journal: already closed"
 
 (* --------------------------------------------------- logical records *)
@@ -397,3 +420,248 @@ let read ~path =
             torn_bytes = total;
           }
       else Error (Printf.sprintf "%s: missing chimera-journal header" path)
+
+(* Parses one framed record line (without its newline) back into an
+   entry, verifying length and CRC — what a replication follower runs on
+   every record it receives before applying it. *)
+let entry_of_line line =
+  match String.split_on_char '\t' line with
+  | len_text :: crc_text :: rest -> (
+      let body = String.concat "\t" rest in
+      match (int_of_string_opt len_text, int_of_string_opt crc_text) with
+      | Some len, Some crc when len = String.length body && crc = crc32 body ->
+          Ok (split_body body)
+      | _ -> Error (Printf.sprintf "corrupt record frame %S" line))
+  | _ -> Error (Printf.sprintf "malformed record line %S" line)
+
+(* ------------------------------------------------------------ tailing *)
+
+(* Live follow of a journal for replication shipping.  The tailer reads
+   the segment the path currently names, ships whole record lines only
+   up to and including the last commit/abort marker — a flushed but
+   still-open transaction (and any torn tail) is held back until its
+   marker lands — and follows segment rotation: when the inode behind
+   the path changes (the writer renamed a checkpointed segment over it),
+   the old descriptor is drained through its last marker, held-back
+   records of the abandoned transaction are dropped (the new segment's
+   checkpoint stands for them), and the stream restarts with a
+   [Segment] event that tells the follower to reset. *)
+module Tail = struct
+  type event =
+    | Segment of { generation : int }
+    | Records of string
+        (** raw record lines, newline-terminated, ending at a marker *)
+
+  type t = {
+    t_path : string;
+    chunk : int;  (** max bytes per [Records] event *)
+    mutable fd : Unix.file_descr option;
+    mutable ino : int;
+    mutable generation : int;
+    mutable partial : Buffer.t;  (** bytes after the last newline read *)
+    mutable held_rev : string list;  (** complete lines awaiting a marker *)
+    mutable header_seen : bool;
+    read_buf : Bytes.t;
+  }
+
+  let create ?(chunk = 32 * 1024) ~path () =
+    {
+      t_path = path;
+      chunk = max 1024 chunk;
+      fd = None;
+      ino = -1;
+      generation = 0;
+      partial = Buffer.create 256;
+      held_rev = [];
+      header_seen = false;
+      read_buf = Bytes.create 8192;
+    }
+
+  let generation t = t.generation
+
+  let close t =
+    (match t.fd with
+    | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+    | None -> ());
+    t.fd <- None
+
+  (* The record tag sits after the second tab of the line; commit and
+     abort tags are the transaction boundaries shipping keys on.  The
+     line arrives newline-terminated, and a payload-less marker (abort)
+     ends "...\tabort\n" — the terminator must come off before the tag
+     compare or the tag would swallow it. *)
+  let is_marker_line line =
+    let line =
+      let n = String.length line in
+      if n > 0 && line.[n - 1] = '\n' then String.sub line 0 (n - 1) else line
+    in
+    match String.index_opt line '\t' with
+    | None -> false
+    | Some i -> (
+        match String.index_from_opt line (i + 1) '\t' with
+        | None -> false
+        | Some j ->
+            let rest = String.sub line (j + 1) (String.length line - j - 1) in
+            let tag =
+              match String.index_opt rest '\t' with
+              | None -> rest
+              | Some k -> String.sub rest 0 k
+            in
+            String.equal tag "commit" || String.equal tag "abort")
+
+  (* Moves everything held (oldest first) into ship chunks of at most
+     [t.chunk] bytes, splitting only at record boundaries. *)
+  let ship_held t acc =
+    let lines = List.rev t.held_rev in
+    t.held_rev <- [];
+    let buf = Buffer.create 1024 in
+    let flush_buf () =
+      if Buffer.length buf > 0 then begin
+        acc := Records (Buffer.contents buf) :: !acc;
+        Buffer.clear buf
+      end
+    in
+    List.iter
+      (fun line ->
+        if Buffer.length buf > 0 && Buffer.length buf + String.length line > t.chunk
+        then flush_buf ();
+        Buffer.add_string buf line)
+      lines;
+    flush_buf ()
+
+  (* Consumes the complete lines of [data]; the trailing partial line (no
+     newline yet) stays buffered for the next read. *)
+  let feed t data acc =
+    Buffer.add_string t.partial data;
+    let s = Buffer.contents t.partial in
+    let n = String.length s in
+    let rec lines pos =
+      match String.index_from_opt s pos '\n' with
+      | None ->
+          Buffer.clear t.partial;
+          Buffer.add_substring t.partial s pos (n - pos)
+      | Some nl ->
+          let line = String.sub s pos (nl - pos + 1) in
+          (if not t.header_seen then
+             (* The first line of a segment is the version header, not a
+                record: consumed here, re-written by the follower. *)
+             t.header_seen <- true
+           else begin
+             t.held_rev <- line :: t.held_rev;
+             if is_marker_line line then ship_held t acc
+           end);
+          lines (nl + 1)
+    in
+    lines 0
+
+  let drain_fd t fd acc =
+    let rec go () =
+      match Unix.read fd t.read_buf 0 (Bytes.length t.read_buf) with
+      | 0 -> ()
+      | n ->
+          feed t (Bytes.sub_string t.read_buf 0 n) acc;
+          go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+          ()
+      | exception Unix.Unix_error _ -> ()
+    in
+    go ()
+
+  let begin_segment t fd ino acc =
+    t.fd <- Some fd;
+    t.ino <- ino;
+    t.generation <- t.generation + 1;
+    Buffer.clear t.partial;
+    t.held_rev <- [];
+    t.header_seen <- false;
+    acc := Segment { generation = t.generation } :: !acc
+
+  let try_open t acc =
+    match Unix.openfile t.t_path [ Unix.O_RDONLY ] 0 with
+    | exception Unix.Unix_error _ -> ()
+    | fd -> (
+        match (Unix.fstat fd).Unix.st_ino with
+        | ino -> begin_segment t fd ino acc
+        | exception Unix.Unix_error _ -> (
+            try Unix.close fd with Unix.Unix_error _ -> ()))
+
+  (* One poll turn: detect rotation, read what the writer has flushed,
+     return the shippable events.  Never blocks, never raises. *)
+  let poll t =
+    let acc = ref [] in
+    (* Rotation: the path now names a different inode than the open fd. *)
+    (match t.fd with
+    | Some fd -> (
+        match (Unix.stat t.t_path).Unix.st_ino with
+        | ino when ino <> t.ino ->
+            (* Drain the abandoned segment through its last marker; the
+               held-back open transaction is superseded by the new
+               segment's checkpoint. *)
+            drain_fd t fd acc;
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            t.fd <- None;
+            t.held_rev <- [];
+            Buffer.clear t.partial
+        | _ -> ()
+        | exception Unix.Unix_error _ -> ())
+    | None -> ());
+    if t.fd = None then try_open t acc;
+    (match t.fd with Some fd -> drain_fd t fd acc | None -> ());
+    List.rev !acc
+end
+
+(* --------------------------------------------------------- raw sink *)
+
+(* The follower's local copy of a shipped segment: raw record bytes are
+   appended exactly as received (so the file is byte-identical to the
+   primary's segment and {!read} / [chimera recover] replay it
+   unchanged), under the same header, fsynced per policy so a REPL_ACK
+   can vouch for durability. *)
+module Sink = struct
+  type sink = {
+    s_path : string;
+    s_sync : sync_policy;
+    mutable s_oc : out_channel;
+    mutable s_bytes : int;
+  }
+
+  type t = sink
+
+  let open_fresh path =
+    let oc = open_segment path in
+    output_string oc (header ^ "\n");
+    flush oc;
+    fsync_channel oc;
+    fsync_dir path;
+    oc
+
+  let create ~sync ~path () =
+    { s_path = path; s_sync = sync; s_oc = open_fresh path; s_bytes = 0 }
+
+  let path s = s.s_path
+  let bytes_written s = s.s_bytes
+
+  (* A new segment generation began on the primary: restart the local
+     copy from a fresh header. *)
+  let reset s =
+    close_out_noerr s.s_oc;
+    s.s_oc <- open_fresh s.s_path;
+    s.s_bytes <- 0
+
+  let write s data =
+    output_string s.s_oc data;
+    flush s.s_oc;
+    s.s_bytes <- s.s_bytes + String.length data;
+    match s.s_sync with
+    | Per_write | Per_commit -> fsync_channel s.s_oc
+    | Never -> ()
+
+  let sync s =
+    flush s.s_oc;
+    fsync_channel s.s_oc
+
+  let close s =
+    flush s.s_oc;
+    close_out_noerr s.s_oc
+end

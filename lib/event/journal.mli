@@ -27,6 +27,13 @@ val create : ?sync:sync_policy -> path:string -> unit -> t
 (** Starts a fresh journal at [path] (truncating any previous file) and
     durably writes the header. *)
 
+val open_append : ?sync:sync_policy -> path:string -> commit_seq:int -> unit -> t
+(** Reopens an existing journal for appending — the promotion path of a
+    replication follower whose local segment was written record-for-record
+    from the primary's stream.  The header must already be on disk;
+    [commit_seq] is the sequence the segment currently ends at, so later
+    markers continue the numbering. *)
+
 val append : t -> tag:string -> string -> unit
 (** Buffers one record into the pending block.  Tags must be non-empty
     and tab/newline-free; payloads newline-free (raises
@@ -101,3 +108,69 @@ val read : path:string -> (replay, string) result
 
 val crc32 : string -> int
 (** The checksum used by the framing (exposed for tests). *)
+
+val entry_of_line : string -> (entry, string) result
+(** Parses one framed record line (without its newline) back into an
+    entry, verifying length and CRC32 — what a replication follower runs
+    on every record it receives before applying it. *)
+
+(** {2 Replication: tailing and raw sinks} *)
+
+(** Live follow of a journal segment for replication shipping.  A tailer
+    reads the file the path currently names and emits raw record lines
+    {e only up to and including the last commit/abort marker} — records
+    of a still-open transaction (and any torn tail) are held back until
+    their marker lands.  Segment rotation (the writer atomically renaming
+    a checkpointed segment over the path) is detected by the inode
+    changing: the abandoned descriptor is drained through its last
+    marker, held-back records are dropped (the new checkpoint stands for
+    them), and a {!Tail.Segment} event tells the consumer to reset before
+    the new segment's records follow. *)
+module Tail : sig
+  type event =
+    | Segment of { generation : int }
+        (** a new segment generation begins: reset downstream state *)
+    | Records of string
+        (** raw newline-terminated record lines, ending at a marker *)
+
+  type t
+
+  val create : ?chunk:int -> path:string -> unit -> t
+  (** [chunk] (default 32 KiB, min 1 KiB) bounds the bytes per
+      [Records] event, split only at record boundaries. *)
+
+  val poll : t -> event list
+  (** One non-blocking turn: detect rotation, read what the writer
+      flushed, return shippable events (possibly []).  Never raises; an
+      unreadable or missing file simply yields nothing this turn. *)
+
+  val generation : t -> int
+  (** Segment generations opened so far; 0 before the first open. *)
+
+  val close : t -> unit
+end
+
+(** The follower's local copy of a shipped segment: raw record bytes
+    append exactly as received — the file is byte-identical to the
+    primary's segment, so {!read} and [chimera recover] replay it
+    unchanged — under the standard header, fsynced per policy so an ack
+    can vouch for durability. *)
+module Sink : sig
+  type t
+
+  val create : sync:sync_policy -> path:string -> unit -> t
+  (** Truncates [path] to a fresh header (durably). *)
+
+  val reset : t -> unit
+  (** A new segment generation began upstream: restart from a fresh
+      header. *)
+
+  val write : t -> string -> unit
+  (** Appends raw record bytes and flushes; fsyncs unless the policy is
+      {!Never}. *)
+
+  val sync : t -> unit
+  val close : t -> unit
+  val path : t -> string
+  val bytes_written : t -> int
+end

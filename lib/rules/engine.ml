@@ -687,6 +687,52 @@ let replay_entry t (entry : Journal.entry) : (unit, string) result =
       Log.warn (fun m -> m "recovery: skipping unknown record tag %s" other);
       Ok ()
 
+(* Applies a batch of committed transactions and settles the engine on
+   the resulting committed state, exactly as a completed [recover] would:
+   undo log forgotten, rule windows restarted, wake index re-derived,
+   memo restarted, fresh transaction begun.  This is the whole of the
+   replay machinery behind both {!recover} (one batch, a fresh engine)
+   and {!apply_replayed} (incremental batches on a replication
+   follower). *)
+let apply_committed_txs t txs : (unit, string) result =
+  let* () =
+    List.fold_left
+      (fun acc tx ->
+        let* () = acc in
+        List.fold_left
+          (fun acc entry ->
+            let* () = acc in
+            replay_entry t entry)
+          (Ok ()) tx)
+      (Ok ()) txs
+  in
+  (* The replayed state is committed state: start a fresh transaction
+     exactly as [commit] would. *)
+  Object_store.forget_undo t.store;
+  let fresh_start = Event_base.probe_now t.eb in
+  t.tx_start <- fresh_start;
+  Rule_table.iter (fun rule -> Rule.reset rule ~tx_start:fresh_start) t.rules;
+  (* The replay recorded events through the same listener feed, but the
+     windows all moved: re-derive the wake index from scratch. *)
+  Trigger_support.Wake.rebuild t.wake t.rules;
+  Memo.restart t.memo t.eb;
+  begin_transaction t;
+  Ok ()
+
+(* Incremental replay for a warm standby: applies committed transactions
+   shipped from a primary's journal, in order, onto an engine that
+   already holds the state of every earlier batch.  The engine must be
+   quiescent (no client transaction in progress) — on a standby it only
+   ever sees this call.  Counted into the recovery statistics so STATS
+   on a follower shows replication progress. *)
+let apply_replayed t txs : (unit, string) result =
+  let* () = apply_committed_txs t txs in
+  t.stats.recovered_commits <- t.stats.recovered_commits + List.length txs;
+  t.stats.recovered_entries <-
+    t.stats.recovered_entries
+    + List.fold_left (fun acc tx -> acc + List.length tx) 0 txs;
+  Ok ()
+
 (* Rebuilds the state after the last committed transaction from a
    journal segment.  The engine must be fresh (same schema, rules and
    timers re-defined by the caller — definitions are program text, not
@@ -699,28 +745,7 @@ let recover t ~path : (recovery, string) result =
   else
     Obs.Trace.with_span "engine.recover" ~detail:path @@ fun () ->
     let* replay = Journal.read ~path in
-    let* () =
-      List.fold_left
-        (fun acc tx ->
-          let* () = acc in
-          List.fold_left
-            (fun acc entry ->
-              let* () = acc in
-              replay_entry t entry)
-            (Ok ()) tx)
-        (Ok ()) replay.Journal.committed
-    in
-    (* The recovered state is committed state: start a fresh transaction
-       exactly as [commit] would. *)
-    Object_store.forget_undo t.store;
-    let fresh_start = Event_base.probe_now t.eb in
-    t.tx_start <- fresh_start;
-    Rule_table.iter (fun rule -> Rule.reset rule ~tx_start:fresh_start) t.rules;
-    (* The replay recorded events through the same listener feed, but the
-       windows all moved: re-derive the wake index from scratch. *)
-    Trigger_support.Wake.rebuild t.wake t.rules;
-    Memo.restart t.memo t.eb;
-    begin_transaction t;
+    let* () = apply_committed_txs t replay.Journal.committed in
     let report =
       {
         recovered_commits = List.length replay.Journal.committed;

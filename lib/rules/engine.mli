@@ -144,6 +144,15 @@ type recovery = {
   dropped_bytes : int;  (** torn-tail bytes dropped *)
 }
 
+val apply_replayed :
+  t -> Chimera_event.Journal.entry list list -> (unit, string) result
+(** Incremental replay for a warm standby: applies committed
+    transactions (shipped from a primary's journal, in order) onto an
+    engine already holding the state of every earlier batch, through the
+    same machinery as {!recover}, and settles on the resulting committed
+    state (fresh transaction, windows restarted).  The engine must be
+    quiescent — no client transaction in progress. *)
+
 val recover : t -> path:string -> (recovery, string) result
 (** Rebuilds the state after the last committed transaction from a
     journal segment: operations replay against the store (OIDs are issued

@@ -18,6 +18,11 @@ type config = {
   line : string;
   commit_every : int;
   max_frame : int;
+  reconnect : bool;
+  retry_max : int;
+  retry_base : float;
+  retry_cap : float;
+  seed : int;
 }
 
 let default_config =
@@ -29,6 +34,11 @@ let default_config =
     line = "create item(n = 1)";
     commit_every = 10;
     max_frame = Protocol.default_max_frame;
+    reconnect = false;
+    retry_max = 8;
+    retry_base = 0.05;
+    retry_cap = 2.0;
+    seed = 0;
   }
 
 type report = {
@@ -39,6 +49,7 @@ type report = {
   commits : int;
   errors : int;
   drained : int;
+  reconnects : int;
   wall_s : float;
   lines_per_s : float;
   lat_p50_ns : int;
@@ -50,19 +61,23 @@ type report = {
 let pp_report ppf r =
   Format.fprintf ppf
     "%d conn(s): %d line(s) sent, %d ok (%d triggered), %d commit(s), %d \
-     error(s), %d drained@\n\
+     error(s), %d drained, %d reconnect(s)@\n\
      %.3f s wall, %.0f lines/s; LINE latency p50=%dus p90=%dus p99=%dus \
      max=%dus"
     r.conns r.lines_sent r.lines_ok r.triggered r.commits r.errors r.drained
-    r.wall_s r.lines_per_s (r.lat_p50_ns / 1000) (r.lat_p90_ns / 1000)
-    (r.lat_p99_ns / 1000) (r.lat_max_ns / 1000)
+    r.reconnects r.wall_s r.lines_per_s (r.lat_p50_ns / 1000)
+    (r.lat_p90_ns / 1000) (r.lat_p99_ns / 1000) (r.lat_max_ns / 1000)
 
-(* What the session is waiting for (one outstanding frame at most). *)
-type await = Connect | Hello | Line | Commit | Bye
+(* What the session is waiting for (one outstanding frame at most).
+   [Backoff] is between attempts: the socket is closed and the next
+   connect fires once [retry_at] passes. *)
+type await = Backoff | Connect | Hello | Line | Commit | Bye
 
 type conn = {
-  fd : Unix.file_descr;
+  mutable fd : Unix.file_descr;
   key : string;  (** session key sent with HELLO, for shard pinning *)
+  backoff : Chimera_util.Backoff.t;
+  mutable retry_at : float;  (** only meaningful under [Backoff] *)
   mutable await : await;
   mutable lines_done : int;
   mutable since_commit : int;
@@ -76,6 +91,7 @@ type conn = {
 
 type t = {
   config : config;
+  addr : Unix.inet_addr;
   conns : conn list;
   latencies : int array;
   mutable samples : int;
@@ -85,6 +101,7 @@ type t = {
   mutable commits : int;
   mutable errors : int;
   mutable drained : int;
+  mutable reconnects : int;
   started : float;
   mutable finished_at : float option;
 }
@@ -103,15 +120,43 @@ let send t conn payload =
 
 let send_command t conn cmd = send t conn (Protocol.command_to_payload cmd)
 
+let mark_done t conn =
+  conn.done_ <- true;
+  if t.finished_at = None && List.for_all (fun c -> c.done_) t.conns then
+    t.finished_at <- Some (now_s ())
+
 let finish_conn t conn =
+  if not conn.done_ then
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+  mark_done t conn
+
+(* A failed connect or a dropped link.  Retry with backoff when allowed
+   — the initial connect is always retried (bounded), an established
+   session only under [reconnect] — else a hard error.  The server
+   aborted whatever the dead session had not committed, so the cursor
+   rewinds to the last commit and those lines are resent. *)
+let fail_conn t conn =
   if not conn.done_ then begin
-    conn.done_ <- true;
-    (try Unix.close conn.fd with Unix.Unix_error _ -> ())
-  end;
-  if
-    t.finished_at = None
-    && List.for_all (fun c -> c.done_) t.conns
-  then t.finished_at <- Some (now_s ())
+    let retryable =
+      (t.config.reconnect || conn.await = Connect)
+      && Chimera_util.Backoff.attempts conn.backoff < t.config.retry_max
+    in
+    if retryable then begin
+      (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+      conn.lines_done <- conn.lines_done - conn.since_commit;
+      conn.since_commit <- 0;
+      conn.in_len <- 0;
+      Buffer.clear conn.outbuf;
+      conn.out_off <- 0;
+      conn.await <- Backoff;
+      conn.retry_at <- now_s () +. Chimera_util.Backoff.next conn.backoff;
+      t.reconnects <- t.reconnects + 1
+    end
+    else begin
+      t.errors <- t.errors + 1;
+      finish_conn t conn
+    end
+  end
 
 let send_next_line t conn =
   conn.line_sent_ns <- now_ns ();
@@ -143,10 +188,16 @@ let on_reply t conn reply =
          apart from protocol errors. *)
       t.drained <- t.drained + 1;
       finish_conn t conn
-  | Connect, _ | _, Protocol.Err _ ->
+  | _, Protocol.Err ("standby", _) when t.config.reconnect ->
+      (* A not-yet-promoted standby answered (address takeover mid
+         failover): back off and retry, the promotion is coming. *)
+      fail_conn t conn
+  | (Backoff | Connect), _ | _, Protocol.Err _ ->
       t.errors <- t.errors + 1;
       finish_conn t conn
-  | Hello, (Protocol.Ok_ _ | Protocol.Triggered _) -> advance t conn
+  | Hello, (Protocol.Ok_ _ | Protocol.Triggered _) ->
+      Chimera_util.Backoff.reset conn.backoff;
+      advance t conn
   | Line, (Protocol.Ok_ _ | Protocol.Triggered _) ->
       (* The clock is monotonic, but clamp anyway: a sample must never go
          negative even under a test-injected clock. *)
@@ -195,9 +246,9 @@ let rec drain_frames t conn =
 let handle_readable t conn chunk =
   match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
   | 0 ->
-      (* EOF before the goodbye is only clean after a drain notice. *)
-      if conn.await <> Bye && not conn.done_ then t.errors <- t.errors + 1;
-      finish_conn t conn
+      (* EOF before the goodbye is only clean after a drain notice —
+         otherwise the link dropped under us. *)
+      if conn.await = Bye then finish_conn t conn else fail_conn t conn
   | n ->
       let need = conn.in_len + n in
       if Bytes.length conn.inbuf < need then begin
@@ -211,9 +262,7 @@ let handle_readable t conn chunk =
   | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
     ->
       ()
-  | exception Unix.Unix_error _ ->
-      t.errors <- t.errors + 1;
-      finish_conn t conn
+  | exception Unix.Unix_error _ -> fail_conn t conn
 
 let try_flush t conn =
   let pending = Buffer.length conn.outbuf - conn.out_off in
@@ -229,45 +278,67 @@ let try_flush t conn =
     | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
       ->
         ()
-    | exception Unix.Unix_error _ ->
-        t.errors <- t.errors + 1;
-        finish_conn t conn
+    | exception Unix.Unix_error _ -> fail_conn t conn
   end
 
 let create (config : config) =
   if config.conns <= 0 || config.lines <= 0 then
     Error "conns and lines must be positive"
   else if config.commit_every <= 0 then Error "commit-every must be positive"
-  else
+  else if config.retry_max < 0 then Error "retry-max must be non-negative"
+  else begin
+    (* A server killed mid-run RSTs these sockets; the writes must fail
+       with EPIPE (feeding the reconnect path), not raise SIGPIPE. *)
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ | Sys_error _ -> ());
     match Unix.inet_addr_of_string config.host with
     | exception Failure _ -> Error (Printf.sprintf "bad host %s" config.host)
     | addr -> (
         let open_conn i =
+          (* Per-connection jitter streams, offset by the index so a
+             fleet backing off from one refusal does not reconnect in
+             lockstep — yet fully deterministic under [seed]. *)
+          let backoff =
+            Chimera_util.Backoff.create ~base:config.retry_base
+              ~cap:config.retry_cap ~seed:(config.seed + i) ()
+          in
           let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
           Unix.set_nonblock fd;
           (try Unix.setsockopt fd Unix.TCP_NODELAY true
            with Unix.Unix_error _ -> ());
-          (try Unix.connect fd (Unix.ADDR_INET (addr, config.port))
-           with Unix.Unix_error (Unix.EINPROGRESS, _, _) -> ());
-          {
-            fd;
-            key = Printf.sprintf "lg-%d" i;
-            await = Connect;
-            lines_done = 0;
-            since_commit = 0;
-            line_sent_ns = 0;
-            inbuf = Bytes.create 4096;
-            in_len = 0;
-            outbuf = Buffer.create 256;
-            out_off = 0;
-            done_ = false;
-          }
+          let conn =
+            {
+              fd;
+              key = Printf.sprintf "lg-%d" i;
+              backoff;
+              retry_at = 0.;
+              await = Connect;
+              lines_done = 0;
+              since_commit = 0;
+              line_sent_ns = 0;
+              inbuf = Bytes.create 4096;
+              in_len = 0;
+              outbuf = Buffer.create 256;
+              out_off = 0;
+              done_ = false;
+            }
+          in
+          (try Unix.connect fd (Unix.ADDR_INET (addr, config.port)) with
+          | Unix.Unix_error (Unix.EINPROGRESS, _, _) -> ()
+          | Unix.Unix_error _ ->
+              (* A synchronous refusal: straight into backoff. *)
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              conn.await <- Backoff;
+              conn.retry_at <-
+                now_s () +. Chimera_util.Backoff.next backoff);
+          conn
         in
         match List.init config.conns open_conn with
         | conns ->
             Ok
               {
                 config;
+                addr;
                 conns;
                 latencies = Array.make (config.conns * config.lines) 0;
                 samples = 0;
@@ -277,23 +348,63 @@ let create (config : config) =
                 commits = 0;
                 errors = 0;
                 drained = 0;
+                reconnects = 0;
                 started = now_s ();
                 finished_at = None;
               }
         | exception Unix.Unix_error (e, _, _) ->
             Error (Printf.sprintf "connect: %s" (Unix.error_message e)))
+  end
+
+(* A backoff delay expired: fresh socket, fresh connect. *)
+let start_connect t conn =
+  match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error _ ->
+      t.errors <- t.errors + 1;
+      mark_done t conn
+  | fd -> (
+      Unix.set_nonblock fd;
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true
+       with Unix.Unix_error _ -> ());
+      conn.fd <- fd;
+      conn.await <- Connect;
+      try Unix.connect fd (Unix.ADDR_INET (t.addr, t.config.port)) with
+      | Unix.Unix_error (Unix.EINPROGRESS, _, _) -> ()
+      | Unix.Unix_error _ -> fail_conn t conn)
 
 let finished t = List.for_all (fun c -> c.done_) t.conns
 
 let poll t ~timeout =
+  (* Fire the retries that are due before selecting, and cap the sleep
+     at the earliest one still pending so none oversleeps. *)
+  let now = now_s () in
+  List.iter
+    (fun c ->
+      if (not c.done_) && c.await = Backoff && c.retry_at <= now then
+        start_connect t c)
+    t.conns;
   let live = List.filter (fun c -> not c.done_) t.conns in
   if live <> [] then begin
-    let reads = List.map (fun c -> c.fd) live in
+    let timeout =
+      List.fold_left
+        (fun acc c ->
+          if c.await = Backoff then
+            Float.min acc (Float.max 0. (c.retry_at -. now))
+          else acc)
+        timeout live
+    in
+    let reads =
+      List.filter_map
+        (fun c -> if c.await = Backoff then None else Some c.fd)
+        live
+    in
     let writes =
       List.filter_map
         (fun c ->
-          if c.await = Connect || Buffer.length c.outbuf - c.out_off > 0 then
-            Some c.fd
+          if
+            c.await = Connect
+            || (c.await <> Backoff && Buffer.length c.outbuf - c.out_off > 0)
+          then Some c.fd
           else None)
         live
     in
@@ -306,10 +417,7 @@ let poll t ~timeout =
             if (not c.done_) && c.await = Connect && List.memq c.fd writable
             then begin
               match Unix.getsockopt_error c.fd with
-              | Some err ->
-                  t.errors <- t.errors + 1;
-                  ignore err;
-                  finish_conn t c
+              | Some _err -> fail_conn t c
               | None ->
                   c.await <- Hello;
                   (* The key pins the session by full-string hash
@@ -321,10 +429,13 @@ let poll t ~timeout =
           live;
         List.iter
           (fun c ->
-            if (not c.done_) && List.memq c.fd readable then
-              handle_readable t c chunk)
+            if (not c.done_) && c.await <> Backoff && List.memq c.fd readable
+            then handle_readable t c chunk)
           live;
-        List.iter (fun c -> if not c.done_ then try_flush t c) live
+        List.iter
+          (fun c ->
+            if (not c.done_) && c.await <> Backoff then try_flush t c)
+          live
   end
 
 (* Nearest-rank percentile over an already-sorted sample array: the
@@ -353,6 +464,7 @@ let report t =
     commits = t.commits;
     errors = t.errors;
     drained = t.drained;
+    reconnects = t.reconnects;
     wall_s;
     lines_per_s = Float.of_int t.lines_ok /. wall_s;
     lat_p50_ns = pct 50.;

@@ -15,10 +15,27 @@ type config = {
   line : string;  (** rule-language text each LINE frame carries *)
   commit_every : int;
   max_frame : int;
+  reconnect : bool;
+      (** ride out a dropped link: close, back off, reconnect, and
+          resend the lines the dead session had not committed (the
+          server aborted them with it).  What a failover drill runs
+          with.  [false] (the default) makes any mid-run failure a hard
+          error, as before. *)
+  retry_max : int;
+      (** consecutive failed connects tolerated before giving up — the
+          initial connect is always retried this way (a refused port at
+          startup backs off rather than failing), [reconnect] extends
+          the same schedule to mid-run drops *)
+  retry_base : float;  (** first backoff delay, seconds *)
+  retry_cap : float;  (** backoff saturation bound, seconds *)
+  seed : int;
+      (** jitter PRNG seed; connection [i] uses [seed + i], so the whole
+          retry schedule is deterministic under a fixed seed *)
 }
 
 val default_config : config
-(** 8 connections, 100 lines each, committing every 10. *)
+(** 8 connections, 100 lines each, committing every 10; no mid-run
+    reconnect, up to 8 connect retries from 50 ms doubling to 2 s. *)
 
 type report = {
   conns : int;
@@ -28,6 +45,7 @@ type report = {
   commits : int;
   errors : int;  (** [ERR] replies other than a drain notice *)
   drained : int;  (** sessions ended by the server's [ERR shutdown] *)
+  reconnects : int;  (** backoff-scheduled connect retries *)
   wall_s : float;
   lines_per_s : float;
   lat_p50_ns : int;  (** LINE round-trip latency percentiles *)

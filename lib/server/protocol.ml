@@ -12,7 +12,7 @@
    trusted, so the server replies ERR best-effort and closes. *)
 
 let version = "chimera/1"
-let features = [ "tx"; "stats"; "drain"; "keys" ]
+let features = [ "tx"; "stats"; "drain"; "keys"; "repl" ]
 let default_max_frame = 64 * 1024
 let header_bytes = 4
 
@@ -26,6 +26,12 @@ type command =
   | Stats
   | Ping of string
   | Quit
+  | Repl_hello of string
+      (** a follower announcing itself: "<version> <engines>" *)
+  | Repl_ack of { shard : int; seq : int }
+      (** follower → primary: commit [seq] of [shard] is durably local *)
+  | Promote
+      (** admin → standby: stop following, start serving *)
 
 (* The verb/argument split: the verb runs to the first space or newline;
    one separator char is dropped and the rest is the argument verbatim
@@ -50,6 +56,9 @@ let command_to_payload = function
   | Ping "" -> "PING"
   | Ping token -> "PING " ^ token
   | Quit -> "QUIT"
+  | Repl_hello v -> "REPL_HELLO " ^ v
+  | Repl_ack { shard; seq } -> Printf.sprintf "REPL_ACK %d %d" shard seq
+  | Promote -> "PROMOTE"
 
 let command_of_payload payload =
   let verb, arg = split_verb payload in
@@ -61,8 +70,26 @@ let command_of_payload payload =
   | "STATS" -> if arg = "" then Ok Stats else Error "STATS takes no argument"
   | "PING" -> Ok (Ping arg)
   | "QUIT" -> if arg = "" then Ok Quit else Error "QUIT takes no argument"
+  | "REPL_HELLO" -> Ok (Repl_hello (String.trim arg))
+  | "REPL_ACK" -> (
+      match String.split_on_char ' ' (String.trim arg) with
+      | [ shard_text; seq_text ] -> (
+          match (int_of_string_opt shard_text, int_of_string_opt seq_text) with
+          | Some shard, Some seq when shard >= 0 && seq >= 0 ->
+              Ok (Repl_ack { shard; seq })
+          | _ -> Error "REPL_ACK takes two non-negative integers")
+      | _ -> Error "REPL_ACK takes <shard> <seq>")
+  | "PROMOTE" -> if arg = "" then Ok Promote else Error "PROMOTE takes no argument"
   | "" -> Error "empty command"
   | other -> Error (Printf.sprintf "unknown verb %S" other)
+
+(* A replication-stream or admin verb the session manager never sees:
+   the reactor handles these itself, before ordinary dispatch. *)
+let is_repl_payload payload =
+  let verb, _ = split_verb payload in
+  match verb with
+  | "REPL_HELLO" | "REPL_ACK" | "PROMOTE" -> true
+  | _ -> false
 
 (* ------------------------------------------------------------ replies *)
 
@@ -112,6 +139,59 @@ let reply_of_payload payload =
       if code = "" then Error "ERR without a code" else Ok (Err (code, msg)))
   | "" -> Error "empty reply"
   | other -> Error (Printf.sprintf "unknown reply %S" other)
+
+(* -------------------------------------------------- replication pushes *)
+
+(* What a primary streams to an attached follower.  These travel in the
+   reply direction of a replication session but are not replies to any
+   command — the stream is full-duplex once REPL_HELLO is answered.
+   REPL_RECORDS embeds raw journal record lines after the first newline
+   of the payload (frames are length-delimited, so the bytes pass
+   verbatim); [head_seq] is the primary's current commit sequence for
+   the shard, which lets the follower gauge its own lag. *)
+type push =
+  | Repl_segment of { shard : int; generation : int }
+  | Repl_records of { shard : int; head_seq : int; data : string }
+
+let push_to_payload = function
+  | Repl_segment { shard; generation } ->
+      Printf.sprintf "REPL_SEGMENT %d %d" shard generation
+  | Repl_records { shard; head_seq; data } ->
+      Printf.sprintf "REPL_RECORDS %d %d\n%s" shard head_seq data
+
+let push_of_payload payload =
+  let verb, arg = split_verb payload in
+  match verb with
+  | "REPL_SEGMENT" -> (
+      match String.split_on_char ' ' (String.trim arg) with
+      | [ shard_text; gen_text ] -> (
+          match (int_of_string_opt shard_text, int_of_string_opt gen_text) with
+          | Some shard, Some generation when shard >= 0 && generation > 0 ->
+              Ok (Repl_segment { shard; generation })
+          | _ -> Error "REPL_SEGMENT takes two positive integers")
+      | _ -> Error "REPL_SEGMENT takes <shard> <generation>")
+  | "REPL_RECORDS" -> (
+      (* The verb line runs to the first newline; everything after it is
+         the raw record bytes. *)
+      match String.index_opt arg '\n' with
+      | None -> Error "REPL_RECORDS without a data block"
+      | Some nl -> (
+          let head = String.sub arg 0 nl in
+          let data = String.sub arg (nl + 1) (String.length arg - nl - 1) in
+          match String.split_on_char ' ' (String.trim head) with
+          | [ shard_text; seq_text ] -> (
+              match
+                (int_of_string_opt shard_text, int_of_string_opt seq_text)
+              with
+              | Some shard, Some head_seq when shard >= 0 && head_seq >= 0 ->
+                  Ok (Repl_records { shard; head_seq; data })
+              | _ -> Error "REPL_RECORDS takes two non-negative integers")
+          | _ -> Error "REPL_RECORDS takes <shard> <head-seq>"))
+  | other -> Error (Printf.sprintf "not a replication push: %S" other)
+
+let is_push_payload payload =
+  let verb, _ = split_verb payload in
+  match verb with "REPL_SEGMENT" | "REPL_RECORDS" -> true | _ -> false
 
 (* ------------------------------------------------------------ framing *)
 

@@ -38,9 +38,26 @@ type command =
   | Stats  (** engine + server statistics snapshot *)
   | Ping of string  (** liveness probe; the token is echoed *)
   | Quit  (** orderly close (an open transaction is aborted) *)
+  | Repl_hello of string
+      (** [REPL_HELLO <version> <engines>]: a follower announcing itself
+          and its shard count (which must match the primary's); answered
+          [OK <version> shards=<n>], after which the connection is a
+          full-duplex replication stream *)
+  | Repl_ack of { shard : int; seq : int }
+      (** [REPL_ACK <shard> <seq>]: the follower has durably written
+          [shard]'s records through commit [seq] locally.  Fire-and-
+          forget — never answered *)
+  | Promote
+      (** [PROMOTE]: administrative — a standby stops following and
+          starts serving; [ERR state] on a server that is not one *)
 
 val command_to_payload : command -> string
 val command_of_payload : string -> (command, string) result
+
+val is_repl_payload : string -> bool
+(** The payload carries a replication-stream or admin verb ([REPL_HELLO],
+    [REPL_ACK], [PROMOTE]) that the reactor handles itself, before
+    ordinary session dispatch. *)
 
 (** {1 Replies} (server to client) *)
 
@@ -55,6 +72,26 @@ type reply =
 
 val reply_to_payload : reply -> string
 val reply_of_payload : string -> (reply, string) result
+
+(** {1 Replication pushes} (primary to follower)
+
+    Streamed over a replication session once [REPL_HELLO] is answered;
+    not replies to any command. *)
+
+type push =
+  | Repl_segment of { shard : int; generation : int }
+      (** [REPL_SEGMENT <shard> <gen>]: a new journal segment generation
+          begins for [shard] (initial attach, or the primary rotated):
+          the follower resets the shard and its local copy *)
+  | Repl_records of { shard : int; head_seq : int; data : string }
+      (** [REPL_RECORDS <shard> <head-seq>\n<raw record lines>]: framed
+          journal records of [shard], whole lines ending at a
+          commit/abort marker; [head_seq] is the primary's current
+          commit sequence for the shard (for the follower's lag gauge) *)
+
+val push_to_payload : push -> string
+val push_of_payload : string -> (push, string) result
+val is_push_payload : string -> bool
 
 (** {1 Framing} *)
 

@@ -15,6 +15,10 @@
 open Chimera_event
 module Obs = Chimera_obs.Obs
 
+let log_src = Logs.Src.create "chimera.server" ~doc:"Network event-ingestion server"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
 let c_accepts = Obs.Metrics.counter "server.accepts"
 let c_rejects = Obs.Metrics.counter "server.rejects"
 let c_frames_in = Obs.Metrics.counter "server.frames_in"
@@ -24,6 +28,11 @@ let c_bytes_out = Obs.Metrics.counter "server.bytes_out"
 let c_drains = Obs.Metrics.counter "server.drains"
 let g_active = Obs.Metrics.gauge "server.active_conns"
 let h_frame = Obs.Metrics.histogram "server.frame_ns"
+let c_repl_bytes = Obs.Metrics.counter "repl.bytes_shipped"
+let c_repl_acks = Obs.Metrics.counter "repl.acks"
+let c_repl_parked = Obs.Metrics.counter "repl.commits_parked"
+let c_repl_promotions = Obs.Metrics.counter "repl.promotions"
+let g_repl_peers = Obs.Metrics.gauge "repl.peers"
 
 type config = {
   host : string;
@@ -41,6 +50,14 @@ type config = {
   idle_timeout : float;
   high_water : int;
   backlog : int;
+  follow : (string * int) option;
+      (** run as a warm standby tailing this primary's journal stream;
+          writes are refused until promotion (SIGUSR1 or PROMOTE) *)
+  repl_sync : bool;
+      (** semi-synchronous replication: park each COMMIT reply until
+          every attached follower acknowledges its commit sequence, so
+          an acked commit survives losing the primary (default); [false]
+          acknowledges locally and ships asynchronously *)
 }
 
 let default_config =
@@ -58,7 +75,18 @@ let default_config =
     idle_timeout = 30.;
     high_water = 256 * 1024;
     backlog = 64;
+    follow = None;
+    repl_sync = true;
   }
+
+(* An attached replication follower, on the primary side: one journal
+   tailer per shard reading the live segment, and the highest commit
+   sequence the follower has acknowledged as durably local — what the
+   semi-synchronous gate compares parked commits against. *)
+type repl_peer = {
+  tails : Journal.Tail.t array;
+  acked : int array;  (** per shard, last REPL_ACKed commit sequence *)
+}
 
 type conn = {
   fd : Unix.file_descr;
@@ -70,6 +98,37 @@ type conn = {
   mutable last_activity : float;
   mutable close_after_flush : bool;
   mutable dead : bool;
+  mutable repl : repl_peer option;
+      (** the connection upgraded into a replication stream *)
+}
+
+(* A COMMIT reply withheld until every follower acknowledges its commit
+   sequence. *)
+type parked = { p_sid : int; p_seq : int; p_reply : Protocol.reply }
+
+(* The follower's outbound link to its primary: a tiny client-side state
+   machine driven from the same select loop. *)
+type fstream = {
+  sfd : Unix.file_descr;
+  mutable s_inbuf : Bytes.t;
+  mutable s_in_len : int;
+  s_outbuf : Buffer.t;  (** REPL_ACK frames awaiting write *)
+  mutable s_out_off : int;
+  mutable s_greeted : bool;  (** REPL_HELLO answered *)
+}
+
+type follower_link =
+  | F_idle of { retry_at : float }  (** backing off before (re)connect *)
+  | F_connecting of { fd : Unix.file_descr }  (** connect() in flight *)
+  | F_streaming of fstream
+
+type follower = {
+  f_host : string;
+  f_port : int;
+  f_backoff : Chimera_util.Backoff.t;
+  f_lag : Obs.Metrics.gauge array;
+      (** per-shard replication lag in commits: ["repl.lag.shard<i>"] *)
+  mutable f_link : follower_link;
 }
 
 type t = {
@@ -82,6 +141,14 @@ type t = {
   mutable draining : bool;
   mutable stopped : bool;
   read_chunk : Bytes.t;
+  shard_seq : int array;
+      (** per-shard commit sequence, the reactor's race-free view
+          (boot baseline plus [Committed] events) *)
+  parked : parked Queue.t array;  (** per shard, FIFO by commit sequence *)
+  mutable follower : follower option;  (** standby mode until promotion *)
+  mutable promote_requested : bool;  (** set from signal context *)
+  mutable takeover_fd : Unix.file_descr option;
+      (** post-promotion listener on the old primary's address *)
 }
 
 (* The server's contribution to a STATS reply: its own counter block,
@@ -98,28 +165,41 @@ let counters_text () =
     (Obs.Metrics.counter_value c_bytes_in)
     (Obs.Metrics.counter_value c_bytes_out)
 
+let resolve_addr host =
+  match Unix.inet_addr_of_string host with
+  | addr -> Ok addr
+  | exception Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } ->
+          Error (Printf.sprintf "cannot resolve %s" host)
+      | entry -> Ok entry.Unix.h_addr_list.(0)
+      | exception Not_found -> Error (Printf.sprintf "cannot resolve %s" host))
+
 let create config =
   let ( let* ) = Result.bind in
+  (* A peer that vanished can RST mid-write; the write must surface as
+     EPIPE for {!try_flush} to close the one connection, not raise
+     SIGPIPE and kill the whole process.  Set here, not only in
+     {!install_signal_handlers}, so in-process reactors (tests, the
+     bench) are covered too. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let standby = config.follow <> None in
   let domains =
     match config.domains with None -> config.engines | Some m -> m
+  in
+  let* () =
+    if standby && config.journal_dir = None then
+      Error "--follow requires --journal (an ack must vouch for durability)"
+    else Ok ()
   in
   let* mgr =
     Session.Manager.create ~engines:config.engines ~domains
       ?journal_dir:config.journal_dir ~fsync:config.fsync
       ?boot_script:config.boot_script ~max_pending:config.max_pending
-      ~extra_stats:counters_text ()
+      ~extra_stats:counters_text ~standby ()
   in
-  let* addr =
-    match Unix.inet_addr_of_string config.host with
-    | addr -> Ok addr
-    | exception Failure _ -> (
-        match Unix.gethostbyname config.host with
-        | { Unix.h_addr_list = [||]; _ } ->
-            Error (Printf.sprintf "cannot resolve %s" config.host)
-        | entry -> Ok entry.Unix.h_addr_list.(0)
-        | exception Not_found ->
-            Error (Printf.sprintf "cannot resolve %s" config.host))
-  in
+  let* addr = resolve_addr config.host in
   match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
   | exception Unix.Unix_error (e, _, _) ->
       Error (Printf.sprintf "socket: %s" (Unix.error_message e))
@@ -138,6 +218,20 @@ let create config =
           Session.Manager.shutdown mgr;
           Error (Printf.sprintf "%s: %s" op (Unix.error_message e))
       | bound_port ->
+          let follower =
+            Option.map
+              (fun (f_host, f_port) ->
+                {
+                  f_host;
+                  f_port;
+                  f_backoff = Chimera_util.Backoff.create ~base:0.05 ~cap:2.0 ();
+                  f_lag =
+                    Array.init config.engines (fun i ->
+                        Obs.Metrics.gauge (Printf.sprintf "repl.lag.shard%d" i));
+                  f_link = F_idle { retry_at = 0. };
+                })
+              config.follow
+          in
           Ok
             {
               config;
@@ -149,6 +243,11 @@ let create config =
               draining = false;
               stopped = false;
               read_chunk = Bytes.create 8192;
+              shard_seq = Session.Manager.boot_seqs mgr;
+              parked = Array.init config.engines (fun _ -> Queue.create ());
+              follower;
+              promote_requested = false;
+              takeover_fd = None;
             })
 
 let port t = t.bound_port
@@ -156,11 +255,16 @@ let manager t = t.mgr
 let active_conns t = Hashtbl.length t.conns
 let draining t = t.draining
 let request_drain t = t.drain_requested <- true
+let standby t = Session.Manager.standby t.mgr
+let request_promote t = t.promote_requested <- true
 
 let install_signal_handlers t =
   let handle = Sys.Signal_handle (fun _ -> request_drain t) in
   Sys.set_signal Sys.sigterm handle;
   Sys.set_signal Sys.sigint handle;
+  (* SIGUSR1 promotes a standby (no-op on a primary): the conventional
+     failover trigger for an operator or supervisor script. *)
+  Sys.set_signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> request_promote t));
   (* A client that vanishes mid-write must surface as EPIPE, not kill
      the process. *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -186,28 +290,78 @@ let enqueue_payload t conn payload =
 let enqueue_reply t conn reply =
   enqueue_payload t conn (Protocol.reply_to_payload reply)
 
-let close_conn t conn =
-  if not conn.dead then begin
-    conn.dead <- true;
-    Hashtbl.remove t.conns conn.sid;
-    Obs.Metrics.set_gauge g_active (Hashtbl.length t.conns);
-    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
-    (* Closing may free an engine shard: route the woken waiters'
-       replies to their own connections. *)
-    let events = Session.Manager.disconnect t.mgr conn.sid in
-    List.iter
-      (fun event ->
-        match event with
-        | Session.Manager.Reply (sid, reply) -> (
-            match Hashtbl.find_opt t.conns sid with
-            | Some peer when not peer.dead -> enqueue_reply t peer reply
-            | Some _ | None -> ())
-        | Session.Manager.Close sid -> (
-            match Hashtbl.find_opt t.conns sid with
-            | Some peer -> peer.close_after_flush <- true
-            | None -> ()))
-      events
+(* -------------------------------------- replication gate (primary side) *)
+
+let fold_peers t f init =
+  Hashtbl.fold
+    (fun _ c acc ->
+      match c.repl with Some p when not c.dead -> f acc p | Some _ | None -> acc)
+    t.conns init
+
+let repl_peer_count t = fold_peers t (fun n _ -> n + 1) 0
+
+(* The gate floor of a shard: the lowest commit sequence every attached
+   follower has acknowledged; [None] without followers. *)
+let min_acked t shard =
+  fold_peers t
+    (fun acc p ->
+      Some
+        (match acc with
+        | None -> p.acked.(shard)
+        | Some m -> min m p.acked.(shard)))
+    None
+
+(* Releases parked COMMIT replies whose sequence every follower now
+   covers — also when the last follower detached (no followers, no
+   gate). *)
+let release_parked t shard =
+  let q = t.parked.(shard) in
+  let floor = min_acked t shard in
+  let rec go () =
+    match Queue.peek_opt q with
+    | Some p when (match floor with None -> true | Some m -> p.p_seq <= m) ->
+        ignore (Queue.pop q);
+        (match Hashtbl.find_opt t.conns p.p_sid with
+        | Some conn when not conn.dead -> enqueue_reply t conn p.p_reply
+        | Some _ | None -> ());
+        go ()
+    | Some _ | None -> ()
+  in
+  go ()
+
+(* A commit completed: record the shard's new sequence, then either send
+   the reply or — under semi-synchronous replication with followers
+   attached — park it until they acknowledge.  Per shard commits are
+   sequential, so the parked queue is FIFO in sequence order. *)
+let park_or_send t ~sid ~shard ~seq reply =
+  t.shard_seq.(shard) <- max t.shard_seq.(shard) seq;
+  let gated =
+    t.config.repl_sync && (not t.draining) && repl_peer_count t > 0
+  in
+  if gated then begin
+    Obs.Metrics.incr c_repl_parked;
+    Queue.add { p_sid = sid; p_seq = seq; p_reply = reply } t.parked.(shard)
   end
+  else
+    match Hashtbl.find_opt t.conns sid with
+    | Some conn when not conn.dead -> enqueue_reply t conn reply
+    | Some _ | None -> ()
+
+(* Drain forgoes the gate: replication continues best-effort, but a
+   parked reply must not hold the shutdown hostage. *)
+let flush_parked t =
+  Array.iter
+    (fun q ->
+      Queue.iter
+        (fun p ->
+          match Hashtbl.find_opt t.conns p.p_sid with
+          | Some conn when not conn.dead -> enqueue_reply t conn p.p_reply
+          | Some _ | None -> ())
+        q;
+      Queue.clear q)
+    t.parked
+
+(* ------------------------------------------------------------ dispatch *)
 
 let dispatch_events t events =
   List.iter
@@ -217,11 +371,33 @@ let dispatch_events t events =
           match Hashtbl.find_opt t.conns sid with
           | Some conn when not conn.dead -> enqueue_reply t conn reply
           | Some _ | None -> ())
+      | Session.Manager.Committed { sid; shard; seq; reply } ->
+          park_or_send t ~sid ~shard ~seq reply
       | Session.Manager.Close sid -> (
           match Hashtbl.find_opt t.conns sid with
           | Some conn -> conn.close_after_flush <- true
           | None -> ()))
     events
+
+let close_conn t conn =
+  if not conn.dead then begin
+    conn.dead <- true;
+    Hashtbl.remove t.conns conn.sid;
+    Obs.Metrics.set_gauge g_active (Hashtbl.length t.conns);
+    (match conn.repl with
+    | None -> ()
+    | Some peer ->
+        conn.repl <- None;
+        Array.iter Journal.Tail.close peer.tails;
+        Obs.Metrics.set_gauge g_repl_peers (repl_peer_count t);
+        (* The gate floor rose (or the gate vanished): re-evaluate every
+           shard's parked commits. *)
+        Array.iteri (fun shard _ -> release_parked t shard) t.parked);
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+    (* Closing may free an engine shard: route the woken waiters'
+       replies to their own connections. *)
+    dispatch_events t (Session.Manager.disconnect t.mgr conn.sid)
+  end
 
 let pending_out conn = Buffer.length conn.outbuf - conn.out_off
 
@@ -248,6 +424,170 @@ let try_flush t conn =
   end;
   if (not conn.dead) && conn.close_after_flush && pending_out conn = 0 then
     close_conn t conn
+
+(* ------------------------------------- replication stream (primary side) *)
+
+(* Tail chunks must fit a frame with the push verb line in front. *)
+let tail_chunk t = max 1024 (min (32 * 1024) (t.config.max_frame - 256))
+
+(* [REPL_HELLO <version> <engines>]: upgrade this connection into a
+   replication stream — one journal tailer per shard, reading the live
+   segment from its start (a fresh follower rebuilds from the full
+   segment; checkpoint rotation keeps segments bounded). *)
+let handle_repl_hello t conn arg =
+  let fail code msg = enqueue_reply t conn (Protocol.Err (code, msg)) in
+  match String.split_on_char ' ' arg with
+  | [ version; engines_text ] -> (
+      match int_of_string_opt engines_text with
+      | _ when not (String.equal version Protocol.version) ->
+          fail "proto"
+            (Printf.sprintf "unsupported version %S; speak %s" version
+               Protocol.version)
+      | None -> fail "proto" "REPL_HELLO takes <version> <engines>"
+      | Some n when n <> t.config.engines ->
+          fail "state"
+            (Printf.sprintf "shard count mismatch: follower has %d, primary %d"
+               n t.config.engines)
+      | Some _ when Session.Manager.standby t.mgr ->
+          fail "state" "a standby cannot be a replication source"
+      | Some _ when conn.repl <> None ->
+          fail "state" "already a replication stream"
+      | Some _ -> (
+          let paths = Session.Manager.journal_paths t.mgr in
+          if List.length paths <> t.config.engines then
+            fail "state" "replication requires --journal on the primary"
+          else begin
+            let tails =
+              Array.of_list
+                (List.map
+                   (fun path ->
+                     Journal.Tail.create ~chunk:(tail_chunk t) ~path ())
+                   paths)
+            in
+            conn.repl <- Some { tails; acked = Array.make t.config.engines 0 };
+            Obs.Metrics.set_gauge g_repl_peers (repl_peer_count t);
+            Log.info (fun m -> m "replication follower attached (session %d)" conn.sid);
+            enqueue_reply t conn
+              (Protocol.Ok_
+                 (Printf.sprintf "%s shards=%d" Protocol.version
+                    t.config.engines))
+          end))
+  | _ -> fail "proto" "REPL_HELLO takes <version> <engines>"
+
+let handle_repl_ack t conn ~shard ~seq =
+  match conn.repl with
+  | None ->
+      enqueue_reply t conn
+        (Protocol.Err ("proto", "REPL_ACK outside a replication stream"))
+  | Some peer ->
+      if shard >= 0 && shard < Array.length peer.acked then begin
+        peer.acked.(shard) <- max peer.acked.(shard) seq;
+        Obs.Metrics.incr c_repl_acks;
+        release_parked t shard
+      end
+
+(* Ships whatever each shard's journal grew by to every attached
+   follower, under the same high-water backpressure as replies: a slow
+   follower stops being fed rather than ballooning its buffer (it
+   catches up from the file — the tailer holds its position). *)
+let ship_repl t =
+  Hashtbl.iter
+    (fun _ conn ->
+      match conn.repl with
+      | None -> ()
+      | Some _ when conn.dead || conn.close_after_flush -> ()
+      | Some peer ->
+          Array.iteri
+            (fun shard tail ->
+              if pending_out conn <= t.config.high_water then
+                List.iter
+                  (fun ev ->
+                    let payload =
+                      match ev with
+                      | Journal.Tail.Segment { generation } ->
+                          Protocol.push_to_payload
+                            (Protocol.Repl_segment { shard; generation })
+                      | Journal.Tail.Records data ->
+                          Obs.Metrics.add c_repl_bytes (String.length data);
+                          Protocol.push_to_payload
+                            (Protocol.Repl_records
+                               { shard; head_seq = t.shard_seq.(shard); data })
+                    in
+                    enqueue_payload t conn payload)
+                  (Journal.Tail.poll tail))
+            peer.tails)
+    t.conns
+
+(* ----------------------------------------------------------- promotion *)
+
+let close_follower_link f =
+  (match f.f_link with
+  | F_idle _ -> ()
+  | F_connecting { fd } -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | F_streaming st -> (
+      try Unix.close st.sfd with Unix.Unix_error _ -> ()));
+  f.f_link <- F_idle { retry_at = infinity }
+
+(* Best-effort takeover of the dead primary's address, so clients that
+   reconnect to it land on the promoted server unchanged.  Fails quietly
+   when the address is not local (or still held): clients then need the
+   follower's own address. *)
+let takeover_bind t host port =
+  match resolve_addr host with
+  | Error msg -> Log.warn (fun m -> m "takeover: %s" msg)
+  | Ok addr -> (
+      match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
+      | exception Unix.Unix_error (e, _, _) ->
+          Log.warn (fun m -> m "takeover: socket: %s" (Unix.error_message e))
+      | fd -> (
+          match
+            Unix.setsockopt fd Unix.SO_REUSEADDR true;
+            Unix.bind fd (Unix.ADDR_INET (addr, port));
+            Unix.listen fd t.config.backlog;
+            Unix.set_nonblock fd
+          with
+          | () ->
+              t.takeover_fd <- Some fd;
+              Log.info (fun m -> m "takeover: listening on %s:%d" host port)
+          | exception Unix.Unix_error (e, op, _) ->
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              Log.warn (fun m ->
+                  m "takeover of %s:%d failed: %s: %s" host port op
+                    (Unix.error_message e))))
+
+(* The standby becomes a primary: the manager attaches the shipped
+   segment copies as live journals (warm — no replay), the outbound link
+   closes, and the old primary's address is taken over best-effort. *)
+let do_promote t =
+  match Session.Manager.promote t.mgr with
+  | Error _ as e -> e
+  | Ok () ->
+      Obs.Metrics.incr c_repl_promotions;
+      (match t.follower with
+      | None -> ()
+      | Some f ->
+          close_follower_link f;
+          t.follower <- None;
+          Array.iter (fun g -> Obs.Metrics.set_gauge g 0) f.f_lag;
+          takeover_bind t f.f_host f.f_port);
+      Log.app (fun m -> m "promoted: standby is now a primary");
+      Ok ()
+
+let handle_repl_command t conn payload =
+  match Protocol.command_of_payload payload with
+  | Error msg -> enqueue_reply t conn (Protocol.Err ("proto", msg))
+  | Ok (Protocol.Repl_hello arg) -> handle_repl_hello t conn arg
+  | Ok (Protocol.Repl_ack { shard; seq }) ->
+      handle_repl_ack t conn ~shard ~seq
+  | Ok Protocol.Promote ->
+      if Session.Manager.standby t.mgr then (
+        match do_promote t with
+        | Ok () -> enqueue_reply t conn (Protocol.Ok_ "promoted")
+        | Error msg -> enqueue_reply t conn (Protocol.Err ("state", msg)))
+      else enqueue_reply t conn (Protocol.Err ("state", "not a standby"))
+  | Ok _ ->
+      (* [is_repl_payload] admits only the three verbs above. *)
+      enqueue_reply t conn (Protocol.Err ("proto", "not a replication verb"))
 
 (* -------------------------------------------------------------- input *)
 
@@ -278,7 +618,11 @@ let rec drain_frames t conn =
         consume conn used;
         Obs.Metrics.incr c_frames_in;
         let t0 = Obs.start_timer () in
-        dispatch_events t (Session.Manager.on_payload t.mgr conn.sid payload);
+        (* Replication and admin verbs are reactor state, not session
+           commands: they never reach the session manager. *)
+        if Protocol.is_repl_payload payload then handle_repl_command t conn payload
+        else
+          dispatch_events t (Session.Manager.on_payload t.mgr conn.sid payload);
         Obs.observe_since h_frame t0;
         drain_frames t conn
     | Protocol.Reject (reason, skip) ->
@@ -346,11 +690,225 @@ let rec accept_loop t listen_fd =
             last_activity = Chimera_util.Monotime.now_s ();
             close_after_flush = false;
             dead = false;
+            repl = None;
           };
         Obs.Metrics.incr c_accepts;
         Obs.Metrics.set_gauge g_active (Hashtbl.length t.conns)
       end;
       accept_loop t listen_fd
+
+(* ---------------------------------------- follower link (standby side) *)
+
+let follower_fail f msg =
+  Log.warn (fun m -> m "replication link lost: %s" msg);
+  (match f.f_link with
+  | F_connecting { fd } -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | F_streaming st -> ( try Unix.close st.sfd with Unix.Unix_error _ -> ())
+  | F_idle _ -> ());
+  f.f_link <-
+    F_idle
+      {
+        retry_at =
+          Chimera_util.Monotime.now_s ()
+          +. Chimera_util.Backoff.next f.f_backoff;
+      }
+
+(* The TCP connect completed: greet the primary.  Everything downstream
+   of the greeting is a fresh replication session — the primary ships
+   each segment from its start, and the [REPL_SEGMENT] events that open
+   them reset our shards — so a reconnect needs no resume protocol. *)
+let follower_established t f fd =
+  let outbuf = Buffer.create 256 in
+  ignore
+    (Protocol.frame_into ~max_frame:t.config.max_frame outbuf
+       (Protocol.command_to_payload
+          (Protocol.Repl_hello
+             (Protocol.version ^ " " ^ string_of_int t.config.engines))));
+  f.f_link <-
+    F_streaming
+      {
+        sfd = fd;
+        s_inbuf = Bytes.create 8192;
+        s_in_len = 0;
+        s_outbuf = outbuf;
+        s_out_off = 0;
+        s_greeted = false;
+      }
+
+let follower_start_connect t f =
+  let back () =
+    f.f_link <-
+      F_idle
+        {
+          retry_at =
+            Chimera_util.Monotime.now_s ()
+            +. Chimera_util.Backoff.next f.f_backoff;
+        }
+  in
+  match resolve_addr f.f_host with
+  | Error msg ->
+      Log.warn (fun m -> m "follow: %s" msg);
+      back ()
+  | Ok addr -> (
+      match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
+      | exception Unix.Unix_error (e, _, _) ->
+          Log.warn (fun m -> m "follow: socket: %s" (Unix.error_message e));
+          back ()
+      | fd -> (
+          Unix.set_nonblock fd;
+          (try Unix.setsockopt fd Unix.TCP_NODELAY true
+           with Unix.Unix_error _ -> ());
+          match Unix.connect fd (Unix.ADDR_INET (addr, f.f_port)) with
+          | () -> follower_established t f fd
+          | exception
+              Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _) ->
+              f.f_link <- F_connecting { fd }
+          | exception Unix.Unix_error _ ->
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              back ()))
+
+let follower_on_payload t f st payload =
+  if not st.s_greeted then
+    match Protocol.reply_of_payload payload with
+    | Ok (Protocol.Ok_ _) ->
+        st.s_greeted <- true;
+        Chimera_util.Backoff.reset f.f_backoff;
+        Log.info (fun m -> m "following %s:%d" f.f_host f.f_port)
+    | Ok (Protocol.Err (code, msg)) ->
+        follower_fail f (Printf.sprintf "primary refused: %s %s" code msg)
+    | Ok (Protocol.Triggered _) | Error _ ->
+        follower_fail f "unexpected greeting reply"
+  else if Protocol.is_push_payload payload then (
+    match Protocol.push_of_payload payload with
+    | Error msg -> follower_fail f msg
+    | Ok (Protocol.Repl_segment { shard; generation = _ }) -> (
+        match Session.Manager.repl_reset t.mgr ~shard with
+        | Ok () -> ()
+        | Error msg -> follower_fail f msg)
+    | Ok (Protocol.Repl_records { shard; head_seq; data }) -> (
+        (* Apply, then ack what is durably ours; an apply error means the
+           local state can no longer be trusted, so drop the link — the
+           reconnect resynchronizes from the segment start. *)
+        match Session.Manager.repl_apply t.mgr ~shard ~head_seq data with
+        | Ok applied ->
+            if shard < Array.length f.f_lag then
+              Obs.Metrics.set_gauge f.f_lag.(shard) (max 0 (head_seq - applied));
+            ignore
+              (Protocol.frame_into ~max_frame:t.config.max_frame st.s_outbuf
+                 (Protocol.command_to_payload
+                    (Protocol.Repl_ack { shard; seq = applied })))
+        | Error msg -> follower_fail f msg))
+  else
+    (* An ordinary reply on the stream — e.g. [ERR shutdown] when the
+       primary drains.  Drop and retry; a promotion decision is the
+       operator's. *)
+    follower_fail f ("unexpected frame from the primary: " ^ payload)
+
+let follower_drain_frames t f st =
+  let live () = match f.f_link with F_streaming cur -> cur == st | _ -> false in
+  let rec go () =
+    if live () then
+      match
+        Protocol.decode ~max_frame:t.config.max_frame st.s_inbuf ~off:0
+          ~len:st.s_in_len
+      with
+      | Protocol.Need_more -> ()
+      | Protocol.Frame (payload, used) ->
+          Bytes.blit st.s_inbuf used st.s_inbuf 0 (st.s_in_len - used);
+          st.s_in_len <- st.s_in_len - used;
+          follower_on_payload t f st payload;
+          go ()
+      | Protocol.Reject (_, skip) ->
+          Bytes.blit st.s_inbuf skip st.s_inbuf 0 (st.s_in_len - skip);
+          st.s_in_len <- st.s_in_len - skip;
+          go ()
+      | Protocol.Corrupt reason -> follower_fail f reason
+  in
+  go ()
+
+let follower_handle_readable t f st =
+  match Unix.read st.sfd t.read_chunk 0 (Bytes.length t.read_chunk) with
+  | 0 -> follower_fail f "primary closed the stream"
+  | n ->
+      let need = st.s_in_len + n in
+      if Bytes.length st.s_inbuf < need then begin
+        let grown = Bytes.create (max need (2 * Bytes.length st.s_inbuf)) in
+        Bytes.blit st.s_inbuf 0 grown 0 st.s_in_len;
+        st.s_inbuf <- grown
+      end;
+      Bytes.blit t.read_chunk 0 st.s_inbuf st.s_in_len n;
+      st.s_in_len <- st.s_in_len + n;
+      follower_drain_frames t f st
+  | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
+    ->
+      ()
+  | exception Unix.Unix_error (e, _, _) ->
+      follower_fail f (Unix.error_message e)
+
+let follower_try_flush f =
+  match f.f_link with
+  | F_streaming st when Buffer.length st.s_outbuf - st.s_out_off > 0 -> (
+      let data = Buffer.to_bytes st.s_outbuf in
+      match
+        Unix.write st.sfd data st.s_out_off (Bytes.length data - st.s_out_off)
+      with
+      | 0 -> ()
+      | n ->
+          st.s_out_off <- st.s_out_off + n;
+          if st.s_out_off >= Bytes.length data then begin
+            Buffer.clear st.s_outbuf;
+            st.s_out_off <- 0
+          end
+      | exception
+          Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
+        ->
+          ()
+      | exception Unix.Unix_error (e, _, _) ->
+          follower_fail f (Unix.error_message e))
+  | F_streaming _ | F_connecting _ | F_idle _ -> ()
+
+(* Pre-select: initiate a (re)connect when the backoff delay elapsed. *)
+let follower_turn t =
+  match t.follower with
+  | None -> ()
+  | Some f -> (
+      match f.f_link with
+      | F_idle { retry_at }
+        when Chimera_util.Monotime.now_s () >= retry_at ->
+          follower_start_connect t f
+      | F_idle _ | F_connecting _ | F_streaming _ -> ())
+
+let follower_fds t =
+  match t.follower with
+  | None -> ([], [])
+  | Some f -> (
+      match f.f_link with
+      | F_idle _ -> ([], [])
+      | F_connecting { fd } -> ([], [ fd ])
+      | F_streaming st ->
+          ( [ st.sfd ],
+            if Buffer.length st.s_outbuf - st.s_out_off > 0 then [ st.sfd ] else []
+          ))
+
+let follower_after_select t readable writable =
+  match t.follower with
+  | None -> ()
+  | Some f -> (
+      match f.f_link with
+      | F_idle _ -> ()
+      | F_connecting { fd } ->
+          if List.memq fd writable then (
+            match Unix.getsockopt_error fd with
+            | None -> follower_established t f fd
+            | Some e -> follower_fail f (Unix.error_message e)
+            | exception Unix.Unix_error (e, _, _) ->
+                follower_fail f (Unix.error_message e))
+      | F_streaming st ->
+          if List.memq st.sfd readable then follower_handle_readable t f st;
+          (* The link may have failed while reading. *)
+          (match f.f_link with
+          | F_streaming cur when cur == st -> follower_try_flush f
+          | F_streaming _ | F_connecting _ | F_idle _ -> ()))
 
 (* -------------------------------------------------------------- drain *)
 
@@ -384,6 +942,20 @@ let begin_drain t =
       (try Unix.close fd with Unix.Unix_error _ -> ());
       t.listen_fd <- None
   | None -> ());
+  (match t.takeover_fd with
+  | Some fd ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      t.takeover_fd <- None
+  | None -> ());
+  (* A draining standby stops chasing its primary; a draining primary
+     releases any gated commit replies — the gate must not hold the
+     shutdown hostage. *)
+  (match t.follower with
+  | Some f ->
+      close_follower_link f;
+      t.follower <- None
+  | None -> ());
+  flush_parked t;
   Hashtbl.iter
     (fun _sid conn -> if not conn.dead then drain_frames t conn)
     (Hashtbl.copy t.conns);
@@ -399,6 +971,14 @@ let poll t ~timeout =
   if t.stopped then Stopped
   else begin
     if t.drain_requested && not t.draining then begin_drain t;
+    if t.promote_requested then begin
+      t.promote_requested <- false;
+      if Session.Manager.standby t.mgr then
+        match do_promote t with
+        | Ok () -> ()
+        | Error msg -> Log.err (fun m -> m "promotion failed: %s" msg)
+    end;
+    follower_turn t;
     let conns = conn_list t in
     let reads =
       List.filter_map
@@ -415,16 +995,31 @@ let poll t ~timeout =
       match t.listen_fd with Some fd -> fd :: reads | None -> reads
     in
     let reads =
+      match t.takeover_fd with Some fd -> fd :: reads | None -> reads
+    in
+    let reads =
       (* The worker domains' self-pipe: completions interrupt the select
          instead of waiting out its timeout. *)
       match Session.Manager.wakeup_fd t.mgr with
       | Some fd when not t.stopped -> fd :: reads
       | Some _ | None -> reads
     in
+    let follower_reads, follower_writes = follower_fds t in
+    let reads = follower_reads @ reads in
     let writes =
       List.filter_map
         (fun c -> if (not c.dead) && pending_out c > 0 then Some c.fd else None)
         conns
+    in
+    let writes = follower_writes @ writes in
+    (* An idle standby waiting out its reconnect backoff must wake in
+       time for the retry, not a full select timeout later. *)
+    let timeout =
+      match t.follower with
+      | Some { f_link = F_idle { retry_at }; _ } when retry_at < infinity ->
+          let now = Chimera_util.Monotime.now_s () in
+          Float.max 0.005 (Float.min timeout (retry_at -. now))
+      | Some _ | None -> timeout
     in
     (match Unix.select reads writes [] timeout with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
@@ -432,6 +1027,10 @@ let poll t ~timeout =
         (match t.listen_fd with
         | Some fd when List.memq fd readable -> accept_loop t fd
         | Some _ | None -> ());
+        (match t.takeover_fd with
+        | Some fd when List.memq fd readable -> accept_loop t fd
+        | Some _ | None -> ());
+        follower_after_select t readable writable;
         List.iter
           (fun c ->
             if (not c.dead) && List.memq c.fd readable then handle_readable t c)
@@ -439,6 +1038,9 @@ let poll t ~timeout =
         (* Collect worker completions — replies for frames read this turn
            or earlier — so they flush below with everything else. *)
         dispatch_events t (Session.Manager.pump t.mgr);
+        (* Ship journal growth (this turn's commits included) to every
+           attached replication follower. *)
+        ship_repl t;
         if t.draining then drain_sweep t;
         (* Flush everything with output pending — the just-computed
            replies included, not only the fds select saw. *)
@@ -460,6 +1062,9 @@ let poll t ~timeout =
         (fun c ->
           if
             (not c.dead) && (not c.close_after_flush)
+            && c.repl = None
+               (* a replication stream is legitimately silent between
+                  commits: never reap it *)
             && now -. c.last_activity > t.config.idle_timeout
           then begin
             enqueue_reply t c (Protocol.Err ("shutdown", "idle timeout"));
@@ -470,6 +1075,11 @@ let poll t ~timeout =
     end;
     if t.draining && Hashtbl.length t.conns = 0 then begin
       Session.Manager.shutdown t.mgr;
+      (match t.takeover_fd with
+      | Some fd ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          t.takeover_fd <- None
+      | None -> ());
       t.stopped <- true;
       Stopped
     end

@@ -39,6 +39,23 @@ type config = {
   idle_timeout : float;  (** seconds; [<= 0.] disables *)
   high_water : int;  (** reply-buffer bytes that pause reading *)
   backlog : int;  (** listen(2) backlog *)
+  follow : (string * int) option;
+      (** [Some (host, port)] runs a warm standby: the server connects
+          out to that primary, tails its per-shard journal stream
+          (resynchronizing with exponential backoff when the link
+          drops), applies committed transactions as they arrive, and
+          refuses write verbs with [ERR standby] until promoted —
+          by SIGUSR1 or a [PROMOTE] frame.  Promotion is warm (no
+          replay): local segment copies become live journals, and the
+          primary's address is taken over best-effort.  Requires
+          [journal_dir]. *)
+  repl_sync : bool;
+      (** semi-synchronous replication (default [true]): a COMMIT reply
+          is parked until every attached follower acknowledges that
+          commit as durably local, so a commit the client saw
+          acknowledged survives losing the primary.  [false] ships
+          asynchronously — faster, but the freshest acked commits can be
+          lost with the primary. *)
 }
 
 val default_config : config
@@ -56,6 +73,14 @@ val manager : t -> Session.Manager.t
 val active_conns : t -> int
 val draining : t -> bool
 
+val standby : t -> bool
+(** Running as a warm standby (created with [follow] and not yet
+    promoted). *)
+
+val request_promote : t -> unit
+(** Signal-safe: the next {!poll} promotes a standby to a primary (no-op
+    on a primary).  What SIGUSR1 is wired to. *)
+
 type status = Running | Stopped
 
 val poll : t -> timeout:float -> status
@@ -69,4 +94,5 @@ val request_drain : t -> unit
 (** Signal-safe: flips a flag the next {!poll} acts on. *)
 
 val install_signal_handlers : t -> unit
-(** SIGTERM and SIGINT trigger {!request_drain}. *)
+(** SIGTERM and SIGINT trigger {!request_drain}; SIGUSR1 triggers
+    {!request_promote}. *)

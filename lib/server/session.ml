@@ -41,7 +41,15 @@ module Mailbox = Chimera_util.Mailbox
 module Fnv = Chimera_util.Fnv
 
 module Manager = struct
-  type event = Reply of int * Protocol.reply | Close of int
+  type event =
+    | Reply of int * Protocol.reply
+    | Close of int
+    | Committed of { sid : int; shard : int; seq : int; reply : Protocol.reply }
+        (** a successful COMMIT on a journaled shard: [seq] is the shard's
+            commit sequence after the marker.  The reactor may park the
+            reply until replication followers acknowledge [seq]
+            (semi-synchronous replication); without followers it sends
+            the reply immediately. *)
 
   type session = {
     id : int;
@@ -54,11 +62,18 @@ module Manager = struct
   }
 
   type shard = {
-    interp : Interp.t;
-    journal : Journal.t option;
+    mutable interp : Interp.t;  (** replaced wholesale by a standby reset *)
+    mutable journal : Journal.t option;  (** attached at promotion on a standby *)
     mutable owner : int option;  (** session id holding the open tx *)
     waiters : int Queue.t;
     executed : string list ref;  (** execution-listener accumulator, newest first *)
+    (* Standby (replication follower) state; inert on a primary. *)
+    mutable repl_sink : Journal.Sink.t option;
+        (** the local byte-for-byte copy of the primary's segment *)
+    mutable repl_pending : Journal.entry list;
+        (** records since the last commit/abort marker, newest first *)
+    mutable repl_seq : int;  (** last commit sequence applied *)
+    mutable repl_head : int;  (** primary's commit sequence, last reported *)
   }
 
   (* What a worker domain executes.  LINE text is parsed on the reactor
@@ -70,7 +85,12 @@ module Manager = struct
     | Run_abort of { sid : int; shard : int; quiet : bool }
     | Run_stats of { sid : int; shard : int; note : string }
 
-  type completion = { done_sid : int; done_reply : Protocol.reply option }
+  type completion = {
+    done_sid : int;
+    done_reply : Protocol.reply option;
+    done_commit : (int * int) option;
+        (** [(shard, seq)] when the job was a successful journaled COMMIT *)
+  }
 
   type worker = {
     w_index : int;
@@ -99,6 +119,16 @@ module Manager = struct
     extra_stats : (unit -> string) option;
     mutable down : bool;
     runtime : runtime;
+    mutable standby_mode : bool;
+        (** a replication follower: writes are refused, records shipped
+            from a primary apply through {!repl_apply}, {!promote} flips
+            it to an ordinary primary *)
+    fsync : Journal.sync_policy;
+    boot_script : string option;  (** kept for standby shard resets *)
+    boot_seqs : int array;
+        (** each shard's journal commit sequence right after boot, read
+            before any worker domain spawns (the reactor's race-free
+            baseline for replication head tracking) *)
   }
 
   (* Commands queued per worker mailbox; sized so a full complement of
@@ -121,42 +151,110 @@ module Manager = struct
             (Printf.sprintf "cannot create journal directory %s: %s" path
                (Unix.error_message e))
 
-  let make_shard ~journal_dir ~fsync ~boot_script idx =
+  (* A standby shard bootstraps the way [chimera recover] does: only the
+     boot script's *definitions* run — classes, triggers and timers are
+     program text, not journaled state — while the boot transaction's
+     operations arrive from the primary's journal stream and replay like
+     every other record.  Running the full script here would apply those
+     operations twice. *)
+  let run_boot_definitions interp src =
+    match Parser.parse src with
+    | Error msg -> Error msg
+    | Ok statements ->
+        let definitions =
+          List.filter
+            (function
+              | Ast.Define_class _ | Ast.Define_trigger _ | Ast.Define_timer _
+                ->
+                  true
+              | _ -> false)
+            statements
+        in
+        List.fold_left
+          (fun acc stmt ->
+            match acc with
+            | Error _ -> acc
+            | Ok () -> Interp.run_statement interp stmt)
+          (Ok ()) definitions
+
+  let shard_journal_path dir idx =
+    Filename.concat dir (Printf.sprintf "shard-%d.journal" idx)
+
+  let make_shard ~standby ~journal_dir ~fsync ~boot_script idx =
     let ( let* ) = Result.bind in
     let interp = Interp.create () in
     let executed = ref [] in
     Engine.set_on_execution (Interp.engine interp)
       (fun name -> executed := name :: !executed);
-    let* journal =
-      match journal_dir with
-      | None -> Ok None
-      | Some dir -> (
-          let path = Filename.concat dir (Printf.sprintf "shard-%d.journal" idx) in
-          match Journal.create ~sync:fsync ~path () with
-          | j ->
-              Engine.set_journal (Interp.engine interp) j;
-              Ok (Some j)
-          | exception Sys_error msg ->
-              Error (Printf.sprintf "cannot open journal %s: %s" path msg))
+    let finish ~journal ~repl_sink =
+      {
+        interp;
+        journal;
+        owner = None;
+        waiters = Queue.create ();
+        executed;
+        repl_sink;
+        repl_pending = [];
+        repl_seq = 0;
+        repl_head = 0;
+      }
     in
-    let* () =
-      match boot_script with
-      | None -> Ok ()
-      | Some src -> (
-          match Interp.run_string interp src with
-          | Error msg -> Error (Printf.sprintf "boot script (shard %d): %s" idx msg)
-          | Ok () -> (
-              (* Shards open for traffic on a committed, quiescent state
-                 whatever the script's trailing statement was. *)
-              Interp.clear_output interp;
-              match Engine.commit (Interp.engine interp) with
-              | Ok () -> Ok ()
-              | Error e ->
-                  Error
-                    (Fmt.str "boot script commit (shard %d): %a" idx
-                       Engine.pp_error e)))
-    in
-    Ok { interp; journal; owner = None; waiters = Queue.create (); executed }
+    if standby then
+      (* No engine-attached journal: the local segment copy is a raw
+         [Sink] fed by the replication stream; promotion reopens it for
+         appending and attaches it. *)
+      let* repl_sink =
+        match journal_dir with
+        | None -> Ok None
+        | Some dir -> (
+            let path = shard_journal_path dir idx in
+            match Journal.Sink.create ~sync:fsync ~path () with
+            | sink -> Ok (Some sink)
+            | exception Sys_error msg ->
+                Error (Printf.sprintf "cannot open journal %s: %s" path msg))
+      in
+      let* () =
+        match boot_script with
+        | None -> Ok ()
+        | Some src -> (
+            match run_boot_definitions interp src with
+            | Ok () -> Ok ()
+            | Error msg ->
+                Error (Printf.sprintf "boot script (shard %d): %s" idx msg))
+      in
+      Ok (finish ~journal:None ~repl_sink)
+    else
+      let* journal =
+        match journal_dir with
+        | None -> Ok None
+        | Some dir -> (
+            let path = shard_journal_path dir idx in
+            match Journal.create ~sync:fsync ~path () with
+            | j ->
+                Engine.set_journal (Interp.engine interp) j;
+                Ok (Some j)
+            | exception Sys_error msg ->
+                Error (Printf.sprintf "cannot open journal %s: %s" path msg))
+      in
+      let* () =
+        match boot_script with
+        | None -> Ok ()
+        | Some src -> (
+            match Interp.run_string interp src with
+            | Error msg ->
+                Error (Printf.sprintf "boot script (shard %d): %s" idx msg)
+            | Ok () -> (
+                (* Shards open for traffic on a committed, quiescent state
+                   whatever the script's trailing statement was. *)
+                Interp.clear_output interp;
+                match Engine.commit (Interp.engine interp) with
+                | Ok () -> Ok ()
+                | Error e ->
+                    Error
+                      (Fmt.str "boot script commit (shard %d): %a" idx
+                         Engine.pp_error e)))
+      in
+      Ok (finish ~journal ~repl_sink:None)
 
   (* ----------------------------------------------------- shard pinning *)
 
@@ -204,20 +302,27 @@ module Manager = struct
         | [] -> Protocol.Ok_ (trim_trailing_newlines (Interp.output interp))
         | rules -> Protocol.Triggered rules)
 
+  (* Besides the reply, a successful commit on a journaled shard reports
+     the commit sequence its marker carries — what a replication follower
+     must acknowledge before the reply may be released under
+     semi-synchronous replication. *)
   let do_commit shard =
     let engine = Interp.engine shard.interp in
     shard.executed := [];
     match Interp.run_statement shard.interp Ast.Commit with
-    | Ok () -> (
-        match List.rev !(shard.executed) with
-        | [] -> Protocol.Ok_ ""
-        | rules -> Protocol.Triggered rules)
+    | Ok () ->
+        let reply =
+          match List.rev !(shard.executed) with
+          | [] -> Protocol.Ok_ ""
+          | rules -> Protocol.Triggered rules
+        in
+        (reply, Option.map Journal.commit_seq shard.journal)
     | Error msg ->
         (* A failed commit (e.g. a non-terminating deferred cascade)
            leaves no committed state to hand over: abort, so the shard
            frees in a defined state. *)
         Engine.abort engine;
-        Protocol.Err ("engine", msg ^ " (transaction aborted)")
+        (Protocol.Err ("engine", msg ^ " (transaction aborted)"), None)
 
   let do_abort shard = Engine.abort (Interp.engine shard.interp)
 
@@ -247,6 +352,17 @@ module Manager = struct
               rotation(s) -> %s"
              c.Journal.appends c.Journal.commits c.Journal.syncs
              c.Journal.rotations (Journal.path j)));
+    if t.standby_mode then begin
+      Buffer.add_string buf
+        (Printf.sprintf "\nrepl: standby, applied seq %d, primary seq %d"
+           shard.repl_seq shard.repl_head);
+      match shard.repl_sink with
+      | None -> ()
+      | Some sink ->
+          Buffer.add_string buf
+            (Printf.sprintf " -> %s (%d byte(s))" (Journal.Sink.path sink)
+               (Journal.Sink.bytes_written sink))
+    end;
     (match t.extra_stats with
     | None -> ()
     | Some f ->
@@ -259,19 +375,30 @@ module Manager = struct
 
   let exec_job t = function
     | Run_line { sid; shard; statements } ->
-        { done_sid = sid; done_reply = Some (run_line t.shards.(shard) statements) }
+        {
+          done_sid = sid;
+          done_reply = Some (run_line t.shards.(shard) statements);
+          done_commit = None;
+        }
     | Run_commit { sid; shard } ->
-        { done_sid = sid; done_reply = Some (do_commit t.shards.(shard)) }
+        let reply, seq = do_commit t.shards.(shard) in
+        {
+          done_sid = sid;
+          done_reply = Some reply;
+          done_commit = Option.map (fun seq -> (shard, seq)) seq;
+        }
     | Run_abort { sid; shard; quiet } ->
         do_abort t.shards.(shard);
         {
           done_sid = sid;
           done_reply = (if quiet then None else Some (Protocol.Ok_ "aborted"));
+          done_commit = None;
         }
     | Run_stats { sid; shard; note } ->
         {
           done_sid = sid;
           done_reply = Some (Protocol.Ok_ (stats_text t ~sid ~shard_idx:shard ~note));
+          done_commit = None;
         }
 
   let worker_loop t ~n ~waker w =
@@ -296,7 +423,7 @@ module Manager = struct
   (* ---------------------------------------------------------- create *)
 
   let create ~engines ?(domains = 0) ?journal_dir ?(fsync = Journal.Per_commit)
-      ?boot_script ?(max_pending = 64) ?extra_stats () =
+      ?boot_script ?(max_pending = 64) ?extra_stats ?(standby = false) () =
     let ( let* ) = Result.bind in
     if engines <= 0 then Error "engines must be positive"
     else if domains < 0 then Error "domains must be non-negative"
@@ -308,13 +435,19 @@ module Manager = struct
         let rec build acc idx =
           if idx >= engines then Ok (List.rev acc)
           else
-            let* shard = make_shard ~journal_dir ~fsync ~boot_script idx in
+            let* shard =
+              make_shard ~standby ~journal_dir ~fsync ~boot_script idx
+            in
             build (shard :: acc) (idx + 1)
         in
         build [] 0
       in
       let runtime =
-        if domains = 0 then Inline
+        (* A standby applies the replication stream from the reactor
+           thread, so it always runs inline; the worker domains start at
+           promotion time in a later revision — for now a promoted
+           follower keeps serving inline. *)
+        if domains = 0 || standby then Inline
         else
           let n = min domains engines in
           Threaded
@@ -332,16 +465,27 @@ module Manager = struct
                     });
             }
       in
+      let shards = Array.of_list shards in
+      let boot_seqs =
+        Array.map
+          (fun shard ->
+            match shard.journal with Some j -> Journal.commit_seq j | None -> 0)
+          shards
+      in
       let t =
         {
           engines;
-          shards = Array.of_list shards;
+          shards;
           sessions = Hashtbl.create 64;
           next_sid = 1;
           max_pending;
           extra_stats;
           down = false;
           runtime;
+          standby_mode = standby;
+          fsync;
+          boot_script;
+          boot_seqs;
         }
       in
       (match t.runtime with
@@ -355,6 +499,8 @@ module Manager = struct
 
   let engines t = t.engines
   let domains t = match t.runtime with Inline -> 0 | Threaded { n; _ } -> n
+  let standby t = t.standby_mode
+  let boot_seqs t = Array.copy t.boot_seqs
   let session_count t = Hashtbl.length t.sessions
 
   let wakeup_fd t =
@@ -399,7 +545,10 @@ module Manager = struct
 
   let journal_paths t =
     Array.to_list t.shards
-    |> List.filter_map (fun shard -> Option.map Journal.path shard.journal)
+    |> List.filter_map (fun shard ->
+           match shard.journal with
+           | Some j -> Some (Journal.path j)
+           | None -> Option.map Journal.Sink.path shard.repl_sink)
 
   (* ------------------------------------------------------- submission *)
 
@@ -436,7 +585,8 @@ module Manager = struct
 
   let requires_shard = function
     | Protocol.Line _ | Protocol.Commit | Protocol.Abort -> true
-    | Protocol.Hello _ | Protocol.Stats | Protocol.Ping _ | Protocol.Quit ->
+    | Protocol.Hello _ | Protocol.Stats | Protocol.Ping _ | Protocol.Quit
+    | Protocol.Repl_hello _ | Protocol.Repl_ack _ | Protocol.Promote ->
         false
 
   (* Statements a LINE may carry: anything but [commit] — the transaction
@@ -556,8 +706,18 @@ module Manager = struct
         reply (Protocol.Ok_ "bye");
         s.closed <- true;
         push acc (Close s.id)
+    | Protocol.Repl_hello _ | Protocol.Repl_ack _ | Protocol.Promote ->
+        (* Replication verbs never reach the session manager — the
+           reactor intercepts them before dispatch; one slipping through
+           means the caller is not a chimera server. *)
+        reply (Protocol.Err ("proto", "replication verb outside a replication stream"))
     | Protocol.Line _ | Protocol.Commit | Protocol.Abort when not s.greeted ->
         reply (Protocol.Err ("proto", "HELLO required first"))
+    | Protocol.Line _ | Protocol.Commit | Protocol.Abort when t.standby_mode
+      ->
+        reply
+          (Protocol.Err
+             ("standby", "server is a warm standby; writes go to the primary"))
     | Protocol.Line text -> (
         match line_statements text with
         | Error (code, msg) -> reply (Protocol.Err (code, msg))
@@ -569,7 +729,12 @@ module Manager = struct
             reply (run_line shard statements))
     | Protocol.Commit ->
         if owner_self () then begin
-          reply (do_commit shard);
+          (let commit_reply, seq = do_commit shard in
+           match seq with
+           | Some seq ->
+               push acc
+                 (Committed { sid = s.id; shard = s.shard; seq; reply = commit_reply })
+           | None -> reply commit_reply);
           release_shard t shard acc
         end
         else reply (Protocol.Err ("state", "no open transaction"))
@@ -633,6 +798,15 @@ module Manager = struct
                 push acc (Reply (s.id, Protocol.Ok_ "bye"));
                 s.closed <- true;
                 push acc (Close s.id))
+        | Protocol.Repl_hello _ | Protocol.Repl_ack _ | Protocol.Promote ->
+            (* Reactor-intercepted before dispatch; see [exec_inline]. *)
+            inline_now (fun () ->
+                push acc
+                  (Reply
+                     ( s.id,
+                       Protocol.Err
+                         ( "proto",
+                           "replication verb outside a replication stream" ) )))
         | Protocol.Line _ | Protocol.Commit | Protocol.Abort
           when not s.greeted ->
             inline_now (fun () ->
@@ -684,7 +858,11 @@ module Manager = struct
     | Some s ->
         if s.inflight > 0 then s.inflight <- s.inflight - 1;
         (match c.done_reply with
-        | Some r when not s.closed -> push acc (Reply (s.id, r))
+        | Some r when not s.closed -> (
+            match c.done_commit with
+            | Some (shard, seq) ->
+                push acc (Committed { sid = s.id; shard; seq; reply = r })
+            | None -> push acc (Reply (s.id, r)))
         | Some _ | None -> ());
         if not s.closed then process_session t s acc
 
@@ -759,6 +937,136 @@ module Manager = struct
         end;
         List.rev !acc
 
+  (* ----------------------------------------------- standby (follower) *)
+
+  let check_standby t =
+    if t.down then Error "manager is down"
+    else if not t.standby_mode then Error "not a standby"
+    else Ok ()
+
+  (* A new segment generation began upstream (initial attach, or a
+     checkpoint rotation on the primary): the shipped records rebuild the
+     shard from nothing, so the engine restarts fresh — definitions only,
+     exactly like standby boot — and the local segment copy truncates to
+     a new header. *)
+  let repl_reset t ~shard:idx =
+    let ( let* ) = Result.bind in
+    let* () = check_standby t in
+    let shard = t.shards.(idx) in
+    let interp = Interp.create () in
+    Engine.set_on_execution (Interp.engine interp) (fun name ->
+        shard.executed := name :: !(shard.executed));
+    let* () =
+      match t.boot_script with
+      | None -> Ok ()
+      | Some src -> (
+          match run_boot_definitions interp src with
+          | Ok () -> Ok ()
+          | Error msg ->
+              Error (Printf.sprintf "boot script (shard %d): %s" idx msg))
+    in
+    shard.interp <- interp;
+    shard.repl_pending <- [];
+    shard.repl_seq <- 0;
+    shard.repl_head <- 0;
+    (match shard.repl_sink with
+    | None -> ()
+    | Some sink -> Journal.Sink.reset sink);
+    Ok ()
+
+  (* Applies one [REPL_RECORDS] batch.  The raw bytes reach the local
+     segment copy first — the ack this enables must vouch for durability
+     — then the records parse, group into transactions at the
+     commit/abort markers they arrived with, and the committed groups
+     replay through the same machinery as recovery.  The primary's
+     tailer ships only marker-terminated chunks, so [repl_pending] is
+     normally empty between calls; it buffers defensively regardless.
+     Returns the applied commit sequence (what the follower acks). *)
+  let repl_apply t ~shard:idx ~head_seq data =
+    let ( let* ) = Result.bind in
+    let* () = check_standby t in
+    if idx < 0 || idx >= t.engines then
+      Error (Printf.sprintf "no shard %d (engines=%d)" idx t.engines)
+    else begin
+      let shard = t.shards.(idx) in
+      (match shard.repl_sink with
+      | None -> ()
+      | Some sink -> Journal.Sink.write sink data);
+      shard.repl_head <- max shard.repl_head head_seq;
+      let* txs_rev, last_seq =
+        List.fold_left
+          (fun acc line ->
+            match acc with
+            | Error _ -> acc
+            | Ok (txs, _seq) -> (
+                if line = "" then acc
+                else
+                  match Journal.entry_of_line line with
+                  | Error msg ->
+                      Error ("corrupt record in the replication stream: " ^ msg)
+                  | Ok entry -> (
+                      match entry.Journal.tag with
+                      | "commit" -> (
+                          match int_of_string_opt entry.Journal.payload with
+                          | None -> Error "corrupt commit marker in the stream"
+                          | Some marker_seq ->
+                              let tx = List.rev shard.repl_pending in
+                              shard.repl_pending <- [];
+                              Ok (tx :: txs, marker_seq))
+                      | "abort" ->
+                          shard.repl_pending <- [];
+                          acc
+                      | _ ->
+                          shard.repl_pending <- entry :: shard.repl_pending;
+                          acc)))
+          (Ok ([], shard.repl_seq))
+          (String.split_on_char '\n' data)
+      in
+      let* () =
+        match txs_rev with
+        | [] -> Ok ()
+        | txs_rev ->
+            Engine.apply_replayed (Interp.engine shard.interp)
+              (List.rev txs_rev)
+      in
+      shard.repl_seq <- max shard.repl_seq last_seq;
+      Ok shard.repl_seq
+    end
+
+  let repl_seqs t =
+    Array.map (fun shard -> (shard.repl_seq, shard.repl_head)) t.shards
+
+  (* Promotion: the standby becomes a primary, warm.  The shipped segment
+     copy is byte-identical to the primary's journal, so it simply
+     reopens for appending at the applied sequence and attaches to the
+     engine — no replay; the engine already settled on committed state
+     (every [repl_apply] ends in a fresh transaction, exactly as a
+     completed recovery would). *)
+  let promote t =
+    let ( let* ) = Result.bind in
+    let* () = check_standby t in
+    t.standby_mode <- false;
+    Array.fold_left
+      (fun acc shard ->
+        let* () = acc in
+        match shard.repl_sink with
+        | None -> Ok ()
+        | Some sink -> (
+            let path = Journal.Sink.path sink in
+            Journal.Sink.close sink;
+            shard.repl_sink <- None;
+            match
+              Journal.open_append ~sync:t.fsync ~path
+                ~commit_seq:shard.repl_seq ()
+            with
+            | j ->
+                Engine.set_journal (Interp.engine shard.interp) j;
+                shard.journal <- Some j;
+                Ok ()
+            | exception Sys_error msg ->
+                Error (Printf.sprintf "cannot reopen journal %s: %s" path msg)))
+      (Ok ()) t.shards
+
   (* --------------------------------------------------------- shutdown *)
 
   let shutdown t =
@@ -772,8 +1080,11 @@ module Manager = struct
                   do_abort shard;
                   shard.owner <- None
               | None -> ());
-              match shard.journal with
+              (match shard.journal with
               | Some j -> Journal.close j
+              | None -> ());
+              match shard.repl_sink with
+              | Some sink -> Journal.Sink.close sink
               | None -> ())
             t.shards
       | Threaded { workers; waker; _ } ->

@@ -27,8 +27,14 @@ module Manager : sig
   type t
 
   (** What the caller (the reactor) must do next: send a reply frame on a
-      session's connection, or flush-and-close it. *)
-  type event = Reply of int * Protocol.reply | Close of int
+      session's connection, flush-and-close it, or — for [Committed] —
+      either send the commit reply immediately or park it until every
+      attached replication follower acknowledges the commit sequence
+      (semi-synchronous replication). *)
+  type event =
+    | Reply of int * Protocol.reply
+    | Close of int
+    | Committed of { sid : int; shard : int; seq : int; reply : Protocol.reply }
 
   val create :
     engines:int ->
@@ -38,6 +44,7 @@ module Manager : sig
     ?boot_script:string ->
     ?max_pending:int ->
     ?extra_stats:(unit -> string) ->
+    ?standby:bool ->
     unit ->
     (t, string) result
   (** [engines] must be positive.  [domains] (default [0]) is the worker
@@ -49,12 +56,29 @@ module Manager : sig
       connection — the conventional way to predefine schema and rules.
       [extra_stats] is appended to every [STATS] reply (the server
       contributes its connection counters through it); with worker
-      domains it is called from them, so it must be domain-safe. *)
+      domains it is called from them, so it must be domain-safe.
+
+      [standby] (default [false]) creates a replication follower: shards
+      run only the boot script's {e definitions} (the boot transaction's
+      operations arrive from the primary's stream), carry a raw
+      {!Journal.Sink} instead of an engine-attached journal, refuse
+      [LINE]/[COMMIT]/[ABORT] with [ERR standby], and always run inline
+      ([domains] is ignored).  Feed the stream through {!repl_reset} and
+      {!repl_apply}; {!promote} turns the standby into a primary. *)
 
   val engines : t -> int
 
   val domains : t -> int
   (** Worker domains actually running; [0] in inline mode. *)
+
+  val standby : t -> bool
+  (** The manager is a replication follower (created with [~standby:true]
+      and not yet promoted). *)
+
+  val boot_seqs : t -> int array
+  (** Each shard's journal commit sequence right after boot — read before
+      any worker domain spawns, so the caller has a race-free baseline to
+      track per-shard commit sequences from [Committed] events. *)
 
   val open_session : t -> int
   (** Registers a fresh session (in the greeting state) and returns its id. *)
@@ -103,4 +127,38 @@ module Manager : sig
       accepts no further commands. *)
 
   val journal_paths : t -> string list
+  (** The live journal path of every journaled shard — on a standby, the
+      path of each shard's local segment copy. *)
+
+  (** {2 Standby (replication follower) operations}
+
+      Valid only while {!standby} holds; each returns [Error] otherwise. *)
+
+  val repl_reset : t -> shard:int -> (unit, string) result
+  (** A [REPL_SEGMENT] arrived: a new segment generation begins upstream
+      (initial attach, or the primary rotated a checkpoint).  Restarts
+      the shard's engine fresh (boot definitions re-run) and truncates
+      its local segment copy; the records that follow rebuild the state. *)
+
+  val repl_apply :
+    t -> shard:int -> head_seq:int -> string -> (int, string) result
+  (** A [REPL_RECORDS] batch arrived: writes the raw bytes durably to the
+      shard's local segment copy, applies the committed transactions they
+      close, and returns the applied commit sequence — what the follower
+      acknowledges with [REPL_ACK].  [head_seq] is the primary's reported
+      commit sequence (kept for lag accounting).  [Error] on a corrupt
+      record or a failed replay: the follower's state can no longer be
+      trusted and it must resynchronize (reset every shard, reconnect —
+      a fresh replication session ships the segment from its start). *)
+
+  val repl_seqs : t -> (int * int) array
+  (** Per shard: [(applied, head)] — the last commit sequence applied
+      locally and the primary's last reported one.  Their difference is
+      the replication lag in commits. *)
+
+  val promote : t -> (unit, string) result
+  (** The standby becomes a primary, warm: each shard's local segment
+      copy — byte-identical to the primary's journal — reopens for
+      appending at the applied sequence and attaches to the engine; no
+      replay.  Write verbs are accepted from here on. *)
 end

@@ -1,0 +1,30 @@
+(* Bounded exponential backoff with deterministic jitter.
+
+   [2. ** n] overflows to [infinity] for large [n], which [min cap]
+   saturates right back — no explicit exponent clamp needed. *)
+
+type t = {
+  base : float;
+  cap : float;
+  jitter : float;
+  prng : Prng.t;
+  mutable attempts : int;
+}
+
+let create ?(base = 0.1) ?(cap = 5.0) ?(jitter = 0.25) ?(seed = 0x6a09e667)
+    () =
+  if base <= 0. then invalid_arg "Backoff.create: base must be positive";
+  if cap < base then invalid_arg "Backoff.create: cap must be >= base";
+  if jitter < 0. || jitter >= 1. then
+    invalid_arg "Backoff.create: jitter must be in [0, 1)";
+  { base; cap; jitter; prng = Prng.create ~seed; attempts = 0 }
+
+let next t =
+  let raw = Float.min t.cap (t.base *. (2. ** float_of_int t.attempts)) in
+  t.attempts <- t.attempts + 1;
+  (* Uniform factor in [1 - jitter, 1 + jitter). *)
+  let factor = 1. -. t.jitter +. (2. *. t.jitter *. Prng.next_float t.prng) in
+  raw *. factor
+
+let attempts t = t.attempts
+let reset t = t.attempts <- 0

@@ -1,0 +1,29 @@
+(** Bounded exponential backoff with jitter, for reconnect loops.
+
+    The raw schedule doubles from [base] and saturates at [cap]; each
+    delay is then jittered by a uniform factor in
+    [\[1 - jitter, 1 + jitter)] so a fleet of clients knocked off the
+    same server does not reconnect in lockstep.  The jitter stream is a
+    deterministic {!Prng} under [seed], so a given [(seed, attempt)]
+    pair always yields the same delay — what the schedule tests pin
+    down. *)
+
+type t
+
+val create :
+  ?base:float -> ?cap:float -> ?jitter:float -> ?seed:int -> unit -> t
+(** [base] (default [0.1]s) is the first delay, [cap] (default [5.0]s)
+    the saturation bound on the raw (pre-jitter) delay, [jitter]
+    (default [0.25]) the +/- fraction.  Raises [Invalid_argument] when
+    [base <= 0], [cap < base], or [jitter] is outside [\[0, 1)]. *)
+
+val next : t -> float
+(** The delay to sleep before the next attempt, advancing the schedule:
+    [min cap (base * 2^attempts)] jittered.  Always strictly positive. *)
+
+val attempts : t -> int
+(** Attempts scheduled so far ({!next} calls since creation/{!reset}). *)
+
+val reset : t -> unit
+(** Back to the first delay — call after a successful connect, so the
+    next failure starts the schedule over. *)

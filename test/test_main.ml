@@ -30,4 +30,5 @@ let () =
       ("differential", Suite_differential.suite);
       ("roundtrip", Suite_roundtrip.suite);
       ("server", Suite_server.suite);
+      ("repl", Suite_repl.suite);
     ]
