@@ -53,6 +53,7 @@ let seed_of_experiment = function
   | "e11" -> 1111
   | "e12" -> 1212
   | "e14" -> 1414
+  | "e15" -> 1515
   | _ -> 7
 
 (* ------------------------------------------------ machine-readable *)

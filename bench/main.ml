@@ -31,6 +31,7 @@ let experiments =
     ( "e14",
       "journal-shipping replication (0 vs 1 follower, failover)",
       Serve_bench.e14 );
+    ("e15", "bounded state (checkpoints, GC, windows)", Bounded.e15);
     ("micro", "bechamel micro-benchmarks", Micro.run);
   ]
 

@@ -117,7 +117,7 @@ let config_of_wake wake =
     Engine.trigger = { Trigger_support.default_config with Trigger_support.wake };
   }
 
-let run_script trace metrics journal_path fsync wake path =
+let run_script trace metrics journal_path fsync checkpoint_every wake path =
  protected @@ fun () ->
   setup_obs ~metrics ~trace;
   let interp = Interp.create ~config:(config_of_wake wake) () in
@@ -129,6 +129,11 @@ let run_script trace metrics journal_path fsync wake path =
         j)
       journal_path
   in
+  (match (journal, checkpoint_every) with
+  | None, Some _ -> invalid_arg "--checkpoint-every requires --journal"
+  | Some _, Some every_commits ->
+      Engine.enable_checkpoints (Interp.engine interp) ~every_commits ()
+  | _, None -> ());
   let finish result =
     Option.iter Journal.close journal;
     finish_obs ~metrics ~trace;
@@ -151,6 +156,17 @@ let journal_arg =
         ~doc:
           "Write-ahead journal file: every transaction is made durable and \
            $(b,chimera recover) can rebuild the state after a crash.")
+
+let checkpoint_every_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:
+          "Bounded state: every $(i,N) commits write a checkpoint beside \
+           the journal, seal the live segment, and GC the sealed segments \
+           the checkpoint covers — recovery boots from the checkpoint \
+           plus the O(delta) journal suffix.  Requires $(b,--journal).")
 
 let trace_arg =
   Arg.(
@@ -178,7 +194,7 @@ let run_cmd =
     Term.(
       ret
         (const run_script $ trace_arg $ metrics_arg $ journal_arg $ fsync_arg
-        $ wake_arg $ path))
+        $ checkpoint_every_arg $ wake_arg $ path))
 
 (* ----------------------------------------------------------- stats *)
 
@@ -275,12 +291,11 @@ let stats_cmd =
 (* --------------------------------------------------------- recover *)
 
 (* Replays a script's definitions (classes, triggers, timers) without
-   executing any transaction line, then rebuilds the state after the
-   last committed transaction from the journal. *)
-let recover_from_journal journal_path script_path =
- protected @@ fun () ->
+   executing any transaction line — the shared prologue of [recover] and
+   [checkpoint], whose journals were recorded under those definitions. *)
+let interp_with_definitions script_path =
   match Lang_parser.parse (read_file script_path) with
-  | Error msg -> `Error (false, msg)
+  | Error msg -> Error msg
   | Ok script -> (
       let interp = Interp.create () in
       let definitions =
@@ -300,9 +315,13 @@ let recover_from_journal journal_path script_path =
             | Ok () -> Interp.run_statement interp stmt)
           (Ok ()) definitions
       in
-      match defined with
-      | Error msg -> `Error (false, msg)
-      | Ok () -> (
+      match defined with Error msg -> Error msg | Ok () -> Ok interp)
+
+let recover_from_journal journal_path script_path =
+ protected @@ fun () ->
+  match interp_with_definitions script_path with
+  | Error msg -> `Error (false, msg)
+  | Ok interp -> (
           match Engine.recover (Interp.engine interp) ~path:journal_path with
           | Error msg -> `Error (false, msg)
           | Ok report ->
@@ -310,6 +329,19 @@ let recover_from_journal journal_path script_path =
                 "recovered %d transaction(s) (last commit seq %d), %d record(s)\n"
                 report.Engine.recovered_commits report.Engine.last_commit_seq
                 report.Engine.recovered_entries;
+              (match report.Engine.booted_from_checkpoint with
+              | None -> ()
+              | Some seq ->
+                  Printf.printf
+                    "booted from checkpoint at commit seq %d; replayed %d \
+                     suffix record(s)%s\n"
+                    seq report.Engine.replayed_records
+                    (match report.Engine.first_segment with
+                    | Some n when n > 0 ->
+                        Printf.sprintf
+                          " (chain starts at segment %d, older segments GC'd)"
+                          n
+                    | _ -> ""));
               if report.Engine.dropped_entries > 0 || report.Engine.dropped_bytes > 0
               then
                 Printf.printf
@@ -329,29 +361,127 @@ let recover_from_journal journal_path script_path =
                 (Object_store.dump_objects store);
               Printf.printf "events: %d occurrence(s) in the log\n"
                 (Event_base.size (Engine.event_base (Interp.engine interp)));
-              `Ok ()))
+              `Ok ())
+
+let script_defs_arg =
+  Arg.(
+    required
+    & pos 1 (some file) None
+    & info [] ~docv:"SCRIPT"
+        ~doc:
+          "The script whose definitions (classes, triggers, timers) the \
+           journal was recorded under; its transaction lines are not \
+           executed.")
 
 let recover_cmd =
   let journal =
+    (* [string], not [file]: the live file may be freshly sealed away, and
+       a GC'd chain legally starts past segment 0 — [read_chain] decides
+       what is tolerable, not the argument parser. *)
     Arg.(
       required
-      & pos 0 (some file) None
-      & info [] ~docv:"JOURNAL" ~doc:"Journal file written by $(b,run --journal).")
-  in
-  let script =
-    Arg.(
-      required
-      & pos 1 (some file) None
-      & info [] ~docv:"SCRIPT"
+      & pos 0 (some string) None
+      & info [] ~docv:"JOURNAL"
           ~doc:
-            "The script whose definitions (classes, triggers, timers) the \
-             journal was recorded under; its transaction lines are not \
-             executed.")
+            "Journal path written by $(b,run --journal) (the head of its \
+             sealed-segment chain).")
   in
   Cmd.v
     (Cmd.info "recover"
        ~doc:"Rebuild the state after the last committed transaction from a journal")
-    Term.(ret (const recover_from_journal $ journal $ script))
+    Term.(ret (const recover_from_journal $ journal $ script_defs_arg))
+
+(* ------------------------------------------------------- checkpoint *)
+
+(* The offline checkpoint: recover the committed state from the chain,
+   write a checkpoint covering it, then GC the sealed segments it covers
+   (ascending, so a failure can only shorten the chain from the front —
+   never punch a hole).  The live file stays: later appends land there,
+   and recovery filters its already-covered records by commit sequence. *)
+let checkpoint_journal journal_path script_path =
+ protected @@ fun () ->
+  match interp_with_definitions script_path with
+  | Error msg -> `Error (false, msg)
+  | Ok interp -> (
+      let engine = Interp.engine interp in
+      match Engine.recover engine ~path:journal_path with
+      | Error msg -> `Error (false, msg)
+      | Ok report ->
+          let ckpt =
+            {
+              Checkpoint.commit_seq = report.Engine.last_commit_seq;
+              entries = Engine.checkpoint_records engine;
+            }
+          in
+          let ckpt_path = Checkpoint.path_for journal_path in
+          Checkpoint.write ~path:ckpt_path ckpt;
+          Printf.printf
+            "checkpoint at commit seq %d (%d record(s)) -> %s\n"
+            ckpt.Checkpoint.commit_seq
+            (List.length ckpt.Checkpoint.entries)
+            ckpt_path;
+          let dir = Filename.dirname journal_path in
+          let prefix = Filename.basename journal_path ^ ".seg-" in
+          let plen = String.length prefix in
+          let segments =
+            (match Sys.readdir dir with
+            | exception Sys_error _ -> []
+            | names ->
+                Array.to_list names
+                |> List.filter_map (fun name ->
+                       if
+                         String.length name > plen
+                         && String.sub name 0 plen = prefix
+                       then
+                         match
+                           int_of_string_opt
+                             (String.sub name plen (String.length name - plen))
+                         with
+                         | Some seq -> Some (seq, Filename.concat dir name)
+                         | None -> None
+                       else None))
+            |> List.sort compare
+          in
+          let removed = ref 0 in
+          (try
+             List.iter
+               (fun (_, seg) ->
+                 match Journal.read ~path:seg with
+                 | Ok r when r.Journal.last_commit_seq <= ckpt.Checkpoint.commit_seq
+                   ->
+                     Sys.remove seg;
+                     incr removed
+                 | _ -> raise Exit)
+               segments
+           with Exit -> ());
+          if !removed > 0 then
+            Printf.printf "GC'd %d covered segment(s)\n" !removed;
+          `Ok ())
+
+let checkpoint_cmd =
+  let journal =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"JOURNAL"
+          ~doc:"Journal path to checkpoint (the head of its chain).")
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Recovers the committed state from the journal chain (checkpoint \
+         plus suffix when one already exists), atomically writes a fresh \
+         checkpoint beside the journal covering its last committed \
+         transaction, and unlinks the sealed segments the checkpoint \
+         covers.  The next $(b,chimera recover) boots from the checkpoint \
+         and replays only transactions journaled after it.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "checkpoint" ~man
+       ~doc:"Write a checkpoint beside a journal and GC the covered segments")
+    Term.(ret (const checkpoint_journal $ journal $ script_defs_arg))
 
 (* ------------------------------------------------------------ eval *)
 
@@ -483,8 +613,9 @@ let parse_follow = function
               Error
                 (Printf.sprintf "bad --follow %S: expected HOST:PORT" spec)))
 
-let serve trace metrics host port engines domains journal_dir fsync script
-    max_conns max_frame max_pending idle_timeout follow repl_async =
+let serve trace metrics host port engines domains journal_dir fsync
+    checkpoint_every script max_conns max_frame max_pending idle_timeout
+    follow repl_async =
  protected @@ fun () ->
   match parse_follow follow with
   | Error msg -> `Error (false, msg)
@@ -507,6 +638,7 @@ let serve trace metrics host port engines domains journal_dir fsync script
       idle_timeout;
       follow;
       repl_sync = not repl_async;
+      checkpoint_every;
     }
   in
   match Server.create config with
@@ -651,8 +783,9 @@ let serve_cmd =
     Term.(
       ret
         (const serve $ trace_arg $ metrics_arg $ host_arg $ port $ engines
-        $ domains $ journal_dir $ fsync_arg $ script $ max_conns $ max_frame
-        $ max_pending $ idle_timeout $ follow $ repl_async))
+        $ domains $ journal_dir $ fsync_arg $ checkpoint_every_arg $ script
+        $ max_conns $ max_frame $ max_pending $ idle_timeout $ follow
+        $ repl_async))
 
 (* --------------------------------------------------------- loadgen *)
 
@@ -798,6 +931,7 @@ let main_cmd =
       run_cmd;
       stats_cmd;
       recover_cmd;
+      checkpoint_cmd;
       eval_cmd;
       analyze_cmd;
       graph_cmd;

@@ -26,6 +26,7 @@ module Window = Chimera_event.Window
 module Event_codec = Chimera_event.Event_codec
 module Event_stats = Chimera_event.Event_stats
 module Journal = Chimera_event.Journal
+module Checkpoint = Chimera_event.Checkpoint
 
 (* The event calculus: the paper's contribution. *)
 module Expr = Chimera_calculus.Expr

@@ -25,6 +25,11 @@ let c_posting_appends = Obs.Metrics.counter "eventbase.posting_appends"
 let c_posting_probes = Obs.Metrics.counter "eventbase.posting_probes"
 let g_posting_lists = Obs.Metrics.gauge "eventbase.posting_lists"
 
+(* Sliding-window retirement: the safe horizon the log has been retired
+   behind, and how many occurrences have been released so far. *)
+let g_horizon = Obs.Metrics.gauge "window.horizon"
+let c_retired = Obs.Metrics.counter "window.retired"
+
 module Type_oid_key = struct
   type t = Event_type.t * int
 
@@ -45,6 +50,10 @@ type t = {
      scanning the window. *)
   by_oid : (int, Time.t Vec.t) Hashtbl.t;
   oid_registry : int Vec.t;  (** first-seen order *)
+  mutable horizon : Time.t;
+      (** the log and [by_oid] are retired up to here (inclusive) *)
+  type_horizons : Time.t Event_type.Tbl.t;
+      (** per-type posting retirement bounds; at least [horizon] *)
   mutable listeners : (Occurrence.t -> unit) list;
       (** notified after every insert, in registration order *)
 }
@@ -64,11 +73,23 @@ let create () =
     by_type_oid = Type_oid_tbl.create 256;
     by_oid = Hashtbl.create 256;
     oid_registry = Vec.create ~dummy:0;
+    horizon = Time.origin;
+    type_horizons = Event_type.Tbl.create 64;
     listeners = [];
   }
 
 let clock t = t.clock
 let size t = Vec.length t.log
+let live_size t = Vec.live_length t.log
+let horizon t = t.horizon
+
+(* The bound below which type-restricted queries on [etype] may have lost
+   occurrences to retirement; queries with [after >= type_horizon] are
+   exact. *)
+let type_horizon t etype =
+  match Event_type.Tbl.find_opt t.type_horizons etype with
+  | Some h -> Time.max h t.horizon
+  | None -> t.horizon
 let now t = Time.Clock.now t.clock
 let probe_now t = Time.Clock.probe_now t.clock
 let on_insert t f = t.listeners <- t.listeners @ [ f ]
@@ -168,17 +189,100 @@ let truncate_to t ~instant =
   Hashtbl.iter (fun _ v -> cut v ~key:(fun x -> x)) t.by_oid;
   let rec drop_fresh_oids () =
     match Vec.last t.oid_registry with
-    | Some key when Vec.is_empty (Hashtbl.find t.by_oid key) ->
-        Hashtbl.remove t.by_oid key;
-        Vec.truncate t.oid_registry (Vec.length t.oid_registry - 1);
-        drop_fresh_oids ()
-    | Some _ | None -> ()
+    | Some key -> (
+        (* A dangling slot (forgotten object) is committed-era: nothing
+           fresh sits at or below it, so stop there. *)
+        match Hashtbl.find_opt t.by_oid key with
+        | Some v when Vec.is_empty v ->
+            Hashtbl.remove t.by_oid key;
+            Vec.truncate t.oid_registry (Vec.length t.oid_registry - 1);
+            drop_fresh_oids ()
+        | Some _ | None -> ())
+    | None -> ()
   in
   drop_fresh_oids ();
   Time.Clock.rewind_to t.clock instant;
   (* EIDs are issued densely, one per logged occurrence, so the undone
      ones are exactly those beyond the remaining length. *)
-  Ident.Eid.rewind t.eids ~count:(Vec.length t.log)
+  Ident.Eid.rewind t.eids ~count:(Vec.length t.log);
+  (* Horizons never cross the rollback target (retirement clamps to the
+     transaction start), but the recorded per-type bounds may refer to
+     just-undone instants — rewind them so they stay meaningful. *)
+  if Time.( > ) t.horizon instant then t.horizon <- instant;
+  Event_type.Tbl.filter_map_inplace
+    (fun _ h -> Some (Time.min h instant))
+    t.type_horizons
+
+(* Sliding-window retirement (the dual of [truncate_to]): release every
+   occurrence at or before [horizon] — and, per type, at or before
+   [type_horizon etype], which may be later for types no live rule window
+   can reach back to.  Indices stay stable ({!Vec.retire_prefix}); the
+   posting lists are retired *before* the log so their bisection keys
+   still resolve.  Horizons need not be monotone across calls (a new rule
+   may shrink a type's bound): retirement simply never un-retires. *)
+let retire_to t ~horizon ~type_horizon =
+  let retired_before = Vec.start t.log in
+  Event_type.Tbl.iter
+    (fun etype v ->
+      let h = Time.max horizon (type_horizon etype) in
+      Vec.retire_prefix v (Vec.bisect_right v ~key:(stamp_at t) h + 1);
+      let prev =
+        match Event_type.Tbl.find_opt t.type_horizons etype with
+        | Some p -> p
+        | None -> Time.origin
+      in
+      if Time.( > ) h prev then Event_type.Tbl.replace t.type_horizons etype h)
+    t.by_type;
+  (* A fully retired per-(type, object) posting is indistinguishable
+     from an absent one (every lookup treats absence as "no live
+     events"), so drop the table entry outright — the index stays
+     O(live window), not O(objects ever seen); a later event on the
+     same pair re-creates it on demand. *)
+  let dead = ref [] in
+  Type_oid_tbl.iter
+    (fun ((etype, _) as key) v ->
+      let h = Time.max horizon (type_horizon etype) in
+      Vec.retire_prefix v (Vec.bisect_right v ~key:(fun x -> x) h + 1);
+      if Vec.is_empty v then dead := key :: !dead)
+    t.by_type_oid;
+  List.iter (Type_oid_tbl.remove t.by_type_oid) !dead;
+  (* Crash site between the index passes and the log retire: a process
+     killed mid-retirement leaves indexes ahead of the log — recovery
+     rebuilds both from the journal, so the half-state must never need
+     to be readable again. *)
+  Failpoint.hit "window.retire";
+  Vec.retire_prefix t.log
+    (Vec.bisect_right t.log ~key:Occurrence.timestamp horizon + 1);
+  Hashtbl.iter
+    (fun _ v ->
+      Vec.retire_prefix v (Vec.bisect_right v ~key:(fun x -> x) horizon + 1))
+    t.by_oid;
+  if Time.( > ) horizon t.horizon then begin
+    t.horizon <- horizon;
+    Obs.Metrics.set_gauge g_horizon (Time.to_int horizon)
+  end;
+  Obs.Metrics.add c_retired (Vec.start t.log - retired_before)
+
+(* Registry slots of forgotten objects dangle (their [by_oid] entry is
+   gone); first-seen order means churn workloads retire them as a
+   prefix, keeping the registry proportional to the live population
+   plus any out-of-order stragglers. *)
+let retire_registry_prefix t =
+  let rec go () =
+    let s = Vec.start t.oid_registry in
+    if
+      s < Vec.length t.oid_registry
+      && not (Hashtbl.mem t.by_oid (Vec.get t.oid_registry s))
+    then begin
+      Vec.retire_prefix t.oid_registry (s + 1);
+      go ()
+    end
+  in
+  go ()
+
+let forget_objects t ~oids =
+  List.iter (fun oid -> Hashtbl.remove t.by_oid (Ident.Oid.to_int oid)) oids;
+  retire_registry_prefix t
 
 let clipped_upper window ~at = Time.min at (Window.upto window)
 
@@ -196,7 +300,7 @@ let last_of_type t ~etype ~window ~at =
   | Some v -> (
       let upper = clipped_upper window ~at in
       let i = Vec.bisect_right v ~key:(stamp_at t) upper in
-      if i < 0 then None
+      if i < Vec.start v then None
       else
         let ts = stamp_at t (Vec.get v i) in
         if Time.( > ) ts (Window.after window) then Some ts else None)
@@ -217,7 +321,7 @@ let last_of_type_on t ~etype ~oid ~window ~at =
   | Some v -> (
       let upper = clipped_upper window ~at in
       let i = Vec.bisect_right v ~key:(fun x -> x) upper in
-      if i < 0 then None
+      if i < Vec.start v then None
       else
         let ts = Vec.get v i in
         if Time.( > ) ts (Window.after window) then Some ts else None)
@@ -250,7 +354,7 @@ let occurred_in t ~types ~after ~upto =
           | None -> false
           | Some v ->
               let i = Vec.bisect_right v ~key:(stamp_at t) upto in
-              i >= 0 && Time.( > ) (stamp_at t (Vec.get v i)) after)
+              i >= Vec.start v && Time.( > ) (stamp_at t (Vec.get v i)) after)
         types
   end
 
@@ -300,10 +404,12 @@ let oids_in t ~window ~at =
     let acc = ref [] in
     Vec.iter
       (fun key ->
-        let stamps = Hashtbl.find t.by_oid key in
-        let i = Vec.bisect_right stamps ~key:(fun x -> x) upper in
-        if i >= 0 && Time.( > ) (Vec.get stamps i) after then
-          acc := key :: !acc)
+        match Hashtbl.find_opt t.by_oid key with
+        | None -> () (* forgotten object, dangling registry slot *)
+        | Some stamps ->
+            let i = Vec.bisect_right stamps ~key:(fun x -> x) upper in
+            if i >= Vec.start stamps && Time.( > ) (Vec.get stamps i) after
+            then acc := key :: !acc)
       t.oid_registry;
     List.rev_map Ident.Oid.of_int !acc
   end

@@ -8,7 +8,13 @@ type t
 
 val create : unit -> t
 val clock : t -> Time.Clock.clock
+
 val size : t -> int
+(** Occurrences ever recorded (retired ones included): the absolute end
+    of the log, and the count the EID generator tracks. *)
+
+val live_size : t -> int
+(** Occurrences currently retained (what memory is proportional to). *)
 
 val now : t -> Time.t
 (** Instant of the most recent occurrence ([Time.origin] when empty). *)
@@ -40,6 +46,34 @@ val truncate_to : t -> instant:Time.t -> unit
     all indexes) and rewinds the clock and EID generator, leaving the
     event base exactly as it was when [instant] was the present — the
     abort/rollback path. *)
+
+val retire_to :
+  t -> horizon:Time.t -> type_horizon:(Event_type.t -> Time.t) -> unit
+(** The dual of [truncate_to]: releases every occurrence at or before
+    [horizon] (log and per-object index) and, per type, at or before
+    [max horizon (type_horizon etype)] (posting lists) — the
+    sliding-window forgetting rule.  Surviving occurrences keep their log
+    indices.  Sound when no live or restorable rule window reaches at or
+    below the horizons; queries strictly above them are unaffected.
+    Horizons need not be monotone across calls: retirement never
+    un-retires, and a lower bound is a no-op. *)
+
+val forget_objects : t -> oids:Ident.Oid.t list -> unit
+(** Drops the per-object indexes of objects the store has purged
+    (committed deletions).  Sound once their occurrences are retired or
+    otherwise unreachable: an absent per-object index reads as "no live
+    events", which is then exact.  Their first-seen registry slots are
+    reclaimed as they become a prefix (churn workloads delete roughly in
+    creation order). *)
+
+val horizon : t -> Time.t
+(** The instant the log has been retired up to (inclusive);
+    [Time.origin] before any retirement. *)
+
+val type_horizon : t -> Event_type.t -> Time.t
+(** The bound below which type-restricted queries on this type may have
+    lost occurrences to retirement (at least [horizon t]); queries with
+    [after >= type_horizon] are exact. *)
 
 val last_of_type :
   t -> etype:Event_type.t -> window:Window.t -> at:Time.t -> Time.t option

@@ -28,6 +28,8 @@ let c_appends = Obs.Metrics.counter "journal.appends"
 let c_commits = Obs.Metrics.counter "journal.commits"
 let c_syncs = Obs.Metrics.counter "journal.syncs"
 let c_rotations = Obs.Metrics.counter "journal.rotations"
+let c_seals = Obs.Metrics.counter "journal.seals"
+let c_gc_segments = Obs.Metrics.counter "gc.segments"
 let h_fsync = Obs.Metrics.histogram "journal.fsync_ns"
 let h_append = Obs.Metrics.histogram "journal.append_ns"
 let h_rotate = Obs.Metrics.histogram "journal.rotate_ns"
@@ -66,12 +68,22 @@ type counters = {
   bytes_written : int;
 }
 
+type sealed = {
+  seg_seq : int;
+  seg_path : string;
+  seg_last_commit_seq : int;
+      (** the commit sequence the segment ends at: everything in it is
+          covered by a checkpoint at or past this seq *)
+}
+
 type t = {
   path : string;
   sync : sync_policy;
   mutable oc : out_channel;
   mutable pending : (string * string) list;  (** newest first, not yet on disk *)
   mutable commit_seq : int;
+  mutable seg_seq : int;  (** the next seal's segment number *)
+  mutable sealed : sealed list;  (** oldest first, still on disk *)
   mutable appends : int;
   mutable commits : int;
   mutable syncs : int;
@@ -149,7 +161,40 @@ let sync t =
 let open_segment path =
   open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 path
 
+(* Sealed segments sit beside the live file as [<path>.seg-<NNNNNN>]. *)
+let segment_path path seq = Printf.sprintf "%s.seg-%06d" path seq
+
+(* The sealed segments currently beside [path], ascending by number — a
+   chain may start past 0 once GC has retired its oldest segments. *)
+let list_segment_files path =
+  let dir = Filename.dirname path in
+  let prefix = Filename.basename path ^ ".seg-" in
+  let plen = String.length prefix in
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+      Array.to_list names
+      |> List.filter_map (fun name ->
+             if String.length name > plen && String.sub name 0 plen = prefix
+             then
+               match int_of_string_opt (String.sub name plen (String.length name - plen)) with
+               | Some seq -> Some (seq, Filename.concat dir name)
+               | None -> None
+             else None)
+      |> List.sort compare
+
 let create ?(sync = Per_commit) ~path () =
+  (* [Open_trunc] semantics extend to the whole chain: creating a journal
+     here starts it from nothing, so stale sealed segments — and a stale
+     checkpoint, whose covered sequence belongs to the wiped history and
+     would make recovery silently skip the new journal's records — of a
+     previous journal under the same path must not pollute a later chain
+     read.  The [".ckpt"] suffix is [Checkpoint.path_for]'s convention;
+     [Checkpoint] sits above this module, so the name is repeated here. *)
+  List.iter
+    (fun (_, p) -> try Sys.remove p with Sys_error _ -> ())
+    (list_segment_files path);
+  (try Sys.remove (path ^ ".ckpt") with Sys_error _ -> ());
   let t =
     {
       path;
@@ -157,6 +202,8 @@ let create ?(sync = Per_commit) ~path () =
       oc = open_segment path;
       pending = [];
       commit_seq = 0;
+      seg_seq = 0;
+      sealed = [];
       appends = 0;
       commits = 0;
       syncs = 0;
@@ -186,6 +233,8 @@ let open_append ?(sync = Per_commit) ~path ~commit_seq () =
     oc;
     pending = [];
     commit_seq;
+    seg_seq = 0;
+    sealed = [];
     appends = 0;
     commits = 0;
     syncs = 0;
@@ -300,6 +349,67 @@ let rotate t ~base =
       t.rotations <- t.rotations + 1;
       t.appends <- t.appends + List.length base)
 
+(* ------------------------------------------------- sealing and GC *)
+
+(* Closes the live segment under a numbered name and continues appending
+   to a fresh live file at the same path — the checkpoint-era replacement
+   for [rotate]: instead of one segment standing for all history, history
+   accumulates as a chain [<path>.seg-0 .. seg-N, <path>] whose prefix a
+   checkpoint lets {!gc} retire.  Called at a commit boundary (no pending
+   block, no open transaction), so the sealed segment ends at a marker.
+   The sealed content is fsynced before the rename; a crash between the
+   rename and the fresh header leaves a readable chain with no live file,
+   which {!read_chain} tolerates. *)
+let seal t =
+  check_open t;
+  if t.pending <> [] then invalid_arg "Journal.seal: pending block";
+  let tok = Obs.Trace.begin_ "journal.seal" in
+  Fun.protect
+    ~finally:(fun () -> Obs.Trace.end_into h_rotate tok)
+    (fun () ->
+      flush t.oc;
+      fsync_channel t.oc;
+      Obs.Metrics.incr c_syncs;
+      t.syncs <- t.syncs + 1;
+      let sealed_path = segment_path t.path t.seg_seq in
+      Failpoint.hit "journal.seal.rename";
+      Sys.rename t.path sealed_path;
+      Failpoint.hit "journal.seal.dirsync";
+      fsync_dir t.path;
+      close_out_noerr t.oc;
+      t.oc <- open_segment t.path;
+      write_string t (header ^ "\n");
+      fsync t;
+      fsync_dir t.path;
+      t.sealed <-
+        t.sealed
+        @ [ { seg_seq = t.seg_seq; seg_path = sealed_path;
+              seg_last_commit_seq = t.commit_seq } ];
+      t.seg_seq <- t.seg_seq + 1;
+      Obs.Metrics.incr c_seals)
+
+let sealed_segments t = t.sealed
+
+(* Unlinks every sealed segment wholly behind [upto] — the caller passes
+   [min checkpoint_seq follower_ack_floor], so a segment is removed only
+   once a durable checkpoint stands for it *and* no connected follower
+   still needs its bytes.  Returns the number removed.  A crash mid-way
+   leaves extra covered segments behind, never a hole recovery needs. *)
+let gc t ~upto =
+  check_open t;
+  let retired, kept =
+    List.partition (fun s -> s.seg_last_commit_seq <= upto) t.sealed
+  in
+  List.iter
+    (fun s ->
+      Failpoint.hit "journal.gc.unlink";
+      try Sys.remove s.seg_path with Sys_error _ -> ())
+    retired;
+  if retired <> [] then fsync_dir t.path;
+  t.sealed <- kept;
+  Obs.Metrics.add c_gc_segments (List.length retired);
+  List.length retired
+
 let close t =
   if not t.closed then begin
     flush_block t;
@@ -323,6 +433,9 @@ type entry = { tag : string; payload : string }
 
 type replay = {
   committed : entry list list;
+  committed_seqs : int list;
+      (** the commit-marker sequence closing each group of [committed],
+          in the same order — checkpoint-aware recovery filters on it *)
   last_commit_seq : int;
   entries_committed : int;
   uncommitted_entries : int;
@@ -374,6 +487,7 @@ let read ~path =
       if total >= header_len && String.sub content 0 header_len = header_line
       then begin
         let committed = ref [] in
+        let committed_seqs = ref [] in
         let current = ref [] in
         let entries_committed = ref 0 in
         let last_commit_seq = ref 0 in
@@ -390,6 +504,7 @@ let read ~path =
                   | None -> stop := true  (* corrupt marker: truncate here *)
                   | Some seq ->
                       committed := List.rev !current :: !committed;
+                      committed_seqs := seq :: !committed_seqs;
                       entries_committed :=
                         !entries_committed + List.length !current;
                       current := [];
@@ -400,6 +515,7 @@ let read ~path =
         Ok
           {
             committed = List.rev !committed;
+            committed_seqs = List.rev !committed_seqs;
             last_commit_seq = !last_commit_seq;
             entries_committed = !entries_committed;
             uncommitted_entries = List.length !current;
@@ -414,12 +530,97 @@ let read ~path =
         Ok
           {
             committed = [];
+            committed_seqs = [];
             last_commit_seq = 0;
             entries_committed = 0;
             uncommitted_entries = 0;
             torn_bytes = total;
           }
       else Error (Printf.sprintf "%s: missing chimera-journal header" path)
+
+(* ------------------------------------------------------- chain reading *)
+
+type chain = {
+  chain_replay : replay;  (** the concatenated replay of every file *)
+  chain_files : string list;  (** files read, oldest first, live last *)
+  chain_first_segment : int option;
+      (** lowest sealed segment number present; [None] when the live file
+          stands alone.  A value past 0 means GC retired the chain's
+          oldest segments — everything before it must come from a
+          checkpoint. *)
+}
+
+let empty_replay =
+  {
+    committed = [];
+    committed_seqs = [];
+    last_commit_seq = 0;
+    entries_committed = 0;
+    uncommitted_entries = 0;
+    torn_bytes = 0;
+  }
+
+let concat_replays a b =
+  {
+    committed = a.committed @ b.committed;
+    committed_seqs = a.committed_seqs @ b.committed_seqs;
+    last_commit_seq =
+      (if b.last_commit_seq > 0 then b.last_commit_seq else a.last_commit_seq);
+    entries_committed = a.entries_committed + b.entries_committed;
+    uncommitted_entries = a.uncommitted_entries + b.uncommitted_entries;
+    torn_bytes = a.torn_bytes + b.torn_bytes;
+  }
+
+(* Reads the whole chain at [path]: sealed segments in ascending order,
+   then the live file.  Tolerates a chain whose leading segments were
+   GC'd (it may start at any number) and a missing live file (a crash
+   between a seal's rename and the fresh header), but not a hole or a
+   corrupt header in the middle.  Sealed segments end at a marker, so
+   uncommitted/torn tails can only stem from the live file. *)
+let read_chain ~path =
+  let segs = list_segment_files path in
+  let live_exists = Sys.file_exists path in
+  if segs = [] && not live_exists then
+    Error (Printf.sprintf "%s: no such journal" path)
+  else begin
+    let rec check_contiguous = function
+      | (a, _) :: ((b, pb) :: _ as rest) ->
+          if b <> a + 1 then
+            Error (Printf.sprintf "%s: missing segment %d before %s" path (a + 1) pb)
+          else check_contiguous rest
+      | _ -> Ok ()
+    in
+    match check_contiguous segs with
+    | Error _ as e -> e
+    | Ok () -> (
+        let rec fold acc files = function
+          | [] ->
+              if live_exists then
+                match read ~path with
+                | Error _ as e -> e
+                | Ok r ->
+                    Ok
+                      {
+                        chain_replay = concat_replays acc r;
+                        chain_files = List.rev (path :: files);
+                        chain_first_segment =
+                          (match segs with [] -> None | (s, _) :: _ -> Some s);
+                      }
+              else
+                Ok
+                  {
+                    chain_replay = acc;
+                    chain_files = List.rev files;
+                    chain_first_segment =
+                      (match segs with [] -> None | (s, _) :: _ -> Some s);
+                  }
+          | (_, p) :: rest -> (
+              match read ~path:p with
+              | Error _ as e -> e
+              | Ok r -> fold (concat_replays acc r) (p :: files) rest)
+        in
+        fold empty_replay [] segs)
+  end
 
 (* Parses one framed record line (without its newline) back into an
    entry, verifying length and CRC — what a replication follower runs on

@@ -24,8 +24,9 @@ type sync_policy =
 type t
 
 val create : ?sync:sync_policy -> path:string -> unit -> t
-(** Starts a fresh journal at [path] (truncating any previous file) and
-    durably writes the header. *)
+(** Starts a fresh journal at [path] (truncating any previous file,
+    removing stale sealed segments and a stale checkpoint of a previous
+    journal under the same path) and durably writes the header. *)
 
 val open_append : ?sync:sync_policy -> path:string -> commit_seq:int -> unit -> t
 (** Reopens an existing journal for appending — the promotion path of a
@@ -62,6 +63,40 @@ val rotate : t -> base:(string * string) list -> unit
     live path: a crash anywhere leaves either the old journal or the
     complete new one.  Counts as a commit. *)
 
+(** {2 Sealing and segment GC}
+
+    The checkpoint-era alternative to {!rotate}: instead of one segment
+    standing for all history, the live file is {!seal}ed under a numbered
+    name ([<path>.seg-000000], [.seg-000001], …) and appending continues
+    in a fresh live file, forming a chain a checkpoint lets {!gc} retire
+    from the front.  Failpoint sites: ["journal.seal.rename"],
+    ["journal.seal.dirsync"], ["journal.gc.unlink"]. *)
+
+val seal : t -> unit
+(** Seals the live segment and continues at the same path.  Must be
+    called at a commit boundary (raises [Invalid_argument] on a pending
+    block); the sealed content is fsynced before the rename, so the
+    segment always ends at a marker.  Does not write a marker or advance
+    the commit sequence. *)
+
+type sealed = {
+  seg_seq : int;
+  seg_path : string;
+  seg_last_commit_seq : int;
+      (** the commit sequence the segment ends at *)
+}
+
+val sealed_segments : t -> sealed list
+(** Sealed segments this journal still holds, oldest first. *)
+
+val gc : t -> upto:int -> int
+(** Unlinks every sealed segment whose last commit sequence is at or
+    below [upto] and returns how many were removed.  Callers pass
+    [min checkpoint_seq follower_ack_floor]: a segment is retired only
+    once a durable checkpoint stands for it and no connected follower
+    still needs its bytes.  A crash mid-way leaves extra covered
+    segments, never a hole recovery needs. *)
+
 val sync : t -> unit
 (** Forces an fsync regardless of policy. *)
 
@@ -94,6 +129,9 @@ type entry = { tag : string; payload : string }
 
 type replay = {
   committed : entry list list;  (** committed transactions, in order *)
+  committed_seqs : int list;
+      (** the commit-marker sequence closing each group of [committed],
+          in the same order — checkpoint-aware recovery filters on it *)
   last_commit_seq : int;  (** 0 when no transaction committed *)
   entries_committed : int;
   uncommitted_entries : int;  (** intact records after the last marker *)
@@ -106,8 +144,28 @@ val read : path:string -> (replay, string) result
     uncommitted records and the torn tail are reported as dropped.
     [Error] on an unreadable file or a foreign/garbled header. *)
 
+type chain = {
+  chain_replay : replay;  (** the concatenated replay of every file *)
+  chain_files : string list;  (** files read, oldest first, live last *)
+  chain_first_segment : int option;
+      (** lowest sealed segment number present; [None] when the live
+          file stands alone.  Past 0 means GC retired the oldest
+          segments — their content must come from a checkpoint. *)
+}
+
+val read_chain : path:string -> (chain, string) result
+(** Reads the sealed-segment chain at [path] (ascending) followed by the
+    live file.  Tolerates a chain whose leading segments were GC'd and a
+    missing live file (crash between a seal's rename and the fresh
+    header), but errors on a hole in the middle or a corrupt header. *)
+
 val crc32 : string -> int
 (** The checksum used by the framing (exposed for tests). *)
+
+val encode_record : tag:string -> string -> string
+(** One framed, newline-terminated record line — what {!append} writes.
+    Exposed for the checkpoint codec and for synthesizing replication
+    base records from a checkpoint. *)
 
 val entry_of_line : string -> (entry, string) result
 (** Parses one framed record line (without its newline) back into an

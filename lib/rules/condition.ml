@@ -177,6 +177,20 @@ and eval_under store ev ~at atoms envs : (env list, error) result =
 let eval store ev ~at atoms : (env list, error) result =
   eval_under store ev ~at atoms [ [] ]
 
+(* Event types the condition's event formulas probe: the union of the
+   primitive types of every [occurred]/[at] expression, including those
+   nested under [absent].  The sliding-window horizon must not retire a
+   type's postings past any window these formulas can still reach into. *)
+let event_types atoms =
+  let module Event_type = Chimera_event.Event_type in
+  let rec collect acc = function
+    | Range _ | Compare _ -> acc
+    | Occurred { expr; _ } | At { expr; _ } ->
+        Event_type.Set.union acc (Expr.primitives_inst expr)
+    | Absent nested -> List.fold_left collect acc nested
+  in
+  List.fold_left collect Event_type.Set.empty atoms
+
 let vars atoms =
   (* Variables bound inside an [Absent] are local to it. *)
   List.concat_map

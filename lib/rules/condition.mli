@@ -53,5 +53,10 @@ val eval :
 val vars : t -> string list
 (** Variables bound by the condition, sorted. *)
 
+val event_types : t -> Chimera_event.Event_type.Set.t
+(** The primitive event types the condition's event formulas
+    ([occurred]/[at], including under [absent]) probe — part of a rule's
+    interest set for the sliding-window retirement horizon. *)
+
 val pp_atom : Format.formatter -> atom -> unit
 val pp : Format.formatter -> t -> unit

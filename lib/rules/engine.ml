@@ -27,6 +27,9 @@ let c_commits = Obs.Metrics.counter "engine.commits"
 let c_aborts = Obs.Metrics.counter "engine.aborts"
 let c_block_rollbacks = Obs.Metrics.counter "engine.block_rollbacks"
 let c_recover_entries = Obs.Metrics.counter "engine.recover.entries"
+let c_ckpt_writes = Obs.Metrics.counter "ckpt.writes"
+let c_replayed_records = Obs.Metrics.counter "journal.replayed_records"
+let h_ckpt = Obs.Metrics.histogram "ckpt.write_ns"
 let h_line = Obs.Metrics.histogram "engine.line_ns"
 let h_condition = Obs.Metrics.histogram "engine.condition_ns"
 let h_action = Obs.Metrics.histogram "engine.action_ns"
@@ -48,7 +51,19 @@ type config = {
       (** guard against non-terminating rule cascades *)
   compact_at_commit : int option;
       (** drop the event log at commit once it exceeds this size; sound
-          because every rule window restarts at the commit instant *)
+          because every rule window restarts at the commit instant.
+          Skipped while checkpointing is enabled (retirement and segment
+          GC bound state instead). *)
+  window_events : bool;
+      (** sliding event-base windows: at commit (and mid-transaction
+          beyond [retire_in_tx]) retire occurrences no rule window can
+          reach again, keeping log indices stable — behaviour-preserving
+          (differential-tested against an unwindowed twin) *)
+  retire_in_tx : int option;
+      (** mid-transaction retirement threshold: once the live log
+          exceeds this many occurrences, each line ends with a horizon
+          computation and prefix retirement (bounds long transactions
+          with consuming rules; preserved events stay until commit) *)
 }
 
 let default_config =
@@ -56,6 +71,8 @@ let default_config =
     trigger = Trigger_support.default_config;
     max_rule_executions = 10_000;
     compact_at_commit = Some 100_000;
+    window_events = true;
+    retire_in_tx = Some 10_000;
   }
 
 type stats = {
@@ -116,6 +133,20 @@ type timer = {
   mutable countdown : int;
 }
 
+(* Checkpoint scheduling state: every [every_commits] commits the engine
+   writes a checkpoint beside the journal, seals the live segment and
+   GCs the segments both the checkpoint and every connected follower
+   ([gc_floor]) are done with. *)
+type ckpt_state = {
+  ckpt_path : string;
+  every_commits : int;
+  gc_floor : unit -> int;
+      (** the replication ack floor: the highest commit sequence every
+          connected follower has durably acked ([max_int] when
+          unreplicated) — segments above it stay pinned *)
+  mutable commits_since : int;
+}
+
 type t = {
   config : config;
   store : Object_store.t;
@@ -135,6 +166,7 @@ type t = {
   mutable tx_id : int;
       (** monotone per-engine transaction number, carried by trace spans *)
   mutable journal : Journal.t option;
+  mutable ckpt : ckpt_state option;
   (* The transaction savepoint: everything {!abort} winds back to. *)
   mutable tx_sp : Object_store.savepoint;
   mutable tx_instant : Time.t;  (** last event instant at tx start *)
@@ -183,6 +215,7 @@ let create ?(config = default_config) schema =
     stats = stats ();
     tx_id = 1;
     journal = None;
+    ckpt = None;
     tx_sp = Object_store.savepoint store;
     tx_instant = Event_base.now eb;
     tx_trigger = Trigger_support.snapshot rules;
@@ -218,6 +251,27 @@ let clear_on_execution t = t.on_execution <- None
    transaction start (normally right after {!create} or {!recover}) so
    the journal sees whole transactions. *)
 let set_journal t j = t.journal <- Some j
+
+(* Turns on periodic checkpointing (requires an attached journal).  With
+   checkpointing on, commits skip [compact_at_commit]/[Journal.rotate]
+   entirely: sliding-window retirement bounds the event base, and the
+   checkpoint + seal + GC cycle bounds the journal chain instead. *)
+let enable_checkpoints t ?path ~every_commits ?(gc_floor = fun () -> max_int)
+    () =
+  if every_commits <= 0 then
+    invalid_arg "Engine.enable_checkpoints: every_commits must be positive";
+  match t.journal with
+  | None -> invalid_arg "Engine.enable_checkpoints: attach a journal first"
+  | Some j ->
+      let ckpt_path =
+        match path with
+        | Some p -> p
+        | None -> Checkpoint.path_for (Journal.path j)
+      in
+      t.ckpt <- Some { ckpt_path; every_commits; gc_floor; commits_since = 0 }
+
+let checkpoint_path t =
+  match t.ckpt with Some ck -> Some ck.ckpt_path | None -> None
 
 let journal_append t ~tag payload =
   match t.journal with
@@ -457,6 +511,21 @@ let process t ~include_deferred : (unit, error) result =
   in
   loop ()
 
+(* Mid-transaction retirement: the raw log must keep the whole
+   transaction (the global horizon is pinned at [tx_start] so abort's
+   truncation and EID rewind stay exact), but per-type posting prefixes
+   behind every interested rule's formula-window start — consumption
+   advances as consuming rules fire — are dead and can go. *)
+let maybe_retire_in_tx t =
+  if t.config.window_events then
+    match t.config.retire_in_tx with
+    | Some threshold when Event_base.live_size t.eb >= threshold ->
+        let type_horizon =
+          Trigger_support.type_horizons t.rules ~tx_start:t.tx_start
+        in
+        Event_base.retire_to t.eb ~horizon:t.tx_start ~type_horizon
+    | Some _ | None -> ()
+
 (* A transaction line's block covers its matured timer occurrences too:
    on failure the countdowns rewind with the events. *)
 let line_block t ops =
@@ -470,7 +539,9 @@ let execute_line t ops : (unit, error) result =
   let tok = Obs.Trace.begin_ "engine.line" in
   let result =
     let* _affected = line_block t ops in
-    process t ~include_deferred:false
+    let* () = process t ~include_deferred:false in
+    maybe_retire_in_tx t;
+    Ok ()
   in
   Obs.Trace.end_into h_line tok;
   result
@@ -484,6 +555,7 @@ let execute_line_affected t ops : (Ident.Oid.t option list, error) result =
   let result =
     let* affected = line_block t ops in
     let* () = process t ~include_deferred:false in
+    maybe_retire_in_tx t;
     Ok affected
   in
   Obs.Trace.end_into h_line tok;
@@ -524,16 +596,72 @@ let timer_of_line line =
           | _ -> fail ()))
 
 (* The checkpoint a rotated segment opens with: it must reconstruct the
-   committed state exactly — object rows (tombstones included), the OID
-   generator, the clock position (the event log itself was just
+   committed state exactly — live object rows (committed state carries
+   no tombstones: the commit point purges them, so a base written
+   mid-commit must drop the closing transaction's dead rows too), the
+   OID generator, the clock position (the event log itself was just
    compacted away, soundly), and the timers. *)
 let checkpoint_entries t =
   ("ckpt.oidgen", string_of_int (Object_store.oid_count t.store))
   :: ("ckpt.clock", string_of_int (Time.to_int (Event_base.now t.eb)))
-  :: List.map
-       (fun row -> ("ckpt.obj", Store_codec.object_to_line row))
+  :: List.filter_map
+       (fun ((_, _, deleted, _) as row) ->
+         if deleted then None
+         else Some ("ckpt.obj", Store_codec.object_to_line row))
        (Object_store.dump_objects t.store)
   @ List.map (fun tm -> ("timer", timer_to_line tm)) (timer_list t)
+
+let checkpoint_records t =
+  List.map
+    (fun (tag, payload) -> { Journal.tag; payload })
+    (checkpoint_entries t)
+
+(* Writes a checkpoint covering everything committed so far, seals the
+   live segment behind it and GCs the segments both the checkpoint and
+   the follower ack floor are done with.  Returns (covered commit
+   sequence, segments removed).  Must run at a commit boundary — the
+   seal requires it. *)
+let write_checkpoint t j ~path ~gc_floor =
+  let ckpt =
+    { Checkpoint.commit_seq = Journal.commit_seq j; entries = checkpoint_records t }
+  in
+  let tok = Obs.Trace.begin_ "engine.checkpoint" ~detail:path in
+  Checkpoint.write ~path ckpt;
+  Obs.Trace.end_into h_ckpt tok;
+  Obs.Metrics.incr c_ckpt_writes;
+  Journal.seal j;
+  let removed = Journal.gc j ~upto:(min ckpt.Checkpoint.commit_seq (gc_floor ())) in
+  Log.info (fun m ->
+      m "checkpoint at commit seq %d (%d segment(s) GC'd)"
+        ckpt.Checkpoint.commit_seq removed);
+  (ckpt.Checkpoint.commit_seq, removed)
+
+(* Forces a checkpoint + seal + GC cycle now (the CHECKPOINT wire
+   command / CLI path); resets the periodic countdown. *)
+let checkpoint_now t : (int * int, string) result =
+  match (t.ckpt, t.journal) with
+  | Some ck, Some j ->
+      ck.commits_since <- 0;
+      Ok (write_checkpoint t j ~path:ck.ckpt_path ~gc_floor:ck.gc_floor)
+  | _ -> Error "checkpointing is not enabled on this engine"
+
+let maybe_checkpoint t =
+  match (t.ckpt, t.journal) with
+  | Some ck, Some j ->
+      ck.commits_since <- ck.commits_since + 1;
+      if ck.commits_since >= ck.every_commits then begin
+        ck.commits_since <- 0;
+        ignore (write_checkpoint t j ~path:ck.ckpt_path ~gc_floor:ck.gc_floor)
+      end
+  | _ -> ()
+
+(* Sliding-window retirement at a transaction boundary: every rule
+   window restarts at [t.tx_start], so nothing at or before it is
+   reachable — retire the whole live prefix in place (indices and EIDs
+   stay stable, unlike {!compact}). *)
+let retire_at_boundary t =
+  Event_base.retire_to t.eb ~horizon:t.tx_start
+    ~type_horizon:(fun _ -> t.tx_start)
 
 let rec commit t : (unit, error) result =
   let tok = Obs.Trace.begin_ "engine.commit" in
@@ -548,9 +676,11 @@ and commit_body t : (unit, error) result =
   Trigger_support.check_all t.config.trigger t.stats.trigger_stats t.memo
     t.wake t.rules;
   let* () = process t ~include_deferred:true in
+  let checkpointing = Option.is_some t.ckpt in
   let compacted =
     match t.config.compact_at_commit with
-    | Some threshold when Event_base.size t.eb >= threshold ->
+    | Some threshold when (not checkpointing) && Event_base.size t.eb >= threshold
+      ->
         compact t;
         true
     | Some _ | None -> false
@@ -569,7 +699,7 @@ and commit_body t : (unit, error) result =
         Journal.commit j
       end);
   (* The commit point: committed history can never be rolled back. *)
-  Object_store.forget_undo t.store;
+  let purged = Object_store.forget_undo t.store in
   let fresh_start = Event_base.probe_now t.eb in
   t.tx_start <- fresh_start;
   Rule_table.iter (fun rule -> Rule.reset rule ~tx_start:fresh_start) t.rules;
@@ -577,6 +707,18 @@ and commit_body t : (unit, error) result =
      is reachable again: drop them all, keep the interned graph (and
      rebind to the fresh log when the commit compacted). *)
   Memo.restart t.memo t.eb;
+  (* The whole live window died with the windows: retire it in place.
+     Under checkpointing this replaces compaction entirely — indices and
+     EIDs stay stable across the engine's lifetime. *)
+  if t.config.window_events && not compacted then begin
+    retire_at_boundary t;
+    (* The purged objects' occurrences just retired with the window:
+       their per-object indexes are dead weight now. *)
+    if purged <> [] then Event_base.forget_objects t.eb ~oids:purged
+  end;
+  (* A checkpoint taken here needs no event records at all: the live
+     window is empty, and every rule window starts at [fresh_start]. *)
+  maybe_checkpoint t;
   begin_transaction t;
   Ok ()
 
@@ -615,11 +757,19 @@ let abort t =
   Log.info (fun m -> m "transaction aborted; back to %a" Time.pp t.tx_start)
 
 type recovery = {
-  recovered_commits : int;  (** commit markers replayed from the segment *)
+  recovered_commits : int;  (** commit markers replayed from the chain *)
   last_commit_seq : int;  (** global sequence of the last committed tx *)
   recovered_entries : int;
   dropped_entries : int;  (** intact but uncommitted records dropped *)
   dropped_bytes : int;  (** torn-tail bytes dropped *)
+  booted_from_checkpoint : int option;
+      (** the commit sequence of the checkpoint the boot started from;
+          [None] on a full-chain replay *)
+  first_segment : int option;
+      (** lowest sealed segment still present ([None]: live file only) *)
+  replayed_records : int;
+      (** journal records replayed {e after} the checkpoint — the
+          O(delta) recovery guard *)
 }
 
 (* Replays one journal record into the engine.  The progress counter
@@ -708,7 +858,7 @@ let apply_committed_txs t txs : (unit, string) result =
   in
   (* The replayed state is committed state: start a fresh transaction
      exactly as [commit] would. *)
-  Object_store.forget_undo t.store;
+  let purged = Object_store.forget_undo t.store in
   let fresh_start = Event_base.probe_now t.eb in
   t.tx_start <- fresh_start;
   Rule_table.iter (fun rule -> Rule.reset rule ~tx_start:fresh_start) t.rules;
@@ -716,6 +866,13 @@ let apply_committed_txs t txs : (unit, string) result =
      windows all moved: re-derive the wake index from scratch. *)
   Trigger_support.Wake.rebuild t.wake t.rules;
   Memo.restart t.memo t.eb;
+  (* The replayed history is unreachable, exactly as after a commit:
+     retire it so a long-lived standby's event base stays bounded. *)
+  if t.config.window_events then begin
+    Event_base.retire_to t.eb ~horizon:t.tx_start
+      ~type_horizon:(fun _ -> t.tx_start);
+    if purged <> [] then Event_base.forget_objects t.eb ~oids:purged
+  end;
   begin_transaction t;
   Ok ()
 
@@ -734,25 +891,79 @@ let apply_replayed t txs : (unit, string) result =
   Ok ()
 
 (* Rebuilds the state after the last committed transaction from a
-   journal segment.  The engine must be fresh (same schema, rules and
-   timers re-defined by the caller — definitions are program text, not
-   journaled state) and holds exactly the committed state afterwards:
-   uncommitted trailing records and a torn tail are dropped and
-   reported. *)
+   journal chain (sealed segments + live file), booting from the
+   checkpoint beside it when one exists.  The engine must be fresh (same
+   schema, rules and timers re-defined by the caller — definitions are
+   program text, not journaled state) and holds exactly the committed
+   state afterwards: uncommitted trailing records and a torn tail are
+   dropped and reported.  With a checkpoint at commit sequence S, only
+   transactions with a marker past S replay — O(delta) recovery — and
+   the chain may legally start past segment 0 (GC retired the rest). *)
 let recover t ~path : (recovery, string) result =
   if Object_store.oid_count t.store > 0 || Event_base.size t.eb > 0 then
     Error "Engine.recover: the engine already holds state"
   else
     Obs.Trace.with_span "engine.recover" ~detail:path @@ fun () ->
-    let* replay = Journal.read ~path in
-    let* () = apply_committed_txs t replay.Journal.committed in
+    let* chain = Journal.read_chain ~path in
+    let replay = chain.Journal.chain_replay in
+    let* ckpt =
+      match Checkpoint.read_opt ~path:(Checkpoint.path_for path) with
+      | Ok c -> Ok c
+      | Error msg -> (
+          (* A damaged checkpoint is fatal only when recovery needs it:
+             with the whole chain present, a full replay still works. *)
+          match chain.Journal.chain_first_segment with
+          | None | Some 0 ->
+              Log.warn (fun m ->
+                  m "ignoring unreadable checkpoint (%s): full chain present"
+                    msg);
+              Ok None
+          | Some _ -> Error msg)
+    in
+    let* () =
+      match (ckpt, chain.Journal.chain_first_segment) with
+      | None, Some first when first > 0 ->
+          Error
+            (Printf.sprintf
+               "journal chain starts at segment %d but no checkpoint covers \
+                the GC'd prefix"
+               first)
+      | _ -> Ok ()
+    in
+    let ckpt_seq, ckpt_entries =
+      match ckpt with
+      | None -> (0, [])
+      | Some c -> (c.Checkpoint.commit_seq, c.Checkpoint.entries)
+    in
+    let* () =
+      List.fold_left
+        (fun acc entry ->
+          let* () = acc in
+          replay_entry t entry)
+        (Ok ()) ckpt_entries
+    in
+    (* Replay only the suffix the checkpoint does not cover. *)
+    let kept =
+      List.filter_map
+        (fun (tx, seq) -> if seq > ckpt_seq then Some tx else None)
+        (List.combine replay.Journal.committed replay.Journal.committed_seqs)
+    in
+    let* () = apply_committed_txs t kept in
+    let kept_entries =
+      List.fold_left (fun acc tx -> acc + List.length tx) 0 kept
+    in
+    Obs.Metrics.add c_replayed_records kept_entries;
     let report =
       {
-        recovered_commits = List.length replay.Journal.committed;
-        last_commit_seq = replay.Journal.last_commit_seq;
-        recovered_entries = replay.Journal.entries_committed;
+        recovered_commits = List.length kept;
+        last_commit_seq = max replay.Journal.last_commit_seq ckpt_seq;
+        recovered_entries = List.length ckpt_entries + kept_entries;
         dropped_entries = replay.Journal.uncommitted_entries;
         dropped_bytes = replay.Journal.torn_bytes;
+        booted_from_checkpoint =
+          (match ckpt with Some c -> Some c.Checkpoint.commit_seq | None -> None);
+        first_segment = chain.Journal.chain_first_segment;
+        replayed_records = kept_entries;
       }
     in
     t.stats.recovered_commits <- report.recovered_commits;
@@ -760,8 +971,13 @@ let recover t ~path : (recovery, string) result =
     t.stats.recovery_dropped_entries <- report.dropped_entries;
     t.stats.recovery_torn_bytes <- report.dropped_bytes;
     Log.info (fun m ->
-        m "recovered %d transaction(s), %d record(s); dropped %d uncommitted record(s), %d torn byte(s)"
+        m
+          "recovered %d transaction(s), %d record(s)%s; dropped %d \
+           uncommitted record(s), %d torn byte(s)"
           report.recovered_commits report.recovered_entries
+          (match report.booted_from_checkpoint with
+          | Some seq -> Printf.sprintf " (booted from checkpoint at seq %d)" seq
+          | None -> "")
           report.dropped_entries report.dropped_bytes);
     Ok report
 

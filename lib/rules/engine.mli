@@ -24,7 +24,22 @@ type config = {
   compact_at_commit : int option;
       (** drop the event log at commit once it exceeds this size (sound:
           every rule window restarts at the commit instant); [None]
-          disables compaction.  Default: [Some 100_000]. *)
+          disables compaction.  Skipped while checkpointing is enabled
+          (retirement and segment GC bound state instead).  Default:
+          [Some 100_000]. *)
+  window_events : bool;
+      (** sliding event-base windows: at commit (and mid-transaction past
+          [retire_in_tx]) retire occurrences no rule window can reach
+          again, in place — log indices and event identifiers stay
+          stable, unlike compaction.  Behaviour-preserving
+          (differential-tested against an unwindowed twin).  Default:
+          [true]. *)
+  retire_in_tx : int option;
+      (** mid-transaction retirement threshold: once the live log holds
+          this many occurrences, every transaction line ends with a
+          per-type horizon computation (consuming rules advance their
+          windows as they fire) and prefix retirement.  [None] retires
+          only at commit.  Default: [Some 10_000]. *)
 }
 
 val default_config : config
@@ -136,12 +151,56 @@ val set_journal : t -> Chimera_event.Journal.t -> unit
 
 val journal : t -> Chimera_event.Journal.t option
 
+(** {2 Bounded state: checkpoints, segment GC, sliding windows} *)
+
+val enable_checkpoints :
+  t ->
+  ?path:string ->
+  every_commits:int ->
+  ?gc_floor:(unit -> int) ->
+  unit ->
+  unit
+(** Turns on periodic checkpointing (requires an attached journal;
+    raises [Invalid_argument] otherwise).  Every [every_commits] commits
+    the engine atomically writes a checkpoint of the committed state to
+    [path] (default: {!Chimera_event.Checkpoint.path_for} of the journal
+    path), seals the live journal segment, and GCs every sealed segment
+    at or below [min checkpoint_seq (gc_floor ())] — [gc_floor] is the
+    replication ack floor, pinning segments a connected follower still
+    needs ([max_int] when unreplicated).  While enabled,
+    [compact_at_commit] is skipped: sliding-window retirement bounds the
+    event base and the checkpoint cycle bounds the journal chain. *)
+
+val checkpoint_now : t -> (int * int, string) result
+(** Forces a checkpoint + seal + GC cycle immediately; must be called at
+    a transaction boundary (between a commit and the first line of the
+    next transaction).  Returns (covered commit sequence, segments
+    GC'd); [Error] when checkpointing is not enabled. *)
+
+val checkpoint_path : t -> string option
+(** The checkpoint file path, when checkpointing is enabled. *)
+
+val checkpoint_records : t -> Chimera_event.Journal.entry list
+(** The replayable records a checkpoint of the current committed state
+    carries (object rows, OID generator, clock, timers) — exposed for
+    the offline [chimera checkpoint] path, which writes a checkpoint
+    beside a recovered journal without opening it for appending. *)
+
 type recovery = {
-  recovered_commits : int;  (** commit markers replayed from the segment *)
+  recovered_commits : int;  (** commit markers replayed from the chain *)
   last_commit_seq : int;  (** global sequence of the last committed tx *)
   recovered_entries : int;
   dropped_entries : int;  (** intact but uncommitted records dropped *)
   dropped_bytes : int;  (** torn-tail bytes dropped *)
+  booted_from_checkpoint : int option;
+      (** commit sequence of the checkpoint the boot started from;
+          [None] on a full-chain replay *)
+  first_segment : int option;
+      (** lowest sealed segment still present ([None]: live file only) *)
+  replayed_records : int;
+      (** journal records replayed after the checkpoint — the O(delta)
+          recovery guard (also on the ["journal.replayed_records"]
+          counter) *)
 }
 
 val apply_replayed :
@@ -155,11 +214,16 @@ val apply_replayed :
 
 val recover : t -> path:string -> (recovery, string) result
 (** Rebuilds the state after the last committed transaction from a
-    journal segment: operations replay against the store (OIDs are issued
-    densely, so identifiers reproduce exactly), occurrences replay against
-    the event base at their original instants, checkpoints restore rotated
-    history.  The engine must be fresh; schema, rules and timers are
-    program text, not journaled state — re-define them before calling
-    (recovered timer countdowns override defined ones).  Trailing
-    uncommitted records and a torn tail are tolerated, dropped and
-    reported. *)
+    journal chain (sealed segments plus the live file), booting from the
+    checkpoint beside it when one exists: checkpoint records restore the
+    committed base state, then only transactions with a commit marker
+    past the checkpoint's sequence replay — O(delta) recovery — so the
+    chain may legally start past segment 0 (GC retired the rest).
+    Without a checkpoint the whole chain replays: operations against the
+    store (OIDs are issued densely, so identifiers reproduce exactly),
+    occurrences against the event base at their original instants.  The
+    engine must be fresh; schema, rules and timers are program text, not
+    journaled state — re-define them before calling (recovered timer
+    countdowns override defined ones).  Trailing uncommitted records and
+    a torn tail are tolerated, dropped and reported; a GC'd chain with a
+    missing or unreadable checkpoint is an error. *)

@@ -375,6 +375,44 @@ let check_all config stats memo wake table =
    every rule in the table; restore puts it back and drops rules defined
    after the snapshot (a rule defined inside an aborted transaction was
    never defined). *)
+(* ------------------------------------------------ retirement horizons *)
+
+(* The event types whose occurrences a rule's evaluation can probe: the
+   primitives of its event expression (every ts probe, positive or
+   negated, and the V(E) posting-list restrictions) plus the primitives
+   of its condition's event formulas. *)
+let interest_types rule =
+  let spec = Rule.spec rule in
+  Event_type.Set.union
+    (Expr.primitives spec.Rule.event)
+    (Condition.event_types spec.Rule.condition)
+
+(* Per-type safe retirement horizon: the paper's forgetting rule read off
+   the Trigger Support state.  Every probe a rule can still issue is
+   bounded below by its formula window start (last consumption for
+   consuming rules, the transaction start for preserving ones — trigger
+   windows and scan coverage never trail it), so occurrences of type T at
+   or before [min] over the rules interested in T can never be observed
+   again.  Types no rule is interested in clamp to [tx_start]: a rule
+   defined later in the transaction starts its windows there, and the raw
+   log is never retired past it either (abort rewinds exactly to it). *)
+let type_horizons table ~tx_start =
+  let mins = Event_type.Tbl.create 16 in
+  Rule_table.iter
+    (fun rule ->
+      let start = Rule.formula_window_start rule ~tx_start in
+      Event_type.Set.iter
+        (fun ty ->
+          match Event_type.Tbl.find_opt mins ty with
+          | Some h when Time.( <= ) h start -> ()
+          | _ -> Event_type.Tbl.replace mins ty start)
+        (interest_types rule))
+    table;
+  fun etype ->
+    match Event_type.Tbl.find_opt mins etype with
+    | Some h -> h
+    | None -> tx_start
+
 type rule_state = {
   rule : Rule.t;
   triggered : bool;

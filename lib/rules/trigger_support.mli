@@ -94,6 +94,17 @@ val check_all : config -> stats -> Memo.t -> Wake.t -> Rule_table.t -> unit
 (** One post-block wake: sweeps the table or drains the dirty set,
     according to [config.wake]. *)
 
+val type_horizons :
+  Rule_table.t -> tx_start:Chimera_util.Time.t -> Event_type.t -> Chimera_util.Time.t
+(** The per-type safe retirement horizon, read off the Trigger Support
+    state: for each type, the minimum formula-window start (last
+    consumption for consuming rules, [tx_start] for preserving ones)
+    over the rules whose event expression or condition formulas probe
+    it — occurrences at or before it can never be observed again.
+    Types no rule is interested in clamp to [tx_start] (a rule defined
+    later in the transaction starts its windows there).  Feed to
+    {!Chimera_event.Event_base.retire_to}. *)
+
 type snapshot
 (** The per-rule runtime state the Trigger Support owns (triggered flag,
     consideration/consumption stamps, scan coverage), captured by value

@@ -58,6 +58,11 @@ type config = {
           every attached follower acknowledges its commit sequence, so
           an acked commit survives losing the primary (default); [false]
           acknowledges locally and ships asynchronously *)
+  checkpoint_every : int option;
+      (** bounded state: every N commits each journaled shard writes a
+          checkpoint, seals its live segment and GCs segments behind
+          [min checkpoint_seq ack_floor]; [None] keeps the legacy
+          rotate-at-compaction behaviour *)
 }
 
 let default_config =
@@ -77,6 +82,7 @@ let default_config =
     backlog = 64;
     follow = None;
     repl_sync = true;
+    checkpoint_every = None;
   }
 
 (* An attached replication follower, on the primary side: one journal
@@ -85,6 +91,9 @@ let default_config =
    semi-synchronous gate compares parked commits against. *)
 type repl_peer = {
   tails : Journal.Tail.t array;
+  tail_paths : string array;
+      (** the journal path each tailer follows — the checkpoint beside
+          it synthesizes the base of a fresh segment generation *)
   acked : int array;  (** per shard, last REPL_ACKed commit sequence *)
 }
 
@@ -197,7 +206,8 @@ let create config =
     Session.Manager.create ~engines:config.engines ~domains
       ?journal_dir:config.journal_dir ~fsync:config.fsync
       ?boot_script:config.boot_script ~max_pending:config.max_pending
-      ~extra_stats:counters_text ~standby ()
+      ~extra_stats:counters_text ~standby
+      ?checkpoint_every:config.checkpoint_every ()
   in
   let* addr = resolve_addr config.host in
   match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
@@ -311,6 +321,20 @@ let min_acked t shard =
         | Some m -> min m p.acked.(shard)))
     None
 
+(* Publishes a shard's ack floor to the session manager: segment GC on
+   the shard's worker domain never retires a sealed segment a connected
+   follower has not durably acked. *)
+let update_gc_floor t shard =
+  let floor =
+    match min_acked t shard with None -> max_int | Some m -> m
+  in
+  Session.Manager.set_gc_floor t.mgr ~shard floor
+
+let update_gc_floors t =
+  for shard = 0 to t.config.engines - 1 do
+    update_gc_floor t shard
+  done
+
 (* Releases parked COMMIT replies whose sequence every follower now
    covers — also when the last follower detached (no followers, no
    gate). *)
@@ -391,7 +415,9 @@ let close_conn t conn =
         Array.iter Journal.Tail.close peer.tails;
         Obs.Metrics.set_gauge g_repl_peers (repl_peer_count t);
         (* The gate floor rose (or the gate vanished): re-evaluate every
-           shard's parked commits. *)
+           shard's parked commits, and unpin sealed segments the
+           departed follower was holding back from GC. *)
+        update_gc_floors t;
         Array.iteri (fun shard _ -> release_parked t shard) t.parked);
     (try Unix.close conn.fd with Unix.Unix_error _ -> ());
     (* Closing may free an engine shard: route the woken waiters'
@@ -464,8 +490,17 @@ let handle_repl_hello t conn arg =
                      Journal.Tail.create ~chunk:(tail_chunk t) ~path ())
                    paths)
             in
-            conn.repl <- Some { tails; acked = Array.make t.config.engines 0 };
+            conn.repl <-
+              Some
+                {
+                  tails;
+                  tail_paths = Array.of_list paths;
+                  acked = Array.make t.config.engines 0;
+                };
             Obs.Metrics.set_gauge g_repl_peers (repl_peer_count t);
+            (* The fresh peer has acked nothing: GC must pin every sealed
+               segment until it catches up. *)
+            update_gc_floors t;
             Log.info (fun m -> m "replication follower attached (session %d)" conn.sid);
             enqueue_reply t conn
               (Protocol.Ok_
@@ -483,8 +518,46 @@ let handle_repl_ack t conn ~shard ~seq =
       if shard >= 0 && shard < Array.length peer.acked then begin
         peer.acked.(shard) <- max peer.acked.(shard) seq;
         Obs.Metrics.incr c_repl_acks;
+        update_gc_floor t shard;
         release_parked t shard
       end
+
+(* Ships the checkpoint beside [path] as the base of a fresh segment
+   generation: the checkpoint's records framed as journal wire bytes,
+   closed by a commit marker at its covered sequence, chunked at record
+   boundaries to fit the frame cap.  The checkpoint on disk may be newer
+   than the seal being shipped (another cycle ran meanwhile); the
+   follower's idempotency guard skips any group it already applied. *)
+let ship_checkpoint_base t conn ~shard path =
+  match Checkpoint.read_opt ~path:(Checkpoint.path_for path) with
+  | Ok None -> ()
+  | Error msg ->
+      Log.warn (fun m ->
+          m "replication: unreadable checkpoint beside %s: %s" path msg)
+  | Ok (Some ckpt) ->
+      let wire = Checkpoint.to_wire ckpt in
+      let limit = tail_chunk t in
+      let buf = Buffer.create (min limit (String.length wire)) in
+      let flush () =
+        if Buffer.length buf > 0 then begin
+          let data = Buffer.contents buf in
+          Buffer.clear buf;
+          Obs.Metrics.add c_repl_bytes (String.length data);
+          enqueue_payload t conn
+            (Protocol.push_to_payload
+               (Protocol.Repl_records
+                  { shard; head_seq = t.shard_seq.(shard); data }))
+        end
+      in
+      List.iter
+        (fun line ->
+          if line <> "" then begin
+            if Buffer.length buf + String.length line + 1 > limit then flush ();
+            Buffer.add_string buf line;
+            Buffer.add_char buf '\n'
+          end)
+        (String.split_on_char '\n' wire);
+      flush ()
 
 (* Ships whatever each shard's journal grew by to every attached
    follower, under the same high-water backpressure as replies: a slow
@@ -502,18 +575,24 @@ let ship_repl t =
               if pending_out conn <= t.config.high_water then
                 List.iter
                   (fun ev ->
-                    let payload =
-                      match ev with
-                      | Journal.Tail.Segment { generation } ->
-                          Protocol.push_to_payload
-                            (Protocol.Repl_segment { shard; generation })
-                      | Journal.Tail.Records data ->
-                          Obs.Metrics.add c_repl_bytes (String.length data);
-                          Protocol.push_to_payload
-                            (Protocol.Repl_records
-                               { shard; head_seq = t.shard_seq.(shard); data })
-                    in
-                    enqueue_payload t conn payload)
+                    match ev with
+                    | Journal.Tail.Segment { generation } ->
+                        enqueue_payload t conn
+                          (Protocol.push_to_payload
+                             (Protocol.Repl_segment { shard; generation }));
+                        (* A fresh generation rebuilds the follower from
+                           nothing; under checkpoint-era sealing the live
+                           file alone is not full history — the
+                           checkpoint beside it stands for everything
+                           behind the seal. *)
+                        ship_checkpoint_base t conn ~shard
+                          peer.tail_paths.(shard)
+                    | Journal.Tail.Records data ->
+                        Obs.Metrics.add c_repl_bytes (String.length data);
+                        enqueue_payload t conn
+                          (Protocol.push_to_payload
+                             (Protocol.Repl_records
+                                { shard; head_seq = t.shard_seq.(shard); data })))
                   (Journal.Tail.poll tail))
             peer.tails)
     t.conns

@@ -56,6 +56,14 @@ type config = {
           acknowledged survives losing the primary.  [false] ships
           asynchronously — faster, but the freshest acked commits can be
           lost with the primary. *)
+  checkpoint_every : int option;
+      (** bounded state (default [None]): every N commits each journaled
+          shard writes a checkpoint beside its journal, seals the live
+          segment, and GCs sealed segments behind
+          [min checkpoint_seq ack_floor] — the ack floor pins segments a
+          connected replication follower has not durably acked.  A fresh
+          follower attaching (or a seal rotating the stream) receives
+          the checkpoint as its segment base. *)
 }
 
 val default_config : config

@@ -125,6 +125,14 @@ module Manager = struct
             it to an ordinary primary *)
     fsync : Journal.sync_policy;
     boot_script : string option;  (** kept for standby shard resets *)
+    checkpoint_every : int option;
+        (** commits between engine checkpoints (journaled shards);
+            [None] keeps the legacy compact/rotate behaviour *)
+    gc_floors : int Atomic.t array;
+        (** per-shard replication ack floor, written by the reactor
+            ({!set_gc_floor}) and read by the engine's GC callback on the
+            shard's worker domain; [max_int] = no follower pins
+            anything *)
     boot_seqs : int array;
         (** each shard's journal commit sequence right after boot, read
             before any worker domain spawns (the reactor's race-free
@@ -180,7 +188,8 @@ module Manager = struct
   let shard_journal_path dir idx =
     Filename.concat dir (Printf.sprintf "shard-%d.journal" idx)
 
-  let make_shard ~standby ~journal_dir ~fsync ~boot_script idx =
+  let make_shard ~standby ~journal_dir ~fsync ~boot_script ~checkpoint_every
+      ~gc_floor idx =
     let ( let* ) = Result.bind in
     let interp = Interp.create () in
     let executed = ref [] in
@@ -254,6 +263,13 @@ module Manager = struct
                       (Fmt.str "boot script commit (shard %d): %a" idx
                          Engine.pp_error e)))
       in
+      (* Bounded state: periodic checkpoints + segment GC on journaled
+         shards, gated by the replication ack floor the reactor feeds. *)
+      (match (journal, checkpoint_every) with
+      | Some _, Some every_commits ->
+          Engine.enable_checkpoints (Interp.engine interp)
+            ~every_commits ~gc_floor ()
+      | _ -> ());
       Ok (finish ~journal ~repl_sink:None)
 
   (* ----------------------------------------------------- shard pinning *)
@@ -423,20 +439,27 @@ module Manager = struct
   (* ---------------------------------------------------------- create *)
 
   let create ~engines ?(domains = 0) ?journal_dir ?(fsync = Journal.Per_commit)
-      ?boot_script ?(max_pending = 64) ?extra_stats ?(standby = false) () =
+      ?boot_script ?(max_pending = 64) ?extra_stats ?(standby = false)
+      ?checkpoint_every () =
     let ( let* ) = Result.bind in
     if engines <= 0 then Error "engines must be positive"
     else if domains < 0 then Error "domains must be non-negative"
+    else if (match checkpoint_every with Some n -> n <= 0 | None -> false)
+    then Error "checkpoint interval must be positive"
     else
       let* () =
         match journal_dir with None -> Ok () | Some dir -> mkdir_p dir
       in
+      let gc_floors = Array.init engines (fun _ -> Atomic.make max_int) in
       let* shards =
         let rec build acc idx =
           if idx >= engines then Ok (List.rev acc)
           else
             let* shard =
-              make_shard ~standby ~journal_dir ~fsync ~boot_script idx
+              make_shard ~standby ~journal_dir ~fsync ~boot_script
+                ~checkpoint_every
+                ~gc_floor:(fun () -> Atomic.get gc_floors.(idx))
+                idx
             in
             build (shard :: acc) (idx + 1)
         in
@@ -485,6 +508,8 @@ module Manager = struct
           standby_mode = standby;
           fsync;
           boot_script;
+          checkpoint_every;
+          gc_floors;
           boot_seqs;
         }
       in
@@ -499,6 +524,12 @@ module Manager = struct
 
   let engines t = t.engines
   let domains t = match t.runtime with Inline -> 0 | Threaded { n; _ } -> n
+
+  (* The reactor publishes each shard's replication ack floor (the lowest
+     commit sequence every attached follower has durably acked;
+     [max_int] without followers): segment GC on the shard's worker
+     domain reads it through the engine's [gc_floor] callback. *)
+  let set_gc_floor t ~shard floor = Atomic.set t.gc_floors.(shard) floor
   let standby t = t.standby_mode
   let boot_seqs t = Array.copy t.boot_seqs
   let session_count t = Hashtbl.length t.sessions
@@ -1012,7 +1043,7 @@ module Manager = struct
                           | Some marker_seq ->
                               let tx = List.rev shard.repl_pending in
                               shard.repl_pending <- [];
-                              Ok (tx :: txs, marker_seq))
+                              Ok ((tx, marker_seq) :: txs, marker_seq))
                       | "abort" ->
                           shard.repl_pending <- [];
                           acc
@@ -1022,12 +1053,19 @@ module Manager = struct
           (Ok ([], shard.repl_seq))
           (String.split_on_char '\n' data)
       in
+      (* Idempotency guard: a checkpoint base synthesized on the primary
+         can cover sequences this shard already applied (the reactor may
+         read a checkpoint newer than the seal it is handling) — skip
+         any committed group at or below the applied sequence. *)
+      let fresh =
+        List.filter_map
+          (fun (tx, seq) -> if seq > shard.repl_seq then Some tx else None)
+          (List.rev txs_rev)
+      in
       let* () =
-        match txs_rev with
+        match fresh with
         | [] -> Ok ()
-        | txs_rev ->
-            Engine.apply_replayed (Interp.engine shard.interp)
-              (List.rev txs_rev)
+        | txs -> Engine.apply_replayed (Interp.engine shard.interp) txs
       in
       shard.repl_seq <- max shard.repl_seq last_seq;
       Ok shard.repl_seq
@@ -1046,26 +1084,40 @@ module Manager = struct
     let ( let* ) = Result.bind in
     let* () = check_standby t in
     t.standby_mode <- false;
-    Array.fold_left
-      (fun acc shard ->
-        let* () = acc in
-        match shard.repl_sink with
-        | None -> Ok ()
-        | Some sink -> (
-            let path = Journal.Sink.path sink in
-            Journal.Sink.close sink;
-            shard.repl_sink <- None;
-            match
-              Journal.open_append ~sync:t.fsync ~path
-                ~commit_seq:shard.repl_seq ()
-            with
-            | j ->
-                Engine.set_journal (Interp.engine shard.interp) j;
-                shard.journal <- Some j;
-                Ok ()
-            | exception Sys_error msg ->
-                Error (Printf.sprintf "cannot reopen journal %s: %s" path msg)))
-      (Ok ()) t.shards
+    let rec go idx =
+      if idx >= Array.length t.shards then Ok ()
+      else
+        let shard = t.shards.(idx) in
+        let* () =
+          match shard.repl_sink with
+          | None -> Ok ()
+          | Some sink -> (
+              let path = Journal.Sink.path sink in
+              Journal.Sink.close sink;
+              shard.repl_sink <- None;
+              match
+                Journal.open_append ~sync:t.fsync ~path
+                  ~commit_seq:shard.repl_seq ()
+              with
+              | j ->
+                  Engine.set_journal (Interp.engine shard.interp) j;
+                  shard.journal <- Some j;
+                  (* The promoted primary checkpoints like any other. *)
+                  (match t.checkpoint_every with
+                  | Some every_commits ->
+                      Engine.enable_checkpoints (Interp.engine shard.interp)
+                        ~every_commits
+                        ~gc_floor:(fun () -> Atomic.get t.gc_floors.(idx))
+                        ()
+                  | None -> ());
+                  Ok ()
+              | exception Sys_error msg ->
+                  Error (Printf.sprintf "cannot reopen journal %s: %s" path msg)
+              )
+        in
+        go (idx + 1)
+    in
+    go 0
 
   (* --------------------------------------------------------- shutdown *)
 

@@ -45,6 +45,7 @@ module Manager : sig
     ?max_pending:int ->
     ?extra_stats:(unit -> string) ->
     ?standby:bool ->
+    ?checkpoint_every:int ->
     unit ->
     (t, string) result
   (** [engines] must be positive.  [domains] (default [0]) is the worker
@@ -64,12 +65,26 @@ module Manager : sig
       {!Journal.Sink} instead of an engine-attached journal, refuse
       [LINE]/[COMMIT]/[ABORT] with [ERR standby], and always run inline
       ([domains] is ignored).  Feed the stream through {!repl_reset} and
-      {!repl_apply}; {!promote} turns the standby into a primary. *)
+      {!repl_apply}; {!promote} turns the standby into a primary.
+
+      [checkpoint_every] (positive) enables bounded state on journaled
+      shards: every N commits the engine writes a checkpoint beside its
+      journal, seals the live segment and GCs segments behind
+      [min checkpoint_seq ack_floor] (see {!set_gc_floor}).  A standby
+      picks the setting up at promotion. *)
 
   val engines : t -> int
 
   val domains : t -> int
   (** Worker domains actually running; [0] in inline mode. *)
+
+  val set_gc_floor : t -> shard:int -> int -> unit
+  (** Publishes the shard's replication ack floor — the lowest commit
+      sequence every attached follower has durably acknowledged, or
+      [max_int] when no follower is attached.  The reactor owns the
+      follower bookkeeping and calls this on every ack, attach and
+      detach; segment GC (on the shard's worker domain) never retires a
+      sealed segment above the floor.  Domain-safe. *)
 
   val standby : t -> bool
   (** The manager is a replication follower (created with [~standby:true]

@@ -252,10 +252,24 @@ let rollback_to t sp =
 
 (* The commit point: committed history can never be rolled back again,
    so the inverse-operation log is dropped (savepoints taken before this
-   call become invalid). *)
+   call become invalid).  With rollback off the table the transaction's
+   tombstones are unreachable too — every read filters them and rules
+   bind live extents — so committed deletions release their rows here;
+   the store stays O(live objects), not O(deletion history). *)
 let forget_undo t =
+  let purged =
+    List.filter_map
+      (function
+        | U_delete o when o.deleted ->
+            Hashtbl.remove t.objects (Ident.Oid.to_int o.oid);
+            unenroll t o.class_name o.oid;
+            Some o.oid
+        | _ -> None)
+      t.undo
+  in
   t.undo <- [];
-  t.undo_len <- 0
+  t.undo_len <- 0;
+  purged
 
 (* ----------------------------------------------- checkpoint support *)
 

@@ -62,9 +62,14 @@ val rollback_to : t -> savepoint -> unit
     savepoint taken after the current state (or invalidated by
     {!forget_undo}). *)
 
-val forget_undo : t -> unit
+val forget_undo : t -> Ident.Oid.t list
 (** The commit point: drops the undo log (committed history can never be
-    rolled back), invalidating earlier savepoints. *)
+    rolled back), invalidating earlier savepoints, and purges the
+    transaction's tombstones — once rollback is impossible a deleted row
+    is unreachable (reads filter it, rules bind live extents), so the
+    store stays O(live objects) under deletion churn.  Returns the
+    purged OIDs so the caller can drop other per-object state (the
+    event base's per-object indexes). *)
 
 (** {2 Checkpoint support (journal segments)} *)
 
@@ -77,9 +82,10 @@ val set_oid_count : t -> int -> unit
 
 val dump_objects :
   t -> (Ident.Oid.t * string * bool * (string * Value.t) list) list
-(** Every object row — including deleted ones, their tombstones matter
-    for OID accounting — as [(oid, class, deleted, attrs)] in ascending
-    OID order with sorted attributes; the canonical comparable dump. *)
+(** Every object row — including this transaction's not-yet-committed
+    tombstones ({!forget_undo} purges them) — as
+    [(oid, class, deleted, attrs)] in ascending OID order with sorted
+    attributes; the canonical comparable dump. *)
 
 val restore_object :
   t ->

@@ -1,75 +1,143 @@
-(* Growable array used for append-only logs and indexes. *)
+(* Growable array used for append-only logs and indexes.
 
-type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }
+   Indices are *absolute*: the [i]-th element ever pushed keeps index [i]
+   for its whole life, even after the prefix before it has been retired
+   with [retire_prefix].  Physically the live region [start_, len) is
+   stored at offset [start_ - base] in [data]; retirement slides [start_]
+   forward and compaction slides the live region back to the front of the
+   buffer (possibly shrinking it), so capacity tracks the live size, not
+   the historical length. *)
 
-let create ~dummy = { data = Array.make 8 dummy; len = 0; dummy }
+type 'a t = {
+  mutable data : 'a array;
+  mutable base : int;  (* absolute index stored at data.(0) *)
+  mutable start_ : int;  (* absolute index of the first live element *)
+  mutable len : int;  (* absolute end: one past the last element *)
+  dummy : 'a;
+}
+(* Invariants: base <= start_ <= len and len - base <= Array.length data. *)
+
+let create ~dummy = { data = Array.make 8 dummy; base = 0; start_ = 0; len = 0; dummy }
 
 let length t = t.len
 
-let is_empty t = t.len = 0
+let start t = t.start_
+
+let live_length t = t.len - t.start_
+
+let is_empty t = t.len = t.start_
+
+(* Drops the retired prefix from the buffer, shrinking it when the live
+   region has become much smaller than the capacity (never below 8). *)
+let compact t =
+  let cap = Array.length t.data in
+  let retired = t.start_ - t.base in
+  let live = t.len - t.start_ in
+  let rec fit c = if c > 8 && live * 4 <= c then fit (c / 2) else c in
+  let cap' = fit cap in
+  if cap' < cap then begin
+    let data = Array.make cap' t.dummy in
+    Array.blit t.data retired data 0 live;
+    t.data <- data
+  end
+  else begin
+    Array.blit t.data retired t.data 0 live;
+    Array.fill t.data live retired t.dummy
+  end;
+  t.base <- t.start_
 
 let grow t =
   let cap = Array.length t.data in
-  let data = Array.make (2 * cap) t.dummy in
-  Array.blit t.data 0 data 0 t.len;
-  t.data <- data
+  let retired = t.start_ - t.base in
+  if retired >= cap / 2 then compact t
+  else begin
+    (* Growing also sheds the retired prefix, so capacity is bounded by
+       twice the largest live size rather than the historical length. *)
+    let live = t.len - t.start_ in
+    let data = Array.make (2 * cap) t.dummy in
+    Array.blit t.data retired data 0 live;
+    t.data <- data;
+    t.base <- t.start_
+  end
 
 let push t x =
-  if t.len = Array.length t.data then grow t;
-  t.data.(t.len) <- x;
+  if t.len - t.base = Array.length t.data then grow t;
+  t.data.(t.len - t.base) <- x;
   t.len <- t.len + 1
 
 let get t i =
-  if i < 0 || i >= t.len then invalid_arg "Vec.get: index out of bounds";
-  t.data.(i)
+  if i < t.start_ || i >= t.len then invalid_arg "Vec.get: index out of bounds";
+  t.data.(i - t.base)
 
 let set t i x =
-  if i < 0 || i >= t.len then invalid_arg "Vec.set: index out of bounds";
-  t.data.(i) <- x
+  if i < t.start_ || i >= t.len then invalid_arg "Vec.set: index out of bounds";
+  t.data.(i - t.base) <- x
 
-let last t = if t.len = 0 then None else Some t.data.(t.len - 1)
+let last t = if t.len = t.start_ then None else Some t.data.(t.len - 1 - t.base)
 
 let iter f t =
-  for i = 0 to t.len - 1 do
+  for i = t.start_ - t.base to t.len - 1 - t.base do
     f t.data.(i)
   done
 
 let iteri f t =
-  for i = 0 to t.len - 1 do
-    f i t.data.(i)
+  for i = t.start_ to t.len - 1 do
+    f i t.data.(i - t.base)
   done
 
 let fold f acc t =
   let acc = ref acc in
-  for i = 0 to t.len - 1 do
+  for i = t.start_ - t.base to t.len - 1 - t.base do
     acc := f !acc t.data.(i)
   done;
   !acc
 
 let to_list t =
-  let rec loop i acc = if i < 0 then acc else loop (i - 1) (t.data.(i) :: acc) in
+  let rec loop i acc =
+    if i < t.start_ then acc else loop (i - 1) (t.data.(i - t.base) :: acc)
+  in
   loop (t.len - 1) []
 
-let clear t = t.len <- 0
+let clear t =
+  Array.fill t.data 0 (t.len - t.base) t.dummy;
+  t.base <- 0;
+  t.start_ <- 0;
+  t.len <- 0
 
-(* Keeps the first [n] elements.  Slots beyond the new length are reset to
-   the dummy so truncation never pins dropped values. *)
+(* Keeps the elements below absolute index [n].  Slots beyond the new
+   length are reset to the dummy so truncation never pins dropped
+   values. *)
 let truncate t n =
-  if n < 0 || n > t.len then invalid_arg "Vec.truncate: length out of bounds";
-  Array.fill t.data n (t.len - n) t.dummy;
+  if n < t.start_ || n > t.len then invalid_arg "Vec.truncate: length out of bounds";
+  Array.fill t.data (n - t.base) (t.len - n) t.dummy;
   t.len <- n
 
-(* Greatest index [i] such that [key t.(i) <= x], assuming [key] is
-   non-decreasing over the vector; [-1] when all keys exceed [x]. *)
+(* Retires every element below absolute index [n]; their indices remain
+   reserved but the slots are released.  A bound at or below the current
+   start is a no-op (retirement horizons need not be monotone across
+   callers). *)
+let retire_prefix t n =
+  if n > t.len then invalid_arg "Vec.retire_prefix: bound out of bounds";
+  if n > t.start_ then begin
+    Array.fill t.data (t.start_ - t.base) (n - t.start_) t.dummy;
+    t.start_ <- n;
+    let cap = Array.length t.data in
+    let retired = t.start_ - t.base in
+    if retired >= cap / 2 && retired > 0 then compact t
+  end
+
+(* Greatest live index [i] such that [key t.(i) <= x], assuming [key] is
+   non-decreasing over the vector; [start t - 1] when all live keys
+   exceed [x]. *)
 let bisect_right t ~key x =
   let rec loop lo hi =
     (* invariant: key t.(lo-1) <= x < key t.(hi), with virtual sentinels *)
     if lo >= hi then lo - 1
     else
       let mid = (lo + hi) / 2 in
-      if key t.data.(mid) <= x then loop (mid + 1) hi else loop lo mid
+      if key t.data.(mid - t.base) <= x then loop (mid + 1) hi else loop lo mid
   in
-  loop 0 t.len
+  loop t.start_ t.len
 
-(* Least index [i] such that [key t.(i) > x]; [length t] when none. *)
+(* Least live index [i] such that [key t.(i) > x]; [length t] when none. *)
 let bisect_after t ~key x = bisect_right t ~key x + 1

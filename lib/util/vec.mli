@@ -1,5 +1,12 @@
 (** Growable arrays for append-only logs and indexes, with the binary
-    searches the event-base queries are built on. *)
+    searches the event-base queries are built on.
+
+    Indices are {e absolute}: the [i]-th element ever pushed keeps index
+    [i] for its whole life.  {!retire_prefix} releases a dead prefix
+    without renumbering the survivors — the physical buffer is compacted
+    (and shrunk) behind the offset, so capacity tracks the live size.
+    A vector that is never retired behaves exactly like a plain growable
+    array with [start = 0]. *)
 
 type 'a t
 
@@ -7,32 +14,57 @@ val create : dummy:'a -> 'a t
 (** [dummy] fills unused capacity; it is never observable. *)
 
 val length : 'a t -> int
+(** The absolute end: one past the last element ever pushed (retired
+    elements still count — this is the next index {!push} will assign). *)
+
+val start : 'a t -> int
+(** The absolute index of the first live element ([0] until a prefix is
+    retired). *)
+
+val live_length : 'a t -> int
+(** [length t - start t]: the number of retained elements. *)
+
 val is_empty : 'a t -> bool
+(** No live elements. *)
+
 val push : 'a t -> 'a -> unit
 
 val get : 'a t -> int -> 'a
-(** Raises [Invalid_argument] out of bounds. *)
+(** Raises [Invalid_argument] out of bounds or on a retired index. *)
 
 val set : 'a t -> int -> 'a -> unit
-(** Replaces an existing element; raises [Invalid_argument] out of
-    bounds. *)
+(** Replaces an existing live element; raises [Invalid_argument] out of
+    bounds or on a retired index. *)
 
 val last : 'a t -> 'a option
 val iter : ('a -> unit) -> 'a t -> unit
+
 val iteri : (int -> 'a -> unit) -> 'a t -> unit
+(** Indices are absolute (the first callback receives [start t]). *)
+
 val fold : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
 val to_list : 'a t -> 'a list
+
 val clear : 'a t -> unit
+(** Empties the vector and resets absolute indexing to [0]. *)
 
 val truncate : 'a t -> int -> unit
-(** Keeps the first [n] elements (the undo/rollback path of append-only
-    logs); raises [Invalid_argument] when [n] is negative or exceeds the
-    length. *)
+(** Keeps the elements below absolute index [n] (the undo/rollback path
+    of append-only logs); raises [Invalid_argument] when [n] is below
+    [start t] or exceeds the length. *)
+
+val retire_prefix : 'a t -> int -> unit
+(** Releases every element below absolute index [n]; surviving elements
+    keep their indices.  Clamps: a bound at or below [start t] is a
+    no-op.  Raises [Invalid_argument] when [n] exceeds the length.
+    Compacts (and shrinks) the physical buffer once the retired region
+    dominates, so memory is proportional to the live size. *)
 
 val bisect_right : 'a t -> key:('a -> 'b) -> 'b -> int
-(** Greatest index [i] with [key t.(i) <= x] under the polymorphic order,
-    assuming [key] is non-decreasing over the vector; [-1] when every key
-    exceeds [x]. *)
+(** Greatest live index [i] with [key t.(i) <= x] under the polymorphic
+    order, assuming [key] is non-decreasing over the vector;
+    [start t - 1] when every live key exceeds [x] ([-1] when nothing has
+    been retired). *)
 
 val bisect_after : 'a t -> key:('a -> 'b) -> 'b -> int
-(** Least index [i] with [key t.(i) > x]; [length t] when none. *)
+(** Least live index [i] with [key t.(i) > x]; [length t] when none. *)

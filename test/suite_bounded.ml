@@ -1,0 +1,184 @@
+(* Bounded state under sustained load (DESIGN.md §4h, EXPERIMENTS.md E15
+   in miniature — the long soak lives in bench/bounded.ml):
+
+   - the live event window stays flat while the absolute log keeps
+     growing (sliding-window retirement, not compaction: indices and
+     event identifiers stay stable);
+   - the heap stays flat over a stationary workload (retired prefixes
+     are really freed, not merely hidden);
+   - the journal chain on disk stays a handful of files (checkpoint +
+     segment GC);
+   - recovery is O(delta): it boots from the checkpoint and replays only
+     the post-checkpoint suffix, with the ["journal.replayed_records"]
+     observability counter agreeing with the recovery report. *)
+
+open Core
+
+let temp_journal () = Filename.temp_file "chimera-bounded" ".chj"
+
+let segment_files path =
+  let dir = Filename.dirname path and base = Filename.basename path in
+  let prefix = base ^ ".seg-" in
+  Array.to_list (Sys.readdir dir)
+  |> List.filter (fun f ->
+         String.length f > String.length prefix
+         && String.sub f 0 (String.length prefix) = prefix)
+
+let remove_chain path =
+  let rm p = try Sys.remove p with Sys_error _ -> () in
+  rm path;
+  rm (Checkpoint.path_for path);
+  List.iter
+    (fun f -> rm (Filename.concat (Filename.dirname path) f))
+    (segment_files path)
+
+let bounded_config =
+  {
+    Engine.default_config with
+    Engine.compact_at_commit = None;
+    retire_in_tx = Some 1;
+  }
+
+(* One stationary transaction: create a stock row, delete an old one
+   once the population exceeds a handful.  Quantity 50 sits between the
+   reorder and overflow thresholds, so the standard rules watch but
+   never create objects of their own — the store population is constant
+   and any heap growth is a leak. *)
+(* Returns the live window size just before the commit (after it the
+   window is empty by construction — every rule window restarts). *)
+let stationary_tx engine =
+  Engine.execute_line_exn engine
+    [ Domain.new_stock ~quantity:50 ~maxquantity:100 ~minquantity:10 ];
+  (match Object_store.extent (Engine.store engine) ~class_name:"stock" with
+  | oid :: _ :: _ :: _ :: _ ->
+      Engine.execute_line_exn engine [ Operation.Delete { oid } ]
+  | _ -> ());
+  let live = Event_base.live_size (Engine.event_base engine) in
+  Engine.commit_exn engine;
+  live
+
+let journaled_engine ~path ~every_commits =
+  let engine = Scenario.engine ~config:bounded_config () in
+  let journal = Journal.create ~path () in
+  Engine.set_journal engine journal;
+  Engine.enable_checkpoints engine ~every_commits ();
+  (engine, journal)
+
+let test_soak_bounded () =
+  let path = temp_journal () in
+  Fun.protect ~finally:(fun () -> remove_chain path) @@ fun () ->
+  let engine, journal = journaled_engine ~path ~every_commits:8 in
+  let eb = Engine.event_base engine in
+  (* Warm up, then measure over a long second leg. *)
+  for _ = 1 to 50 do
+    ignore (stationary_tx engine)
+  done;
+  Gc.full_major ();
+  let live_words0 = (Gc.stat ()).Gc.live_words in
+  let size0 = Event_base.size eb in
+  let max_window = ref 0 in
+  for _ = 1 to 800 do
+    max_window := max !max_window (stationary_tx engine)
+  done;
+  Gc.full_major ();
+  let live_words1 = (Gc.stat ()).Gc.live_words in
+  (* The absolute log grew by at least one occurrence per transaction
+     (create events), yet the live window never exceeded a small
+     constant: retirement keeps up with the workload. *)
+  Alcotest.(check bool) "absolute log keeps growing" true
+    (Event_base.size eb >= size0 + 800);
+  Alcotest.(check bool)
+    (Printf.sprintf "live window stays small (max %d)" !max_window)
+    true
+    (!max_window > 0 && !max_window <= 64);
+  (* The heap is flat: 800 transactions appended thousands of absolute
+     log entries; had retirement leaked them, live words would grow by
+     tens of thousands.  Allow generous slack for allocator noise. *)
+  let growth = live_words1 - live_words0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "heap flat over 800 txs (grew %d words)" growth)
+    true
+    (growth < 20_000);
+  (* The chain on disk is the live file plus at most a segment awaiting
+     the next cycle — 100 checkpoint cycles GC'd the rest. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "segments GC'd (%d left)"
+       (List.length (segment_files path)))
+    true
+    (List.length (segment_files path) <= 1);
+  Journal.close journal
+
+let test_odelta_recovery () =
+  let path = temp_journal () in
+  Fun.protect ~finally:(fun () -> remove_chain path) @@ fun () ->
+  let engine, journal = journaled_engine ~path ~every_commits:10 in
+  (* 57 commits: checkpoints at 10, 20, ..., 50; a 7-transaction
+     suffix. *)
+  for _ = 1 to 57 do
+    ignore (stationary_tx engine)
+  done;
+  Journal.close journal;
+  let counter = Obs.Metrics.counter "journal.replayed_records" in
+  let counted0 = Obs.Metrics.counter_value counter in
+  Obs.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.set_enabled false) @@ fun () ->
+  let fresh = Scenario.engine ~config:bounded_config () in
+  match Engine.recover fresh ~path with
+  | Error msg -> Alcotest.fail msg
+  | Ok report ->
+      Alcotest.(check int) "all commits recovered" 57
+        report.Engine.last_commit_seq;
+      Alcotest.(check (option int)) "booted from the last checkpoint"
+        (Some 50) report.Engine.booted_from_checkpoint;
+      (* O(delta): only the 7-transaction suffix replays from the
+         journal.  A stationary transaction is a handful of records; a
+         full-history replay would be well past a thousand. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "suffix-sized replay (%d records)"
+           report.Engine.replayed_records)
+        true
+        (report.Engine.replayed_records <= 200);
+      Alcotest.(check int) "obs counter tracks the replay"
+        report.Engine.replayed_records
+        (Obs.Metrics.counter_value counter - counted0);
+      (* The recovered engine agrees with the survivor on the store. *)
+      Alcotest.(check int) "store population matches"
+        (Object_store.count_live (Engine.store engine))
+        (Object_store.count_live (Engine.store fresh))
+
+let test_checkpoint_now_paths () =
+  (* Not enabled (no journal): checkpoint_now errors, path is None. *)
+  let plain = Scenario.engine ~config:bounded_config () in
+  Alcotest.(check bool) "no checkpoint path without enablement" true
+    (Engine.checkpoint_path plain = None);
+  (match Engine.checkpoint_now plain with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "checkpoint_now succeeded without enablement");
+  (* Enabled: an explicit checkpoint lands on disk at the derived path
+     and covers the last committed sequence. *)
+  let path = temp_journal () in
+  Fun.protect ~finally:(fun () -> remove_chain path) @@ fun () ->
+  let engine, journal = journaled_engine ~path ~every_commits:1000 in
+  for _ = 1 to 3 do
+    ignore (stationary_tx engine)
+  done;
+  Alcotest.(check (option string)) "derived checkpoint path"
+    (Some (Checkpoint.path_for path))
+    (Engine.checkpoint_path engine);
+  (match Engine.checkpoint_now engine with
+  | Error msg -> Alcotest.fail msg
+  | Ok (seq, _gced) ->
+      Alcotest.(check int) "covers the last commit" 3 seq;
+      Alcotest.(check bool) "checkpoint on disk" true
+        (Sys.file_exists (Checkpoint.path_for path)));
+  Journal.close journal
+
+let suite =
+  [
+    Alcotest.test_case "soak: window, heap and chain stay bounded" `Quick
+      test_soak_bounded;
+    Alcotest.test_case "recovery replays only the checkpoint suffix" `Quick
+      test_odelta_recovery;
+    Alcotest.test_case "checkpoint_now: error and success paths" `Quick
+      test_checkpoint_now_paths;
+  ]

@@ -387,6 +387,210 @@ let test_rotation_dirsync_crash () =
   done;
   Alcotest.(check bool) "dirsync boundary exercised" true (!dirsync_crashes >= 1)
 
+(* --------------------------- checkpoint/GC crash matrix (§4h bounded) *)
+
+(* The checkpoint cycle (write ckpt atomically → seal the live segment →
+   GC covered segments) adds seven crash sites to the journal's:
+   [ckpt.write] (torn), [ckpt.fsync], [ckpt.rename], [ckpt.dirsync],
+   [journal.seal.rename], [journal.seal.dirsync], [journal.gc.unlink] —
+   plus [window.retire] inside the in-memory prefix retirement.  Crashing
+   at every boundary of a checkpoint-every-commit workload, recovery from
+   whatever files the crash left must land exactly on the last committed
+   state, and must never need a segment GC already unlinked. *)
+
+let segment_files path =
+  let dir = Filename.dirname path in
+  let prefix = Filename.basename path ^ ".seg-" in
+  let plen = String.length prefix in
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+      Array.to_list names
+      |> List.filter_map (fun name ->
+             if String.length name > plen && String.sub name 0 plen = prefix
+             then Some (Filename.concat dir name)
+             else None)
+
+let remove_chain path =
+  remove_if_exists path;
+  remove_if_exists (Checkpoint.path_for path);
+  remove_if_exists (Checkpoint.path_for path ^ ".writing");
+  List.iter remove_if_exists (segment_files path)
+
+let run_ckpt_until_crash ~path ~config ~txs ~lines ~ops =
+  let engine = Scenario.engine ~config () in
+  match Journal.create ~sync:Journal.Per_commit ~path () with
+  | exception Failpoint.Crash _ -> (None, true)
+  | journal -> (
+      Engine.set_journal engine journal;
+      Engine.enable_checkpoints engine ~every_commits:1 ();
+      match drive engine ~txs ~lines ~ops with
+      | () -> (Some journal, false)
+      | exception Failpoint.Crash _ -> (Some journal, true))
+
+let test_checkpoint_crash_matrix () =
+  let config =
+    {
+      Engine.default_config with
+      Engine.compact_at_commit = None;
+      max_rule_executions = 10_000;
+      (* every line retires, so the checkpoint sites interleave with
+         mid-transaction [window.retire] boundaries *)
+      retire_in_tx = Some 1;
+    }
+  in
+  let txs = 3 and lines = 5 and ops = 2 in
+  let path = temp_journal () in
+  Fun.protect
+    ~finally:(fun () ->
+      Failpoint.clear ();
+      remove_chain path)
+  @@ fun () ->
+  (* Pass 1: boundaries of the fault-free run. *)
+  remove_chain path;
+  Failpoint.arm ~seed:fault_seed ~after:max_int ();
+  let journal, crashed = run_ckpt_until_crash ~path ~config ~txs ~lines ~ops in
+  Alcotest.(check bool) "fault-free checkpoint run completes" false crashed;
+  Option.iter Journal.close journal;
+  let boundaries = Failpoint.total_hits () in
+  Failpoint.clear ();
+  Alcotest.(check bool) "checkpoint scenario has boundaries" true
+    (boundaries > 0);
+  (* Pass 2: crash at each boundary; recover from whatever is on disk. *)
+  let references = Hashtbl.create 8 in
+  let reference_for commits =
+    match Hashtbl.find_opt references commits with
+    | Some engine -> engine
+    | None ->
+        let engine =
+          reference_after ~config ~seed:fault_seed ~txs:commits ~lines ~ops ()
+        in
+        Hashtbl.replace references commits engine;
+        engine
+  in
+  let sites = Hashtbl.create 8 in
+  let booted_from_ckpt = ref 0 in
+  for boundary = 0 to boundaries - 1 do
+    remove_chain path;
+    Failpoint.arm ~seed:(fault_seed + boundary) ~after:boundary ();
+    let journal, crashed =
+      match run_ckpt_until_crash ~path ~config ~txs ~lines ~ops with
+      | r -> r
+      | exception Failpoint.Crash site ->
+          (* Crash escaping the driver (e.g. inside [Journal.create]). *)
+          Hashtbl.replace sites site ();
+          (None, true)
+    in
+    Failpoint.clear ();
+    Alcotest.(check bool)
+      (Printf.sprintf "checkpoint boundary %d crashes" boundary)
+      true crashed;
+    Option.iter Journal.abandon journal;
+    let recovered = Scenario.engine ~config () in
+    match Engine.recover recovered ~path with
+    | Error msg ->
+        Alcotest.failf "checkpoint boundary %d: recovery failed: %s" boundary
+          msg
+    | Ok report ->
+        if report.Engine.booted_from_checkpoint <> None then
+          incr booted_from_ckpt;
+        (* O(delta): a checkpoint boot replays only the suffix. *)
+        (match report.Engine.booted_from_checkpoint with
+        | Some seq ->
+            Alcotest.(check bool)
+              (Printf.sprintf
+                 "boundary %d: suffix past checkpoint %d only (replayed %d)"
+                 boundary seq report.Engine.replayed_records)
+              true
+              (report.Engine.last_commit_seq >= seq)
+        | None -> ());
+        let reference = reference_for report.Engine.last_commit_seq in
+        check_same_state
+          ~msg:(Printf.sprintf "checkpoint boundary %d" boundary)
+          reference recovered
+  done;
+  (* The matrix really exercised the new sites and the checkpoint boot
+     path (run with --verbose to see per-site counts if this trips). *)
+  Alcotest.(check bool) "some recovery booted from a checkpoint" true
+    (!booted_from_ckpt > 0)
+
+(* A crash between checkpoint+seal and the covered segments' unlink
+   leaves both the checkpoint and the full chain behind: recovery must
+   prefer the checkpoint (O(delta)) but land on the same state as a full
+   replay would — and a chain whose covered segments DID unlink must
+   recover without them. *)
+let test_checkpoint_gc_unlink_crash () =
+  let config =
+    { Engine.default_config with Engine.compact_at_commit = None }
+  in
+  let path = temp_journal () in
+  Fun.protect
+    ~finally:(fun () ->
+      Failpoint.clear ();
+      remove_chain path)
+  @@ fun () ->
+  remove_chain path;
+  (* Fault-free reference run with checkpoints, counting boundaries. *)
+  Failpoint.arm ~seed:fault_seed ~after:max_int ();
+  let journal, crashed =
+    run_ckpt_until_crash ~path ~config ~txs:3 ~lines:4 ~ops:2
+  in
+  Alcotest.(check bool) "fault-free run completes" false crashed;
+  Option.iter Journal.close journal;
+  let boundaries = Failpoint.total_hits () in
+  Failpoint.clear ();
+  (* Crash at every boundary; whenever the site is the GC unlink, assert
+     the checkpoint file is already durable and recovery works both with
+     the leftover segments present and after finishing their removal. *)
+  let unlink_crashes = ref 0 in
+  for b = 0 to boundaries - 1 do
+    remove_chain path;
+    Failpoint.arm ~seed:fault_seed ~after:b ();
+    let journal, crashed =
+      run_ckpt_until_crash ~path ~config ~txs:3 ~lines:4 ~ops:2
+    in
+    Failpoint.clear ();
+    Alcotest.(check bool) (Printf.sprintf "boundary %d crashes" b) true
+      crashed;
+    Option.iter Journal.abandon journal;
+    (* GC runs only after the seal has opened the fresh live file, so
+       "the unlink finishes post-crash" is a reachable state only when
+       the live file exists; a crash mid-seal leaves segments too, but
+       there nothing was ever going to unlink them. *)
+    let site_was_unlink = segment_files path <> [] && Sys.file_exists path in
+    if site_was_unlink then begin
+      (* Leftover covered segments: recovery with them present... *)
+      let with_segments = Scenario.engine ~config () in
+      (match Engine.recover with_segments ~path with
+      | Error msg -> Alcotest.failf "boundary %d (segments left): %s" b msg
+      | Ok _ -> ());
+      (* ...and with the unlink completed post-crash agree exactly. *)
+      (match Checkpoint.read_opt ~path:(Checkpoint.path_for path) with
+      | Ok (Some ckpt) ->
+          let covered seg =
+            match Journal.read ~path:seg with
+            | Ok r -> r.Journal.last_commit_seq <= ckpt.Checkpoint.commit_seq
+            | Error _ -> false
+          in
+          let removable = List.filter covered (segment_files path) in
+          if removable <> [] then begin
+            incr unlink_crashes;
+            List.iter remove_if_exists removable;
+            let without = Scenario.engine ~config () in
+            match Engine.recover without ~path with
+            | Error msg ->
+                Alcotest.failf "boundary %d (segments GC'd): %s" b msg
+            | Ok _ ->
+                check_same_state
+                  ~msg:(Printf.sprintf "boundary %d: GC completion" b)
+                  with_segments without
+          end
+      | Ok None | Error _ -> ())
+    end
+  done;
+  Alcotest.(check bool) "covered-segment crashes exercised" true
+    (!unlink_crashes >= 1)
+
 (* ------------------------------------------------------------- abort *)
 
 (* Abort ≡ the transaction never ran: state, generators and the
@@ -653,6 +857,10 @@ let suite =
       test_crash_recovery_rotation;
     Alcotest.test_case "rotation crash between rename and dirsync" `Quick
       test_rotation_dirsync_crash;
+    Alcotest.test_case "checkpoint/seal/GC crash at every boundary" `Quick
+      test_checkpoint_crash_matrix;
+    Alcotest.test_case "crash between checkpoint and segment unlink" `Quick
+      test_checkpoint_gc_unlink_crash;
     Alcotest.test_case "abort ≡ never ran (incl. follow-up tx)" `Quick
       test_abort_equiv_never_ran;
     Alcotest.test_case "posting lists + wake survive abort and recovery"

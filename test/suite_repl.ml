@@ -762,6 +762,123 @@ let test_failover_drill () =
   rm_rf dir_a;
   rm_rf dir_b
 
+(* ----------------- checkpoint-era replication: GC'd history, attach *)
+
+(* With [checkpoint_every = 1] every commit checkpoints, seals and — with
+   no follower attached — GCs its history: the journal alone stops being
+   full history.  A follower attaching afterwards must be caught up from
+   the checkpoint base the primary synthesizes onto the segment stream;
+   every later seal re-bases it the same way (the idempotency guard
+   skipping already-applied sequences); promotion of such a follower
+   yields a working, checkpointing primary. *)
+let test_checkpointed_attach_and_promote () =
+  let dir_a = tmp_dir "ckpt-primary" in
+  let dir_b = tmp_dir "ckpt-standby" in
+  let base =
+    {
+      Server.default_config with
+      Server.engines = 1;
+      domains = Some 0;
+      boot_script = Some boot_script;
+      checkpoint_every = Some 1;
+    }
+  in
+  let primary =
+    match
+      Server.create { base with Server.journal_dir = Some dir_a; port = 0 }
+    with
+    | Ok s -> s
+    | Error msg -> Alcotest.fail msg
+  in
+  (* Two committed transactions before any follower exists: each one
+     checkpoints and seals, and with no ack floor the covered segments
+     unlink — on-disk history is now checkpoint + live suffix only. *)
+  let c = connect primary in
+  hello ~key:" ckpt" [ primary ] c;
+  List.iter
+    (fun n ->
+      send [ primary ] c
+        (Protocol.Line (Printf.sprintf "create item(n = %d)" n));
+      ignore (expect_triggered [ primary ] c "pre-attach line");
+      send [ primary ] c Protocol.Commit;
+      ignore (expect_ok [ primary ] c "pre-attach commit"))
+    [ 41; 42 ];
+  let journal_a = Filename.concat dir_a "shard-0.journal" in
+  Alcotest.(check bool) "checkpoint written" true
+    (Sys.file_exists (Checkpoint.path_for journal_a));
+  Alcotest.(check bool) "seg 0 GC'd" false
+    (Sys.file_exists (journal_a ^ ".seg-000000"));
+  (* The follower attaches against GC'd history. *)
+  let follower =
+    match
+      Server.create
+        {
+          base with
+          Server.journal_dir = Some dir_b;
+          port = 0;
+          follow = Some ("127.0.0.1", Server.port primary);
+        }
+    with
+    | Ok s -> s
+    | Error msg -> Alcotest.fail msg
+  in
+  let both = [ primary; follower ] in
+  (* Boot commit + two data commits = seq 3, reachable only through the
+     shipped checkpoint base. *)
+  await "resync from the checkpoint base" both (fun () ->
+      repl_caught_up (Server.manager follower) ~commits:3);
+  (* A post-attach commit replicates (and seals again: the follower is
+     re-based mid-session, the idempotency guard holding the line). *)
+  send both c (Protocol.Line "create item(n = 43)");
+  ignore (expect_triggered both c "post-attach line");
+  send both c Protocol.Commit;
+  ignore (expect_ok both c "post-attach commit");
+  await "post-attach commit replicated" both (fun () ->
+      repl_caught_up (Server.manager follower) ~commits:4);
+  send both c Protocol.Quit;
+  ignore (expect_ok both c "quit");
+  close_client c;
+  stop_server primary;
+  (* Promote and keep writing; the promoted shard checkpoints too. *)
+  Server.request_promote follower;
+  await "promotion" [ follower ] (fun () -> not (Server.standby follower));
+  let c2 = connect follower in
+  hello ~key:" ckpt" [ follower ] c2;
+  send [ follower ] c2 (Protocol.Line "create item(n = 58)");
+  ignore (expect_triggered [ follower ] c2 "post-promotion line");
+  send [ follower ] c2 Protocol.Commit;
+  ignore (expect_ok [ follower ] c2 "post-promotion commit");
+  send [ follower ] c2 Protocol.Quit;
+  ignore (expect_ok [ follower ] c2 "post-promotion quit");
+  close_client c2;
+  stop_server follower;
+  (* The promoted shard checkpoints and GCs like any primary, so its
+     journal alone is not full history — its own checkpoint is. *)
+  let journal_b = Filename.concat dir_b "shard-0.journal" in
+  Alcotest.(check bool) "promoted shard wrote its own checkpoint" true
+    (Sys.file_exists (Checkpoint.path_for journal_b));
+  (* A fresh recovery of the promoted data directory reproduces the full
+     item set — 3 replicated plus 1 post-promotion create, each with its
+     audit row from the boot trigger. *)
+  let interp = Interp.create () in
+  (* definitions only: recovery replays the operations *)
+  (match Interp.run_string interp boot_script with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  (match Engine.recover (Interp.engine interp) ~path:journal_b with
+  | Error msg -> Alcotest.fail msg
+  | Ok report ->
+      Alcotest.(check int) "recovery reaches the last commit" 5
+        report.Engine.last_commit_seq;
+      Alcotest.(check bool) "recovery booted from the checkpoint" true
+        (report.Engine.booted_from_checkpoint <> None);
+      let live =
+        Object_store.count_live (Engine.store (Interp.engine interp))
+      in
+      Alcotest.(check int) "4 items + 4 audits" 8 live);
+  rm_rf dir_a;
+  rm_rf dir_b
+
 let suite =
   [
     Alcotest.test_case "repl frames round-trip" `Quick
@@ -782,4 +899,6 @@ let suite =
       test_loadgen_retry_until_server_arrives;
     Alcotest.test_case "failover drill: replicate, lose, promote" `Quick
       test_failover_drill;
+    Alcotest.test_case "attach over GC'd history via checkpoint base" `Quick
+      test_checkpointed_attach_and_promote;
   ]

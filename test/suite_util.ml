@@ -272,6 +272,118 @@ let test_percentile_edges () =
   Alcotest.(check int) "hundred p0 clamps" 1 (pct hundred 0.);
   Alcotest.(check int) "over 100 clamps" 100 (pct hundred 150.)
 
+(* ------------------------- Vec prefix retirement (offset semantics) *)
+
+(* The sliding-window substrate: after [retire_prefix], absolute indices
+   stay stable, live iteration drops exactly the retired prefix, and the
+   bisections keep answering over the live region (with [start - 1] as
+   the "nothing live at or below" sentinel).  A model list of
+   (absolute index, value) pairs is the oracle. *)
+
+let test_vec_retire_basics () =
+  let v = Vec.create ~dummy:(-1) in
+  for i = 0 to 9 do
+    Vec.push v (i * 10)
+  done;
+  Vec.retire_prefix v 4;
+  Alcotest.(check int) "length stays absolute" 10 (Vec.length v);
+  Alcotest.(check int) "start advanced" 4 (Vec.start v);
+  Alcotest.(check int) "live_length" 6 (Vec.live_length v);
+  Alcotest.(check int) "surviving index stable" 70 (Vec.get v 7);
+  (match Vec.get v 3 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "retired index readable");
+  Alcotest.(check (list int)) "to_list is the live suffix"
+    [ 40; 50; 60; 70; 80; 90 ] (Vec.to_list v);
+  (* Clamps and bounds. *)
+  Vec.retire_prefix v 2;
+  Alcotest.(check int) "lower bound is a no-op" 4 (Vec.start v);
+  (match Vec.retire_prefix v 11 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "retire past length accepted");
+  (* Pushes continue the absolute numbering. *)
+  Vec.push v 100;
+  Alcotest.(check int) "push after retire" 100 (Vec.get v 10);
+  (* Bisection over the live region: keys 40..100 at indices 4..10. *)
+  let key x = x in
+  Alcotest.(check int) "bisect_right live" 6 (Vec.bisect_right v ~key 65);
+  Alcotest.(check int) "bisect_right below live" 3 (Vec.bisect_right v ~key 5);
+  Alcotest.(check int) "bisect_after" 7 (Vec.bisect_after v ~key 65);
+  (* Full retirement: empty live region, indices still absolute. *)
+  Vec.retire_prefix v 11;
+  Alcotest.(check bool) "empty after full retire" true (Vec.is_empty v);
+  Alcotest.(check (option int)) "last on empty" None (Vec.last v);
+  Alcotest.(check int) "bisect_right on empty" 10 (Vec.bisect_right v ~key 999);
+  Vec.push v 110;
+  Alcotest.(check int) "numbering continues" 110 (Vec.get v 11)
+
+let test_vec_retire_truncate_interplay () =
+  (* truncate below start is the abort-after-retire edge: rejected, the
+     vector unchanged. *)
+  let v = Vec.create ~dummy:(-1) in
+  for i = 0 to 9 do
+    Vec.push v i
+  done;
+  Vec.retire_prefix v 5;
+  (match Vec.truncate v 3 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "truncate below start accepted");
+  Vec.truncate v 7;
+  Alcotest.(check int) "truncate above start works" 7 (Vec.length v);
+  Alcotest.(check (list int)) "live window" [ 5; 6 ] (Vec.to_list v)
+
+let test_vec_retire_qcheck =
+  Gen.qcheck ~count:500 "vec retire/push/bisect ≡ model"
+    QCheck.(
+      pair (int_bound 1_000_000)
+        (small_list (pair (int_bound 2) small_nat)))
+    (fun (seed, script) ->
+      ignore seed;
+      let v = Vec.create ~dummy:(-1) in
+      (* model: (absolute index, value) assoc of the live region, plus
+         the absolute length *)
+      let model = ref [] and next = ref 0 in
+      let sorted_push x =
+        (* values pushed non-decreasing so bisection's precondition
+           holds: use the running maximum *)
+        let x = match !model with (_, m) :: _ when m > x -> m | _ -> x in
+        model := (!next, x) :: !model;
+        Vec.push v x;
+        incr next
+      in
+      List.iter
+        (fun (op, n) ->
+          match op with
+          | 0 -> sorted_push n
+          | 1 ->
+              (* retire a random prefix bound within [0, length] *)
+              let bound = min n !next in
+              Vec.retire_prefix v bound;
+              model := List.filter (fun (i, _) -> i >= bound) !model
+          | _ -> (
+              (* probe: live view and a bisection agree with the model *)
+              let live = List.rev !model in
+              if Vec.to_list v <> List.map snd live then
+                QCheck.Test.fail_report "live view diverged";
+              if Vec.length v <> !next then
+                QCheck.Test.fail_report "absolute length diverged";
+              if Vec.live_length v <> List.length live then
+                QCheck.Test.fail_report "live_length diverged";
+              let expect =
+                List.fold_left
+                  (fun acc (i, x) -> if x <= n then max acc i else acc)
+                  (Vec.start v - 1) live
+              in
+              if Vec.bisect_right v ~key:(fun x -> x) n <> expect then
+                QCheck.Test.fail_report "bisect_right diverged";
+              match live with
+              | [] -> ()
+              | (i0, x0) :: _ ->
+                  if Vec.get v i0 <> x0 then
+                    QCheck.Test.fail_report "first live index diverged"))
+        script;
+      true)
+
 let suite =
   [
     Alcotest.test_case "clock discipline" `Quick test_clock_discipline;
@@ -280,6 +392,10 @@ let suite =
     Alcotest.test_case "prng bounds" `Quick test_prng_bounds;
     Alcotest.test_case "vec bisect" `Quick test_vec_bisect;
     Alcotest.test_case "vec growth" `Quick test_vec_growth;
+    Alcotest.test_case "vec prefix retirement" `Quick test_vec_retire_basics;
+    Alcotest.test_case "vec retire/truncate interplay" `Quick
+      test_vec_retire_truncate_interplay;
+    test_vec_retire_qcheck;
     Alcotest.test_case "pretty tables" `Quick test_pretty_table;
     Alcotest.test_case "monotime monotonic" `Quick test_monotime_monotonic;
     Alcotest.test_case "monotime elapsed clamp" `Quick test_monotime_elapsed_clamp;

@@ -23,6 +23,7 @@ let () =
       ("derived-operators", Suite_derived.suite);
       ("persistence", Suite_persistence.suite);
       ("recovery", Suite_recovery.suite);
+      ("bounded", Suite_bounded.suite);
       ("edge-cases", Suite_edge.suite);
       ("lang-extensions", Suite_lang2.suite);
       ("workload", Suite_workload.suite);
