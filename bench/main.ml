@@ -32,6 +32,9 @@ let experiments =
       "journal-shipping replication (0 vs 1 follower, failover)",
       Serve_bench.e14 );
     ("e15", "bounded state (checkpoints, GC, windows)", Bounded.e15);
+    ( "e16",
+      "pipelined binary ingestion vs text EVENT ping-pong",
+      Serve_bench.e16 );
     ("micro", "bechamel micro-benchmarks", Micro.run);
   ]
 

@@ -525,3 +525,171 @@ let e14 () =
              ("acked_commits_lost", Bench_util.J_int acked_lost);
            ])
        rows)
+
+(* E16: pipelined binary ingestion — the tentpole measurement.
+
+   Both rows do *identical engine work* (one external event occurrence
+   per round-trip unit, through [Engine.ingest_event]); what differs is
+   the wire path.  The baseline is text ping-pong: one [EVENT <etype>
+   <oid>] frame outstanding per session, parsed by the text
+   command-grammar on the reactor.  The contender is the binary path:
+   BATCH frames of fixed-width records, decoded on the worker domains,
+   [pipeline] frames deep per session — so the reactor never parses, and
+   the round-trip latency is amortised over a full window.
+
+   The ratio between the two events/s figures is the deliverable:
+   single-shard it isolates protocol overhead (same engine, same
+   serialization); at 4 shards it shows pipelining composing with
+   shard parallelism.  [cores] is recorded because the worker-domain
+   regime depends on it. *)
+
+let e16_conns = 8
+let e16_events = 1500
+let e16_commit_every = 100
+let e16_pipeline = 64
+let e16_batch = 16
+let e16_shard_counts = [ 1; 4 ]
+
+type e16_row = { b_shards : int; b_binary : bool; b_report : Loadgen.report }
+
+let e16_run ~shards ~binary =
+  let server_config =
+    {
+      Server.default_config with
+      Server.engines = shards;
+      boot_script = Some boot_script;
+      max_conns = e16_conns + 8;
+      idle_timeout = 0.;
+    }
+  in
+  match Server.create server_config with
+  | Error msg -> failwith msg
+  | Ok srv ->
+      let lg_config =
+        if binary then
+          {
+            Loadgen.default_config with
+            Loadgen.port = Server.port srv;
+            conns = e16_conns;
+            lines = e16_events;
+            commit_every = e16_commit_every;
+            binary = true;
+            pipeline = e16_pipeline;
+            batch = e16_batch;
+          }
+        else
+          {
+            Loadgen.default_config with
+            Loadgen.port = Server.port srv;
+            conns = e16_conns;
+            lines = e16_events;
+            commit_every = e16_commit_every;
+            events = true;
+          }
+      in
+      let lg =
+        match Loadgen.create lg_config with
+        | Ok lg -> lg
+        | Error msg -> failwith msg
+      in
+      let rec drive () =
+        if not (Loadgen.finished lg) then begin
+          ignore (Server.poll srv ~timeout:0.);
+          Loadgen.poll lg ~timeout:0.;
+          drive ()
+        end
+      in
+      drive ();
+      let report = Loadgen.report lg in
+      Server.request_drain srv;
+      let rec stop n =
+        if n > 0 then
+          match Server.poll srv ~timeout:0.005 with
+          | Server.Stopped -> ()
+          | Server.Running -> stop (n - 1)
+      in
+      stop 1000;
+      if report.Loadgen.errors > 0 then
+        failwith
+          (Printf.sprintf "e16: %d protocol error(s) at shards=%d binary=%b"
+             report.Loadgen.errors shards binary);
+      if report.Loadgen.lines_ok < e16_conns * e16_events then
+        failwith
+          (Printf.sprintf "e16: only %d/%d events acknowledged"
+             report.Loadgen.lines_ok (e16_conns * e16_events));
+      { b_shards = shards; b_binary = binary; b_report = report }
+
+let e16 () =
+  let cores = Stdlib.Domain.recommended_domain_count () in
+  Bench_util.print_header
+    "E16: pipelined binary ingestion vs text EVENT ping-pong";
+  Bench_util.print_note
+    (Printf.sprintf
+       "in-process loopback; %d conns x %d events, commit every %d; text \
+        rows ping-pong EVENT frames, binary rows pipeline %d frames of \
+        %d-record BATCHes; identical engine work per event; %d core(s)"
+       e16_conns e16_events e16_commit_every e16_pipeline e16_batch cores);
+  let rows =
+    List.concat_map
+      (fun shards ->
+        [ e16_run ~shards ~binary:false; e16_run ~shards ~binary:true ])
+      e16_shard_counts
+  in
+  Printf.printf "\n  %6s %7s %10s %12s %10s %10s\n" "shards" "mode" "events"
+    "events/s" "p50 us" "p99 us";
+  List.iter
+    (fun { b_shards; b_binary; b_report = r } ->
+      Printf.printf "  %6d %7s %10d %12.0f %10d %10d\n" b_shards
+        (if b_binary then "binary" else "text")
+        r.Loadgen.lines_ok r.Loadgen.lines_per_s
+        (r.Loadgen.lat_p50_ns / 1000)
+        (r.Loadgen.lat_p99_ns / 1000))
+    rows;
+  let ratio shards =
+    let find binary =
+      List.find_opt
+        (fun r -> r.b_shards = shards && r.b_binary = binary)
+        rows
+    in
+    match (find false, find true) with
+    | Some t, Some b ->
+        b.b_report.Loadgen.lines_per_s /. t.b_report.Loadgen.lines_per_s
+    | _ -> Float.nan
+  in
+  List.iter
+    (fun shards ->
+      Printf.printf
+        "  %d shard(s): binary pipelined ingests %.2fx the text ping-pong \
+         rate\n"
+        shards (ratio shards))
+    e16_shard_counts;
+  Bench_util.write_json ~experiment:"e16"
+    (List.map
+       (fun { b_shards; b_binary; b_report = r } ->
+         Bench_util.J_obj
+           [
+             ("shards", Bench_util.J_int b_shards);
+             ( "mode",
+               Bench_util.J_string (if b_binary then "binary" else "text") );
+             ("conns", Bench_util.J_int e16_conns);
+             ("events_per_conn", Bench_util.J_int e16_events);
+             ("commit_every", Bench_util.J_int e16_commit_every);
+             ( "pipeline",
+               Bench_util.J_int (if b_binary then e16_pipeline else 1) );
+             ("batch", Bench_util.J_int (if b_binary then e16_batch else 1));
+             ("cores", Bench_util.J_int cores);
+             ("events_sent", Bench_util.J_int r.Loadgen.lines_sent);
+             ("events_ok", Bench_util.J_int r.Loadgen.lines_ok);
+             ("commits", Bench_util.J_int r.Loadgen.commits);
+             ("errors", Bench_util.J_int r.Loadgen.errors);
+             ("wall_s", Bench_util.J_float r.Loadgen.wall_s);
+             ("events_per_s", Bench_util.J_float r.Loadgen.lines_per_s);
+             ("lat_p50_ns", Bench_util.J_int r.Loadgen.lat_p50_ns);
+             ("lat_p90_ns", Bench_util.J_int r.Loadgen.lat_p90_ns);
+             ("lat_p99_ns", Bench_util.J_int r.Loadgen.lat_p99_ns);
+             ("lat_max_ns", Bench_util.J_int r.Loadgen.lat_max_ns);
+             ( "vs_text_ratio",
+               Bench_util.J_float
+                 (if b_binary then ratio b_shards else 1.0) );
+           ])
+       rows)

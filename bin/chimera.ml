@@ -168,6 +168,17 @@ let checkpoint_every_arg =
            the checkpoint covers — recovery boots from the checkpoint \
            plus the O(delta) journal suffix.  Requires $(b,--journal).")
 
+let checkpoint_interval_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "checkpoint-interval" ] ~docv:"SECONDS"
+        ~doc:
+          "Time-based checkpoint cadence: a checkpoint cycle runs at the \
+           first commit boundary at least $(i,SECONDS) after the last one \
+           (monotonic clock).  Combinable with $(b,--checkpoint-every) — \
+           whichever cadence is due first fires.  Requires $(b,--journal).")
+
 let trace_arg =
   Arg.(
     value
@@ -281,6 +292,13 @@ let stats_cmd =
          per-rule trigger checks, ts probe instants, and checks skipped \
          via V(E).  The probes-per-event ratio is the headline figure of \
          the indexed wake (see bench e11).";
+      `P
+        "$(b,gc.floor): the commit sequence the last checkpoint cycle \
+         retired journal segments at or below (bounded-state runs).  Under \
+         $(b,chimera serve) the per-shard $(b,repl.ack_floor.shard)N \
+         gauges report the lowest commit a replication follower has not \
+         yet durably acked (-1 with no followers attached); both floors \
+         also appear in the $(b,STATS) verb's bounds line.";
     ]
   in
   Cmd.v
@@ -614,8 +632,8 @@ let parse_follow = function
                 (Printf.sprintf "bad --follow %S: expected HOST:PORT" spec)))
 
 let serve trace metrics host port engines domains journal_dir fsync
-    checkpoint_every script max_conns max_frame max_pending idle_timeout
-    follow repl_async =
+    checkpoint_every checkpoint_interval script max_conns max_frame
+    max_pending idle_timeout follow repl_async =
  protected @@ fun () ->
   match parse_follow follow with
   | Error msg -> `Error (false, msg)
@@ -639,6 +657,7 @@ let serve trace metrics host port engines domains journal_dir fsync
       follow;
       repl_sync = not repl_async;
       checkpoint_every;
+      checkpoint_interval;
     }
   in
   match Server.create config with
@@ -783,14 +802,14 @@ let serve_cmd =
     Term.(
       ret
         (const serve $ trace_arg $ metrics_arg $ host_arg $ port $ engines
-        $ domains $ journal_dir $ fsync_arg $ checkpoint_every_arg $ script
-        $ max_conns $ max_frame $ max_pending $ idle_timeout $ follow
-        $ repl_async))
+        $ domains $ journal_dir $ fsync_arg $ checkpoint_every_arg
+        $ checkpoint_interval_arg $ script $ max_conns $ max_frame
+        $ max_pending $ idle_timeout $ follow $ repl_async))
 
 (* --------------------------------------------------------- loadgen *)
 
-let loadgen host port conns lines line commit_every reconnect retry_max
-    retry_base retry_cap seed =
+let loadgen host port conns lines line commit_every pipeline binary events
+    batch etype reconnect retry_max retry_base retry_cap seed =
  protected @@ fun () ->
   let config =
     {
@@ -801,6 +820,11 @@ let loadgen host port conns lines line commit_every reconnect retry_max
       lines;
       line;
       commit_every;
+      pipeline;
+      binary;
+      events;
+      batch;
+      etype;
       reconnect;
       retry_max;
       retry_base;
@@ -847,7 +871,52 @@ let loadgen_cmd =
     Arg.(
       value
       & opt int Loadgen.default_config.Loadgen.commit_every
-      & info [ "commit-every" ] ~docv:"N" ~doc:"Commit every $(i,N) lines.")
+      & info [ "commit-every" ] ~docv:"N" ~doc:"Commit every $(i,N) events.")
+  in
+  let pipeline =
+    Arg.(
+      value
+      & opt int Loadgen.default_config.Loadgen.pipeline
+      & info [ "pipeline" ] ~docv:"DEPTH"
+          ~doc:
+            "Frames in flight per session (default $(b,1): strict \
+             ping-pong).  The server's HELLO $(b,window) token is the \
+             useful maximum.")
+  in
+  let binary =
+    Arg.(
+      value & flag
+      & info [ "binary" ]
+          ~doc:
+            "Send binary EVENT/BATCH frames instead of LINE text: one \
+             $(b,ETYPE) announcement per session, then fixed-width \
+             records — the text parser is skipped entirely.")
+  in
+  let events =
+    Arg.(
+      value & flag
+      & info [ "events" ]
+          ~doc:
+            "Send text $(b,EVENT <etype> <oid>) frames instead of LINE: \
+             the same engine work as $(b,--binary) but through the text \
+             parser — the apples-to-apples baseline.")
+  in
+  let batch =
+    Arg.(
+      value
+      & opt int Loadgen.default_config.Loadgen.batch
+      & info [ "batch" ] ~docv:"K"
+          ~doc:
+            "Records per binary frame (default $(b,1): EVENT frames; \
+             above 1: BATCH frames, one reply each).  Ignored without \
+             $(b,--binary).")
+  in
+  let etype =
+    Arg.(
+      value
+      & opt string Loadgen.default_config.Loadgen.etype
+      & info [ "etype" ] ~docv:"NAME"
+          ~doc:"Event-type name binary records carry (announced as id 0).")
   in
   let reconnect =
     Arg.(
@@ -894,7 +963,8 @@ let loadgen_cmd =
     Term.(
       ret
         (const loadgen $ host_arg $ port $ conns $ lines $ line $ commit_every
-       $ reconnect $ retry_max $ retry_base $ retry_cap $ seed))
+       $ pipeline $ binary $ events $ batch $ etype $ reconnect $ retry_max
+       $ retry_base $ retry_cap $ seed))
 
 (* ------------------------------------------------------------ repl *)
 

@@ -91,6 +91,66 @@ let of_string text =
       Ok eb
   | _ -> Error "missing chimera-event-base header"
 
+(* --------------------------------------------------------------- binary
+
+   The wire's hot-path record: fixed-width big-endian fields, no parsing.
+   One record is 20 bytes — etype id u32, oid u64, timestamp u64 — and
+   the codec owns both directions so the server's encoder and the
+   loadgen/journal decoders can never drift apart. *)
+
+let binary_record_bytes = 20
+
+let encode_record buf ~etype_id ~oid ~timestamp =
+  if etype_id < 0 || etype_id > 0xFFFF_FFFF then
+    invalid_arg "Event_codec.encode_record: etype id out of u32 range";
+  if oid < 0 then invalid_arg "Event_codec.encode_record: negative oid";
+  if timestamp < 0 then
+    invalid_arg "Event_codec.encode_record: negative timestamp";
+  let u32 n =
+    Buffer.add_char buf (Char.chr ((n lsr 24) land 0xFF));
+    Buffer.add_char buf (Char.chr ((n lsr 16) land 0xFF));
+    Buffer.add_char buf (Char.chr ((n lsr 8) land 0xFF));
+    Buffer.add_char buf (Char.chr (n land 0xFF))
+  in
+  let u64 n =
+    (* OCaml ints are 63-bit: the top byte of the wire field is the
+       value's bits 56..62 plus a zero sign bit, so [n lsr 56] never
+       exceeds 0x3F for a non-negative int. *)
+    Buffer.add_char buf (Char.chr ((n lsr 56) land 0xFF));
+    Buffer.add_char buf (Char.chr ((n lsr 48) land 0xFF));
+    Buffer.add_char buf (Char.chr ((n lsr 40) land 0xFF));
+    Buffer.add_char buf (Char.chr ((n lsr 32) land 0xFF));
+    u32 (n land 0xFFFF_FFFF)
+  in
+  u32 etype_id;
+  u64 oid;
+  u64 timestamp
+
+(* Total: every 20-byte slice decodes to [Ok] or [Error], never raises.
+   u64 fields whose top two bits are set would overflow a 63-bit OCaml
+   int (or go negative), so the first byte must be < 0x40. *)
+let decode_record s ~off =
+  if off < 0 || off + binary_record_bytes > String.length s then
+    Error "binary record: short buffer"
+  else
+    let byte i = Char.code (String.unsafe_get s (off + i)) in
+    let u32 i =
+      (byte i lsl 24) lor (byte (i + 1) lsl 16) lor (byte (i + 2) lsl 8)
+      lor byte (i + 3)
+    in
+    let u64 i =
+      if byte i >= 0x40 then None
+      else
+        Some
+          ((byte i lsl 56) lor (byte (i + 1) lsl 48) lor (byte (i + 2) lsl 40)
+          lor (byte (i + 3) lsl 32) lor u32 (i + 4))
+    in
+    let etype_id = u32 0 in
+    match (u64 4, u64 12) with
+    | Some oid, Some timestamp -> Ok (etype_id, oid, timestamp)
+    | None, _ -> Error "binary record: oid exceeds 62-bit range"
+    | _, None -> Error "binary record: timestamp exceeds 62-bit range"
+
 (* File variants surface I/O failures (missing or unwritable paths) as
    [Error] carrying the path, never as a raised [Sys_error]. *)
 let write_file eb ~path =

@@ -27,3 +27,23 @@ val parse_occurrence_line :
   string -> (Event_type.t * Ident.Oid.t * Time.t, string) result
 (** Parses one {!occurrence_line} (EIDs are reassigned on replay, so only
     the type, object and instant are returned). *)
+
+(** {2 Binary occurrence records}
+
+    The wire's hot-path encoding: fixed-width big-endian fields — etype
+    id u32, oid u64, timestamp u64 — 20 bytes per record, no parsing.
+    This module owns both directions (encode on the client, decode on
+    the worker domains), so the formats can never drift apart. *)
+
+val binary_record_bytes : int
+(** Size of one encoded record: 20. *)
+
+val encode_record :
+  Buffer.t -> etype_id:int -> oid:int -> timestamp:int -> unit
+(** Appends one record.  Raises [Invalid_argument] on a negative field
+    or an etype id outside u32 — the encoder is the trusted side. *)
+
+val decode_record : string -> off:int -> (int * int * int, string) result
+(** [decode_record s ~off] reads the record at [off] as
+    [(etype_id, oid, timestamp)].  Total: short buffers and u64 fields
+    that would overflow OCaml's 63-bit int return [Error], never raise. *)

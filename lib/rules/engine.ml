@@ -28,6 +28,12 @@ let c_aborts = Obs.Metrics.counter "engine.aborts"
 let c_block_rollbacks = Obs.Metrics.counter "engine.block_rollbacks"
 let c_recover_entries = Obs.Metrics.counter "engine.recover.entries"
 let c_ckpt_writes = Obs.Metrics.counter "ckpt.writes"
+
+(* The journal-GC floor actually applied by the last checkpoint cycle:
+   min(checkpoint seq, replication ack floor).  max_int (the unreplicated
+   sentinel) is never written here — the applied floor is capped by the
+   checkpoint sequence. *)
+let g_gc_floor = Obs.Metrics.gauge "gc.floor"
 let c_replayed_records = Obs.Metrics.counter "journal.replayed_records"
 let h_ckpt = Obs.Metrics.histogram "ckpt.write_ns"
 let h_line = Obs.Metrics.histogram "engine.line_ns"
@@ -133,18 +139,25 @@ type timer = {
   mutable countdown : int;
 }
 
-(* Checkpoint scheduling state: every [every_commits] commits the engine
-   writes a checkpoint beside the journal, seals the live segment and
-   GCs the segments both the checkpoint and every connected follower
-   ([gc_floor]) are done with. *)
+(* Checkpoint scheduling state: on a commit-count cadence, a wall-clock
+   cadence, or both (whichever fires first), the engine writes a
+   checkpoint beside the journal, seals the live segment and GCs the
+   segments both the checkpoint and every connected follower
+   ([gc_floor]) are done with.  Checkpoints only happen at commit
+   boundaries — the time cadence is checked there, so a quiet engine
+   does not checkpoint until the next commit lands. *)
 type ckpt_state = {
   ckpt_path : string;
-  every_commits : int;
+  every_commits : int option;
+  every_seconds : float option;
   gc_floor : unit -> int;
       (** the replication ack floor: the highest commit sequence every
           connected follower has durably acked ([max_int] when
           unreplicated) — segments above it stay pinned *)
   mutable commits_since : int;
+  mutable last_ckpt_s : float;  (** [Monotime.now_s] of the last cycle *)
+  mutable last_floor : int;
+      (** the GC floor the last cycle applied; [max_int] until one runs *)
 }
 
 type t = {
@@ -252,14 +265,23 @@ let clear_on_execution t = t.on_execution <- None
    the journal sees whole transactions. *)
 let set_journal t j = t.journal <- Some j
 
-(* Turns on periodic checkpointing (requires an attached journal).  With
-   checkpointing on, commits skip [compact_at_commit]/[Journal.rotate]
-   entirely: sliding-window retirement bounds the event base, and the
-   checkpoint + seal + GC cycle bounds the journal chain instead. *)
-let enable_checkpoints t ?path ~every_commits ?(gc_floor = fun () -> max_int)
-    () =
-  if every_commits <= 0 then
-    invalid_arg "Engine.enable_checkpoints: every_commits must be positive";
+(* Turns on periodic checkpointing (requires an attached journal; at
+   least one cadence).  With checkpointing on, commits skip
+   [compact_at_commit]/[Journal.rotate] entirely: sliding-window
+   retirement bounds the event base, and the checkpoint + seal + GC
+   cycle bounds the journal chain instead. *)
+let enable_checkpoints t ?path ?every_commits ?every_seconds
+    ?(gc_floor = fun () -> max_int) () =
+  (match every_commits with
+  | Some n when n <= 0 ->
+      invalid_arg "Engine.enable_checkpoints: every_commits must be positive"
+  | _ -> ());
+  (match every_seconds with
+  | Some s when s <= 0.0 ->
+      invalid_arg "Engine.enable_checkpoints: every_seconds must be positive"
+  | _ -> ());
+  if every_commits = None && every_seconds = None then
+    invalid_arg "Engine.enable_checkpoints: no cadence given";
   match t.journal with
   | None -> invalid_arg "Engine.enable_checkpoints: attach a journal first"
   | Some j ->
@@ -268,10 +290,25 @@ let enable_checkpoints t ?path ~every_commits ?(gc_floor = fun () -> max_int)
         | Some p -> p
         | None -> Checkpoint.path_for (Journal.path j)
       in
-      t.ckpt <- Some { ckpt_path; every_commits; gc_floor; commits_since = 0 }
+      t.ckpt <-
+        Some
+          {
+            ckpt_path;
+            every_commits;
+            every_seconds;
+            gc_floor;
+            commits_since = 0;
+            last_ckpt_s = Monotime.now_s ();
+            last_floor = max_int;
+          }
 
 let checkpoint_path t =
   match t.ckpt with Some ck -> Some ck.ckpt_path | None -> None
+
+let gc_floor t =
+  match t.ckpt with
+  | Some ck when ck.last_floor <> max_int -> Some ck.last_floor
+  | _ -> None
 
 let journal_append t ~tag payload =
   match t.journal with
@@ -561,6 +598,37 @@ let execute_line_affected t ops : (Ident.Oid.t option list, error) result =
   Obs.Trace.end_into h_line tok;
   result
 
+(* Records one external event occurrence as its own transaction line —
+   the server's hot ingestion path (EVENT / binary frames).  No store
+   operation is involved: the occurrence is journaled as an "ev" record
+   (replayed into the event base independently of any "op"), the engine
+   assigns the instant, and triggering/rule processing run exactly as
+   after [execute_line].  The block guard makes a failing rule cascade
+   take the occurrence (and any matured timers) with it. *)
+let ingest_event t ~etype ~oid : (unit, error) result =
+  t.stats.lines <- t.stats.lines + 1;
+  Obs.Metrics.incr c_lines;
+  let tok = Obs.Trace.begin_ "engine.line" in
+  let result =
+    let* () =
+      guarded_block t @@ fun () ->
+      fire_timers t;
+      t.stats.blocks <- t.stats.blocks + 1;
+      Obs.Metrics.incr c_blocks;
+      t.stats.events <- t.stats.events + 1;
+      let occ = Event_base.record t.eb ~etype ~oid in
+      journal_append t ~tag:"ev" (Event_codec.occurrence_line occ);
+      Trigger_support.check_all t.config.trigger t.stats.trigger_stats t.memo
+        t.wake t.rules;
+      Ok ()
+    in
+    let* () = process t ~include_deferred:false in
+    maybe_retire_in_tx t;
+    Ok ()
+  in
+  Obs.Trace.end_into h_line tok;
+  result
+
 (* After commit every rule window restarts at the commit instant, so no
    evaluation can ever reach the old occurrences again: the log can be
    dropped, keeping only the clock position so instants stay monotone. *)
@@ -621,38 +689,50 @@ let checkpoint_records t =
    the follower ack floor are done with.  Returns (covered commit
    sequence, segments removed).  Must run at a commit boundary — the
    seal requires it. *)
-let write_checkpoint t j ~path ~gc_floor =
+let write_checkpoint t j ck =
   let ckpt =
     { Checkpoint.commit_seq = Journal.commit_seq j; entries = checkpoint_records t }
   in
-  let tok = Obs.Trace.begin_ "engine.checkpoint" ~detail:path in
-  Checkpoint.write ~path ckpt;
+  let tok = Obs.Trace.begin_ "engine.checkpoint" ~detail:ck.ckpt_path in
+  Checkpoint.write ~path:ck.ckpt_path ckpt;
   Obs.Trace.end_into h_ckpt tok;
   Obs.Metrics.incr c_ckpt_writes;
   Journal.seal j;
-  let removed = Journal.gc j ~upto:(min ckpt.Checkpoint.commit_seq (gc_floor ())) in
+  let floor = min ckpt.Checkpoint.commit_seq (ck.gc_floor ()) in
+  let removed = Journal.gc j ~upto:floor in
+  ck.commits_since <- 0;
+  ck.last_ckpt_s <- Monotime.now_s ();
+  ck.last_floor <- floor;
+  Obs.Metrics.set_gauge g_gc_floor floor;
   Log.info (fun m ->
       m "checkpoint at commit seq %d (%d segment(s) GC'd)"
         ckpt.Checkpoint.commit_seq removed);
   (ckpt.Checkpoint.commit_seq, removed)
 
 (* Forces a checkpoint + seal + GC cycle now (the CHECKPOINT wire
-   command / CLI path); resets the periodic countdown. *)
+   command / CLI path); resets the periodic countdowns. *)
 let checkpoint_now t : (int * int, string) result =
   match (t.ckpt, t.journal) with
-  | Some ck, Some j ->
-      ck.commits_since <- 0;
-      Ok (write_checkpoint t j ~path:ck.ckpt_path ~gc_floor:ck.gc_floor)
+  | Some ck, Some j -> Ok (write_checkpoint t j ck)
   | _ -> Error "checkpointing is not enabled on this engine"
 
+(* Runs at each commit boundary: fires on the commit-count cadence, the
+   wall-clock cadence, or both — whichever is due first. *)
 let maybe_checkpoint t =
   match (t.ckpt, t.journal) with
   | Some ck, Some j ->
       ck.commits_since <- ck.commits_since + 1;
-      if ck.commits_since >= ck.every_commits then begin
-        ck.commits_since <- 0;
-        ignore (write_checkpoint t j ~path:ck.ckpt_path ~gc_floor:ck.gc_floor)
-      end
+      let count_due =
+        match ck.every_commits with
+        | Some n -> ck.commits_since >= n
+        | None -> false
+      in
+      let time_due =
+        match ck.every_seconds with
+        | Some s -> Monotime.now_s () -. ck.last_ckpt_s >= s
+        | None -> false
+      in
+      if count_due || time_due then ignore (write_checkpoint t j ck)
   | _ -> ()
 
 (* Sliding-window retirement at a transaction boundary: every rule

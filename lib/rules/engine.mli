@@ -102,6 +102,16 @@ val execute_line_affected :
     each operation (before any rule runs); scripts use it for [as X]
     bindings. *)
 
+val ingest_event :
+  t -> etype:Chimera_event.Event_type.t -> oid:Ident.Oid.t -> (unit, error) result
+(** Records one external event occurrence as its own transaction line —
+    the server's hot ingestion path (the [EVENT] verb and the binary
+    frames).  No store operation runs: the occurrence is journaled as an
+    ["ev"] record, the engine assigns the instant, and immediate rules
+    process to quiescence exactly as after {!execute_line}.  On [Error]
+    the occurrence (and any matured timer events) roll back with the
+    block. *)
+
 val commit : t -> (unit, error) result
 (** Processes deferred (and remaining immediate) rules, then starts a
     fresh transaction: rule windows restart, flags clear.  With a journal
@@ -156,13 +166,17 @@ val journal : t -> Chimera_event.Journal.t option
 val enable_checkpoints :
   t ->
   ?path:string ->
-  every_commits:int ->
+  ?every_commits:int ->
+  ?every_seconds:float ->
   ?gc_floor:(unit -> int) ->
   unit ->
   unit
-(** Turns on periodic checkpointing (requires an attached journal;
-    raises [Invalid_argument] otherwise).  Every [every_commits] commits
-    the engine atomically writes a checkpoint of the committed state to
+(** Turns on periodic checkpointing (requires an attached journal and at
+    least one cadence; raises [Invalid_argument] otherwise).  On a
+    commit-count cadence ([every_commits]), a wall-clock cadence
+    ([every_seconds], measured on {!Chimera_util.Monotime}), or both —
+    whichever is due first, checked at commit boundaries only — the
+    engine atomically writes a checkpoint of the committed state to
     [path] (default: {!Chimera_event.Checkpoint.path_for} of the journal
     path), seals the live journal segment, and GCs every sealed segment
     at or below [min checkpoint_seq (gc_floor ())] — [gc_floor] is the
@@ -170,6 +184,12 @@ val enable_checkpoints :
     needs ([max_int] when unreplicated).  While enabled,
     [compact_at_commit] is skipped: sliding-window retirement bounds the
     event base and the checkpoint cycle bounds the journal chain. *)
+
+val gc_floor : t -> int option
+(** The journal-GC floor the last checkpoint cycle applied —
+    [min checkpoint_seq (replication ack floor)] — or [None] before the
+    first cycle (or with checkpointing off).  Also published as the
+    ["gc.floor"] gauge. *)
 
 val checkpoint_now : t -> (int * int, string) result
 (** Forces a checkpoint + seal + GC cycle immediately; must be called at

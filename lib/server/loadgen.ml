@@ -1,12 +1,22 @@
 (* The load generator: C concurrent protocol sessions driven by one
    non-blocking select loop.
 
-   Each session is a strict ping-pong state machine — HELLO, then L
-   LINE frames with a COMMIT every [commit_every], then QUIT — with at
-   most one frame outstanding, so every LINE round trip is one latency
-   sample and the reply stream needs no correlation ids.  Throughput
-   scales with the connection count, latency reports the per-frame
-   cost; both are what the bench records. *)
+   Each session is a state machine over a FIFO *expectation queue*: every
+   frame sent pushes what its reply must be, and every reply pops and
+   checks the head — the protocol preserves reply order per session, so
+   the queue needs no correlation ids.  With [pipeline = 1] (the
+   default) this degenerates to the strict ping-pong of old: HELLO, then
+   work frames with a COMMIT every [commit_every] events, then QUIT,
+   one frame outstanding, every round trip a latency sample.  With
+   [pipeline = D] up to D frames ride the wire at once — the depth the
+   server advertises in its HELLO [window] token is the useful maximum.
+
+   Work frames are LINE text by default; [binary] switches to the
+   binary ingestion path — one ETYPE announcement after HELLO, then
+   EVENT frames ([batch = 1]) or BATCH frames carrying up to [batch]
+   records each.  Counters stay in events: [lines] is the events per
+   connection, and a BATCH round trip is one latency sample covering
+   [batch] of them. *)
 
 module Obs = Chimera_obs.Obs
 
@@ -17,6 +27,11 @@ type config = {
   lines : int;
   line : string;
   commit_every : int;
+  pipeline : int;
+  binary : bool;
+  events : bool;
+  batch : int;
+  etype : string;
   max_frame : int;
   reconnect : bool;
   retry_max : int;
@@ -33,6 +48,11 @@ let default_config =
     lines = 100;
     line = "create item(n = 1)";
     commit_every = 10;
+    pipeline = 1;
+    binary = false;
+    events = false;
+    batch = 1;
+    etype = "tick";
     max_frame = Protocol.default_max_frame;
     reconnect = false;
     retry_max = 8;
@@ -60,28 +80,41 @@ type report = {
 
 let pp_report ppf r =
   Format.fprintf ppf
-    "%d conn(s): %d line(s) sent, %d ok (%d triggered), %d commit(s), %d \
+    "%d conn(s): %d event(s) sent, %d ok (%d triggered), %d commit(s), %d \
      error(s), %d drained, %d reconnect(s)@\n\
-     %.3f s wall, %.0f lines/s; LINE latency p50=%dus p90=%dus p99=%dus \
-     max=%dus"
+     %.3f s wall, %.0f events/s; round-trip latency p50=%dus p90=%dus \
+     p99=%dus max=%dus"
     r.conns r.lines_sent r.lines_ok r.triggered r.commits r.errors r.drained
     r.reconnects r.wall_s r.lines_per_s (r.lat_p50_ns / 1000)
     (r.lat_p90_ns / 1000) (r.lat_p99_ns / 1000) (r.lat_max_ns / 1000)
 
-(* What the session is waiting for (one outstanding frame at most).
-   [Backoff] is between attempts: the socket is closed and the next
-   connect fires once [retry_at] passes. *)
-type await = Backoff | Connect | Hello | Line | Commit | Bye
+(* What one in-flight frame's reply must be, FIFO per session.  [E_work]
+   covers both a LINE and a binary EVENT/BATCH — [events] is how many
+   event occurrences the frame carried (always 1 for LINE). *)
+type expect =
+  | E_hello
+  | E_etype
+  | E_work of { events : int; sent_ns : int }
+  | E_commit of { upto : int }  (** events covered once this commit acks *)
+  | E_bye
+
+(* The connection's link state; the expectation queue only fills under
+   [Streaming]. *)
+type link = Backoff | Connecting | Streaming
 
 type conn = {
   mutable fd : Unix.file_descr;
   key : string;  (** session key sent with HELLO, for shard pinning *)
   backoff : Chimera_util.Backoff.t;
   mutable retry_at : float;  (** only meaningful under [Backoff] *)
-  mutable await : await;
-  mutable lines_done : int;
-  mutable since_commit : int;
-  mutable line_sent_ns : int;
+  mutable link : link;
+  expect : expect Queue.t;
+  mutable helloed : bool;  (** HELLO sent on this TCP session *)
+  mutable etyped : bool;  (** ETYPE announced on this TCP session *)
+  mutable quit_sent : bool;
+  mutable gen_events : int;  (** events sent (the generation cursor) *)
+  mutable commit_cursor : int;  (** events covered by COMMITs sent *)
+  mutable committed_events : int;  (** events covered by COMMITs acked *)
   mutable inbuf : Bytes.t;
   mutable in_len : int;
   outbuf : Buffer.t;
@@ -133,22 +166,28 @@ let finish_conn t conn =
 (* A failed connect or a dropped link.  Retry with backoff when allowed
    — the initial connect is always retried (bounded), an established
    session only under [reconnect] — else a hard error.  The server
-   aborted whatever the dead session had not committed, so the cursor
-   rewinds to the last commit and those lines are resent. *)
+   aborted whatever the dead session had not committed, so the
+   generation cursor rewinds to the last *acknowledged* commit and those
+   events are resent; everything in flight (its expectations included)
+   is forgotten with the socket. *)
 let fail_conn t conn =
   if not conn.done_ then begin
     let retryable =
-      (t.config.reconnect || conn.await = Connect)
+      (t.config.reconnect || conn.link = Connecting)
       && Chimera_util.Backoff.attempts conn.backoff < t.config.retry_max
     in
     if retryable then begin
       (try Unix.close conn.fd with Unix.Unix_error _ -> ());
-      conn.lines_done <- conn.lines_done - conn.since_commit;
-      conn.since_commit <- 0;
+      conn.gen_events <- conn.committed_events;
+      conn.commit_cursor <- conn.committed_events;
+      Queue.clear conn.expect;
+      conn.helloed <- false;
+      conn.etyped <- false;
+      conn.quit_sent <- false;
       conn.in_len <- 0;
       Buffer.clear conn.outbuf;
       conn.out_off <- 0;
-      conn.await <- Backoff;
+      conn.link <- Backoff;
       conn.retry_at <- now_s () +. Chimera_util.Backoff.next conn.backoff;
       t.reconnects <- t.reconnects + 1
     end
@@ -158,65 +197,128 @@ let fail_conn t conn =
     end
   end
 
-let send_next_line t conn =
-  conn.line_sent_ns <- now_ns ();
-  conn.await <- Line;
-  t.lines_sent <- t.lines_sent + 1;
-  send_command t conn (Protocol.Line t.config.line)
+(* One binary work frame: EVENT for a single record, BATCH above that.
+   The oid is the event's global index on this connection — stable
+   across reconnect resends — and the timestamp the client clock, which
+   the server carries but does not trust. *)
+let binary_payload conn ~n ~sent_ns =
+  if n = 1 then
+    Protocol.encode_event ~etype_id:0 ~oid:conn.gen_events ~timestamp:sent_ns
+  else
+    Protocol.encode_batch
+      (List.init n (fun i ->
+           {
+             Protocol.etype_id = 0;
+             oid = conn.gen_events + i;
+             timestamp = sent_ns;
+           }))
 
-let send_commit t conn =
-  conn.await <- Commit;
-  conn.since_commit <- 0;
-  send_command t conn Protocol.Commit
-
-let send_quit t conn =
-  conn.await <- Bye;
-  send_command t conn Protocol.Quit
-
-(* Advance after a successful round trip: next line, a due commit, or
-   the goodbye. *)
-let advance t conn =
-  if conn.lines_done >= t.config.lines then
-    if conn.since_commit > 0 then send_commit t conn else send_quit t conn
-  else if conn.since_commit >= t.config.commit_every then send_commit t conn
-  else send_next_line t conn
+(* Tops the session's pipeline up to the configured depth: sends the
+   next due frame — greeting, etype announcement, work, commit, quit —
+   and queues its expectation, until the window is full or there is
+   nothing left to send. *)
+let fill t conn =
+  let cfg = t.config in
+  while
+    conn.link = Streaming && (not conn.done_) && (not conn.quit_sent)
+    && Queue.length conn.expect < cfg.pipeline
+  do
+    if not conn.helloed then begin
+      conn.helloed <- true;
+      send_command t conn (Protocol.Hello (Protocol.version ^ " " ^ conn.key));
+      Queue.add E_hello conn.expect
+    end
+    else if cfg.binary && not conn.etyped then begin
+      conn.etyped <- true;
+      send_command t conn (Protocol.Etype { id = 0; name = cfg.etype });
+      Queue.add E_etype conn.expect
+    end
+    else if conn.gen_events >= cfg.lines then
+      if conn.gen_events > conn.commit_cursor then begin
+        conn.commit_cursor <- conn.gen_events;
+        send_command t conn Protocol.Commit;
+        Queue.add (E_commit { upto = conn.gen_events }) conn.expect
+      end
+      else begin
+        conn.quit_sent <- true;
+        send_command t conn Protocol.Quit;
+        Queue.add E_bye conn.expect
+      end
+    else if conn.gen_events - conn.commit_cursor >= cfg.commit_every then begin
+      conn.commit_cursor <- conn.gen_events;
+      send_command t conn Protocol.Commit;
+      Queue.add (E_commit { upto = conn.gen_events }) conn.expect
+    end
+    else begin
+      let room =
+        min
+          (cfg.lines - conn.gen_events)
+          (cfg.commit_every - (conn.gen_events - conn.commit_cursor))
+      in
+      let n = if cfg.binary then min cfg.batch room else 1 in
+      let sent_ns = now_ns () in
+      if cfg.binary then send t conn (binary_payload conn ~n ~sent_ns)
+      else if cfg.events then
+        (* The text twin of the binary frames — same engine work through
+           the EVENT verb, parsed from text; what an apples-to-apples
+           binary-vs-text comparison pits the binary path against. *)
+        send_command t conn
+          (Protocol.Event { etype = cfg.etype; oid = conn.gen_events })
+      else send_command t conn (Protocol.Line cfg.line);
+      conn.gen_events <- conn.gen_events + n;
+      t.lines_sent <- t.lines_sent + n;
+      Queue.add (E_work { events = n; sent_ns }) conn.expect
+    end
+  done
 
 let on_reply t conn reply =
-  match (conn.await, reply) with
-  | _, Protocol.Err ("shutdown", _) ->
+  match reply with
+  | Protocol.Err ("shutdown", _) ->
       (* The server is draining (or idled us out): a clean end, counted
          apart from protocol errors. *)
       t.drained <- t.drained + 1;
       finish_conn t conn
-  | _, Protocol.Err ("standby", _) when t.config.reconnect ->
+  | Protocol.Err ("standby", _) when t.config.reconnect ->
       (* A not-yet-promoted standby answered (address takeover mid
          failover): back off and retry, the promotion is coming. *)
       fail_conn t conn
-  | (Backoff | Connect), _ | _, Protocol.Err _ ->
-      t.errors <- t.errors + 1;
-      finish_conn t conn
-  | Hello, (Protocol.Ok_ _ | Protocol.Triggered _) ->
-      Chimera_util.Backoff.reset conn.backoff;
-      advance t conn
-  | Line, (Protocol.Ok_ _ | Protocol.Triggered _) ->
-      (* The clock is monotonic, but clamp anyway: a sample must never go
-         negative even under a test-injected clock. *)
-      let dt = max 0 (now_ns () - conn.line_sent_ns) in
-      if t.samples < Array.length t.latencies then begin
-        t.latencies.(t.samples) <- dt;
-        t.samples <- t.samples + 1
-      end;
-      t.lines_ok <- t.lines_ok + 1;
-      (match reply with
-      | Protocol.Triggered _ -> t.triggered <- t.triggered + 1
-      | _ -> ());
-      conn.lines_done <- conn.lines_done + 1;
-      conn.since_commit <- conn.since_commit + 1;
-      advance t conn
-  | Commit, (Protocol.Ok_ _ | Protocol.Triggered _) ->
-      t.commits <- t.commits + 1;
-      advance t conn
-  | Bye, (Protocol.Ok_ _ | Protocol.Triggered _) -> finish_conn t conn
+  | _ -> (
+      match Queue.take_opt conn.expect with
+      | None ->
+          (* A reply nothing asked for: the stream cannot be trusted. *)
+          t.errors <- t.errors + 1;
+          finish_conn t conn
+      | Some expected -> (
+          match (expected, reply) with
+          | _, Protocol.Err _ ->
+              t.errors <- t.errors + 1;
+              finish_conn t conn
+          | E_hello, (Protocol.Ok_ _ | Protocol.Triggered _) ->
+              Chimera_util.Backoff.reset conn.backoff;
+              fill t conn
+          | E_etype, (Protocol.Ok_ _ | Protocol.Triggered _) -> fill t conn
+          | E_work { events; sent_ns }, (Protocol.Ok_ _ | Protocol.Triggered _)
+            ->
+              (* The clock is monotonic, but clamp anyway: a sample must
+                 never go negative even under a test-injected clock.
+                 Under pipelining the sample includes queue wait — that
+                 is the latency a pipelining client experiences. *)
+              let dt = max 0 (now_ns () - sent_ns) in
+              if t.samples < Array.length t.latencies then begin
+                t.latencies.(t.samples) <- dt;
+                t.samples <- t.samples + 1
+              end;
+              t.lines_ok <- t.lines_ok + events;
+              (match reply with
+              | Protocol.Triggered _ -> t.triggered <- t.triggered + 1
+              | _ -> ());
+              fill t conn
+          | E_commit { upto }, (Protocol.Ok_ _ | Protocol.Triggered _) ->
+              t.commits <- t.commits + 1;
+              conn.committed_events <- upto;
+              fill t conn
+          | E_bye, (Protocol.Ok_ _ | Protocol.Triggered _) ->
+              finish_conn t conn))
 
 let rec drain_frames t conn =
   if not conn.done_ then
@@ -248,7 +350,8 @@ let handle_readable t conn chunk =
   | 0 ->
       (* EOF before the goodbye is only clean after a drain notice —
          otherwise the link dropped under us. *)
-      if conn.await = Bye then finish_conn t conn else fail_conn t conn
+      if conn.quit_sent && Queue.is_empty conn.expect then finish_conn t conn
+      else fail_conn t conn
   | n ->
       let need = conn.in_len + n in
       if Bytes.length conn.inbuf < need then begin
@@ -285,6 +388,12 @@ let create (config : config) =
   if config.conns <= 0 || config.lines <= 0 then
     Error "conns and lines must be positive"
   else if config.commit_every <= 0 then Error "commit-every must be positive"
+  else if config.pipeline <= 0 then Error "pipeline depth must be positive"
+  else if config.batch <= 0 then Error "batch must be positive"
+  else if config.binary && config.events then
+    Error "--binary and --events are mutually exclusive"
+  else if (config.binary || config.events) && config.etype = "" then
+    Error "event mode needs an event type name"
   else if config.retry_max < 0 then Error "retry-max must be non-negative"
   else begin
     (* A server killed mid-run RSTs these sockets; the writes must fail
@@ -312,10 +421,14 @@ let create (config : config) =
               key = Printf.sprintf "lg-%d" i;
               backoff;
               retry_at = 0.;
-              await = Connect;
-              lines_done = 0;
-              since_commit = 0;
-              line_sent_ns = 0;
+              link = Connecting;
+              expect = Queue.create ();
+              helloed = false;
+              etyped = false;
+              quit_sent = false;
+              gen_events = 0;
+              commit_cursor = 0;
+              committed_events = 0;
               inbuf = Bytes.create 4096;
               in_len = 0;
               outbuf = Buffer.create 256;
@@ -328,7 +441,7 @@ let create (config : config) =
           | Unix.Unix_error _ ->
               (* A synchronous refusal: straight into backoff. *)
               (try Unix.close fd with Unix.Unix_error _ -> ());
-              conn.await <- Backoff;
+              conn.link <- Backoff;
               conn.retry_at <-
                 now_s () +. Chimera_util.Backoff.next backoff);
           conn
@@ -367,7 +480,7 @@ let start_connect t conn =
       (try Unix.setsockopt fd Unix.TCP_NODELAY true
        with Unix.Unix_error _ -> ());
       conn.fd <- fd;
-      conn.await <- Connect;
+      conn.link <- Connecting;
       try Unix.connect fd (Unix.ADDR_INET (t.addr, t.config.port)) with
       | Unix.Unix_error (Unix.EINPROGRESS, _, _) -> ()
       | Unix.Unix_error _ -> fail_conn t conn)
@@ -380,7 +493,7 @@ let poll t ~timeout =
   let now = now_s () in
   List.iter
     (fun c ->
-      if (not c.done_) && c.await = Backoff && c.retry_at <= now then
+      if (not c.done_) && c.link = Backoff && c.retry_at <= now then
         start_connect t c)
     t.conns;
   let live = List.filter (fun c -> not c.done_) t.conns in
@@ -388,22 +501,22 @@ let poll t ~timeout =
     let timeout =
       List.fold_left
         (fun acc c ->
-          if c.await = Backoff then
+          if c.link = Backoff then
             Float.min acc (Float.max 0. (c.retry_at -. now))
           else acc)
         timeout live
     in
     let reads =
       List.filter_map
-        (fun c -> if c.await = Backoff then None else Some c.fd)
+        (fun c -> if c.link = Streaming then Some c.fd else None)
         live
     in
     let writes =
       List.filter_map
         (fun c ->
           if
-            c.await = Connect
-            || (c.await <> Backoff && Buffer.length c.outbuf - c.out_off > 0)
+            c.link = Connecting
+            || (c.link = Streaming && Buffer.length c.outbuf - c.out_off > 0)
           then Some c.fd
           else None)
         live
@@ -414,27 +527,26 @@ let poll t ~timeout =
         let chunk = Bytes.create 8192 in
         List.iter
           (fun c ->
-            if (not c.done_) && c.await = Connect && List.memq c.fd writable
+            if (not c.done_) && c.link = Connecting && List.memq c.fd writable
             then begin
               match Unix.getsockopt_error c.fd with
               | Some _err -> fail_conn t c
               | None ->
-                  c.await <- Hello;
-                  (* The key pins the session by full-string hash
-                     server-side, spreading the dense connection indexes
-                     evenly over the shards. *)
-                  send_command t c
-                    (Protocol.Hello (Protocol.version ^ " " ^ c.key))
+                  c.link <- Streaming;
+                  (* The pipeline fills from here: HELLO first, and —
+                     frames execute in order server-side — up to the
+                     window's worth of traffic right behind it. *)
+                  fill t c
             end)
           live;
         List.iter
           (fun c ->
-            if (not c.done_) && c.await <> Backoff && List.memq c.fd readable
+            if (not c.done_) && c.link = Streaming && List.memq c.fd readable
             then handle_readable t c chunk)
           live;
         List.iter
           (fun c ->
-            if (not c.done_) && c.await <> Backoff then try_flush t c)
+            if (not c.done_) && c.link = Streaming then try_flush t c)
           live
   end
 

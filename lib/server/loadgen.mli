@@ -1,7 +1,15 @@
 (** The multi-connection load generator behind [chimera loadgen]: C
-    concurrent sessions, each sending L transaction lines (one
-    outstanding frame per session, so every round trip is a latency
-    sample), committing every [commit_every] lines, then quitting.
+    concurrent sessions, each sending L events, committing every
+    [commit_every], then quitting.  By default each event is one LINE
+    frame in strict ping-pong (one outstanding frame per session, so
+    every round trip is a latency sample); [pipeline] keeps up to D
+    frames in flight per session, and [binary] switches the work frames
+    to the binary ingestion path (one ETYPE announcement, then
+    EVENT/BATCH frames of [batch] records each).
+
+    Replies are matched against a FIFO expectation queue per session —
+    the protocol preserves reply order, so no correlation ids are
+    needed, and any out-of-order or unexpected reply is a hard error.
 
     Like the server it is a single-threaded non-blocking reactor, so
     tests and the in-process bench interleave {!poll} with
@@ -11,9 +19,27 @@ type config = {
   host : string;
   port : int;
   conns : int;
-  lines : int;  (** per connection *)
+  lines : int;  (** events per connection *)
   line : string;  (** rule-language text each LINE frame carries *)
-  commit_every : int;
+  commit_every : int;  (** events between COMMIT frames *)
+  pipeline : int;
+      (** frames in flight per session (default [1] — strict ping-pong);
+          the server's HELLO [window] token is the useful maximum, going
+          past it only parks frames in the server's admission queue *)
+  binary : bool;
+      (** send binary EVENT/BATCH frames instead of LINE text: the
+          session announces [ETYPE 0 <etype>] once after HELLO, then
+          ships records referencing id 0 *)
+  events : bool;
+      (** send text [EVENT <etype> <oid>] frames instead of LINE — the
+          same engine work as [binary] through the text parser, for
+          apples-to-apples comparisons.  Mutually exclusive with
+          [binary] *)
+  batch : int;
+      (** records per binary frame (default [1] — EVENT frames); above 1
+          BATCH frames carry up to this many records each, one reply (and
+          one latency sample) per frame.  Ignored without [binary] *)
+  etype : string;  (** the event-type name binary records carry *)
   max_frame : int;
   reconnect : bool;
       (** ride out a dropped link: close, back off, reconnect, and
@@ -34,14 +60,15 @@ type config = {
 }
 
 val default_config : config
-(** 8 connections, 100 lines each, committing every 10; no mid-run
-    reconnect, up to 8 connect retries from 50 ms doubling to 2 s. *)
+(** 8 connections, 100 events each, committing every 10; text LINE
+    frames in ping-pong ([pipeline = 1]); no mid-run reconnect, up to 8
+    connect retries from 50 ms doubling to 2 s. *)
 
 type report = {
   conns : int;
-  lines_sent : int;
-  lines_ok : int;  (** replied [OK] or [TRIGGERED] *)
-  triggered : int;  (** lines whose reply listed executed rules *)
+  lines_sent : int;  (** events sent (a BATCH frame counts its records) *)
+  lines_ok : int;  (** events whose frame replied [OK] or [TRIGGERED] *)
+  triggered : int;  (** work frames whose reply listed executed rules *)
   commits : int;
   errors : int;  (** [ERR] replies other than a drain notice *)
   drained : int;  (** sessions ended by the server's [ERR shutdown] *)

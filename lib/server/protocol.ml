@@ -11,8 +11,10 @@
    overflows the cap is [Corrupt] — after it nothing downstream can be
    trusted, so the server replies ERR best-effort and closes. *)
 
+open Chimera_event
+
 let version = "chimera/1"
-let features = [ "tx"; "stats"; "drain"; "keys"; "repl" ]
+let features = [ "tx"; "stats"; "drain"; "keys"; "repl"; "bin"; "pipe" ]
 let default_max_frame = 64 * 1024
 let header_bytes = 4
 
@@ -21,6 +23,12 @@ let header_bytes = 4
 type command =
   | Hello of string
   | Line of string
+  | Etype of { id : int; name : string }
+      (** [ETYPE <id> <name>]: intern an external event-type name under a
+          session-local numeric id, for binary frames to reference *)
+  | Event of { etype : string; oid : int }
+      (** [EVENT <etype> <oid>]: record one external event occurrence
+          directly — the text twin of the binary EVENT frame *)
   | Commit
   | Abort
   | Stats
@@ -47,9 +55,20 @@ let split_verb payload =
   in
   scan 0
 
+(* Etype ids live in the binary record's u32 field but are capped far
+   lower: a session's table is an array indexed by id, and the cap keeps
+   a hostile ETYPE from allocating 4G slots. *)
+let max_etype_id = 0xFFFF
+
+let valid_etype_name name =
+  name <> ""
+  && not (String.exists (fun c -> c = ' ' || c = '\t' || c = '\n') name)
+
 let command_to_payload = function
   | Hello v -> "HELLO " ^ v
   | Line text -> "LINE " ^ text
+  | Etype { id; name } -> Printf.sprintf "ETYPE %d %s" id name
+  | Event { etype; oid } -> Printf.sprintf "EVENT %s %d" etype oid
   | Commit -> "COMMIT"
   | Abort -> "ABORT"
   | Stats -> "STATS"
@@ -65,6 +84,27 @@ let command_of_payload payload =
   match verb with
   | "HELLO" -> Ok (Hello (String.trim arg))
   | "LINE" -> Ok (Line arg)
+  | "ETYPE" -> (
+      match String.split_on_char ' ' (String.trim arg) with
+      | [ id_text; name ] -> (
+          match int_of_string_opt id_text with
+          | Some id when id >= 0 && id <= max_etype_id ->
+              if valid_etype_name name then Ok (Etype { id; name })
+              else Error "ETYPE name must be a whitespace-free identifier"
+          | Some _ ->
+              Error
+                (Printf.sprintf "ETYPE id must be in 0..%d" max_etype_id)
+          | None -> Error "ETYPE takes <id> <name>")
+      | _ -> Error "ETYPE takes <id> <name>")
+  | "EVENT" -> (
+      match String.split_on_char ' ' (String.trim arg) with
+      | [ etype; oid_text ] -> (
+          match int_of_string_opt oid_text with
+          | Some oid when oid >= 0 ->
+              if valid_etype_name etype then Ok (Event { etype; oid })
+              else Error "EVENT type must be a whitespace-free identifier"
+          | _ -> Error "EVENT takes <etype> <non-negative oid>")
+      | _ -> Error "EVENT takes <etype> <oid>")
   | "COMMIT" -> if arg = "" then Ok Commit else Error "COMMIT takes no argument"
   | "ABORT" -> if arg = "" then Ok Abort else Error "ABORT takes no argument"
   | "STATS" -> if arg = "" then Ok Stats else Error "STATS takes no argument"
@@ -90,6 +130,94 @@ let is_repl_payload payload =
   match verb with
   | "REPL_HELLO" | "REPL_ACK" | "PROMOTE" -> true
   | _ -> false
+
+(* ----------------------------------------------------- binary payloads *)
+
+(* The hot ingestion path rides inside the same 4-byte framing but skips
+   text entirely: a tag byte, then fixed-width records owned by
+   [Event_codec].  Tag bytes are control characters (< 0x20), which no
+   text verb starts with, so classification is one byte deep and needs
+   no negotiation state in the decoder. *)
+
+type event_record = { etype_id : int; oid : int; timestamp : int }
+
+let tag_event = '\x01'
+let tag_batch = '\x02'
+let is_binary_payload payload = payload <> "" && payload.[0] < '\x20'
+let record_bytes = Event_codec.binary_record_bytes
+
+let encode_event ~etype_id ~oid ~timestamp =
+  let buf = Buffer.create (1 + record_bytes) in
+  Buffer.add_char buf tag_event;
+  Event_codec.encode_record buf ~etype_id ~oid ~timestamp;
+  Buffer.contents buf
+
+let encode_batch records =
+  let n = List.length records in
+  if n = 0 then invalid_arg "Protocol.encode_batch: empty batch";
+  let buf = Buffer.create (5 + (n * record_bytes)) in
+  Buffer.add_char buf tag_batch;
+  Buffer.add_char buf (Char.chr ((n lsr 24) land 0xFF));
+  Buffer.add_char buf (Char.chr ((n lsr 16) land 0xFF));
+  Buffer.add_char buf (Char.chr ((n lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr (n land 0xFF));
+  List.iter
+    (fun { etype_id; oid; timestamp } ->
+      Event_codec.encode_record buf ~etype_id ~oid ~timestamp)
+    records;
+  Buffer.contents buf
+
+(* O(1) shape check — tag known, length consistent with the record count
+   — for the reactor to run before acquiring a shard (the analogue of
+   the text path's parse-before-acquire); the per-record field
+   validation happens in [decode_binary] on a worker domain.  Returns
+   the record count. *)
+let check_binary payload =
+  let len = String.length payload in
+  if len = 0 then Error "empty binary payload"
+  else if payload.[0] = tag_event then
+    if len = 1 + record_bytes then Ok 1
+    else
+      Error
+        (Printf.sprintf "EVENT frame must be %d bytes, got %d"
+           (1 + record_bytes) len)
+  else if payload.[0] = tag_batch then
+    if len < 5 then Error "BATCH frame shorter than its count header"
+    else
+      let b i = Char.code payload.[i] in
+      let count = (b 1 lsl 24) lor (b 2 lsl 16) lor (b 3 lsl 8) lor b 4 in
+      if count = 0 then Error "BATCH frame with zero records"
+      else if len <> 5 + (count * record_bytes) then
+        Error
+          (Printf.sprintf "BATCH frame of %d records must be %d bytes, got %d"
+             count
+             (5 + (count * record_bytes))
+             len)
+      else Ok count
+  else
+    Error (Printf.sprintf "unknown binary tag 0x%02x" (Char.code payload.[0]))
+
+(* Total over arbitrary payload bytes: every malformation — unknown tag,
+   size/count mismatch, field overflow — is an [Error] string, never an
+   exception.  Frame-local by construction: the payload is already
+   length-delimited, so a bad binary frame costs one ERR reply, not the
+   connection. *)
+let decode_binary payload =
+  match check_binary payload with
+  | Error msg -> Error msg
+  | Ok count ->
+      let base = if payload.[0] = tag_event then 1 else 5 in
+      let rec go i acc =
+        if i >= count then Ok (List.rev acc)
+        else
+          match
+            Event_codec.decode_record payload ~off:(base + (i * record_bytes))
+          with
+          | Ok (etype_id, oid, timestamp) ->
+              go (i + 1) ({ etype_id; oid; timestamp } :: acc)
+          | Error msg -> Error msg
+      in
+      go 0 []
 
 (* ------------------------------------------------------------ replies *)
 
@@ -227,18 +355,33 @@ type decoded =
    int (63-bit), so the decode itself cannot overflow; the cap check
    then classifies anything oversized — including a prefix with the high
    bit set, which a signed 32-bit reader would see as negative — as
-   [Corrupt], never as an exception. *)
-let decode ~max_frame bytes ~off ~len =
+   [Corrupt], never as an exception.
+
+   [decode_view] is the zero-copy variant: it reports the payload as an
+   (offset, length) window into the caller's buffer instead of
+   materialising a string, so the hot binary path copies payload bytes
+   exactly once (when shipping them to a worker domain) instead of
+   twice.  The view is only valid until the caller next mutates or
+   compacts the buffer — copy before then. *)
+let decode_view ~max_frame bytes ~off ~len =
   if off < 0 || len < 0 || off + len > Bytes.length bytes then
-    Corrupt "decode range outside the buffer"
-  else if len < header_bytes then Need_more
+    `Corrupt "decode range outside the buffer"
+  else if len < header_bytes then `Need_more
   else
     let b i = Char.code (Bytes.get bytes (off + i)) in
     let n = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
-    if n = 0 then Reject ("zero-length frame", header_bytes)
+    if n = 0 then `Reject ("zero-length frame", header_bytes)
     else if n > max_frame then
-      Corrupt
+      `Corrupt
         (Printf.sprintf "length prefix %d exceeds the %d-byte frame cap" n
            max_frame)
-    else if len < header_bytes + n then Need_more
-    else Frame (Bytes.sub_string bytes (off + header_bytes) n, header_bytes + n)
+    else if len < header_bytes + n then `Need_more
+    else `Frame (off + header_bytes, n, header_bytes + n)
+
+let decode ~max_frame bytes ~off ~len =
+  match decode_view ~max_frame bytes ~off ~len with
+  | `Frame (payload_off, payload_len, consumed) ->
+      Frame (Bytes.sub_string bytes payload_off payload_len, consumed)
+  | `Need_more -> Need_more
+  | `Reject (reason, skip) -> Reject (reason, skip)
+  | `Corrupt reason -> Corrupt reason

@@ -33,6 +33,15 @@ type command =
       (** [LINE <script text>]: one transaction line — rule-language
           statements executed as a block (definitions included;
           [commit;] is refused, use the COMMIT verb) *)
+  | Etype of { id : int; name : string }
+      (** [ETYPE <id> <name>]: intern the external event-type [name]
+          under the session-local numeric [id] (0..{!max_etype_id}), for
+          binary frames to reference.  Re-announcing an id rebinds it. *)
+  | Event of { etype : string; oid : int }
+      (** [EVENT <etype> <oid>]: record one external event occurrence on
+          the open transaction — the text twin of the binary EVENT
+          frame.  The server assigns the instant; opens a transaction
+          like [LINE] *)
   | Commit  (** close the open transaction durably *)
   | Abort  (** roll the open transaction back *)
   | Stats  (** engine + server statistics snapshot *)
@@ -58,6 +67,54 @@ val is_repl_payload : string -> bool
 (** The payload carries a replication-stream or admin verb ([REPL_HELLO],
     [REPL_ACK], [PROMOTE]) that the reactor handles itself, before
     ordinary session dispatch. *)
+
+val max_etype_id : int
+(** Highest id [ETYPE] accepts (65535): session etype tables are arrays
+    indexed by id, and the cap bounds their size. *)
+
+(** {1 Binary event frames} (client to server, negotiated by [bin])
+
+    The hot ingestion path rides inside the same 4-byte framing but
+    skips text parsing entirely.  A binary payload starts with a control
+    tag byte (< 0x20 — no text verb does), followed by fixed-width
+    big-endian records owned by {!Event_codec}:
+
+    {v
+    EVENT  '\x01' · record                      (21 bytes)
+    BATCH  '\x02' · count u32 · count × record  (5 + 20·count bytes)
+    record = etype-id u32 · oid u64 · timestamp u64   (20 bytes)
+    v}
+
+    Etype ids refer to the session's [ETYPE] table.  Each frame gets
+    exactly one reply ([OK]/[TRIGGERED]/[ERR]); a BATCH is applied as
+    that many single events in order, replying once — on an error the
+    preceding records stay applied and the transaction stays open.  The
+    server assigns event instants; the timestamp field is the client's
+    clock, carried for tooling but not trusted. *)
+
+type event_record = { etype_id : int; oid : int; timestamp : int }
+
+val is_binary_payload : string -> bool
+(** The payload's first byte is a binary tag (any control byte, not just
+    the known tags — unknown tags are then rejected frame-locally by
+    {!decode_binary}). *)
+
+val encode_event : etype_id:int -> oid:int -> timestamp:int -> string
+(** One EVENT payload (framing not included). *)
+
+val encode_batch : event_record list -> string
+(** One BATCH payload.  Raises [Invalid_argument] on an empty list. *)
+
+val check_binary : string -> (int, string) result
+(** O(1) shape check — tag known, length consistent — returning the
+    record count; the reactor runs this before acquiring a shard, the
+    per-record field validation happens in {!decode_binary} on a worker
+    domain. *)
+
+val decode_binary : string -> (event_record list, string) result
+(** Total over arbitrary payload bytes: unknown tags, size/count
+    mismatches and field overflows are [Error] (one ERR reply, the
+    connection continues), never exceptions. *)
 
 (** {1 Replies} (server to client) *)
 
@@ -118,3 +175,18 @@ type decoded =
 val decode : max_frame:int -> Bytes.t -> off:int -> len:int -> decoded
 (** Decodes the first frame of [len] bytes at [off]; never raises (an
     [off]/[len] range outside the buffer is itself [Corrupt]). *)
+
+val decode_view :
+  max_frame:int ->
+  Bytes.t ->
+  off:int ->
+  len:int ->
+  [ `Frame of int * int * int
+  | `Need_more
+  | `Reject of string * int
+  | `Corrupt of string ]
+(** Zero-copy variant of {!decode}: [`Frame (payload_off, payload_len,
+    consumed)] is a window into the caller's buffer — no string is
+    materialised.  The window aliases the buffer: it is only valid until
+    the buffer is next mutated or compacted; copy the bytes out before
+    then.  {!decode} is implemented on top of this. *)

@@ -63,6 +63,10 @@ type config = {
           checkpoint, seals its live segment and GCs segments behind
           [min checkpoint_seq ack_floor]; [None] keeps the legacy
           rotate-at-compaction behaviour *)
+  checkpoint_interval : float option;
+      (** time-based checkpoint cadence in seconds (checked at commit
+          boundaries, on the monotonic clock); combinable with
+          [checkpoint_every] — whichever is due first fires *)
 }
 
 let default_config =
@@ -83,6 +87,7 @@ let default_config =
     follow = None;
     repl_sync = true;
     checkpoint_every = None;
+    checkpoint_interval = None;
   }
 
 (* An attached replication follower, on the primary side: one journal
@@ -103,7 +108,12 @@ type conn = {
   mutable inbuf : Bytes.t;
   mutable in_len : int;  (** buffered undecoded bytes, at offset 0 *)
   outbuf : Buffer.t;
-  mutable out_off : int;  (** bytes of [outbuf] already written *)
+      (** per-turn staging: every reply of a turn coalesces here, then
+          seals into one [outq] chunk at flush time — one [write] per
+          turn on the happy path, the userspace analogue of [writev] *)
+  outq : string Queue.t;  (** sealed chunks awaiting the socket, FIFO *)
+  mutable queued_bytes : int;  (** total bytes across [outq] *)
+  mutable out_off : int;  (** bytes of the [outq] head already written *)
   mutable last_activity : float;
   mutable close_after_flush : bool;
   mutable dead : bool;
@@ -153,6 +163,10 @@ type t = {
   shard_seq : int array;
       (** per-shard commit sequence, the reactor's race-free view
           (boot baseline plus [Committed] events) *)
+  g_ack_floors : Obs.Metrics.gauge array;
+      (** per-shard ["repl.ack_floor.shard<i>"]: the lowest commit
+          sequence every attached follower has durably acked, [-1] while
+          no follower gates anything *)
   parked : parked Queue.t array;  (** per shard, FIFO by commit sequence *)
   mutable follower : follower option;  (** standby mode until promotion *)
   mutable promote_requested : bool;  (** set from signal context *)
@@ -207,7 +221,8 @@ let create config =
       ?journal_dir:config.journal_dir ~fsync:config.fsync
       ?boot_script:config.boot_script ~max_pending:config.max_pending
       ~extra_stats:counters_text ~standby
-      ?checkpoint_every:config.checkpoint_every ()
+      ?checkpoint_every:config.checkpoint_every
+      ?checkpoint_interval:config.checkpoint_interval ()
   in
   let* addr = resolve_addr config.host in
   match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
@@ -254,6 +269,10 @@ let create config =
               stopped = false;
               read_chunk = Bytes.create 8192;
               shard_seq = Session.Manager.boot_seqs mgr;
+              g_ack_floors =
+                Array.init config.engines (fun i ->
+                    Obs.Metrics.gauge
+                      (Printf.sprintf "repl.ack_floor.shard%d" i));
               parked = Array.init config.engines (fun _ -> Queue.create ());
               follower;
               promote_requested = false;
@@ -328,6 +347,8 @@ let update_gc_floor t shard =
   let floor =
     match min_acked t shard with None -> max_int | Some m -> m
   in
+  Obs.Metrics.set_gauge t.g_ack_floors.(shard)
+    (if floor = max_int then -1 else floor);
   Session.Manager.set_gc_floor t.mgr ~shard floor
 
 let update_gc_floors t =
@@ -425,28 +446,51 @@ let close_conn t conn =
     dispatch_events t (Session.Manager.disconnect t.mgr conn.sid)
   end
 
-let pending_out conn = Buffer.length conn.outbuf - conn.out_off
+let pending_out conn =
+  Buffer.length conn.outbuf + conn.queued_bytes - conn.out_off
 
-(* Non-blocking flush of whatever the buffer holds; on completion the
-   buffer resets and a pending close executes. *)
+(* Seals the turn's staged replies into one queued chunk.  The copy
+   happens exactly once per chunk, here — the write loop below then works
+   on the string directly, unlike the previous scheme that re-copied the
+   whole buffer on every partial-write retry. *)
+let seal_out conn =
+  if Buffer.length conn.outbuf > 0 then begin
+    let chunk = Buffer.contents conn.outbuf in
+    Buffer.clear conn.outbuf;
+    Queue.add chunk conn.outq;
+    conn.queued_bytes <- conn.queued_bytes + String.length chunk
+  end
+
+(* Non-blocking flush: writes queued chunks head-first until the socket
+   would block; once everything is out a pending close executes. *)
 let try_flush t conn =
   if (not conn.dead) && pending_out conn > 0 then begin
-    let data = Buffer.to_bytes conn.outbuf in
-    match
-      Unix.write conn.fd data conn.out_off (Bytes.length data - conn.out_off)
-    with
-    | 0 -> ()
-    | n ->
-        Obs.Metrics.add c_bytes_out n;
-        conn.out_off <- conn.out_off + n;
-        if conn.out_off >= Bytes.length data then begin
-          Buffer.clear conn.outbuf;
-          conn.out_off <- 0
-        end
-    | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
-      ->
-        ()
-    | exception Unix.Unix_error _ -> close_conn t conn
+    seal_out conn;
+    let rec write_chunks () =
+      match Queue.peek_opt conn.outq with
+      | None -> ()
+      | Some chunk -> (
+          match
+            Unix.write_substring conn.fd chunk conn.out_off
+              (String.length chunk - conn.out_off)
+          with
+          | 0 -> ()
+          | n ->
+              Obs.Metrics.add c_bytes_out n;
+              conn.out_off <- conn.out_off + n;
+              if conn.out_off >= String.length chunk then begin
+                ignore (Queue.pop conn.outq);
+                conn.queued_bytes <- conn.queued_bytes - String.length chunk;
+                conn.out_off <- 0;
+                write_chunks ()
+              end
+          | exception
+              Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
+            ->
+              ()
+          | exception Unix.Unix_error _ -> close_conn t conn)
+    in
+    write_chunks ()
   end;
   if (not conn.dead) && conn.close_after_flush && pending_out conn = 0 then
     close_conn t conn
@@ -684,32 +728,51 @@ let consume conn n =
     conn.in_len <- conn.in_len - n
   end
 
-(* Decodes and executes every complete frame currently buffered. *)
+(* Decodes and executes the complete frames currently buffered, stopping
+   while the session is blocked (queued behind a busy shard, or holding
+   a reply back for pipeline order): decoding past that point would walk
+   the per-session pending bound into an overflow close, when the right
+   move — pipelining's admission control — is to leave the bytes in
+   [inbuf] and resume once events unblock the session (the post-pump
+   pass in {!poll}). *)
 let rec drain_frames t conn =
-  if conn.dead || conn.close_after_flush then ()
+  if
+    conn.dead || conn.close_after_flush
+    || Session.Manager.blocked t.mgr conn.sid
+  then ()
   else
     match
-      Protocol.decode ~max_frame:t.config.max_frame conn.inbuf ~off:0
+      Protocol.decode_view ~max_frame:t.config.max_frame conn.inbuf ~off:0
         ~len:conn.in_len
     with
-    | Protocol.Need_more -> ()
-    | Protocol.Frame (payload, used) ->
+    | `Need_more -> ()
+    | `Frame (payload_off, payload_len, used) ->
+        (* One classifying byte decides the path before any copy; the
+           payload is then materialised exactly once, off the view,
+           before [consume] compacts the buffer under it. *)
+        let binary =
+          payload_len > 0 && Bytes.get conn.inbuf payload_off < '\x20'
+        in
+        let payload = Bytes.sub_string conn.inbuf payload_off payload_len in
         consume conn used;
         Obs.Metrics.incr c_frames_in;
         let t0 = Obs.start_timer () in
-        (* Replication and admin verbs are reactor state, not session
-           commands: they never reach the session manager. *)
-        if Protocol.is_repl_payload payload then handle_repl_command t conn payload
+        if binary then
+          dispatch_events t (Session.Manager.on_binary t.mgr conn.sid payload)
+          (* Replication and admin verbs are reactor state, not session
+             commands: they never reach the session manager. *)
+        else if Protocol.is_repl_payload payload then
+          handle_repl_command t conn payload
         else
           dispatch_events t (Session.Manager.on_payload t.mgr conn.sid payload);
         Obs.observe_since h_frame t0;
         drain_frames t conn
-    | Protocol.Reject (reason, skip) ->
+    | `Reject (reason, skip) ->
         (* Framing survived (e.g. a zero-length frame): answer and go on. *)
         consume conn skip;
         enqueue_reply t conn (Protocol.Err ("proto", reason));
         drain_frames t conn
-    | Protocol.Corrupt reason ->
+    | `Corrupt reason ->
         (* Framing lost: nothing later in the stream can be trusted. *)
         conn.in_len <- 0;
         enqueue_reply t conn (Protocol.Err ("oversize", reason));
@@ -765,6 +828,8 @@ let rec accept_loop t listen_fd =
             inbuf = Bytes.create 4096;
             in_len = 0;
             outbuf = Buffer.create 512;
+            outq = Queue.create ();
+            queued_bytes = 0;
             out_off = 0;
             last_activity = Chimera_util.Monotime.now_s ();
             close_after_flush = false;
@@ -1117,6 +1182,13 @@ let poll t ~timeout =
         (* Collect worker completions — replies for frames read this turn
            or earlier — so they flush below with everything else. *)
         dispatch_events t (Session.Manager.pump t.mgr);
+        (* Completions may have unblocked sessions whose connections still
+           hold undecoded frames (decoding stopped at [blocked]): resume
+           them now, within the same turn, so a pipelining client is not
+           one select round-trip behind its own window. *)
+        List.iter
+          (fun c -> if c.in_len > 0 then drain_frames t c)
+          conns;
         (* Ship journal growth (this turn's commits included) to every
            attached replication follower. *)
         ship_repl t;

@@ -64,6 +64,11 @@ type config = {
           connected replication follower has not durably acked.  A fresh
           follower attaching (or a seal rotating the stream) receives
           the checkpoint as its segment base. *)
+  checkpoint_interval : float option;
+      (** time-based checkpoint cadence in seconds, measured on the
+          monotonic clock and checked at commit boundaries; combinable
+          with [checkpoint_every] — whichever cadence is due first
+          fires.  [None] (default) disables the time cadence. *)
 }
 
 val default_config : config

@@ -51,14 +51,27 @@ module Manager = struct
             (semi-synchronous replication); without followers it sends
             the reply immediately. *)
 
+  (* One queued unit of session input: a parsed text command, or a raw
+     binary EVENT/BATCH payload.  Binary payloads stay undecoded here —
+     the whole point of the binary path is that the per-record work
+     happens on the shard's worker domain, not the reactor; the reactor
+     only runs the O(1) shape check before acquiring the shard. *)
+  type input = Cmd of Protocol.command | Events of string
+
   type session = {
     id : int;
     mutable shard : int;  (** re-pinned by a HELLO session key *)
     mutable greeted : bool;
-    pending : Protocol.command Queue.t;
+    pending : input Queue.t;
     mutable waiting : bool;  (** enqueued in its shard's waiter queue *)
     mutable closed : bool;
     mutable inflight : int;  (** jobs submitted to a worker, not yet completed *)
+    mutable etypes : Event_type.t option array;
+        (** the session's interned etype table, indexed by the ids binary
+            records carry; announced by ETYPE.  Replaced wholesale on
+            every change (copy-on-write), so a snapshot shipped with an
+            in-flight job is immutable and safe to share with a worker
+            domain *)
   }
 
   type shard = {
@@ -81,6 +94,21 @@ module Manager = struct
      engine), so the job carries statements, not text. *)
   type job =
     | Run_line of { sid : int; shard : int; statements : Ast.statement list }
+    | Run_event of {
+        sid : int;
+        shard : int;
+        etype : Event_type.t;
+        oid : int;
+      }  (** the text EVENT verb, resolved on the reactor *)
+    | Run_events of {
+        sid : int;
+        shard : int;
+        payload : string;
+        etypes : Event_type.t option array;
+            (** the session's table at submit time — an immutable
+                snapshot, so an ETYPE later in the pipeline cannot
+                retroactively rebind ids of frames already in flight *)
+      }  (** a raw binary EVENT/BATCH payload, decoded on the worker *)
     | Run_commit of { sid : int; shard : int }
     | Run_abort of { sid : int; shard : int; quiet : bool }
     | Run_stats of { sid : int; shard : int; note : string }
@@ -127,7 +155,12 @@ module Manager = struct
     boot_script : string option;  (** kept for standby shard resets *)
     checkpoint_every : int option;
         (** commits between engine checkpoints (journaled shards);
-            [None] keeps the legacy compact/rotate behaviour *)
+            with [checkpoint_interval] also [None], the legacy
+            compact/rotate behaviour applies *)
+    checkpoint_interval : float option;
+        (** seconds between engine checkpoints (checked at commit
+            boundaries); combinable with [checkpoint_every] — whichever
+            cadence is due first fires *)
     gc_floors : int Atomic.t array;
         (** per-shard replication ack floor, written by the reactor
             ({!set_gc_floor}) and read by the engine's GC callback on the
@@ -189,7 +222,7 @@ module Manager = struct
     Filename.concat dir (Printf.sprintf "shard-%d.journal" idx)
 
   let make_shard ~standby ~journal_dir ~fsync ~boot_script ~checkpoint_every
-      ~gc_floor idx =
+      ~checkpoint_interval ~gc_floor idx =
     let ( let* ) = Result.bind in
     let interp = Interp.create () in
     let executed = ref [] in
@@ -264,12 +297,13 @@ module Manager = struct
                          Engine.pp_error e)))
       in
       (* Bounded state: periodic checkpoints + segment GC on journaled
-         shards, gated by the replication ack floor the reactor feeds. *)
-      (match (journal, checkpoint_every) with
-      | Some _, Some every_commits ->
-          Engine.enable_checkpoints (Interp.engine interp)
-            ~every_commits ~gc_floor ()
-      | _ -> ());
+         shards, gated by the replication ack floor the reactor feeds.
+         Count cadence, time cadence, or both — first due fires. *)
+      (match (journal, checkpoint_every, checkpoint_interval) with
+      | Some _, None, None | None, _, _ -> ()
+      | Some _, every_commits, every_seconds ->
+          Engine.enable_checkpoints (Interp.engine interp) ?every_commits
+            ?every_seconds ~gc_floor ());
       Ok (finish ~journal ~repl_sink:None)
 
   (* ----------------------------------------------------- shard pinning *)
@@ -342,6 +376,63 @@ module Manager = struct
 
   let do_abort shard = Engine.abort (Interp.engine shard.interp)
 
+  let executed_reply shard =
+    match List.rev !(shard.executed) with
+    | [] -> Protocol.Ok_ ""
+    | rules -> Protocol.Triggered rules
+
+  (* One external event occurrence as its own engine line (the text
+     EVENT verb, etype resolved on the reactor). *)
+  let run_event shard ~etype ~oid =
+    shard.executed := [];
+    match
+      Engine.ingest_event (Interp.engine shard.interp) ~etype
+        ~oid:(Chimera_util.Ident.Oid.of_int oid)
+    with
+    | Ok () -> executed_reply shard
+    | Error e -> Protocol.Err ("engine", Fmt.str "%a" Engine.pp_error e)
+
+  (* Decodes and applies one binary EVENT/BATCH payload: the per-record
+     loop — field validation, etype-id resolution, engine ingestion —
+     runs here, on the shard's worker domain, not the reactor.  A BATCH
+     is exactly that many single-event lines with ONE reply: the rules
+     every record executed, in order, or the first error — preceding
+     records stay applied and the transaction stays open (the client
+     decides between COMMIT and ABORT).  The wire timestamp is the
+     client's clock, carried for tooling; the engine assigns its own
+     instants, so replicas and replays agree regardless of client
+     clocks. *)
+  let run_events shard ~etypes payload =
+    shard.executed := [];
+    match Protocol.decode_binary payload with
+    | Error msg -> Protocol.Err ("proto", msg)
+    | Ok records ->
+        let engine = Interp.engine shard.interp in
+        let rec apply = function
+          | [] -> executed_reply shard
+          | { Protocol.etype_id; oid; timestamp = _ } :: rest -> (
+              let etype =
+                if etype_id < Array.length etypes then etypes.(etype_id)
+                else None
+              in
+              match etype with
+              | None ->
+                  Protocol.Err
+                    ( "proto",
+                      Printf.sprintf
+                        "unknown etype id %d (announce it with ETYPE)" etype_id
+                    )
+              | Some etype -> (
+                  match
+                    Engine.ingest_event engine ~etype
+                      ~oid:(Chimera_util.Ident.Oid.of_int oid)
+                  with
+                  | Ok () -> apply rest
+                  | Error e ->
+                      Protocol.Err ("engine", Fmt.str "%a" Engine.pp_error e)))
+        in
+        apply records
+
   (* [note] is the ownership annotation, computed where the ownership
      bookkeeping lives (the reactor) and carried into the job. *)
   let stats_text t ~sid ~shard_idx ~note =
@@ -368,6 +459,20 @@ module Manager = struct
               rotation(s) -> %s"
              c.Journal.appends c.Journal.commits c.Journal.syncs
              c.Journal.rotations (Journal.path j)));
+    (* The journal-GC floor and the replication ack floor gating it —
+       ROADMAP's "unobservable floor": "none" until a checkpoint cycle
+       ran (resp. while no follower pins anything). *)
+    (if Engine.checkpoint_path engine <> None then
+       let floor_text =
+         match Engine.gc_floor engine with
+         | Some floor -> string_of_int floor
+         | None -> "none"
+       in
+       let ack = Atomic.get t.gc_floors.(shard_idx) in
+       let ack_text = if ack = max_int then "none" else string_of_int ack in
+       Buffer.add_string buf
+         (Printf.sprintf "\nbounds: gc.floor=%s, repl.ack_floor=%s" floor_text
+            ack_text));
     if t.standby_mode then begin
       Buffer.add_string buf
         (Printf.sprintf "\nrepl: standby, applied seq %d, primary seq %d"
@@ -394,6 +499,18 @@ module Manager = struct
         {
           done_sid = sid;
           done_reply = Some (run_line t.shards.(shard) statements);
+          done_commit = None;
+        }
+    | Run_event { sid; shard; etype; oid } ->
+        {
+          done_sid = sid;
+          done_reply = Some (run_event t.shards.(shard) ~etype ~oid);
+          done_commit = None;
+        }
+    | Run_events { sid; shard; payload; etypes } ->
+        {
+          done_sid = sid;
+          done_reply = Some (run_events t.shards.(shard) ~etypes payload);
           done_commit = None;
         }
     | Run_commit { sid; shard } ->
@@ -440,11 +557,14 @@ module Manager = struct
 
   let create ~engines ?(domains = 0) ?journal_dir ?(fsync = Journal.Per_commit)
       ?boot_script ?(max_pending = 64) ?extra_stats ?(standby = false)
-      ?checkpoint_every () =
+      ?checkpoint_every ?checkpoint_interval () =
     let ( let* ) = Result.bind in
     if engines <= 0 then Error "engines must be positive"
     else if domains < 0 then Error "domains must be non-negative"
     else if (match checkpoint_every with Some n -> n <= 0 | None -> false)
+    then Error "checkpoint interval must be positive"
+    else if
+      match checkpoint_interval with Some s -> s <= 0.0 | None -> false
     then Error "checkpoint interval must be positive"
     else
       let* () =
@@ -457,7 +577,7 @@ module Manager = struct
           else
             let* shard =
               make_shard ~standby ~journal_dir ~fsync ~boot_script
-                ~checkpoint_every
+                ~checkpoint_every ~checkpoint_interval
                 ~gc_floor:(fun () -> Atomic.get gc_floors.(idx))
                 idx
             in
@@ -509,6 +629,7 @@ module Manager = struct
           fsync;
           boot_script;
           checkpoint_every;
+          checkpoint_interval;
           gc_floors;
           boot_seqs;
         }
@@ -551,6 +672,7 @@ module Manager = struct
         waiting = false;
         closed = false;
         inflight = 0;
+        etypes = [||];
       };
     sid
 
@@ -615,9 +737,14 @@ module Manager = struct
   let push acc e = acc := e :: !acc
 
   let requires_shard = function
-    | Protocol.Line _ | Protocol.Commit | Protocol.Abort -> true
-    | Protocol.Hello _ | Protocol.Stats | Protocol.Ping _ | Protocol.Quit
-    | Protocol.Repl_hello _ | Protocol.Repl_ack _ | Protocol.Promote ->
+    | Events _
+    | Cmd (Protocol.Line _ | Protocol.Event _ | Protocol.Commit | Protocol.Abort)
+      ->
+        true
+    | Cmd
+        ( Protocol.Hello _ | Protocol.Etype _ | Protocol.Stats
+        | Protocol.Ping _ | Protocol.Quit | Protocol.Repl_hello _
+        | Protocol.Repl_ack _ | Protocol.Promote ) ->
         false
 
   (* Statements a LINE may carry: anything but [commit] — the transaction
@@ -642,6 +769,28 @@ module Manager = struct
         ( String.sub arg 0 i,
           String.trim (String.sub arg (i + 1) (String.length arg - i - 1)) )
 
+  (* ETYPE: pure session state on the reactor.  The table is replaced,
+     never mutated in place, so snapshots shipped with in-flight jobs
+     keep the binding they were submitted under.  Any event type the
+     text grammar can name is internable — external events by bare name,
+     operation events as "op(class)". *)
+  let exec_etype s ~id ~name =
+    match Event_type.of_string name with
+    | Error msg -> Protocol.Err ("parse", msg)
+    | Ok etype ->
+        let len = Array.length s.etypes in
+        let table =
+          if id < len then Array.copy s.etypes
+          else begin
+            let grown = Array.make (id + 1) None in
+            Array.blit s.etypes 0 grown 0 len;
+            grown
+          end
+        in
+        table.(id) <- Some etype;
+        s.etypes <- table;
+        Protocol.Ok_ ""
+
   let greeting_note s shard =
     match shard.owner with
     | Some owner when owner = s.id -> " (transaction open)"
@@ -656,9 +805,14 @@ module Manager = struct
     else if String.equal version Protocol.version then begin
       s.greeted <- true;
       if key <> "" then s.shard <- pin t key;
+      (* [window] is the pipelining depth on offer: how many frames the
+         client may keep in flight before the per-session pending bound
+         (and the read-stop behind it) pushes back. *)
       reply
         (Protocol.Ok_
-           (Protocol.version ^ " features=" ^ String.concat "," Protocol.features))
+           (Printf.sprintf "%s features=%s window=%d" Protocol.version
+              (String.concat "," Protocol.features)
+              t.max_pending))
     end
     else begin
       reply
@@ -713,21 +867,21 @@ module Manager = struct
       end
     end
 
-  and exec_inline t s cmd acc =
+  and exec_inline t s input acc =
     let shard = t.shards.(s.shard) in
     let engine = Interp.engine shard.interp in
     let reply r = push acc (Reply (s.id, r)) in
     let owner_self () = shard.owner = Some s.id in
-    match cmd with
-    | Protocol.Hello v -> exec_hello t s v acc
-    | Protocol.Ping token ->
+    match input with
+    | Cmd (Protocol.Hello v) -> exec_hello t s v acc
+    | Cmd (Protocol.Ping token) ->
         reply (Protocol.Ok_ (if token = "" then "pong" else "pong " ^ token))
-    | Protocol.Stats ->
+    | Cmd Protocol.Stats ->
         reply
           (Protocol.Ok_
              (stats_text t ~sid:s.id ~shard_idx:s.shard
                 ~note:(greeting_note s shard)))
-    | Protocol.Quit ->
+    | Cmd Protocol.Quit ->
         (* Orderly close: an uncommitted transaction aborts before the
            shard passes to the next waiter. *)
         if owner_self () then begin
@@ -737,19 +891,27 @@ module Manager = struct
         reply (Protocol.Ok_ "bye");
         s.closed <- true;
         push acc (Close s.id)
-    | Protocol.Repl_hello _ | Protocol.Repl_ack _ | Protocol.Promote ->
+    | Cmd (Protocol.Repl_hello _ | Protocol.Repl_ack _ | Protocol.Promote) ->
         (* Replication verbs never reach the session manager — the
            reactor intercepts them before dispatch; one slipping through
            means the caller is not a chimera server. *)
         reply (Protocol.Err ("proto", "replication verb outside a replication stream"))
-    | Protocol.Line _ | Protocol.Commit | Protocol.Abort when not s.greeted ->
+    | Cmd
+        ( Protocol.Line _ | Protocol.Etype _ | Protocol.Event _
+        | Protocol.Commit | Protocol.Abort )
+    | Events _
+      when not s.greeted ->
         reply (Protocol.Err ("proto", "HELLO required first"))
-    | Protocol.Line _ | Protocol.Commit | Protocol.Abort when t.standby_mode
-      ->
+    | Cmd
+        ( Protocol.Line _ | Protocol.Etype _ | Protocol.Event _
+        | Protocol.Commit | Protocol.Abort )
+    | Events _
+      when t.standby_mode ->
         reply
           (Protocol.Err
              ("standby", "server is a warm standby; writes go to the primary"))
-    | Protocol.Line text -> (
+    | Cmd (Protocol.Etype { id; name }) -> reply (exec_etype s ~id ~name)
+    | Cmd (Protocol.Line text) -> (
         match line_statements text with
         | Error (code, msg) -> reply (Protocol.Err (code, msg))
         | Ok statements ->
@@ -758,7 +920,21 @@ module Manager = struct
                client's to COMMIT or ABORT. *)
             shard.owner <- Some s.id;
             reply (run_line shard statements))
-    | Protocol.Commit ->
+    | Cmd (Protocol.Event { etype; oid }) -> (
+        match Event_type.of_string etype with
+        | Error msg -> reply (Protocol.Err ("parse", msg))
+        | Ok etype ->
+            shard.owner <- Some s.id;
+            reply (run_event shard ~etype ~oid))
+    | Events payload -> (
+        (* The shape check mirrors [line_statements]: a malformed frame
+           never acquires the shard. *)
+        match Protocol.check_binary payload with
+        | Error msg -> reply (Protocol.Err ("proto", msg))
+        | Ok _ ->
+            shard.owner <- Some s.id;
+            reply (run_events shard ~etypes:s.etypes payload))
+    | Cmd Protocol.Commit ->
         if owner_self () then begin
           (let commit_reply, seq = do_commit shard in
            match seq with
@@ -769,7 +945,7 @@ module Manager = struct
           release_shard t shard acc
         end
         else reply (Protocol.Err ("state", "no open transaction"))
-    | Protocol.Abort ->
+    | Cmd Protocol.Abort ->
         if owner_self () then begin
           do_abort shard;
           release_shard t shard acc;
@@ -807,19 +983,19 @@ module Manager = struct
       if requires_shard cmd && busy then park s shard
       else
         match cmd with
-        | Protocol.Hello v -> inline_now (fun () -> exec_hello t s v acc)
-        | Protocol.Ping token ->
+        | Cmd (Protocol.Hello v) -> inline_now (fun () -> exec_hello t s v acc)
+        | Cmd (Protocol.Ping token) ->
             inline_now (fun () ->
                 push acc
                   (Reply
                      ( s.id,
                        Protocol.Ok_
                          (if token = "" then "pong" else "pong " ^ token) )))
-        | Protocol.Stats ->
+        | Cmd Protocol.Stats ->
             submit_now
               (Run_stats
                  { sid = s.id; shard = s.shard; note = greeting_note s shard })
-        | Protocol.Quit ->
+        | Cmd Protocol.Quit ->
             inline_now (fun () ->
                 if shard.owner = Some s.id then begin
                   submit t s
@@ -829,7 +1005,8 @@ module Manager = struct
                 push acc (Reply (s.id, Protocol.Ok_ "bye"));
                 s.closed <- true;
                 push acc (Close s.id))
-        | Protocol.Repl_hello _ | Protocol.Repl_ack _ | Protocol.Promote ->
+        | Cmd (Protocol.Repl_hello _ | Protocol.Repl_ack _ | Protocol.Promote)
+          ->
             (* Reactor-intercepted before dispatch; see [exec_inline]. *)
             inline_now (fun () ->
                 push acc
@@ -838,12 +1015,33 @@ module Manager = struct
                        Protocol.Err
                          ( "proto",
                            "replication verb outside a replication stream" ) )))
-        | Protocol.Line _ | Protocol.Commit | Protocol.Abort
+        | Cmd
+            ( Protocol.Line _ | Protocol.Etype _ | Protocol.Event _
+            | Protocol.Commit | Protocol.Abort )
+        | Events _
           when not s.greeted ->
             inline_now (fun () ->
                 push acc
                   (Reply (s.id, Protocol.Err ("proto", "HELLO required first"))))
-        | Protocol.Line text -> (
+        | Cmd
+            ( Protocol.Line _ | Protocol.Etype _ | Protocol.Event _
+            | Protocol.Commit | Protocol.Abort )
+        | Events _
+          when t.standby_mode ->
+            inline_now (fun () ->
+                push acc
+                  (Reply
+                     ( s.id,
+                       Protocol.Err
+                         ( "standby",
+                           "server is a warm standby; writes go to the primary"
+                         ) )))
+        | Cmd (Protocol.Etype { id; name }) ->
+            (* Gated on an empty pipeline like every reactor answer; a
+               frame submitted before this point keeps its snapshot. *)
+            inline_now (fun () ->
+                push acc (Reply (s.id, exec_etype s ~id ~name)))
+        | Cmd (Protocol.Line text) -> (
             match line_statements text with
             | Error (code, msg) ->
                 inline_now (fun () ->
@@ -854,7 +1052,35 @@ module Manager = struct
                 shard.owner <- Some s.id;
                 submit_now
                   (Run_line { sid = s.id; shard = s.shard; statements }))
-        | Protocol.Commit ->
+        | Cmd (Protocol.Event { etype; oid }) -> (
+            match Event_type.of_string etype with
+            | Error msg ->
+                inline_now (fun () ->
+                    push acc (Reply (s.id, Protocol.Err ("parse", msg))))
+            | Ok etype ->
+                shard.owner <- Some s.id;
+                submit_now
+                  (Run_event { sid = s.id; shard = s.shard; etype; oid }))
+        | Events payload -> (
+            (* O(1) shape check on the reactor; malformed frames never
+               acquire the shard, and their ERR stays in pipeline order
+               behind in-flight replies.  The per-record decode happens
+               on the worker. *)
+            match Protocol.check_binary payload with
+            | Error msg ->
+                inline_now (fun () ->
+                    push acc (Reply (s.id, Protocol.Err ("proto", msg))))
+            | Ok _count ->
+                shard.owner <- Some s.id;
+                submit_now
+                  (Run_events
+                     {
+                       sid = s.id;
+                       shard = s.shard;
+                       payload;
+                       etypes = s.etypes;
+                     }))
+        | Cmd Protocol.Commit ->
             if shard.owner = Some s.id then begin
               ignore (Queue.pop s.pending);
               submit t s (Run_commit { sid = s.id; shard = s.shard });
@@ -867,7 +1093,7 @@ module Manager = struct
               inline_now (fun () ->
                   push acc
                     (Reply (s.id, Protocol.Err ("state", "no open transaction"))))
-        | Protocol.Abort ->
+        | Cmd Protocol.Abort ->
             if shard.owner = Some s.id then begin
               ignore (Queue.pop s.pending);
               submit t s
@@ -920,6 +1146,28 @@ module Manager = struct
 
   (* ---------------------------------------------------------- feeding *)
 
+  let enqueue t s input acc =
+    if Queue.length s.pending >= t.max_pending then begin
+      (* The per-session pending bound: the client kept sending past a
+         busy shard faster than admission allows.  Pipelining clients
+         never hit this through the reactor — it stops decoding a
+         session's input at [blocked] — so tripping it means frames
+         arrived for a session the reactor should have paused. *)
+      push acc
+        (Reply
+           ( s.id,
+             Protocol.Err
+               ( "overflow",
+                 Printf.sprintf "more than %d queued command(s)" t.max_pending
+               ) ));
+      s.closed <- true;
+      push acc (Close s.id)
+    end
+    else begin
+      Queue.add input s.pending;
+      process_session t s acc
+    end
+
   let on_payload t sid payload =
     if t.down then []
     else
@@ -930,24 +1178,21 @@ module Manager = struct
           let acc = ref [] in
           (match Protocol.command_of_payload payload with
           | Error msg -> push acc (Reply (sid, Protocol.Err ("proto", msg)))
-          | Ok cmd ->
-              if Queue.length s.pending >= t.max_pending then begin
-                (* The per-session pending bound: the client kept sending
-                   past a busy shard faster than admission allows. *)
-                push acc
-                  (Reply
-                     ( sid,
-                       Protocol.Err
-                         ( "overflow",
-                           Printf.sprintf "more than %d queued command(s)"
-                             t.max_pending ) ));
-                s.closed <- true;
-                push acc (Close sid)
-              end
-              else begin
-                Queue.add cmd s.pending;
-                process_session t s acc
-              end);
+          | Ok cmd -> enqueue t s (Cmd cmd) acc);
+          List.rev !acc
+
+  (* The binary twin of [on_payload]: the payload goes in raw — tag
+     classification already happened (one byte), the shape check runs at
+     dispatch, and the record decode on the worker domain. *)
+  let on_binary t sid payload =
+    if t.down then []
+    else
+      match Hashtbl.find_opt t.sessions sid with
+      | None -> []
+      | Some s when s.closed -> []
+      | Some s ->
+          let acc = ref [] in
+          enqueue t s (Events payload) acc;
           List.rev !acc
 
   let disconnect t sid =
@@ -1103,13 +1348,13 @@ module Manager = struct
                   Engine.set_journal (Interp.engine shard.interp) j;
                   shard.journal <- Some j;
                   (* The promoted primary checkpoints like any other. *)
-                  (match t.checkpoint_every with
-                  | Some every_commits ->
+                  (match (t.checkpoint_every, t.checkpoint_interval) with
+                  | None, None -> ()
+                  | every_commits, every_seconds ->
                       Engine.enable_checkpoints (Interp.engine shard.interp)
-                        ~every_commits
+                        ?every_commits ?every_seconds
                         ~gc_floor:(fun () -> Atomic.get t.gc_floors.(idx))
-                        ()
-                  | None -> ());
+                        ());
                   Ok ()
               | exception Sys_error msg ->
                   Error (Printf.sprintf "cannot reopen journal %s: %s" path msg)

@@ -46,6 +46,7 @@ module Manager : sig
     ?extra_stats:(unit -> string) ->
     ?standby:bool ->
     ?checkpoint_every:int ->
+    ?checkpoint_interval:float ->
     unit ->
     (t, string) result
   (** [engines] must be positive.  [domains] (default [0]) is the worker
@@ -67,11 +68,13 @@ module Manager : sig
       ([domains] is ignored).  Feed the stream through {!repl_reset} and
       {!repl_apply}; {!promote} turns the standby into a primary.
 
-      [checkpoint_every] (positive) enables bounded state on journaled
-      shards: every N commits the engine writes a checkpoint beside its
+      [checkpoint_every] (positive commits) and [checkpoint_interval]
+      (positive seconds, checked at commit boundaries) enable bounded
+      state on journaled shards — either alone or both, whichever
+      cadence is due first: the engine writes a checkpoint beside its
       journal, seals the live segment and GCs segments behind
       [min checkpoint_seq ack_floor] (see {!set_gc_floor}).  A standby
-      picks the setting up at promotion. *)
+      picks the settings up at promotion. *)
 
   val engines : t -> int
 
@@ -120,6 +123,16 @@ module Manager : sig
       commands may queue (empty event list) and their replies surface
       from the [on_payload]/[disconnect] call that released the shard —
       or, with worker domains, from a later {!pump}. *)
+
+  val on_binary : t -> int -> string -> event list
+  (** Feed one binary EVENT/BATCH frame payload (raw bytes, tag byte
+      included) from a session.  The reactor only runs an O(1) shape
+      check; the per-record decode and the engine ingestion run on the
+      shard's worker domain.  Each frame yields exactly one reply in
+      pipeline order — for a BATCH, [TRIGGERED] with every executed
+      rule in order, or the first error (preceding records stay applied
+      and the transaction stays open).  Event-type ids resolve through
+      the session's [ETYPE] table as of this call. *)
 
   val disconnect : t -> int -> event list
   (** The connection is gone (EOF, error, timeout, drain): aborts the

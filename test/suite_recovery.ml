@@ -417,13 +417,21 @@ let remove_chain path =
   remove_if_exists (Checkpoint.path_for path ^ ".writing");
   List.iter remove_if_exists (segment_files path)
 
-let run_ckpt_until_crash ~path ~config ~txs ~lines ~ops =
+let run_ckpt_until_crash ?(cadence = `Commits) ~path ~config ~txs ~lines ~ops
+    () =
   let engine = Scenario.engine ~config () in
   match Journal.create ~sync:Journal.Per_commit ~path () with
   | exception Failpoint.Crash _ -> (None, true)
   | journal -> (
       Engine.set_journal engine journal;
-      Engine.enable_checkpoints engine ~every_commits:1 ();
+      (match cadence with
+      | `Commits -> Engine.enable_checkpoints engine ~every_commits:1 ()
+      | `Seconds ->
+          (* A threshold below the monotonic clock's resolution: every
+             commit boundary is due on the wall-clock cadence, so the
+             crash sites match the commit-count matrix — reached through
+             the Monotime arm of the cadence check. *)
+          Engine.enable_checkpoints engine ~every_seconds:1e-9 ());
       match drive engine ~txs ~lines ~ops with
       | () -> (Some journal, false)
       | exception Failpoint.Crash _ -> (Some journal, true))
@@ -449,7 +457,9 @@ let test_checkpoint_crash_matrix () =
   (* Pass 1: boundaries of the fault-free run. *)
   remove_chain path;
   Failpoint.arm ~seed:fault_seed ~after:max_int ();
-  let journal, crashed = run_ckpt_until_crash ~path ~config ~txs ~lines ~ops in
+  let journal, crashed =
+    run_ckpt_until_crash ~path ~config ~txs ~lines ~ops ()
+  in
   Alcotest.(check bool) "fault-free checkpoint run completes" false crashed;
   Option.iter Journal.close journal;
   let boundaries = Failpoint.total_hits () in
@@ -474,7 +484,7 @@ let test_checkpoint_crash_matrix () =
     remove_chain path;
     Failpoint.arm ~seed:(fault_seed + boundary) ~after:boundary ();
     let journal, crashed =
-      match run_ckpt_until_crash ~path ~config ~txs ~lines ~ops with
+      match run_ckpt_until_crash ~path ~config ~txs ~lines ~ops () with
       | r -> r
       | exception Failpoint.Crash site ->
           (* Crash escaping the driver (e.g. inside [Journal.create]). *)
@@ -514,6 +524,76 @@ let test_checkpoint_crash_matrix () =
   Alcotest.(check bool) "some recovery booted from a checkpoint" true
     (!booted_from_ckpt > 0)
 
+(* The wall-clock cadence ([--checkpoint-interval]) through the same
+   matrix: with [every_seconds] below the clock's resolution every
+   commit is due on the time cadence, so the crash sites are the
+   commit-count matrix's — reached through the Monotime arm of the
+   cadence check.  Recovery must be exactly as crash-safe. *)
+let test_checkpoint_time_cadence_crash_matrix () =
+  let config =
+    { Engine.default_config with Engine.compact_at_commit = None }
+  in
+  let txs = 2 and lines = 4 and ops = 2 in
+  let path = temp_journal () in
+  Fun.protect
+    ~finally:(fun () ->
+      Failpoint.clear ();
+      remove_chain path)
+  @@ fun () ->
+  remove_chain path;
+  (* Fault-free pass: the time cadence actually checkpoints. *)
+  Failpoint.arm ~seed:fault_seed ~after:max_int ();
+  let journal, crashed =
+    run_ckpt_until_crash ~cadence:`Seconds ~path ~config ~txs ~lines ~ops ()
+  in
+  Alcotest.(check bool) "fault-free time-cadence run completes" false crashed;
+  Option.iter Journal.close journal;
+  let boundaries = Failpoint.total_hits () in
+  Failpoint.clear ();
+  (let recovered = Scenario.engine ~config () in
+   match Engine.recover recovered ~path with
+   | Error msg -> Alcotest.fail msg
+   | Ok report ->
+       Alcotest.(check bool) "time cadence wrote a checkpoint" true
+         (report.Engine.booted_from_checkpoint <> None));
+  (* Crash at every boundary; recovery lands on the committed prefix. *)
+  let booted_from_ckpt = ref 0 in
+  for boundary = 0 to boundaries - 1 do
+    remove_chain path;
+    Failpoint.arm ~seed:(fault_seed + boundary) ~after:boundary ();
+    let journal, crashed =
+      match
+        run_ckpt_until_crash ~cadence:`Seconds ~path ~config ~txs ~lines ~ops
+          ()
+      with
+      | r -> r
+      | exception Failpoint.Crash _ -> (None, true)
+    in
+    Failpoint.clear ();
+    Alcotest.(check bool)
+      (Printf.sprintf "time-cadence boundary %d crashes" boundary)
+      true crashed;
+    Option.iter Journal.abandon journal;
+    let recovered = Scenario.engine ~config () in
+    match Engine.recover recovered ~path with
+    | Error msg ->
+        Alcotest.failf "time-cadence boundary %d: recovery failed: %s"
+          boundary msg
+    | Ok report ->
+        if report.Engine.booted_from_checkpoint <> None then
+          incr booted_from_ckpt;
+        let reference =
+          reference_after ~config ~seed:fault_seed
+            ~txs:report.Engine.last_commit_seq ~lines ~ops ()
+        in
+        check_same_state
+          ~msg:(Printf.sprintf "time-cadence boundary %d" boundary)
+          reference recovered
+  done;
+  Alcotest.(check bool) "some time-cadence recovery booted from a checkpoint"
+    true
+    (!booted_from_ckpt > 0)
+
 (* A crash between checkpoint+seal and the covered segments' unlink
    leaves both the checkpoint and the full chain behind: recovery must
    prefer the checkpoint (O(delta)) but land on the same state as a full
@@ -533,7 +613,7 @@ let test_checkpoint_gc_unlink_crash () =
   (* Fault-free reference run with checkpoints, counting boundaries. *)
   Failpoint.arm ~seed:fault_seed ~after:max_int ();
   let journal, crashed =
-    run_ckpt_until_crash ~path ~config ~txs:3 ~lines:4 ~ops:2
+    run_ckpt_until_crash ~path ~config ~txs:3 ~lines:4 ~ops:2 ()
   in
   Alcotest.(check bool) "fault-free run completes" false crashed;
   Option.iter Journal.close journal;
@@ -547,7 +627,7 @@ let test_checkpoint_gc_unlink_crash () =
     remove_chain path;
     Failpoint.arm ~seed:fault_seed ~after:b ();
     let journal, crashed =
-      run_ckpt_until_crash ~path ~config ~txs:3 ~lines:4 ~ops:2
+      run_ckpt_until_crash ~path ~config ~txs:3 ~lines:4 ~ops:2 ()
     in
     Failpoint.clear ();
     Alcotest.(check bool) (Printf.sprintf "boundary %d crashes" b) true
@@ -859,6 +939,8 @@ let suite =
       test_rotation_dirsync_crash;
     Alcotest.test_case "checkpoint/seal/GC crash at every boundary" `Quick
       test_checkpoint_crash_matrix;
+    Alcotest.test_case "checkpoint time cadence crash at every boundary"
+      `Quick test_checkpoint_time_cadence_crash_matrix;
     Alcotest.test_case "crash between checkpoint and segment unlink" `Quick
       test_checkpoint_gc_unlink_crash;
     Alcotest.test_case "abort ≡ never ran (incl. follow-up tx)" `Quick

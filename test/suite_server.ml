@@ -145,6 +145,206 @@ let test_event_codec_rejects_bad_numbers () =
       patched 2 "7x" (* trailing garbage *);
     ]
 
+(* ------------------------------------------------- binary frame codec *)
+
+(* 1000 random records through the binary encoder and back: the decode is
+   the exact inverse, frame shape checks agree, and the text EVENT twin
+   carries the same fields — the two ingestion paths cannot drift. *)
+let test_binary_roundtrip () =
+  let rng = Random.State.make [| 0xb1a4 |] in
+  let random_record () =
+    {
+      Protocol.etype_id = Random.State.int rng (Protocol.max_etype_id + 1);
+      oid = Random.State.full_int rng 0x10000000000;
+      timestamp = Random.State.full_int rng 0x10000000000;
+    }
+  in
+  for case = 1 to 1000 do
+    let r = random_record () in
+    (* Single EVENT payload. *)
+    let payload =
+      Protocol.encode_event ~etype_id:r.Protocol.etype_id ~oid:r.Protocol.oid
+        ~timestamp:r.Protocol.timestamp
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "case %d: EVENT payload is binary" case)
+      true
+      (Protocol.is_binary_payload payload);
+    (match Protocol.check_binary payload with
+    | Ok 1 -> ()
+    | Ok n -> Alcotest.failf "case %d: EVENT counted as %d records" case n
+    | Error msg -> Alcotest.failf "case %d: EVENT shape rejected: %s" case msg);
+    (match Protocol.decode_binary payload with
+    | Ok [ r' ] ->
+        Alcotest.(check bool)
+          (Printf.sprintf "case %d: EVENT round trip" case)
+          true (r = r')
+    | Ok _ -> Alcotest.failf "case %d: EVENT decoded to several records" case
+    | Error msg -> Alcotest.failf "case %d: EVENT rejected: %s" case msg);
+    (* BATCH payload of 1..8 records. *)
+    let records = List.init (1 + Random.State.int rng 8) (fun _ -> random_record ()) in
+    let payload = Protocol.encode_batch records in
+    (match Protocol.check_binary payload with
+    | Ok n when n = List.length records -> ()
+    | Ok n -> Alcotest.failf "case %d: BATCH counted as %d records" case n
+    | Error msg -> Alcotest.failf "case %d: BATCH shape rejected: %s" case msg);
+    (match Protocol.decode_binary payload with
+    | Ok records' ->
+        Alcotest.(check bool)
+          (Printf.sprintf "case %d: BATCH round trip" case)
+          true (records = records')
+    | Error msg -> Alcotest.failf "case %d: BATCH rejected: %s" case msg);
+    (* The text twin: an EVENT verb carrying the same oid round-trips
+       through the command grammar. *)
+    let oid = r.Protocol.oid in
+    match
+      Protocol.command_of_payload
+        (Protocol.command_to_payload (Protocol.Event { etype = "tick"; oid }))
+    with
+    | Ok (Protocol.Event { etype = "tick"; oid = oid' }) when oid = oid' -> ()
+    | Ok _ -> Alcotest.failf "case %d: text EVENT drifted" case
+    | Error msg -> Alcotest.failf "case %d: text EVENT rejected: %s" case msg
+  done
+
+(* Decode totality: 1000 random payloads (random bytes, plus mutations of
+   valid frames) never raise — they decode or return [Error].  The
+   specific rejection classes are pinned alongside. *)
+let test_binary_decode_totality () =
+  let rng = Random.State.make [| 0x70a1 |] in
+  let survives payload =
+    (match Protocol.check_binary payload with
+    | Ok _ | Error _ -> ()
+    | exception e ->
+        Alcotest.failf "check_binary raised %s on %S" (Printexc.to_string e)
+          payload);
+    match Protocol.decode_binary payload with
+    | Ok records ->
+        (* A successful decode implies the shape check agreed. *)
+        let n = List.length records in
+        (match Protocol.check_binary payload with
+        | Ok n' when n = n' -> ()
+        | _ -> Alcotest.failf "decode/check disagree on %S" payload)
+    | Error _ -> ()
+    | exception e ->
+        Alcotest.failf "decode_binary raised %s on %S" (Printexc.to_string e)
+          payload
+  in
+  for _ = 1 to 500 do
+    (* Arbitrary bytes, biased towards control-tag prefixes. *)
+    let len = Random.State.int rng 64 in
+    let payload =
+      String.init len (fun i ->
+          if i = 0 && Random.State.bool rng then
+            Char.chr (Random.State.int rng 0x20)
+          else Char.chr (Random.State.int rng 256))
+    in
+    survives payload
+  done;
+  for _ = 1 to 500 do
+    (* Mutations of a valid frame: truncate, extend, or flip one byte. *)
+    let records =
+      List.init
+        (1 + Random.State.int rng 4)
+        (fun i -> { Protocol.etype_id = i; oid = i; timestamp = i })
+    in
+    let valid =
+      if Random.State.bool rng then Protocol.encode_batch records
+      else Protocol.encode_event ~etype_id:1 ~oid:2 ~timestamp:3
+    in
+    let payload =
+      match Random.State.int rng 3 with
+      | 0 -> String.sub valid 0 (Random.State.int rng (String.length valid))
+      | 1 -> valid ^ String.make (1 + Random.State.int rng 8) '\x00'
+      | _ ->
+          let i = Random.State.int rng (String.length valid) in
+          String.mapi
+            (fun j c ->
+              if i = j then Char.chr (Char.code c lxor (1 + Random.State.int rng 255))
+              else c)
+            valid
+    in
+    survives payload
+  done;
+  (* Pinned rejection classes. *)
+  let record20 = String.make 20 '\x00' in
+  let expect_error what payload =
+    match Protocol.decode_binary payload with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s accepted" what
+  in
+  expect_error "empty payload" "";
+  expect_error "unknown tag" ("\x03" ^ record20);
+  expect_error "short EVENT" ("\x01" ^ String.sub record20 0 19);
+  expect_error "long EVENT" ("\x01" ^ record20 ^ "\x00");
+  expect_error "BATCH count mismatch" ("\x02\x00\x00\x00\x02" ^ record20);
+  expect_error "BATCH of zero records" "\x02\x00\x00\x00\x00";
+  (* A u64 field past OCaml's 63-bit int: shape fine, field overflow. *)
+  let overflow =
+    "\x01" ^ String.make 4 '\x00' ^ "\xff" ^ String.make 7 '\x00'
+    ^ String.make 8 '\x00'
+  in
+  (match Protocol.check_binary overflow with
+  | Ok 1 -> ()
+  | _ -> Alcotest.fail "overflow record has valid shape");
+  expect_error "u64 overflow" overflow
+
+(* The zero-copy decode: its window aliases the caller's buffer, so the
+   bytes must be copied out before the buffer is compacted — the server's
+   read loop does exactly that.  Regression for the aliasing contract:
+   the copied payload survives compaction, and both decode variants agree
+   on every verdict. *)
+let test_decode_view_alias_safety () =
+  let p1 = "PING first" and p2 = "PING second" in
+  let frames =
+    Protocol.frame_exn ~max_frame:mf p1 ^ Protocol.frame_exn ~max_frame:mf p2
+  in
+  let buf = Bytes.of_string frames in
+  let len = Bytes.length buf in
+  (match Protocol.decode_view ~max_frame:mf buf ~off:0 ~len with
+  | `Frame (off, plen, used) ->
+      Alcotest.(check string) "window reads the first payload" p1
+        (Bytes.sub_string buf off plen);
+      (* Copy out, then compact the way the server does: blit the
+         remainder to the front.  The window offsets now point into the
+         SECOND frame's bytes — the copy must be unaffected. *)
+      let copied = Bytes.sub_string buf off plen in
+      Bytes.blit buf used buf 0 (len - used);
+      Alcotest.(check string) "copy survives compaction" p1 copied;
+      Alcotest.(check bool) "stale window now reads other bytes" true
+        (Bytes.sub_string buf off plen <> p1);
+      (* The compacted buffer decodes to the second frame. *)
+      (match
+         Protocol.decode_view ~max_frame:mf buf ~off:0 ~len:(len - used)
+       with
+      | `Frame (off2, plen2, _) ->
+          Alcotest.(check string) "second frame after compaction" p2
+            (Bytes.sub_string buf off2 plen2)
+      | _ -> Alcotest.fail "second frame did not decode")
+  | _ -> Alcotest.fail "first frame did not decode");
+  (* The two decoders agree verdict-for-verdict. *)
+  let agree bytes ~off ~len =
+    match
+      ( Protocol.decode ~max_frame:mf bytes ~off ~len,
+        Protocol.decode_view ~max_frame:mf bytes ~off ~len )
+    with
+    | Protocol.Frame (p, used), `Frame (o, l, used') ->
+        Alcotest.(check string) "same payload" p (Bytes.sub_string bytes o l);
+        Alcotest.(check int) "same consumption" used used'
+    | Protocol.Need_more, `Need_more -> ()
+    | Protocol.Reject (_, skip), `Reject (_, skip') ->
+        Alcotest.(check int) "same skip" skip skip'
+    | Protocol.Corrupt _, `Corrupt _ -> ()
+    | _ -> Alcotest.fail "decode and decode_view disagree"
+  in
+  let whole = Bytes.of_string frames in
+  agree whole ~off:0 ~len:(Bytes.length whole);
+  for cut = 0 to 6 do
+    agree whole ~off:0 ~len:cut
+  done;
+  agree (Bytes.of_string (be32 0)) ~off:0 ~len:4;
+  agree (Bytes.of_string (be32 (mf + 1))) ~off:0 ~len:4;
+  agree whole ~off:2 ~len:(Bytes.length whole)
+
 (* -------------------------------------------------- session manager unit *)
 
 let boot_script =
@@ -863,12 +1063,340 @@ let test_differential_socket_vs_direct () =
   send srv c Protocol.Quit;
   ignore (expect_ok srv c "quit")
 
+(* ------------------------------------------- binary ingestion sockets *)
+
+(* A boot script whose trigger subscribes to the external event type the
+   binary frames carry, so every ingested record visibly executes a
+   rule — the replies prove the events reached the rule engine, not just
+   the wire. *)
+let tick_boot_script =
+  "define class audit (tag: string);\n\
+   define immediate trigger onTick\n\
+  \  events { tick }\n\
+  \  actions create audit(tag = \"tick\")\n\
+   end;\n"
+
+let send_binary srv c payload =
+  send_raw srv c (Protocol.frame_exn ~max_frame:mf payload)
+
+let test_socket_binary_ingest () =
+  with_server
+    ~config:{ Server.default_config with boot_script = Some tick_boot_script }
+  @@ fun srv ->
+  let c = connect srv in
+  Fun.protect ~finally:(fun () -> close_client c) @@ fun () ->
+  send srv c (Protocol.Hello Protocol.version);
+  let info = expect_ok srv c "hello" in
+  List.iter
+    (fun feature ->
+      Alcotest.(check bool)
+        (Printf.sprintf "greeting advertises %s" feature)
+        true (contains_sub info feature))
+    [ "bin"; "pipe"; "window=" ];
+  send srv c (Protocol.Etype { id = 0; name = "tick" });
+  ignore (expect_ok srv c "etype");
+  (* One binary EVENT: the trigger fires once. *)
+  send_binary srv c (Protocol.encode_event ~etype_id:0 ~oid:1 ~timestamp:0);
+  Alcotest.(check (list string))
+    "EVENT executed the trigger" [ "onTick" ]
+    (expect_triggered srv c "binary event");
+  (* One BATCH of three: one reply, three executions in order. *)
+  send_binary srv c
+    (Protocol.encode_batch
+       (List.init 3 (fun i ->
+            { Protocol.etype_id = 0; oid = 2 + i; timestamp = 0 })));
+  Alcotest.(check (list string))
+    "BATCH executed per record" [ "onTick"; "onTick"; "onTick" ]
+    (expect_triggered srv c "binary batch");
+  (* The trigger's actions are visible in the open transaction. *)
+  send srv c (Protocol.Line "show audit");
+  Alcotest.(check bool)
+    "audits from binary events" true
+    (contains_sub (expect_ok srv c "show") "audit (4)");
+  send srv c Protocol.Commit;
+  ignore (expect_ok srv c "commit");
+  (* Re-announcing an id rebinds it; an id never announced is refused. *)
+  send srv c (Protocol.Etype { id = 0; name = "tock" });
+  ignore (expect_ok srv c "etype rebind");
+  send_binary srv c (Protocol.encode_event ~etype_id:0 ~oid:9 ~timestamp:0);
+  (match recv srv c with
+  | `Reply (Protocol.Ok_ _) -> ()
+  | r ->
+      Alcotest.failf "rebound etype: %s"
+        (match r with
+        | `Reply r -> Protocol.reply_to_payload r
+        | `Eof -> "EOF"
+        | `Timeout -> "timeout"))
+  ;
+  send srv c Protocol.Abort;
+  ignore (expect_ok srv c "abort");
+  send srv c Protocol.Quit;
+  ignore (expect_ok srv c "quit")
+
+let test_socket_binary_errors () =
+  with_server
+    ~config:{ Server.default_config with boot_script = Some tick_boot_script }
+  @@ fun srv ->
+  (* Binary frames before HELLO are a protocol error. *)
+  let c0 = connect srv in
+  Fun.protect ~finally:(fun () -> close_client c0) @@ fun () ->
+  send_binary srv c0 (Protocol.encode_event ~etype_id:0 ~oid:1 ~timestamp:0);
+  ignore (expect_err srv c0 "proto" "binary before hello");
+  let c = connect srv in
+  Fun.protect ~finally:(fun () -> close_client c) @@ fun () ->
+  hello srv c;
+  (* Unknown etype id: announce-first is enforced per session. *)
+  send_binary srv c (Protocol.encode_event ~etype_id:0 ~oid:1 ~timestamp:0);
+  let msg = expect_err srv c "proto" "unannounced etype id" in
+  Alcotest.(check bool) "names ETYPE" true (contains_sub msg "ETYPE");
+  (* Unknown tag byte: frame-local reject, the connection lives. *)
+  send_binary srv c ("\x1f" ^ String.make 20 '\x00');
+  ignore (expect_err srv c "proto" "unknown binary tag");
+  (* A BATCH whose count disagrees with its length: same. *)
+  send_binary srv c ("\x02\x00\x00\x00\x05" ^ String.make 20 '\x00');
+  ignore (expect_err srv c "proto" "batch count mismatch");
+  (* A u64 field past the 63-bit int range: rejected on the worker. *)
+  send srv c (Protocol.Etype { id = 0; name = "tick" });
+  ignore (expect_ok srv c "etype");
+  send_binary srv c
+    ("\x01" ^ String.make 4 '\x00' ^ "\xff" ^ String.make 15 '\x00');
+  ignore (expect_err srv c "proto" "u64 overflow");
+  (* ETYPE ids above the cap are refused. *)
+  send srv c (Protocol.Etype { id = Protocol.max_etype_id + 1; name = "x" });
+  ignore (expect_err srv c "proto" "etype id over the cap");
+  (* After all of that the session still ingests. *)
+  send_binary srv c (Protocol.encode_event ~etype_id:0 ~oid:1 ~timestamp:0);
+  Alcotest.(check (list string))
+    "session survives the rejects" [ "onTick" ]
+    (expect_triggered srv c "binary event");
+  send srv c Protocol.Abort;
+  ignore (expect_ok srv c "abort");
+  send srv c Protocol.Quit;
+  ignore (expect_ok srv c "quit")
+
+(* The load generator's pipelined binary mode against a live server:
+   every event acknowledged, every work frame triggered, no errors. *)
+let test_loadgen_binary_pipelined () =
+  with_server
+    ~config:
+      {
+        Server.default_config with
+        boot_script = Some tick_boot_script;
+        engines = 2;
+      }
+  @@ fun srv ->
+  let lg =
+    match
+      Loadgen.create
+        {
+          Loadgen.default_config with
+          Loadgen.port = Server.port srv;
+          conns = 4;
+          lines = 64;
+          commit_every = 16;
+          binary = true;
+          pipeline = 16;
+          batch = 4;
+        }
+    with
+    | Ok lg -> lg
+    | Error msg -> Alcotest.fail msg
+  in
+  let rec drive n =
+    if Loadgen.finished lg then ()
+    else if n = 0 then Alcotest.fail "binary loadgen did not finish"
+    else begin
+      ignore (Server.poll srv ~timeout:0.001);
+      Loadgen.poll lg ~timeout:0.001;
+      drive (n - 1)
+    end
+  in
+  drive 100_000;
+  let r = Loadgen.report lg in
+  Alcotest.(check int) "no protocol errors" 0 r.Loadgen.errors;
+  Alcotest.(check int) "every event acknowledged" (4 * 64) r.Loadgen.lines_ok;
+  Alcotest.(check bool) "work frames triggered" true (r.Loadgen.triggered > 0);
+  Alcotest.(check int) "commits" (4 * 4) r.Loadgen.commits
+
+(* ---------------------- pipelined binary differential (reply ordering) *)
+
+(* The pipelining differential: 160 seeded scenarios, each a random mix
+   of binary EVENTs, BATCHes, PINGs carrying unique tokens, COMMITs and
+   ABORTs — sent as ONE burst, [pipeline]-style, with no reads in
+   between.  The replies must arrive strictly in send order and match,
+   payload for payload, a reference that drives [Engine.ingest_event]
+   directly: the PING tokens prove no reply jumped the queue, the
+   TRIGGERED lists prove the events hit the rule engine identically.
+   Half the seeds run the worker-domain path, half run inline. *)
+type diff_op =
+  | D_event
+  | D_batch of int
+  | D_ping of string
+  | D_commit
+  | D_abort
+
+let diff_scenario rng n =
+  let ops = ref [] and open_events = ref 0 in
+  for i = 0 to n - 1 do
+    let op =
+      match Random.State.int rng 10 with
+      | 0 | 1 | 2 | 3 -> D_event
+      | 4 | 5 -> D_batch (1 + Random.State.int rng 4)
+      | 6 | 7 -> D_ping (Printf.sprintf "tok-%d" i)
+      | 8 when !open_events > 0 -> D_commit
+      | 9 when !open_events > 0 -> D_abort
+      | _ -> D_event
+    in
+    (match op with
+    | D_event -> incr open_events
+    | D_batch k -> open_events := !open_events + k
+    | D_commit | D_abort -> open_events := 0
+    | D_ping _ -> ());
+    ops := op :: !ops
+  done;
+  (List.rev !ops, !open_events > 0)
+
+(* The direct-drive reference: the same record stream through
+   [Engine.ingest_event] on a fresh engine, replies synthesized per the
+   documented semantics. *)
+let diff_reference ops =
+  let interp = Interp.create () in
+  (match Interp.run_string interp tick_boot_script with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  (match Engine.commit (Interp.engine interp) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "reference boot commit");
+  let engine = Interp.engine interp in
+  let executed = ref [] in
+  Engine.set_on_execution engine (fun name -> executed := name :: !executed);
+  let etype =
+    match Event_type.of_string "tick" with
+    | Ok e -> e
+    | Error msg -> Alcotest.fail msg
+  in
+  let oid = ref 0 in
+  let ingest () =
+    let this = !oid in
+    incr oid;
+    Engine.ingest_event engine ~etype ~oid:(Ident.Oid.of_int this)
+  in
+  let executed_reply () =
+    match List.rev !executed with
+    | [] -> Protocol.Ok_ ""
+    | rules -> Protocol.Triggered rules
+  in
+  List.map
+    (fun op ->
+      executed := [];
+      match op with
+      | D_ping tok -> Protocol.Ok_ ("pong " ^ tok)
+      | D_event -> (
+          match ingest () with
+          | Ok () -> executed_reply ()
+          | Error e -> Protocol.Err ("engine", Fmt.str "%a" Engine.pp_error e))
+      | D_batch k ->
+          let rec apply i =
+            if i = k then executed_reply ()
+            else
+              match ingest () with
+              | Ok () -> apply (i + 1)
+              | Error e ->
+                  Protocol.Err ("engine", Fmt.str "%a" Engine.pp_error e)
+          in
+          apply 0
+      | D_commit -> (
+          match Engine.commit engine with
+          | Ok () -> executed_reply ()
+          | Error e ->
+              Engine.abort engine;
+              Protocol.Err ("engine", Fmt.str "%a" Engine.pp_error e))
+      | D_abort ->
+          Engine.abort engine;
+          Protocol.Ok_ "aborted")
+    ops
+
+let run_diff_seed ~domains seed =
+  let ops, tx_open = diff_scenario (Random.State.make [| seed |]) 30 in
+  let expected = diff_reference ops in
+  with_server
+    ~config:
+      {
+        Server.default_config with
+        boot_script = Some tick_boot_script;
+        engines = 1;
+        domains;
+      }
+  @@ fun srv ->
+  let c = connect srv in
+  Fun.protect ~finally:(fun () -> close_client c) @@ fun () ->
+  hello srv c;
+  send srv c (Protocol.Etype { id = 0; name = "tick" });
+  ignore (expect_ok srv c "etype");
+  (* The whole scenario in one burst: no reads until everything is sent. *)
+  let burst = Buffer.create 1024 in
+  let oid = ref 0 in
+  let next_oid () =
+    let this = !oid in
+    incr oid;
+    this
+  in
+  List.iter
+    (fun op ->
+      let payload =
+        match op with
+        | D_ping tok -> Protocol.command_to_payload (Protocol.Ping tok)
+        | D_event ->
+            Protocol.encode_event ~etype_id:0 ~oid:(next_oid ()) ~timestamp:0
+        | D_batch k ->
+            Protocol.encode_batch
+              (List.init k (fun _ ->
+                   { Protocol.etype_id = 0; oid = next_oid (); timestamp = 0 }))
+        | D_commit -> Protocol.command_to_payload Protocol.Commit
+        | D_abort -> Protocol.command_to_payload Protocol.Abort
+      in
+      Buffer.add_string burst (Protocol.frame_exn ~max_frame:mf payload))
+    ops;
+  send_raw srv c (Buffer.contents burst);
+  (* Replies come back strictly in send order. *)
+  List.iteri
+    (fun i want ->
+      match recv srv c with
+      | `Reply got ->
+          Alcotest.(check string)
+            (Printf.sprintf "seed %d step %d" seed i)
+            (Protocol.reply_to_payload want)
+            (Protocol.reply_to_payload got)
+      | `Eof -> Alcotest.failf "seed %d step %d: connection closed" seed i
+      | `Timeout -> Alcotest.failf "seed %d step %d: no reply" seed i)
+    expected;
+  if tx_open then begin
+    send srv c Protocol.Abort;
+    ignore (expect_ok srv c "final abort")
+  end;
+  send srv c Protocol.Quit;
+  ignore (expect_ok srv c "quit");
+  expect_eof srv c
+
+let test_differential_binary_pipelined () =
+  for seed = 0 to 159 do
+    (* Even seeds inline on the reactor, odd seeds through a worker
+       domain: the reply-order invariant holds on both execution paths. *)
+    run_diff_seed ~domains:(if seed mod 2 = 0 then Some 0 else None) seed
+  done
+
 let suite =
   [
     Alcotest.test_case "payload round trip" `Quick test_payload_roundtrip;
     Alcotest.test_case "frame decoding is total" `Quick test_decode_frames;
     Alcotest.test_case "event codec rejects bad numbers" `Quick
       test_event_codec_rejects_bad_numbers;
+    Alcotest.test_case "binary frames round trip (1000 cases)" `Quick
+      test_binary_roundtrip;
+    Alcotest.test_case "binary decode is total (1000 payloads)" `Quick
+      test_binary_decode_totality;
+    Alcotest.test_case "decode_view window aliasing" `Quick
+      test_decode_view_alias_safety;
     Alcotest.test_case "manager queueing and overflow" `Quick
       test_manager_queueing_and_overflow;
     Alcotest.test_case "hello key re-pins the session" `Quick
@@ -895,4 +1423,12 @@ let suite =
     Alcotest.test_case "in-process loadgen" `Quick test_loadgen_in_process;
     Alcotest.test_case "differential: socket vs direct" `Quick
       test_differential_socket_vs_direct;
+    Alcotest.test_case "binary ingestion over a socket" `Quick
+      test_socket_binary_ingest;
+    Alcotest.test_case "binary protocol errors keep the connection" `Quick
+      test_socket_binary_errors;
+    Alcotest.test_case "pipelined binary loadgen" `Quick
+      test_loadgen_binary_pipelined;
+    Alcotest.test_case "differential: pipelined binary, 160 seeds" `Quick
+      test_differential_binary_pipelined;
   ]
