@@ -35,6 +35,9 @@ let experiments =
     ( "e16",
       "pipelined binary ingestion vs text EVENT ping-pong",
       Serve_bench.e16 );
+    ( "e17",
+      "live-subscription push throughput (8 vs 64 subscribers)",
+      Serve_bench.e17 );
     ("micro", "bechamel micro-benchmarks", Micro.run);
   ]
 

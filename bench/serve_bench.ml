@@ -693,3 +693,147 @@ let e16 () =
                  (if b_binary then ratio b_shards else 1.0) );
            ])
        rows)
+
+(* E17: live-subscription push throughput — one engine shard, binary
+   pipelined ingestion, a growing pool of subscribers each holding one
+   SUB rule on the ingested event type.
+
+   Every committed event activates every subscription, so the push side
+   fans out: S subscribers turn E ingested events into up to E*S NOTIFY
+   frames, shed down to NOTIFY_GAP accounting when a subscriber's
+   bounded queue overflows.  The delivery invariant is asserted, not
+   assumed: delivered + shed = events * subscribers, exactly.  Each
+   ingested oid is its send time in nanoseconds, so every delivered
+   binding is one trigger-to-notify latency sample with no correlation
+   state (see Loadgen). *)
+
+let e17_ingest_conns = 4
+let e17_events = 500
+let e17_commit_every = 10
+let e17_pipeline = 16
+let e17_sub_counts = [ 8; 64 ]
+
+type e17_row = { s_subs : int; s_report : Loadgen.report }
+
+let e17_run ~subscribers =
+  let server_config =
+    {
+      Server.default_config with
+      Server.engines = 1;
+      (* One shard, executed inline on the reactor thread: the push path
+         is the subject here, and on the CI container's single core a
+         worker domain only adds the mailbox hop e13 measures. *)
+      domains = Some 0;
+      max_conns = e17_ingest_conns + subscribers + 8;
+      idle_timeout = 0.;
+    }
+  in
+  match Server.create server_config with
+  | Error msg -> failwith msg
+  | Ok srv ->
+      let lg =
+        match
+          Loadgen.create
+            {
+              Loadgen.default_config with
+              Loadgen.port = Server.port srv;
+              conns = e17_ingest_conns;
+              lines = e17_events;
+              commit_every = e17_commit_every;
+              binary = true;
+              pipeline = e17_pipeline;
+              subscribe = subscribers;
+            }
+        with
+        | Ok lg -> lg
+        | Error msg -> failwith msg
+      in
+      let rec drive () =
+        if not (Loadgen.finished lg) then begin
+          ignore (Server.poll srv ~timeout:0.);
+          Loadgen.poll lg ~timeout:0.;
+          drive ()
+        end
+      in
+      drive ();
+      let report = Loadgen.report lg in
+      Server.request_drain srv;
+      let rec stop n =
+        if n > 0 then
+          match Server.poll srv ~timeout:0.005 with
+          | Server.Stopped -> ()
+          | Server.Running -> stop (n - 1)
+      in
+      stop 1000;
+      if report.Loadgen.errors > 0 then
+        failwith
+          (Printf.sprintf "e17: %d protocol error(s) at subscribers=%d"
+             report.Loadgen.errors subscribers);
+      let expected = e17_ingest_conns * e17_events * subscribers in
+      let accounted = report.Loadgen.notifies + report.Loadgen.gap_dropped in
+      if accounted <> expected then
+        failwith
+          (Printf.sprintf
+             "e17: delivery invariant broken at subscribers=%d: %d \
+              delivered + %d shed <> %d expected"
+             subscribers report.Loadgen.notifies report.Loadgen.gap_dropped
+             expected);
+      { s_subs = subscribers; s_report = report }
+
+let e17 () =
+  let cores = Stdlib.Domain.recommended_domain_count () in
+  Bench_util.print_header
+    "E17: live-subscription push throughput (one shard)";
+  Bench_util.print_note
+    (Printf.sprintf
+       "in-process loopback; %d ingesters x %d binary events (pipeline \
+        %d, commit every %d) fanning out to each subscriber's SUB rule; \
+        notify queue %d/conn, overflow sheds into NOTIFY_GAP; %d core(s)"
+       e17_ingest_conns e17_events e17_pipeline e17_commit_every
+       Server.default_config.Server.notify_queue cores);
+  let rows = List.map (fun s -> e17_run ~subscribers:s) e17_sub_counts in
+  Printf.printf "\n  %6s %10s %8s %12s %10s %10s %10s\n" "subs" "notifies"
+    "shed" "notifies/s" "p50 us" "p99 us" "max us";
+  List.iter
+    (fun { s_subs; s_report = r } ->
+      Printf.printf "  %6d %10d %8d %12.0f %10d %10d %10d\n" s_subs
+        r.Loadgen.notifies r.Loadgen.gap_dropped r.Loadgen.notifies_per_s
+        (r.Loadgen.nlat_p50_ns / 1000)
+        (r.Loadgen.nlat_p99_ns / 1000)
+        (r.Loadgen.nlat_max_ns / 1000))
+    rows;
+  List.iter
+    (fun { s_subs; s_report = r } ->
+      if s_subs = 64 then
+        Printf.printf
+          "  64 subscribers: %.0f notifies/s delivered (target: 10000)\n"
+          r.Loadgen.notifies_per_s)
+    rows;
+  Bench_util.write_json ~experiment:"e17"
+    (List.map
+       (fun { s_subs; s_report = r } ->
+         Bench_util.J_obj
+           [
+             ("shards", Bench_util.J_int 1);
+             ("domains", Bench_util.J_int 0);
+             ("subscribers", Bench_util.J_int s_subs);
+             ("ingest_conns", Bench_util.J_int e17_ingest_conns);
+             ("events_per_conn", Bench_util.J_int e17_events);
+             ("commit_every", Bench_util.J_int e17_commit_every);
+             ("pipeline", Bench_util.J_int e17_pipeline);
+             ( "notify_queue",
+               Bench_util.J_int Server.default_config.Server.notify_queue );
+             ("cores", Bench_util.J_int cores);
+             ("events_ok", Bench_util.J_int r.Loadgen.lines_ok);
+             ("notifies", Bench_util.J_int r.Loadgen.notifies);
+             ("gap_frames", Bench_util.J_int r.Loadgen.gap_frames);
+             ("gap_dropped", Bench_util.J_int r.Loadgen.gap_dropped);
+             ("errors", Bench_util.J_int r.Loadgen.errors);
+             ("wall_s", Bench_util.J_float r.Loadgen.wall_s);
+             ("notifies_per_s", Bench_util.J_float r.Loadgen.notifies_per_s);
+             ("nlat_p50_ns", Bench_util.J_int r.Loadgen.nlat_p50_ns);
+             ("nlat_p90_ns", Bench_util.J_int r.Loadgen.nlat_p90_ns);
+             ("nlat_p99_ns", Bench_util.J_int r.Loadgen.nlat_p99_ns);
+             ("nlat_max_ns", Bench_util.J_int r.Loadgen.nlat_max_ns);
+           ])
+       rows)

@@ -299,6 +299,15 @@ let stats_cmd =
          gauges report the lowest commit a replication follower has not \
          yet durably acked (-1 with no followers attached); both floors \
          also appear in the $(b,STATS) verb's bounds line.";
+      `P
+        "$(b,sub.notifies) / $(b,sub.gaps) / $(b,sub.dropped): live \
+         subscription pushes under $(b,chimera serve) — $(b,NOTIFY) \
+         frames written to subscribers, $(b,NOTIFY_GAP) frames emitted \
+         when the per-connection $(b,--notify-queue) bound sheds \
+         backlog, and the individual notifies those gaps account as \
+         shed.  $(b,sub.active) gauges the subscriptions currently \
+         registered across all sessions.  The same figures appear on \
+         the $(b,STATS) verb's $(b,subs:) line.";
     ]
   in
   Cmd.v
@@ -633,8 +642,11 @@ let parse_follow = function
 
 let serve trace metrics host port engines domains journal_dir fsync
     checkpoint_every checkpoint_interval script max_conns max_frame
-    max_pending idle_timeout follow repl_async =
+    max_pending idle_timeout notify_queue follow repl_async =
  protected @@ fun () ->
+  if notify_queue < 1 then
+    `Error (false, "--notify-queue must be at least 1")
+  else
   match parse_follow follow with
   | Error msg -> `Error (false, msg)
   | Ok follow ->
@@ -654,6 +666,7 @@ let serve trace metrics host port engines domains journal_dir fsync
       max_frame;
       max_pending;
       idle_timeout;
+      notify_queue;
       follow;
       repl_sync = not repl_async;
       checkpoint_every;
@@ -765,6 +778,18 @@ let serve_cmd =
       & info [ "idle-timeout" ] ~docv:"SECONDS"
           ~doc:"Close sessions idle this long; $(b,0) disables.")
   in
+  let notify_queue =
+    Arg.(
+      value
+      & opt int Server.default_config.Server.notify_queue
+      & info [ "notify-queue" ] ~docv:"N"
+          ~doc:
+            "Slow-consumer bound for live subscriptions: at most $(i,N) \
+             $(b,NOTIFY) pushes wait per connection; beyond it the \
+             oldest is shed and accounted to that subscription's next \
+             $(b,NOTIFY_GAP) frame, so subscribers see every committed \
+             activation either delivered or explicitly gapped.")
+  in
   let follow =
     Arg.(
       value
@@ -795,6 +820,14 @@ let serve_cmd =
          SIGINT drain gracefully: accepts stop, lines already received \
          finish, clients get $(b,ERR shutdown), journals flush, and the \
          process exits 0.";
+      `P
+        "Sessions that negotiate the $(b,sub) HELLO feature can register \
+         live subscriptions: $(b,SUB <id> [BIN] ON <event-expr> [DO \
+         at-bindings]) compiles an ad-hoc composite-event rule scoped to \
+         the connection, $(b,UNSUB <id>) drops it, and every committed \
+         activation is pushed asynchronously as a $(b,NOTIFY) frame (or \
+         accounted by a $(b,NOTIFY_GAP) when $(b,--notify-queue) sheds \
+         backlog), in commit order per subscription.";
     ]
   in
   Cmd.v
@@ -804,12 +837,12 @@ let serve_cmd =
         (const serve $ trace_arg $ metrics_arg $ host_arg $ port $ engines
         $ domains $ journal_dir $ fsync_arg $ checkpoint_every_arg
         $ checkpoint_interval_arg $ script $ max_conns $ max_frame
-        $ max_pending $ idle_timeout $ follow $ repl_async))
+        $ max_pending $ idle_timeout $ notify_queue $ follow $ repl_async))
 
 (* --------------------------------------------------------- loadgen *)
 
 let loadgen host port conns lines line commit_every pipeline binary events
-    batch etype reconnect retry_max retry_base retry_cap seed =
+    batch etype subscribe reconnect retry_max retry_base retry_cap seed =
  protected @@ fun () ->
   let config =
     {
@@ -825,6 +858,7 @@ let loadgen host port conns lines line commit_every pipeline binary events
       events;
       batch;
       etype;
+      subscribe;
       reconnect;
       retry_max;
       retry_base;
@@ -918,6 +952,19 @@ let loadgen_cmd =
       & info [ "etype" ] ~docv:"NAME"
           ~doc:"Event-type name binary records carry (announced as id 0).")
   in
+  let subscribe =
+    Arg.(
+      value
+      & opt int Loadgen.default_config.Loadgen.subscribe
+      & info [ "subscribe" ] ~docv:"S"
+          ~doc:
+            "Extra subscriber connections: each registers one live \
+             subscription on the event type before any ingester sends \
+             work, then measures the push side — notify throughput, gap \
+             accounting, and trigger-to-notify latency (every ingested \
+             oid is its send time in nanoseconds).  Requires \
+             $(b,--events) or $(b,--binary).")
+  in
   let reconnect =
     Arg.(
       value & flag
@@ -963,8 +1010,8 @@ let loadgen_cmd =
     Term.(
       ret
         (const loadgen $ host_arg $ port $ conns $ lines $ line $ commit_every
-       $ pipeline $ binary $ events $ batch $ etype $ reconnect $ retry_max
-       $ retry_base $ retry_cap $ seed))
+       $ pipeline $ binary $ events $ batch $ etype $ subscribe $ reconnect
+       $ retry_max $ retry_base $ retry_cap $ seed))
 
 (* ------------------------------------------------------------ repl *)
 

@@ -465,6 +465,41 @@ let script st =
   in
   loop []
 
+(* Ad-hoc subscription bodies: [on { expr } [do <atoms>]] — the SUB
+   verb's rule text, reusing the trigger grammar's event expression and
+   condition atoms.  Keywords are matched case-insensitively because
+   clients write them in protocol style ([ON]/[DO]). *)
+let sub_keyword st kw =
+  match (peek st).token with
+  | IDENT s when String.equal (String.lowercase_ascii s) kw -> advance st
+  | t -> fail st (Printf.sprintf "expected '%s', found %s" kw (token_name t))
+
+let subscription st =
+  sub_keyword st "on";
+  let event = event_expr st in
+  let condition =
+    match peek_ident st with
+    | Some s when String.equal (String.lowercase_ascii s) "do" ->
+        advance st;
+        condition_atoms st
+    | _ -> []
+  in
+  (match (peek st).token with
+  | EOF -> ()
+  | t -> fail st (Printf.sprintf "trailing input after subscription: %s" (token_name t)));
+  (event, condition)
+
+let parse_subscription src : (Expr.set * Condition.t, string) result =
+  match Lexer.tokenize src with
+  | exception Lexer.Error (msg, pos) ->
+      Error (Printf.sprintf "lex error at offset %d: %s" pos msg)
+  | toks -> (
+      let st = { toks } in
+      match subscription st with
+      | r -> Ok r
+      | exception Error (msg, pos) ->
+          Error (Printf.sprintf "parse error at offset %d: %s" pos msg))
+
 let parse src : (Ast.script, string) result =
   match Lexer.tokenize src with
   | exception Lexer.Error (msg, pos) ->

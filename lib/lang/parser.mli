@@ -7,3 +7,14 @@ val parse : string -> (Ast.script, string) result
 
 val parse_exn : string -> Ast.script
 (** Raises [Invalid_argument] on error. *)
+
+val parse_subscription :
+  string ->
+  ( Chimera_calculus.Expr.set * Chimera_rules.Condition.t,
+    string )
+  result
+(** Parses a subscription body — [on { <event expression> } [do <atom>,
+    ...]], keywords case-insensitive — into the event expression and
+    condition atoms of an ad-hoc rule (the [SUB] verb's payload).  The
+    full trigger grammar is allowed: set and instance calculus in the
+    expression, [occurred]/[at]/comparison/range atoms after [do]. *)

@@ -129,6 +129,18 @@ let stats () =
     recovery_torn_bytes = 0;
   }
 
+(* One committed trigger activation of a watched rule — the unit the
+   live-subscription layer pushes to clients.  Bindings are rendered to
+   text at consideration time (they are plain oids and instants), so an
+   activation is immutable string data, safe to ship across domains. *)
+type activation = {
+  act_rule : string;
+  act_at : Time.t;  (** the consideration instant ([ts] evaluation point) *)
+  act_bindings : (string * string) list list;
+      (** one entry per satisfying binding environment, in evaluation
+          order; each is the condition's variables with rendered values *)
+}
+
 (* HiPAC-style periodic (clock) events, simulated on the engine's logical
    time: a timer matures every [period] transaction lines and contributes
    an external event occurrence to that line's block. *)
@@ -190,6 +202,16 @@ type t = {
           condition holds and the action is about to execute — the
           network server reports the executed rules of a line to its
           client through this *)
+  watched : (string, unit) Hashtbl.t;
+      (** rules whose activations are buffered for {!drain_activations}
+          (the live-subscription set) *)
+  mutable tx_notifies : activation list;
+      (** activations of watched rules in the open transaction, newest
+          first; promoted to [committed_notifies] at the commit point,
+          discarded wholesale by {!abort} — an aborted transaction never
+          produces a notify *)
+  mutable committed_notifies : activation list;
+      (** committed, undrained activations, newest first *)
 }
 
 (* Timer occurrences affect a reserved pseudo-object. *)
@@ -234,6 +256,9 @@ let create ?(config = default_config) schema =
     tx_trigger = Trigger_support.snapshot rules;
     tx_timers = [];
     on_execution = None;
+    watched = Hashtbl.create 8;
+    tx_notifies = [];
+    committed_notifies = [];
   }
 
 let store t = t.store
@@ -324,6 +349,45 @@ let define t spec =
       Trigger_support.Wake.add_rule t.wake rule;
       ok
   | Error _ as e -> e
+
+(* Live-subscription support: dynamic rule definition and removal at a
+   transaction boundary (no open client transaction — the server's
+   session layer guarantees it by holding SUB/UNSUB behind shard
+   ownership).  Both refresh the transaction savepoint afterwards, so a
+   later abort neither removes a dynamically defined rule (it is not
+   "defined inside the aborted transaction") nor resurrects a removed
+   one. *)
+let define_dynamic t spec =
+  match define t spec with
+  | Error _ as e -> e
+  | Ok _ as ok ->
+      begin_transaction t;
+      ok
+
+let undefine t name =
+  match Rule_table.remove t.rules name with
+  | Error _ as e -> e
+  | Ok () ->
+      Hashtbl.remove t.watched name;
+      (* The removed rule may sit in the wake dirty set: re-derive the
+         index from the table, exactly as abort does. *)
+      Trigger_support.Wake.rebuild t.wake t.rules;
+      begin_transaction t;
+      Ok ()
+
+let watch_rule t name = Hashtbl.replace t.watched name ()
+
+let unwatch_rule t name =
+  Hashtbl.remove t.watched name;
+  t.tx_notifies <-
+    List.filter (fun a -> not (String.equal a.act_rule name)) t.tx_notifies
+
+let drain_activations t =
+  match t.committed_notifies with
+  | [] -> []
+  | acts ->
+      t.committed_notifies <- [];
+      List.rev acts
 
 (* Registers a periodic timer; returns the event type rules subscribe to
    (an external event on the pseudo-class "timer").  Duplicate names are
@@ -519,6 +583,17 @@ let consider t rule : (unit, error) result =
       (match t.on_execution with
       | Some notify -> notify (Rule.name rule)
       | None -> ());
+      if Hashtbl.mem t.watched (Rule.name rule) then
+        t.tx_notifies <-
+          {
+            act_rule = Rule.name rule;
+            act_at = at;
+            act_bindings =
+              List.map
+                (List.map (fun (v, value) -> (v, Value.to_string value)))
+                envs;
+          }
+          :: t.tx_notifies;
       run_action t rule envs
     end
   in
@@ -778,7 +853,14 @@ and commit_body t : (unit, error) result =
           t.timers;
         Journal.commit j
       end);
-  (* The commit point: committed history can never be rolled back. *)
+  (* The commit point: committed history can never be rolled back.  The
+     transaction's buffered activations become deliverable exactly here —
+     never earlier, so an abort (or a commit that failed above) can never
+     leak a phantom notify. *)
+  if t.tx_notifies <> [] then begin
+    t.committed_notifies <- t.tx_notifies @ t.committed_notifies;
+    t.tx_notifies <- []
+  end;
   let purged = Object_store.forget_undo t.store in
   let fresh_start = Event_base.probe_now t.eb in
   t.tx_start <- fresh_start;
@@ -828,6 +910,8 @@ let abort t =
       Queue.add tm t.timers)
     t.tx_timers;
   Memo.restart t.memo t.eb;
+  (* Activations buffered by the aborted transaction never happened. *)
+  t.tx_notifies <- [];
   t.stats.aborts <- t.stats.aborts + 1;
   Obs.Metrics.incr c_aborts;
   (* The savepoint state is unchanged — the transaction may be retried —

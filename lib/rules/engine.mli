@@ -92,6 +92,45 @@ val define : t -> Rule.spec -> (Rule.t, [> `Rule_error of string ]) result
 val define_exn : t -> Rule.spec -> Rule.t
 (** Raises [Invalid_argument] on rejection. *)
 
+(** {2 Dynamic rules and live activations (subscriptions)} *)
+
+type activation = {
+  act_rule : string;  (** rule name, as defined *)
+  act_at : Time.t;  (** the consideration instant ([ts] evaluation point) *)
+  act_bindings : (string * string) list list;
+      (** one binding list per satisfying environment, variables in
+          declaration order, values printed with [Value.to_string] *)
+}
+(** One committed trigger activation of a watched rule. *)
+
+val define_dynamic : t -> Rule.spec -> (Rule.t, [> `Rule_error of string ]) result
+(** Like {!define}, for a rule added while the engine is live.  Must be
+    called at a transaction boundary; on success the transaction
+    savepoint is refreshed so a later {!abort} cannot silently drop the
+    rule again. *)
+
+val undefine : t -> string -> (unit, [> `Rule_error of string ]) result
+(** Drops a rule by name and rebuilds the wake index.  Returns [Error]
+    (never raises) when the name is unknown or already dropped.  Must be
+    called at a transaction boundary; the savepoint is refreshed so a
+    later {!abort} cannot resurrect the rule. *)
+
+val watch_rule : t -> string -> unit
+(** Marks a rule as watched: each consideration whose condition holds
+    buffers an {!activation} in the current transaction. *)
+
+val unwatch_rule : t -> string -> unit
+(** Stops watching a rule and discards its activations buffered in the
+    current (uncommitted) transaction.  Already-committed activations
+    stay deliverable. *)
+
+val drain_activations : t -> activation list
+(** Returns (and clears) the committed activations of watched rules, in
+    commit order.  Buffered activations become deliverable exactly at
+    the commit point — an aborted transaction contributes none — so the
+    sequence of drained activations is precisely the committed execution
+    log of the watched rules. *)
+
 val execute_line : t -> Operation.t list -> (unit, error) result
 (** Executes one transaction line, then processes immediate rules to
     quiescence. *)

@@ -16,7 +16,21 @@
    EVENT frames ([batch = 1]) or BATCH frames carrying up to [batch]
    records each.  Counters stay in events: [lines] is the events per
    connection, and a BATCH round trip is one latency sample covering
-   [batch] of them. *)
+   [batch] of them.
+
+   [subscribe = N] adds N extra connections that never ingest: each
+   registers one live subscription on the run's event type and measures
+   the push side — notify throughput, gap accounting, and trigger-to-
+   notify latency.  The latency trick: in subscription runs every
+   ingested event carries its send-time (nanoseconds) as its oid, the
+   subscription's condition binds that oid back out of the event base,
+   and the subscriber differences it against its own clock on receipt —
+   one end-to-end sample per delivered binding, no correlation state.
+   Ingesters hold their fire until every subscriber's SUB is acked (a
+   notify before registration would silently undercount), and
+   subscribers UNSUB + QUIT once every ingester finished — the UNSUB
+   reply is documented to ride behind every notify already owed, so the
+   count at QUIT is complete. *)
 
 module Obs = Chimera_obs.Obs
 
@@ -32,6 +46,7 @@ type config = {
   events : bool;
   batch : int;
   etype : string;
+  subscribe : int;
   max_frame : int;
   reconnect : bool;
   retry_max : int;
@@ -53,6 +68,7 @@ let default_config =
     events = false;
     batch = 1;
     etype = "tick";
+    subscribe = 0;
     max_frame = Protocol.default_max_frame;
     reconnect = false;
     retry_max = 8;
@@ -76,6 +92,15 @@ type report = {
   lat_p90_ns : int;
   lat_p99_ns : int;
   lat_max_ns : int;
+  subscribers : int;
+  notifies : int;
+  gap_frames : int;
+  gap_dropped : int;
+  notifies_per_s : float;
+  nlat_p50_ns : int;
+  nlat_p90_ns : int;
+  nlat_p99_ns : int;
+  nlat_max_ns : int;
 }
 
 let pp_report ppf r =
@@ -86,7 +111,15 @@ let pp_report ppf r =
      p99=%dus max=%dus"
     r.conns r.lines_sent r.lines_ok r.triggered r.commits r.errors r.drained
     r.reconnects r.wall_s r.lines_per_s (r.lat_p50_ns / 1000)
-    (r.lat_p90_ns / 1000) (r.lat_p99_ns / 1000) (r.lat_max_ns / 1000)
+    (r.lat_p90_ns / 1000) (r.lat_p99_ns / 1000) (r.lat_max_ns / 1000);
+  if r.subscribers > 0 then
+    Format.fprintf ppf
+      "@\n\
+       %d subscriber(s): %d notify(s), %d gap frame(s) (%d shed), %.0f \
+       notifies/s; trigger-to-notify p50=%dus p90=%dus p99=%dus max=%dus"
+      r.subscribers r.notifies r.gap_frames r.gap_dropped r.notifies_per_s
+      (r.nlat_p50_ns / 1000) (r.nlat_p90_ns / 1000) (r.nlat_p99_ns / 1000)
+      (r.nlat_max_ns / 1000)
 
 (* What one in-flight frame's reply must be, FIFO per session.  [E_work]
    covers both a LINE and a binary EVENT/BATCH — [events] is how many
@@ -96,6 +129,8 @@ type expect =
   | E_etype
   | E_work of { events : int; sent_ns : int }
   | E_commit of { upto : int }  (** events covered once this commit acks *)
+  | E_sub
+  | E_unsub
   | E_bye
 
 (* The connection's link state; the expectation queue only fills under
@@ -105,12 +140,17 @@ type link = Backoff | Connecting | Streaming
 type conn = {
   mutable fd : Unix.file_descr;
   key : string;  (** session key sent with HELLO, for shard pinning *)
+  is_sub : bool;  (** a subscriber: registers a rule, never ingests *)
   backoff : Chimera_util.Backoff.t;
   mutable retry_at : float;  (** only meaningful under [Backoff] *)
   mutable link : link;
   expect : expect Queue.t;
   mutable helloed : bool;  (** HELLO sent on this TCP session *)
   mutable etyped : bool;  (** ETYPE announced on this TCP session *)
+  mutable sub_sent : bool;  (** SUB sent on this TCP session *)
+  mutable sub_acked : bool;  (** SUB acked — notifies may flow *)
+  mutable unsub_sent : bool;
+  mutable unsub_acked : bool;
   mutable quit_sent : bool;
   mutable gen_events : int;  (** events sent (the generation cursor) *)
   mutable commit_cursor : int;  (** events covered by COMMITs sent *)
@@ -128,6 +168,8 @@ type t = {
   conns : conn list;
   latencies : int array;
   mutable samples : int;
+  nlat : int array;  (** trigger-to-notify samples, one per binding *)
+  mutable nsamples : int;
   mutable lines_sent : int;
   mutable lines_ok : int;
   mutable triggered : int;
@@ -135,6 +177,9 @@ type t = {
   mutable errors : int;
   mutable drained : int;
   mutable reconnects : int;
+  mutable notifies : int;
+  mutable gap_frames : int;
+  mutable gap_dropped : int;
   started : float;
   mutable finished_at : float option;
 }
@@ -183,6 +228,10 @@ let fail_conn t conn =
       Queue.clear conn.expect;
       conn.helloed <- false;
       conn.etyped <- false;
+      conn.sub_sent <- false;
+      conn.sub_acked <- false;
+      conn.unsub_sent <- false;
+      conn.unsub_acked <- false;
       conn.quit_sent <- false;
       conn.in_len <- 0;
       Buffer.clear conn.outbuf;
@@ -199,29 +248,90 @@ let fail_conn t conn =
 
 (* One binary work frame: EVENT for a single record, BATCH above that.
    The oid is the event's global index on this connection — stable
-   across reconnect resends — and the timestamp the client clock, which
-   the server carries but does not trust. *)
-let binary_payload conn ~n ~sent_ns =
+   across reconnect resends — or, in a subscription run, the send-time
+   in nanoseconds, which the subscriber's condition binds back out for
+   the trigger-to-notify latency.  The timestamp is the client clock,
+   which the server carries but does not trust. *)
+let work_oid t conn i =
+  if t.config.subscribe > 0 then now_ns () else conn.gen_events + i
+
+let binary_payload t conn ~n ~sent_ns =
   if n = 1 then
-    Protocol.encode_event ~etype_id:0 ~oid:conn.gen_events ~timestamp:sent_ns
+    Protocol.encode_event ~etype_id:0 ~oid:(work_oid t conn 0)
+      ~timestamp:sent_ns
   else
     Protocol.encode_batch
       (List.init n (fun i ->
            {
              Protocol.etype_id = 0;
-             oid = conn.gen_events + i;
+             oid = work_oid t conn i;
              timestamp = sent_ns;
            }))
+
+(* Every subscriber's SUB is acked: the ingesters may open fire without
+   losing pushes to not-yet-registered rules.  A subscriber that gave up
+   (connect retries exhausted) stops gating. *)
+let subs_ready t =
+  List.for_all (fun c -> (not c.is_sub) || c.sub_acked || c.done_) t.conns
+
+(* Every ingester delivered its load and closed: the subscribers may
+   UNSUB — the reply rides behind all owed notifies — and leave. *)
+let ingest_done t = List.for_all (fun c -> c.is_sub || c.done_) t.conns
+
+let sub_spec t =
+  Printf.sprintf "ON { %s } DO at({ %s }, X, T)" t.config.etype t.config.etype
 
 (* Tops the session's pipeline up to the configured depth: sends the
    next due frame — greeting, etype announcement, work, commit, quit —
    and queues its expectation, until the window is full or there is
-   nothing left to send. *)
-let fill t conn =
+   nothing left to send.  Subscribers run their own little script:
+   HELLO, SUB, sit in the push stream, UNSUB once ingestion is done,
+   QUIT once the UNSUB acked. *)
+let rec fill t conn =
+  if conn.is_sub then fill_sub t conn else fill_ingest t conn
+
+and fill_sub t conn =
+  let cfg = t.config in
+  let parked = ref false in
+  while
+    (not !parked) && conn.link = Streaming && (not conn.done_)
+    && (not conn.quit_sent)
+    && Queue.length conn.expect < cfg.pipeline
+  do
+    if not conn.helloed then begin
+      conn.helloed <- true;
+      send_command t conn (Protocol.Hello (Protocol.version ^ " " ^ conn.key));
+      Queue.add E_hello conn.expect
+    end
+    else if not conn.sub_sent then begin
+      conn.sub_sent <- true;
+      send_command t conn
+        (Protocol.Sub { id = 0; binary = cfg.binary; spec = sub_spec t });
+      Queue.add E_sub conn.expect
+    end
+    else if conn.unsub_acked then begin
+      conn.quit_sent <- true;
+      send_command t conn Protocol.Quit;
+      Queue.add E_bye conn.expect
+    end
+    else if conn.sub_acked && (not conn.unsub_sent) && ingest_done t then begin
+      conn.unsub_sent <- true;
+      send_command t conn (Protocol.Unsub { id = 0 });
+      Queue.add E_unsub conn.expect
+    end
+    else parked := true
+  done
+
+and fill_ingest t conn =
   let cfg = t.config in
   while
     conn.link = Streaming && (not conn.done_) && (not conn.quit_sent)
     && Queue.length conn.expect < cfg.pipeline
+    (* Work holds until every subscriber registered; the greeting and
+       the etype announcement may run ahead. *)
+    && (conn.helloed = false
+       || (cfg.binary && not conn.etyped)
+       || subs_ready t)
   do
     if not conn.helloed then begin
       conn.helloed <- true;
@@ -257,13 +367,13 @@ let fill t conn =
       in
       let n = if cfg.binary then min cfg.batch room else 1 in
       let sent_ns = now_ns () in
-      if cfg.binary then send t conn (binary_payload conn ~n ~sent_ns)
+      if cfg.binary then send t conn (binary_payload t conn ~n ~sent_ns)
       else if cfg.events then
         (* The text twin of the binary frames — same engine work through
            the EVENT verb, parsed from text; what an apples-to-apples
            binary-vs-text comparison pits the binary path against. *)
         send_command t conn
-          (Protocol.Event { etype = cfg.etype; oid = conn.gen_events })
+          (Protocol.Event { etype = cfg.etype; oid = work_oid t conn 0 })
       else send_command t conn (Protocol.Line cfg.line);
       conn.gen_events <- conn.gen_events + n;
       t.lines_sent <- t.lines_sent + n;
@@ -317,8 +427,47 @@ let on_reply t conn reply =
               t.commits <- t.commits + 1;
               conn.committed_events <- upto;
               fill t conn
+          | E_sub, (Protocol.Ok_ _ | Protocol.Triggered _) ->
+              conn.sub_acked <- true;
+              Chimera_util.Backoff.reset conn.backoff;
+              (* The last registration releases the ingesters. *)
+              if subs_ready t then
+                List.iter
+                  (fun c ->
+                    if (not c.is_sub) && (not c.done_) && c.link = Streaming
+                    then fill t c)
+                  t.conns
+          | E_unsub, (Protocol.Ok_ _ | Protocol.Triggered _) ->
+              conn.unsub_acked <- true;
+              fill t conn
           | E_bye, (Protocol.Ok_ _ | Protocol.Triggered _) ->
               finish_conn t conn))
+
+(* A subscription push — NOTIFY or NOTIFY_GAP — outside the expectation
+   queue entirely, like on the wire.  Each delivered binding whose [X]
+   value decodes as a send-time yields one trigger-to-notify sample. *)
+let on_push t payload =
+  match Protocol.notify_of_payload payload with
+  | Ok (`Notify n) ->
+      t.notifies <- t.notifies + 1;
+      let received = now_ns () in
+      List.iter
+        (fun env ->
+          match List.assoc_opt "X" env with
+          | Some x when String.length x > 1 && x.[0] = 'o' -> (
+              match int_of_string_opt (String.sub x 1 (String.length x - 1)) with
+              | Some sent when sent > 0 ->
+                  if t.nsamples < Array.length t.nlat then begin
+                    t.nlat.(t.nsamples) <- max 0 (received - sent);
+                    t.nsamples <- t.nsamples + 1
+                  end
+              | Some _ | None -> ())
+          | Some _ | None -> ())
+        n.Protocol.bindings
+  | Ok (`Gap (_sub, dropped)) ->
+      t.gap_frames <- t.gap_frames + 1;
+      t.gap_dropped <- t.gap_dropped + dropped
+  | Error _ -> t.errors <- t.errors + 1
 
 let rec drain_frames t conn =
   if not conn.done_ then
@@ -338,11 +487,13 @@ let rec drain_frames t conn =
     | Protocol.Frame (payload, used) ->
         Bytes.blit conn.inbuf used conn.inbuf 0 (conn.in_len - used);
         conn.in_len <- conn.in_len - used;
-        (match Protocol.reply_of_payload payload with
-        | Ok reply -> on_reply t conn reply
-        | Error _ ->
-            t.errors <- t.errors + 1;
-            finish_conn t conn);
+        (if Protocol.is_notify_payload payload then on_push t payload
+         else
+           match Protocol.reply_of_payload payload with
+           | Ok reply -> on_reply t conn reply
+           | Error _ ->
+               t.errors <- t.errors + 1;
+               finish_conn t conn);
         drain_frames t conn
 
 let handle_readable t conn chunk =
@@ -394,6 +545,9 @@ let create (config : config) =
     Error "--binary and --events are mutually exclusive"
   else if (config.binary || config.events) && config.etype = "" then
     Error "event mode needs an event type name"
+  else if config.subscribe < 0 then Error "subscribe must be non-negative"
+  else if config.subscribe > 0 && not (config.binary || config.events) then
+    Error "--subscribe needs --events or --binary (the rule watches events)"
   else if config.retry_max < 0 then Error "retry-max must be non-negative"
   else begin
     (* A server killed mid-run RSTs these sockets; the writes must fail
@@ -403,13 +557,15 @@ let create (config : config) =
     match Unix.inet_addr_of_string config.host with
     | exception Failure _ -> Error (Printf.sprintf "bad host %s" config.host)
     | addr -> (
-        let open_conn i =
+        let open_conn ~is_sub i =
           (* Per-connection jitter streams, offset by the index so a
              fleet backing off from one refusal does not reconnect in
              lockstep — yet fully deterministic under [seed]. *)
           let backoff =
             Chimera_util.Backoff.create ~base:config.retry_base
-              ~cap:config.retry_cap ~seed:(config.seed + i) ()
+              ~cap:config.retry_cap
+              ~seed:(config.seed + if is_sub then config.conns + i else i)
+              ()
           in
           let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
           Unix.set_nonblock fd;
@@ -418,13 +574,20 @@ let create (config : config) =
           let conn =
             {
               fd;
-              key = Printf.sprintf "lg-%d" i;
+              key =
+                (if is_sub then Printf.sprintf "sub-%d" i
+                 else Printf.sprintf "lg-%d" i);
+              is_sub;
               backoff;
               retry_at = 0.;
               link = Connecting;
               expect = Queue.create ();
               helloed = false;
               etyped = false;
+              sub_sent = false;
+              sub_acked = false;
+              unsub_sent = false;
+              unsub_acked = false;
               quit_sent = false;
               gen_events = 0;
               commit_cursor = 0;
@@ -446,7 +609,10 @@ let create (config : config) =
                 now_s () +. Chimera_util.Backoff.next backoff);
           conn
         in
-        match List.init config.conns open_conn with
+        match
+          List.init config.conns (open_conn ~is_sub:false)
+          @ List.init config.subscribe (open_conn ~is_sub:true)
+        with
         | conns ->
             Ok
               {
@@ -455,6 +621,15 @@ let create (config : config) =
                 conns;
                 latencies = Array.make (config.conns * config.lines) 0;
                 samples = 0;
+                (* One sample per delivered binding, every subscriber a
+                   fan-out copy — capped so a huge run stays bounded
+                   (percentiles over the first 2^20 samples). *)
+                nlat =
+                  Array.make
+                    (min (1 lsl 20)
+                       (max 1 (config.subscribe * config.conns * config.lines)))
+                    0;
+                nsamples = 0;
                 lines_sent = 0;
                 lines_ok = 0;
                 triggered = 0;
@@ -462,6 +637,9 @@ let create (config : config) =
                 errors = 0;
                 drained = 0;
                 reconnects = 0;
+                notifies = 0;
+                gap_frames = 0;
+                gap_dropped = 0;
                 started = now_s ();
                 finished_at = None;
               }
@@ -497,6 +675,11 @@ let poll t ~timeout =
         start_connect t c)
     t.conns;
   let live = List.filter (fun c -> not c.done_) t.conns in
+  (* Gated senders re-check their gate each turn: an ingester waiting
+     on subscriber registration, a subscriber waiting on ingest_done —
+     both park with an empty pipeline, and nothing but this would ask
+     them again.  A no-op for everyone else. *)
+  List.iter (fun c -> if c.link = Streaming then fill t c) live;
   if live <> [] then begin
     let timeout =
       List.fold_left
@@ -568,6 +751,9 @@ let report t =
      walk per comparison. *)
   Array.sort Int.compare sorted;
   let pct = percentile sorted in
+  let nsorted = Array.sub t.nlat 0 t.nsamples in
+  Array.sort Int.compare nsorted;
+  let npct = percentile nsorted in
   {
     conns = t.config.conns;
     lines_sent = t.lines_sent;
@@ -583,6 +769,15 @@ let report t =
     lat_p90_ns = pct 90.;
     lat_p99_ns = pct 99.;
     lat_max_ns = (if t.samples = 0 then 0 else sorted.(t.samples - 1));
+    subscribers = t.config.subscribe;
+    notifies = t.notifies;
+    gap_frames = t.gap_frames;
+    gap_dropped = t.gap_dropped;
+    notifies_per_s = Float.of_int t.notifies /. wall_s;
+    nlat_p50_ns = npct 50.;
+    nlat_p90_ns = npct 90.;
+    nlat_p99_ns = npct 99.;
+    nlat_max_ns = (if t.nsamples = 0 then 0 else nsorted.(t.nsamples - 1));
   }
 
 let run config =

@@ -40,6 +40,18 @@ type config = {
           BATCH frames carry up to this many records each, one reply (and
           one latency sample) per frame.  Ignored without [binary] *)
   etype : string;  (** the event-type name binary records carry *)
+  subscribe : int;
+      (** extra subscriber connections (default [0]): each registers one
+          live subscription on [etype] ([SUB 0 [BIN] ON { etype } DO
+          at(...)], [BIN] when [binary]) before any ingester sends work,
+          then measures the push side — notify count, gap accounting,
+          and trigger-to-notify latency.  In a subscription run every
+          ingested event's oid is its send time in nanoseconds, so each
+          delivered binding yields one end-to-end latency sample with no
+          correlation state.  Subscribers UNSUB and QUIT after the last
+          ingester finishes; the UNSUB reply rides behind all owed
+          notifies, so the counts are complete.  Requires [events] or
+          [binary]. *)
   max_frame : int;
   reconnect : bool;
       (** ride out a dropped link: close, back off, reconnect, and
@@ -79,6 +91,15 @@ type report = {
   lat_p90_ns : int;
   lat_p99_ns : int;
   lat_max_ns : int;
+  subscribers : int;  (** subscriber connections the run added *)
+  notifies : int;  (** NOTIFY frames delivered across all subscribers *)
+  gap_frames : int;  (** NOTIFY_GAP frames received *)
+  gap_dropped : int;  (** notifies the gaps account as shed *)
+  notifies_per_s : float;
+  nlat_p50_ns : int;  (** trigger-to-notify latency percentiles *)
+  nlat_p90_ns : int;
+  nlat_p99_ns : int;
+  nlat_max_ns : int;
 }
 
 val pp_report : Format.formatter -> report -> unit

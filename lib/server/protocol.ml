@@ -14,7 +14,7 @@
 open Chimera_event
 
 let version = "chimera/1"
-let features = [ "tx"; "stats"; "drain"; "keys"; "repl"; "bin"; "pipe" ]
+let features = [ "tx"; "stats"; "drain"; "keys"; "repl"; "bin"; "pipe"; "sub" ]
 let default_max_frame = 64 * 1024
 let header_bytes = 4
 
@@ -40,6 +40,12 @@ type command =
       (** follower → primary: commit [seq] of [shard] is durably local *)
   | Promote
       (** admin → standby: stop following, start serving *)
+  | Sub of { id : int; binary : bool; spec : string }
+      (** [SUB <id> [BIN] ON <event-expr> [DO <atoms>]]: register the
+          ad-hoc rule [spec] (everything from [ON] on, verbatim — parsed
+          by the language front end) under the session-local [id];
+          [BIN] asks for binary NOTIFY frames *)
+  | Unsub of { id : int }  (** [UNSUB <id>]: drop a subscription *)
 
 (* The verb/argument split: the verb runs to the first space or newline;
    one separator char is dropped and the rest is the argument verbatim
@@ -60,6 +66,10 @@ let split_verb payload =
    a hostile ETYPE from allocating 4G slots. *)
 let max_etype_id = 0xFFFF
 
+(* Subscription ids share the rationale: session-local, and the cap
+   bounds the per-connection registry a hostile client can allocate. *)
+let max_sub_id = 0xFFFF
+
 let valid_etype_name name =
   name <> ""
   && not (String.exists (fun c -> c = ' ' || c = '\t' || c = '\n') name)
@@ -78,6 +88,9 @@ let command_to_payload = function
   | Repl_hello v -> "REPL_HELLO " ^ v
   | Repl_ack { shard; seq } -> Printf.sprintf "REPL_ACK %d %d" shard seq
   | Promote -> "PROMOTE"
+  | Sub { id; binary; spec } ->
+      Printf.sprintf "SUB %d %s%s" id (if binary then "BIN " else "") spec
+  | Unsub { id } -> Printf.sprintf "UNSUB %d" id
 
 let command_of_payload payload =
   let verb, arg = split_verb payload in
@@ -120,6 +133,24 @@ let command_of_payload payload =
           | _ -> Error "REPL_ACK takes two non-negative integers")
       | _ -> Error "REPL_ACK takes <shard> <seq>")
   | "PROMOTE" -> if arg = "" then Ok Promote else Error "PROMOTE takes no argument"
+  | "SUB" -> (
+      let usage = "SUB takes <id> [BIN] ON <event-expr> [DO <atoms>]" in
+      let id_text, rest = split_verb arg in
+      match int_of_string_opt id_text with
+      | Some id when id >= 0 && id <= max_sub_id ->
+          let binary, spec =
+            let tok, after = split_verb rest in
+            if String.uppercase_ascii tok = "BIN" then (true, after)
+            else (false, rest)
+          in
+          if String.trim spec = "" then Error usage
+          else Ok (Sub { id; binary; spec })
+      | Some _ -> Error (Printf.sprintf "SUB id must be in 0..%d" max_sub_id)
+      | None -> Error usage)
+  | "UNSUB" -> (
+      match int_of_string_opt (String.trim arg) with
+      | Some id when id >= 0 && id <= max_sub_id -> Ok (Unsub { id })
+      | _ -> Error (Printf.sprintf "UNSUB takes an id in 0..%d" max_sub_id))
   | "" -> Error "empty command"
   | other -> Error (Printf.sprintf "unknown verb %S" other)
 
@@ -320,6 +351,189 @@ let push_of_payload payload =
 let is_push_payload payload =
   let verb, _ = split_verb payload in
   match verb with "REPL_SEGMENT" | "REPL_RECORDS" -> true | _ -> false
+
+(* --------------------------------------------------- subscription pushes *)
+
+(* What the server pushes to a subscribed session at commit points.
+   Like replication pushes these are not replies to any command: they
+   interleave with the FIFO reply stream, and a client must classify
+   each incoming frame before matching it against its in-flight
+   commands.  Both forms carry the same data; the binary form (tags
+   0x03/0x04, negotiated per subscription via [SUB ... BIN]) skips text
+   parsing of the fixed-width header fields:
+
+     NOTIFY      '\x03' · sub u32 · at u64 · bindings text
+     NOTIFY_GAP  '\x04' · sub u32 · dropped u64
+
+   The bindings text is shared verbatim with the text form: one line per
+   satisfying environment, [var=value] pairs separated by tabs.  Values
+   are object identifiers and instants (identifier-shaped — the
+   condition calculus binds no free-text values), so the separators
+   cannot occur inside them. *)
+
+type notify = {
+  sub : int;
+  at : int;
+  bindings : (string * string) list list;
+}
+
+let tag_notify = '\x03'
+let tag_notify_gap = '\x04'
+
+let bindings_text bindings =
+  if bindings = [] then invalid_arg "Protocol: NOTIFY with zero environments";
+  String.concat "\n"
+    (List.map
+       (fun env ->
+         String.concat "\t" (List.map (fun (v, x) -> v ^ "=" ^ x) env))
+       bindings)
+
+let bindings_of_text body =
+  let parse_env line =
+    if line = "" then Ok []
+    else
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | pair :: rest -> (
+            match String.index_opt pair '=' with
+            | Some eq when eq > 0 ->
+                go
+                  ((String.sub pair 0 eq,
+                    String.sub pair (eq + 1) (String.length pair - eq - 1))
+                  :: acc)
+                  rest
+            | _ -> Error (Printf.sprintf "malformed binding %S" pair))
+      in
+      go [] (String.split_on_char '\t' line)
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match parse_env line with
+        | Ok env -> go (env :: acc) rest
+        | Error _ as e -> e)
+  in
+  go [] (String.split_on_char '\n' body)
+
+let add_u32 buf v =
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let add_u64 buf v =
+  Buffer.add_char buf (Char.chr ((v lsr 56) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 48) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 40) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 32) land 0xFF));
+  add_u32 buf (v land 0xFFFFFFFF)
+
+let get_u32 s off =
+  let b i = Char.code s.[off + i] in
+  (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3
+
+(* u64 fields hold instants and drop counts the server produced; values
+   past OCaml's 63-bit int (top byte >= 0x40) are a decode error, never
+   an overflow — mirroring [Event_codec.decode_record]'s guard. *)
+let get_u64 s off =
+  let b i = Char.code s.[off + i] in
+  if b 0 >= 0x40 then None
+  else
+    Some
+      ((b 0 lsl 56) lor (b 1 lsl 48) lor (b 2 lsl 40) lor (b 3 lsl 32)
+      lor get_u32 s (off + 4))
+
+let notify_to_payload ~binary { sub; at; bindings } =
+  if sub < 0 || sub > max_sub_id then
+    invalid_arg "Protocol: NOTIFY sub id out of range";
+  if at < 0 then invalid_arg "Protocol: NOTIFY with a negative instant";
+  let body = bindings_text bindings in
+  if binary then begin
+    let buf = Buffer.create (13 + String.length body) in
+    Buffer.add_char buf tag_notify;
+    add_u32 buf sub;
+    add_u64 buf at;
+    Buffer.add_string buf body;
+    Buffer.contents buf
+  end
+  else Printf.sprintf "NOTIFY %d %d\n%s" sub at body
+
+let notify_gap_to_payload ~binary ~sub ~dropped =
+  if sub < 0 || sub > max_sub_id then
+    invalid_arg "Protocol: NOTIFY_GAP sub id out of range";
+  if dropped <= 0 then
+    invalid_arg "Protocol: NOTIFY_GAP must report a positive drop count";
+  if binary then begin
+    let buf = Buffer.create 13 in
+    Buffer.add_char buf tag_notify_gap;
+    add_u32 buf sub;
+    add_u64 buf dropped;
+    Buffer.contents buf
+  end
+  else Printf.sprintf "NOTIFY_GAP %d %d" sub dropped
+
+let is_notify_payload payload =
+  if payload = "" then false
+  else if payload.[0] = tag_notify || payload.[0] = tag_notify_gap then true
+  else
+    let verb, _ = split_verb payload in
+    match verb with "NOTIFY" | "NOTIFY_GAP" -> true | _ -> false
+
+(* Total, both forms: the client's classification step.  The server is
+   the encoder, so errors here mean a corrupted stream, not a protocol
+   negotiation problem. *)
+let notify_of_payload payload =
+  let len = String.length payload in
+  if len = 0 then Error "empty notify payload"
+  else if payload.[0] = tag_notify then
+    if len < 13 then Error "binary NOTIFY shorter than its header"
+    else
+      let sub = get_u32 payload 1 in
+      match get_u64 payload 5 with
+      | None -> Error "binary NOTIFY instant overflows"
+      | Some at -> (
+          match bindings_of_text (String.sub payload 13 (len - 13)) with
+          | Ok bindings when bindings <> [] -> Ok (`Notify { sub; at; bindings })
+          | Ok _ -> Error "binary NOTIFY with zero environments"
+          | Error _ as e -> e)
+  else if payload.[0] = tag_notify_gap then
+    if len <> 13 then Error "binary NOTIFY_GAP must be 13 bytes"
+    else
+      let sub = get_u32 payload 1 in
+      match get_u64 payload 5 with
+      | None -> Error "binary NOTIFY_GAP count overflows"
+      | Some dropped -> Ok (`Gap (sub, dropped))
+  else
+    let verb, arg = split_verb payload in
+    match verb with
+    | "NOTIFY" -> (
+        match String.index_opt arg '\n' with
+        | None -> Error "NOTIFY without a bindings block"
+        | Some nl -> (
+            let head = String.sub arg 0 nl in
+            let body = String.sub arg (nl + 1) (String.length arg - nl - 1) in
+            match String.split_on_char ' ' (String.trim head) with
+            | [ sub_text; at_text ] -> (
+                match (int_of_string_opt sub_text, int_of_string_opt at_text) with
+                | Some sub, Some at when sub >= 0 && at >= 0 -> (
+                    match bindings_of_text body with
+                    | Ok bindings when bindings <> [] ->
+                        Ok (`Notify { sub; at; bindings })
+                    | Ok _ -> Error "NOTIFY with zero environments"
+                    | Error _ as e -> e)
+                | _ -> Error "NOTIFY takes two non-negative integers")
+            | _ -> Error "NOTIFY takes <sub> <at>"))
+    | "NOTIFY_GAP" -> (
+        match String.split_on_char ' ' (String.trim arg) with
+        | [ sub_text; dropped_text ] -> (
+            match
+              (int_of_string_opt sub_text, int_of_string_opt dropped_text)
+            with
+            | Some sub, Some dropped when sub >= 0 && dropped > 0 ->
+                Ok (`Gap (sub, dropped))
+            | _ -> Error "NOTIFY_GAP takes <sub> <dropped>")
+        | _ -> Error "NOTIFY_GAP takes <sub> <dropped>")
+    | other -> Error (Printf.sprintf "not a notify push: %S" other)
 
 (* ------------------------------------------------------------ framing *)
 

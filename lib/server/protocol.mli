@@ -59,6 +59,18 @@ type command =
   | Promote
       (** [PROMOTE]: administrative — a standby stops following and
           starts serving; [ERR state] on a server that is not one *)
+  | Sub of { id : int; binary : bool; spec : string }
+      (** [SUB <id> [BIN] ON <event-expr> [DO <atoms>]]: register the
+          ad-hoc rule [spec] — everything from [ON] on, verbatim, parsed
+          by the language front end ({!Chimera_lang.Parser.parse_subscription})
+          — under the session-local [id] (0..{!max_sub_id}).  [BIN]
+          negotiates binary NOTIFY frames for this subscription.
+          Answered [OK] (or [ERR parse]/[ERR state]); requires the [sub]
+          HELLO feature and a closed transaction *)
+  | Unsub of { id : int }
+      (** [UNSUB <id>]: drop the subscription; notifies from commits
+          that preceded the UNSUB are still delivered first.  [ERR
+          state] on an unknown id *)
 
 val command_to_payload : command -> string
 val command_of_payload : string -> (command, string) result
@@ -71,6 +83,10 @@ val is_repl_payload : string -> bool
 val max_etype_id : int
 (** Highest id [ETYPE] accepts (65535): session etype tables are arrays
     indexed by id, and the cap bounds their size. *)
+
+val max_sub_id : int
+(** Highest id [SUB] accepts (65535): bounds the per-connection
+    subscription registry. *)
 
 (** {1 Binary event frames} (client to server, negotiated by [bin])
 
@@ -149,6 +165,51 @@ type push =
 val push_to_payload : push -> string
 val push_of_payload : string -> (push, string) result
 val is_push_payload : string -> bool
+
+(** {1 Subscription pushes} (server to subscriber, negotiated by [sub])
+
+    Pushed asynchronously at commit points; not replies to any command —
+    a client with frames in flight classifies each incoming frame with
+    {!is_notify_payload} before matching it against its FIFO reply
+    expectations.  Two encodings of the same data:
+
+    {v
+    NOTIFY <sub> <at>\n<bindings>          (text)
+    NOTIFY_GAP <sub> <dropped>             (text)
+    NOTIFY      '\x03' · sub u32 · at u64 · bindings   (binary, SUB ... BIN)
+    NOTIFY_GAP  '\x04' · sub u32 · dropped u64         (binary)
+    v}
+
+    [bindings] is one line per satisfying environment of the rule's
+    condition, [var=value] pairs separated by tabs (values are object
+    identifiers and instants, which cannot contain the separators).  A
+    NOTIFY carries at least one environment.  [NOTIFY_GAP] declares the
+    overflow policy's receipt: [dropped] notifies of [sub] were shed
+    because the connection's notify queue was full ([drop-oldest]); it
+    is pushed before the subscription's next delivered notify, so a
+    subscriber always learns about a gap in stream position. *)
+
+type notify = {
+  sub : int;  (** the subscription id the client chose *)
+  at : int;  (** activation instant — the rule's [ts] evaluation point *)
+  bindings : (string * string) list list;
+      (** one list per satisfying environment, in declaration order *)
+}
+
+val notify_to_payload : binary:bool -> notify -> string
+(** Raises [Invalid_argument] on out-of-range fields or zero
+    environments — the server is the trusted encoder. *)
+
+val notify_gap_to_payload : binary:bool -> sub:int -> dropped:int -> string
+
+val is_notify_payload : string -> bool
+(** The payload is a notify push, either form (text [NOTIFY]/
+    [NOTIFY_GAP] verbs, or binary tags 0x03/0x04). *)
+
+val notify_of_payload :
+  string -> ([ `Notify of notify | `Gap of int * int ], string) result
+(** Total over both forms; [`Gap (sub, dropped)].  An [Error] on a
+    stream the server encoded means corruption, not negotiation. *)
 
 (** {1 Framing} *)
 

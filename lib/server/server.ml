@@ -33,6 +33,10 @@ let c_repl_acks = Obs.Metrics.counter "repl.acks"
 let c_repl_parked = Obs.Metrics.counter "repl.commits_parked"
 let c_repl_promotions = Obs.Metrics.counter "repl.promotions"
 let g_repl_peers = Obs.Metrics.gauge "repl.peers"
+let c_sub_notifies = Obs.Metrics.counter "sub.notifies"
+let c_sub_gaps = Obs.Metrics.counter "sub.gaps"
+let c_sub_dropped = Obs.Metrics.counter "sub.dropped"
+let g_sub_active = Obs.Metrics.gauge "sub.active"
 
 type config = {
   host : string;
@@ -67,6 +71,10 @@ type config = {
       (** time-based checkpoint cadence in seconds (checked at commit
           boundaries, on the monotonic clock); combinable with
           [checkpoint_every] — whichever is due first fires *)
+  notify_queue : int;
+      (** slow-consumer bound: at most this many subscription pushes wait
+          per connection; beyond it the oldest queued notify is shed and
+          counted into a [NOTIFY_GAP] for its subscription *)
 }
 
 let default_config =
@@ -88,6 +96,7 @@ let default_config =
     repl_sync = true;
     checkpoint_every = None;
     checkpoint_interval = None;
+    notify_queue = 1024;
   }
 
 (* An attached replication follower, on the primary side: one journal
@@ -119,6 +128,13 @@ type conn = {
   mutable dead : bool;
   mutable repl : repl_peer option;
       (** the connection upgraded into a replication stream *)
+  notifyq : (int * string) Queue.t;
+      (** subscription pushes awaiting this connection — (sub, payload)
+          — bounded by [notify_queue], oldest shed first on overflow *)
+  mutable notifyq_len : int;
+  gaps : (int, int * bool) Hashtbl.t;
+      (** per subscription, (shed count, binary): the [NOTIFY_GAP] owed
+          before the subscription's next delivered notify *)
 }
 
 (* A COMMIT reply withheld until every follower acknowledges its commit
@@ -187,6 +203,13 @@ let counters_text () =
     (Obs.Metrics.counter_value c_frames_out)
     (Obs.Metrics.counter_value c_bytes_in)
     (Obs.Metrics.counter_value c_bytes_out)
+  ^ Printf.sprintf
+      "\nsubs: %d active, %d notify(s) delivered, %d gap frame(s), %d \
+       notify(s) shed"
+      (Obs.Metrics.gauge_value g_sub_active)
+      (Obs.Metrics.counter_value c_sub_notifies)
+      (Obs.Metrics.counter_value c_sub_gaps)
+      (Obs.Metrics.counter_value c_sub_dropped)
 
 let resolve_addr host =
   match Unix.inet_addr_of_string host with
@@ -319,6 +342,88 @@ let enqueue_payload t conn payload =
 let enqueue_reply t conn reply =
   enqueue_payload t conn (Protocol.reply_to_payload reply)
 
+(* ------------------------------------------------- subscription pushes *)
+
+let pending_out conn =
+  Buffer.length conn.outbuf + conn.queued_bytes - conn.out_off
+
+(* Moves queued subscription pushes into the connection's output, each
+   preceded by the [NOTIFY_GAP] its subscription is owed (the gap is
+   seen in stream position: everything before it was delivered,
+   [dropped] notifies are missing right here).  Stops at the high-water
+   mark — a slow consumer keeps its backlog in the bounded [notifyq],
+   where overflow sheds the oldest — unless [force], the drain epilogue:
+   every still-queued notify is flushed or gapped, never silently lost. *)
+let drain_notifies t conn ~force =
+  let flush_gap sub (dropped, binary) =
+    Obs.Metrics.incr c_sub_gaps;
+    enqueue_payload t conn (Protocol.notify_gap_to_payload ~binary ~sub ~dropped)
+  in
+  if not conn.dead then begin
+    let rec go () =
+      if force || pending_out conn <= t.config.high_water then
+        match Queue.pop conn.notifyq with
+        | exception Queue.Empty -> ()
+        | sub, payload ->
+            conn.notifyq_len <- conn.notifyq_len - 1;
+            (match Hashtbl.find_opt conn.gaps sub with
+            | Some gap ->
+                Hashtbl.remove conn.gaps sub;
+                flush_gap sub gap
+            | None -> ());
+            Obs.Metrics.incr c_sub_notifies;
+            enqueue_payload t conn payload;
+            go ()
+    in
+    go ();
+    (* An emptied queue may leave gaps with no notify to ride in front
+       of (the shed notify was the subscription's last): emit them now
+       rather than park the receipt indefinitely. *)
+    if Queue.is_empty conn.notifyq && Hashtbl.length conn.gaps > 0 then begin
+      Hashtbl.iter flush_gap conn.gaps;
+      Hashtbl.reset conn.gaps
+    end
+  end
+
+(* A committed activation for one of this connection's subscriptions:
+   enqueue bounded, shedding the oldest queued push when full — the shed
+   push's subscription accrues a gap, delivered as [NOTIFY_GAP] in front
+   of its next notify. *)
+let on_notify t ~sid ~sub ~binary ~at ~bindings =
+  match Hashtbl.find_opt t.conns sid with
+  | Some conn when (not conn.dead) && not conn.close_after_flush ->
+      let payload =
+        Protocol.notify_to_payload ~binary { Protocol.sub; at; bindings }
+      in
+      if conn.notifyq_len >= t.config.notify_queue then (
+        match Queue.pop conn.notifyq with
+        | exception Queue.Empty -> ()
+        | shed_sub, shed_payload ->
+            conn.notifyq_len <- conn.notifyq_len - 1;
+            Obs.Metrics.incr c_sub_dropped;
+            let shed_binary =
+              String.length shed_payload > 0 && shed_payload.[0] < '\x20'
+            in
+            let prior =
+              match Hashtbl.find_opt conn.gaps shed_sub with
+              | Some (n, _) -> n
+              | None -> 0
+            in
+            Hashtbl.replace conn.gaps shed_sub (prior + 1, shed_binary));
+      Queue.add (sub, payload) conn.notifyq;
+      conn.notifyq_len <- conn.notifyq_len + 1;
+      drain_notifies t conn ~force:false
+  | Some _ | None -> ()
+
+(* Replies ride behind the notifies already owed to the connection: an
+   UNSUB's OK (or a COMMIT reply released from the replication gate)
+   must not overtake the notifies of commits that preceded it.  The
+   flush is forced — a client awaiting a reply is actively reading, and
+   the backlog is bounded by [notify_queue]. *)
+let enqueue_reply t conn reply =
+  drain_notifies t conn ~force:true;
+  enqueue_reply t conn reply
+
 (* -------------------------------------- replication gate (primary side) *)
 
 let fold_peers t f init =
@@ -421,7 +526,9 @@ let dispatch_events t events =
       | Session.Manager.Close sid -> (
           match Hashtbl.find_opt t.conns sid with
           | Some conn -> conn.close_after_flush <- true
-          | None -> ()))
+          | None -> ())
+      | Session.Manager.Notify { sid; sub; binary; at; bindings } ->
+          on_notify t ~sid ~sub ~binary ~at ~bindings)
     events
 
 let close_conn t conn =
@@ -445,9 +552,6 @@ let close_conn t conn =
        replies to their own connections. *)
     dispatch_events t (Session.Manager.disconnect t.mgr conn.sid)
   end
-
-let pending_out conn =
-  Buffer.length conn.outbuf + conn.queued_bytes - conn.out_off
 
 (* Seals the turn's staged replies into one queued chunk.  The copy
    happens exactly once per chunk, here — the write loop below then works
@@ -835,6 +939,9 @@ let rec accept_loop t listen_fd =
             close_after_flush = false;
             dead = false;
             repl = None;
+            notifyq = Queue.create ();
+            notifyq_len = 0;
+            gaps = Hashtbl.create 4;
           };
         Obs.Metrics.incr c_accepts;
         Obs.Metrics.set_gauge g_active (Hashtbl.length t.conns)
@@ -1070,6 +1177,9 @@ let drain_sweep t =
         && (not conn.close_after_flush)
         && Session.Manager.idle t.mgr conn.sid
       then begin
+        (* The goodbye must not orphan queued pushes: flush or gap every
+           pending notify before the shutdown reply seals the stream. *)
+        drain_notifies t conn ~force:true;
         enqueue_reply t conn (Protocol.Err ("shutdown", "draining"));
         conn.close_after_flush <- true
       end)
@@ -1123,6 +1233,11 @@ let poll t ~timeout =
         | Error msg -> Log.err (fun m -> m "promotion failed: %s" msg)
     end;
     follower_turn t;
+    (* Refreshed here, on the reactor (the registry's only writer), so
+       [extra_stats] — possibly running on a worker domain — reads a
+       plain gauge instead of racing the session table. *)
+    Obs.Metrics.set_gauge g_sub_active
+      (Session.Manager.subscription_count t.mgr);
     let conns = conn_list t in
     let reads =
       List.filter_map
@@ -1192,6 +1307,13 @@ let poll t ~timeout =
         (* Ship journal growth (this turn's commits included) to every
            attached replication follower. *)
         ship_repl t;
+        (* Notifies parked behind the high-water mark ride out as the
+           socket drains: re-attempt every backlog each turn. *)
+        List.iter
+          (fun c ->
+            if (not c.dead) && c.notifyq_len > 0 then
+              drain_notifies t c ~force:false)
+          conns;
         if t.draining then drain_sweep t;
         (* Flush everything with output pending — the just-computed
            replies included, not only the fds select saw. *)

@@ -69,6 +69,14 @@ type config = {
           monotonic clock and checked at commit boundaries; combinable
           with [checkpoint_every] — whichever cadence is due first
           fires.  [None] (default) disables the time cadence. *)
+  notify_queue : int;
+      (** slow-consumer bound for live subscriptions (default [1024]):
+          at most this many [NOTIFY] pushes wait per connection; beyond
+          it the oldest queued push is shed and accounted to its
+          subscription's next [NOTIFY_GAP], so a subscriber always sees
+          either the notify or an explicit gap — never a silent hole.
+          On drain (SIGTERM), every still-queued push is flushed or
+          gapped before the goodbye. *)
 }
 
 val default_config : config

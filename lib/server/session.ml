@@ -50,6 +50,20 @@ module Manager = struct
             reply until replication followers acknowledge [seq]
             (semi-synchronous replication); without followers it sends
             the reply immediately. *)
+    | Notify of {
+        sid : int;
+        sub : int;
+        binary : bool;
+        at : int;
+        bindings : (string * string) list list;
+      }
+        (** a committed activation of [sid]'s subscription [sub] — the
+            committing session and the subscriber are in general
+            different sessions of the same shard.  Emitted before the
+            commit's own Reply/Committed event, so a subscriber that is
+            also the committer sees its notifies first.  The reactor
+            frames it (text or binary per the subscription) onto the
+            connection's bounded notify queue. *)
 
   (* One queued unit of session input: a parsed text command, or a raw
      binary EVENT/BATCH payload.  Binary payloads stay undecoded here —
@@ -57,6 +71,11 @@ module Manager = struct
      happens on the shard's worker domain, not the reactor; the reactor
      only runs the O(1) shape check before acquiring the shard. *)
   type input = Cmd of Protocol.command | Events of string
+
+  (* One live subscription: the engine rule it registered (named
+     [sub.<sid>.<id>], which is what routes activations back) and the
+     NOTIFY encoding the client asked for. *)
+  type sub_entry = { sub_rule : string; sub_bin : bool }
 
   type session = {
     id : int;
@@ -72,14 +91,25 @@ module Manager = struct
             every change (copy-on-write), so a snapshot shipped with an
             in-flight job is immutable and safe to share with a worker
             domain *)
+    subs : (int, sub_entry) Hashtbl.t;
+        (** the connection's subscription registry, updated eagerly at
+            SUB submit (so pipelined duplicates and in-flight defines are
+            visible) and pruned at UNSUB/failed-SUB completion (so
+            notifies from commits ahead of the UNSUB still route) *)
   }
 
   type shard = {
+    idx : int;
     mutable interp : Interp.t;  (** replaced wholesale by a standby reset *)
     mutable journal : Journal.t option;  (** attached at promotion on a standby *)
     mutable owner : int option;  (** session id holding the open tx *)
     waiters : int Queue.t;
     executed : string list ref;  (** execution-listener accumulator, newest first *)
+    mutable dropped_subs : (int * int * string) list;
+        (** [(sid, sub, rule)] of disconnected sessions' subscriptions,
+            undefined at the shard's next transaction boundary (an
+            undefine inside another session's open transaction would
+            move its savepoint); newest first *)
     (* Standby (replication follower) state; inert on a primary. *)
     mutable repl_sink : Journal.Sink.t option;
         (** the local byte-for-byte copy of the primary's segment *)
@@ -112,13 +142,43 @@ module Manager = struct
     | Run_commit of { sid : int; shard : int }
     | Run_abort of { sid : int; shard : int; quiet : bool }
     | Run_stats of { sid : int; shard : int; note : string }
+    | Run_sub of { sid : int; shard : int; sub : int; spec : Rule.spec }
+        (** define + watch the subscription's rule; the spec was parsed
+            and validated on the reactor *)
+    | Run_unsub of {
+        sid : int;
+        shard : int;
+        sub : int;
+        rule : string;
+        quiet : bool;  (** disconnect cleanup: no reply *)
+      }
 
   type completion = {
     done_sid : int;
     done_reply : Protocol.reply option;
     done_commit : (int * int) option;
         (** [(shard, seq)] when the job was a successful journaled COMMIT *)
+    done_notifies : Engine.activation list;
+        (** committed activations of watched rules this COMMIT made
+            deliverable, in commit order *)
+    done_sub_failed : int option;
+        (** the engine refused this Run_sub: the reactor rolls back the
+            eager registry entry *)
+    done_unsub : int option;
+        (** this Run_unsub finished: the reactor drops the registry
+            entry now (not at submit), so earlier commits' notifies
+            still routed *)
   }
+
+  let completion ?reply ?commit ?(notifies = []) ?sub_failed ?unsub sid =
+    {
+      done_sid = sid;
+      done_reply = reply;
+      done_commit = commit;
+      done_notifies = notifies;
+      done_sub_failed = sub_failed;
+      done_unsub = unsub;
+    }
 
   type worker = {
     w_index : int;
@@ -230,11 +290,13 @@ module Manager = struct
       (fun name -> executed := name :: !executed);
     let finish ~journal ~repl_sink =
       {
+        idx;
         interp;
         journal;
         owner = None;
         waiters = Queue.create ();
         executed;
+        dropped_subs = [];
         repl_sink;
         repl_pending = [];
         repl_seq = 0;
@@ -496,43 +558,43 @@ module Manager = struct
 
   let exec_job t = function
     | Run_line { sid; shard; statements } ->
-        {
-          done_sid = sid;
-          done_reply = Some (run_line t.shards.(shard) statements);
-          done_commit = None;
-        }
+        completion sid ~reply:(run_line t.shards.(shard) statements)
     | Run_event { sid; shard; etype; oid } ->
-        {
-          done_sid = sid;
-          done_reply = Some (run_event t.shards.(shard) ~etype ~oid);
-          done_commit = None;
-        }
+        completion sid ~reply:(run_event t.shards.(shard) ~etype ~oid)
     | Run_events { sid; shard; payload; etypes } ->
-        {
-          done_sid = sid;
-          done_reply = Some (run_events t.shards.(shard) ~etypes payload);
-          done_commit = None;
-        }
+        completion sid ~reply:(run_events t.shards.(shard) ~etypes payload)
     | Run_commit { sid; shard } ->
         let reply, seq = do_commit t.shards.(shard) in
-        {
-          done_sid = sid;
-          done_reply = Some reply;
-          done_commit = Option.map (fun seq -> (shard, seq)) seq;
-        }
+        (* Drained right after the commit point: the activations this
+           transaction (and no aborted one) made deliverable, in commit
+           order — the reactor routes them before the commit's reply. *)
+        let notifies =
+          Engine.drain_activations (Interp.engine t.shards.(shard).interp)
+        in
+        let c = completion sid ~reply ~notifies in
+        { c with done_commit = Option.map (fun seq -> (shard, seq)) seq }
     | Run_abort { sid; shard; quiet } ->
         do_abort t.shards.(shard);
-        {
-          done_sid = sid;
-          done_reply = (if quiet then None else Some (Protocol.Ok_ "aborted"));
-          done_commit = None;
-        }
+        if quiet then completion sid
+        else completion sid ~reply:(Protocol.Ok_ "aborted")
     | Run_stats { sid; shard; note } ->
-        {
-          done_sid = sid;
-          done_reply = Some (Protocol.Ok_ (stats_text t ~sid ~shard_idx:shard ~note));
-          done_commit = None;
-        }
+        completion sid ~reply:(Protocol.Ok_ (stats_text t ~sid ~shard_idx:shard ~note))
+    | Run_sub { sid; shard; sub; spec } -> (
+        let engine = Interp.engine t.shards.(shard).interp in
+        match Engine.define_dynamic engine spec with
+        | Error (`Rule_error msg) ->
+            completion sid ~reply:(Protocol.Err ("engine", msg)) ~sub_failed:sub
+        | Ok _ ->
+            Engine.watch_rule engine spec.Rule.name;
+            completion sid ~reply:(Protocol.Ok_ ""))
+    | Run_unsub { sid; shard; sub; rule; quiet } ->
+        let engine = Interp.engine t.shards.(shard).interp in
+        Engine.unwatch_rule engine rule;
+        (match Engine.undefine engine rule with
+        | Ok () -> ()
+        | Error (`Rule_error _) -> ());
+        let c = if quiet then completion sid else completion sid ~reply:(Protocol.Ok_ "") in
+        { c with done_unsub = Some sub }
 
   let worker_loop t ~n ~waker w =
     let rec loop () =
@@ -673,6 +735,7 @@ module Manager = struct
         closed = false;
         inflight = 0;
         etypes = [||];
+        subs = Hashtbl.create 4;
       };
     sid
 
@@ -738,8 +801,9 @@ module Manager = struct
 
   let requires_shard = function
     | Events _
-    | Cmd (Protocol.Line _ | Protocol.Event _ | Protocol.Commit | Protocol.Abort)
-      ->
+    | Cmd
+        ( Protocol.Line _ | Protocol.Event _ | Protocol.Commit | Protocol.Abort
+        | Protocol.Sub _ | Protocol.Unsub _ ) ->
         true
     | Cmd
         ( Protocol.Hello _ | Protocol.Etype _ | Protocol.Stats
@@ -757,6 +821,73 @@ module Manager = struct
         if List.exists (function Ast.Commit -> true | _ -> false) statements
         then Error ("proto", "commit inside LINE: use the COMMIT verb")
         else Ok statements
+
+  (* ------------------------------------------------------ subscriptions *)
+
+  (* Subscription rules are named [sub.<sid>.<id>] — globally unique
+     (session ids are), and the name alone routes a committed activation
+     back to its connection, whichever session's commit drained it. *)
+  let sub_rule_name ~sid ~sub = Printf.sprintf "sub.%d.%d" sid sub
+
+  let parse_sub_rule_name name =
+    match String.split_on_char '.' name with
+    | [ "sub"; sid_text; sub_text ] -> (
+        match (int_of_string_opt sid_text, int_of_string_opt sub_text) with
+        | Some sid, Some sub -> Some (sid, sub)
+        | _ -> None)
+    | _ -> None
+
+  (* The SUB payload parses on the reactor — a parse error never reaches
+     the shard — into an ordinary rule spec: immediate coupling (the
+     activation instant is the block that completed the pattern, not the
+     commit), consuming (each notify consumes the events that produced
+     it — re-delivery would be a phantom), empty action (detection IS the
+     reaction; it cannot fail, so buffering at consideration is safe).
+     [Rule.make] inside the engine derives the V(E) relevance filter
+     exactly as for boot-script triggers. *)
+  let sub_spec ~sid ~sub text =
+    match Parser.parse_subscription text with
+    | Error msg -> Error msg
+    | Ok (event, condition) ->
+        Ok
+          {
+            Rule.name = sub_rule_name ~sid ~sub;
+            target = None;
+            event;
+            condition;
+            action = [];
+            coupling = Rule.Immediate;
+            consumption = Rule.Consuming;
+            priority = 0;
+          }
+
+  let subscription_count t =
+    Hashtbl.fold (fun _ s acc -> acc + Hashtbl.length s.subs) t.sessions 0
+
+  (* Routes one committed activation to its subscriber, by rule name.  A
+     missing session or registry entry means the subscriber disconnected
+     (or unsubscribed) after the commit was submitted — nobody is owed
+     the notify, it drops here. *)
+  let route_activation t acc (a : Engine.activation) =
+    match parse_sub_rule_name a.Engine.act_rule with
+    | None -> ()
+    | Some (sid, sub) -> (
+        match Hashtbl.find_opt t.sessions sid with
+        | None -> ()
+        | Some s when s.closed -> ()
+        | Some s -> (
+            match Hashtbl.find_opt s.subs sub with
+            | None -> ()
+            | Some entry ->
+                push acc
+                  (Notify
+                     {
+                       sid;
+                       sub;
+                       binary = entry.sub_bin;
+                       at = Chimera_util.Time.to_int a.Engine.act_at;
+                       bindings = a.Engine.act_bindings;
+                     })))
 
   (* HELLO argument: "<version>" or "<version> <session-key>".  A key,
      when present, re-pins the session by FNV-1a of the full key before
@@ -830,8 +961,31 @@ module Manager = struct
       Queue.add s.id shard.waiters
     end
 
+  (* Undefines the subscription rules of disconnected sessions, at a
+     transaction boundary of their shard: called whenever the shard
+     frees (and at disconnect time when it already is free). *)
+  let flush_dropped t shard =
+    match shard.dropped_subs with
+    | [] -> ()
+    | dropped ->
+        shard.dropped_subs <- [];
+        List.iter
+          (fun (sid, sub, rule) ->
+            match t.runtime with
+            | Inline ->
+                let engine = Interp.engine shard.interp in
+                Engine.unwatch_rule engine rule;
+                (match Engine.undefine engine rule with
+                | Ok () -> ()
+                | Error (`Rule_error _) -> ())
+            | Threaded _ ->
+                submit_job t shard.idx
+                  (Run_unsub { sid; shard = shard.idx; sub; rule; quiet = true }))
+          (List.rev dropped)
+
   let rec release_shard t shard acc =
     shard.owner <- None;
+    flush_dropped t shard;
     drain_waiters t shard acc
 
   (* Wakes the next waiting sessions of a freed shard, FIFO; each woken
@@ -898,18 +1052,55 @@ module Manager = struct
         reply (Protocol.Err ("proto", "replication verb outside a replication stream"))
     | Cmd
         ( Protocol.Line _ | Protocol.Etype _ | Protocol.Event _
-        | Protocol.Commit | Protocol.Abort )
+        | Protocol.Commit | Protocol.Abort | Protocol.Sub _ | Protocol.Unsub _ )
     | Events _
       when not s.greeted ->
         reply (Protocol.Err ("proto", "HELLO required first"))
     | Cmd
         ( Protocol.Line _ | Protocol.Etype _ | Protocol.Event _
-        | Protocol.Commit | Protocol.Abort )
+        | Protocol.Commit | Protocol.Abort | Protocol.Sub _ | Protocol.Unsub _ )
     | Events _
       when t.standby_mode ->
         reply
           (Protocol.Err
              ("standby", "server is a warm standby; writes go to the primary"))
+    | Cmd (Protocol.Sub { id; binary; spec }) ->
+        (* Subscription changes run at a transaction boundary only:
+           [define_dynamic]/[undefine] refresh the savepoint, which
+           would swallow part of an open transaction's rollback. *)
+        if owner_self () then
+          reply (Protocol.Err ("state", "SUB requires a closed transaction"))
+        else if Hashtbl.mem s.subs id then
+          reply
+            (Protocol.Err
+               ("state", Printf.sprintf "subscription %d already registered" id))
+        else (
+          match sub_spec ~sid:s.id ~sub:id spec with
+          | Error msg -> reply (Protocol.Err ("parse", msg))
+          | Ok rule_spec -> (
+              match Engine.define_dynamic engine rule_spec with
+              | Error (`Rule_error msg) -> reply (Protocol.Err ("engine", msg))
+              | Ok _ ->
+                  Engine.watch_rule engine rule_spec.Rule.name;
+                  Hashtbl.replace s.subs id
+                    { sub_rule = rule_spec.Rule.name; sub_bin = binary };
+                  reply (Protocol.Ok_ "")))
+    | Cmd (Protocol.Unsub { id }) -> (
+        if owner_self () then
+          reply (Protocol.Err ("state", "UNSUB requires a closed transaction"))
+        else
+          match Hashtbl.find_opt s.subs id with
+          | None ->
+              reply
+                (Protocol.Err
+                   ("state", Printf.sprintf "unknown subscription %d" id))
+          | Some entry ->
+              Hashtbl.remove s.subs id;
+              Engine.unwatch_rule engine entry.sub_rule;
+              (match Engine.undefine engine entry.sub_rule with
+              | Ok () -> ()
+              | Error (`Rule_error _) -> ());
+              reply (Protocol.Ok_ ""))
     | Cmd (Protocol.Etype { id; name }) -> reply (exec_etype s ~id ~name)
     | Cmd (Protocol.Line text) -> (
         match line_statements text with
@@ -937,6 +1128,9 @@ module Manager = struct
     | Cmd Protocol.Commit ->
         if owner_self () then begin
           (let commit_reply, seq = do_commit shard in
+           (* Notifies precede the commit's own reply: a subscriber that
+              is also the committer observes its activations first. *)
+           List.iter (route_activation t acc) (Engine.drain_activations engine);
            match seq with
            | Some seq ->
                push acc
@@ -1017,7 +1211,8 @@ module Manager = struct
                            "replication verb outside a replication stream" ) )))
         | Cmd
             ( Protocol.Line _ | Protocol.Etype _ | Protocol.Event _
-            | Protocol.Commit | Protocol.Abort )
+            | Protocol.Commit | Protocol.Abort | Protocol.Sub _
+            | Protocol.Unsub _ )
         | Events _
           when not s.greeted ->
             inline_now (fun () ->
@@ -1025,7 +1220,8 @@ module Manager = struct
                   (Reply (s.id, Protocol.Err ("proto", "HELLO required first"))))
         | Cmd
             ( Protocol.Line _ | Protocol.Etype _ | Protocol.Event _
-            | Protocol.Commit | Protocol.Abort )
+            | Protocol.Commit | Protocol.Abort | Protocol.Sub _
+            | Protocol.Unsub _ )
         | Events _
           when t.standby_mode ->
             inline_now (fun () ->
@@ -1036,6 +1232,70 @@ module Manager = struct
                          ( "standby",
                            "server is a warm standby; writes go to the primary"
                          ) )))
+        | Cmd (Protocol.Sub { id; binary; spec }) ->
+            (* Same boundary/duplicate checks as inline; the registry
+               entry is written eagerly at submit (like shard ownership),
+               so a pipelined duplicate SUB or an immediate UNSUB sees
+               the in-flight define.  A failed define rolls it back at
+               completion ([done_sub_failed]). *)
+            if shard.owner = Some s.id then
+              inline_now (fun () ->
+                  push acc
+                    (Reply
+                       ( s.id,
+                         Protocol.Err
+                           ("state", "SUB requires a closed transaction") )))
+            else if Hashtbl.mem s.subs id then
+              inline_now (fun () ->
+                  push acc
+                    (Reply
+                       ( s.id,
+                         Protocol.Err
+                           ( "state",
+                             Printf.sprintf "subscription %d already registered"
+                               id ) )))
+            else (
+              match sub_spec ~sid:s.id ~sub:id spec with
+              | Error msg ->
+                  inline_now (fun () ->
+                      push acc (Reply (s.id, Protocol.Err ("parse", msg))))
+              | Ok rule_spec ->
+                  Hashtbl.replace s.subs id
+                    { sub_rule = rule_spec.Rule.name; sub_bin = binary };
+                  submit_now
+                    (Run_sub
+                       { sid = s.id; shard = s.shard; sub = id; spec = rule_spec }))
+        | Cmd (Protocol.Unsub { id }) -> (
+            if shard.owner = Some s.id then
+              inline_now (fun () ->
+                  push acc
+                    (Reply
+                       ( s.id,
+                         Protocol.Err
+                           ("state", "UNSUB requires a closed transaction") )))
+            else
+              match Hashtbl.find_opt s.subs id with
+              | None ->
+                  inline_now (fun () ->
+                      push acc
+                        (Reply
+                           ( s.id,
+                             Protocol.Err
+                               ( "state",
+                                 Printf.sprintf "unknown subscription %d" id ) )))
+              | Some entry ->
+                  (* The registry entry survives until the completion:
+                     commits already in the worker's FIFO ahead of this
+                     UNSUB still route their notifies. *)
+                  submit_now
+                    (Run_unsub
+                       {
+                         sid = s.id;
+                         shard = s.shard;
+                         sub = id;
+                         rule = entry.sub_rule;
+                         quiet = false;
+                       }))
         | Cmd (Protocol.Etype { id; name }) ->
             (* Gated on an empty pipeline like every reactor answer; a
                frame submitted before this point keeps its snapshot. *)
@@ -1110,10 +1370,20 @@ module Manager = struct
   (* ------------------------------------------------------ completions *)
 
   let handle_completion t c acc =
+    (* Activations route before the session lookup — they belong to the
+       subscribers named in the rules, not to the committing session,
+       which may itself already be gone. *)
+    List.iter (route_activation t acc) c.done_notifies;
     match Hashtbl.find_opt t.sessions c.done_sid with
     | None -> ()  (* session disconnected while the job was in flight *)
     | Some s ->
         if s.inflight > 0 then s.inflight <- s.inflight - 1;
+        (match c.done_sub_failed with
+        | Some sub -> Hashtbl.remove s.subs sub
+        | None -> ());
+        (match c.done_unsub with
+        | Some sub -> Hashtbl.remove s.subs sub
+        | None -> ());
         (match c.done_reply with
         | Some r when not s.closed -> (
             match c.done_commit with
@@ -1203,6 +1473,14 @@ module Manager = struct
         Hashtbl.remove t.sessions sid;
         let shard = t.shards.(s.shard) in
         let acc = ref [] in
+        (* Subscriptions die with the connection: no registry residue
+           (the session record just left the table), and the rules leave
+           the engine at the shard's next transaction boundary. *)
+        Hashtbl.iter
+          (fun sub entry ->
+            shard.dropped_subs <- (sid, sub, entry.sub_rule) :: shard.dropped_subs)
+          s.subs;
+        Hashtbl.reset s.subs;
         if shard.owner = Some sid then begin
           (match t.runtime with
           | Inline -> do_abort shard
@@ -1210,7 +1488,8 @@ module Manager = struct
               submit_job t s.shard
                 (Run_abort { sid; shard = s.shard; quiet = true }));
           release_shard t shard acc
-        end;
+        end
+        else if shard.owner = None then flush_dropped t shard;
         List.rev !acc
 
   (* ----------------------------------------------- standby (follower) *)

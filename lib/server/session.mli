@@ -27,14 +27,30 @@ module Manager : sig
   type t
 
   (** What the caller (the reactor) must do next: send a reply frame on a
-      session's connection, flush-and-close it, or — for [Committed] —
+      session's connection, flush-and-close it, — for [Committed] —
       either send the commit reply immediately or park it until every
       attached replication follower acknowledges the commit sequence
-      (semi-synchronous replication). *)
+      (semi-synchronous replication), or — for [Notify] — frame a
+      subscription push (text or binary per [binary]) onto the session's
+      bounded notify queue.
+
+      [Notify] events for a commit are emitted before the commit's own
+      [Reply]/[Committed] event, in commit order per subscription; an
+      aborted transaction emits none.  Together with the caller's
+      bounded-queue accounting this is the delivery guarantee: every
+      committed activation of a live subscription is either delivered or
+      explicitly counted into a [NOTIFY_GAP]. *)
   type event =
     | Reply of int * Protocol.reply
     | Close of int
     | Committed of { sid : int; shard : int; seq : int; reply : Protocol.reply }
+    | Notify of {
+        sid : int;
+        sub : int;
+        binary : bool;
+        at : int;
+        bindings : (string * string) list list;
+      }
 
   val create :
     engines:int ->
@@ -102,6 +118,15 @@ module Manager : sig
   (** Registers a fresh session (in the greeting state) and returns its id. *)
 
   val session_count : t -> int
+  (** Open sessions. *)
+
+  val subscription_count : t -> int
+  (** Live subscriptions across all sessions — the [sub.active] gauge.
+      Eagerly-registered (in-flight) SUBs count; a disconnected
+      session's subscriptions stop counting immediately, even while
+      their rules await the shard's next transaction boundary to leave
+      the engine. *)
+
   val shard_of_session : t -> int -> int
 
   val in_transaction : t -> int -> bool

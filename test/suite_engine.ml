@@ -362,6 +362,30 @@ let test_targeted_rule_validation () =
   | Error (`Rule_error _) -> ()
   | Ok _ -> Alcotest.fail "expected target validation to fail"
 
+(* Undefining a rule the engine does not hold is an [Error], never an
+   exception — the server leans on this when an UNSUB races a
+   disconnect's own teardown of the same dynamic rule. *)
+let test_undefine_unknown_is_error () =
+  let engine = Engine.create (stock_schema ()) in
+  (match Engine.undefine engine "never-defined" with
+  | Error (`Rule_error _) -> ()
+  | Ok () -> Alcotest.fail "undefine of an unknown rule succeeded");
+  (match Engine.define_dynamic engine check_stock_qty_spec with
+  | Ok _ -> ()
+  | Error (`Rule_error msg) -> Alcotest.fail msg);
+  (match Engine.undefine engine "checkStockQty" with
+  | Ok () -> ()
+  | Error (`Rule_error msg) -> Alcotest.fail msg);
+  (* The second drop of the same name: same clean refusal. *)
+  (match Engine.undefine engine "checkStockQty" with
+  | Error (`Rule_error _) -> ()
+  | Ok () -> Alcotest.fail "double undefine succeeded");
+  (* And the engine still works: redefining under the dropped name is
+     legal. *)
+  match Engine.define_dynamic engine check_stock_qty_spec with
+  | Ok _ -> ()
+  | Error (`Rule_error msg) -> Alcotest.fail msg
+
 let suite =
   [
     Alcotest.test_case "checkStockQty clamps violators" `Quick
@@ -379,4 +403,6 @@ let suite =
       test_negation_reactive_not_active;
     Alcotest.test_case "targeted rule validation" `Quick
       test_targeted_rule_validation;
+    Alcotest.test_case "undefine of an unknown rule is an error" `Quick
+      test_undefine_unknown_is_error;
   ]

@@ -702,6 +702,11 @@ let test_failover_drill () =
   let stats = expect_ok both cs "standby stats" in
   Alcotest.(check bool) "stats mention standby" true
     (contains_sub stats "standby");
+  (* The read path stays open on a follower: PING answers too, so a
+     health probe needs no primary. *)
+  send both cs (Protocol.Ping "probe");
+  Alcotest.(check string) "standby answers ping" "pong probe"
+    (expect_ok both cs "standby ping");
   close_client cs;
   (* Quit cleanly, then lose the primary. *)
   send both c Protocol.Quit;

@@ -45,6 +45,10 @@ let test_payload_roundtrip () =
       Protocol.Ping "";
       Protocol.Ping "tok-42";
       Protocol.Quit;
+      Protocol.Sub { id = 0; binary = false; spec = "ON { tick }" };
+      Protocol.Sub
+        { id = 65535; binary = true; spec = "ON { tick } DO at({ tick }, X, T)" };
+      Protocol.Unsub { id = 7 };
     ];
   List.iter roundtrip_reply
     [
@@ -1385,6 +1389,567 @@ let test_differential_binary_pipelined () =
     run_diff_seed ~domains:(if seed mod 2 = 0 then Some 0 else None) seed
   done
 
+(* --------------------------------------------------- live subscriptions *)
+
+let sub_spec_text = "ON { tick } DO at({ tick }, X, T)"
+
+let test_notify_payload_roundtrip () =
+  let n =
+    {
+      Protocol.sub = 3;
+      at = 17;
+      bindings = [ [ ("X", "o1"); ("T", "5") ]; [ ("X", "o2"); ("T", "9") ] ];
+    }
+  in
+  List.iter
+    (fun binary ->
+      let payload = Protocol.notify_to_payload ~binary n in
+      Alcotest.(check bool) "notify classified" true
+        (Protocol.is_notify_payload payload);
+      (match Protocol.notify_of_payload payload with
+      | Ok (`Notify n') ->
+          Alcotest.(check bool) "notify round trip" true (n = n')
+      | Ok (`Gap _) -> Alcotest.fail "notify decoded as a gap"
+      | Error msg -> Alcotest.fail msg);
+      let gap = Protocol.notify_gap_to_payload ~binary ~sub:9 ~dropped:42 in
+      Alcotest.(check bool) "gap classified" true
+        (Protocol.is_notify_payload gap);
+      match Protocol.notify_of_payload gap with
+      | Ok (`Gap (9, 42)) -> ()
+      | Ok _ -> Alcotest.fail "gap decoded wrong"
+      | Error msg -> Alcotest.fail msg)
+    [ false; true ];
+  (* Replies and commands are never classified as pushes. *)
+  Alcotest.(check bool) "reply is not a push" false
+    (Protocol.is_notify_payload (Protocol.reply_to_payload (Protocol.Ok_ "x")));
+  Alcotest.(check bool) "command is not a push" false
+    (Protocol.is_notify_payload (Protocol.command_to_payload Protocol.Quit))
+
+(* Like [recv], but total over subscription pushes: each frame is
+   classified with [is_notify_payload] before reply parsing — exactly
+   what a real subscriber with commands in flight must do. *)
+let recv_any ?(polls = 400) srv c =
+  let take () =
+    match Protocol.decode ~max_frame:mf c.buf ~off:0 ~len:c.len with
+    | Protocol.Frame (payload, used) ->
+        Bytes.blit c.buf used c.buf 0 (c.len - used);
+        c.len <- c.len - used;
+        if Protocol.is_notify_payload payload then (
+          match Protocol.notify_of_payload payload with
+          | Ok (`Notify n) -> Some (`Notify (n, payload.[0] < '\x20'))
+          | Ok (`Gap (sub, dropped)) -> Some (`Gap (sub, dropped))
+          | Error msg -> Alcotest.failf "unparsable notify %S: %s" payload msg)
+        else (
+          match Protocol.reply_of_payload payload with
+          | Ok r -> Some (`Reply r)
+          | Error msg -> Alcotest.failf "unparsable reply %S: %s" payload msg)
+    | _ -> None
+  in
+  let rec go polls =
+    match take () with
+    | Some x -> x
+    | None ->
+        if polls <= 0 then `Timeout
+        else begin
+          ignore (Server.poll srv ~timeout:0.005);
+          match client_read c with
+          | `Eof -> ( match take () with Some x -> x | None -> `Eof)
+          | `Read | `Nothing -> go (polls - 1)
+        end
+  in
+  go polls
+
+let expect_notify srv c what =
+  match recv_any srv c with
+  | `Notify (n, binary) -> (n, binary)
+  | `Gap _ -> Alcotest.failf "%s: expected NOTIFY, got NOTIFY_GAP" what
+  | `Reply r ->
+      Alcotest.failf "%s: expected NOTIFY, got %s" what
+        (Protocol.reply_to_payload r)
+  | `Eof | `Timeout -> Alcotest.failf "%s: no NOTIFY" what
+
+(* The full life of one subscription over a socket: HELLO advertises the
+   feature, SUB registers, a committed trigger pushes NOTIFY before the
+   commit reply, an abort pushes nothing, UNSUB tears down. *)
+let test_sub_basic () =
+  with_server ~config:{ Server.default_config with engines = 1 } @@ fun srv ->
+  let c = connect srv in
+  Fun.protect ~finally:(fun () -> close_client c) @@ fun () ->
+  send srv c (Protocol.Hello Protocol.version);
+  let info = expect_ok srv c "hello" in
+  Alcotest.(check bool) "greeting advertises sub" true (contains_sub info "sub");
+  send srv c (Protocol.Sub { id = 0; binary = false; spec = sub_spec_text });
+  Alcotest.(check string) "sub ok" "" (expect_ok srv c "sub");
+  Alcotest.(check int) "gauge sees it" 1
+    (Session.Manager.subscription_count (Server.manager srv));
+  (* A committed trigger: the rule executes (and is reported TRIGGERED
+     like any other), then the commit point pushes the notify — in
+     stream position before the commit's own reply. *)
+  send srv c (Protocol.Event { etype = "tick"; oid = 7 });
+  (match expect_triggered srv c "event" with
+  | [ rule ] ->
+      Alcotest.(check bool) "subscription rule namespace" true
+        (String.length rule > 4 && String.sub rule 0 4 = "sub.")
+  | rules -> Alcotest.failf "expected one rule, got %d" (List.length rules));
+  send srv c Protocol.Commit;
+  let n, binary = expect_notify srv c "commit notify" in
+  Alcotest.(check bool) "text encoding" false binary;
+  Alcotest.(check int) "sub id" 0 n.Protocol.sub;
+  (match n.Protocol.bindings with
+  | [ env ] ->
+      Alcotest.(check (option string)) "X binds the oid" (Some "o7")
+        (List.assoc_opt "X" env);
+      Alcotest.(check bool) "T binds an instant" true
+        (match List.assoc_opt "T" env with
+        | Some t -> int_of_string_opt t <> None
+        | None -> false)
+  | envs -> Alcotest.failf "expected one env, got %d" (List.length envs));
+  (match recv_any srv c with
+  | `Reply (Protocol.Ok_ _) -> ()
+  | _ -> Alcotest.fail "commit reply after the notify");
+  (* An aborted transaction pushes nothing: the next frame after the
+     abort's reply is the ping echo, not a phantom notify. *)
+  send srv c (Protocol.Event { etype = "tick"; oid = 8 });
+  ignore (expect_triggered srv c "aborted event");
+  send srv c Protocol.Abort;
+  (match recv_any srv c with
+  | `Reply (Protocol.Ok_ "aborted") -> ()
+  | _ -> Alcotest.fail "abort reply");
+  send srv c (Protocol.Ping "seal");
+  (match recv_any srv c with
+  | `Reply (Protocol.Ok_ "pong seal") -> ()
+  | `Notify _ -> Alcotest.fail "phantom notify after abort"
+  | _ -> Alcotest.fail "ping echo");
+  (* UNSUB: the rule leaves the engine — no TRIGGERED, no notify. *)
+  send srv c (Protocol.Unsub { id = 0 });
+  ignore (expect_ok srv c "unsub");
+  Alcotest.(check int) "gauge back to zero" 0
+    (Session.Manager.subscription_count (Server.manager srv));
+  send srv c (Protocol.Event { etype = "tick"; oid = 9 });
+  (match recv_any srv c with
+  | `Reply (Protocol.Ok_ _) -> ()
+  | `Reply (Protocol.Triggered _) -> Alcotest.fail "unsubscribed rule fired"
+  | _ -> Alcotest.fail "event after unsub");
+  send srv c Protocol.Commit;
+  (match recv_any srv c with
+  | `Reply (Protocol.Ok_ _) -> ()
+  | `Notify _ -> Alcotest.fail "notify after unsub"
+  | _ -> Alcotest.fail "commit after unsub");
+  send srv c Protocol.Quit;
+  ignore (expect_ok srv c "quit")
+
+(* SUB ... BIN negotiates the binary NOTIFY encoding per subscription. *)
+let test_sub_binary_encoding () =
+  with_server ~config:{ Server.default_config with engines = 1 } @@ fun srv ->
+  let c = connect srv in
+  Fun.protect ~finally:(fun () -> close_client c) @@ fun () ->
+  hello srv c;
+  send srv c (Protocol.Sub { id = 3; binary = true; spec = sub_spec_text });
+  ignore (expect_ok srv c "sub bin");
+  send srv c (Protocol.Event { etype = "tick"; oid = 11 });
+  ignore (expect_triggered srv c "event");
+  send srv c Protocol.Commit;
+  let n, binary = expect_notify srv c "binary notify" in
+  Alcotest.(check bool) "binary encoding" true binary;
+  Alcotest.(check int) "sub id" 3 n.Protocol.sub;
+  (match n.Protocol.bindings with
+  | [ env ] ->
+      Alcotest.(check (option string)) "X binding" (Some "o11")
+        (List.assoc_opt "X" env)
+  | envs -> Alcotest.failf "expected one env, got %d" (List.length envs));
+  (match recv_any srv c with
+  | `Reply (Protocol.Ok_ _) -> ()
+  | _ -> Alcotest.fail "commit reply");
+  send srv c Protocol.Quit;
+  ignore (expect_ok srv c "quit")
+
+(* Every refusal the SUB/UNSUB state machine owes: parse errors, the id
+   range, duplicate registration, transaction-boundary enforcement, and
+   — the regression this suite pins — a second UNSUB of the same id is a
+   clean [ERR state], never a crash or a hang. *)
+let test_sub_errors () =
+  with_boot_server @@ fun srv ->
+  let c = connect srv in
+  Fun.protect ~finally:(fun () -> close_client c) @@ fun () ->
+  hello srv c;
+  ignore
+    (send srv c (Protocol.Sub { id = 0; binary = false; spec = "garbage" });
+     expect_err srv c "parse" "spec without ON");
+  ignore
+    (send srv c (Protocol.Sub { id = 0; binary = false; spec = "ON { tick" });
+     expect_err srv c "parse" "unterminated event expr");
+  ignore
+    (send srv c (Protocol.Sub { id = 0; binary = false; spec = "ON { tick } DO" });
+     expect_err srv c "parse" "empty DO");
+  ignore
+    (send srv c (Protocol.Sub { id = 0; binary = false; spec = "ON { tick } X" });
+     expect_err srv c "parse" "trailing input");
+  (* Out-of-range ids are protocol errors, raw on the wire because the
+     typed constructor cannot express them. *)
+  send_raw srv c (Protocol.frame_exn ~max_frame:mf "SUB 70000 ON { tick }");
+  ignore (expect_err srv c "proto" "sub id over the cap");
+  send_raw srv c (Protocol.frame_exn ~max_frame:mf "UNSUB -1");
+  ignore (expect_err srv c "proto" "negative unsub id");
+  (* Duplicate registration. *)
+  send srv c (Protocol.Sub { id = 1; binary = false; spec = "ON { tick }" });
+  ignore (expect_ok srv c "sub 1");
+  send srv c (Protocol.Sub { id = 1; binary = false; spec = "ON { tick }" });
+  ignore (expect_err srv c "state" "duplicate sub id");
+  (* Subscription changes only at a transaction boundary. *)
+  send srv c (Protocol.Line "create item(n = 1)");
+  ignore (expect_triggered srv c "open a transaction");
+  send srv c (Protocol.Sub { id = 2; binary = false; spec = "ON { tick }" });
+  ignore (expect_err srv c "state" "SUB inside a transaction");
+  send srv c (Protocol.Unsub { id = 1 });
+  ignore (expect_err srv c "state" "UNSUB inside a transaction");
+  send srv c Protocol.Abort;
+  ignore (expect_ok srv c "abort");
+  (* The double-UNSUB regression: the second is [ERR state], the
+     connection lives on. *)
+  send srv c (Protocol.Unsub { id = 1 });
+  ignore (expect_ok srv c "unsub");
+  send srv c (Protocol.Unsub { id = 1 });
+  ignore (expect_err srv c "state" "double unsub");
+  send srv c (Protocol.Unsub { id = 42 });
+  ignore (expect_err srv c "state" "never-registered unsub");
+  send srv c (Protocol.Ping "alive");
+  Alcotest.(check string) "connection survived" "pong alive"
+    (expect_ok srv c "ping");
+  send srv c Protocol.Quit;
+  ignore (expect_ok srv c "quit")
+
+(* The slow-consumer policy, deterministically: [notify_queue = 2] and
+   [high_water = 0] (any pending output parks further pushes in the
+   bounded queue), then five commits land in one reactor turn.  The
+   first notify goes straight out; of the four parked, the two oldest
+   are shed; the subscriber's stream is NOTIFY, NOTIFY_GAP(2) in the
+   shed position, then the two survivors — delivered + dropped accounts
+   for every commit. *)
+let test_sub_overflow_gap () =
+  with_server
+    ~config:
+      {
+        Server.default_config with
+        engines = 1;
+        domains = Some 0 (* inline: the burst lands in one turn *);
+        notify_queue = 2;
+        high_water = 0;
+      }
+  @@ fun srv ->
+  let s = connect srv in
+  let i = connect srv in
+  Fun.protect
+    ~finally:(fun () ->
+      close_client s;
+      close_client i)
+  @@ fun () ->
+  hello srv s;
+  send srv s (Protocol.Sub { id = 0; binary = false; spec = sub_spec_text });
+  ignore (expect_ok srv s "sub");
+  hello srv i;
+  (* Five commit cycles in one burst: the server reads them in one
+     turn, so the subscriber's output pauses after the first push. *)
+  let burst = Buffer.create 256 in
+  for oid = 0 to 4 do
+    Buffer.add_string burst
+      (Protocol.frame_exn ~max_frame:mf
+         (Protocol.command_to_payload (Protocol.Event { etype = "tick"; oid })));
+    Buffer.add_string burst
+      (Protocol.frame_exn ~max_frame:mf
+         (Protocol.command_to_payload Protocol.Commit))
+  done;
+  send_raw srv i (Buffer.contents burst);
+  for k = 0 to 4 do
+    ignore (expect_triggered srv i (Printf.sprintf "event %d" k));
+    ignore (expect_ok srv i (Printf.sprintf "commit %d" k))
+  done;
+  (* A ping seals the stream: its echo force-drains everything owed. *)
+  send srv s (Protocol.Ping "seal");
+  let rec collect acc =
+    match recv_any srv s with
+    | `Reply (Protocol.Ok_ "pong seal") -> List.rev acc
+    | `Reply r ->
+        Alcotest.failf "unexpected reply %s" (Protocol.reply_to_payload r)
+    | `Notify (n, _) -> collect (`N n :: acc)
+    | `Gap (sub, dropped) -> collect (`G (sub, dropped) :: acc)
+    | `Eof | `Timeout -> Alcotest.fail "stream ended before the seal"
+  in
+  let stream = collect [] in
+  let xs = function
+    | `N n -> (
+        match n.Protocol.bindings with
+        | [ env ] -> ( match List.assoc_opt "X" env with Some x -> x | None -> "?")
+        | _ -> "?")
+    | `G _ -> "gap"
+  in
+  Alcotest.(check (list string))
+    "drop-oldest stream: first out, gap in shed position, survivors"
+    [ "o0"; "gap"; "o3"; "o4" ]
+    (List.map xs stream);
+  (match List.nth stream 1 with
+  | `G (0, 2) -> ()
+  | `G (sub, dropped) ->
+      Alcotest.failf "gap accounts sub %d dropped %d, want sub 0 dropped 2" sub
+        dropped
+  | `N _ -> Alcotest.fail "expected the gap frame second");
+  let delivered =
+    List.length (List.filter (function `N _ -> true | `G _ -> false) stream)
+  in
+  let dropped =
+    List.fold_left
+      (fun acc -> function `G (_, d) -> acc + d | `N _ -> acc)
+      0 stream
+  in
+  Alcotest.(check int) "every commit delivered or gapped" 5
+    (delivered + dropped);
+  (* The STATS text reports the subsystem's counters. *)
+  send srv s Protocol.Stats;
+  let stats = expect_ok srv s "stats" in
+  Alcotest.(check bool) "stats carries the subs line" true
+    (contains_sub stats "subs:")
+
+(* An abruptly vanished subscriber leaves nothing behind: the registry
+   empties immediately and the dynamic rule leaves the engine, so later
+   commits neither fire it nor notify anyone. *)
+let test_sub_disconnect_residue () =
+  with_server ~config:{ Server.default_config with engines = 1 } @@ fun srv ->
+  let s = connect srv in
+  hello srv s;
+  send srv s (Protocol.Sub { id = 0; binary = false; spec = sub_spec_text });
+  ignore (expect_ok srv s "sub");
+  Alcotest.(check int) "one live subscription" 1
+    (Session.Manager.subscription_count (Server.manager srv));
+  close_client s;
+  let rec settle n =
+    if n = 0 then Alcotest.fail "disconnect never noticed"
+    else if
+      Session.Manager.subscription_count (Server.manager srv) > 0
+      || Server.active_conns srv > 0
+    then begin
+      ignore (Server.poll srv ~timeout:0.005);
+      settle (n - 1)
+    end
+  in
+  settle 1000;
+  let i = connect srv in
+  Fun.protect ~finally:(fun () -> close_client i) @@ fun () ->
+  hello srv i;
+  send srv i (Protocol.Event { etype = "tick"; oid = 1 });
+  (match recv_any srv i with
+  | `Reply (Protocol.Ok_ _) -> ()
+  | `Reply (Protocol.Triggered rules) ->
+      Alcotest.failf "dead subscriber's rule still fires: %s"
+        (String.concat "," rules)
+  | _ -> Alcotest.fail "event reply");
+  send srv i Protocol.Commit;
+  (match recv_any srv i with
+  | `Reply (Protocol.Ok_ _) -> ()
+  | `Notify _ -> Alcotest.fail "notify to a dead subscriber"
+  | _ -> Alcotest.fail "commit reply");
+  send srv i Protocol.Quit;
+  ignore (expect_ok srv i "quit")
+
+(* The loadgen's push side, in process: ingesters and subscribers drive
+   one server in this thread.  Every committed event is one activation
+   fanned out to every subscriber, and the delivery guarantee makes the
+   accounting exact: delivered + shed = events x subscribers. *)
+let test_loadgen_subscribe () =
+  with_server ~config:{ Server.default_config with engines = 1 } @@ fun srv ->
+  let conns = 4 and lines = 20 and subscribers = 2 in
+  let lg =
+    match
+      Loadgen.create
+        {
+          Loadgen.default_config with
+          Loadgen.port = Server.port srv;
+          conns;
+          lines;
+          commit_every = 5;
+          binary = true;
+          subscribe = subscribers;
+        }
+    with
+    | Ok lg -> lg
+    | Error msg -> Alcotest.fail msg
+  in
+  let rec drive n =
+    if Loadgen.finished lg then ()
+    else if n = 0 then Alcotest.fail "subscription loadgen did not finish"
+    else begin
+      ignore (Server.poll srv ~timeout:0.001);
+      Loadgen.poll lg ~timeout:0.001;
+      drive (n - 1)
+    end
+  in
+  drive 100_000;
+  let r = Loadgen.report lg in
+  Alcotest.(check int) "no errors" 0 r.Loadgen.errors;
+  Alcotest.(check int) "every event answered" (conns * lines) r.Loadgen.lines_ok;
+  Alcotest.(check int) "subscribers reported" subscribers r.Loadgen.subscribers;
+  Alcotest.(check int) "every activation delivered or gapped"
+    (conns * lines * subscribers)
+    (r.Loadgen.notifies + r.Loadgen.gap_dropped);
+  Alcotest.(check bool) "latency samples are real" true (r.Loadgen.nlat_max_ns > 0);
+  (* Nothing held the registry open. *)
+  Alcotest.(check int) "registry empty after the run" 0
+    (Session.Manager.subscription_count (Server.manager srv))
+
+(* The notify-stream differential: the socket subscriber's NOTIFY
+   sequence must equal the committed activation log of the same rule
+   driven directly through the engine — same activation instants, same
+   bindings, same order — across commits, aborts and batches, inline
+   and through a worker domain. *)
+let sub_diff_reference ops =
+  let interp = Interp.create () in
+  let engine = Interp.engine interp in
+  let spec =
+    match Lang_parser.parse_subscription sub_spec_text with
+    | Error msg -> Alcotest.fail msg
+    | Ok (event, condition) ->
+        {
+          Rule.name = "ref";
+          target = None;
+          event;
+          condition;
+          action = [];
+          coupling = Rule.Immediate;
+          consumption = Rule.Consuming;
+          priority = 0;
+        }
+  in
+  (match Engine.define_dynamic engine spec with
+  | Ok _ -> ()
+  | Error (`Rule_error msg) -> Alcotest.fail msg);
+  Engine.watch_rule engine "ref";
+  let etype =
+    match Event_type.of_string "tick" with
+    | Ok e -> e
+    | Error msg -> Alcotest.fail msg
+  in
+  let oid = ref 0 in
+  let ingest () =
+    let this = !oid in
+    incr oid;
+    match Engine.ingest_event engine ~etype ~oid:(Ident.Oid.of_int this) with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "reference ingest: %a" Engine.pp_error e
+  in
+  let acc = ref [] in
+  let drain () =
+    List.iter
+      (fun (a : Engine.activation) ->
+        acc := (Time.to_int a.act_at, a.act_bindings) :: !acc)
+      (Engine.drain_activations engine)
+  in
+  List.iter
+    (fun op ->
+      match op with
+      | D_ping _ -> ()
+      | D_event -> ingest ()
+      | D_batch k -> for _ = 1 to k do ingest () done
+      | D_commit ->
+          (match Engine.commit engine with
+          | Ok () -> ()
+          | Error _ -> Engine.abort engine);
+          drain ()
+      | D_abort -> Engine.abort engine)
+    ops;
+  List.rev !acc
+
+let run_sub_diff_seed ~domains seed =
+  let ops, tx_open = diff_scenario (Random.State.make [| 4096 + seed |]) 30 in
+  let expected = sub_diff_reference ops in
+  let binary = seed mod 4 < 2 in
+  with_server
+    ~config:{ Server.default_config with engines = 1; domains }
+  @@ fun srv ->
+  let c = connect srv in
+  Fun.protect ~finally:(fun () -> close_client c) @@ fun () ->
+  hello srv c;
+  send srv c (Protocol.Etype { id = 0; name = "tick" });
+  ignore (expect_ok srv c "etype");
+  send srv c (Protocol.Sub { id = 5; binary; spec = sub_spec_text });
+  ignore (expect_ok srv c "sub");
+  let burst = Buffer.create 1024 in
+  let oid = ref 0 in
+  let next_oid () =
+    let this = !oid in
+    incr oid;
+    this
+  in
+  List.iter
+    (fun op ->
+      let payload =
+        match op with
+        | D_ping tok -> Protocol.command_to_payload (Protocol.Ping tok)
+        | D_event ->
+            Protocol.encode_event ~etype_id:0 ~oid:(next_oid ()) ~timestamp:0
+        | D_batch k ->
+            Protocol.encode_batch
+              (List.init k (fun _ ->
+                   { Protocol.etype_id = 0; oid = next_oid (); timestamp = 0 }))
+        | D_commit -> Protocol.command_to_payload Protocol.Commit
+        | D_abort -> Protocol.command_to_payload Protocol.Abort
+      in
+      Buffer.add_string burst (Protocol.frame_exn ~max_frame:mf payload))
+    ops;
+  send_raw srv c (Buffer.contents burst);
+  (* Every op gets exactly one reply; notifies interleave ahead of the
+     commit replies that produced them. *)
+  let notifies = ref [] and replies = ref 0 in
+  let want_replies = List.length ops in
+  while !replies < want_replies do
+    match recv_any srv c with
+    | `Reply _ -> incr replies
+    | `Notify (n, got_binary) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d: negotiated encoding" seed)
+          binary got_binary;
+        Alcotest.(check int) (Printf.sprintf "seed %d: sub id" seed) 5
+          n.Protocol.sub;
+        notifies := (n.Protocol.at, n.Protocol.bindings) :: !notifies
+    | `Gap _ -> Alcotest.failf "seed %d: unexpected gap" seed
+    | `Eof -> Alcotest.failf "seed %d: connection closed" seed
+    | `Timeout -> Alcotest.failf "seed %d: reply stream stalled" seed
+  done;
+  if tx_open then begin
+    send srv c Protocol.Abort;
+    match recv_any srv c with
+    | `Reply (Protocol.Ok_ "aborted") -> ()
+    | `Notify _ -> Alcotest.failf "seed %d: notify from the final abort" seed
+    | _ -> Alcotest.failf "seed %d: final abort reply" seed
+  end;
+  send srv c (Protocol.Unsub { id = 5 });
+  (match recv_any srv c with
+  | `Reply (Protocol.Ok_ _) -> ()
+  | `Notify _ -> Alcotest.failf "seed %d: notify after the reply drain" seed
+  | _ -> Alcotest.failf "seed %d: unsub reply" seed);
+  send srv c Protocol.Quit;
+  ignore (expect_ok srv c "quit");
+  expect_eof srv c;
+  let got = List.rev !notifies in
+  let render l =
+    String.concat ";"
+      (List.map
+         (fun (at, envs) ->
+           Printf.sprintf "%d:%s" at
+             (String.concat "|"
+                (List.map
+                   (fun env ->
+                     String.concat ","
+                       (List.map (fun (v, x) -> v ^ "=" ^ x) env))
+                   envs)))
+         l)
+  in
+  Alcotest.(check string)
+    (Printf.sprintf "seed %d: notify stream equals the activation log" seed)
+    (render expected) (render got)
+
+let test_sub_notify_differential () =
+  for seed = 0 to 159 do
+    run_sub_diff_seed ~domains:(if seed mod 2 = 0 then Some 0 else None) seed
+  done
+
 let suite =
   [
     Alcotest.test_case "payload round trip" `Quick test_payload_roundtrip;
@@ -1431,4 +1996,20 @@ let suite =
       test_loadgen_binary_pipelined;
     Alcotest.test_case "differential: pipelined binary, 160 seeds" `Quick
       test_differential_binary_pipelined;
+    Alcotest.test_case "notify payloads round trip" `Quick
+      test_notify_payload_roundtrip;
+    Alcotest.test_case "subscription lifecycle over a socket" `Quick
+      test_sub_basic;
+    Alcotest.test_case "binary notify encoding" `Quick
+      test_sub_binary_encoding;
+    Alcotest.test_case "subscription errors and double UNSUB" `Quick
+      test_sub_errors;
+    Alcotest.test_case "notify overflow sheds into a gap" `Quick
+      test_sub_overflow_gap;
+    Alcotest.test_case "disconnect leaves no subscription residue" `Quick
+      test_sub_disconnect_residue;
+    Alcotest.test_case "loadgen subscribers count every push" `Quick
+      test_loadgen_subscribe;
+    Alcotest.test_case "differential: notify stream, 160 seeds" `Quick
+      test_sub_notify_differential;
   ]
